@@ -1,0 +1,161 @@
+// Accumulator-design ablation across the related-work baselines the paper
+// positions itself against: floating-point accumulators at several widths
+// with RN vs SR (this paper), a Kahan-compensated FP12 chain [3], and
+// fixed-point accumulators with truncation / RN / stochastic rounding in
+// the style of [10],[14],[16],[17]. All designs consume the same FP8 E5M2
+// product stream; the measurement is long-dot-product relative error and
+// the fixed-point designs' saturation behaviour, as a function of length.
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/baselines.hpp"
+#include "mac/dot.hpp"
+#include "rng/xoshiro.hpp"
+
+using namespace srmac;
+
+namespace {
+
+struct Stream {
+  std::vector<float> a, b;
+  double reference = 0.0;  ///< exact dot of the quantized operands
+};
+
+Stream make_stream(int n, uint64_t seed) {
+  // The paper's swamping regime: many small same-sign terms against a
+  // steadily growing accumulator — the situation where low-precision RN
+  // stagnates once the accumulator ULP exceeds the term magnitude.
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.25f, 0.10f);
+  Stream s;
+  s.a.resize(static_cast<size_t>(n));
+  s.b.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    s.a[static_cast<size_t>(i)] = dist(rng);
+    s.b[static_cast<size_t>(i)] = dist(rng);
+  }
+  const auto qa = quantize_vector(kFp8E5M2, s.a);
+  const auto qb = quantize_vector(kFp8E5M2, s.b);
+  for (int i = 0; i < n; ++i) {
+    const double xa = SoftFloat::to_double(kFp8E5M2, qa[static_cast<size_t>(i)]);
+    const double xb = SoftFloat::to_double(kFp8E5M2, qb[static_cast<size_t>(i)]);
+    s.reference += xa * xb;
+  }
+  return s;
+}
+
+double rel_err(double v, double ref) {
+  return std::abs(v - ref) / std::max(1e-12, std::abs(ref));
+}
+
+MacConfig fp_cfg(AdderKind kind, const FpFormat& acc, int r) {
+  MacConfig cfg;
+  cfg.adder = kind;
+  cfg.acc_fmt = acc;
+  cfg.random_bits = r;
+  cfg.subnormals = false;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Accumulator-design ablation: mean relative error of an FP8-product\n"
+      "dot product vs chain length (32 trials per cell; fixed-point cells\n"
+      "also report the fraction of trials that saturated)\n\n");
+
+  const std::vector<int> lengths = {64, 256, 1024, 4096, 16384};
+  std::printf("%-30s", "design");
+  for (int n : lengths) std::printf(" %11d", n);
+  std::printf("\n");
+
+  const int trials = 32;
+
+  auto run_fp = [&](const char* name, const MacConfig& cfg) {
+    std::printf("%-30s", name);
+    for (const int n : lengths) {
+      double err = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        const Stream s = make_stream(n, 1000 + static_cast<uint64_t>(t));
+        const DotResult d =
+            dot_mac(cfg, s.a, s.b, /*seed=*/0xBEEF + static_cast<uint64_t>(t));
+        err += rel_err(d.value, s.reference);
+      }
+      std::printf(" %10.2e ", err / trials);
+    }
+    std::printf("\n");
+  };
+
+  run_fp("FP32 RN (E8M23)", fp_cfg(AdderKind::kRoundNearest, kFp32, 0));
+  run_fp("FP16 RN (E5M10)", fp_cfg(AdderKind::kRoundNearest, kFp16, 0));
+  run_fp("FP12 RN (E6M5)", fp_cfg(AdderKind::kRoundNearest, kFp12, 0));
+  run_fp("FP12 SR lazy r=9", fp_cfg(AdderKind::kLazySR, kFp12, 9));
+  run_fp("FP12 SR eager r=9", fp_cfg(AdderKind::kEagerSR, kFp12, 9));
+  run_fp("FP12 SR eager r=13", fp_cfg(AdderKind::kEagerSR, kFp12, 13));
+
+  // Kahan-compensated FP12 (RN): accuracy of compensation, cost of two
+  // registers + 3 extra adds per step.
+  std::printf("%-30s", "FP12 Kahan (compensated)");
+  for (const int n : lengths) {
+    double err = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const Stream s = make_stream(n, 1000 + static_cast<uint64_t>(t));
+      err += rel_err(dot_kahan(kFp8E5M2, kFp12.with_subnormals(false),
+                               s.a.data(), s.b.data(), n),
+                     s.reference);
+    }
+    std::printf(" %10.2e ", err / trials);
+  }
+  std::printf("\n");
+
+  // Fixed-point accumulators [10]: W total bits, F fractional. The 2^11
+  // integer headroom of Q24.12 fits these streams; Q16.8 saturates at the
+  // longer lengths, which is the range cliff the FP designs avoid.
+  struct FxCase {
+    const char* name;
+    int total, frac;
+    FixedRounding rounding;
+  };
+  for (const FxCase& c :
+       {FxCase{"fixed Q24.12 truncate", 24, 12, FixedRounding::kTruncate},
+        FxCase{"fixed Q24.12 RN", 24, 12, FixedRounding::kRoundNearest},
+        FxCase{"fixed Q24.12 SR r=8", 24, 12, FixedRounding::kStochastic},
+        FxCase{"fixed Q16.8 SR r=8", 16, 8, FixedRounding::kStochastic}}) {
+    std::printf("%-30s", c.name);
+    for (const int n : lengths) {
+      double err = 0.0;
+      int sat = 0;
+      for (int t = 0; t < trials; ++t) {
+        const Stream s = make_stream(n, 1000 + static_cast<uint64_t>(t));
+        FixedPointMac::Config fc;
+        fc.total_bits = c.total;
+        fc.frac_bits = c.frac;
+        fc.rounding = c.rounding;
+        fc.random_bits = 8;
+        Xoshiro256 rng(0xF1D0 + static_cast<uint64_t>(t));
+        bool saturated = false;
+        err += rel_err(dot_fixed(fc, s.a.data(), s.b.data(), n, rng,
+                                 &saturated),
+                       s.reference);
+        sat += saturated ? 1 : 0;
+      }
+      if (sat > 0)
+        std::printf(" %8.2e:S%-2d", err / trials, sat);
+      else
+        std::printf(" %10.2e ", err / trials);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: FP12 RN stagnates as the chain grows (swamping); FP12 SR\n"
+      "tracks FP16 RN at a fraction of the adder cost; Kahan matches SR but\n"
+      "needs a second register file; fixed-point matches only while the\n"
+      "running sum stays inside its static range (S = saturated trials).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: swamping/stagnation in long low-precision accumulations — the
+// phenomenon motivating the paper (Sec. II: SR "is particularly effective
+// against stagnation, a frequent occurrence when computing the sum of a
+// large number of terms with small magnitude").
+//
+// Sweeps dot-product length n and reports the relative error of each MAC
+// configuration against the exact sum; the crossover where RN@E6M5 diverges
+// while SR stays flat is the figure-of-merit.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mac/dot.hpp"
+#include "rng/xoshiro.hpp"
+
+using namespace srmac;
+
+namespace {
+
+MacConfig cfg(AdderKind k, const FpFormat& acc, int r, bool sub = true) {
+  MacConfig c;
+  c.mul_fmt = kFp8E5M2;
+  c.acc_fmt = acc;
+  c.adder = k;
+  c.random_bits = r;
+  c.subnormals = sub;
+  return c;
+}
+
+double mean_rel_err(const MacConfig& c, int n, int trials) {
+  Xoshiro256 rng(7);
+  double err = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> a(n), b(n);
+    for (auto& v : a) v = static_cast<float>(0.25 + 0.5 * rng.uniform());
+    for (auto& v : b) v = static_cast<float>(0.25 + 0.5 * rng.uniform());
+    const DotResult r = dot_mac(c, a, b, 1000 + t);
+    err += std::fabs(r.value - r.reference) / std::fabs(r.reference);
+  }
+  return err / trials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Swamping ablation: mean |rel.err| of dot products of positive"
+              " values\n(FP8 E5M2 products; trials=8)\n\n");
+  std::printf("%8s %12s %12s %12s %12s %12s\n", "n", "RN-E6M5", "SRlazy-r13",
+              "SReager-r13", "SReager-r4", "RN-FP32");
+  for (int n : {64, 128, 256, 512, 1024, 2048, 4096}) {
+    std::printf("%8d %12.4f %12.4f %12.4f %12.4f %12.6f\n", n,
+                mean_rel_err(cfg(AdderKind::kRoundNearest, kFp12, 0), n, 8),
+                mean_rel_err(cfg(AdderKind::kLazySR, kFp12, 13), n, 8),
+                mean_rel_err(cfg(AdderKind::kEagerSR, kFp12, 13), n, 8),
+                mean_rel_err(cfg(AdderKind::kEagerSR, kFp12, 4), n, 8),
+                mean_rel_err(cfg(AdderKind::kRoundNearest, kFp32, 0), n, 8));
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: RN@E6M5 error grows with n once partial sums"
+              "\ndwarf the addends (stagnation); both SR designs stay near-"
+              "flat\nand close to each other; r=4 is visibly worse than"
+              " r=13.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Array-scale projection of the paper's future-work claim ("the hardware
+// advantages of our proposed eager design hold even greater potential
+// within a systolic array-based accelerator"): maps the full ResNet-20
+// forward pass onto a systolic array of MAC PEs for each accumulator
+// configuration and reports end-to-end time, energy and utilization, plus
+// an OS-vs-WS dataflow comparison and an array-size sweep.
+#include <cstdio>
+#include <vector>
+
+#include "accel/mapping.hpp"
+#include "hwcost/systolic_cost.hpp"
+
+using namespace srmac;
+using namespace srmac::accel;
+
+namespace {
+
+MacConfig make_cfg(AdderKind kind, const FpFormat& acc, int r, bool sub) {
+  MacConfig cfg;
+  cfg.adder = kind;
+  cfg.acc_fmt = acc;
+  cfg.random_bits = r;
+  cfg.subnormals = sub;
+  // Multiplier format: the paper's FP8 E5M2 for the 12-bit accumulator;
+  // wider accumulators keep the same multiplier (accumulation-width study).
+  cfg.mul_fmt = kFp8E5M2;
+  return cfg;
+}
+
+void print_row(const char* name, const MappingReport& t,
+               const hw::SystolicReport& cost) {
+  std::printf("%-26s %8.2f %9.1f %9.2f %8.1f%% %9.3f\n", name,
+              cost.clock_ns, t.time_us, t.energy_uj,
+              100.0 * t.utilization, cost.area_mm2);
+}
+
+}  // namespace
+
+int main() {
+  const auto layers = resnet20_layer_shapes(32);
+  hw::SystolicCostOptions opt;
+  opt.rows = 16;
+  opt.cols = 16;
+
+  std::printf(
+      "ResNet-20 forward pass on a 16x16 systolic array (batch 1)\n"
+      "per-PE cost from the calibrated ASIC model; cycles/traffic from the\n"
+      "dataflow mapping (validated cycle-exact against the simulator)\n\n");
+  std::printf("%-26s %8s %9s %9s %9s %9s\n", "PE configuration", "clk(ns)",
+              "time(us)", "E(uJ)", "util", "mm2");
+
+  struct Case {
+    const char* name;
+    MacConfig cfg;
+  };
+  const std::vector<Case> cases = {
+      {"RN FP32 acc (E8M23)", make_cfg(AdderKind::kRoundNearest, kFp32, 0, true)},
+      {"RN FP16 acc (E5M10)", make_cfg(AdderKind::kRoundNearest, kFp16, 0, true)},
+      {"RN FP12 acc (E6M5)", make_cfg(AdderKind::kRoundNearest, kFp12, 0, true)},
+      {"SR lazy FP12 r=9 subOFF", make_cfg(AdderKind::kLazySR, kFp12, 9, false)},
+      {"SR eager FP12 r=9 subOFF", make_cfg(AdderKind::kEagerSR, kFp12, 9, false)},
+      {"SR eager FP12 r=13 subOFF", make_cfg(AdderKind::kEagerSR, kFp12, 13, false)},
+  };
+
+  std::vector<MappingReport> totals;
+  for (const Case& c : cases) {
+    const auto reports = map_network(layers, c.cfg, opt);
+    totals.push_back(reports.back());
+    print_row(c.name, reports.back(), hw::systolic_cost(c.cfg, opt));
+  }
+
+  const MappingReport& fp32 = totals[0];
+  const MappingReport& fp16 = totals[1];
+  const MappingReport& lazy = totals[3];
+  const MappingReport& eager = totals[4];
+  auto pct = [](double a, double b) { return 100.0 * (a - b) / b; };
+  std::printf("\nArray-scale deltas (ResNet-20 end to end):\n");
+  std::printf("  eager vs lazy:  time %+5.1f%%  energy %+5.1f%%\n",
+              pct(eager.time_us, lazy.time_us),
+              pct(eager.energy_uj, lazy.energy_uj));
+  std::printf("  eager vs FP32:  time %+5.1f%%  energy %+5.1f%%\n",
+              pct(eager.time_us, fp32.time_us),
+              pct(eager.energy_uj, fp32.energy_uj));
+  std::printf("  eager vs FP16:  time %+5.1f%%  energy %+5.1f%%\n",
+              pct(eager.time_us, fp16.time_us),
+              pct(eager.energy_uj, fp16.energy_uj));
+
+  // Dataflow comparison for the reference design.
+  std::printf("\nDataflow comparison, SR eager FP12 r=9 subOFF:\n");
+  std::printf("%-22s %12s %9s %12s %12s\n", "dataflow", "cycles", "util",
+              "buf reads", "buf writes");
+  for (const Dataflow df :
+       {Dataflow::kOutputStationary, Dataflow::kWeightStationary}) {
+    const auto reports = map_network(layers, cases[4].cfg, opt, df);
+    const MappingReport& t = reports.back();
+    std::printf("%-22s %12llu %8.1f%% %12llu %12llu\n",
+                df == Dataflow::kOutputStationary ? "output-stationary"
+                                                  : "weight-stationary",
+                static_cast<unsigned long long>(t.cycles),
+                100.0 * t.utilization,
+                static_cast<unsigned long long>(t.a_words + t.b_words),
+                static_cast<unsigned long long>(t.c_words));
+  }
+
+  // Array-size sweep: utilization and wall time vs PE grid.
+  std::printf("\nArray-size sweep, SR eager FP12 r=9 subOFF (OS dataflow):\n");
+  std::printf("%-10s %12s %9s %9s %9s\n", "array", "cycles", "util",
+              "time(us)", "E(uJ)");
+  for (const int n : {4, 8, 16, 32, 64}) {
+    hw::SystolicCostOptions o = opt;
+    o.rows = o.cols = n;
+    const auto reports = map_network(layers, cases[4].cfg, o);
+    const MappingReport& t = reports.back();
+    std::printf("%2dx%-7d %12llu %8.1f%% %9.1f %9.2f\n", n, n,
+                static_cast<unsigned long long>(t.cycles),
+                100.0 * t.utilization, t.time_us, t.energy_uj);
+  }
+
+  // Per-row LFSR sharing: the SR-specific area term the cost model exposes.
+  std::printf("\nLFSR distribution, SR eager FP12 r=13 subOFF, 16x16:\n");
+  for (const bool share : {false, true}) {
+    hw::SystolicCostOptions o = opt;
+    o.share_lfsr_per_row = share;
+    const auto cost = hw::systolic_cost(cases[5].cfg, o);
+    std::printf("  %-22s area %7.3f mm2, %7.1f um2/PE\n",
+                share ? "one LFSR per row" : "one LFSR per PE",
+                cost.area_mm2, cost.area_per_pe_um2);
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates the paper's Fig. 5 (a/b/c): area, delay and energy per *MAC
+// unit* configuration — six series (RN / SR lazy / SR eager x Sub ON/OFF)
+// over the four accumulator formats, each MAC pairing an exact E5M2
+// multiplier with the given adder (Fig. 2 organization).
+#include <iostream>
+
+#include "hwcost/report.hpp"
+
+int main() {
+  srmac::hw::print_fig5_series(std::cout);
+  std::cout << "\nExpected shape (paper Fig. 5): within every format column,\n"
+               "RN < eager < lazy on all three metrics; Sub OFF slightly\n"
+               "below Sub ON; costs grow monotonically from E6M5 to E8M23.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Google-benchmark microbenchmarks of the software emulation itself: cost
+// per bit-accurate MAC step and per GEMM for each adder kind. (These
+// characterize the *emulator*, not the hardware — the hardware numbers come
+// from bench_table1/2/5.)
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mac/gemm.hpp"
+#include "mac/mac_unit.hpp"
+#include "rng/xoshiro.hpp"
+
+using namespace srmac;
+
+namespace {
+
+MacConfig cfg(AdderKind k) {
+  MacConfig c;
+  c.mul_fmt = kFp8E5M2;
+  c.acc_fmt = kFp12;
+  c.adder = k;
+  c.random_bits = 13;
+  c.subnormals = false;
+  return c;
+}
+
+void BM_MacStep(benchmark::State& state, AdderKind kind) {
+  MacUnit unit(cfg(kind));
+  Xoshiro256 rng(1);
+  std::vector<uint32_t> a(1024), b(1024);
+  for (auto& v : a) v = static_cast<uint32_t>(rng.below(0x7C));  // finite
+  for (auto& v : b) v = static_cast<uint32_t>(rng.below(0x7C));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.step(a[i & 1023], b[i & 1023]));
+    ++i;
+    if ((i & 4095) == 0) unit.set_acc(0);  // avoid saturating at +inf
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_GemmMac(benchmark::State& state, AdderKind kind) {
+  const int M = 16, N = 64, K = 144;
+  Xoshiro256 rng(2);
+  std::vector<float> A(M * K), B(K * N), C(M * N);
+  for (auto& v : A) v = static_cast<float>(rng.normal());
+  for (auto& v : B) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm_mac(cfg(kind), M, N, K, A.data(), K, B.data(), N, C.data(), N,
+             false, 7, 1);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{M} * N * K);
+}
+
+void BM_GemmRef(benchmark::State& state) {
+  const int M = 16, N = 64, K = 144;
+  Xoshiro256 rng(2);
+  std::vector<float> A(M * K), B(K * N), C(M * N);
+  for (auto& v : A) v = static_cast<float>(rng.normal());
+  for (auto& v : B) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm_ref(M, N, K, A.data(), K, B.data(), N, C.data(), N, false, 1);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{M} * N * K);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_MacStep, rn, AdderKind::kRoundNearest);
+BENCHMARK_CAPTURE(BM_MacStep, lazy_sr, AdderKind::kLazySR);
+BENCHMARK_CAPTURE(BM_MacStep, eager_sr, AdderKind::kEagerSR);
+BENCHMARK_CAPTURE(BM_GemmMac, rn, AdderKind::kRoundNearest);
+BENCHMARK_CAPTURE(BM_GemmMac, eager_sr, AdderKind::kEagerSR);
+BENCHMARK(BM_GemmRef);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Regenerates the paper's Table V: hardware overhead of the number of
+// random bits r for the SR eager E6M5 adder without subnormal support,
+// against the FP16/FP32 RN anchors.
+#include <cstdio>
+
+#include "hwcost/report.hpp"
+#include "paper_reference.hpp"
+
+using namespace srmac;
+using namespace srmac::hw;
+
+int main() {
+  std::printf("Table V reproduction: impact of random bits r (model vs paper)\n");
+  std::printf("%-30s %7s %9s %8s | %7s %9s %8s\n", "Configuration", "D(mod)",
+              "A(model)", "E(mod)", "D(pap)", "A(paper)", "E(pap)");
+  for (int r : {4, 7, 9, 11, 13}) {
+    const AsicReport row = asic_adder_cost(kFp12, AdderKind::kEagerSR, r, false);
+    const auto& p = paperref::table5().at(r);
+    std::printf("SR eager W/O Sub E6M5 r=%-2d      %7.2f %9.1f %8.2f | %7.2f %9.1f %8.2f\n",
+                r, row.delay_ns, row.area_um2, row.energy_nw_mhz, p.delay,
+                p.area, p.energy);
+  }
+  const AsicReport rn16 = asic_adder_cost(kFp16, AdderKind::kRoundNearest, 0, true);
+  const AsicReport rn32 = asic_adder_cost(kFp32, AdderKind::kRoundNearest, 0, true);
+  std::printf("RN W/ Sub (FP16) E5M10         %7.2f %9.1f %8.2f | %7.2f %9.1f %8.2f\n",
+              rn16.delay_ns, rn16.area_um2, rn16.energy_nw_mhz, 2.73, 692.62, 0.65);
+  std::printf("RN W/ Sub (FP32) E8M23         %7.2f %9.1f %8.2f | %7.2f %9.1f %8.2f\n",
+              rn32.delay_ns, rn32.area_um2, rn32.energy_nw_mhz, 4.71, 1404.01, 1.17);
+
+  // Area slope per random bit (paper: ~10.4 um^2/bit between r=4 and r=13).
+  const double a4 = asic_adder_cost(kFp12, AdderKind::kEagerSR, 4, false).area_um2;
+  const double a13 = asic_adder_cost(kFp12, AdderKind::kEagerSR, 13, false).area_um2;
+  std::printf("\nArea slope: %.1f um^2 per random bit (paper: %.1f)\n",
+              (a13 - a4) / 9.0, (601.71 - 508.36) / 9.0);
+  return 0;
+}

@@ -1,0 +1,106 @@
+#pragma once
+
+// The numbers published in the paper (Ben Ali, Filip, Sentieys, DATE 2024),
+// embedded so every bench can print model-vs-paper deltas. Units follow the
+// paper: energy nW/MHz, area um^2, delay ns.
+
+#include <map>
+#include <string>
+
+namespace srmac::paperref {
+
+struct AsicRow {
+  double energy, area, delay;
+};
+
+// Table I: "Hardware cost for different FP adder configurations".
+// Key: "<kind>|<EeMm>|<sub>" with kind in {RN, SR lazy, SR eager},
+// sub in {on, off}.
+inline const std::map<std::string, AsicRow>& table1() {
+  static const std::map<std::string, AsicRow> t = {
+      {"RN|E8M23|on", {1.17, 1404.01, 4.71}},
+      {"RN|E5M10|on", {0.65, 692.62, 2.73}},
+      {"RN|E8M7|on", {0.52, 581.05, 2.14}},
+      {"RN|E6M5|on", {0.42, 479.81, 1.88}},
+      {"RN|E8M23|off", {1.15, 1337.42, 4.69}},
+      {"RN|E5M10|off", {0.64, 662.43, 2.75}},
+      {"RN|E8M7|off", {0.52, 562.44, 2.28}},
+      {"RN|E6M5|off", {0.42, 462.67, 1.88}},
+      {"SR lazy|E8M23|on", {1.62, 1897.36, 5.19}},
+      {"SR lazy|E5M10|on", {0.89, 938.73, 2.99}},
+      {"SR lazy|E8M7|on", {0.66, 833.84, 2.77}},
+      {"SR lazy|E6M5|on", {0.57, 636.64, 2.20}},
+      {"SR lazy|E8M23|off", {1.48, 1677.37, 5.50}},
+      {"SR lazy|E5M10|off", {0.81, 839.34, 3.18}},
+      {"SR lazy|E8M7|off", {0.64, 751.74, 2.83}},
+      {"SR lazy|E6M5|off", {0.57, 615.10, 2.05}},
+      {"SR eager|E8M23|on", {1.37, 1550.89, 4.75}},
+      {"SR eager|E5M10|on", {0.76, 777.48, 2.72}},
+      {"SR eager|E8M7|on", {0.61, 670.41, 2.33}},
+      {"SR eager|E6M5|on", {0.50, 549.49, 1.87}},
+      {"SR eager|E8M23|off", {1.35, 1497.52, 4.73}},
+      {"SR eager|E5M10|off", {0.70, 718.41, 2.63}},
+      {"SR eager|E8M7|off", {0.61, 661.54, 2.50}},
+      {"SR eager|E6M5|off", {0.51, 558.63, 1.87}},
+  };
+  return t;
+}
+
+// Table V: "Impact of random bits r on hardware overhead"
+// (SR eager E6M5 W/O Sub; energy column is uW/MHz in the paper == nW/MHz
+// within its own unit confusion; values comparable to Table I).
+inline const std::map<int, AsicRow>& table5() {
+  static const std::map<int, AsicRow> t = {
+      {4, {0.46, 508.36, 1.85}},  {7, {0.49, 540.19, 1.87}},
+      {9, {0.51, 558.63, 1.87}},  {11, {0.53, 579.19, 1.93}},
+      {13, {0.56, 601.71, 1.93}},
+  };
+  return t;
+}
+
+struct FpgaRow {
+  int lut, ff;
+  double delay;
+};
+
+// Table II: FPGA implementation results.
+inline const std::map<std::string, FpgaRow>& table2() {
+  static const std::map<std::string, FpgaRow> t = {
+      {"RN|E5M10|on", {302, 49, 8.30}},
+      {"RN|E5M10|off", {301, 49, 8.29}},
+      {"SR lazy|E6M5|off", {344, 59, 8.76}},
+      {"SR eager|E6M5|off", {251, 59, 8.04}},
+  };
+  return t;
+}
+
+// Table III: ResNet20/CIFAR10 accuracy (%).
+struct AccRow {
+  std::string config;
+  double accuracy;
+};
+inline const std::map<std::string, double>& table3() {
+  static const std::map<std::string, double> t = {
+      {"FP32 baseline", 91.47},    {"RN subON E5M10", 91.1},
+      {"RN subON E8M7", 88.79},    {"RN subON E6M5", 83.03},
+      {"SR subON E6M5 r=4", 43.11},  {"SR subON E6M5 r=9", 89.34},
+      {"SR subON E6M5 r=11", 90.7},  {"SR subON E6M5 r=13", 91.39},
+      {"SR subOFF E6M5 r=11", 90.67},{"SR subOFF E6M5 r=13", 91.39},
+  };
+  return t;
+}
+
+// Table IV: VGG16/CIFAR10 and ResNet50/Imagewoof accuracies (%).
+inline const std::map<std::string, double>& table4() {
+  static const std::map<std::string, double> t = {
+      {"VGG16 FP32 baseline", 93.46},
+      {"VGG16 RN subON E5M10", 93.06},
+      {"VGG16 SR subOFF E6M5 r=13", 93.11},
+      {"ResNet50 FP32 baseline", 80.94},
+      {"ResNet50 RN subON E5M10", 80.3},
+      {"ResNet50 SR subOFF E6M5 r=13", 80.33},
+  };
+  return t;
+}
+
+}  // namespace srmac::paperref

@@ -1,0 +1,82 @@
+// Example: numerical study of stochastic rounding in inner products.
+//
+// For a fixed dot-product length, draws many random instances and prints
+// the error distribution (mean/std/bias) of each rounding configuration —
+// RN, lazy SR, eager SR — against the exact value, plus the distribution of
+// SR across repeated runs on the *same* data (the variance the LFSR seed
+// introduces). A compact version of the analysis behind Tables III/V.
+//
+// Usage: ./build/examples/sr_dotprod_study [length] [instances]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "mac/dot.hpp"
+#include "rng/xoshiro.hpp"
+
+using namespace srmac;
+
+namespace {
+MacConfig cfg(AdderKind k, int r) {
+  MacConfig c;
+  c.mul_fmt = kFp8E5M2;
+  c.acc_fmt = kFp12;
+  c.adder = k;
+  c.random_bits = r;
+  c.subnormals = false;
+  return c;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1024;
+  const int inst = argc > 2 ? std::atoi(argv[2]) : 32;
+
+  std::printf("SR dot-product study: length %d, %d instances\n\n", n, inst);
+  std::printf("%-22s %10s %10s %10s\n", "Configuration", "mean|rel|",
+              "std(rel)", "bias");
+
+  Xoshiro256 rng(5);
+  std::vector<std::vector<float>> as(inst), bs(inst);
+  for (int t = 0; t < inst; ++t) {
+    as[t].resize(n);
+    bs[t].resize(n);
+    for (auto& v : as[t]) v = static_cast<float>(0.25 + 0.5 * rng.uniform());
+    for (auto& v : bs[t]) v = static_cast<float>(0.25 + 0.5 * rng.uniform());
+  }
+
+  auto study = [&](const char* name, const MacConfig& c) {
+    double sum = 0, sq = 0, bias = 0;
+    for (int t = 0; t < inst; ++t) {
+      const DotResult r = dot_mac(c, as[t], bs[t], 100 + t);
+      const double rel = (r.value - r.reference) / r.reference;
+      sum += std::fabs(rel);
+      sq += rel * rel;
+      bias += rel;
+    }
+    const double mean = sum / inst, b = bias / inst;
+    const double var = std::max(0.0, sq / inst - b * b);
+    std::printf("%-22s %10.4f %10.4f %+10.4f\n", name, mean, std::sqrt(var), b);
+  };
+
+  study("RN  E6M5", cfg(AdderKind::kRoundNearest, 0));
+  for (int r : {4, 9, 13}) {
+    char nm[32];
+    std::snprintf(nm, sizeof(nm), "SR-lazy  E6M5 r=%d", r);
+    study(nm, cfg(AdderKind::kLazySR, r));
+    std::snprintf(nm, sizeof(nm), "SR-eager E6M5 r=%d", r);
+    study(nm, cfg(AdderKind::kEagerSR, r));
+  }
+
+  // Seed-to-seed variability on one instance.
+  std::printf("\nSeed variability (eager r=13, one instance, 16 seeds):\n  ");
+  const MacConfig c = cfg(AdderKind::kEagerSR, 13);
+  for (uint64_t s = 0; s < 16; ++s)
+    std::printf("%.3f ", dot_mac(c, as[0], bs[0], s).value);
+  std::printf("\n  exact %.3f\n", dot_mac(c, as[0], bs[0], 0).reference);
+  std::printf("\nRN shows a large negative bias (swamping losses are"
+              " systematic);\nSR is near-unbiased and tightens with r,"
+              " eager ~ lazy.\n");
+  return 0;
+}

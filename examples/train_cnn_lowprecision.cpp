@@ -1,0 +1,70 @@
+// Example: train a small CNN end to end with every GEMM running through the
+// bit-accurate SR-MAC models — the workload the paper designs its unit for.
+//
+// Compares three arithmetic configurations on the same data, init and
+// schedule (only the MAC arithmetic differs):
+//   * FP32 reference,
+//   * RN with the 12-bit accumulator (degrades),
+//   * eager SR with the 12-bit accumulator (tracks FP32).
+//
+// Usage: ./build/examples/train_cnn_lowprecision [epochs] [samples]
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/vgg.hpp"
+#include "train/trainer.hpp"
+
+using namespace srmac;
+
+int main(int argc, char** argv) {
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int samples = argc > 2 ? std::atoi(argv[2]) : 384;
+
+  SyntheticImages::Options dopt;
+  dopt.classes = 4;
+  dopt.size = 16;
+  dopt.train_samples = samples;
+  const SyntheticImages train(dopt);
+  const SyntheticImages test = train.test_split(samples / 2);
+
+  auto run = [&](const char* name, const ComputeContext& ctx) {
+    auto net = make_vgg_mini(4, 8);
+    he_init(*net, 7);
+    TrainOptions opt;
+    opt.epochs = epochs;
+    opt.batch_size = 16;
+    opt.lr = 0.05f;
+    opt.eval_samples = samples / 2;
+    opt.verbose = true;
+    std::printf("\n--- %s ---\n", name);
+    Trainer tr(*net, ctx, opt);
+    const auto hist = tr.fit(train, test);
+    return hist.back().test_acc;
+  };
+
+  MacConfig rn;
+  rn.mul_fmt = kFp8E5M2;
+  rn.acc_fmt = kFp12;
+  rn.adder = AdderKind::kRoundNearest;
+  MacConfig sr = rn;
+  sr.adder = AdderKind::kEagerSR;
+  sr.random_bits = 13;
+  sr.subnormals = false;
+
+  const float acc_fp32 = run("FP32 reference", ComputeContext::fp32());
+  const float acc_rn = run("FP8 x FP8 -> E6M5 accumulate, RN",
+                           ComputeContext::emulated(rn));
+  const float acc_sr = run("FP8 x FP8 -> E6M5 accumulate, eager SR r=13",
+                           ComputeContext::emulated(sr));
+
+  std::printf("\n== final test accuracy ==\n");
+  std::printf("  FP32             : %5.2f%%\n", acc_fp32);
+  std::printf("  E6M5 RN          : %5.2f%%\n", acc_rn);
+  std::printf("  E6M5 eager SR    : %5.2f%%\n", acc_sr);
+  std::printf("\nThe SR configuration should sit near FP32; plain RN at 12"
+              " bits\ntypically trails it (Table III's story at example"
+              " scale).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "accel/mapping.hpp"
+
+#include <cassert>
+
+namespace srmac::accel {
+
+std::vector<LayerShape> resnet20_layer_shapes(int image_hw) {
+  // Three stages of six 3x3 convolutions (16, 32, 64 channels), strided at
+  // the stage boundaries, plus the stem and the final FC; im2col lowering:
+  // M = H*W, N = C_out, K = C_in * 9.
+  std::vector<LayerShape> v;
+  const int hw1 = image_hw, hw2 = image_hw / 2, hw3 = image_hw / 4;
+  v.push_back({"stem3x3", hw1 * hw1, 16, 3 * 9});
+  for (int i = 0; i < 6; ++i)
+    v.push_back({"stage1_conv" + std::to_string(i), hw1 * hw1, 16, 16 * 9});
+  v.push_back({"stage2_conv0", hw2 * hw2, 32, 16 * 9});
+  for (int i = 1; i < 6; ++i)
+    v.push_back({"stage2_conv" + std::to_string(i), hw2 * hw2, 32, 32 * 9});
+  v.push_back({"stage3_conv0", hw3 * hw3, 64, 32 * 9});
+  for (int i = 1; i < 6; ++i)
+    v.push_back({"stage3_conv" + std::to_string(i), hw3 * hw3, 64, 64 * 9});
+  v.push_back({"fc", 1, 10, 64});
+  return v;
+}
+
+MappingReport map_layer(const LayerShape& shape, const MacConfig& cfg,
+                        const hw::SystolicCostOptions& opt,
+                        Dataflow dataflow, const BufferEnergyModel& be) {
+  MappingReport rep;
+  rep.shape = shape;
+  const int R = opt.rows, C = opt.cols;
+  const int M = shape.M, N = shape.N, K = shape.K;
+  rep.macs = static_cast<uint64_t>(M) * N * K;
+
+  if (dataflow == Dataflow::kOutputStationary) {
+    const uint64_t tiles_m = (M + R - 1) / R;
+    const uint64_t tiles_n = (N + C - 1) / C;
+    rep.cycles = tiles_m * tiles_n *
+                     (static_cast<uint64_t>(K) + R + C - 2) +
+                 R + C;
+    // Each tile streams its A rows and B columns once.
+    rep.a_words = tiles_n * static_cast<uint64_t>(M) * K;
+    rep.b_words = tiles_m * static_cast<uint64_t>(N) * K;
+    rep.c_words = static_cast<uint64_t>(M) * N;
+  } else {
+    const uint64_t tiles_k = (K + R - 1) / R;
+    const uint64_t tiles_n = (N + C - 1) / C;
+    rep.cycles = tiles_k * tiles_n *
+                 (static_cast<uint64_t>(R) + M + R + C - 2);
+    rep.a_words = tiles_n * static_cast<uint64_t>(M) * K;
+    rep.b_words = static_cast<uint64_t>(N) * K;
+    // Partials written per (k, n) tile and re-read on the next k tile.
+    rep.c_words = tiles_k * static_cast<uint64_t>(M) * N +
+                  (tiles_k - 1) * static_cast<uint64_t>(M) * N;
+  }
+  rep.utilization = static_cast<double>(rep.macs) /
+                    (static_cast<double>(rep.cycles) * R * C);
+
+  const hw::SystolicReport cost = hw::systolic_cost(cfg, opt);
+  rep.time_us = static_cast<double>(rep.cycles) * cost.clock_ns * 1e-3;
+  // nJ/kMAC -> pJ/MAC; buffer traffic on top.
+  const double mac_pj = cost.energy_nj_per_kmac;
+  rep.energy_uj = (static_cast<double>(rep.macs) * mac_pj +
+                   static_cast<double>(rep.a_words) * be.pj_per_a_word +
+                   static_cast<double>(rep.b_words) * be.pj_per_b_word +
+                   static_cast<double>(rep.c_words) * be.pj_per_c_word) *
+                  1e-6;
+  return rep;
+}
+
+std::vector<MappingReport> map_network(const std::vector<LayerShape>& layers,
+                                       const MacConfig& cfg,
+                                       const hw::SystolicCostOptions& opt,
+                                       Dataflow dataflow) {
+  std::vector<MappingReport> reports;
+  reports.reserve(layers.size() + 1);
+  MappingReport total;
+  total.shape.name = "TOTAL";
+  for (const LayerShape& l : layers) {
+    reports.push_back(map_layer(l, cfg, opt, dataflow));
+    const MappingReport& r = reports.back();
+    total.cycles += r.cycles;
+    total.macs += r.macs;
+    total.a_words += r.a_words;
+    total.b_words += r.b_words;
+    total.c_words += r.c_words;
+    total.time_us += r.time_us;
+    total.energy_uj += r.energy_uj;
+  }
+  total.utilization =
+      static_cast<double>(total.macs) /
+      (static_cast<double>(total.cycles) * opt.rows * opt.cols);
+  reports.push_back(total);
+  return reports;
+}
+
+}  // namespace srmac::accel

@@ -1,0 +1,31 @@
+#include "data/augment.hpp"
+
+#include <vector>
+
+namespace srmac {
+
+void augment_batch(Batch& batch, Xoshiro256& rng, int pad) {
+  Tensor& x = batch.images;
+  const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  std::vector<float> tmp(static_cast<size_t>(C) * H * W);
+  for (int n = 0; n < N; ++n) {
+    const bool flip = rng.below(2) == 1;
+    const int dy = static_cast<int>(rng.below(2 * pad + 1)) - pad;
+    const int dx = static_cast<int>(rng.below(2 * pad + 1)) - pad;
+    for (int c = 0; c < C; ++c)
+      for (int y = 0; y < H; ++y)
+        for (int w = 0; w < W; ++w) {
+          const int sx = flip ? W - 1 - w : w;
+          const int iy = y + dy, ix = sx + dx;
+          tmp[(static_cast<size_t>(c) * H + y) * W + w] =
+              (iy >= 0 && iy < H && ix >= 0 && ix < W) ? x.at(n, c, iy, ix)
+                                                       : 0.0f;
+        }
+    for (int c = 0; c < C; ++c)
+      for (int y = 0; y < H; ++y)
+        for (int w = 0; w < W; ++w)
+          x.at(n, c, y, w) = tmp[(static_cast<size_t>(c) * H + y) * W + w];
+  }
+}
+
+}  // namespace srmac

@@ -1,0 +1,12 @@
+#pragma once
+
+#include "data/dataset.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+
+/// Standard CIFAR-style training augmentation: random horizontal flip and
+/// random crop with 4-pixel zero padding, applied in place to a batch.
+void augment_batch(Batch& batch, Xoshiro256& rng, int pad = 4);
+
+}  // namespace srmac

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace srmac {
+
+/// A minibatch: images (N, C, H, W) and integer labels.
+struct Batch {
+  Tensor images;
+  std::vector<int> labels;
+};
+
+/// Deterministic map-style dataset interface. Implementations generate or
+/// load sample `idx` into `img` (C*H*W floats, roughly zero-mean/unit-std)
+/// and return its label.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual int size() const = 0;
+  virtual int channels() const = 0;
+  virtual int height() const = 0;
+  virtual int width() const = 0;
+  virtual int classes() const = 0;
+  virtual int get(int idx, float* img) const = 0;
+
+  /// Assembles a batch from explicit indices.
+  Batch make_batch(const std::vector<int>& indices) const;
+};
+
+}  // namespace srmac

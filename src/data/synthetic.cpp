@@ -1,0 +1,73 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+
+Batch Dataset::make_batch(const std::vector<int>& indices) const {
+  const int N = static_cast<int>(indices.size());
+  Batch b;
+  b.images = Tensor({N, channels(), height(), width()});
+  b.labels.resize(N);
+  const int64_t stride = static_cast<int64_t>(channels()) * height() * width();
+  for (int i = 0; i < N; ++i)
+    b.labels[i] = get(indices[i], b.images.data() + i * stride);
+  return b;
+}
+
+SyntheticImages::SyntheticImages(const Options& opt) : opt_(opt) {}
+
+SyntheticImages SyntheticImages::test_split(int samples) const {
+  Options o = opt_;
+  o.train_samples = samples;
+  o.seed = opt_.seed ^ 0xDEADBEEFCAFEull;
+  SyntheticImages t(o);
+  t.split_salt_ = 0x7E57;
+  return t;
+}
+
+int SyntheticImages::get(int idx, float* img) const {
+  const int S = opt_.size;
+  const int label = idx % opt_.classes;
+  Xoshiro256 rng(opt_.seed * 0x9E3779B97F4A7C15ull + idx * 2654435761ull +
+                 split_salt_);
+
+  // Class-dependent structure.
+  const double angle =
+      M_PI * label / opt_.classes + (opt_.hard ? 0.07 : 0.0) * rng.normal();
+  const double freq = (opt_.hard ? 0.55 : 0.45) +
+                      0.12 * (label % (opt_.hard ? 3 : 5));
+  const double phase = rng.uniform(0, 2 * M_PI);
+  const double cx = S * (0.3 + 0.4 * ((label * 7) % opt_.classes) /
+                                   static_cast<double>(opt_.classes)) +
+                    opt_.jitter * rng.normal();
+  const double cy = S * (0.3 + 0.4 * ((label * 3) % opt_.classes) /
+                                   static_cast<double>(opt_.classes)) +
+                    opt_.jitter * rng.normal();
+  const double sigma = S * (opt_.hard ? 0.10 : 0.14);
+  // Class color (three phases of a color wheel).
+  double col[3];
+  for (int c = 0; c < 3; ++c)
+    col[c] = std::cos(2 * M_PI * (label / static_cast<double>(opt_.classes)) +
+                      c * 2.0944);
+
+  const double ca = std::cos(angle), sa = std::sin(angle);
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < S; ++y) {
+      for (int x = 0; x < S; ++x) {
+        const double u = ca * x + sa * y;
+        const double grating = std::sin(freq * u + phase);
+        const double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+        const double blob = std::exp(-d2 / (2 * sigma * sigma));
+        double v = 0.6 * grating * (c == (label % 3) ? 1.0 : 0.4) +
+                   1.2 * blob * col[c] + opt_.noise * rng.normal();
+        img[(static_cast<size_t>(c) * S + y) * S + x] = static_cast<float>(v);
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace srmac

@@ -1,0 +1,11 @@
+#include "fpemu/format.hpp"
+
+namespace srmac {
+
+std::string FpFormat::name() const {
+  std::string s = "E" + std::to_string(exp_bits) + "M" + std::to_string(man_bits);
+  if (!subnormals) s += "-nosub";
+  return s;
+}
+
+}  // namespace srmac

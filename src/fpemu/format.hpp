@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace srmac {
+
+/// Describes a parametric IEEE-754-like binary floating-point format with
+/// `exp_bits` exponent bits and `man_bits` explicitly stored mantissa bits.
+///
+/// Encoding follows IEEE 754 conventions: biased exponent 0 encodes zero and
+/// subnormals, the all-ones biased exponent encodes infinity (mantissa 0) and
+/// NaN (mantissa != 0). When `subnormals` is false, encodings in the
+/// subnormal range are *treated as zero* on read (the paper's footnote 3),
+/// and results that would round into the subnormal range flush to zero.
+struct FpFormat {
+  int exp_bits = 8;
+  int man_bits = 23;
+  bool subnormals = true;
+
+  /// Precision p: number of significand bits including the implicit bit.
+  constexpr int precision() const { return man_bits + 1; }
+  constexpr int bias() const { return (1 << (exp_bits - 1)) - 1; }
+  /// Largest unbiased exponent of a normal value.
+  constexpr int emax() const { return bias(); }
+  /// Smallest unbiased exponent of a normal value.
+  constexpr int emin() const { return 1 - emax(); }
+  /// Total encoding width in bits (sign + exponent + mantissa).
+  constexpr int width() const { return 1 + exp_bits + man_bits; }
+
+  constexpr uint32_t man_mask() const { return (1u << man_bits) - 1; }
+  constexpr uint32_t exp_field_max() const { return (1u << exp_bits) - 1; }
+  constexpr uint32_t sign_mask() const { return 1u << (exp_bits + man_bits); }
+
+  /// Bit pattern of +infinity.
+  constexpr uint32_t inf_bits() const { return exp_field_max() << man_bits; }
+  /// Bit pattern of a quiet NaN.
+  constexpr uint32_t nan_bits() const {
+    return inf_bits() | (1u << (man_bits > 0 ? man_bits - 1 : 0));
+  }
+  /// Bit pattern of the largest finite value.
+  constexpr uint32_t max_finite_bits() const {
+    return ((exp_field_max() - 1) << man_bits) | man_mask();
+  }
+
+  /// A copy of this format with subnormal support toggled.
+  constexpr FpFormat with_subnormals(bool on) const {
+    return FpFormat{exp_bits, man_bits, on};
+  }
+
+  friend constexpr bool operator==(const FpFormat& a, const FpFormat& b) {
+    return a.exp_bits == b.exp_bits && a.man_bits == b.man_bits &&
+           a.subnormals == b.subnormals;
+  }
+
+  std::string name() const;  ///< e.g. "E6M5"
+};
+
+/// The formats used throughout the paper.
+inline constexpr FpFormat kFp32{8, 23};    ///< IEEE binary32 (E8M23)
+inline constexpr FpFormat kFp16{5, 10};    ///< IEEE binary16 (E5M10)
+inline constexpr FpFormat kBf16{8, 7};     ///< bfloat16     (E8M7)
+inline constexpr FpFormat kFp12{6, 5};     ///< the paper's 12-bit accumulator format (E6M5)
+inline constexpr FpFormat kFp8E5M2{5, 2};  ///< FP8 multiplier input format
+inline constexpr FpFormat kFp8E4M3{4, 3};  ///< alternative FP8 format
+
+/// Format of the *exact* product of two `in`-format values, as produced by
+/// the paper's exact multiplier: p_a = 2*p_m significand bits and
+/// E_a = E_m + 1 exponent bits (Sec. III-a). E5M2 inputs give E6M5 products.
+constexpr FpFormat product_format(const FpFormat& in) {
+  return FpFormat{in.exp_bits + 1, 2 * in.man_bits + 1, in.subnormals};
+}
+
+}  // namespace srmac

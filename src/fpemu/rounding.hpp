@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace srmac {
+
+/// Rounding modes supported by the golden SoftFloat engine.
+///
+/// kSRQuant is the hardware-relevant discretization of stochastic rounding
+/// (paper Eq. (2) with an r-bit uniform draw): round up iff the top r
+/// discarded fraction bits f_r plus an r-bit uniform R carry out, i.e.
+/// P(up) = f_r / 2^r. kSRExact uses a 64-bit draw, which is exact for every
+/// fraction our formats can produce.
+enum class RoundingMode : uint8_t {
+  kNearestEven,  ///< IEEE RN, ties to even
+  kTowardZero,
+  kTowardPosInf,
+  kTowardNegInf,
+  kSRExact,   ///< stochastic rounding, 64-bit probability resolution
+  kSRQuant,   ///< stochastic rounding, r-bit probability resolution
+};
+
+inline bool is_stochastic(RoundingMode m) {
+  return m == RoundingMode::kSRExact || m == RoundingMode::kSRQuant;
+}
+
+}  // namespace srmac

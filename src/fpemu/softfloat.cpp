@@ -1,0 +1,338 @@
+#include "fpemu/softfloat.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace srmac {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+inline int clz128(u128 x) {
+  const uint64_t hi = static_cast<uint64_t>(x >> 64);
+  if (hi != 0) return __builtin_clzll(hi);
+  const uint64_t lo = static_cast<uint64_t>(x);
+  return lo == 0 ? 128 : 64 + __builtin_clzll(lo);
+}
+
+inline uint64_t low_ones(int n) {
+  if (n <= 0) return 0;
+  if (n >= 64) return ~0ull;
+  return (1ull << n) - 1;
+}
+
+/// Saturation / overflow result per rounding mode.
+uint32_t overflow_bits(const FpFormat& f, bool sign, RoundingMode mode) {
+  const uint32_t s = sign ? f.sign_mask() : 0u;
+  switch (mode) {
+    case RoundingMode::kTowardZero:
+      return s | f.max_finite_bits();
+    case RoundingMode::kTowardPosInf:
+      return sign ? (s | f.max_finite_bits()) : f.inf_bits();
+    case RoundingMode::kTowardNegInf:
+      return sign ? (s | f.inf_bits()) : f.max_finite_bits();
+    default:  // RN and both SR modes overflow to infinity
+      return s | f.inf_bits();
+  }
+}
+
+}  // namespace
+
+ExactVal SoftFloat::to_exact(const Unpacked& u) {
+  ExactVal v;
+  v.sign = u.sign;
+  if (!u.is_finite_nonzero() || u.sig == 0) return v;  // zero (specials handled by callers)
+  v.exp = u.exp;
+  v.sig = u.sig << (64 - u.sig_bits);
+  return v;
+}
+
+ExactVal SoftFloat::exact_add(const ExactVal& a, const ExactVal& b) {
+  if (a.sig == 0) return b;
+  if (b.sig == 0) return a;
+
+  // Order by magnitude so hi >= lo.
+  const bool swap = (b.exp > a.exp) || (b.exp == a.exp && b.sig > a.sig);
+  const ExactVal& hi = swap ? b : a;
+  const ExactVal& lo = swap ? a : b;
+  const int d = hi.exp - lo.exp;
+
+  // hi aligned with its MSB at bit 125 of a 128-bit window (2 headroom bits).
+  const u128 H = static_cast<u128>(hi.sig) << 62;
+  u128 L = 0;
+  bool dropped = lo.sticky;
+  if (d >= 126) {
+    dropped |= (lo.sig != 0);
+  } else {
+    L = (static_cast<u128>(lo.sig) << 62) >> d;
+    if (d > 62) dropped |= (lo.sig & low_ones(d - 62)) != 0;
+  }
+
+  ExactVal r;
+  bool sticky = hi.sticky;
+  u128 S;
+  if (hi.sign == lo.sign) {
+    S = H + L;
+    sticky |= dropped;
+    r.sign = hi.sign;
+  } else {
+    S = H - L;
+    if (dropped) {
+      // The true subtrahend is slightly larger than L; borrow one unit at the
+      // window LSB and mark the remainder sticky.
+      S -= 1;
+      sticky = true;
+    }
+    r.sign = hi.sign;
+    if (S == 0) return ExactVal{};  // exact cancellation -> +0
+  }
+
+  const int m = 127 - clz128(S);  // MSB position
+  r.exp = hi.exp + (m - 125);
+  if (m >= 63) {
+    r.sig = static_cast<uint64_t>(S >> (m - 63));
+    if (m > 63) sticky |= (S & ((static_cast<u128>(1) << (m - 63)) - 1)) != 0;
+  } else {
+    r.sig = static_cast<uint64_t>(S) << (63 - m);
+  }
+  r.sticky = sticky;
+  return r;
+}
+
+ExactVal SoftFloat::exact_mul(const ExactVal& a, const ExactVal& b) {
+  ExactVal r;
+  r.sign = a.sign != b.sign;
+  if (a.sig == 0 || b.sig == 0) return ExactVal{false, 0, 0, false};
+  const u128 p = static_cast<u128>(a.sig) * b.sig;  // bit 126 or 127 set
+  bool sticky = a.sticky || b.sticky;
+  if (p >> 127) {
+    r.sig = static_cast<uint64_t>(p >> 64);
+    sticky |= static_cast<uint64_t>(p) != 0;
+    r.exp = a.exp + b.exp + 1;
+  } else {
+    r.sig = static_cast<uint64_t>(p >> 63);
+    sticky |= (static_cast<uint64_t>(p) & low_ones(63)) != 0;
+    r.exp = a.exp + b.exp;
+  }
+  r.sticky = sticky;
+  return r;
+}
+
+uint32_t SoftFloat::round_pack(const FpFormat& fmt, const ExactVal& v,
+                               RoundingMode mode, int r, RandomSource* rng) {
+  if (v.sig == 0) return encode_zero(fmt, v.sign);
+  assert(v.sig >> 63);  // normalized
+
+  const int p = fmt.precision();
+  int exp = v.exp;
+  bool sticky = v.sticky;
+
+  int cut;  // number of significand bits kept
+  bool sub_path = false;
+  if (exp < fmt.emin()) {
+    if (!fmt.subnormals) return encode_zero(fmt, v.sign);
+    sub_path = true;
+    cut = p - (fmt.emin() - exp);
+  } else {
+    cut = p;
+  }
+
+  uint64_t kept, frac;
+  if (cut >= 1) {
+    kept = v.sig >> (64 - cut);
+    frac = v.sig << cut;  // cut <= 24 in all our formats
+  } else {
+    kept = 0;
+    const int s = -cut;
+    if (s >= 64) {
+      frac = 0;
+      sticky = true;
+    } else {
+      frac = v.sig >> s;
+      sticky |= (v.sig & low_ones(s)) != 0;
+    }
+  }
+
+  bool up = false;
+  switch (mode) {
+    case RoundingMode::kNearestEven: {
+      const bool g = (frac >> 63) != 0;
+      const bool rest = (frac << 1) != 0 || sticky;
+      up = g && (rest || (kept & 1));
+      break;
+    }
+    case RoundingMode::kTowardZero:
+      break;
+    case RoundingMode::kTowardPosInf:
+      up = !v.sign && (frac != 0 || sticky);
+      break;
+    case RoundingMode::kTowardNegInf:
+      up = v.sign && (frac != 0 || sticky);
+      break;
+    case RoundingMode::kSRExact: {
+      assert(rng != nullptr);
+      up = rng->draw(64) < frac;
+      break;
+    }
+    case RoundingMode::kSRQuant: {
+      assert(rng != nullptr && r >= 1 && r <= 63);
+      const uint64_t fr = frac >> (64 - r);
+      const uint64_t R = rng->draw(r);
+      up = (fr + R) >= (1ull << r);  // the add-random-and-carry scheme
+      break;
+    }
+  }
+
+  uint64_t res = kept + (up ? 1u : 0u);
+  if (sub_path) {
+    if (res == 0) return encode_zero(fmt, v.sign);
+    if (res >> fmt.man_bits)  // rounded up into the smallest normal
+      return encode_normal(fmt, v.sign, fmt.emin(), res);
+    return encode_subnormal(fmt, v.sign, static_cast<uint32_t>(res));
+  }
+  if (res >> p) {  // rounded up to the next binade
+    res >>= 1;
+    exp += 1;
+  }
+  if (exp > fmt.emax()) return overflow_bits(fmt, v.sign, mode);
+  return encode_normal(fmt, v.sign, exp, res);
+}
+
+uint32_t SoftFloat::add(const FpFormat& fmt, uint32_t a, uint32_t b,
+                        RoundingMode mode, int r, RandomSource* rng) {
+  const Unpacked ua = decode(fmt, a), ub = decode(fmt, b);
+  if (ua.cls == FpClass::kNaN || ub.cls == FpClass::kNaN) return fmt.nan_bits();
+  if (ua.cls == FpClass::kInf && ub.cls == FpClass::kInf)
+    return ua.sign == ub.sign ? encode_inf(fmt, ua.sign) : fmt.nan_bits();
+  if (ua.cls == FpClass::kInf) return encode_inf(fmt, ua.sign);
+  if (ub.cls == FpClass::kInf) return encode_inf(fmt, ub.sign);
+  if (ua.cls == FpClass::kZero && ub.cls == FpClass::kZero)
+    return encode_zero(fmt, ua.sign && ub.sign);
+  return round_pack(fmt, exact_add(to_exact(ua), to_exact(ub)), mode, r, rng);
+}
+
+uint32_t SoftFloat::sub(const FpFormat& fmt, uint32_t a, uint32_t b,
+                        RoundingMode mode, int r, RandomSource* rng) {
+  return add(fmt, a, b ^ fmt.sign_mask(), mode, r, rng);
+}
+
+uint32_t SoftFloat::mul(const FpFormat& out_fmt, const FpFormat& in_fmt,
+                        uint32_t a, uint32_t b, RoundingMode mode, int r,
+                        RandomSource* rng) {
+  const Unpacked ua = decode(in_fmt, a), ub = decode(in_fmt, b);
+  const bool sign = ua.sign != ub.sign;
+  if (ua.cls == FpClass::kNaN || ub.cls == FpClass::kNaN) return out_fmt.nan_bits();
+  if (ua.cls == FpClass::kInf || ub.cls == FpClass::kInf) {
+    if (ua.cls == FpClass::kZero || ub.cls == FpClass::kZero)
+      return out_fmt.nan_bits();
+    return encode_inf(out_fmt, sign);
+  }
+  if (ua.cls == FpClass::kZero || ub.cls == FpClass::kZero)
+    return encode_zero(out_fmt, sign);
+  return round_pack(out_fmt, exact_mul(to_exact(ua), to_exact(ub)), mode, r, rng);
+}
+
+uint32_t SoftFloat::mac(const FpFormat& acc_fmt, uint32_t acc,
+                        const FpFormat& in_fmt, uint32_t a, uint32_t b,
+                        RoundingMode mode, int r, RandomSource* rng) {
+  const Unpacked ua = decode(in_fmt, a), ub = decode(in_fmt, b);
+  const Unpacked uc = decode(acc_fmt, acc);
+  if (ua.cls == FpClass::kNaN || ub.cls == FpClass::kNaN ||
+      uc.cls == FpClass::kNaN)
+    return acc_fmt.nan_bits();
+  const bool psign = ua.sign != ub.sign;
+  // Product specials.
+  if (ua.cls == FpClass::kInf || ub.cls == FpClass::kInf) {
+    if (ua.cls == FpClass::kZero || ub.cls == FpClass::kZero)
+      return acc_fmt.nan_bits();
+    if (uc.cls == FpClass::kInf && uc.sign != psign) return acc_fmt.nan_bits();
+    return encode_inf(acc_fmt, psign);
+  }
+  if (uc.cls == FpClass::kInf) return encode_inf(acc_fmt, uc.sign);
+  const ExactVal prod = exact_mul(to_exact(ua), to_exact(ub));
+  return round_pack(acc_fmt, exact_add(to_exact(uc), prod), mode, r, rng);
+}
+
+uint32_t SoftFloat::convert(const FpFormat& from, uint32_t bits,
+                            const FpFormat& to, RoundingMode mode, int r,
+                            RandomSource* rng) {
+  const Unpacked u = decode(from, bits);
+  switch (u.cls) {
+    case FpClass::kNaN:
+      return to.nan_bits();
+    case FpClass::kInf:
+      return encode_inf(to, u.sign);
+    case FpClass::kZero:
+      return encode_zero(to, u.sign);
+    default:
+      return round_pack(to, to_exact(u), mode, r, rng);
+  }
+}
+
+uint32_t SoftFloat::from_double(const FpFormat& fmt, double x,
+                                RoundingMode mode, int r, RandomSource* rng) {
+  if (std::isnan(x)) return fmt.nan_bits();
+  const bool sign = std::signbit(x);
+  if (std::isinf(x)) return encode_inf(fmt, sign);
+  if (x == 0.0) return encode_zero(fmt, sign);
+  int e;
+  const double fr = std::frexp(std::fabs(x), &e);  // fr in [0.5, 1)
+  ExactVal v;
+  v.sign = sign;
+  v.sig = static_cast<uint64_t>(std::ldexp(fr, 53)) << 11;  // bit 63 set
+  v.exp = e - 1;
+  return round_pack(fmt, v, mode, r, rng);
+}
+
+double SoftFloat::to_double(const FpFormat& fmt, uint32_t bits) {
+  const Unpacked u = decode(fmt, bits);
+  double v;
+  switch (u.cls) {
+    case FpClass::kNaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case FpClass::kInf:
+      v = std::numeric_limits<double>::infinity();
+      break;
+    case FpClass::kZero:
+      v = 0.0;
+      break;
+    default:
+      v = std::ldexp(static_cast<double>(u.sig), u.exp - (u.sig_bits - 1));
+  }
+  return u.sign ? -v : v;
+}
+
+double SoftFloat::sr_up_probability(const FpFormat& fmt, const ExactVal& v) {
+  if (v.sig == 0) return 0.0;
+  int cut;
+  if (v.exp < fmt.emin()) {
+    if (!fmt.subnormals) return 0.0;  // flushed, never rounds up
+    cut = fmt.precision() - (fmt.emin() - v.exp);
+  } else {
+    if (v.exp > fmt.emax()) return 0.0;
+    cut = fmt.precision();
+  }
+  uint64_t frac;
+  if (cut >= 1) {
+    frac = v.sig << cut;
+  } else {
+    const int s = -cut;
+    frac = s >= 64 ? 0 : (v.sig >> s);
+  }
+  return static_cast<double>(frac) * 0x1.0p-64;
+}
+
+void SoftFloat::sr_candidates(const FpFormat& fmt, const ExactVal& v,
+                              uint32_t out[2]) {
+  // Round toward zero and away from zero: the two SR candidates.
+  const RoundingMode down =
+      v.sign ? RoundingMode::kTowardPosInf : RoundingMode::kTowardZero;
+  const RoundingMode up =
+      v.sign ? RoundingMode::kTowardNegInf : RoundingMode::kTowardPosInf;
+  out[0] = round_pack(fmt, v, down, 0, nullptr);
+  out[1] = round_pack(fmt, v, up, 0, nullptr);
+}
+
+}  // namespace srmac

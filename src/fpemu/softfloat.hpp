@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fpemu/format.hpp"
+#include "fpemu/rounding.hpp"
+#include "fpemu/value.hpp"
+#include "rng/random_source.hpp"
+
+namespace srmac {
+
+/// An exact real value carried between operation and rounding.
+///
+/// value = (-1)^sign * (sig / 2^63) * 2^exp, with sig's MSB (bit 63) set for
+/// nonzero values; `sticky` records that nonzero bits exist below bit 0 of
+/// `sig` (i.e. below 2^(exp-63)). For every format/operation pair in this
+/// library the window is wide enough that `sticky` only ever stands in for
+/// bits at least 2^-40 below the rounding point, so round-to-nearest and
+/// r<=32-bit stochastic rounding are exact.
+struct ExactVal {
+  bool sign = false;
+  int exp = 0;
+  uint64_t sig = 0;
+  bool sticky = false;
+
+  bool is_zero() const { return sig == 0 && !sticky; }
+};
+
+/// Golden-model floating-point engine on parametric formats.
+///
+/// All functions are pure (except for RandomSource draws). Bit patterns are
+/// held in the low `fmt.width()` bits of a uint32_t. This engine is the
+/// reference the RTL-level MAC models in src/mac are validated against.
+class SoftFloat {
+ public:
+  /// Exact-value plumbing (exposed for the MAC models and tests).
+  static ExactVal to_exact(const Unpacked& u);
+  static ExactVal exact_add(const ExactVal& a, const ExactVal& b);
+  static ExactVal exact_mul(const ExactVal& a, const ExactVal& b);
+
+  /// Rounds an exact value into `fmt` under `mode`. For kSRQuant, `r` random
+  /// bits are drawn from `rng`; for kSRExact 64 bits are drawn.
+  static uint32_t round_pack(const FpFormat& fmt, const ExactVal& v,
+                             RoundingMode mode, int r, RandomSource* rng);
+
+  /// a (+/-) b with both operands and the result in `fmt`.
+  static uint32_t add(const FpFormat& fmt, uint32_t a, uint32_t b,
+                      RoundingMode mode, int r = 0, RandomSource* rng = nullptr);
+  static uint32_t sub(const FpFormat& fmt, uint32_t a, uint32_t b,
+                      RoundingMode mode, int r = 0, RandomSource* rng = nullptr);
+
+  /// a * b with operands in `in_fmt`, result rounded into `out_fmt`.
+  static uint32_t mul(const FpFormat& out_fmt, const FpFormat& in_fmt,
+                      uint32_t a, uint32_t b, RoundingMode mode, int r = 0,
+                      RandomSource* rng = nullptr);
+
+  /// Fused acc + a*b: the product is exact (never rounded), the single
+  /// rounding happens into `acc_fmt`. This is the golden MAC.
+  static uint32_t mac(const FpFormat& acc_fmt, uint32_t acc,
+                      const FpFormat& in_fmt, uint32_t a, uint32_t b,
+                      RoundingMode mode, int r = 0, RandomSource* rng = nullptr);
+
+  /// Format conversion with rounding.
+  static uint32_t convert(const FpFormat& from, uint32_t bits,
+                          const FpFormat& to, RoundingMode mode, int r = 0,
+                          RandomSource* rng = nullptr);
+
+  static uint32_t from_double(const FpFormat& fmt, double x,
+                              RoundingMode mode = RoundingMode::kNearestEven,
+                              int r = 0, RandomSource* rng = nullptr);
+  static double to_double(const FpFormat& fmt, uint32_t bits);
+
+  /// Exact rational round-up probability of `v` at precision/range of `fmt`
+  /// (the epsilon_x of paper Eq. (1)); returns 0 when v is representable.
+  /// Used by the Sec. III-B probability-validation harness.
+  static double sr_up_probability(const FpFormat& fmt, const ExactVal& v);
+
+  /// The two rounding candidates floor/ceil of |v| in fmt (as bit patterns of
+  /// the magnitude, sign applied). candidates[0] = toward zero.
+  static void sr_candidates(const FpFormat& fmt, const ExactVal& v,
+                            uint32_t out[2]);
+};
+
+}  // namespace srmac

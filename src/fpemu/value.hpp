@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fpemu/format.hpp"
+
+namespace srmac {
+
+/// Classification of a decoded floating-point value.
+enum class FpClass : uint8_t { kZero, kSubnormal, kNormal, kInf, kNaN };
+
+/// A decoded (unpacked) floating-point value.
+///
+/// For finite nonzero values the numeric value is
+///     (-1)^sign * sig * 2^(exp - (sig_bits - 1))
+/// i.e. `sig` is an integer significand whose MSB (bit `sig_bits-1`) carries
+/// weight 2^exp. Decoding always *normalizes*: `sig` has its MSB set even if
+/// the encoding was subnormal (the exponent absorbs the shift), which models
+/// the input-normalization hardware of a subnormal-supporting datapath.
+struct Unpacked {
+  bool sign = false;
+  int exp = 0;        ///< unbiased exponent of the significand MSB
+  uint64_t sig = 0;   ///< normalized significand, MSB at bit (sig_bits-1)
+  int sig_bits = 0;   ///< number of significand bits (the format's precision)
+  FpClass cls = FpClass::kZero;
+
+  bool is_finite_nonzero() const {
+    return cls == FpClass::kNormal || cls == FpClass::kSubnormal;
+  }
+};
+
+/// Decodes `bits` in format `f`. If `f.subnormals` is false, subnormal
+/// encodings decode as (signed) zero, per the paper's footnote 3.
+inline Unpacked decode(const FpFormat& f, uint32_t bits) {
+  Unpacked u;
+  u.sign = (bits & f.sign_mask()) != 0;
+  const uint32_t e = (bits >> f.man_bits) & f.exp_field_max();
+  const uint32_t m = bits & f.man_mask();
+  u.sig_bits = f.precision();
+  if (e == f.exp_field_max()) {
+    u.cls = (m == 0) ? FpClass::kInf : FpClass::kNaN;
+    return u;
+  }
+  if (e == 0) {
+    if (m == 0 || !f.subnormals) {
+      u.cls = FpClass::kZero;
+      return u;
+    }
+    // Subnormal: value = m * 2^(emin - man_bits). Normalize.
+    u.cls = FpClass::kSubnormal;
+    int msb = 31 - __builtin_clz(m);
+    u.sig = static_cast<uint64_t>(m) << (f.man_bits - msb);
+    u.exp = f.emin() - (f.man_bits - msb);
+    return u;
+  }
+  u.cls = FpClass::kNormal;
+  u.exp = static_cast<int>(e) - f.bias();
+  u.sig = (1ull << f.man_bits) | m;
+  return u;
+}
+
+/// Encodes a *normal-range* value; exp must satisfy emin <= exp <= emax and
+/// sig must be a normalized p-bit significand. (Rounding and range handling
+/// live in SoftFloat / the MAC models; this is the raw field packer.)
+inline uint32_t encode_normal(const FpFormat& f, bool sign, int exp, uint64_t sig) {
+  const uint32_t e = static_cast<uint32_t>(exp + f.bias());
+  const uint32_t m = static_cast<uint32_t>(sig) & f.man_mask();
+  return (sign ? f.sign_mask() : 0u) | (e << f.man_bits) | m;
+}
+
+/// Encodes a subnormal from its mantissa field (integer multiple of the
+/// subnormal ULP 2^(emin - man_bits)); `man` may be zero (gives signed zero).
+inline uint32_t encode_subnormal(const FpFormat& f, bool sign, uint32_t man) {
+  return (sign ? f.sign_mask() : 0u) | (man & f.man_mask());
+}
+
+inline uint32_t encode_zero(const FpFormat& f, bool sign) {
+  return sign ? f.sign_mask() : 0u;
+}
+
+inline uint32_t encode_inf(const FpFormat& f, bool sign) {
+  return (sign ? f.sign_mask() : 0u) | f.inf_bits();
+}
+
+inline bool is_nan(const FpFormat& f, uint32_t bits) {
+  return ((bits >> f.man_bits) & f.exp_field_max()) == f.exp_field_max() &&
+         (bits & f.man_mask()) != 0;
+}
+
+inline bool is_inf(const FpFormat& f, uint32_t bits) {
+  return ((bits >> f.man_bits) & f.exp_field_max()) == f.exp_field_max() &&
+         (bits & f.man_mask()) == 0;
+}
+
+inline bool is_zero(const FpFormat& f, uint32_t bits) {
+  // Respects the flush-to-zero reading of subnormals when disabled.
+  return decode(f, bits).cls == FpClass::kZero;
+}
+
+}  // namespace srmac

@@ -1,0 +1,247 @@
+#include "hwcost/adder_designs.hpp"
+
+#include <cmath>
+
+#include "hwcost/components.hpp"
+
+namespace srmac::hw {
+
+namespace {
+
+struct Builder {
+  const AsicTech& t;
+  AsicReport rep;
+  Cost total;
+
+  void serial(const std::string& label, const Cost& c) {
+    rep.area_breakdown_ge[label] += c.area_ge;
+    total = total.then(c);
+  }
+  void parallel(const std::string& label, const Cost& c) {
+    rep.area_breakdown_ge[label] += c.area_ge;
+    total = total.alongside(c);
+  }
+  void finish(const std::string& name) {
+    rep.name = name;
+    rep.area_um2 = total.area_ge * t.um2_per_ge;
+    rep.delay_ns = total.delay_ns;
+    rep.energy_nw_mhz = total.energy;
+  }
+};
+
+/// Subnormal support in a dual-path adder is mostly *reuse*: the alignment
+/// and normalization shifters already exist, so the add-on is implicit-bit
+/// gating, exponent zero-detection and the denormalization range clamp —
+/// a few percent of area and no extra path delay (matching the paper's tiny
+/// Sub ON/OFF deltas in Table I).
+Cost subnormal_support(const FpFormat& fmt, const AsicTech& t) {
+  const double ge = 2.5 * fmt.precision() + fmt.exp_bits + 8.0;
+  return {ge, 0.0, ge * t.um2_per_ge * t.energy_per_um2};
+}
+
+}  // namespace
+
+AsicReport asic_adder_cost(const FpFormat& fmt, AdderKind kind, int r,
+                           bool subnormals, const AsicTech& tech) {
+  const int p = fmt.precision();
+  const int E = fmt.exp_bits;
+  const int w = fmt.width();
+  Builder b{tech, {}, {}};
+
+  // I/O registers: two operand registers and the result register.
+  b.parallel("io_regs", ff_bank(3 * w, tech));
+
+  // (i) exponent compare and operand swap.
+  b.serial("exp_compare", exp_compare(E, tech));
+  b.serial("swap_mux", mux_word(2 * (p + E), tech));
+
+  if (subnormals) b.parallel("subnorm", subnormal_support(fmt, tech));
+
+  // (ii) alignment. RN keeps guard/round + a sticky OR of the rest; the SR
+  // designs keep an r-bit window and drop the sticky network entirely. The
+  // window columns beyond the RN baseline are sparsely populated (each only
+  // sees down-shifted operand bits), so synthesis prunes about half of the
+  // mux fabric there; charge them at 0.5x.
+  const int align_w = (kind == AdderKind::kRoundNearest) ? p + 3 : p + r;
+  b.serial("align_shifter", barrel_shifter(p + 3, align_w, tech));
+  if (align_w > p + 3) {
+    Cost extra = barrel_shifter(align_w - (p + 3), align_w, tech);
+    extra.area_ge *= 0.5;
+    extra.energy *= 0.5;
+    extra.delay_ns = 0.0;  // same mux levels, already charged
+    b.parallel("align_shifter_ext", extra);
+  }
+  if (kind == AdderKind::kRoundNearest) {
+    b.parallel("sticky_tree", or_tree(p + 2, tech));
+  }
+
+  // Effective-subtraction complement rail.
+  b.serial("op_complement", xor_word(p + 2, tech));
+
+  // Eager SR: the Sticky-Round stage adds the r-2 random LSBs to the
+  // shifted-out field. Its carry S'1 feeds the main adder's carry-in, i.e.
+  // it is consumed when the ripple chain starts: the stage overlaps the
+  // swap/complement rail and the low bits of the main addition, so it
+  // contributes area but no serial delay (this is the design's point).
+  if (kind == AdderKind::kEagerSR) {
+    Cost stage1 = ripple_adder(r - 2, tech);
+    stage1.delay_ns = 0.0;
+    b.parallel("sticky_round", stage1);
+  }
+
+  // (iii) the single shared significand adder (p+2 bits: operand + guard +
+  // carry growth).
+  b.serial("main_adder", ripple_adder(p + 2, tech));
+
+  // (iv) normalization. The lazy design must normalize the full p+r window
+  // before it can round (the paper's larger LZD + shifter); RN and eager
+  // normalize p+2 bits only.
+  const int norm_w = (kind == AdderKind::kLazySR) ? p + r : p + 2;
+  b.serial("lzd", lzd(norm_w, tech));
+  b.serial("norm_shifter", barrel_shifter(p + 2, norm_w, tech));
+  if (norm_w > p + 2) {  // lazy-only widening, sparse columns at 0.5x
+    Cost extra = barrel_shifter(norm_w - (p + 2), norm_w, tech);
+    extra.area_ge *= 0.5;
+    extra.energy *= 0.5;
+    extra.delay_ns = 0.0;
+    b.parallel("norm_shifter_ext", extra);
+  }
+
+  // (v) rounding.
+  switch (kind) {
+    case AdderKind::kRoundNearest:
+      b.serial("round_logic", Cost{8.0, tech.t_round,
+                                   8.0 * tech.um2_per_ge * tech.energy_per_um2});
+      b.serial("round_incr", incrementer(p, tech));
+      break;
+    case AdderKind::kLazySR: {
+      // Full r-bit random addition after normalization, on the critical
+      // path; its carry chain is short (fused with the increment).
+      Cost sr_add = ripple_adder(r, tech);
+      sr_add.delay_ns = r * tech.t_sr_carry_per_bit;
+      b.serial("round_sr_adder", sr_add);
+      b.serial("round_incr", incrementer(p, tech));
+      break;
+    }
+    case AdderKind::kEagerSR:
+      // Only the 2-bit Round Correction remains after normalization.
+      b.serial("round_correction",
+               Cost{2 * tech.ge_fa + 4.0, tech.t_correction,
+                    (2 * tech.ge_fa + 4.0) * tech.um2_per_ge *
+                        tech.energy_per_um2});
+      b.serial("round_incr", incrementer(p, tech));
+      break;
+  }
+
+  // Exponent adjust (normalization shift amount, range clamp).
+  b.parallel("exp_adjust", ripple_adder(E, tech));
+
+  // Exceptions and result packing.
+  b.serial("specials", special_logic(w, tech));
+
+  // Random source (SR designs only): free-running, off the critical path.
+  if (kind != AdderKind::kRoundNearest) {
+    b.parallel("lfsr", lfsr(r, tech));
+  }
+
+  b.finish(to_string(kind) + " " + fmt.name() +
+           (subnormals ? " subON" : " subOFF") +
+           (kind == AdderKind::kRoundNearest ? "" : " r=" + std::to_string(r)));
+  return b.rep;
+}
+
+AsicReport asic_mac_cost(const MacConfig& cfg, const AsicTech& tech) {
+  const MacConfig c = cfg.normalized();
+  const int pm = c.mul_fmt.precision();
+  const int Em = c.mul_fmt.exp_bits;
+  Builder b{tech, {}, {}};
+
+  // Exact multiplier: pm x pm partial-product array (no rounding logic) +
+  // exponent adder + input registers.
+  b.parallel("mul_io_regs", ff_bank(2 * c.mul_fmt.width(), tech));
+  b.serial("mul_pp_array", Cost{static_cast<double>(pm * pm) * tech.ge_fa,
+                                (2 * pm) * tech.t_fa_carry,
+                                pm * pm * tech.ge_fa * tech.um2_per_ge *
+                                    tech.energy_per_um2});
+  b.parallel("mul_exp_add", ripple_adder(Em + 1, tech));
+  if (c.subnormals) {
+    b.parallel("mul_subnorm", subnormal_support(c.mul_fmt, tech));
+  }
+
+  // Accumulator adder (the product feeds the adder combinationally, Fig. 2).
+  const AsicReport add = asic_adder_cost(c.acc_fmt, c.adder, c.random_bits,
+                                         c.subnormals, tech);
+  for (const auto& [k, v] : add.area_breakdown_ge)
+    b.rep.area_breakdown_ge["add." + k] += v;
+  b.total.area_ge += add.area_um2 / tech.um2_per_ge;
+  b.total.delay_ns += add.delay_ns;
+  b.total.energy += add.energy_nw_mhz;
+
+  b.finish(c.name());
+  return b.rep;
+}
+
+FpgaReport fpga_adder_cost(const FpFormat& fmt, AdderKind kind, int r,
+                           bool subnormals, const FpgaTech& tech) {
+  const int p = fmt.precision();
+  const int E = fmt.exp_bits;
+  const int w = fmt.width();
+  double luts = 0;
+  double delay = tech.t_io;
+
+  auto add_block = [&](double l, double levels) {
+    luts += l;
+    delay += levels * tech.t_lut;
+  };
+
+  // exponent compare + swap
+  add_block(E * tech.luts_per_add_bit, 1);
+  add_block(2 * (p + E) * tech.luts_per_mux_bit, 1);
+  if (subnormals) luts += p * 0.15 + 1;  // gating mostly folds into LUTs
+
+  const int align_w = (kind == AdderKind::kRoundNearest) ? p + 3 : p + r;
+  add_block(align_w * log2ceil(align_w + 1) * tech.luts_per_mux_bit,
+            std::ceil(log2ceil(align_w + 1) / 2.0));
+  if (kind == AdderKind::kRoundNearest)
+    add_block((p + 2) * tech.luts_per_or_bit, 1);
+
+  if (kind == AdderKind::kEagerSR) {
+    luts += (r - 2) * tech.luts_per_add_bit;  // Sticky Round: overlapped
+  }
+
+  // main adder (carry chain)
+  add_block((p + 2) * tech.luts_per_add_bit, 0);
+  delay += (p + 2) * tech.t_carry_per_bit + tech.t_lut;
+
+  const int norm_w = (kind == AdderKind::kLazySR) ? p + r : p + 2;
+  add_block(norm_w * tech.luts_per_lzd_bit, 2);
+  add_block(norm_w * log2ceil(norm_w + 1) * tech.luts_per_mux_bit,
+            std::ceil(log2ceil(norm_w + 1) / 2.0));
+
+  switch (kind) {
+    case AdderKind::kRoundNearest:
+      add_block(p * tech.luts_per_add_bit + 6, 1);
+      break;
+    case AdderKind::kLazySR:
+      add_block(r * tech.luts_per_add_bit, 1);
+      delay += r * tech.t_carry_per_bit;
+      add_block(p * tech.luts_per_add_bit, 0);
+      break;
+    case AdderKind::kEagerSR:
+      add_block(2 + p * tech.luts_per_add_bit, 1);
+      break;
+  }
+  add_block(E * tech.luts_per_add_bit, 0);   // exponent adjust (parallel)
+  add_block(12 + w * 0.3, 0);                // specials / packing
+  if (kind != AdderKind::kRoundNearest) luts += std::ceil(r / 4.0);  // LFSR taps
+
+  FpgaReport rep;
+  rep.name = to_string(kind) + " " + fmt.name() +
+             (subnormals ? " subON" : " subOFF");
+  rep.luts = static_cast<int>(std::lround(luts * tech.lut_overhead));
+  rep.ffs = 3 * w + (kind == AdderKind::kRoundNearest ? 1 : r + 10);
+  rep.delay_ns = delay;
+  return rep;
+}
+
+}  // namespace srmac::hw

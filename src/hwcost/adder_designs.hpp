@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fpemu/format.hpp"
+#include "hwcost/tech.hpp"
+#include "mac/mac_config.hpp"
+
+namespace srmac::hw {
+
+/// Synthesis-style report for one design point (the rows of Tables I/V and
+/// the bars of Fig. 5).
+struct AsicReport {
+  std::string name;
+  double area_um2 = 0.0;
+  double delay_ns = 0.0;
+  double energy_nw_mhz = 0.0;
+  std::map<std::string, double> area_breakdown_ge;  ///< per structural block
+};
+
+/// Cost of one floating-point *adder* in `fmt` with the given rounding
+/// micro-architecture (Table I rows). `r` is ignored for kRoundNearest.
+/// Structural inventory per design:
+///  * RN:    exp compare, swap muxes, p+3-wide align shifter + sticky tree,
+///           p+2-bit adder, LZD(p+2) + p+2 norm shifter, RN round logic,
+///           exponent adjust, specials, I/O registers.
+///  * lazy:  align shifter widened to p+r (no sticky), LZD and norm shifter
+///           over p+r (the paper's "p+r versus p+2" blocks), r-bit rounding
+///           adder after normalization, LFSR(r).
+///  * eager: align shifter p+r, (r-2)-bit Sticky-Round adder running in
+///           parallel with the exponent/swap logic, p+2-bit main adder,
+///           LZD/norm over p+2 only, 2-bit Round Correction, LFSR(r).
+/// Subnormal support adds input normalization (2x LZD(p) + 2x p-shifter)
+/// and the denormalization epilogue shifter.
+AsicReport asic_adder_cost(const FpFormat& fmt, AdderKind kind, int r,
+                           bool subnormals, const AsicTech& tech = {});
+
+/// Cost of the full MAC unit of Fig. 2 (Fig. 5 bars): exact multiplier
+/// (p_m x p_m partial-product array + exponent add) + the accumulator adder
+/// + the LFSR, with the multiplier feeding the adder combinationally.
+AsicReport asic_mac_cost(const MacConfig& cfg, const AsicTech& tech = {});
+
+/// FPGA implementation estimate (Table II rows).
+struct FpgaReport {
+  std::string name;
+  int luts = 0;
+  int ffs = 0;
+  double delay_ns = 0.0;
+};
+
+FpgaReport fpga_adder_cost(const FpFormat& fmt, AdderKind kind, int r,
+                           bool subnormals, const FpgaTech& tech = {});
+
+}  // namespace srmac::hw

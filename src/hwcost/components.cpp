@@ -1,0 +1,73 @@
+#include "hwcost/components.hpp"
+
+namespace srmac::hw {
+
+int log2ceil(int x) {
+  int l = 0;
+  while ((1 << l) < x) ++l;
+  return l;
+}
+
+namespace {
+/// Converts a pure-area block into a Cost with proportional energy.
+Cost area_block(double ge, double delay, const AsicTech& t) {
+  return {ge, delay, ge * t.um2_per_ge * t.energy_per_um2};
+}
+}  // namespace
+
+Cost ripple_adder(int w, const AsicTech& t) {
+  return area_block(w * t.ge_fa, w * t.t_fa_carry, t);
+}
+
+Cost incrementer(int w, const AsicTech& t) {
+  // Half-adder chain; its carry path is short in practice because the
+  // rounding increment is fused with the final mux (one t_round charged by
+  // the caller), so only area is modelled here.
+  return area_block(w * t.ge_ha, 0.0, t);
+}
+
+Cost barrel_shifter(int w, int max_shift, const AsicTech& t) {
+  const int stages = log2ceil(max_shift + 1);
+  return area_block(static_cast<double>(w) * stages * t.ge_mux2,
+                    stages * t.t_mux, t);
+}
+
+Cost lzd(int w, const AsicTech& t) {
+  // Priority-encoder tree: ~2 GE per bit, log depth.
+  return area_block(w * 2.0, log2ceil(w) * t.t_lzd_per_level, t);
+}
+
+Cost or_tree(int w, const AsicTech& t) {
+  return area_block(w * 0.5, log2ceil(w) * 0.5 * t.t_lzd_per_level, t);
+}
+
+Cost mux_word(int w, const AsicTech& t) {
+  return area_block(w * t.ge_mux2, t.t_mux, t);
+}
+
+Cost xor_word(int w, const AsicTech& t) {
+  return area_block(w * t.ge_xor, 0.02, t);
+}
+
+Cost exp_compare(int w, const AsicTech& t) {
+  // Subtract + sign: a small ripple chain.
+  return area_block(w * t.ge_fa, w * t.t_cmp_per_bit, t);
+}
+
+Cost ff_bank(int n, const AsicTech& t) {
+  return area_block(n * t.ge_ff, 0.0, t);
+}
+
+Cost lfsr(int r, const AsicTech& t) {
+  // Scan-less minimum-size flops (0.75x a datapath FF) plus the tap XORs of
+  // a maximal-length Galois polynomial (~4 taps).
+  Cost c = area_block(r * t.ge_ff * 0.75 + 4 * t.ge_xor, 0.0, t);
+  c.energy += r * t.energy_lfsr_per_bit;  // free-running toggle activity
+  return c;
+}
+
+Cost special_logic(int width, const AsicTech& t) {
+  return area_block(20.0 + width * 1.5, t.t_pack, t);
+}
+
+}  // namespace srmac::hw

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "hwcost/tech.hpp"
+
+namespace srmac::hw {
+
+/// Structural cost functions for the datapath building blocks the adder
+/// designs of Sec. III instantiate. Widths are in bits. Every function
+/// returns a Cost whose delay is the block's input-to-output latency.
+
+/// w-bit ripple-carry adder/subtractor (area-optimized flow).
+Cost ripple_adder(int w, const AsicTech& t);
+
+/// w-bit incrementer (half-adder chain), used by rounding.
+Cost incrementer(int w, const AsicTech& t);
+
+/// Barrel shifter moving a w-bit word by up to `max_shift` positions:
+/// ceil(log2(max_shift+1)) mux levels of w bits each.
+Cost barrel_shifter(int w, int max_shift, const AsicTech& t);
+
+/// Leading-zero detector over w bits (priority encoder tree).
+Cost lzd(int w, const AsicTech& t);
+
+/// OR-reduction tree over w bits (the sticky network of the RN design).
+Cost or_tree(int w, const AsicTech& t);
+
+/// w-bit 2:1 mux (operand swap, output select).
+Cost mux_word(int w, const AsicTech& t);
+
+/// w-bit XOR rail (the op-conditional one's complement).
+Cost xor_word(int w, const AsicTech& t);
+
+/// w-bit exponent comparator/subtractor.
+Cost exp_compare(int w, const AsicTech& t);
+
+/// Register bank of n flip-flops (I/O and pipeline registers).
+Cost ff_bank(int n, const AsicTech& t);
+
+/// r-bit Galois LFSR: r flip-flops plus tap XORs. Runs in parallel with the
+/// datapath (Sec. III-c), so it contributes no path delay, only area and a
+/// per-cycle toggle energy.
+Cost lfsr(int r, const AsicTech& t);
+
+/// Fixed-size special-case logic (NaN/Inf/zero detection and muxing).
+Cost special_logic(int width, const AsicTech& t);
+
+int log2ceil(int x);
+
+}  // namespace srmac::hw

@@ -1,0 +1,108 @@
+#include "hwcost/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace srmac::hw {
+
+namespace {
+const FpFormat kFormats[] = {kFp32, kFp16, kBf16, kFp12};
+}
+
+std::vector<AsicReport> table1_grid(const AsicTech& tech) {
+  std::vector<AsicReport> rows;
+  const AdderKind kinds[] = {AdderKind::kRoundNearest, AdderKind::kLazySR,
+                             AdderKind::kEagerSR};
+  for (AdderKind k : kinds) {
+    for (bool sub : {true, false}) {
+      for (const FpFormat& f : kFormats) {
+        const int r =
+            k == AdderKind::kRoundNearest ? 0 : f.precision() + 3;
+        rows.push_back(asic_adder_cost(f, k, r, sub, tech));
+      }
+    }
+  }
+  return rows;
+}
+
+std::vector<AsicReport> table5_grid(const AsicTech& tech) {
+  std::vector<AsicReport> rows;
+  for (int r : {4, 7, 9, 11, 13})
+    rows.push_back(asic_adder_cost(kFp12, AdderKind::kEagerSR, r, false, tech));
+  rows.push_back(asic_adder_cost(kFp16, AdderKind::kRoundNearest, 0, true, tech));
+  rows.push_back(asic_adder_cost(kFp32, AdderKind::kRoundNearest, 0, true, tech));
+  return rows;
+}
+
+std::vector<FpgaReport> table2_grid(const FpgaTech& tech) {
+  return {
+      fpga_adder_cost(kFp16, AdderKind::kRoundNearest, 0, true, tech),
+      fpga_adder_cost(kFp16, AdderKind::kRoundNearest, 0, false, tech),
+      fpga_adder_cost(kFp12, AdderKind::kLazySR, 13, false, tech),
+      fpga_adder_cost(kFp12, AdderKind::kEagerSR, 13, false, tech),
+  };
+}
+
+void print_asic_table(std::ostream& os, const std::vector<AsicReport>& rows) {
+  os << std::left << std::setw(34) << "Configuration" << std::right
+     << std::setw(10) << "Energy" << std::setw(12) << "Area" << std::setw(10)
+     << "Delay\n";
+  os << std::left << std::setw(34) << "" << std::right << std::setw(10)
+     << "(nW/MHz)" << std::setw(12) << "(um^2)" << std::setw(10) << "(ns)\n";
+  os << std::string(66, '-') << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(34) << r.name << std::right << std::fixed
+       << std::setprecision(2) << std::setw(10) << r.energy_nw_mhz
+       << std::setw(12) << r.area_um2 << std::setw(10) << r.delay_ns << "\n";
+  }
+}
+
+void print_fpga_table(std::ostream& os, const std::vector<FpgaReport>& rows) {
+  os << std::left << std::setw(30) << "Configuration" << std::right
+     << std::setw(8) << "LUT" << std::setw(8) << "FF" << std::setw(12)
+     << "Delay(ns)\n";
+  os << std::string(58, '-') << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(30) << r.name << std::right << std::setw(8)
+       << r.luts << std::setw(8) << r.ffs << std::fixed << std::setprecision(2)
+       << std::setw(12) << r.delay_ns << "\n";
+  }
+}
+
+void print_fig5_series(std::ostream& os, const AsicTech& tech) {
+  const char* metric_names[] = {"Area (um^2)", "Delay (ns)", "Energy (nW/MHz)"};
+  for (int metric = 0; metric < 3; ++metric) {
+    os << "\n== Fig. 5" << static_cast<char>('a' + metric) << ": "
+       << metric_names[metric] << " per MAC unit configuration ==\n";
+    os << std::left << std::setw(24) << "Series";
+    for (const FpFormat& f : kFormats)
+      os << std::right << std::setw(10) << f.name();
+    os << "\n";
+    const AdderKind kinds[] = {AdderKind::kRoundNearest, AdderKind::kLazySR,
+                               AdderKind::kEagerSR};
+    for (AdderKind k : kinds) {
+      for (bool sub : {true, false}) {
+        os << std::left << std::setw(24)
+           << (to_string(k) + std::string(sub ? ", Sub ON" : ", Sub OFF"));
+        for (const FpFormat& f : kFormats) {
+          MacConfig cfg;
+          cfg.mul_fmt = kFp8E5M2;
+          cfg.acc_fmt = f;
+          cfg.adder = k;
+          cfg.random_bits =
+              k == AdderKind::kRoundNearest ? 0 : f.precision() + 3;
+          cfg.subnormals = sub;
+          const AsicReport rep = asic_mac_cost(cfg, tech);
+          const double v = metric == 0   ? rep.area_um2
+                           : metric == 1 ? rep.delay_ns
+                                         : rep.energy_nw_mhz;
+          os << std::right << std::fixed << std::setprecision(metric == 0 ? 1 : 2)
+             << std::setw(10) << v;
+        }
+        os << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace srmac::hw

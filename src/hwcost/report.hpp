@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "hwcost/adder_designs.hpp"
+
+namespace srmac::hw {
+
+/// The (E, M, r) grid of the paper's Table I: four adder formats, three
+/// rounding micro-architectures, subnormals on/off, with the paper's
+/// r = p + 3 default for the SR rows.
+std::vector<AsicReport> table1_grid(const AsicTech& tech = {});
+
+/// Table V grid: SR eager E6M5 without subnormals, r in {4,7,9,11,13},
+/// plus the FP16/FP32 RN anchors.
+std::vector<AsicReport> table5_grid(const AsicTech& tech = {});
+
+/// Table II grid: the four FPGA rows of the paper.
+std::vector<FpgaReport> table2_grid(const FpgaTech& tech = {});
+
+/// Pretty-printers used by the bench binaries (fixed-width columns in the
+/// same order as the paper's tables).
+void print_asic_table(std::ostream& os, const std::vector<AsicReport>& rows);
+void print_fpga_table(std::ostream& os, const std::vector<FpgaReport>& rows);
+
+/// Per-configuration area/delay/energy triples grouped as in Fig. 5
+/// (series = {RN, SR lazy, SR eager} x {Sub ON, OFF}; x-axis = formats).
+void print_fig5_series(std::ostream& os, const AsicTech& tech = {});
+
+}  // namespace srmac::hw

@@ -1,0 +1,51 @@
+#include "hwcost/systolic_cost.hpp"
+
+#include "hwcost/components.hpp"
+
+namespace srmac::hw {
+
+SystolicReport systolic_cost(const MacConfig& cfg,
+                             const SystolicCostOptions& opt,
+                             const AsicTech& tech) {
+  const MacConfig c = cfg.normalized();
+  const AsicReport pe = asic_mac_cost(c, tech);
+  const int n_pe = opt.rows * opt.cols;
+  const bool sr = c.adder != AdderKind::kRoundNearest;
+  const int r = c.random_bits;
+
+  double area_ge = (pe.area_um2 / tech.um2_per_ge) * n_pe;
+  double energy = pe.energy_nw_mhz * n_pe;
+
+  // Operand skew/stream registers on the two injecting edges plus the
+  // inter-PE pipeline registers (one operand pair per PE boundary).
+  const int wa = c.mul_fmt.width();
+  area_ge += ff_bank(opt.rows * wa + opt.cols * wa, tech).area_ge;
+  area_ge += ff_bank(n_pe * 2 * wa, tech).area_ge;
+  energy += ff_bank(n_pe * 2 * wa, tech).energy;
+
+  if (sr && opt.share_lfsr_per_row) {
+    // Remove the per-PE LFSR counted inside asic_mac_cost and replace it
+    // with one per row plus an r-bit stagger register per PE.
+    const Cost one = lfsr(r, tech);
+    area_ge -= one.area_ge * n_pe;
+    energy -= one.energy * n_pe;
+    area_ge += one.area_ge * opt.rows;
+    energy += one.energy * opt.rows;
+    area_ge += ff_bank(n_pe * r, tech).area_ge * 0.5;  // stagger (half-rate)
+    energy += ff_bank(n_pe * r, tech).energy;
+  }
+
+  SystolicReport rep;
+  rep.name = c.name() + " " + std::to_string(opt.rows) + "x" +
+             std::to_string(opt.cols) +
+             (sr && opt.share_lfsr_per_row ? " sharedLFSR" : "");
+  rep.clock_ns = opt.clock_ns > 0 ? opt.clock_ns : pe.delay_ns;
+  rep.area_mm2 = area_ge * tech.um2_per_ge * 1e-6;
+  rep.area_per_pe_um2 = area_ge * tech.um2_per_ge / n_pe;
+  rep.peak_gmacs = n_pe / rep.clock_ns;  // 1 MAC/PE/cycle
+  // nW/MHz == nJ per 1e3 cycles per... normalize to nJ per kMAC:
+  rep.energy_nj_per_kmac = energy / n_pe;
+  return rep;
+}
+
+}  // namespace srmac::hw

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "hwcost/adder_designs.hpp"
+
+namespace srmac::hw {
+
+/// Array-level cost projection for a rows x cols systolic array of MAC PEs
+/// (the paper's future-work accelerator). Per-PE cost comes from
+/// asic_mac_cost; the array adds the operand-skew registers along the two
+/// edges, per-PE pipeline registers, and — the interesting SR-specific term
+/// — the random-bit distribution: either one LFSR per PE, or one shared
+/// r-bit LFSR per row whose draws are staggered through the skew registers
+/// (valid because PEs consume statistically independent bits on different
+/// cycles). Sharing amortizes the SR overhead, which is why the eager
+/// design's advantage *grows* at array scale.
+struct SystolicCostOptions {
+  int rows = 16;
+  int cols = 16;
+  bool share_lfsr_per_row = true;
+  double clock_ns = 0.0;  ///< 0: use the PE critical path as the clock
+};
+
+struct SystolicReport {
+  std::string name;
+  double area_mm2 = 0.0;
+  double clock_ns = 0.0;
+  double peak_gmacs = 0.0;        ///< at the modelled clock
+  double energy_nj_per_kmac = 0.0;
+  double area_per_pe_um2 = 0.0;
+};
+
+SystolicReport systolic_cost(const MacConfig& cfg,
+                             const SystolicCostOptions& opt = {},
+                             const AsicTech& tech = {});
+
+}  // namespace srmac::hw

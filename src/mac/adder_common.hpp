@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fpemu/format.hpp"
+#include "fpemu/value.hpp"
+#include "rng/random_source.hpp"
+
+namespace srmac {
+
+/// Introspection record filled by the adder models; used by the Sec. III-B
+/// validation harness and the unit tests to reason about execution traces.
+struct AdderTrace {
+  bool special = false;       ///< NaN/Inf/zero shortcut taken
+  bool far_path = false;      ///< |e_x - e_y| > 1
+  bool effective_sub = false; ///< signs differ (op flag)
+  bool carry_out = false;     ///< significand addition produced a carry
+  int norm_shift = 0;         ///< left-shift applied during normalization
+  bool exact = false;         ///< no nonzero discarded bits: rounding is a no-op
+  bool round_up = false;      ///< the rounding stage incremented the result
+  uint64_t f_r = 0;           ///< discarded field at the rounding cut
+  bool subnormal_out = false; ///< result landed in the subnormal range
+};
+
+/// Operands after the swap/compare stage, with specials resolved.
+struct PreparedAdd {
+  bool special = false;
+  uint32_t special_bits = 0;  ///< result if special
+
+  bool sign = false;   ///< sign of the larger operand (= result sign)
+  bool op = false;     ///< effective subtraction
+  int exp = 0;         ///< exponent of the larger operand
+  uint64_t x = 0;      ///< larger significand, p bits, MSB set
+  uint64_t y = 0;      ///< smaller significand, p bits, MSB set
+  int d = 0;           ///< exponent difference >= 0
+};
+
+/// Decodes, classifies and orders the operands of `a + b` in `fmt`. Subnormal
+/// inputs are normalized into the internal exponent range when supported and
+/// flushed to zero otherwise. When one operand is zero the other is returned
+/// through the `special` path (the sum is exact: no rounding needed).
+PreparedAdd prepare_add(const FpFormat& fmt, uint32_t a, uint32_t b);
+
+/// Final packing shared by all adder models. The adder hands over the
+/// normalized positive result: `sig` has exactly p bits (MSB set) with MSB
+/// weight 2^exp, and `frac64` holds the discarded fraction left-aligned at
+/// bit 63 (bits below the ULP). Behaviour:
+///  * exp > emax: overflow to infinity.
+///  * exp < emin, subnormals off: flush to zero.
+///  * exp < emin, subnormals on: denormalize (shift the cut) and re-round at
+///    the subnormal ULP — with RN semantics when `rn_mode`, else with the
+///    add-R-and-carry SR scheme on `r` bits of `rand_word`.
+///  * otherwise: round at the normal cut. For `rn_mode` the decision uses
+///    guard/rest/even on (frac64, sticky); for SR it adds the top r bits of
+///    frac64 to `rand_word` and rounds up on carry (paper Fig. 1 scheme).
+/// `already_rounded` skips the in-range rounding decision (the eager adder
+/// rounds internally) but still handles range. Returns packed bits.
+uint32_t pack_round(const FpFormat& fmt, bool sign, int exp, uint64_t sig,
+                    uint64_t frac64, bool sticky, bool rn_mode, int r,
+                    uint64_t rand_word, bool already_rounded,
+                    AdderTrace* trace);
+
+}  // namespace srmac

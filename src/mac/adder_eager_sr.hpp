@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mac/adder_common.hpp"
+
+namespace srmac {
+
+/// Floating-point adder with *eager* stochastic rounding — the paper's main
+/// contribution (Fig. 3b, Fig. 4).
+///
+/// Rounding starts right after significand alignment:
+///  * Sticky Round stage (far path): the r-2 LSBs of the random word are
+///    added to the aligned operand's shifted-out field starting at position
+///    p+3; only the two MSBs of that partial sum survive: S'1 (the carry
+///    into the main adder's LSB) and S'2.
+///  * The main p+1-bit addition absorbs S'1 as carry-in, so the
+///    normalization decision operates on the partially rounded sum.
+///  * Round Correction (after the carry-dependent normalization):
+///     - carry out  (paper case (a), "no normalization"): a 2-bit addition
+///       of {G, L} and the two remaining random MSBs {R1, R2} yields the
+///       rounding carry; the outcome is *bit-identical* to the lazy design
+///       under the same random word (tested exhaustively), by carry-save
+///       associativity with the S'1 injection.
+///     - no carry  (paper case (b), the window's 1-bit left shift): the
+///       random LSBs were consumed one position high, so only R1 joins the
+///       correction (at the guard bit, which already absorbed S'1). R2 is
+///       deliberately unused here: the total injected randomness must stay
+///       below one ULP or the two-neighbour SR invariant breaks.
+///     - 1-bit cancellation on the far path: after the shift the old
+///       position p+1 is the kept LSB, so the S'1 carry folded into the
+///       main adder *is* the rounding carry — no further correction.
+/// Reconstruction note: the paper consults S'2 explicitly and swaps the
+/// S'1/S'2 roles between its cases; in this reconstruction S'1 rides the
+/// main adder's carry-in, which places the Sticky-Round result at the
+/// correct weight in every normalization outcome, so S'2 is carried in the
+/// datapath but never gates the correction. Both wirings realize the same
+/// r-bit-quantized SR distribution (validated by the Sec. III-B harness).
+/// The close path (|d| <= 1) has no shifted-out field, so the Sticky Round
+/// stage is bypassed; deep cancellations are exact and never round.
+///
+/// Denormalized results fall back to the late rounding stage (pack_round):
+/// a subnormal cut invalidates the eager pre-alignment, mirroring the
+/// dedicated slow path subnormal handling costs in the hardware model.
+uint32_t add_eager_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
+                      uint64_t rand_word, AdderTrace* trace = nullptr);
+
+/// Convenience overload drawing from a RandomSource.
+uint32_t add_eager_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
+                      RandomSource& rng, AdderTrace* trace = nullptr);
+
+}  // namespace srmac

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mac/adder_common.hpp"
+
+namespace srmac {
+
+/// Floating-point adder with *lazy* stochastic rounding (paper Fig. 3a).
+///
+/// The datapath matches add_rn up to normalization, except that the sticky /
+/// guard / round computation is replaced by a bounded r-bit window of the
+/// shifted-out fraction (plain truncation beyond it, per [5, Sec. 7.3]).
+/// After normalization the top r discarded fraction bits are added to the
+/// r-bit random word; a carry out of that addition rounds the result up.
+/// This is the reference SR behaviour the eager design is compared against;
+/// it realizes SR with probability floor(2^r * eps)/2^r (Eq. (2) discrete).
+///
+/// `rand_word` is the r-bit LFSR draw; exposing it (rather than a
+/// RandomSource) lets the validation harness drive lazy and eager with the
+/// same randomness.
+uint32_t add_lazy_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
+                     uint64_t rand_word, AdderTrace* trace = nullptr);
+
+/// Convenience overload drawing from a RandomSource.
+uint32_t add_lazy_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
+                     RandomSource& rng, AdderTrace* trace = nullptr);
+
+}  // namespace srmac

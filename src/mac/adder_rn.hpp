@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mac/adder_common.hpp"
+
+namespace srmac {
+
+/// Dual-path floating-point adder with round-to-nearest-even (the paper's
+/// baseline configuration, Sec. III-A items (i)-(v)).
+///
+/// RTL-level model: bounded alignment shifter keeping guard and round bits
+/// plus a sticky OR of everything shifted past them, one shared integer
+/// adder/subtractor, LZD-driven normalization, RN-even rounding. Bit-exact
+/// against the golden SoftFloat RN addition (validated in tests).
+uint32_t add_rn(const FpFormat& fmt, uint32_t a, uint32_t b,
+                AdderTrace* trace = nullptr);
+
+}  // namespace srmac

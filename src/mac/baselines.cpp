@@ -1,0 +1,133 @@
+#include "mac/baselines.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "fpemu/softfloat.hpp"
+#include "fpemu/value.hpp"
+#include "mac/multiplier.hpp"
+
+namespace srmac {
+
+FixedPointMac::FixedPointMac(const Config& cfg, RandomSource& rng)
+    : cfg_(cfg), rng_(rng) {
+  assert(cfg.total_bits >= 2 && cfg.total_bits <= 63);
+  assert(cfg.frac_bits >= 0 && cfg.frac_bits < cfg.total_bits);
+  max_ = (int64_t{1} << (cfg.total_bits - 1)) - 1;
+  min_ = -(int64_t{1} << (cfg.total_bits - 1));
+}
+
+int64_t FixedPointMac::step(uint32_t a, uint32_t b) {
+  const FpFormat prod_fmt = product_format(cfg_.mul_fmt);
+  const uint32_t p = multiply_exact(cfg_.mul_fmt, a, b);
+  const Unpacked u = decode(prod_fmt, p);
+  if (u.cls == FpClass::kZero) return acc_;
+  // NaN/Inf have no fixed-point image; saturate (the hardware would flag).
+  if (u.cls == FpClass::kNaN || u.cls == FpClass::kInf) {
+    saturated_ = true;
+    acc_ = u.sign ? min_ : max_;
+    return acc_;
+  }
+
+  // The product magnitude is sig * 2^(exp - (sig_bits-1)); on the grid of
+  // 2^-F that is sig shifted by sh = exp - sig_bits + 1 + F.
+  const int sh = u.exp - (u.sig_bits - 1) + cfg_.frac_bits;
+  int64_t q;
+  if (sh >= 0) {
+    // Losslessly representable unless it overflows the register (handled
+    // by the saturating add below).
+    q = sh < 62 ? static_cast<int64_t>(u.sig) << sh : max_;
+  } else {
+    const int drop = -sh;
+    if (drop >= 63) {
+      q = 0;
+      // Deep underflow: even SR cannot see the value (its top random
+      // window is above the product). Matches truncation hardware.
+    } else {
+      const uint64_t kept = u.sig >> drop;
+      const uint64_t frac = u.sig & ((uint64_t{1} << drop) - 1);
+      uint64_t up = 0;
+      switch (cfg_.rounding) {
+        case FixedRounding::kTruncate:
+          break;
+        case FixedRounding::kRoundNearest:
+          up = (frac >> (drop - 1)) & 1;
+          break;
+        case FixedRounding::kStochastic: {
+          // Add r random bits aligned below the LSB; carry rounds up
+          // (same Fig. 1 scheme as the FP unit, on the integer grid).
+          const int r = cfg_.random_bits;
+          const uint64_t field =
+              drop >= r ? (frac >> (drop - r))
+                        : (frac << (r - drop));
+          up = (field + rng_.draw(r)) >> r;
+          break;
+        }
+      }
+      q = static_cast<int64_t>(kept + up);
+    }
+  }
+  if (u.sign) q = -q;
+
+  // Saturating accumulate.
+  int64_t next = acc_ + q;
+  if (next > max_) {
+    next = max_;
+    saturated_ = true;
+  } else if (next < min_) {
+    next = min_;
+    saturated_ = true;
+  }
+  acc_ = next;
+  return acc_;
+}
+
+double FixedPointMac::value() const {
+  return static_cast<double>(acc_) / std::ldexp(1.0, cfg_.frac_bits);
+}
+
+void KahanAccumulator::add(uint32_t addend_bits) {
+  // y = x - comp; t = sum + y; comp = (t - sum) - y; sum = t.
+  const uint32_t y = SoftFloat::sub(fmt_, addend_bits, comp_, RoundingMode::kNearestEven);
+  const uint32_t t = SoftFloat::add(fmt_, sum_, y, RoundingMode::kNearestEven);
+  const uint32_t d = SoftFloat::sub(fmt_, t, sum_, RoundingMode::kNearestEven);
+  comp_ = SoftFloat::sub(fmt_, d, y, RoundingMode::kNearestEven);
+  sum_ = t;
+}
+
+void KahanAccumulator::add_value(double x) {
+  add(SoftFloat::from_double(fmt_, x));
+}
+
+double KahanAccumulator::value() const {
+  return SoftFloat::to_double(fmt_, sum_);
+}
+
+double dot_fixed(const FixedPointMac::Config& cfg, const float* a,
+                 const float* b, int n, RandomSource& rng, bool* saturated) {
+  FixedPointMac mac(cfg, rng);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t qa = SoftFloat::from_double(cfg.mul_fmt, a[i]);
+    const uint32_t qb = SoftFloat::from_double(cfg.mul_fmt, b[i]);
+    mac.step(qa, qb);
+  }
+  if (saturated) *saturated = mac.saturated();
+  return mac.value();
+}
+
+double dot_kahan(const FpFormat& mul_fmt, const FpFormat& acc_fmt,
+                 const float* a, const float* b, int n) {
+  const FpFormat prod_fmt = product_format(mul_fmt);
+  KahanAccumulator acc(acc_fmt);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t qa = SoftFloat::from_double(mul_fmt, a[i]);
+    const uint32_t qb = SoftFloat::from_double(mul_fmt, b[i]);
+    const uint32_t p = multiply_exact(mul_fmt, qa, qb);
+    // Convert the exact product into the accumulator format (RN) and feed
+    // the compensated chain.
+    acc.add(SoftFloat::convert(prod_fmt, p, acc_fmt, RoundingMode::kNearestEven));
+  }
+  return acc.value();
+}
+
+}  // namespace srmac

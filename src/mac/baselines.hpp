@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fpemu/format.hpp"
+#include "mac/mac_config.hpp"
+#include "rng/random_source.hpp"
+
+namespace srmac {
+
+/// Related-work accumulator baselines the paper positions itself against.
+/// They share the MAC interface shape (step(a, b) over mul-format bit
+/// patterns) so the ablation benches can sweep accumulator designs with
+/// everything else held fixed.
+
+/// Rounding applied when the exact FP8xFP8 product is converted into the
+/// fixed-point accumulator grid.
+enum class FixedRounding {
+  kTruncate,       ///< drop bits below the LSB (cheapest hardware)
+  kRoundNearest,   ///< RN with ties away (adder + compare)
+  kStochastic,     ///< add r random bits, keep the carry (ESRU-style [17])
+};
+
+/// Fixed-point accumulator MAC (the design point of [10] and the integer-SR
+/// line of work [14][16][17]): an FP8-class multiplier feeding a W-bit
+/// two's-complement accumulator with F fractional bits, saturating at the
+/// rails. Dynamic range is fixed at design time — the hardware is cheaper
+/// than any FP adder but the usable input scale is narrow, which is the
+/// trade-off the ablation bench quantifies.
+class FixedPointMac {
+ public:
+  struct Config {
+    FpFormat mul_fmt = kFp8E5M2;
+    int total_bits = 24;  ///< accumulator register width W (<= 63)
+    int frac_bits = 12;   ///< F bits below the binary point
+    FixedRounding rounding = FixedRounding::kStochastic;
+    int random_bits = 8;  ///< r for kStochastic
+  };
+
+  FixedPointMac(const Config& cfg, RandomSource& rng);
+
+  /// acc <- sat(acc + Q(a*b)); returns the fixed-point register value.
+  int64_t step(uint32_t a, uint32_t b);
+
+  void reset() { acc_ = 0; }
+  int64_t raw() const { return acc_; }
+  double value() const;
+  bool saturated() const { return saturated_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  RandomSource& rng_;
+  int64_t acc_ = 0;
+  int64_t max_ = 0, min_ = 0;
+  bool saturated_ = false;
+};
+
+/// Kahan (compensated) accumulator over a narrow FP format with RN
+/// arithmetic — the accurate-summation baseline of [3]. Costs a second
+/// register and three extra FP adds per step in hardware, which is what
+/// the paper's SR design avoids.
+class KahanAccumulator {
+ public:
+  explicit KahanAccumulator(const FpFormat& fmt) : fmt_(fmt) {}
+
+  /// Adds one addend given as a bit pattern in the accumulator format.
+  void add(uint32_t addend_bits);
+  /// Adds a real value (quantized into the format on entry).
+  void add_value(double x);
+
+  uint32_t sum_bits() const { return sum_; }
+  double value() const;
+  void reset() { sum_ = 0; comp_ = 0; }
+
+ private:
+  FpFormat fmt_;
+  uint32_t sum_ = 0;
+  uint32_t comp_ = 0;  ///< running compensation (the lost low part)
+};
+
+/// The HFP8 scheme of [7]: E4M3 operands for the forward pass (more
+/// mantissa, activations/weights), E5M2 for the backward pass (more range,
+/// gradients). This helper returns the per-pass multiplier format; the
+/// training harness threads it through the layer GEMMs.
+struct Hfp8Scheme {
+  FpFormat fwd_fmt = kFp8E4M3;
+  FpFormat bwd_fmt = kFp8E5M2;
+  FpFormat fmt_for(bool backward) const { return backward ? bwd_fmt : fwd_fmt; }
+};
+
+/// Dot products under each baseline, for the ablation benches: all take
+/// float inputs, quantize into the multiplier format, and accumulate with
+/// the respective design. `r` / rounding options follow the structs above.
+double dot_fixed(const FixedPointMac::Config& cfg, const float* a,
+                 const float* b, int n, RandomSource& rng,
+                 bool* saturated = nullptr);
+double dot_kahan(const FpFormat& mul_fmt, const FpFormat& acc_fmt,
+                 const float* a, const float* b, int n);
+
+}  // namespace srmac

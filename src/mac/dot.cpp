@@ -1,0 +1,42 @@
+#include "mac/dot.hpp"
+
+#include <cassert>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/mac_unit.hpp"
+
+namespace srmac {
+
+std::vector<uint32_t> quantize_vector(const FpFormat& fmt,
+                                      std::span<const float> v) {
+  std::vector<uint32_t> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i)
+    out[i] = SoftFloat::from_double(fmt, static_cast<double>(v[i]));
+  return out;
+}
+
+DotResult dot_mac_bits(const MacConfig& cfg, std::span<const uint32_t> a,
+                       std::span<const uint32_t> b, uint64_t seed) {
+  assert(a.size() == b.size());
+  const MacConfig c = cfg.normalized();
+  MacUnit unit(c, seed);
+  DotResult res;
+  for (size_t i = 0; i < a.size(); ++i) {
+    unit.step(a[i], b[i]);
+    res.reference += SoftFloat::to_double(c.mul_fmt, a[i]) *
+                     SoftFloat::to_double(c.mul_fmt, b[i]);
+  }
+  res.acc_bits = unit.acc();
+  res.value = unit.acc_value();
+  return res;
+}
+
+DotResult dot_mac(const MacConfig& cfg, std::span<const float> a,
+                  std::span<const float> b, uint64_t seed) {
+  const MacConfig c = cfg.normalized();
+  const auto qa = quantize_vector(c.mul_fmt, a);
+  const auto qb = quantize_vector(c.mul_fmt, b);
+  return dot_mac_bits(c, qa, qb, seed);
+}
+
+}  // namespace srmac

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mac/mac_config.hpp"
+
+namespace srmac {
+
+/// Result of a bit-accurate dot product, with the rounding-free reference
+/// for error studies (the swamping/stagnation ablations).
+struct DotResult {
+  double value = 0.0;      ///< accumulator reading after the chain
+  double reference = 0.0;  ///< double-precision reference of the quantized inputs
+  uint32_t acc_bits = 0;
+};
+
+/// Computes dot(a, b) through a freshly seeded MacUnit: inputs are quantized
+/// to cfg.mul_fmt with RN, then accumulated in order through the configured
+/// adder. This is the elementary operation the training GEMMs build on.
+DotResult dot_mac(const MacConfig& cfg, std::span<const float> a,
+                  std::span<const float> b, uint64_t seed = 0xACE1u);
+
+/// Same chain but with inputs already quantized to cfg.mul_fmt bit patterns.
+DotResult dot_mac_bits(const MacConfig& cfg, std::span<const uint32_t> a,
+                       std::span<const uint32_t> b, uint64_t seed = 0xACE1u);
+
+/// Quantizes a float vector into `fmt` bit patterns (RN).
+std::vector<uint32_t> quantize_vector(const FpFormat& fmt,
+                                      std::span<const float> v);
+
+}  // namespace srmac

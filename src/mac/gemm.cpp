@@ -1,0 +1,94 @@
+#include "mac/gemm.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/mac_unit.hpp"
+
+namespace srmac {
+
+namespace {
+
+/// splitmix-style hash for reproducible per-element LFSR seeds.
+inline uint64_t mix_seed(uint64_t s, uint64_t i, uint64_t j) {
+  uint64_t z = s + 0x9E3779B97F4A7C15ull * (i * 0x100000001B3ull + j + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void parallel_rows(int M, int threads, const std::function<void(int, int)>& fn) {
+  int n = threads > 0 ? threads
+                      : static_cast<int>(std::thread::hardware_concurrency());
+  n = std::clamp(n, 1, std::max(1, M));
+  if (n == 1) {
+    fn(0, M);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  const int chunk = (M + n - 1) / n;
+  for (int t = 0; t < n; ++t) {
+    const int lo = t * chunk, hi = std::min(M, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back(fn, lo, hi);
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace
+
+void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
+              int lda, const float* B, int ldb, float* C, int ldc,
+              bool accumulate, uint64_t seed, int threads) {
+  const MacConfig c = cfg.normalized();
+
+  // Quantize operands once (RN into the multiplier input format).
+  std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
+  std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
+  for (int i = 0; i < M; ++i)
+    for (int k = 0; k < K; ++k)
+      qa[static_cast<size_t>(i) * K + k] =
+          SoftFloat::from_double(c.mul_fmt, A[static_cast<size_t>(i) * lda + k]);
+  for (int k = 0; k < K; ++k)
+    for (int j = 0; j < N; ++j)
+      qb[static_cast<size_t>(k) * N + j] =
+          SoftFloat::from_double(c.mul_fmt, B[static_cast<size_t>(k) * ldb + j]);
+
+  parallel_rows(M, threads, [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      for (int j = 0; j < N; ++j) {
+        MacUnit unit(c, mix_seed(seed, i, j));
+        if (accumulate) {
+          unit.set_acc(SoftFloat::from_double(
+              c.acc_fmt, C[static_cast<size_t>(i) * ldc + j]));
+        }
+        for (int k = 0; k < K; ++k)
+          unit.step(qa[static_cast<size_t>(i) * K + k],
+                    qb[static_cast<size_t>(k) * N + j]);
+        C[static_cast<size_t>(i) * ldc + j] =
+            static_cast<float>(unit.acc_value());
+      }
+    }
+  });
+}
+
+void gemm_ref(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, bool accumulate, int threads) {
+  parallel_rows(M, threads, [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      for (int j = 0; j < N; ++j) {
+        float acc = accumulate ? C[static_cast<size_t>(i) * ldc + j] : 0.0f;
+        for (int k = 0; k < K; ++k)
+          acc += A[static_cast<size_t>(i) * lda + k] *
+                 B[static_cast<size_t>(k) * ldb + j];
+        C[static_cast<size_t>(i) * ldc + j] = acc;
+      }
+    }
+  });
+}
+
+}  // namespace srmac

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mac/mac_config.hpp"
+
+namespace srmac {
+
+/// Bit-accurate GEMM: C[MxN] = A[MxK] * B[KxN] (+ C when `accumulate`),
+/// row-major with leading dimensions. Every output element is produced by
+/// one MAC-unit accumulation chain over k, exactly as in the paper's
+/// software-emulated training flow: A and B are quantized to cfg.mul_fmt
+/// (RN), the products are exact, and each addition rounds in cfg.acc_fmt
+/// through the configured adder. The per-element LFSR seed is derived from
+/// (seed, i, j) so results are reproducible and independent of threading.
+///
+/// The final accumulator is read back as float into C (exact: every
+/// accumulator format here is narrower than binary32's significand).
+void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
+              int lda, const float* B, int ldb, float* C, int ldc,
+              bool accumulate = false, uint64_t seed = 0x5EED5EEDull,
+              int threads = 0);
+
+/// Float reference GEMM with the same interface (the FP32 baseline).
+void gemm_ref(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, bool accumulate = false,
+              int threads = 0);
+
+}  // namespace srmac

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "fpemu/format.hpp"
+
+namespace srmac {
+
+/// Which adder micro-architecture a MAC instantiates (paper Sec. III).
+enum class AdderKind {
+  kRoundNearest,  ///< classic dual-path adder, RN-even (baseline)
+  kLazySR,        ///< SR applied after normalization (Fig. 3a)
+  kEagerSR,       ///< SR started after alignment, with Round Correction (Fig. 3b)
+};
+
+std::string to_string(AdderKind k);
+
+/// Full configuration of a MAC unit: FP8-class multiplier inputs, a wider
+/// accumulator format, the adder kind, the number of random bits r, and
+/// whether subnormal encodings are supported (paper Sec. IV).
+struct MacConfig {
+  FpFormat mul_fmt = kFp8E5M2;  ///< multiplier input format (E5M2 in the paper)
+  FpFormat acc_fmt = kFp12;     ///< accumulator / adder format (E6M5 reference)
+  AdderKind adder = AdderKind::kEagerSR;
+  int random_bits = 9;          ///< r; the paper's default is p+3
+  bool subnormals = true;       ///< Sub ON / OFF
+
+  /// The paper's default r = p + 3 for a given adder format.
+  static int default_random_bits(const FpFormat& acc) {
+    return acc.precision() + 3;
+  }
+
+  /// Applies the subnormal flag consistently to both formats.
+  MacConfig normalized() const {
+    MacConfig c = *this;
+    c.mul_fmt.subnormals = subnormals;
+    c.acc_fmt.subnormals = subnormals;
+    return c;
+  }
+
+  std::string name() const;
+};
+
+inline std::string to_string(AdderKind k) {
+  switch (k) {
+    case AdderKind::kRoundNearest: return "RN";
+    case AdderKind::kLazySR: return "SR lazy";
+    case AdderKind::kEagerSR: return "SR eager";
+  }
+  return "?";
+}
+
+inline std::string MacConfig::name() const {
+  return to_string(adder) + " " + acc_fmt.name() +
+         (adder == AdderKind::kRoundNearest ? "" : " r=" + std::to_string(random_bits)) +
+         (subnormals ? " subON" : " subOFF");
+}
+
+}  // namespace srmac

@@ -1,0 +1,62 @@
+#include "mac/mac_unit.hpp"
+
+#include <algorithm>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/adder_eager_sr.hpp"
+#include "mac/adder_lazy_sr.hpp"
+#include "mac/adder_rn.hpp"
+#include "mac/multiplier.hpp"
+
+namespace srmac {
+
+MacUnit::MacUnit(const MacConfig& cfg, uint64_t lfsr_seed)
+    : cfg_(cfg.normalized()),
+      prod_fmt_(product_format(cfg_.mul_fmt)),
+      lfsr_(std::max(4, cfg.random_bits), lfsr_seed) {
+  widening_exact_ = cfg_.acc_fmt.exp_bits >= prod_fmt_.exp_bits &&
+                    cfg_.acc_fmt.man_bits >= prod_fmt_.man_bits;
+  acc_ = encode_zero(cfg_.acc_fmt, false);
+}
+
+uint32_t MacUnit::add(uint32_t x, uint32_t y, uint64_t rand_word,
+                      AdderTrace* trace) const {
+  switch (cfg_.adder) {
+    case AdderKind::kRoundNearest:
+      return add_rn(cfg_.acc_fmt, x, y, trace);
+    case AdderKind::kLazySR:
+      return add_lazy_sr(cfg_.acc_fmt, x, y, cfg_.random_bits, rand_word, trace);
+    case AdderKind::kEagerSR:
+      return add_eager_sr(cfg_.acc_fmt, x, y, cfg_.random_bits, rand_word, trace);
+  }
+  return 0;
+}
+
+uint32_t MacUnit::step(uint32_t a, uint32_t b) {
+  const uint32_t prod = multiply_exact(cfg_.mul_fmt, a, b);
+  // Bring the exact product into the accumulator format. For the paper's
+  // reference configuration (E5M2 inputs, E6M5 accumulator) and for any
+  // accumulator at least as wide, this conversion is exact; narrower
+  // exponent ranges (e.g. an E5M10 accumulator) clamp via RN conversion,
+  // matching a datapath that saturates out-of-range products.
+  const uint32_t addend =
+      (prod_fmt_ == cfg_.acc_fmt.with_subnormals(prod_fmt_.subnormals))
+          ? prod
+          : SoftFloat::convert(prod_fmt_, prod, cfg_.acc_fmt,
+                               RoundingMode::kNearestEven);
+  trace_ = AdderTrace{};
+  acc_ = add(acc_, addend, lfsr_.draw(cfg_.random_bits), &trace_);
+  return acc_;
+}
+
+uint32_t MacUnit::accumulate(uint32_t addend_acc_fmt) {
+  trace_ = AdderTrace{};
+  acc_ = add(acc_, addend_acc_fmt, lfsr_.draw(cfg_.random_bits), &trace_);
+  return acc_;
+}
+
+double MacUnit::acc_value() const {
+  return SoftFloat::to_double(cfg_.acc_fmt, acc_);
+}
+
+}  // namespace srmac

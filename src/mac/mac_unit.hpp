@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mac/mac_config.hpp"
+#include "mac/adder_common.hpp"
+#include "rng/lfsr.hpp"
+
+namespace srmac {
+
+/// Bit-accurate model of the paper's MAC unit (Fig. 2): an exact multiplier
+/// feeding an SR-enabled (or RN) accumulator adder, with an r-bit Galois
+/// LFSR running alongside as the random source.
+///
+/// `step(a, b)` performs acc <- acc (+) a*b where a, b are bit patterns in
+/// cfg.mul_fmt and acc is held in cfg.acc_fmt. The multiplier result is
+/// exact; rounding happens only in the adder (stochastic for the SR kinds).
+class MacUnit {
+ public:
+  explicit MacUnit(const MacConfig& cfg, uint64_t lfsr_seed = 0xACE1u);
+
+  /// One multiply-accumulate step; returns the new accumulator bits.
+  uint32_t step(uint32_t a, uint32_t b);
+
+  /// Adds a value already in accumulator format (used for bias terms and
+  /// by the GEMM tiling); rounding mode follows the configuration.
+  uint32_t accumulate(uint32_t addend_acc_fmt);
+
+  void set_acc(uint32_t acc_bits) { acc_ = acc_bits; }
+  uint32_t acc() const { return acc_; }
+  double acc_value() const;
+
+  const MacConfig& config() const { return cfg_; }
+  const AdderTrace& last_trace() const { return trace_; }
+
+  /// Stateless single addition in the configured adder (exposed for tests
+  /// and the Sec. III-B harness).
+  uint32_t add(uint32_t x, uint32_t y, uint64_t rand_word,
+               AdderTrace* trace = nullptr) const;
+
+ private:
+  MacConfig cfg_;
+  FpFormat prod_fmt_;
+  bool widening_exact_;  ///< acc format superset of product format
+  uint32_t acc_ = 0;
+  GaloisLfsr lfsr_;
+  AdderTrace trace_;
+};
+
+}  // namespace srmac

@@ -1,0 +1,55 @@
+#include "mac/multiplier.hpp"
+
+#include <cassert>
+
+#include "fpemu/value.hpp"
+
+namespace srmac {
+
+uint32_t multiply_exact(const FpFormat& in, uint32_t a, uint32_t b) {
+  const FpFormat out = product_format(in);
+  const Unpacked ua = decode(in, a), ub = decode(in, b);
+  const bool sign = ua.sign != ub.sign;
+
+  if (ua.cls == FpClass::kNaN || ub.cls == FpClass::kNaN) return out.nan_bits();
+  if (ua.cls == FpClass::kInf || ub.cls == FpClass::kInf) {
+    if (ua.cls == FpClass::kZero || ub.cls == FpClass::kZero)
+      return out.nan_bits();
+    return encode_inf(out, sign);
+  }
+  if (ua.cls == FpClass::kZero || ub.cls == FpClass::kZero)
+    return encode_zero(out, sign);
+
+  // Exact significand product: p_m x p_m -> at most 2*p_m bits, which is
+  // exactly the output precision p_a. One normalization shift at most.
+  const int pm = in.precision();
+  const int pa = out.precision();
+  assert(pa == 2 * pm);
+  uint64_t prod = ua.sig * ub.sig;  // in [2^(2pm-2), 2^(2pm))
+  int exp = ua.exp + ub.exp;
+  if (prod >> (pa - 1)) {
+    // MSB at bit pa-1 already (product in [2,4)): exponent absorbs it.
+    exp += 1;
+  } else {
+    prod <<= 1;  // product in [1,2): align MSB to bit pa-1
+  }
+  // Now prod has its MSB at bit pa-1 and carries weight 2^exp.
+
+  if (exp > out.emax()) return encode_inf(out, sign);  // cannot happen for normal inputs
+  if (exp < out.emin()) {
+    // Subnormal product (only reachable with subnormal inputs). The shift
+    // below never discards a set bit for the paper's p_a = 2*p_m formats:
+    // the product of two values with >= 2^(emin-M) granularity is a multiple
+    // of the output subnormal ULP (verified exhaustively in tests).
+    const int sh = out.emin() - exp;
+    if (sh >= pa) return encode_zero(out, sign);
+    assert((prod & ((1ull << sh) - 1)) == 0 && "inexact subnormal product");
+    const uint64_t man = prod >> sh;
+    if (man >> out.man_bits)
+      return encode_normal(out, sign, out.emin(), man);
+    return encode_subnormal(out, sign, static_cast<uint32_t>(man));
+  }
+  return encode_normal(out, sign, exp, prod);
+}
+
+}  // namespace srmac

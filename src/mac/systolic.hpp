@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mac/mac_config.hpp"
+#include "mac/mac_unit.hpp"
+#include "tensor/tensor.hpp"
+
+namespace srmac {
+
+/// Functional, cycle-counted model of an output-stationary systolic array
+/// of SR-MAC processing elements — the accelerator the paper names as
+/// future work ("the hardware advantages of our proposed eager design hold
+/// even greater potential within a systolic array-based accelerator").
+///
+/// Each PE holds one accumulator in cfg.acc_fmt and one MacUnit (exact
+/// multiplier + the configured SR/RN adder + its own LFSR, seeded by grid
+/// position). A GEMM C = A*B is executed in (rows x cols) output tiles:
+/// operands stream in skewed order, each PE performs one MAC per cycle,
+/// and the model counts cycles the way the dataflow would
+/// (K + rows + cols - 2 per tile fill/drain plus the pipeline).
+///
+/// The arithmetic is bit-identical to driving each output element through
+/// a standalone MacUnit with the same per-PE seed (tested), so the unit's
+/// accuracy results transfer to the accelerator unchanged; what the array
+/// adds is the cycle/area/energy economics, which `systolic_cost` in
+/// hwcost/adder_designs.hpp-style units exposes at scale.
+class SystolicArray {
+ public:
+  SystolicArray(const MacConfig& cfg, int rows, int cols,
+                uint64_t seed = 0xA11CAull);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// C[MxN] = A[MxK] * B[KxN] (row-major, leading dims = logical dims).
+  /// Returns the cycle count the dataflow would take.
+  uint64_t gemm(int M, int N, int K, const float* A, const float* B,
+                float* C);
+
+  /// Tensor convenience wrapper.
+  Tensor matmul(const Tensor& a, const Tensor& b, uint64_t* cycles = nullptr);
+
+  /// Cycles a (M,N,K) GEMM takes on this array: per output tile the column
+  /// fill + K-deep accumulation + drain, tiles processed back to back.
+  uint64_t cycle_model(int M, int N, int K) const;
+
+  /// Utilization of the last gemm() call: useful MACs / (PE * cycles).
+  double last_utilization() const { return last_util_; }
+
+ private:
+  MacConfig cfg_;
+  int rows_, cols_;
+  uint64_t seed_;
+  double last_util_ = 0.0;
+};
+
+}  // namespace srmac

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "nn/module.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+
+/// He (Kaiming) normal initialization for every conv/linear weight in the
+/// model; BN parameters keep their (1, 0) defaults; biases start at zero.
+/// fan_in is inferred from the parameter's second dimension.
+void he_init(Layer& model, uint64_t seed);
+
+/// Total number of trainable scalars.
+int64_t param_count(Layer& model);
+
+}  // namespace srmac

@@ -1,0 +1,20 @@
+#include "nn/mlp.hpp"
+
+namespace srmac {
+
+std::unique_ptr<Sequential> make_mlp(int in_features,
+                                     const std::vector<int>& hidden,
+                                     int classes) {
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Flatten>());
+  int in = in_features;
+  for (const int width : hidden) {
+    net->add(std::make_unique<Linear>(in, width));
+    net->add(std::make_unique<ReLU>());
+    in = width;
+  }
+  net->add(std::make_unique<Linear>(in, classes));
+  return net;
+}
+
+}  // namespace srmac

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace srmac {
+
+/// Builds a fully-connected classifier: Flatten, then Linear-ReLU pairs
+/// over `hidden` widths, then a Linear head to `classes`. The smallest
+/// model in the zoo — quick experiments, optimizer ablations and unit
+/// tests run it through the bit-accurate GEMM path in milliseconds.
+///
+/// `in_features` is the flattened input size (e.g. 3*32*32 for CIFAR-shape
+/// images).
+std::unique_ptr<Sequential> make_mlp(int in_features,
+                                     const std::vector<int>& hidden,
+                                     int classes = 10);
+
+}  // namespace srmac

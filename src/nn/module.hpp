@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace srmac {
+
+/// A trainable parameter with its gradient and optimizer slot.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  Tensor momentum;
+  bool decay = true;  ///< weight decay applies (off for BN scale/bias)
+};
+
+/// Base class for layers with manual forward/backward. Layers cache what
+/// they need for the backward pass internally; `backward` consumes the
+/// gradient w.r.t. the output and returns the gradient w.r.t. the input,
+/// accumulating parameter gradients into their `grad` tensors.
+///
+/// The ComputeContext decides whether the layer's GEMMs run in FP32 or
+/// through the bit-accurate MAC emulation (both directions, matching the
+/// paper: "all GEMM operations during training (FWD and BWD passes) are
+/// performed using low-precision MAC units").
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Tensor forward(const ComputeContext& ctx, const Tensor& x,
+                         bool training) = 0;
+  virtual Tensor backward(const ComputeContext& ctx, const Tensor& gout) = 0;
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+  virtual std::string name() const = 0;
+};
+
+/// A plain sequential container (also the building block of the ResNet /
+/// VGG graphs).
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  void add(std::unique_ptr<Layer> l) { layers_.push_back(std::move(l)); }
+  Tensor forward(const ComputeContext& ctx, const Tensor& x,
+                 bool training) override {
+    Tensor h = x;
+    int salt = 0;
+    for (auto& l : layers_) h = l->forward(ctx.fork(++salt), h, training);
+    return h;
+  }
+  Tensor backward(const ComputeContext& ctx, const Tensor& gout) override {
+    Tensor g = gout;
+    int salt = static_cast<int>(layers_.size());
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+      g = (*it)->backward(ctx.fork(1000 + salt--), g);
+    return g;
+  }
+  void collect_params(std::vector<Param*>& out) override {
+    for (auto& l : layers_) l->collect_params(out);
+  }
+  std::string name() const override { return "Sequential"; }
+  size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace srmac

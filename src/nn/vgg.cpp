@@ -1,0 +1,53 @@
+#include "nn/vgg.hpp"
+
+#include <algorithm>
+
+namespace srmac {
+
+namespace {
+int scaled(int ch, float mult) { return std::max(4, static_cast<int>(ch * mult)); }
+
+void conv_bn_relu(Sequential& net, int in_ch, int out_ch) {
+  net.add(std::make_unique<Conv2d>(in_ch, out_ch, 3, 1));
+  net.add(std::make_unique<BatchNorm2d>(out_ch));
+  net.add(std::make_unique<ReLU>());
+}
+}  // namespace
+
+std::unique_ptr<Sequential> make_vgg16(int classes, float width_mult) {
+  auto net = std::make_unique<Sequential>();
+  // Per-block channel plan of VGG16.
+  const int plan[5][3] = {{64, 64, 0},
+                          {128, 128, 0},
+                          {256, 256, 256},
+                          {512, 512, 512},
+                          {512, 512, 512}};
+  int in_ch = 3;
+  for (const auto& block : plan) {
+    for (int c : block) {
+      if (c == 0) continue;
+      const int out = scaled(c, width_mult);
+      conv_bn_relu(*net, in_ch, out);
+      in_ch = out;
+    }
+    net->add(std::make_unique<MaxPool2d>(2));
+  }
+  // 32x32 input -> 1x1 after five pools.
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(in_ch, classes));
+  return net;
+}
+
+std::unique_ptr<Sequential> make_vgg_mini(int classes, int base) {
+  auto net = std::make_unique<Sequential>();
+  conv_bn_relu(*net, 3, base);
+  net->add(std::make_unique<MaxPool2d>(2));
+  conv_bn_relu(*net, base, base * 2);
+  net->add(std::make_unique<MaxPool2d>(2));
+  conv_bn_relu(*net, base * 2, base * 4);
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Linear>(base * 4, classes));
+  return net;
+}
+
+}  // namespace srmac

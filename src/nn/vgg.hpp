@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace srmac {
+
+/// VGG16 with batch normalization for 32x32 inputs (the CIFAR-10 variant
+/// the paper trains in Table IV): thirteen 3x3 conv layers in five blocks
+/// (64,64 / 128,128 / 256x3 / 512x3 / 512x3) with 2x2 max-pooling, then a
+/// single FC classifier head (the common CIFAR adaptation).
+/// `width_mult` scales channels for budget-reduced runs.
+std::unique_ptr<Sequential> make_vgg16(int classes = 10,
+                                       float width_mult = 1.0f);
+
+/// A shallow VGG-style net (conv-BN-ReLU x4 + pools) used by the quick
+/// examples and smoke tests.
+std::unique_ptr<Sequential> make_vgg_mini(int classes = 10, int base = 8);
+
+}  // namespace srmac

@@ -1,0 +1,146 @@
+#include "rtl/analyze.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace srmac::rtl {
+
+double CellLibrary::area_ge(GateKind k) const {
+  switch (k) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput: return 0.0;
+    case GateKind::kNot: return ge_inv;
+    case GateKind::kNand:
+    case GateKind::kNor: return ge_nand;
+    case GateKind::kAnd:
+    case GateKind::kOr: return ge_and;
+    case GateKind::kXor:
+    case GateKind::kXnor: return ge_xor;
+    case GateKind::kMux: return ge_mux;
+    case GateKind::kDff: return ge_ff;
+  }
+  return 0.0;
+}
+
+double CellLibrary::delay_ns(GateKind k) const {
+  switch (k) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput: return 0.0;
+    case GateKind::kNot: return t_inv;
+    case GateKind::kNand:
+    case GateKind::kNor: return t_nand;
+    case GateKind::kAnd:
+    case GateKind::kOr: return t_and;
+    case GateKind::kXor:
+    case GateKind::kXnor: return t_xor;
+    case GateKind::kMux: return t_mux;
+    case GateKind::kDff: return t_ff_cq;
+  }
+  return 0.0;
+}
+
+double CellLibrary::energy_per_toggle_fj(GateKind k) const {
+  return area_ge(k) * fj_per_ge_toggle;
+}
+
+RtlReport analyze(const Netlist& nl, const CellLibrary& lib) {
+  RtlReport rep;
+  const auto live = nl.live_mask();
+  const auto& gates = nl.gates();
+
+  std::vector<double> arrival(gates.size(), 0.0);
+  std::vector<Net> pred(gates.size(), kNoNet);
+  double worst = 0.0;
+  Net worst_net = kNoNet;
+
+  for (size_t i = 0; i < gates.size(); ++i) {
+    if (!live[i]) continue;
+    const Gate& g = gates[i];
+    const GateKind k = g.kind;
+    if (k == GateKind::kConst0 || k == GateKind::kConst1 ||
+        k == GateKind::kInput)
+      continue;
+    if (k == GateKind::kDff) {
+      ++rep.flops;
+      rep.area_ge += lib.area_ge(k);
+      arrival[i] = lib.t_ff_cq;  // clock-to-Q launches a fresh path
+      continue;
+    }
+    ++rep.gates;
+    rep.area_ge += lib.area_ge(k);
+    ++rep.kind_counts[gate_kind_name(k)];
+
+    double in = 0.0;
+    Net from = kNoNet;
+    for (Net f : {g.a, g.b, g.c}) {
+      if (f == kNoNet) continue;
+      if (arrival[static_cast<size_t>(f)] >= in) {
+        in = arrival[static_cast<size_t>(f)];
+        from = f;
+      }
+    }
+    arrival[i] = in + lib.delay_ns(k);
+    pred[i] = from;
+    if (arrival[i] > worst) {
+      worst = arrival[i];
+      worst_net = static_cast<Net>(i);
+    }
+  }
+
+  // Flop D pins also terminate paths.
+  for (Net q : nl.flops()) {
+    const Net d = nl.gate(q).a;
+    if (d != kNoNet && arrival[static_cast<size_t>(d)] > worst) {
+      worst = arrival[static_cast<size_t>(d)];
+      worst_net = d;
+    }
+  }
+
+  rep.delay_ns = worst;
+  rep.area_um2 = rep.area_ge * lib.um2_per_ge;
+  for (Net n = worst_net; n != kNoNet; n = pred[static_cast<size_t>(n)])
+    rep.critical_path.push_back(n);
+  std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+  return rep;
+}
+
+double dynamic_energy_fj_per_op(const Netlist& nl, const Simulator& sim,
+                                const CellLibrary& lib) {
+  if (sim.evals_since_reset() == 0) return 0.0;
+  const auto live = nl.live_mask();
+  const auto& toggles = sim.toggles();
+  double fj = 0.0;
+  for (size_t i = 0; i < toggles.size(); ++i) {
+    if (!live[i]) continue;
+    fj += static_cast<double>(toggles[i]) *
+          lib.energy_per_toggle_fj(nl.gate(static_cast<Net>(i)).kind);
+  }
+  // 64 lanes per eval; lane-to-lane transitions within one word are not
+  // counted (only eval-to-eval), so normalize by evals, not vectors.
+  return fj / static_cast<double>(sim.evals_since_reset());
+}
+
+EnergyEstimate estimate_energy(const Netlist& nl, int vectors, uint64_t seed,
+                               const CellLibrary& lib) {
+  Simulator sim(nl);
+  std::mt19937_64 rng(seed);
+  // Randomize initial flop state (nonzero so LFSRs run).
+  for (Net q : nl.flops()) sim.set_flop(q, rng());
+  sim.reset_activity();
+  for (int v = 0; v < vectors; ++v) {
+    for (const auto& port : nl.inputs())
+      for (size_t b = 0; b < port.bits.size(); ++b)
+        sim.set_input_lanes(port.name, static_cast<int>(b), rng());
+    sim.eval();
+    sim.step();
+  }
+  EnergyEstimate e;
+  e.fj_per_op = dynamic_energy_fj_per_op(nl, sim, lib);
+  // 1 fJ per op at 1 op per clock = 1e-15 J * 1e6 Hz/MHz = 1e-9 W/MHz.
+  e.nw_per_mhz = e.fj_per_op * 1e-9 * 1e9;  // fJ/op -> nW/MHz numerically
+  return e;
+}
+
+}  // namespace srmac::rtl

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "rtl/sim.hpp"
+
+namespace srmac::rtl {
+
+/// Per-cell characterization used by the static analyzer. Defaults are
+/// area-optimized 28nm-class cells, deliberately aligned with the
+/// calibrated `hw::AsicTech` constants so the gate-level numbers and the
+/// structural `hwcost` model can be cross-checked (bench_rtl_gatelevel).
+struct CellLibrary {
+  double um2_per_ge = 0.75;  ///< µm² per NAND2-equivalent
+
+  /// Area in gate equivalents per cell kind.
+  double area_ge(GateKind k) const;
+  /// Propagation delay in ns per cell kind (relaxed-timing cells).
+  double delay_ns(GateKind k) const;
+  /// Switched energy per output toggle, fJ (scaled with cell size).
+  double energy_per_toggle_fj(GateKind k) const;
+
+  double ge_inv = 0.67;
+  double ge_and = 1.33;  // AND = NAND + INV in this library's accounting
+  double ge_nand = 1.0;
+  double ge_xor = 2.33;
+  double ge_mux = 2.33;
+  double ge_ff = 6.0;
+
+  double t_inv = 0.016;
+  double t_nand = 0.022;
+  double t_and = 0.030;
+  double t_xor = 0.042;
+  double t_mux = 0.038;
+  double t_ff_cq = 0.060;
+
+  double fj_per_ge_toggle = 0.38;  ///< 28nm-class node energy per GE toggle
+};
+
+/// Static analysis report over one netlist.
+struct RtlReport {
+  int gates = 0;           ///< live logic gates (excl. flops)
+  int flops = 0;
+  double area_ge = 0.0;    ///< combinational + sequential area in GE
+  double area_um2 = 0.0;
+  double delay_ns = 0.0;   ///< critical combinational path
+  std::map<std::string, int> kind_counts;
+  std::vector<Net> critical_path;  ///< nets on the longest path, input->output
+};
+
+/// Computes live area and the topological critical path of `nl`.
+RtlReport analyze(const Netlist& nl, const CellLibrary& lib = {});
+
+/// Converts accumulated simulator switching activity into a dynamic energy
+/// estimate. Returns average energy per evaluated vector in fJ, i.e. per
+/// operation when each eval() carries one new input vector per lane.
+double dynamic_energy_fj_per_op(const Netlist& nl, const Simulator& sim,
+                                const CellLibrary& lib = {});
+
+/// Runs `vectors` random input vectors through the netlist (all input
+/// ports driven uniformly at random, flops free-running) and reports
+/// {average energy per op in fJ, equivalent nW/MHz}.
+struct EnergyEstimate {
+  double fj_per_op = 0.0;
+  double nw_per_mhz = 0.0;
+};
+EnergyEstimate estimate_energy(const Netlist& nl, int vectors,
+                               uint64_t seed = 0x5EED,
+                               const CellLibrary& lib = {});
+
+}  // namespace srmac::rtl

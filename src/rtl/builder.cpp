@@ -1,0 +1,356 @@
+#include "rtl/builder.hpp"
+
+#include <cassert>
+
+namespace srmac::rtl {
+
+Bus bus_const(Netlist& nl, uint64_t value, int width) {
+  Bus out(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i)
+    out[static_cast<size_t>(i)] =
+        ((value >> i) & 1) ? nl.const1() : nl.const0();
+  return out;
+}
+
+Bus bus_not(Netlist& nl, const Bus& a) {
+  Bus out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = nl.not_(a[i]);
+  return out;
+}
+
+namespace {
+
+Bus zip(Netlist& nl, GateKind k, const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = nl.mk(k, a[i], b[i]);
+  return out;
+}
+
+}  // namespace
+
+Bus bus_and(Netlist& nl, const Bus& a, const Bus& b) {
+  return zip(nl, GateKind::kAnd, a, b);
+}
+Bus bus_or(Netlist& nl, const Bus& a, const Bus& b) {
+  return zip(nl, GateKind::kOr, a, b);
+}
+Bus bus_xor(Netlist& nl, const Bus& a, const Bus& b) {
+  return zip(nl, GateKind::kXor, a, b);
+}
+
+Bus bus_gate(Netlist& nl, const Bus& a, Net s) {
+  Bus out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = nl.and_(a[i], s);
+  return out;
+}
+
+Bus bus_mux(Netlist& nl, Net s, const Bus& d0, const Bus& d1) {
+  assert(d0.size() == d1.size());
+  Bus out(d0.size());
+  for (size_t i = 0; i < d0.size(); ++i) out[i] = nl.mux(s, d0[i], d1[i]);
+  return out;
+}
+
+namespace {
+
+Net reduce_tree(Netlist& nl, GateKind k, const Bus& a, Net identity) {
+  if (a.empty()) return identity;
+  Bus level = a;
+  while (level.size() > 1) {
+    Bus next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(nl.mk(k, level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace
+
+Net reduce_or(Netlist& nl, const Bus& a) {
+  return reduce_tree(nl, GateKind::kOr, a, nl.const0());
+}
+Net reduce_and(Netlist& nl, const Bus& a) {
+  return reduce_tree(nl, GateKind::kAnd, a, nl.const1());
+}
+Net reduce_xor(Netlist& nl, const Bus& a) {
+  return reduce_tree(nl, GateKind::kXor, a, nl.const0());
+}
+
+Bus bus_resize(Netlist& nl, const Bus& a, int width) {
+  Bus out(static_cast<size_t>(width), nl.const0());
+  for (size_t i = 0; i < a.size() && i < out.size(); ++i) out[i] = a[i];
+  return out;
+}
+
+Bus bus_slice(const Bus& a, int lsb, int count) {
+  assert(lsb >= 0 && count >= 0 &&
+         static_cast<size_t>(lsb + count) <= a.size());
+  return Bus(a.begin() + lsb, a.begin() + lsb + count);
+}
+
+Bus bus_concat(const Bus& lo, const Bus& hi) {
+  Bus out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Bus bus_shl_const(Netlist& nl, const Bus& a, int k) {
+  const int w = static_cast<int>(a.size());
+  Bus out(a.size(), nl.const0());
+  for (int i = 0; i + k < w; ++i)
+    out[static_cast<size_t>(i + k)] = a[static_cast<size_t>(i)];
+  return out;
+}
+
+Bus bus_shr_const(Netlist& nl, const Bus& a, int k) {
+  const int w = static_cast<int>(a.size());
+  Bus out(a.size(), nl.const0());
+  for (int i = k; i < w; ++i)
+    out[static_cast<size_t>(i - k)] = a[static_cast<size_t>(i)];
+  return out;
+}
+
+namespace {
+
+AddResult add_ripple(Netlist& nl, const Bus& a, const Bus& b, Net cin) {
+  AddResult r;
+  r.sum.resize(a.size());
+  Net c = cin;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Net axb = nl.xor_(a[i], b[i]);
+    r.sum[i] = nl.xor_(axb, c);
+    // Majority carry: ab | c(a^b).
+    c = nl.or_(nl.and_(a[i], b[i]), nl.and_(c, axb));
+  }
+  r.cout = c;
+  return r;
+}
+
+AddResult add_kogge_stone(Netlist& nl, const Bus& a, const Bus& b, Net cin) {
+  const int w = static_cast<int>(a.size());
+  Bus g(static_cast<size_t>(w)), p(static_cast<size_t>(w));
+  for (int i = 0; i < w; ++i) {
+    g[static_cast<size_t>(i)] = nl.and_(a[static_cast<size_t>(i)],
+                                        b[static_cast<size_t>(i)]);
+    p[static_cast<size_t>(i)] = nl.xor_(a[static_cast<size_t>(i)],
+                                        b[static_cast<size_t>(i)]);
+  }
+  const Bus p0 = p;  // keep per-bit propagate for the sum stage
+  // Fold cin in as generate at a virtual bit -1 by seeding bit 0.
+  Bus G = g, P = p;
+  G[0] = nl.or_(g[0], nl.and_(p[0], cin));
+  for (int d = 1; d < w; d <<= 1) {
+    Bus G2 = G, P2 = P;
+    for (int i = d; i < w; ++i) {
+      const size_t si = static_cast<size_t>(i), sj = static_cast<size_t>(i - d);
+      G2[si] = nl.or_(G[si], nl.and_(P[si], G[sj]));
+      P2[si] = nl.and_(P[si], P[sj]);
+    }
+    G = std::move(G2);
+    P = std::move(P2);
+  }
+  AddResult r;
+  r.sum.resize(a.size());
+  r.sum[0] = nl.xor_(p0[0], cin);
+  for (int i = 1; i < w; ++i)
+    r.sum[static_cast<size_t>(i)] =
+        nl.xor_(p0[static_cast<size_t>(i)], G[static_cast<size_t>(i - 1)]);
+  r.cout = w > 0 ? G[static_cast<size_t>(w - 1)] : cin;
+  return r;
+}
+
+}  // namespace
+
+AddResult add(Netlist& nl, const Bus& a, const Bus& b, Net cin,
+              AdderArch arch) {
+  assert(a.size() == b.size() && !a.empty());
+  return arch == AdderArch::kRipple ? add_ripple(nl, a, b, cin)
+                                    : add_kogge_stone(nl, a, b, cin);
+}
+
+SubResult sub(Netlist& nl, const Bus& a, const Bus& b, AdderArch arch) {
+  const AddResult r = add(nl, a, bus_not(nl, b), nl.const1(), arch);
+  return {r.sum, nl.not_(r.cout)};
+}
+
+Bus inc_if(Netlist& nl, const Bus& a, Net en) {
+  Bus out(a.size());
+  Net c = en;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = nl.xor_(a[i], c);
+    c = nl.and_(a[i], c);
+  }
+  return out;
+}
+
+Net eq(Netlist& nl, const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  return is_zero(nl, bus_xor(nl, a, b));
+}
+
+Net eq_const(Netlist& nl, const Bus& a, uint64_t value) {
+  Bus terms(a.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    terms[i] = ((value >> i) & 1) ? a[i] : nl.not_(a[i]);
+  return reduce_and(nl, terms);
+}
+
+Net is_zero(Netlist& nl, const Bus& a) {
+  return nl.not_(reduce_or(nl, a));
+}
+
+Net ult(Netlist& nl, const Bus& a, const Bus& b, AdderArch arch) {
+  const int w = static_cast<int>(std::max(a.size(), b.size()));
+  return sub(nl, bus_resize(nl, a, w), bus_resize(nl, b, w), arch).borrow;
+}
+
+Net uge(Netlist& nl, const Bus& a, const Bus& b, AdderArch arch) {
+  return nl.not_(ult(nl, a, b, arch));
+}
+
+Bus shr_barrel(Netlist& nl, const Bus& a, const Bus& amount) {
+  Bus cur = a;
+  for (size_t s = 0; s < amount.size(); ++s) {
+    const int k = 1 << s;
+    if (k >= static_cast<int>(a.size()) * 2 && s + 1 < amount.size()) {
+      // Remaining amount bits can only zero the word; fold them below.
+    }
+    Bus shifted = bus_shr_const(nl, cur, k);
+    cur = bus_mux(nl, amount[s], cur, shifted);
+  }
+  return cur;
+}
+
+Bus shl_barrel(Netlist& nl, const Bus& a, const Bus& amount) {
+  Bus cur = a;
+  for (size_t s = 0; s < amount.size(); ++s) {
+    Bus shifted = bus_shl_const(nl, cur, 1 << s);
+    cur = bus_mux(nl, amount[s], cur, shifted);
+  }
+  return cur;
+}
+
+Net shr_sticky(Netlist& nl, const Bus& a, const Bus& amount) {
+  Bus cur = a;
+  Net sticky = nl.const0();
+  for (size_t s = 0; s < amount.size(); ++s) {
+    const int k = 1 << s;
+    const int keep = std::min<int>(k, static_cast<int>(cur.size()));
+    // Bits a shift by 2^s would discard at this stage.
+    const Net dropped = reduce_or(nl, bus_slice(cur, 0, keep));
+    sticky = nl.or_(sticky, nl.and_(amount[s], dropped));
+    cur = bus_mux(nl, amount[s], cur, bus_shr_const(nl, cur, k));
+  }
+  return sticky;
+}
+
+LzdResult lzd(Netlist& nl, const Bus& a) {
+  // Recursive doubling over a power-of-two padded copy: each merge step
+  // selects the half with the leading one and prepends one count bit.
+  int w2 = 1;
+  while (w2 < static_cast<int>(a.size())) w2 <<= 1;
+  // Pad at the LSB end: the MSB stays the MSB, so the leading-zero count
+  // of a nonzero input is unchanged by the padding.
+  Bus padded(static_cast<size_t>(w2), nl.const0());
+  const int pad = w2 - static_cast<int>(a.size());
+  for (size_t i = 0; i < a.size(); ++i) padded[i + static_cast<size_t>(pad)] = a[i];
+
+  struct Node {
+    Bus count;    // leading-zero count of the segment
+    Net nonzero;  // segment has a set bit
+  };
+  std::vector<Node> level;
+  level.reserve(static_cast<size_t>(w2));
+  for (int i = w2 - 1; i >= 0; --i)  // MSB-first segments of width 1
+    level.push_back({Bus{}, padded[static_cast<size_t>(i)]});
+  while (level.size() > 1) {
+    std::vector<Node> next;
+    next.reserve(level.size() / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      const Node& hi = level[i];      // more-significant half
+      const Node& lo = level[i + 1];  // less-significant half
+      Node m;
+      m.nonzero = nl.or_(hi.nonzero, lo.nonzero);
+      // New MSB of the count: high half all zero.
+      const Net pick_lo = nl.not_(hi.nonzero);
+      Bus inner(bus_mux(nl, pick_lo, hi.count, lo.count));
+      inner.push_back(pick_lo);  // counts are little-endian
+      m.count = std::move(inner);
+      next.push_back(std::move(m));
+    }
+    level = std::move(next);
+  }
+  LzdResult r;
+  r.all_zero = nl.not_(level[0].nonzero);
+  r.count = level[0].count;
+  return r;
+}
+
+Bus mul_array(Netlist& nl, const Bus& a, const Bus& b, AdderArch arch) {
+  const int wa = static_cast<int>(a.size());
+  const int wb = static_cast<int>(b.size());
+  const int w = wa + wb;
+
+  std::vector<Bus> rows;
+  rows.reserve(static_cast<size_t>(wb));
+  for (int j = 0; j < wb; ++j) {
+    Bus pp = bus_const(nl, 0, w);
+    for (int i = 0; i < wa; ++i)
+      pp[static_cast<size_t>(i + j)] =
+          nl.and_(a[static_cast<size_t>(i)], b[static_cast<size_t>(j)]);
+    rows.push_back(std::move(pp));
+  }
+  if (rows.empty()) return bus_const(nl, 0, w);
+
+  if (arch == AdderArch::kRipple) {
+    // Area-first: a plain accumulation array.
+    Bus acc = rows[0];
+    for (size_t j = 1; j < rows.size(); ++j)
+      acc = add(nl, acc, rows[j], nl.const0(), arch).sum;
+    return acc;
+  }
+
+  // Delay-first: Wallace-style carry-save reduction (3:2 compressors per
+  // bit column) down to two rows, then one fast carry-propagate add.
+  while (rows.size() > 2) {
+    std::vector<Bus> next;
+    size_t r = 0;
+    for (; r + 2 < rows.size(); r += 3) {
+      Bus sum(static_cast<size_t>(w)), carry(static_cast<size_t>(w),
+                                             nl.const0());
+      for (int i = 0; i < w; ++i) {
+        const Net x = rows[r][static_cast<size_t>(i)];
+        const Net y = rows[r + 1][static_cast<size_t>(i)];
+        const Net z = rows[r + 2][static_cast<size_t>(i)];
+        sum[static_cast<size_t>(i)] = nl.xor_(nl.xor_(x, y), z);
+        if (i + 1 < w)
+          carry[static_cast<size_t>(i + 1)] =
+              nl.or_(nl.and_(x, y), nl.and_(nl.xor_(x, y), z));
+      }
+      next.push_back(std::move(sum));
+      next.push_back(std::move(carry));
+    }
+    for (; r < rows.size(); ++r) next.push_back(std::move(rows[r]));
+    rows = std::move(next);
+  }
+  return rows.size() == 1 ? rows[0]
+                          : add(nl, rows[0], rows[1], nl.const0(), arch).sum;
+}
+
+Bus lfsr_galois(Netlist& nl, int width, uint64_t taps) {
+  Bus q(static_cast<size_t>(width));
+  for (auto& n : q) n = nl.dff();
+  const Net out = q[0];  // bit shifted out
+  for (int i = 0; i < width; ++i) {
+    Net d = (i + 1 < width) ? q[static_cast<size_t>(i + 1)] : nl.const0();
+    if ((taps >> i) & 1) d = nl.xor_(d, out);
+    nl.bind_dff(q[static_cast<size_t>(i)], d);
+  }
+  return q;
+}
+
+}  // namespace srmac::rtl

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rtl/netlist.hpp"
+
+namespace srmac::rtl {
+
+/// Word-level construction helpers over little-endian buses. Every function
+/// appends purely combinational gates to `nl`; widths are static and chosen
+/// by the caller (the netlist generators mirror the fixed bit windows of
+/// the behavioral MAC models).
+///
+/// Two integer-adder architectures are provided. `AdderArch::kRipple`
+/// produces the minimal-area chain the paper's area-optimized synthesis
+/// runs favor ("we relax timing constraints and optimize design area");
+/// `AdderArch::kKoggeStone` gives the log-depth prefix structure used when
+/// reporting delay-oriented variants in the ablation benches.
+enum class AdderArch { kRipple, kKoggeStone };
+
+/// A `width`-bit bus holding the constant `value`.
+Bus bus_const(Netlist& nl, uint64_t value, int width);
+
+/// Bitwise operators (equal widths required).
+Bus bus_not(Netlist& nl, const Bus& a);
+Bus bus_and(Netlist& nl, const Bus& a, const Bus& b);
+Bus bus_or(Netlist& nl, const Bus& a, const Bus& b);
+Bus bus_xor(Netlist& nl, const Bus& a, const Bus& b);
+/// Bitwise AND of every bit of `a` with the single net `s`.
+Bus bus_gate(Netlist& nl, const Bus& a, Net s);
+/// out = s ? d1 : d0 bitwise (equal widths).
+Bus bus_mux(Netlist& nl, Net s, const Bus& d0, const Bus& d1);
+
+/// OR / AND / XOR reduction over a bus (balanced tree). Empty bus reduces
+/// to the operation's identity.
+Net reduce_or(Netlist& nl, const Bus& a);
+Net reduce_and(Netlist& nl, const Bus& a);
+Net reduce_xor(Netlist& nl, const Bus& a);
+
+/// Zero-extends (or truncates) `a` to `width` bits.
+Bus bus_resize(Netlist& nl, const Bus& a, int width);
+/// The `count` bits of `a` starting at `lsb` (must be in range).
+Bus bus_slice(const Bus& a, int lsb, int count);
+/// Concatenation: `lo` occupies the low bits.
+Bus bus_concat(const Bus& lo, const Bus& hi);
+
+/// Static shifts (free — pure rewiring with constant fill).
+Bus bus_shl_const(Netlist& nl, const Bus& a, int k);
+Bus bus_shr_const(Netlist& nl, const Bus& a, int k);
+
+struct AddResult {
+  Bus sum;   ///< same width as the operands
+  Net cout;  ///< carry out of the top bit
+};
+
+/// sum = a + b + cin (equal widths). Ripple-carry or Kogge-Stone.
+AddResult add(Netlist& nl, const Bus& a, const Bus& b, Net cin,
+              AdderArch arch = AdderArch::kRipple);
+
+/// a - b via two's complement; `borrow` is high when a < b (unsigned).
+struct SubResult {
+  Bus diff;
+  Net borrow;
+};
+SubResult sub(Netlist& nl, const Bus& a, const Bus& b,
+              AdderArch arch = AdderArch::kRipple);
+
+/// a + 1 when `en`, else a (half-adder chain).
+Bus inc_if(Netlist& nl, const Bus& a, Net en);
+
+/// Unsigned comparisons.
+Net eq(Netlist& nl, const Bus& a, const Bus& b);
+Net eq_const(Netlist& nl, const Bus& a, uint64_t value);
+Net is_zero(Netlist& nl, const Bus& a);
+/// a < b / a >= b (widths may differ; the shorter side is zero-extended).
+Net ult(Netlist& nl, const Bus& a, const Bus& b,
+        AdderArch arch = AdderArch::kRipple);
+Net uge(Netlist& nl, const Bus& a, const Bus& b,
+        AdderArch arch = AdderArch::kRipple);
+
+/// Logical barrel shifter: result = a >> amount (zero fill), one mux layer
+/// per amount bit. Shift amounts >= width(a) give zero.
+Bus shr_barrel(Netlist& nl, const Bus& a, const Bus& amount);
+/// result = a << amount (zero fill), same structure.
+Bus shl_barrel(Netlist& nl, const Bus& a, const Bus& amount);
+
+/// Sticky collector: OR of the bits of `a` strictly below bit position
+/// `amount` (i.e. the bits a right shift by `amount` would discard),
+/// computed alongside the shifter stages. Amounts >= width cover all bits.
+Net shr_sticky(Netlist& nl, const Bus& a, const Bus& amount);
+
+struct LzdResult {
+  Bus count;     ///< leading-zero count, ceil(log2(width+1)) bits
+  Net all_zero;  ///< high when the input is all zeros
+};
+
+/// Leading-zero detector over `a` (MSB = bit width-1), recursive doubling.
+LzdResult lzd(Netlist& nl, const Bus& a);
+
+/// result = a * b (unsigned array multiplier), width(a)+width(b) bits.
+Bus mul_array(Netlist& nl, const Bus& a, const Bus& b,
+              AdderArch arch = AdderArch::kRipple);
+
+/// Galois LFSR state registers + next-state logic (one step per clock),
+/// matching rng::GaloisLfsr: shift right, XOR taps in when the shifted-out
+/// bit is 1. Returns the Q bus (current state).
+Bus lfsr_galois(Netlist& nl, int width, uint64_t taps);
+
+}  // namespace srmac::rtl

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rtl/netlist.hpp"
+
+namespace srmac::rtl {
+
+/// Result of a simulation-based miter check between two netlists.
+struct EquivResult {
+  bool equivalent = true;
+  uint64_t vectors_checked = 0;
+  bool exhaustive = false;     ///< full input space was covered
+  std::string counterexample;  ///< first mismatch, human-readable
+};
+
+/// Checks that `a` and `b` compute the same outputs over their (identical)
+/// port signatures — the classic combinational miter, decided here by
+/// 64-lane simulation: exhaustively when the designs have at most
+/// `exhaustive_bits` input bits, otherwise with `random_vectors` random
+/// vectors (reported in the result). Sequential designs are compared with
+/// matching flop state over `sequence_steps` clocks per vector.
+///
+/// Throws std::invalid_argument when the port signatures differ — that is
+/// a harness bug, not an inequivalence.
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              int random_vectors = 4096,
+                              int exhaustive_bits = 22,
+                              int sequence_steps = 4,
+                              uint64_t seed = 0xE9C17ull);
+
+}  // namespace srmac::rtl

@@ -1,0 +1,87 @@
+#pragma once
+
+#include "fpemu/format.hpp"
+#include "mac/mac_config.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/netlist.hpp"
+
+namespace srmac::rtl {
+
+/// Gate-level generators for the paper's floating-point datapaths.
+///
+/// Each generator emits a structural netlist that is *bit-identical* to the
+/// corresponding behavioral model in src/mac (the test suite proves this
+/// exhaustively on small formats and stochastically on the paper's E6M5 /
+/// E5M10 configurations). They are the repository's RTL: the Verilog
+/// emitter turns them into synthesizable text, the analyzer extracts
+/// gate-level area/delay, and the simulator provides switching-activity
+/// energy — the three quantities of the paper's Tables I/II/V.
+
+/// What the eager design does when the result exponent falls below emin
+/// before the Round Correction.
+///
+/// The behavioral model re-runs the lazy datapath on that corner (which in
+/// gates means embedding a complete lazy adder and would dominate the
+/// eager design's reported area/delay); the paper's own "W/O Sub" RTL
+/// treats the subnormal range as zero. kLazyFallback is therefore the
+/// bit-exact-to-software setting used by the equivalence tests, while
+/// kFlushToZero is the hardware-faithful standalone design used by the
+/// cost benches — the two differ only on subnormal-range traces, and only
+/// by flushing instead of occasionally rounding back up to the smallest
+/// normal (quantified in tests/rtl/fp_rtl_test.cpp).
+enum class EagerUnderflow { kLazyFallback, kFlushToZero };
+
+/// Options for the adder netlist generators.
+struct FpAddRtlOptions {
+  AdderArch arch = AdderArch::kRipple;
+  EagerUnderflow eager_underflow = EagerUnderflow::kLazyFallback;
+};
+
+/// Embeds the combinational adder datapath computing a (+) b in `fmt` with
+/// the given rounding micro-architecture into an existing netlist.
+/// `rand` must provide r nets for the SR kinds (pass an empty bus for RN).
+/// Returns the result bus (fmt.width() bits).
+Bus fp_add_datapath(Netlist& nl, const FpFormat& fmt, AdderKind kind, int r,
+                    const Bus& a, const Bus& b, const Bus& rand,
+                    const FpAddRtlOptions& opt = {});
+
+/// Embeds the exact multiplier (Sec. III-a): p_m x p_m inputs in `in`,
+/// result in product_format(in). Returns the product bus.
+Bus fp_mul_datapath(Netlist& nl, const FpFormat& in, const Bus& a,
+                    const Bus& b, AdderArch arch = AdderArch::kRipple);
+
+/// Standalone adder module: inputs "a", "b" (+ "rand" for SR kinds),
+/// output "z".
+Netlist build_fp_adder(const FpFormat& fmt, AdderKind kind, int r,
+                       const FpAddRtlOptions& opt = {});
+
+/// Standalone exact-multiplier module: inputs "a", "b"; output "p" in
+/// product_format(in).
+Netlist build_fp_multiplier(const FpFormat& in,
+                            AdderArch arch = AdderArch::kRipple);
+
+/// Full MAC unit of Fig. 2: inputs "a", "b" (mul_fmt), "acc" (acc_fmt);
+/// output "z" (acc_fmt). When `cfg` uses an SR adder the unit contains a
+/// free-running r-bit Galois LFSR (state advances on every clock) whose
+/// word feeds the rounding logic; the product format must equal the
+/// accumulator format (the paper's p_a = 2 p_m arrangement).
+Netlist build_mac_unit(const MacConfig& cfg,
+                       AdderArch arch = AdderArch::kRipple);
+
+/// The sequential, self-accumulating form of the unit — what a systolic
+/// PE instantiates: the exact multiplier feeds a product pipeline
+/// register, the adder sits in the accumulator feedback loop, and a
+/// "clear" input zeroes the accumulator on the next edge. Initiation
+/// interval 1, multiply-to-accumulate latency 1 cycle.
+///
+/// Ports: inputs "a", "b" (mul_fmt), "clear" (1 bit); output "acc"
+/// (acc_fmt, registered). `lfsr` lists the LFSR state flops so a testbench
+/// can seed them (empty for RN).
+struct MacPipelineRtl {
+  Netlist netlist;
+  std::vector<Net> lfsr;
+};
+MacPipelineRtl build_mac_pipeline(const MacConfig& cfg,
+                                  AdderArch arch = AdderArch::kRipple);
+
+}  // namespace srmac::rtl

@@ -1,0 +1,165 @@
+#include "rtl/lutmap.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace srmac::rtl {
+
+namespace {
+
+/// One cut: sorted leaf set plus the arrival depth at the cut root when it
+/// is implemented as a single LUT over these leaves.
+struct Cut {
+  std::vector<Net> leaves;
+  int depth = 0;
+
+  bool operator==(const Cut& o) const { return leaves == o.leaves; }
+};
+
+bool better(const Cut& a, const Cut& b) {
+  if (a.depth != b.depth) return a.depth < b.depth;
+  return a.leaves.size() < b.leaves.size();
+}
+
+/// Merges leaf sets; returns false when the union exceeds k.
+bool merge_leaves(const std::vector<Net>& a, const std::vector<Net>& b,
+                  int k, std::vector<Net>* out) {
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    Net next;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+      next = a[i++];
+    } else if (i >= a.size() || b[j] < a[i]) {
+      next = b[j++];
+    } else {
+      next = a[i];
+      ++i;
+      ++j;
+    }
+    out->push_back(next);
+    if (static_cast<int>(out->size()) > k) return false;
+  }
+  return true;
+}
+
+bool is_leaf_kind(GateKind k) {
+  return k == GateKind::kInput || k == GateKind::kDff;
+}
+bool is_const_kind(GateKind k) {
+  return k == GateKind::kConst0 || k == GateKind::kConst1;
+}
+
+}  // namespace
+
+LutMapReport lut_map(const Netlist& nl, const LutMapOptions& opt) {
+  const int n = nl.gate_count();
+  const auto live = nl.live_mask();
+
+  // node_depth[v]: LUT levels needed to produce v; best_cut[v]: the cut a
+  // cover should use.
+  std::vector<int> node_depth(static_cast<size_t>(n), 0);
+  std::vector<std::vector<Cut>> cuts(static_cast<size_t>(n));
+  std::vector<Cut> best_cut(static_cast<size_t>(n));
+
+  for (Net v = 0; v < n; ++v) {
+    if (!live[static_cast<size_t>(v)]) continue;
+    const Gate& g = nl.gate(v);
+    if (is_const_kind(g.kind)) {
+      cuts[static_cast<size_t>(v)] = {Cut{{}, 0}};
+      continue;
+    }
+    if (is_leaf_kind(g.kind)) {
+      cuts[static_cast<size_t>(v)] = {Cut{{v}, 0}};
+      continue;
+    }
+
+    std::vector<Net> fanins;
+    for (const Net f : {g.a, g.b, g.c})
+      if (f != kNoNet) fanins.push_back(f);
+
+    // Cartesian merge of fanin cuts, bounded.
+    std::vector<Cut> cand = {Cut{{}, 0}};
+    for (const Net f : fanins) {
+      std::vector<Cut> next;
+      for (const Cut& base : cand) {
+        for (const Cut& fc : cuts[static_cast<size_t>(f)]) {
+          Cut m;
+          if (!merge_leaves(base.leaves, fc.leaves, opt.k, &m.leaves))
+            continue;
+          m.depth = std::max(base.depth, fc.depth);
+          next.push_back(std::move(m));
+          if (next.size() > 64) break;  // pre-prune explosion
+        }
+      }
+      cand = std::move(next);
+      if (cand.empty()) break;
+    }
+    // A cut's arrival = 1 + max over leaves of node_depth(leaf).
+    for (Cut& c : cand) {
+      int d = 0;
+      for (const Net l : c.leaves)
+        d = std::max(d, node_depth[static_cast<size_t>(l)]);
+      c.depth = d + 1;
+    }
+    std::sort(cand.begin(), cand.end(), better);
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    if (static_cast<int>(cand.size()) > opt.cuts_per_node)
+      cand.resize(static_cast<size_t>(opt.cuts_per_node));
+
+    if (cand.empty()) {
+      // Degenerate (should not happen with k >= 3): fall back to the
+      // trivial cut over direct fanins.
+      Cut t;
+      t.leaves = fanins;
+      std::sort(t.leaves.begin(), t.leaves.end());
+      int d = 0;
+      for (const Net l : t.leaves)
+        d = std::max(d, node_depth[static_cast<size_t>(l)]);
+      t.depth = d + 1;
+      cand.push_back(std::move(t));
+    }
+
+    best_cut[static_cast<size_t>(v)] = cand.front();
+    node_depth[static_cast<size_t>(v)] = cand.front().depth;
+    // The trivial self-cut lets fanouts stop the cone here.
+    cand.push_back(Cut{{v}, node_depth[static_cast<size_t>(v)]});
+    cuts[static_cast<size_t>(v)] = std::move(cand);
+  }
+
+  // Cover from outputs and flop D pins.
+  LutMapReport rep;
+  std::unordered_set<Net> emitted;
+  std::vector<Net> work;
+  auto want = [&](Net v) {
+    if (v == kNoNet) return;
+    const GateKind k = nl.gate(v).kind;
+    if (is_const_kind(k) || is_leaf_kind(k)) return;
+    if (emitted.insert(v).second) work.push_back(v);
+  };
+  int max_depth = 0;
+  for (const auto& p : nl.outputs())
+    for (const Net v : p.bits) {
+      want(v);
+      if (v != kNoNet) max_depth = std::max(max_depth, node_depth[static_cast<size_t>(v)]);
+    }
+  for (const Net q : nl.flops()) {
+    if (!live[static_cast<size_t>(q)]) continue;
+    ++rep.ffs;
+    const Net d = nl.gate(q).a;
+    want(d);
+    if (d != kNoNet) max_depth = std::max(max_depth, node_depth[static_cast<size_t>(d)]);
+  }
+  while (!work.empty()) {
+    const Net v = work.back();
+    work.pop_back();
+    ++rep.luts;
+    for (const Net l : best_cut[static_cast<size_t>(v)].leaves) want(l);
+  }
+
+  rep.depth = max_depth;
+  rep.delay_ns = opt.t_io_ns + static_cast<double>(max_depth) * opt.t_lut_ns;
+  return rep;
+}
+
+}  // namespace srmac::rtl

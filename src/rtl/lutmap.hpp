@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace srmac::rtl {
+
+/// Result of technology mapping a netlist onto K-input LUTs.
+struct LutMapReport {
+  int luts = 0;
+  int ffs = 0;
+  int depth = 0;        ///< LUT levels on the critical path
+  double delay_ns = 0;  ///< depth * per-level delay + I/O overhead
+};
+
+/// Options for the mapper and its delay back-annotation. The timing
+/// constants default to the same Virtex-UltraScale+-class figures as the
+/// calibrated hwcost FPGA model so the two can be cross-checked.
+struct LutMapOptions {
+  int k = 6;               ///< LUT input count
+  int cuts_per_node = 8;   ///< cut-enumeration bound
+  double t_lut_ns = 0.45;  ///< per-level delay incl. local routing
+  double t_io_ns = 2.7;    ///< IOB/clocking overhead of an OOC measurement
+};
+
+/// Maps the combinational logic of `nl` onto K-input LUTs via bounded cut
+/// enumeration (depth-oriented: each node keeps its depth-minimal cuts,
+/// ties broken on cut size) followed by a cover walk from the outputs —
+/// a compact FlowMap-style mapper. Flip-flops map 1:1 onto fabric FFs.
+///
+/// This is the repository's gate-level stand-in for the Vivado run behind
+/// the paper's Table II: the bench compares its LUT/FF/delay output
+/// against both the calibrated FPGA cost model and the paper's numbers.
+LutMapReport lut_map(const Netlist& nl, const LutMapOptions& opt = {});
+
+}  // namespace srmac::rtl

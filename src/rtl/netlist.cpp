@@ -1,0 +1,221 @@
+#include "rtl/netlist.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace srmac::rtl {
+
+const char* gate_kind_name(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0: return "const0";
+    case GateKind::kConst1: return "const1";
+    case GateKind::kInput: return "input";
+    case GateKind::kNot: return "not";
+    case GateKind::kAnd: return "and";
+    case GateKind::kOr: return "or";
+    case GateKind::kXor: return "xor";
+    case GateKind::kNand: return "nand";
+    case GateKind::kNor: return "nor";
+    case GateKind::kXnor: return "xnor";
+    case GateKind::kMux: return "mux";
+    case GateKind::kDff: return "dff";
+  }
+  return "?";
+}
+
+int gate_arity(GateKind k) {
+  switch (k) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput: return 0;
+    case GateKind::kNot:
+    case GateKind::kDff: return 1;
+    case GateKind::kMux: return 3;
+    default: return 2;
+  }
+}
+
+Bus Netlist::add_input(const std::string& name, int width) {
+  Bus bus(static_cast<size_t>(width));
+  for (auto& n : bus) {
+    n = static_cast<Net>(gates_.size());
+    gates_.push_back({GateKind::kInput});
+  }
+  inputs_.push_back({name, bus});
+  return bus;
+}
+
+void Netlist::add_output(const std::string& name, const Bus& bits) {
+  for ([[maybe_unused]] Net n : bits)
+    assert(n >= 0 && n < gate_count() && "output bit must be a live net");
+  outputs_.push_back({name, bits});
+}
+
+namespace {
+
+/// True when the kind's operands commute (for canonical CSE keys).
+bool commutative(GateKind k) {
+  switch (k) {
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+    case GateKind::kNand:
+    case GateKind::kNor:
+    case GateKind::kXnor: return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+Net Netlist::mk(GateKind kind, Net a, Net b, Net c) {
+  const Net k0 = const0(), k1 = const1();
+  switch (kind) {
+    case GateKind::kNot:
+      if (a == k0) return k1;
+      if (a == k1) return k0;
+      // Double negation cancels.
+      if (gates_[static_cast<size_t>(a)].kind == GateKind::kNot)
+        return gates_[static_cast<size_t>(a)].a;
+      break;
+    case GateKind::kAnd:
+      if (a == k0 || b == k0) return k0;
+      if (a == k1) return b;
+      if (b == k1) return a;
+      if (a == b) return a;
+      break;
+    case GateKind::kOr:
+      if (a == k1 || b == k1) return k1;
+      if (a == k0) return b;
+      if (b == k0) return a;
+      if (a == b) return a;
+      break;
+    case GateKind::kXor:
+      if (a == b) return k0;
+      if (a == k0) return b;
+      if (b == k0) return a;
+      if (a == k1) return mk(GateKind::kNot, b);
+      if (b == k1) return mk(GateKind::kNot, a);
+      break;
+    case GateKind::kNand:
+      if (a == k0 || b == k0) return k1;
+      if (a == k1) return mk(GateKind::kNot, b);
+      if (b == k1) return mk(GateKind::kNot, a);
+      if (a == b) return mk(GateKind::kNot, a);
+      break;
+    case GateKind::kNor:
+      if (a == k1 || b == k1) return k0;
+      if (a == k0) return mk(GateKind::kNot, b);
+      if (b == k0) return mk(GateKind::kNot, a);
+      if (a == b) return mk(GateKind::kNot, a);
+      break;
+    case GateKind::kXnor:
+      if (a == b) return k1;
+      if (a == k1) return b;
+      if (b == k1) return a;
+      if (a == k0) return mk(GateKind::kNot, b);
+      if (b == k0) return mk(GateKind::kNot, a);
+      break;
+    case GateKind::kMux:
+      if (a == k0) return b;   // !s -> d0
+      if (a == k1) return c;   // s -> d1
+      if (b == c) return b;
+      if (b == k0 && c == k1) return a;                       // s
+      if (b == k1 && c == k0) return mk(GateKind::kNot, a);   // !s
+      if (b == k0) return mk(GateKind::kAnd, a, c);           // s & d1
+      if (c == k1) return mk(GateKind::kOr, a, b);            // s | d0
+      if (c == k0) return mk(GateKind::kAnd, mk(GateKind::kNot, a), b);
+      if (b == k1) return mk(GateKind::kOr, mk(GateKind::kNot, a), c);
+      break;
+    default:
+      break;
+  }
+
+  if (commutative(kind) && a > b) std::swap(a, b);
+
+  const int arity = gate_arity(kind);
+  assert(arity >= 1 && "constants/inputs are not created through mk()");
+  assert(a >= 0 && a < gate_count());
+  assert(arity < 2 || (b >= 0 && b < gate_count()));
+  assert(arity < 3 || (c >= 0 && c < gate_count()));
+
+  const Key key{kind, a, arity >= 2 ? b : kNoNet, arity >= 3 ? c : kNoNet};
+  if (auto it = cse_.find(key); it != cse_.end()) return it->second;
+
+  const Net id = static_cast<Net>(gates_.size());
+  gates_.push_back({kind, key.a, key.b, key.c});
+  cse_.emplace(key, id);
+  return id;
+}
+
+Net Netlist::dff() {
+  const Net id = static_cast<Net>(gates_.size());
+  gates_.push_back({GateKind::kDff, kNoNet});
+  flops_.push_back(id);
+  return id;
+}
+
+void Netlist::bind_dff(Net q, Net d) {
+  auto& g = gates_.at(static_cast<size_t>(q));
+  if (g.kind != GateKind::kDff)
+    throw std::logic_error("bind_dff: net is not a flip-flop");
+  g.a = d;
+}
+
+const Port* Netlist::find_input(const std::string& name) const {
+  for (const auto& p : inputs_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+const Port* Netlist::find_output(const std::string& name) const {
+  for (const auto& p : outputs_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+std::unordered_map<GateKind, int> Netlist::kind_histogram() const {
+  std::unordered_map<GateKind, int> h;
+  const auto live = live_mask();
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    if (!live[i]) continue;
+    const GateKind k = gates_[i].kind;
+    if (k == GateKind::kConst0 || k == GateKind::kConst1 ||
+        k == GateKind::kInput)
+      continue;
+    ++h[k];
+  }
+  return h;
+}
+
+int Netlist::logic_gate_count() const {
+  int n = 0;
+  for (const auto& [kind, count] : kind_histogram())
+    if (kind != GateKind::kDff) n += count;
+  return n;
+}
+
+std::vector<bool> Netlist::live_mask() const {
+  std::vector<bool> live(gates_.size(), false);
+  std::vector<Net> stack;
+  auto push = [&](Net n) {
+    if (n >= 0 && !live[static_cast<size_t>(n)]) {
+      live[static_cast<size_t>(n)] = true;
+      stack.push_back(n);
+    }
+  };
+  for (const auto& p : outputs_)
+    for (Net n : p.bits) push(n);
+  for (Net q : flops_) push(q);
+  while (!stack.empty()) {
+    const Net top = stack.back();
+    stack.pop_back();
+    const Gate& g = gates_[static_cast<size_t>(top)];
+    push(g.a);
+    push(g.b);
+    push(g.c);
+  }
+  return live;
+}
+
+}  // namespace srmac::rtl

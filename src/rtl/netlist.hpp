@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace srmac::rtl {
+
+/// Index of a net (the output of one gate) inside a Netlist.
+using Net = int32_t;
+inline constexpr Net kNoNet = -1;
+
+/// Primitive cell kinds. The library is deliberately small — the classic
+/// technology-independent subject graph plus a 2:1 mux and a D flip-flop —
+/// so that area/delay/energy can be reported in well-defined gate
+/// equivalents and the Verilog emitter stays trivially synthesizable.
+enum class GateKind : uint8_t {
+  kConst0,
+  kConst1,
+  kInput,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+  kMux,  ///< fanin {s, d0, d1}: out = s ? d1 : d0
+  kDff,  ///< fanin {d}: out = registered value of d (one clock domain)
+};
+
+const char* gate_kind_name(GateKind k);
+/// Number of fanin pins used by `k` (0 for constants/inputs).
+int gate_arity(GateKind k);
+
+/// One gate instance. Unused fanin slots hold kNoNet.
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  Net a = kNoNet;
+  Net b = kNoNet;
+  Net c = kNoNet;
+};
+
+/// A little-endian word of nets (bus[0] is the LSB).
+using Bus = std::vector<Net>;
+
+/// A named port (input or output) of the design.
+struct Port {
+  std::string name;
+  Bus bits;
+};
+
+/// A combinational/sequential gate-level netlist under construction.
+///
+/// Gates are append-only and every fanin must already exist, so gate ids are
+/// a topological order of the combinational logic by construction (D
+/// flip-flop outputs act as leaves; their D pins are bound after the fact
+/// and may point forward). `mk()` performs constant folding, operand
+/// canonicalization and structural hashing, so generators can be written
+/// naively — dead constants, duplicated subtrees and x^x style residue are
+/// absorbed here rather than inflating the reported gate counts.
+class Netlist {
+ public:
+  Netlist() {
+    gates_.push_back({GateKind::kConst0});
+    gates_.push_back({GateKind::kConst1});
+  }
+
+  Net const0() const { return 0; }
+  Net const1() const { return 1; }
+
+  /// Declares a `width`-bit primary input bus.
+  Bus add_input(const std::string& name, int width);
+  /// Declares an output port driven by `bits`.
+  void add_output(const std::string& name, const Bus& bits);
+
+  /// Creates (or reuses) a gate. Folds constants and hashes structurally.
+  Net mk(GateKind kind, Net a = kNoNet, Net b = kNoNet, Net c = kNoNet);
+
+  Net not_(Net a) { return mk(GateKind::kNot, a); }
+  Net and_(Net a, Net b) { return mk(GateKind::kAnd, a, b); }
+  Net or_(Net a, Net b) { return mk(GateKind::kOr, a, b); }
+  Net xor_(Net a, Net b) { return mk(GateKind::kXor, a, b); }
+  Net nand_(Net a, Net b) { return mk(GateKind::kNand, a, b); }
+  Net nor_(Net a, Net b) { return mk(GateKind::kNor, a, b); }
+  Net xnor_(Net a, Net b) { return mk(GateKind::kXnor, a, b); }
+  /// out = s ? d1 : d0.
+  Net mux(Net s, Net d0, Net d1) { return mk(GateKind::kMux, s, d0, d1); }
+
+  /// Creates a D flip-flop whose D pin is bound later (it may close a
+  /// cycle). Returns the Q net, usable immediately as a leaf.
+  Net dff();
+  /// Binds the D pin of flip-flop `q` (which must come from dff()).
+  void bind_dff(Net q, Net d);
+
+  int gate_count() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(Net n) const { return gates_[static_cast<size_t>(n)]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<Port>& inputs() const { return inputs_; }
+  const std::vector<Port>& outputs() const { return outputs_; }
+  const std::vector<Net>& flops() const { return flops_; }
+
+  /// Looks a port up by name; returns nullptr when absent.
+  const Port* find_input(const std::string& name) const;
+  const Port* find_output(const std::string& name) const;
+
+  /// Count of gates per kind, excluding constants/inputs (reporting aid).
+  std::unordered_map<GateKind, int> kind_histogram() const;
+
+  /// Number of *logic* gates (excludes constants, inputs and flops).
+  int logic_gate_count() const;
+
+  /// Marks gates reachable from outputs/flop D pins and returns the count
+  /// of live logic gates (structural hashing already avoids most dead
+  /// logic; this bounds what the reports should charge for).
+  std::vector<bool> live_mask() const;
+
+ private:
+  struct Key {
+    GateKind kind;
+    Net a, b, c;
+    bool operator==(const Key& o) const {
+      return kind == o.kind && a == o.a && b == o.b && c == o.c;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = static_cast<uint64_t>(k.kind);
+      h = h * 0x9E3779B97F4A7C15ull + static_cast<uint32_t>(k.a + 1);
+      h = h * 0x9E3779B97F4A7C15ull + static_cast<uint32_t>(k.b + 1);
+      h = h * 0x9E3779B97F4A7C15ull + static_cast<uint32_t>(k.c + 1);
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  std::vector<Gate> gates_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+  std::vector<Net> flops_;
+  std::unordered_map<Key, Net, KeyHash> cse_;
+};
+
+}  // namespace srmac::rtl

@@ -1,0 +1,128 @@
+#include "rtl/opt.hpp"
+
+#include <vector>
+
+namespace srmac::rtl {
+
+namespace {
+
+/// The inverted counterpart of a 2-input kind, or the kind itself when no
+/// single-gate complement exists.
+GateKind complement_of(GateKind k, bool* has) {
+  *has = true;
+  switch (k) {
+    case GateKind::kAnd: return GateKind::kNand;
+    case GateKind::kNand: return GateKind::kAnd;
+    case GateKind::kOr: return GateKind::kNor;
+    case GateKind::kNor: return GateKind::kOr;
+    case GateKind::kXor: return GateKind::kXnor;
+    case GateKind::kXnor: return GateKind::kXor;
+    default: *has = false; return k;
+  }
+}
+
+}  // namespace
+
+Netlist optimize(const Netlist& nl, OptStats* stats) {
+  OptStats st;
+  st.gates_before = nl.logic_gate_count();
+
+  // Pass 1: rebuild with rewrites through a fresh builder (mk() refolds
+  // and re-hashes everything against the rewritten fanins).
+  Netlist out;
+  std::vector<Net> map(static_cast<size_t>(nl.gate_count()), kNoNet);
+  map[0] = out.const0();
+  map[1] = out.const1();
+
+  // Input ports keep their order and widths.
+  for (const auto& port : nl.inputs()) {
+    const Bus bus = out.add_input(port.name, static_cast<int>(port.bits.size()));
+    for (size_t i = 0; i < port.bits.size(); ++i)
+      map[static_cast<size_t>(port.bits[i])] = bus[i];
+  }
+  // Flop Qs exist before their D cones.
+  for (const Net q : nl.flops()) map[static_cast<size_t>(q)] = out.dff();
+
+  for (Net n = 0; n < nl.gate_count(); ++n) {
+    if (map[static_cast<size_t>(n)] != kNoNet) continue;  // const/input/flop
+    const Gate& g = nl.gate(n);
+    const Net a = g.a != kNoNet ? map[static_cast<size_t>(g.a)] : kNoNet;
+    const Net b = g.b != kNoNet ? map[static_cast<size_t>(g.b)] : kNoNet;
+    const Net c = g.c != kNoNet ? map[static_cast<size_t>(g.c)] : kNoNet;
+
+    Net r;
+    if (g.kind == GateKind::kNot && a >= 0) {
+      // De Morgan merge: invert the feeding gate in place when a single
+      // complemented cell exists.
+      const Gate& fa = out.gate(a);
+      bool has = false;
+      const GateKind comp = complement_of(fa.kind, &has);
+      if (has) {
+        r = out.mk(comp, fa.a, fa.b);
+        ++st.rewrites;
+      } else {
+        r = out.mk(GateKind::kNot, a);
+      }
+    } else if (g.kind == GateKind::kMux && a >= 0 &&
+               out.gate(a).kind == GateKind::kNot) {
+      // MUX(!s, d0, d1) == MUX(s, d1, d0).
+      r = out.mk(GateKind::kMux, out.gate(a).a, c, b);
+      ++st.rewrites;
+    } else {
+      r = out.mk(g.kind, a, b, c);
+    }
+    map[static_cast<size_t>(n)] = r;
+  }
+
+  for (const Net q : nl.flops())
+    out.bind_dff(map[static_cast<size_t>(q)],
+                 map[static_cast<size_t>(nl.gate(q).a)]);
+  for (const auto& port : nl.outputs()) {
+    Bus bus;
+    bus.reserve(port.bits.size());
+    for (const Net n : port.bits) bus.push_back(map[static_cast<size_t>(n)]);
+    out.add_output(port.name, bus);
+  }
+
+  // Pass 2: compact — copy only live gates so the structural reports stop
+  // charging for rewrite leftovers.
+  Netlist compact;
+  const auto live = out.live_mask();
+  std::vector<Net> cmap(static_cast<size_t>(out.gate_count()), kNoNet);
+  cmap[0] = compact.const0();
+  cmap[1] = compact.const1();
+  for (const auto& port : out.inputs()) {
+    const Bus bus =
+        compact.add_input(port.name, static_cast<int>(port.bits.size()));
+    for (size_t i = 0; i < port.bits.size(); ++i)
+      cmap[static_cast<size_t>(port.bits[i])] = bus[i];
+  }
+  for (const Net q : out.flops())
+    if (live[static_cast<size_t>(q)])
+      cmap[static_cast<size_t>(q)] = compact.dff();
+  for (Net n = 0; n < out.gate_count(); ++n) {
+    if (!live[static_cast<size_t>(n)] || cmap[static_cast<size_t>(n)] != kNoNet)
+      continue;
+    const Gate& g = out.gate(n);
+    cmap[static_cast<size_t>(n)] = compact.mk(
+        g.kind, g.a != kNoNet ? cmap[static_cast<size_t>(g.a)] : kNoNet,
+        g.b != kNoNet ? cmap[static_cast<size_t>(g.b)] : kNoNet,
+        g.c != kNoNet ? cmap[static_cast<size_t>(g.c)] : kNoNet);
+  }
+  for (const Net q : out.flops())
+    if (live[static_cast<size_t>(q)])
+      compact.bind_dff(cmap[static_cast<size_t>(q)],
+                       cmap[static_cast<size_t>(out.gate(q).a)]);
+  for (const auto& port : out.outputs()) {
+    Bus bus;
+    bus.reserve(port.bits.size());
+    for (const Net n : port.bits) bus.push_back(cmap[static_cast<size_t>(n)]);
+    compact.add_output(port.name, bus);
+  }
+
+  st.gates_after = compact.logic_gate_count();
+  if (stats) *stats = st;
+  return compact;
+}
+
+}  // namespace srmac::rtl

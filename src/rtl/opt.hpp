@@ -1,0 +1,30 @@
+#pragma once
+
+#include "rtl/netlist.hpp"
+
+namespace srmac::rtl {
+
+/// Statistics of one optimization run.
+struct OptStats {
+  int gates_before = 0;
+  int gates_after = 0;
+  int rewrites = 0;  ///< local rewrites applied (beyond dead-gate sweep)
+};
+
+/// Light technology-independent cleanup pass over a finished netlist.
+///
+/// The builder already folds constants and hashes structurally *during*
+/// construction; this pass catches what only becomes visible afterwards:
+///
+///  * NOT-chain collapsing through rebuilt fanins,
+///  * De Morgan merges: NOT(AND) -> NAND, NOT(OR) -> NOR, NOT(XOR) -> XNOR
+///    (and the reverse when the inverted form feeds another inverter),
+///  * MUX with complemented select: MUX(!s, a, b) -> MUX(s, b, a),
+///  * AND/OR absorption with shared fanins re-exposed by the rewrites,
+///  * dead-gate sweeping (everything unreachable from outputs/flops).
+///
+/// Returns a *new* netlist (ports and flops preserved, same I/O behaviour
+/// — the test suite proves it with the miter checker) plus statistics.
+Netlist optimize(const Netlist& nl, OptStats* stats = nullptr);
+
+}  // namespace srmac::rtl

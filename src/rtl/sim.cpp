@@ -1,0 +1,124 @@
+#include "rtl/sim.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace srmac::rtl {
+
+Simulator::Simulator(const Netlist& nl)
+    : nl_(nl),
+      values_(static_cast<size_t>(nl.gate_count()), 0),
+      state_(static_cast<size_t>(nl.gate_count()), 0),
+      toggles_(static_cast<size_t>(nl.gate_count()), 0) {}
+
+void Simulator::set_input(const std::string& name, uint64_t value) {
+  const Port* p = nl_.find_input(name);
+  if (!p) throw std::invalid_argument("no input port: " + name);
+  for (size_t b = 0; b < p->bits.size(); ++b)
+    values_[static_cast<size_t>(p->bits[b])] =
+        ((value >> b) & 1) ? ~0ull : 0ull;
+}
+
+void Simulator::set_input_lanes(const std::string& name, int bit,
+                                uint64_t lanes) {
+  const Port* p = nl_.find_input(name);
+  if (!p) throw std::invalid_argument("no input port: " + name);
+  values_[static_cast<size_t>(p->bits.at(static_cast<size_t>(bit)))] = lanes;
+}
+
+void Simulator::eval() {
+  const auto& gates = nl_.gates();
+  for (size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    uint64_t v;
+    switch (g.kind) {
+      case GateKind::kConst0: v = 0; break;
+      case GateKind::kConst1: v = ~0ull; break;
+      case GateKind::kInput: continue;  // externally driven
+      case GateKind::kDff: v = state_[i]; break;
+      case GateKind::kNot: v = ~values_[static_cast<size_t>(g.a)]; break;
+      case GateKind::kAnd:
+        v = values_[static_cast<size_t>(g.a)] &
+            values_[static_cast<size_t>(g.b)];
+        break;
+      case GateKind::kOr:
+        v = values_[static_cast<size_t>(g.a)] |
+            values_[static_cast<size_t>(g.b)];
+        break;
+      case GateKind::kXor:
+        v = values_[static_cast<size_t>(g.a)] ^
+            values_[static_cast<size_t>(g.b)];
+        break;
+      case GateKind::kNand:
+        v = ~(values_[static_cast<size_t>(g.a)] &
+              values_[static_cast<size_t>(g.b)]);
+        break;
+      case GateKind::kNor:
+        v = ~(values_[static_cast<size_t>(g.a)] |
+              values_[static_cast<size_t>(g.b)]);
+        break;
+      case GateKind::kXnor:
+        v = ~(values_[static_cast<size_t>(g.a)] ^
+              values_[static_cast<size_t>(g.b)]);
+        break;
+      case GateKind::kMux: {
+        const uint64_t s = values_[static_cast<size_t>(g.a)];
+        v = (~s & values_[static_cast<size_t>(g.b)]) |
+            (s & values_[static_cast<size_t>(g.c)]);
+        break;
+      }
+      default: v = 0; break;
+    }
+    if (have_prev_)
+      toggles_[i] += static_cast<uint64_t>(std::popcount(values_[i] ^ v));
+    values_[i] = v;
+  }
+  have_prev_ = true;
+  ++evals_;
+}
+
+void Simulator::step() {
+  for (Net q : nl_.flops()) {
+    const Gate& g = nl_.gate(q);
+    if (g.a == kNoNet) throw std::logic_error("unbound flip-flop D pin");
+    state_[static_cast<size_t>(q)] = values_[static_cast<size_t>(g.a)];
+  }
+}
+
+void Simulator::set_flop(Net q, uint64_t lanes) {
+  assert(nl_.gate(q).kind == GateKind::kDff);
+  state_[static_cast<size_t>(q)] = lanes;
+}
+
+void Simulator::load_state(const std::vector<Net>& flops, uint64_t value) {
+  for (size_t i = 0; i < flops.size(); ++i)
+    set_flop(flops[i], ((value >> i) & 1) ? ~0ull : 0ull);
+}
+
+uint64_t Simulator::get_output(const std::string& name) const {
+  return get_output_lane(name, 0);
+}
+
+uint64_t Simulator::get_output_lanes(const std::string& name, int bit) const {
+  const Port* p = nl_.find_output(name);
+  if (!p) throw std::invalid_argument("no output port: " + name);
+  return values_[static_cast<size_t>(p->bits.at(static_cast<size_t>(bit)))];
+}
+
+uint64_t Simulator::get_output_lane(const std::string& name, int lane) const {
+  const Port* p = nl_.find_output(name);
+  if (!p) throw std::invalid_argument("no output port: " + name);
+  uint64_t out = 0;
+  for (size_t b = 0; b < p->bits.size(); ++b)
+    out |= ((values_[static_cast<size_t>(p->bits[b])] >> lane) & 1) << b;
+  return out;
+}
+
+void Simulator::reset_activity() {
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  evals_ = 0;
+  have_prev_ = false;
+}
+
+}  // namespace srmac::rtl

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace srmac::rtl {
+
+/// 64-lane bit-parallel evaluator for a Netlist.
+///
+/// Each net carries a 64-bit word: lane `i` (bit `i` of the word) is an
+/// independent stimulus, so one eval() sweeps 64 test vectors at once —
+/// this is what makes the exhaustive gate-level-vs-behavioral equivalence
+/// sweeps in the test suite affordable. Flip-flops hold per-lane state;
+/// step() performs one clock edge across all lanes.
+///
+/// The simulator also accumulates per-gate toggle counts between
+/// consecutive evaluations, which the analyzer converts into a switching-
+/// activity-based dynamic energy estimate.
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl);
+
+  /// Drives an input port (little-endian: bit b of `value` goes to wire b
+  /// of the port) identically across all 64 lanes.
+  void set_input(const std::string& name, uint64_t value);
+  /// Drives one wire of an input port with a per-lane pattern.
+  void set_input_lanes(const std::string& name, int bit, uint64_t lanes);
+
+  /// Recomputes all combinational values from inputs and flop state.
+  void eval();
+
+  /// Clock edge: latches every flop's D into its state (call after eval()).
+  void step();
+
+  /// Resets a flop's state across all lanes (kNoNet-safe bulk variant
+  /// below). `q` must be a net returned by Netlist::dff().
+  void set_flop(Net q, uint64_t lanes);
+  /// Loads the flop buses produced by lfsr_galois() etc. with an integer
+  /// seed, identical across lanes (bit i of `value` -> flops[i]).
+  void load_state(const std::vector<Net>& flops, uint64_t value);
+
+  /// Value of lane 0 of an output port as an integer.
+  uint64_t get_output(const std::string& name) const;
+  /// Per-lane values of output port wire `bit`.
+  uint64_t get_output_lanes(const std::string& name, int bit) const;
+  /// Lane `lane` of output port `name` as an integer.
+  uint64_t get_output_lane(const std::string& name, int lane) const;
+
+  uint64_t value(Net n) const { return values_[static_cast<size_t>(n)]; }
+
+  /// Total toggles (bit flips across lanes) accumulated per gate since the
+  /// last reset; index = net id.
+  const std::vector<uint64_t>& toggles() const { return toggles_; }
+  void reset_activity();
+  /// Number of eval() calls since the last activity reset (64 vectors per
+  /// call when lanes are fully populated).
+  uint64_t evals_since_reset() const { return evals_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<uint64_t> values_;
+  std::vector<uint64_t> state_;    // flop Q values (indexed by net id)
+  std::vector<uint64_t> toggles_;
+  uint64_t evals_ = 0;
+  bool have_prev_ = false;
+};
+
+}  // namespace srmac::rtl

@@ -1,0 +1,67 @@
+#include "rtl/vcd.hpp"
+
+namespace srmac::rtl {
+
+VcdWriter::VcdWriter(const Netlist& nl, std::ostream& os, int lane,
+                     bool include_flops, const std::string& module_name)
+    : nl_(nl), os_(os), lane_(lane), module_(module_name) {
+  int index = 0;
+  for (const auto& p : nl.inputs())
+    signals_.push_back({p.name, make_id(index++), p.bits, ~0ull, false});
+  for (const auto& p : nl.outputs())
+    signals_.push_back({p.name, make_id(index++), p.bits, ~0ull, false});
+  if (include_flops) {
+    int fi = 0;
+    for (const Net q : nl.flops())
+      signals_.push_back({"ff" + std::to_string(fi++), make_id(index++),
+                          Bus{q}, ~0ull, false});
+  }
+}
+
+std::string VcdWriter::make_id(int index) {
+  // Printable identifier alphabet per the VCD spec (33..126).
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void VcdWriter::write_header() {
+  os_ << "$timescale 1ns $end\n$scope module " << module_ << " $end\n";
+  for (const Signal& s : signals_)
+    os_ << "$var wire " << s.bits.size() << " " << s.id << " " << s.name
+        << (s.bits.size() > 1
+                ? " [" + std::to_string(s.bits.size() - 1) + ":0]"
+                : "")
+        << " $end\n";
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::sample(const Simulator& sim, uint64_t time_ns) {
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (Signal& s : signals_) {
+    uint64_t v = 0;
+    for (size_t b = 0; b < s.bits.size(); ++b)
+      v |= ((sim.value(s.bits[b]) >> lane_) & 1) << b;
+    if (s.has_last && v == s.last) continue;
+    if (!stamped) {
+      os_ << "#" << time_ns << "\n";
+      stamped = true;
+    }
+    if (s.bits.size() == 1) {
+      os_ << (v & 1) << s.id << "\n";
+    } else {
+      os_ << "b";
+      for (size_t b = s.bits.size(); b-- > 0;) os_ << ((v >> b) & 1);
+      os_ << " " << s.id << "\n";
+    }
+    s.last = v;
+    s.has_last = true;
+  }
+}
+
+}  // namespace srmac::rtl

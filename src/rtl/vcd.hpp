@@ -1,0 +1,50 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "rtl/sim.hpp"
+
+namespace srmac::rtl {
+
+/// Value-change-dump (IEEE 1364 VCD) writer for simulator runs, so traces
+/// of the MAC netlists can be inspected in GTKWave & co. Records the
+/// design's ports (and optionally every flop) for one chosen lane of the
+/// 64-lane simulator.
+///
+/// Usage: construct over the netlist, call sample(sim, time) after each
+/// eval(); the header is emitted on first sample, value changes after.
+class VcdWriter {
+ public:
+  /// `os` must outlive the writer. `lane` selects the simulator lane to
+  /// trace; `include_flops` adds every DFF Q as a 1-bit signal.
+  VcdWriter(const Netlist& nl, std::ostream& os, int lane = 0,
+            bool include_flops = false,
+            const std::string& module_name = "srmac");
+
+  /// Emits value changes at `time_ns` (monotonically increasing).
+  void sample(const Simulator& sim, uint64_t time_ns);
+
+ private:
+  struct Signal {
+    std::string name;
+    std::string id;    // VCD short identifier
+    Bus bits;
+    uint64_t last = ~0ull;  // force first emission
+    bool has_last = false;
+  };
+
+  void write_header();
+  static std::string make_id(int index);
+
+  const Netlist& nl_;
+  std::ostream& os_;
+  int lane_;
+  std::string module_;
+  std::vector<Signal> signals_;
+  bool header_written_ = false;
+};
+
+}  // namespace srmac::rtl

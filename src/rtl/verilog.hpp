@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "rtl/netlist.hpp"
+
+namespace srmac::rtl {
+
+/// Emits `nl` as a self-contained synthesizable Verilog-2001 module.
+///
+/// Ports mirror the netlist's named buses (`[w-1:0]` vectors); every live
+/// logic gate becomes one continuous assignment over `wire n<id>` nets and
+/// every flip-flop a nonblocking assignment under `posedge clk` (a `clk`
+/// input and an active-high synchronous `rst` that loads `reset_value`
+/// attributes are added only when the design has state).
+///
+/// The emitted text targets any standard synthesis flow; it is the
+/// repository's stand-in for the paper's RTL hand-off to Synopsys Design
+/// Vision / Vivado.
+std::string emit_verilog(const Netlist& nl, const std::string& module_name);
+
+}  // namespace srmac::rtl

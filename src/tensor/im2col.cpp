@@ -1,0 +1,57 @@
+#include "tensor/im2col.hpp"
+
+#include <cstring>
+
+namespace srmac {
+
+void im2col(const float* img, int C, int H, int W, int kh, int kw, int stride,
+            int pad, float* cols) {
+  const int oh = conv_out_dim(H, kh, stride, pad);
+  const int ow = conv_out_dim(W, kw, stride, pad);
+  const int cols_w = oh * ow;
+  int row = 0;
+  for (int c = 0; c < C; ++c) {
+    for (int ki = 0; ki < kh; ++ki) {
+      for (int kj = 0; kj < kw; ++kj, ++row) {
+        float* out = cols + static_cast<size_t>(row) * cols_w;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * stride - pad + ki;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * stride - pad + kj;
+            out[y * ow + x] =
+                (iy >= 0 && iy < H && ix >= 0 && ix < W)
+                    ? img[(static_cast<size_t>(c) * H + iy) * W + ix]
+                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, int C, int H, int W, int kh, int kw, int stride,
+            int pad, float* img) {
+  const int oh = conv_out_dim(H, kh, stride, pad);
+  const int ow = conv_out_dim(W, kw, stride, pad);
+  const int cols_w = oh * ow;
+  std::memset(img, 0, sizeof(float) * static_cast<size_t>(C) * H * W);
+  int row = 0;
+  for (int c = 0; c < C; ++c) {
+    for (int ki = 0; ki < kh; ++ki) {
+      for (int kj = 0; kj < kw; ++kj, ++row) {
+        const float* in = cols + static_cast<size_t>(row) * cols_w;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * stride - pad + ki;
+          if (iy < 0 || iy >= H) continue;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * stride - pad + kj;
+            if (ix < 0 || ix >= W) continue;
+            img[(static_cast<size_t>(c) * H + iy) * W + ix] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace srmac

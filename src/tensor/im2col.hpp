@@ -1,0 +1,22 @@
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace srmac {
+
+/// im2col: unfolds (C, H, W) patches of one image into columns so that a
+/// convolution becomes a GEMM (the paper's GEMM-centric training view).
+/// Output layout: rows = C*kh*kw, cols = out_h*out_w.
+void im2col(const float* img, int C, int H, int W, int kh, int kw, int stride,
+            int pad, float* cols);
+
+/// col2im: the adjoint scatter-add of im2col, used by the convolution
+/// backward pass to accumulate input gradients.
+void col2im(const float* cols, int C, int H, int W, int kh, int kw, int stride,
+            int pad, float* img);
+
+inline int conv_out_dim(int in, int k, int stride, int pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace srmac

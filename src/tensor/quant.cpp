@@ -1,0 +1,51 @@
+#include "tensor/quant.hpp"
+
+#include <cmath>
+
+#include "fpemu/softfloat.hpp"
+
+namespace srmac {
+
+Tensor quantize_dequantize(const FpFormat& fmt, const Tensor& x) {
+  Tensor out = x;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = static_cast<float>(SoftFloat::to_double(
+        fmt, SoftFloat::from_double(fmt, static_cast<double>(x[i]))));
+  }
+  return out;
+}
+
+double max_finite(const FpFormat& fmt) {
+  return SoftFloat::to_double(fmt, fmt.max_finite_bits());
+}
+
+QuantStats quantization_stats(const FpFormat& fmt, const Tensor& x) {
+  QuantStats s;
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const double v = static_cast<double>(x[i]);
+    if (v == 0.0) continue;
+    ++nonzero;
+    const double q = SoftFloat::to_double(
+        fmt, SoftFloat::from_double(fmt, v));
+    if (q == 0.0) {
+      s.underflow_frac += 1;
+      s.mean_abs_rel_err += 1;
+      continue;
+    }
+    if (std::isinf(q)) {
+      s.overflow_frac += 1;
+      s.mean_abs_rel_err += 1;
+      continue;
+    }
+    s.mean_abs_rel_err += std::fabs(q - v) / std::fabs(v);
+  }
+  if (nonzero > 0) {
+    s.underflow_frac /= static_cast<double>(nonzero);
+    s.overflow_frac /= static_cast<double>(nonzero);
+    s.mean_abs_rel_err /= static_cast<double>(nonzero);
+  }
+  return s;
+}
+
+}  // namespace srmac

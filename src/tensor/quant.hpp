@@ -1,0 +1,27 @@
+#pragma once
+
+#include "fpemu/format.hpp"
+#include "tensor/tensor.hpp"
+
+namespace srmac {
+
+/// Quantizes a tensor element-wise into `fmt` and back to float (RN).
+/// Used by tests and the quantization-error ablations; the GEMM path
+/// quantizes internally and does not need this.
+Tensor quantize_dequantize(const FpFormat& fmt, const Tensor& x);
+
+/// Largest finite magnitude representable in `fmt` (for loss-scaling
+/// overflow checks and range studies).
+double max_finite(const FpFormat& fmt);
+
+/// Fraction of elements that would flush to zero (underflow the normal/
+/// subnormal range) or saturate when cast into `fmt` — the diagnostics the
+/// paper's loss-scaling strategy is driven by.
+struct QuantStats {
+  double underflow_frac = 0.0;
+  double overflow_frac = 0.0;
+  double mean_abs_rel_err = 0.0;
+};
+QuantStats quantization_stats(const FpFormat& fmt, const Tensor& x);
+
+}  // namespace srmac

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+namespace srmac {
+
+/// Minimal dense float tensor, row-major, shapes up to 4-D (N, C, H, W).
+/// This is the substrate under the NN layers; all heavy math funnels into
+/// the GEMM dispatcher (tensor_ops.hpp) so that the bit-accurate MAC models
+/// see every multiply-accumulate of the training computation.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(count_(shape_)), fill) {}
+  Tensor(std::initializer_list<int> shape, float fill = 0.0f)
+      : Tensor(std::vector<int>(shape), fill) {}
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_.at(static_cast<size_t>(i)); }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Element access for 2-D (i, j) and 4-D (n, c, h, w) layouts.
+  float& at(int i, int j) {
+    assert(ndim() == 2);
+    return data_[static_cast<size_t>(i) * dim(1) + j];
+  }
+  float at(int i, int j) const {
+    assert(ndim() == 2);
+    return data_[static_cast<size_t>(i) * dim(1) + j];
+  }
+  float& at(int n, int c, int h, int w) {
+    assert(ndim() == 4);
+    return data_[((static_cast<size_t>(n) * dim(1) + c) * dim(2) + h) * dim(3) + w];
+  }
+  float at(int n, int c, int h, int w) const {
+    assert(ndim() == 4);
+    return data_[((static_cast<size_t>(n) * dim(1) + c) * dim(2) + h) * dim(3) + w];
+  }
+
+  /// Reinterprets the buffer with a new shape of equal element count.
+  Tensor reshaped(std::vector<int> new_shape) const {
+    Tensor t;
+    t.shape_ = std::move(new_shape);
+    assert(count_(t.shape_) == numel());
+    t.data_ = data_;
+    return t;
+  }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
+
+ private:
+  static int64_t count_(const std::vector<int>& s) {
+    return std::accumulate(s.begin(), s.end(), int64_t{1},
+                           [](int64_t a, int b) { return a * b; });
+  }
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace srmac

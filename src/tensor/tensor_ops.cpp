@@ -1,0 +1,57 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "mac/gemm.hpp"
+
+namespace srmac {
+
+void matmul(const ComputeContext& ctx, int M, int N, int K, const float* A,
+            const float* B, float* C, bool accumulate) {
+  if (ctx.bit_accurate) {
+    MacConfig cfg = ctx.mac;
+    cfg.mul_fmt = ctx.mul_fmt();  // HFP8 swaps the format on backward GEMMs
+    gemm_mac(cfg, M, N, K, A, K, B, N, C, N, accumulate, ctx.seed,
+             ctx.threads);
+  } else {
+    gemm_ref(M, N, K, A, K, B, N, C, N, accumulate, ctx.threads);
+  }
+}
+
+void matmul_nt(const ComputeContext& ctx, int M, int N, int K, const float* A,
+               const float* B_t, float* C, bool accumulate) {
+  std::vector<float> B(static_cast<size_t>(K) * N);
+  for (int n = 0; n < N; ++n)
+    for (int k = 0; k < K; ++k)
+      B[static_cast<size_t>(k) * N + n] = B_t[static_cast<size_t>(n) * K + k];
+  matmul(ctx, M, N, K, A, B.data(), C, accumulate);
+}
+
+void matmul_tn(const ComputeContext& ctx, int M, int N, int K,
+               const float* A_t, const float* B, float* C, bool accumulate) {
+  std::vector<float> A(static_cast<size_t>(M) * K);
+  for (int k = 0; k < K; ++k)
+    for (int m = 0; m < M; ++m)
+      A[static_cast<size_t>(m) * K + k] = A_t[static_cast<size_t>(k) * M + m];
+  matmul(ctx, M, N, K, A.data(), B, C, accumulate);
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  assert(a.numel() == b.numel());
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] *= s;
+}
+
+Tensor transpose2d(const Tensor& x) {
+  assert(x.ndim() == 2);
+  Tensor t({x.dim(1), x.dim(0)});
+  for (int i = 0; i < x.dim(0); ++i)
+    for (int j = 0; j < x.dim(1); ++j) t.at(j, i) = x.at(i, j);
+  return t;
+}
+
+}  // namespace srmac

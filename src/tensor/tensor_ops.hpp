@@ -1,0 +1,75 @@
+#pragma once
+
+#include "mac/mac_config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace srmac {
+
+/// How the training math executes: the FP32 reference path, or the
+/// bit-accurate MAC emulation (the paper's PyTorch/CUDA flow, here in C++).
+struct ComputeContext {
+  bool bit_accurate = false;  ///< route GEMMs through the MAC models
+  MacConfig mac;              ///< MAC configuration when bit_accurate
+  uint64_t seed = 0x5EED;     ///< base seed for per-element LFSRs
+  int threads = 0;            ///< 0 = hardware concurrency
+
+  /// HFP8 [7]: quantize forward GEMMs in mac.mul_fmt (E4M3 under the
+  /// scheme) but backward GEMMs in `mul_fmt_bwd` (E5M2: more range for
+  /// gradients). `backward_pass` is set once by the trainer at the
+  /// top-level backward call and propagates through fork().
+  bool hfp8 = false;
+  FpFormat mul_fmt_bwd = kFp8E5M2;
+  bool backward_pass = false;
+
+  /// FP32 baseline context.
+  static ComputeContext fp32() { return {}; }
+  /// Bit-accurate context for a MAC configuration.
+  static ComputeContext emulated(const MacConfig& cfg, uint64_t seed = 0x5EED) {
+    ComputeContext c;
+    c.bit_accurate = true;
+    c.mac = cfg;
+    c.seed = seed;
+    return c;
+  }
+  /// Derives a context with a decorrelated seed (per layer / per pass).
+  ComputeContext fork(uint64_t salt) const {
+    ComputeContext c = *this;
+    c.seed = seed * 0x9E3779B97F4A7C15ull + salt;
+    return c;
+  }
+
+  /// Marks the context as inside the backward pass (HFP8 format switch).
+  ComputeContext backward() const {
+    ComputeContext c = *this;
+    c.backward_pass = true;
+    return c;
+  }
+
+  /// The multiplier-input format this context's GEMMs quantize into.
+  const FpFormat& mul_fmt() const {
+    return hfp8 && backward_pass ? mul_fmt_bwd : mac.mul_fmt;
+  }
+};
+
+/// C[MxN] = A[MxK] * B[KxN] (+C), through the context's compute path.
+/// Every multiply-accumulate of DNN training (FWD and BWD GEMMs) passes
+/// through here, as in the paper's Sec. IV emulation flow.
+void matmul(const ComputeContext& ctx, int M, int N, int K, const float* A,
+            const float* B, float* C, bool accumulate = false);
+
+/// C = A * B^T and C = A^T * B conveniences for the backward GEMMs.
+/// (Implemented by materializing the transpose; the MAC chain order over k
+/// matches the forward convention.)
+void matmul_nt(const ComputeContext& ctx, int M, int N, int K, const float* A,
+               const float* B_t /*NxK*/, float* C, bool accumulate = false);
+void matmul_tn(const ComputeContext& ctx, int M, int N, int K,
+               const float* A_t /*KxM*/, const float* B, float* C,
+               bool accumulate = false);
+
+/// Elementwise helpers used by the layers (always FP32: the paper quantizes
+/// the GEMM inputs/accumulations, not pointwise math).
+void add_inplace(Tensor& a, const Tensor& b);
+void scale_inplace(Tensor& a, float s);
+Tensor transpose2d(const Tensor& x);
+
+}  // namespace srmac

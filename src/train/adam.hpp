@@ -1,0 +1,50 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace srmac {
+
+/// AdamW-style optimizer (decoupled weight decay), an extension beyond the
+/// paper's SGD recipe used by the optimizer-sensitivity ablation: Adam's
+/// per-coordinate second-moment scaling changes the magnitude statistics
+/// of the weight updates, which stresses the low-precision accumulators
+/// differently from momentum-SGD.
+///
+/// Like SgdMomentum it consumes loss-scaled gradients and unscales them
+/// internally; master weights and moments stay FP32.
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;  ///< decoupled (AdamW) when nonzero
+  };
+
+  Adam(std::vector<Param*> params, const Options& opt);
+
+  void set_lr(float lr) { opt_.lr = lr; }
+  float lr() const { return opt_.lr; }
+
+  /// One update with gradients unscaled by `loss_scale`; no-op when `skip`.
+  void step(float loss_scale, bool skip = false);
+
+  void zero_grad();
+  bool grads_overflowed(float loss_scale) const;
+  int64_t steps_taken() const { return t_; }
+
+ private:
+  struct Slots {
+    Tensor m, v;
+  };
+  std::vector<Param*> params_;
+  Options opt_;
+  std::vector<Slots> slots_;
+  int64_t t_ = 0;
+};
+
+}  // namespace srmac

@@ -1,0 +1,100 @@
+#include "train/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace srmac {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'R', 'M', 'A', 'C', 'C', 'K', '1'};
+
+void put_u32(std::string& out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+uint32_t get_u32(const char*& p, const char* end) {
+  if (end - p < 4) throw std::runtime_error("checkpoint: truncated");
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  p += 4;
+  return v;
+}
+
+}  // namespace
+
+std::vector<char> serialize_params(const std::vector<Param*>& params) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, static_cast<uint32_t>(params.size()));
+  for (const Param* p : params) {
+    put_u32(out, static_cast<uint32_t>(p->name.size()));
+    out.append(p->name);
+    put_u32(out, static_cast<uint32_t>(p->value.ndim()));
+    for (int d = 0; d < p->value.ndim(); ++d)
+      put_u32(out, static_cast<uint32_t>(p->value.dim(d)));
+    const size_t bytes = static_cast<size_t>(p->value.numel()) * sizeof(float);
+    out.append(reinterpret_cast<const char*>(p->value.data()), bytes);
+  }
+  return {out.begin(), out.end()};
+}
+
+void deserialize_params(const std::vector<char>& bytes,
+                        const std::vector<Param*>& params) {
+  const char* p = bytes.data();
+  const char* end = p + bytes.size();
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(p, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("checkpoint: bad magic");
+  p += sizeof(kMagic);
+  const uint32_t count = get_u32(p, end);
+  if (count != params.size())
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  for (Param* param : params) {
+    const uint32_t name_len = get_u32(p, end);
+    if (static_cast<size_t>(end - p) < name_len)
+      throw std::runtime_error("checkpoint: truncated");
+    const std::string name(p, name_len);
+    p += name_len;
+    if (name != param->name)
+      throw std::runtime_error("checkpoint: expected parameter '" +
+                               param->name + "', found '" + name + "'");
+    const uint32_t ndim = get_u32(p, end);
+    if (static_cast<int>(ndim) != param->value.ndim())
+      throw std::runtime_error("checkpoint: rank mismatch for " + name);
+    for (int d = 0; d < param->value.ndim(); ++d)
+      if (get_u32(p, end) != static_cast<uint32_t>(param->value.dim(d)))
+        throw std::runtime_error("checkpoint: shape mismatch for " + name);
+    const size_t bytes_needed =
+        static_cast<size_t>(param->value.numel()) * sizeof(float);
+    if (static_cast<size_t>(end - p) < bytes_needed)
+      throw std::runtime_error("checkpoint: truncated tensor for " + name);
+    std::memcpy(param->value.data(), p, bytes_needed);
+    p += bytes_needed;
+  }
+}
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params) {
+  const std::vector<char> bytes = serialize_params(params);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+  deserialize_params(bytes, params);
+}
+
+}  // namespace srmac

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace srmac {
+
+/// Binary checkpointing of model parameters (FP32 master weights).
+///
+/// Format: "SRMACCK1" magic, parameter count, then per parameter the name,
+/// shape and raw float data. Loading matches parameters *by name* and
+/// verifies shapes, so a checkpoint survives architectural no-ops but
+/// refuses silent mismatches. Momentum/optimizer slots are not saved (the
+/// paper's experiments restart schedules from scratch).
+void save_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params);
+
+/// Loads into the given parameters; throws std::runtime_error on magic,
+/// name or shape mismatch.
+void load_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params);
+
+/// In-memory round trip used by tests and by the trainer's best-epoch
+/// tracking: serialize to / restore from a byte buffer.
+std::vector<char> serialize_params(const std::vector<Param*>& params);
+void deserialize_params(const std::vector<char>& bytes,
+                        const std::vector<Param*>& params);
+
+}  // namespace srmac

@@ -1,0 +1,48 @@
+#pragma once
+
+namespace srmac {
+
+/// Dynamic loss scaling ([11], applied in the paper with an initial factor
+/// of 1024): the loss gradient is multiplied by `scale()` before the
+/// backward pass so small gradients survive the narrow formats; if any
+/// unscaled gradient overflows, the step is skipped and the scale halves;
+/// after `growth_interval` consecutive good steps it doubles back.
+class DynamicLossScaler {
+ public:
+  explicit DynamicLossScaler(float initial = 1024.0f, float growth = 2.0f,
+                             float backoff = 0.5f, int growth_interval = 500,
+                             float max_scale = 65536.0f)
+      : scale_(initial),
+        growth_(growth),
+        backoff_(backoff),
+        interval_(growth_interval),
+        max_scale_(max_scale) {}
+
+  float scale() const { return scale_; }
+  int skipped_steps() const { return skipped_; }
+
+  /// Reports the overflow status of the step just taken. Returns true if
+  /// the optimizer update should be skipped.
+  bool update(bool overflowed) {
+    if (overflowed) {
+      scale_ *= backoff_;
+      if (scale_ < 1.0f) scale_ = 1.0f;
+      good_streak_ = 0;
+      ++skipped_;
+      return true;
+    }
+    if (++good_streak_ >= interval_) {
+      good_streak_ = 0;
+      scale_ *= growth_;
+      if (scale_ > max_scale_) scale_ = max_scale_;
+    }
+    return false;
+  }
+
+ private:
+  float scale_, growth_, backoff_;
+  int interval_, good_streak_ = 0, skipped_ = 0;
+  float max_scale_;
+};
+
+}  // namespace srmac

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cmath>
+
+namespace srmac {
+
+/// Cosine-annealing learning-rate schedule (Sec. IV-A): lr decays from
+/// `base` to ~0 over `total_steps` following half a cosine period.
+class CosineAnnealing {
+ public:
+  CosineAnnealing(float base_lr, int total_steps, float min_lr = 0.0f)
+      : base_(base_lr), min_(min_lr), total_(total_steps) {}
+
+  float at(int step) const {
+    if (step >= total_) return min_;
+    const double t = static_cast<double>(step) / total_;
+    return static_cast<float>(min_ + 0.5 * (base_ - min_) *
+                                         (1.0 + std::cos(t * M_PI)));
+  }
+
+ private:
+  float base_, min_;
+  int total_;
+};
+
+/// Constant-then-step schedule, kept for ablations.
+class StepDecay {
+ public:
+  StepDecay(float base_lr, int step_every, float gamma)
+      : base_(base_lr), every_(step_every), gamma_(gamma) {}
+  float at(int step) const {
+    float lr = base_;
+    for (int s = every_; s <= step; s += every_) lr *= gamma_;
+    return lr;
+  }
+
+ private:
+  float base_;
+  int every_;
+  float gamma_;
+};
+
+}  // namespace srmac

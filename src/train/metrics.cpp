@@ -1,0 +1,17 @@
+#include "train/metrics.hpp"
+
+#include <cstdio>
+
+namespace srmac {
+
+std::string format_epoch(const EpochStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "epoch %3d  loss %6.4f  train %5.2f%%  test %5.2f%%  lr %.4f"
+                "  scale %g  skipped %d",
+                s.epoch, s.train_loss, s.train_acc, s.test_acc, s.lr,
+                s.loss_scale, s.skipped_steps);
+  return buf;
+}
+
+}  // namespace srmac

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace srmac {
+
+/// Per-epoch training record.
+struct EpochStats {
+  int epoch = 0;
+  float train_loss = 0.0f;
+  float train_acc = 0.0f;
+  float test_acc = 0.0f;
+  float lr = 0.0f;
+  float loss_scale = 0.0f;
+  int skipped_steps = 0;
+};
+
+/// Accumulates running loss/accuracy across batches.
+class Meter {
+ public:
+  void add(float loss, int correct, int count) {
+    loss_sum_ += loss * count;
+    correct_ += correct;
+    count_ += count;
+  }
+  float loss() const { return count_ ? loss_sum_ / count_ : 0.0f; }
+  float accuracy() const {
+    return count_ ? 100.0f * static_cast<float>(correct_) / count_ : 0.0f;
+  }
+  void reset() { loss_sum_ = 0; correct_ = 0; count_ = 0; }
+
+ private:
+  float loss_sum_ = 0;
+  int correct_ = 0, count_ = 0;
+};
+
+std::string format_epoch(const EpochStats& s);
+
+}  // namespace srmac

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace srmac {
+
+/// SGD with momentum and decoupled-from-BN weight decay — the paper's
+/// optimizer (Sec. IV-A: momentum 0.9, weight decay 1e-4 / 5e-4).
+/// Gradients arrive scaled by the dynamic loss scale; `step` divides them
+/// back out (master weights and the update are FP32, as in mixed-precision
+/// training practice).
+class SgdMomentum {
+ public:
+  SgdMomentum(std::vector<Param*> params, float lr, float momentum = 0.9f,
+              float weight_decay = 1e-4f);
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+  /// Applies one update with gradients divided by `inv_scale`'s reciprocal
+  /// (pass the current loss scale). Skipped entirely when `skip` (overflow
+  /// detected by the loss scaler).
+  void step(float loss_scale, bool skip = false);
+
+  void zero_grad();
+
+  /// True if any gradient is non-finite (after unscaling) — the overflow
+  /// signal feeding the dynamic loss scaler.
+  bool grads_overflowed(float loss_scale) const;
+
+ private:
+  std::vector<Param*> params_;
+  float lr_, momentum_, weight_decay_;
+};
+
+}  // namespace srmac

@@ -1,0 +1,54 @@
+#include "train/stagnation.hpp"
+
+#include <cmath>
+
+#include "fpemu/softfloat.hpp"
+#include "fpemu/value.hpp"
+#include "mac/mac_unit.hpp"
+#include "mac/multiplier.hpp"
+
+namespace srmac {
+
+double SwampingStats::rel_error() const {
+  return std::abs(final_value - reference) /
+         std::max(1e-300, std::abs(reference));
+}
+
+SwampingStats measure_swamping(const MacConfig& cfg, std::span<const float> a,
+                               std::span<const float> b, uint64_t seed) {
+  const MacConfig ncfg = cfg.normalized();
+  MacUnit mac(ncfg, seed);
+  SwampingStats st;
+  const FpFormat prod_fmt = product_format(ncfg.mul_fmt);
+
+  for (size_t i = 0; i < a.size(); ++i) {
+    const uint32_t qa = SoftFloat::from_double(ncfg.mul_fmt, a[i]);
+    const uint32_t qb = SoftFloat::from_double(ncfg.mul_fmt, b[i]);
+    const uint32_t prod = multiply_exact(ncfg.mul_fmt, qa, qb);
+    const Unpacked up = decode(prod_fmt, prod);
+    st.reference += SoftFloat::to_double(prod_fmt, prod);
+    if (!up.is_finite_nonzero()) {
+      mac.step(qa, qb);
+      continue;
+    }
+    const uint32_t before = mac.acc();
+    const uint32_t after = mac.step(qa, qb);
+    ++st.steps;
+
+    // Sub-ULP test: |product| < ulp(acc) = 2^(e_acc - man_bits).
+    const Unpacked uacc = decode(ncfg.acc_fmt, before);
+    const bool sub_ulp =
+        uacc.is_finite_nonzero() &&
+        up.exp < uacc.exp - ncfg.acc_fmt.man_bits;
+    if (sub_ulp) {
+      if (after == before)
+        ++st.swamped;
+      else
+        ++st.rescued;
+    }
+  }
+  st.final_value = mac.acc_value();
+  return st;
+}
+
+}  // namespace srmac

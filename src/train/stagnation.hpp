@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mac/mac_config.hpp"
+
+namespace srmac {
+
+/// Instrumentation for the phenomenon that motivates the paper: swamping
+/// ("stagnation" [3]) — accumulation steps whose addend is entirely lost
+/// because it is smaller than the accumulator's current ULP and rounds
+/// away. With RN such steps return the accumulator unchanged; SR recovers
+/// them *in expectation* by occasionally rounding up.
+struct SwampingStats {
+  uint64_t steps = 0;           ///< MAC steps with a nonzero product
+  uint64_t swamped = 0;         ///< result bits == accumulator bits
+  uint64_t rescued = 0;         ///< sub-ULP addend that still moved the acc
+  double final_value = 0.0;
+  double reference = 0.0;       ///< double-precision chain on same operands
+  double swamped_frac() const {
+    return steps ? static_cast<double>(swamped) / static_cast<double>(steps)
+                 : 0.0;
+  }
+  double rescued_frac() const {
+    return steps ? static_cast<double>(rescued) / static_cast<double>(steps)
+                 : 0.0;
+  }
+  double rel_error() const;
+};
+
+/// Runs dot(a, b) through a fresh MacUnit under `cfg` and classifies every
+/// accumulation step. A step counts as *swamped* when the (nonzero)
+/// product is below the accumulator ULP and the accumulator did not move;
+/// it counts as *rescued* when such a sub-ULP addend did move the
+/// accumulator (the SR carry). For RN, rescued stays at (close to) zero
+/// and swamped grows with the running sum; that asymmetry is the paper's
+/// Table III mechanism made measurable.
+SwampingStats measure_swamping(const MacConfig& cfg, std::span<const float> a,
+                               std::span<const float> b,
+                               uint64_t seed = 0xACE1u);
+
+}  // namespace srmac

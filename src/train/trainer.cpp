@@ -1,0 +1,112 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "data/augment.hpp"
+#include "nn/layers.hpp"
+
+namespace srmac {
+
+namespace {
+std::vector<Param*> params_of(Layer& model) {
+  std::vector<Param*> p;
+  model.collect_params(p);
+  return p;
+}
+}  // namespace
+
+Trainer::Trainer(Layer& model, const ComputeContext& ctx,
+                 const TrainOptions& opt)
+    : model_(model),
+      ctx_(ctx),
+      opt_(opt),
+      optim_(params_of(model), opt.lr, opt.momentum, opt.weight_decay),
+      scaler_(opt.initial_loss_scale),
+      rng_(opt.seed) {}
+
+float Trainer::train_epoch(const Dataset& train, int epoch, Meter& meter) {
+  const int n = train.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = n - 1; i > 0; --i)
+    std::swap(order[i], order[rng_.below(static_cast<uint64_t>(i) + 1)]);
+
+  SoftmaxCrossEntropy head;
+  for (int start = 0; start + opt_.batch_size <= n; start += opt_.batch_size) {
+    std::vector<int> idx(order.begin() + start,
+                         order.begin() + start + opt_.batch_size);
+    Batch batch = train.make_batch(idx);
+    if (opt_.augment) augment_batch(batch, rng_);
+
+    optim_.set_lr(lr_at_(global_step_));
+    optim_.zero_grad();
+
+    const ComputeContext step_ctx = ctx_.fork(0xE0000 + global_step_);
+    Tensor logits = model_.forward(step_ctx, batch.images, /*training=*/true);
+    const float loss = head.forward_loss(logits, batch.labels);
+    const int correct = head.correct(logits, batch.labels);
+
+    const float used_scale = scaler_.scale();
+    bool skip;
+    if (std::isfinite(loss)) {
+      Tensor g = head.backward_loss(used_scale);
+      model_.backward(step_ctx.backward(), g);
+      skip = scaler_.update(optim_.grads_overflowed(used_scale));
+    } else {
+      skip = scaler_.update(true);  // activations already blew up
+    }
+    optim_.step(used_scale, skip);
+    if (!skip) meter.add(loss, correct, opt_.batch_size);
+    ++global_step_;
+    (void)epoch;
+  }
+  return meter.loss();
+}
+
+float Trainer::evaluate(const Dataset& data, int n) {
+  n = std::min(n, data.size());
+  SoftmaxCrossEntropy head;
+  int correct = 0, seen = 0;
+  const int bs = opt_.batch_size;
+  for (int start = 0; start < n; start += bs) {
+    const int count = std::min(bs, n - start);
+    std::vector<int> idx(count);
+    std::iota(idx.begin(), idx.end(), start);
+    Batch batch = data.make_batch(idx);
+    Tensor logits =
+        model_.forward(ctx_.fork(0xE7A1 + start), batch.images, false);
+    correct += head.correct(logits, batch.labels);
+    seen += count;
+  }
+  return seen ? 100.0f * correct / seen : 0.0f;
+}
+
+std::vector<EpochStats> Trainer::fit(const Dataset& train,
+                                     const Dataset& test) {
+  const int steps_per_epoch =
+      std::max(1, train.size() / opt_.batch_size);
+  CosineAnnealing sched(opt_.lr, steps_per_epoch * opt_.epochs);
+  lr_at_ = [sched](int s) { return sched.at(s); };
+
+  std::vector<EpochStats> history;
+  for (int e = 0; e < opt_.epochs; ++e) {
+    Meter meter;
+    train_epoch(train, e, meter);
+    EpochStats s;
+    s.epoch = e;
+    s.train_loss = meter.loss();
+    s.train_acc = meter.accuracy();
+    s.test_acc = evaluate(test, opt_.eval_samples);
+    s.lr = optim_.lr();
+    s.loss_scale = scaler_.scale();
+    s.skipped_steps = scaler_.skipped_steps();
+    history.push_back(s);
+    if (opt_.verbose) std::printf("%s\n", format_epoch(s).c_str());
+  }
+  return history;
+}
+
+}  // namespace srmac

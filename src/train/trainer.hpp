@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+#include "rng/xoshiro.hpp"
+#include "train/loss_scaler.hpp"
+#include "train/lr_schedule.hpp"
+#include "train/metrics.hpp"
+#include "train/optimizer.hpp"
+
+namespace srmac {
+
+/// Training driver reproducing the paper's Sec. IV-A recipe: SGD + momentum
+/// 0.9, weight decay, cosine-annealed LR, dynamic loss scaling starting at
+/// 1024, standard augmentation, all FWD/BWD GEMMs through the compute
+/// context.
+struct TrainOptions {
+  int epochs = 5;
+  int batch_size = 32;
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  float initial_loss_scale = 1024.0f;
+  bool augment = true;
+  uint64_t seed = 42;
+  int eval_samples = 512;
+  bool verbose = true;
+};
+
+class Trainer {
+ public:
+  Trainer(Layer& model, const ComputeContext& ctx, const TrainOptions& opt);
+
+  /// Runs the full schedule; returns per-epoch stats (last entry holds the
+  /// final test accuracy — the number reported in Tables III/IV).
+  std::vector<EpochStats> fit(const Dataset& train, const Dataset& test);
+
+  /// Accuracy (%) over `n` samples of `data` (inference mode).
+  float evaluate(const Dataset& data, int n);
+
+ private:
+  float train_epoch(const Dataset& train, int epoch, Meter& meter);
+
+  Layer& model_;
+  ComputeContext ctx_;
+  TrainOptions opt_;
+  SgdMomentum optim_;
+  DynamicLossScaler scaler_;
+  Xoshiro256 rng_;
+  int global_step_ = 0;
+  std::function<float(int)> lr_at_;
+};
+
+}  // namespace srmac

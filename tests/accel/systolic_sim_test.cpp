@@ -1,0 +1,211 @@
+// Cycle-accurate systolic-array simulator: bit-identity with the
+// functional reference, exact cycle accounting, traffic bookkeeping and
+// dataflow equivalences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "accel/mapping.hpp"
+#include "accel/systolic_sim.hpp"
+#include "mac/gemm.hpp"
+#include "mac/systolic.hpp"
+
+namespace srmac::accel {
+namespace {
+
+std::vector<float> random_matrix(int rows, int cols, uint64_t seed,
+                                 float scale = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, scale);
+  std::vector<float> m(static_cast<size_t>(rows) * cols);
+  for (auto& x : m) x = dist(rng);
+  return m;
+}
+
+MacConfig eager_cfg(bool subnormals = false) {
+  MacConfig cfg;
+  cfg.adder = AdderKind::kEagerSR;
+  cfg.random_bits = 9;
+  cfg.subnormals = subnormals;
+  return cfg;
+}
+
+struct Shape {
+  int M, N, K, rows, cols;
+};
+
+class CycleSimShapes : public ::testing::TestWithParam<Shape> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CycleSimShapes,
+    ::testing::Values(Shape{4, 4, 8, 4, 4},      // exact fit
+                      Shape{8, 8, 16, 4, 4},     // multi-tile
+                      Shape{5, 7, 9, 4, 4},      // ragged edges
+                      Shape{3, 3, 30, 8, 8},     // array larger than output
+                      Shape{16, 4, 6, 4, 8}),    // rectangular array
+    [](const auto& info) {
+      const Shape& s = info.param;
+      return "M" + std::to_string(s.M) + "N" + std::to_string(s.N) + "K" +
+             std::to_string(s.K) + "pe" + std::to_string(s.rows) + "x" +
+             std::to_string(s.cols);
+    });
+
+TEST_P(CycleSimShapes, BitIdenticalToFunctionalReference) {
+  const Shape s = GetParam();
+  const MacConfig cfg = eager_cfg();
+  const auto A = random_matrix(s.M, s.K, 1);
+  const auto B = random_matrix(s.K, s.N, 2);
+
+  SystolicArray ref(cfg, s.rows, s.cols, /*seed=*/77);
+  std::vector<float> c_ref(static_cast<size_t>(s.M) * s.N);
+  ref.gemm(s.M, s.N, s.K, A.data(), B.data(), c_ref.data());
+
+  CycleAccurateArray sim(cfg, s.rows, s.cols, Dataflow::kOutputStationary,
+                         /*seed=*/77);
+  std::vector<float> c_sim(static_cast<size_t>(s.M) * s.N);
+  const SimStats st = sim.gemm(s.M, s.N, s.K, A.data(), B.data(),
+                               c_sim.data());
+
+  for (size_t i = 0; i < c_ref.size(); ++i)
+    ASSERT_EQ(c_sim[i], c_ref[i]) << "element " << i;
+  EXPECT_EQ(st.macs, static_cast<uint64_t>(s.M) * s.N * s.K);
+}
+
+TEST_P(CycleSimShapes, SimulatedCyclesMatchAnalyticModel) {
+  const Shape s = GetParam();
+  const MacConfig cfg = eager_cfg();
+  const auto A = random_matrix(s.M, s.K, 3);
+  const auto B = random_matrix(s.K, s.N, 4);
+  for (const Dataflow df :
+       {Dataflow::kOutputStationary, Dataflow::kWeightStationary}) {
+    CycleAccurateArray sim(cfg, s.rows, s.cols, df);
+    std::vector<float> c(static_cast<size_t>(s.M) * s.N);
+    const SimStats st = sim.gemm(s.M, s.N, s.K, A.data(), B.data(), c.data());
+    EXPECT_EQ(st.cycles, sim.expected_cycles(s.M, s.N, s.K))
+        << (df == Dataflow::kOutputStationary ? "OS" : "WS");
+  }
+}
+
+TEST(CycleSim, TrafficAccounting) {
+  // 8x8 output on a 4x4 array, K=5: OS streams each A row tile once per
+  // column tile and vice versa; C written exactly once per element.
+  const MacConfig cfg = eager_cfg();
+  const int M = 8, N = 8, K = 5;
+  const auto A = random_matrix(M, K, 5);
+  const auto B = random_matrix(K, N, 6);
+  CycleAccurateArray sim(cfg, 4, 4);
+  std::vector<float> c(static_cast<size_t>(M) * N);
+  const SimStats st = sim.gemm(M, N, K, A.data(), B.data(), c.data());
+  EXPECT_EQ(st.a_reads, static_cast<uint64_t>(2) * M * K);  // 2 column tiles
+  EXPECT_EQ(st.b_reads, static_cast<uint64_t>(2) * N * K);  // 2 row tiles
+  EXPECT_EQ(st.c_writes, static_cast<uint64_t>(M) * N);
+  EXPECT_EQ(st.c_reads, 0u);
+}
+
+TEST(CycleSim, WeightStationaryMatchesOutputStationaryUnderRN) {
+  // With deterministic rounding the two dataflows accumulate the same
+  // addition chain in the same k order, so the results are bit-identical
+  // even though the physical adders differ.
+  MacConfig cfg;
+  cfg.adder = AdderKind::kRoundNearest;
+  cfg.subnormals = true;
+  const int M = 6, N = 6, K = 20;
+  const auto A = random_matrix(M, K, 7);
+  const auto B = random_matrix(K, N, 8);
+
+  CycleAccurateArray os(cfg, 4, 4, Dataflow::kOutputStationary);
+  CycleAccurateArray ws(cfg, 4, 4, Dataflow::kWeightStationary);
+  std::vector<float> c_os(static_cast<size_t>(M) * N),
+      c_ws(static_cast<size_t>(M) * N);
+  os.gemm(M, N, K, A.data(), B.data(), c_os.data());
+  ws.gemm(M, N, K, A.data(), B.data(), c_ws.data());
+  for (size_t i = 0; i < c_os.size(); ++i)
+    ASSERT_EQ(c_os[i], c_ws[i]) << "element " << i;
+}
+
+TEST(CycleSim, WeightStationarySrStaysClose) {
+  // Under SR the dataflows draw different random words, so bits may
+  // differ; the results must still agree to accumulator precision.
+  const MacConfig cfg = eager_cfg();
+  const int M = 6, N = 6, K = 24;
+  const auto A = random_matrix(M, K, 9, 0.5f);
+  const auto B = random_matrix(K, N, 10, 0.5f);
+  CycleAccurateArray os(cfg, 4, 4, Dataflow::kOutputStationary);
+  CycleAccurateArray ws(cfg, 4, 4, Dataflow::kWeightStationary);
+  std::vector<float> c_os(static_cast<size_t>(M) * N),
+      c_ws(static_cast<size_t>(M) * N);
+  os.gemm(M, N, K, A.data(), B.data(), c_os.data());
+  ws.gemm(M, N, K, A.data(), B.data(), c_ws.data());
+  for (size_t i = 0; i < c_os.size(); ++i) {
+    const float scale = std::max(1.0f, std::abs(c_os[i]));
+    ASSERT_NEAR(c_os[i], c_ws[i], 0.25f * scale) << "element " << i;
+  }
+}
+
+TEST(CycleSim, UtilizationImprovesWithMatchedTiling) {
+  const MacConfig cfg = eager_cfg();
+  const int M = 16, N = 16, K = 64;
+  const auto A = random_matrix(M, K, 11);
+  const auto B = random_matrix(K, N, 12);
+  std::vector<float> c(static_cast<size_t>(M) * N);
+
+  CycleAccurateArray fit(cfg, 16, 16);
+  const SimStats st_fit = fit.gemm(M, N, K, A.data(), B.data(), c.data());
+  CycleAccurateArray ragged(cfg, 12, 12);
+  const SimStats st_rag = ragged.gemm(M, N, K, A.data(), B.data(), c.data());
+  EXPECT_GT(st_fit.utilization(), st_rag.utilization());
+}
+
+TEST(Mapping, ResNet20ShapesAndTotals) {
+  const auto layers = resnet20_layer_shapes(32);
+  ASSERT_EQ(layers.size(), 20u);  // stem + 18 convs + fc
+  // ~40.5 MMACs for ResNet-20 at 32x32 (well-known figure, batch 1).
+  uint64_t macs = 0;
+  for (const auto& l : layers)
+    macs += static_cast<uint64_t>(l.M) * l.N * l.K;
+  EXPECT_NEAR(static_cast<double>(macs), 40.5e6, 2.5e6);
+
+  const auto reports = map_network(layers, eager_cfg());
+  const MappingReport& total = reports.back();
+  EXPECT_EQ(total.macs, macs);
+  EXPECT_GT(total.utilization, 0.3);
+  EXPECT_LE(total.utilization, 1.0);
+  EXPECT_GT(total.energy_uj, 0.0);
+  EXPECT_GT(total.time_us, 0.0);
+}
+
+TEST(Mapping, AnalyticCyclesMatchSimulatorOnSmallLayer) {
+  const MacConfig cfg = eager_cfg();
+  hw::SystolicCostOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  const LayerShape l{"toy", 8, 8, 12};
+  const MappingReport rep = map_layer(l, cfg, opt);
+
+  CycleAccurateArray sim(cfg, 4, 4);
+  const auto A = random_matrix(l.M, l.K, 13);
+  const auto B = random_matrix(l.K, l.N, 14);
+  std::vector<float> c(static_cast<size_t>(l.M) * l.N);
+  const SimStats st = sim.gemm(l.M, l.N, l.K, A.data(), B.data(), c.data());
+  EXPECT_EQ(rep.cycles, st.cycles);
+  EXPECT_EQ(rep.a_words, st.a_reads);
+  EXPECT_EQ(rep.b_words, st.b_reads);
+  EXPECT_EQ(rep.c_words, st.c_writes);
+}
+
+TEST(Mapping, EagerArrayBeatsLazyArrayOnEnergyAndTime) {
+  // The paper's future-work claim at array scale.
+  const auto layers = resnet20_layer_shapes(32);
+  MacConfig lazy = eager_cfg();
+  lazy.adder = AdderKind::kLazySR;
+  const auto re = map_network(layers, eager_cfg());
+  const auto rl = map_network(layers, lazy);
+  EXPECT_LT(re.back().time_us, rl.back().time_us);
+  EXPECT_LT(re.back().energy_uj, rl.back().energy_uj);
+}
+
+}  // namespace
+}  // namespace srmac::accel

@@ -1,0 +1,98 @@
+#include "fpemu/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fpemu/value.hpp"
+
+namespace srmac {
+namespace {
+
+TEST(FpFormat, DerivedQuantitiesMatchIeeeBinary32) {
+  EXPECT_EQ(kFp32.precision(), 24);
+  EXPECT_EQ(kFp32.bias(), 127);
+  EXPECT_EQ(kFp32.emax(), 127);
+  EXPECT_EQ(kFp32.emin(), -126);
+  EXPECT_EQ(kFp32.width(), 32);
+}
+
+TEST(FpFormat, DerivedQuantitiesMatchIeeeBinary16) {
+  EXPECT_EQ(kFp16.precision(), 11);
+  EXPECT_EQ(kFp16.bias(), 15);
+  EXPECT_EQ(kFp16.emax(), 15);
+  EXPECT_EQ(kFp16.emin(), -14);
+  EXPECT_EQ(kFp16.width(), 16);
+}
+
+TEST(FpFormat, PaperFp12Format) {
+  EXPECT_EQ(kFp12.exp_bits, 6);
+  EXPECT_EQ(kFp12.man_bits, 5);
+  EXPECT_EQ(kFp12.width(), 12);
+  EXPECT_EQ(kFp12.precision(), 6);
+  EXPECT_EQ(kFp12.emax(), 31);
+  EXPECT_EQ(kFp12.emin(), -30);
+}
+
+TEST(FpFormat, ProductFormatOfE5M2IsE6M5) {
+  const FpFormat pf = product_format(kFp8E5M2);
+  EXPECT_EQ(pf.exp_bits, 6);
+  EXPECT_EQ(pf.man_bits, 5);
+  EXPECT_EQ(pf.precision(), 2 * kFp8E5M2.precision());
+}
+
+TEST(FpFormat, Masks) {
+  EXPECT_EQ(kFp8E5M2.sign_mask(), 0x80u);
+  EXPECT_EQ(kFp8E5M2.man_mask(), 0x3u);
+  EXPECT_EQ(kFp8E5M2.inf_bits(), 0x7Cu);
+  EXPECT_EQ(kFp8E5M2.max_finite_bits(), 0x7Bu);
+}
+
+TEST(FpFormat, NameString) {
+  EXPECT_EQ(kFp12.name(), "E6M5");
+  EXPECT_EQ(kFp12.with_subnormals(false).name(), "E6M5-nosub");
+}
+
+TEST(Decode, NormalValue) {
+  // 1.5 in E5M2: exp field = bias, mantissa = 10b.
+  const uint32_t bits = (15u << 2) | 0x2u;
+  const Unpacked u = decode(kFp8E5M2, bits);
+  EXPECT_EQ(u.cls, FpClass::kNormal);
+  EXPECT_FALSE(u.sign);
+  EXPECT_EQ(u.exp, 0);
+  EXPECT_EQ(u.sig, 0b110u);
+}
+
+TEST(Decode, SubnormalNormalizes) {
+  // Smallest E5M2 subnormal: 0.01b * 2^-14 = 2^-16.
+  const Unpacked u = decode(kFp8E5M2, 0x1u);
+  EXPECT_EQ(u.cls, FpClass::kSubnormal);
+  EXPECT_EQ(u.exp, -16);
+  EXPECT_EQ(u.sig, 0b100u);  // normalized 3-bit significand
+}
+
+TEST(Decode, SubnormalFlushedWhenUnsupported) {
+  const FpFormat f = kFp8E5M2.with_subnormals(false);
+  const Unpacked u = decode(f, 0x1u);
+  EXPECT_EQ(u.cls, FpClass::kZero);
+}
+
+TEST(Decode, Specials) {
+  EXPECT_EQ(decode(kFp8E5M2, kFp8E5M2.inf_bits()).cls, FpClass::kInf);
+  EXPECT_EQ(decode(kFp8E5M2, kFp8E5M2.nan_bits()).cls, FpClass::kNaN);
+  EXPECT_EQ(decode(kFp8E5M2, 0u).cls, FpClass::kZero);
+  const Unpacked neg_inf =
+      decode(kFp8E5M2, kFp8E5M2.inf_bits() | kFp8E5M2.sign_mask());
+  EXPECT_EQ(neg_inf.cls, FpClass::kInf);
+  EXPECT_TRUE(neg_inf.sign);
+}
+
+TEST(Decode, EncodeDecodeRoundTripAllE5M2) {
+  for (uint32_t bits = 0; bits < 256; ++bits) {
+    const Unpacked u = decode(kFp8E5M2, bits);
+    if (u.cls == FpClass::kNormal) {
+      EXPECT_EQ(encode_normal(kFp8E5M2, u.sign, u.exp, u.sig), bits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srmac

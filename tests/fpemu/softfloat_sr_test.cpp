@@ -1,0 +1,169 @@
+// Stochastic-rounding semantics of the golden SoftFloat engine:
+//  * the discrete SR definition (paper Eq. (2)): with an r-bit uniform draw,
+//    a value rounds up in exactly floor(2^r * eps) cases out of 2^r;
+//  * results are always one of the two neighbouring representables;
+//  * SR is (quantization-limited) unbiased, unlike RN at low precision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fpemu/softfloat.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+// Builds the ExactVal for acc + a*b without rounding (the adder input).
+ExactVal exact_mac(const FpFormat& acc_fmt, uint32_t acc,
+                   const FpFormat& in_fmt, uint32_t a, uint32_t b) {
+  const ExactVal prod = SoftFloat::exact_mul(
+      SoftFloat::to_exact(decode(in_fmt, a)),
+      SoftFloat::to_exact(decode(in_fmt, b)));
+  return SoftFloat::exact_add(SoftFloat::to_exact(decode(acc_fmt, acc)), prod);
+}
+
+TEST(SoftFloatSR, UpCountMatchesDiscreteDefinition) {
+  // Sweep all 2^r random words for a set of exact values; the number of
+  // round-ups must equal floor(2^r * eps) exactly.
+  const int r = 7;
+  Xoshiro256 gen(21);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x = gen.normal() * std::ldexp(1.0, gen.below(12));
+    if (x == 0.0) continue;
+    // Build the exact value from the double.
+    int e;
+    const double fr = std::frexp(std::fabs(x), &e);
+    ExactVal v{std::signbit(x), e - 1,
+               static_cast<uint64_t>(std::ldexp(fr, 53)) << 11, false};
+    uint32_t cand[2];
+    SoftFloat::sr_candidates(kFp12, v, cand);
+    const double eps = SoftFloat::sr_up_probability(kFp12, v);
+    const int expected_ups = static_cast<int>(std::floor(eps * (1 << r)));
+
+    int ups = 0;
+    for (uint64_t R = 0; R < (1u << r); ++R) {
+      FixedSource src(R);
+      const uint32_t got =
+          SoftFloat::round_pack(kFp12, v, RoundingMode::kSRQuant, r, &src);
+      ASSERT_TRUE(got == cand[0] || got == cand[1])
+          << "SR result must be one of the two neighbours";
+      if (got == cand[1] && cand[0] != cand[1]) ++ups;
+    }
+    EXPECT_EQ(ups, expected_ups) << "x=" << x;
+  }
+}
+
+TEST(SoftFloatSR, ExactValuesNeverRound) {
+  // Representable values must be returned unchanged for every random word.
+  for (uint32_t bits = 0; bits < (1u << 12); ++bits) {
+    const Unpacked u = decode(kFp12, bits);
+    if (u.cls != FpClass::kNormal && u.cls != FpClass::kSubnormal) continue;
+    const ExactVal v = SoftFloat::to_exact(u);
+    for (uint64_t R : {0ull, 1ull, 255ull, 511ull}) {
+      FixedSource src(R);
+      const uint32_t got =
+          SoftFloat::round_pack(kFp12, v, RoundingMode::kSRQuant, 9, &src);
+      EXPECT_EQ(got, bits);
+    }
+  }
+}
+
+TEST(SoftFloatSR, MeanConvergesToExactValue) {
+  // E[SR(x)] ~= x (quantization bias < 2^-r ulp). Compare against RN's bias
+  // for a value deliberately placed off-grid.
+  const double x = 1.0 + std::ldexp(1.0, -7) + std::ldexp(1.0, -9);  // off E6M5 grid
+  const int r = 11;
+  Xoshiro256 rng(77);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const uint32_t got =
+        SoftFloat::from_double(kFp12, x, RoundingMode::kSRQuant, r, &rng);
+    sum += SoftFloat::to_double(kFp12, got);
+  }
+  const double mean = sum / n;
+  const double ulp = std::ldexp(1.0, -5);
+  EXPECT_NEAR(mean, x, 0.05 * ulp);
+  // RN is deterministic and lands a fixed distance from x.
+  const double rn = SoftFloat::to_double(
+      kFp12, SoftFloat::from_double(kFp12, x, RoundingMode::kNearestEven));
+  EXPECT_GT(std::fabs(rn - x), 0.2 * ulp);
+}
+
+TEST(SoftFloatSR, StagnationResistanceLongSum) {
+  // The classic swamping experiment (paper Sec. II): summing n copies of a
+  // small delta into a large accumulator. RN stagnates once delta < ulp/2;
+  // SR keeps growing in expectation. This is the core motivation for the
+  // SR-enabled MAC.
+  const FpFormat f = kFp12;
+  const double big = 256.0;  // ulp = 8 at this magnitude for E6M5
+  const double delta = 1.0;  // < ulp/2 = 4: RN swallows it entirely
+  const int n = 1024;
+
+  uint32_t acc_rn = SoftFloat::from_double(f, big);
+  Xoshiro256 rng(123);
+  uint32_t acc_sr = acc_rn;
+  const uint32_t dq = SoftFloat::from_double(f, delta);
+  for (int i = 0; i < n; ++i) {
+    acc_rn = SoftFloat::add(f, acc_rn, dq, RoundingMode::kNearestEven);
+    acc_sr = SoftFloat::add(f, acc_sr, dq, RoundingMode::kSRQuant, 9, &rng);
+  }
+  const double exact = big + n * delta;
+  const double got_rn = SoftFloat::to_double(f, acc_rn);
+  const double got_sr = SoftFloat::to_double(f, acc_sr);
+  EXPECT_EQ(got_rn, big) << "RN must stagnate";
+  EXPECT_NEAR(got_sr, exact, 0.15 * exact) << "SR must track the true sum";
+}
+
+TEST(SoftFloatSR, FewerRandomBitsGiveCoarserProbabilities) {
+  // With r bits, P(up) is quantized to multiples of 2^-r: for a fraction of
+  // 2^-(r+1) (below the quantum), SR never rounds up.
+  const int r = 4;
+  const double x = 1.0 + std::ldexp(1.0, -5 - (r + 1));  // eps = 2^-(r+1)
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t got =
+        SoftFloat::from_double(kFp12, x, RoundingMode::kSRQuant, r, &rng);
+    EXPECT_EQ(SoftFloat::to_double(kFp12, got), 1.0);
+  }
+  // The exact-SR mode still rounds up occasionally.
+  int ups = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const uint32_t got =
+        SoftFloat::from_double(kFp12, x, RoundingMode::kSRExact, 0, &rng);
+    if (SoftFloat::to_double(kFp12, got) > 1.0) ++ups;
+  }
+  EXPECT_GT(ups, 0);
+}
+
+TEST(SoftFloatSR, MacProbabilityHelperAgreesWithSampling) {
+  Xoshiro256 gen(31);
+  const int r = 9;
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(gen.below(256));
+    const uint32_t b = static_cast<uint32_t>(gen.below(256));
+    const uint32_t acc = static_cast<uint32_t>(gen.below(1u << 12));
+    if (is_nan(kFp8E5M2, a) || is_nan(kFp8E5M2, b) || is_nan(kFp12, acc))
+      continue;
+    if (is_inf(kFp8E5M2, a) || is_inf(kFp8E5M2, b) || is_inf(kFp12, acc))
+      continue;
+    const ExactVal v = exact_mac(kFp12, acc, kFp8E5M2, a, b);
+    if (v.sig == 0) continue;
+    uint32_t cand[2];
+    SoftFloat::sr_candidates(kFp12, v, cand);
+    if (cand[0] == cand[1]) continue;
+    const double eps = SoftFloat::sr_up_probability(kFp12, v);
+    const double quantized = std::floor(eps * (1 << r)) / (1 << r);
+    int ups = 0;
+    for (uint64_t R = 0; R < (1u << r); ++R) {
+      FixedSource src(R);
+      if (SoftFloat::round_pack(kFp12, v, RoundingMode::kSRQuant, r, &src) ==
+          cand[1])
+        ++ups;
+    }
+    EXPECT_NEAR(static_cast<double>(ups) / (1 << r), quantized, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace srmac

@@ -1,0 +1,219 @@
+#include "fpemu/softfloat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+// Enumerates every finite bit pattern of a small format.
+std::vector<uint32_t> all_finite(const FpFormat& f) {
+  std::vector<uint32_t> v;
+  for (uint32_t bits = 0; bits < (1u << f.width()); ++bits) {
+    const Unpacked u = decode(f, bits);
+    if (u.cls != FpClass::kInf && u.cls != FpClass::kNaN) v.push_back(bits);
+  }
+  return v;
+}
+
+TEST(SoftFloatConvert, DoubleRoundTripExhaustiveE5M2) {
+  for (uint32_t bits = 0; bits < 256; ++bits) {
+    const Unpacked u = decode(kFp8E5M2, bits);
+    if (u.cls == FpClass::kNaN) continue;
+    const double d = SoftFloat::to_double(kFp8E5M2, bits);
+    const uint32_t back = SoftFloat::from_double(kFp8E5M2, d);
+    // Canonical compare via value (zero has two encodings).
+    EXPECT_EQ(SoftFloat::to_double(kFp8E5M2, back), d) << "bits=" << bits;
+  }
+}
+
+TEST(SoftFloatConvert, DoubleRoundTripExhaustiveE6M5) {
+  for (uint32_t bits = 0; bits < (1u << 12); ++bits) {
+    const Unpacked u = decode(kFp12, bits);
+    if (u.cls == FpClass::kNaN) continue;
+    const double d = SoftFloat::to_double(kFp12, bits);
+    EXPECT_EQ(SoftFloat::to_double(kFp12, SoftFloat::from_double(kFp12, d)), d);
+  }
+}
+
+TEST(SoftFloatConvert, Fp32MatchesNativeFloat) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    const float x = static_cast<float>(rng.normal() * std::pow(2.0, rng.uniform(-30, 30)));
+    uint32_t native;
+    static_assert(sizeof(native) == sizeof(x));
+    std::memcpy(&native, &x, 4);
+    EXPECT_EQ(SoftFloat::from_double(kFp32, static_cast<double>(x)), native);
+    EXPECT_EQ(SoftFloat::to_double(kFp32, native), static_cast<double>(x));
+  }
+}
+
+TEST(SoftFloatAdd, ExhaustiveE5M2MatchesDouble) {
+  // Sums of two E5M2 values are exact in double, so RN via from_double is
+  // the correctly rounded reference.
+  const auto vals = all_finite(kFp8E5M2);
+  for (uint32_t a : vals) {
+    for (uint32_t b : vals) {
+      const double ref = SoftFloat::to_double(kFp8E5M2, a) +
+                         SoftFloat::to_double(kFp8E5M2, b);
+      const uint32_t expect = SoftFloat::from_double(kFp8E5M2, ref);
+      const uint32_t got =
+          SoftFloat::add(kFp8E5M2, a, b, RoundingMode::kNearestEven);
+      EXPECT_EQ(SoftFloat::to_double(kFp8E5M2, got),
+                SoftFloat::to_double(kFp8E5M2, expect))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(SoftFloatAdd, ExhaustiveE4M3MatchesDouble) {
+  const auto vals = all_finite(kFp8E4M3);
+  for (uint32_t a : vals)
+    for (uint32_t b : vals) {
+      const double ref = SoftFloat::to_double(kFp8E4M3, a) +
+                         SoftFloat::to_double(kFp8E4M3, b);
+      const uint32_t got =
+          SoftFloat::add(kFp8E4M3, a, b, RoundingMode::kNearestEven);
+      EXPECT_EQ(SoftFloat::to_double(kFp8E4M3, got),
+                SoftFloat::to_double(kFp8E4M3,
+                                     SoftFloat::from_double(kFp8E4M3, ref)));
+    }
+}
+
+TEST(SoftFloatAdd, RandomE6M5MatchesDouble) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 500000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << 12));
+    const uint32_t b = static_cast<uint32_t>(rng.below(1u << 12));
+    if (is_nan(kFp12, a) || is_nan(kFp12, b)) continue;
+    if (is_inf(kFp12, a) || is_inf(kFp12, b)) continue;
+    const double ref =
+        SoftFloat::to_double(kFp12, a) + SoftFloat::to_double(kFp12, b);
+    const uint32_t got = SoftFloat::add(kFp12, a, b, RoundingMode::kNearestEven);
+    EXPECT_EQ(SoftFloat::to_double(kFp12, got),
+              SoftFloat::to_double(kFp12, SoftFloat::from_double(kFp12, ref)));
+  }
+}
+
+TEST(SoftFloatAdd, SpecialValues) {
+  const FpFormat f = kFp12;
+  const uint32_t inf = f.inf_bits(), ninf = inf | f.sign_mask();
+  const uint32_t one = SoftFloat::from_double(f, 1.0);
+  const RoundingMode rn = RoundingMode::kNearestEven;
+  EXPECT_TRUE(is_nan(f, SoftFloat::add(f, inf, ninf, rn)));
+  EXPECT_TRUE(is_nan(f, SoftFloat::add(f, f.nan_bits(), one, rn)));
+  EXPECT_EQ(SoftFloat::add(f, inf, one, rn), inf);
+  EXPECT_EQ(SoftFloat::add(f, ninf, one, rn), ninf);
+  // x + (-x) = +0
+  EXPECT_EQ(SoftFloat::add(f, one, one | f.sign_mask(), rn), 0u);
+  // -0 + -0 = -0
+  EXPECT_EQ(SoftFloat::add(f, f.sign_mask(), f.sign_mask(), rn), f.sign_mask());
+}
+
+TEST(SoftFloatAdd, OverflowGoesToInfinityUnderRN) {
+  const FpFormat f = kFp8E5M2;
+  const uint32_t m = f.max_finite_bits();
+  EXPECT_TRUE(is_inf(f, SoftFloat::add(f, m, m, RoundingMode::kNearestEven)));
+  EXPECT_EQ(SoftFloat::add(f, m, m, RoundingMode::kTowardZero), m);
+}
+
+TEST(SoftFloatAdd, DirectedModesBracketRN) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << 12));
+    const uint32_t b = static_cast<uint32_t>(rng.below(1u << 12));
+    if (is_nan(kFp12, a) || is_nan(kFp12, b)) continue;
+    if (is_inf(kFp12, a) || is_inf(kFp12, b)) continue;
+    const double rd = SoftFloat::to_double(
+        kFp12, SoftFloat::add(kFp12, a, b, RoundingMode::kTowardNegInf));
+    const double rn = SoftFloat::to_double(
+        kFp12, SoftFloat::add(kFp12, a, b, RoundingMode::kNearestEven));
+    const double ru = SoftFloat::to_double(
+        kFp12, SoftFloat::add(kFp12, a, b, RoundingMode::kTowardPosInf));
+    EXPECT_LE(rd, rn);
+    EXPECT_LE(rn, ru);
+    const double exact =
+        SoftFloat::to_double(kFp12, a) + SoftFloat::to_double(kFp12, b);
+    if (std::isfinite(rd)) EXPECT_LE(rd, exact);
+    if (std::isfinite(ru)) EXPECT_GE(ru, exact);
+  }
+}
+
+TEST(SoftFloatMul, ExhaustiveE5M2ToE6M5IsExact) {
+  const auto vals = all_finite(kFp8E5M2);
+  for (uint32_t a : vals)
+    for (uint32_t b : vals) {
+      const double ref = SoftFloat::to_double(kFp8E5M2, a) *
+                         SoftFloat::to_double(kFp8E5M2, b);
+      const uint32_t got = SoftFloat::mul(kFp12, kFp8E5M2, a, b,
+                                          RoundingMode::kNearestEven);
+      EXPECT_EQ(SoftFloat::to_double(kFp12, got), ref)
+          << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(SoftFloatMul, SameFormatRandomMatchesDoubleRounded) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << 12));
+    const uint32_t b = static_cast<uint32_t>(rng.below(1u << 12));
+    if (is_nan(kFp12, a) || is_nan(kFp12, b)) continue;
+    if (is_inf(kFp12, a) || is_inf(kFp12, b)) continue;
+    const double ref =
+        SoftFloat::to_double(kFp12, a) * SoftFloat::to_double(kFp12, b);
+    const uint32_t got =
+        SoftFloat::mul(kFp12, kFp12, a, b, RoundingMode::kNearestEven);
+    EXPECT_EQ(SoftFloat::to_double(kFp12, got),
+              SoftFloat::to_double(kFp12, SoftFloat::from_double(kFp12, ref)));
+  }
+}
+
+TEST(SoftFloatMac, ProductNeverRoundsSeparately) {
+  // acc + a*b must equal the double-exact fused result rounded once.
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 200000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(256));
+    const uint32_t b = static_cast<uint32_t>(rng.below(256));
+    const uint32_t acc = static_cast<uint32_t>(rng.below(1u << 12));
+    if (is_nan(kFp8E5M2, a) || is_nan(kFp8E5M2, b) || is_nan(kFp12, acc))
+      continue;
+    if (is_inf(kFp8E5M2, a) || is_inf(kFp8E5M2, b) || is_inf(kFp12, acc))
+      continue;
+    const double exact = SoftFloat::to_double(kFp12, acc) +
+                         SoftFloat::to_double(kFp8E5M2, a) *
+                             SoftFloat::to_double(kFp8E5M2, b);
+    const uint32_t got = SoftFloat::mac(kFp12, acc, kFp8E5M2, a, b,
+                                        RoundingMode::kNearestEven);
+    EXPECT_EQ(SoftFloat::to_double(kFp12, got),
+              SoftFloat::to_double(kFp12, SoftFloat::from_double(kFp12, exact)));
+  }
+}
+
+TEST(SoftFloatConvert, SubnormalFlushOnNarrowing) {
+  const FpFormat nosub = kFp12.with_subnormals(false);
+  // 2^-31 is subnormal in E6M5 (emin = -30).
+  const uint32_t sub = SoftFloat::from_double(kFp12, std::ldexp(1.0, -31));
+  EXPECT_NE(sub, 0u);
+  EXPECT_EQ(SoftFloat::from_double(nosub, std::ldexp(1.0, -31)), 0u);
+  // Reading a subnormal pattern under a no-subnormal format gives zero.
+  EXPECT_EQ(SoftFloat::to_double(nosub, sub), 0.0);
+}
+
+TEST(SoftFloatExact, AddCommutes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << 12));
+    const uint32_t b = static_cast<uint32_t>(rng.below(1u << 12));
+    if (is_nan(kFp12, a) || is_nan(kFp12, b)) continue;
+    EXPECT_EQ(SoftFloat::add(kFp12, a, b, RoundingMode::kNearestEven),
+              SoftFloat::add(kFp12, b, a, RoundingMode::kNearestEven));
+  }
+}
+
+}  // namespace
+}  // namespace srmac

@@ -1,0 +1,215 @@
+// Validation of the eager SR adder (the paper's contribution, Fig. 3b/4):
+//  * bitwise equality with the lazy design under the same random word on
+//    every carry-out addition trace (paper case (a) — "identical outcome");
+//  * the paper's Sec. III-B brute-force methodology: across input pairs
+//    covering all execution traces, the empirical round-up probability
+//    matches the SR definition (up to the documented r-bit quantization);
+//  * two-neighbour invariant and unbiasedness.
+#include "mac/adder_eager_sr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/adder_lazy_sr.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+struct CaseGen {
+  Xoshiro256 rng;
+  FpFormat fmt;
+  explicit CaseGen(const FpFormat& f, uint64_t seed) : rng(seed), fmt(f) {}
+  std::pair<uint32_t, uint32_t> next() {
+    for (;;) {
+      const uint32_t a = static_cast<uint32_t>(rng.below(1u << fmt.width()));
+      const uint32_t b = static_cast<uint32_t>(rng.below(1u << fmt.width()));
+      if (is_nan(fmt, a) || is_nan(fmt, b)) continue;
+      if (is_inf(fmt, a) || is_inf(fmt, b)) continue;
+      return {a, b};
+    }
+  }
+};
+
+TEST(AdderEagerSr, BitwiseEqualsLazyOnCarryTraces) {
+  // Paper: "employing the eager design produces an identical outcome to
+  // calculating the rounding carry bit c as with the lazy implementation"
+  // when no normalization shift occurs (the carry case).
+  const FpFormat f = kFp12;
+  const int r = 9;
+  CaseGen gen(f, 21);
+  int carry_traces = 0;
+  for (int i = 0; i < 500000; ++i) {
+    auto [a, b] = gen.next();
+    AdderTrace tl;
+    const uint32_t lz0 = add_lazy_sr(f, a, b, r, 0, &tl);
+    if (tl.special || tl.effective_sub || !tl.carry_out || tl.subnormal_out)
+      continue;
+    ++carry_traces;
+    for (uint64_t R : {0ull, 1ull, 100ull, 255ull, 256ull, 511ull}) {
+      const uint32_t le = add_lazy_sr(f, a, b, r, R);
+      const uint32_t ee = add_eager_sr(f, a, b, r, R);
+      ASSERT_EQ(le, ee) << "a=" << a << " b=" << b << " R=" << R;
+    }
+    (void)lz0;
+  }
+  EXPECT_GT(carry_traces, 10000);
+}
+
+TEST(AdderEagerSr, ExhaustiveCarryTraceEquivalenceSmallFormat) {
+  // Full sweep on E4M3 with every random word: the strongest form of the
+  // case-(a) equivalence.
+  const FpFormat f = kFp8E4M3;
+  const int r = 6;
+  for (uint32_t a = 0; a < 256; ++a) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      if (is_nan(f, a) || is_nan(f, b) || is_inf(f, a) || is_inf(f, b))
+        continue;
+      AdderTrace tl;
+      add_lazy_sr(f, a, b, r, 0, &tl);
+      if (tl.special || tl.effective_sub || !tl.carry_out || tl.subnormal_out)
+        continue;
+      for (uint64_t R = 0; R < (1u << r); ++R) {
+        ASSERT_EQ(add_lazy_sr(f, a, b, r, R), add_eager_sr(f, a, b, r, R))
+            << "a=" << a << " b=" << b << " R=" << R;
+      }
+    }
+  }
+}
+
+TEST(AdderEagerSr, NeighbourInvariant) {
+  // Every eager output must be one of the two representables bracketing the
+  // window-exact sum (taken from the lazy design's R=0 / R=max envelope).
+  const FpFormat f = kFp12;
+  const int r = 9;
+  CaseGen gen(f, 22);
+  Xoshiro256 rr(7);
+  for (int i = 0; i < 300000; ++i) {
+    auto [a, b] = gen.next();
+    const double dlo = SoftFloat::to_double(f, add_lazy_sr(f, a, b, r, 0));
+    const double dhi =
+        SoftFloat::to_double(f, add_lazy_sr(f, a, b, r, (1u << r) - 1));
+    const double dg =
+        SoftFloat::to_double(f, add_eager_sr(f, a, b, r, rr.draw(r)));
+    ASSERT_TRUE(dg == dlo || dg == dhi)
+        << "a=" << a << " b=" << b << " got=" << dg << " lo=" << dlo
+        << " hi=" << dhi;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's own validation (Sec. III-B): brute-force input pairs covering
+// all execution traces; for each, the empirical probability of rounding up
+// over many random draws must align with the SR definition of Sec. II-A.
+// ---------------------------------------------------------------------------
+class EagerProbability : public ::testing::TestWithParam<int> {};
+
+TEST_P(EagerProbability, MatchesSrDefinitionAcrossTraces) {
+  const FpFormat f = kFp12;
+  const int r = GetParam();
+  CaseGen gen(f, 100 + r);
+  Xoshiro256 rr(200 + r);
+  int tested = 0;
+  while (tested < 400) {
+    auto [a, b] = gen.next();
+    AdderTrace tl;
+    const uint32_t lo = add_lazy_sr(f, a, b, r, 0, &tl);
+    const uint32_t hi = add_lazy_sr(f, a, b, r, (1u << r) - 1);
+    if (tl.special || tl.subnormal_out || lo == hi) continue;  // exact or degenerate
+    ++tested;
+
+    // True probability from the exact sum (window semantics): lazy realizes
+    // f_r / 2^r; eager may differ by its alignment quantization, bounded by
+    // 2^-(r-2) (two random LSBs are repositioned in the shifted case).
+    const double p_lazy = static_cast<double>(tl.f_r) / (1 << r);
+    const int n = 4000;
+    int ups = 0;
+    for (int k = 0; k < n; ++k)
+      if (add_eager_sr(f, a, b, r, rr.draw(r)) == hi) ++ups;
+    const double p_emp = static_cast<double>(ups) / n;
+    const double sigma = std::sqrt(std::max(p_lazy * (1 - p_lazy), 1e-4) / n);
+    const double quant_slack = std::ldexp(1.0, -(r - 2));
+    EXPECT_NEAR(p_emp, p_lazy, 5 * sigma + quant_slack)
+        << "a=" << a << " b=" << b << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBits, EagerProbability,
+                         ::testing::Values(4, 7, 9, 11, 13));
+
+TEST(AdderEagerSr, ExactSumsIgnoreRandomness) {
+  const FpFormat f = kFp12;
+  const uint32_t a = SoftFloat::from_double(f, 1.0);
+  const uint32_t b = SoftFloat::from_double(f, 1.5);
+  for (uint64_t R = 0; R < (1u << 9); ++R)
+    EXPECT_EQ(SoftFloat::to_double(f, add_eager_sr(f, a, b, 9, R)), 2.5);
+  // Close-path cancellation: exact zero regardless of R.
+  const uint32_t x = SoftFloat::from_double(f, 1.03125);
+  const uint32_t nx = x ^ f.sign_mask();
+  for (uint64_t R = 0; R < (1u << 9); ++R)
+    EXPECT_EQ(SoftFloat::to_double(f, add_eager_sr(f, x, nx, 9, R)), 0.0);
+}
+
+TEST(AdderEagerSr, CloseSubtractionExactNormalizationShifts) {
+  // d <= 1 subtraction with multi-bit cancellation is exact: 1.0 - 0.96875
+  // = 0.03125 = 2^-5 exactly.
+  const FpFormat f = kFp12;
+  const uint32_t a = SoftFloat::from_double(f, 1.0);
+  const uint32_t b = SoftFloat::from_double(f, -0.96875);
+  for (uint64_t R = 0; R < (1u << 9); ++R) {
+    AdderTrace tr;
+    const uint32_t got = add_eager_sr(f, a, b, 9, R, &tr);
+    EXPECT_EQ(SoftFloat::to_double(f, got), 0.03125);
+    EXPECT_GT(tr.norm_shift, 1);
+  }
+}
+
+TEST(AdderEagerSr, MeanUnbiasedOverManyDraws) {
+  const FpFormat f = kFp12;
+  const int r = 11;
+  Xoshiro256 rng(55);
+  // Mix of far-path magnitudes; mean error must vanish.
+  for (double base : {48.0, -96.0, 17.0}) {
+    const uint32_t a = SoftFloat::from_double(f, base);
+    const uint32_t b = SoftFloat::from_double(f, 0.34375);
+    const double exact = SoftFloat::to_double(f, a) + 0.34375;
+    double sum = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+      sum += SoftFloat::to_double(f, add_eager_sr(f, a, b, r, rng.draw(r)));
+    EXPECT_NEAR(sum / n, exact, std::fabs(exact) * 4e-4 + 0.01) << base;
+  }
+}
+
+TEST(AdderEagerSr, SubnormalFallbackMatchesLazy) {
+  // Denormalized results route through the late rounding stage and must
+  // agree with the lazy design bit for bit.
+  const FpFormat f = kFp12;
+  const double mn = std::ldexp(1.0, f.emin());
+  const uint32_t a = SoftFloat::from_double(f, mn);
+  const uint32_t b = SoftFloat::from_double(f, -0.53125 * mn);
+  for (uint64_t R = 0; R < (1u << 9); ++R)
+    EXPECT_EQ(add_eager_sr(f, a, b, 9, R), add_lazy_sr(f, a, b, 9, R));
+
+  // With Sub OFF the subnormal *input* b flushes to zero on read, so the
+  // sum collapses to a (the paper's footnote-3 semantics).
+  const FpFormat nosub = f.with_subnormals(false);
+  EXPECT_EQ(SoftFloat::to_double(nosub, add_eager_sr(nosub, a, b, 9, 0)), mn);
+}
+
+TEST(AdderEagerSr, SpecialsPropagate) {
+  const FpFormat f = kFp12;
+  const uint32_t inf = f.inf_bits();
+  const uint32_t one = SoftFloat::from_double(f, 1.0);
+  EXPECT_TRUE(is_nan(f, add_eager_sr(f, inf, inf | f.sign_mask(), 9, 0)));
+  EXPECT_EQ(add_eager_sr(f, inf, one, 9, 0), inf);
+  EXPECT_EQ(add_eager_sr(f, one, 0u, 9, 0x1FF), one);
+  // Overflow saturates to infinity.
+  const uint32_t m = f.max_finite_bits();
+  EXPECT_TRUE(is_inf(f, add_eager_sr(f, m, m, 9, 0x1FF)));
+}
+
+}  // namespace
+}  // namespace srmac

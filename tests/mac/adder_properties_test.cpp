@@ -1,0 +1,176 @@
+// Cross-cutting algebraic properties, parameterized over (format, adder
+// kind): identity, exact cancellation, sign symmetry, commutativity under a
+// fixed random word, and window-truncation behaviour at extreme exponent
+// gaps. These hold for all three micro-architectures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/mac_config.hpp"
+#include "mac/adder_eager_sr.hpp"
+#include "mac/adder_lazy_sr.hpp"
+#include "mac/adder_rn.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+using ParamT = std::tuple<FpFormat, AdderKind>;
+
+uint32_t dispatch(const FpFormat& f, AdderKind k, uint32_t a, uint32_t b,
+                  int r, uint64_t R) {
+  switch (k) {
+    case AdderKind::kRoundNearest:
+      return add_rn(f, a, b, nullptr);
+    case AdderKind::kLazySR:
+      return add_lazy_sr(f, a, b, r, R);
+    case AdderKind::kEagerSR:
+      return add_eager_sr(f, a, b, r, R);
+  }
+  return 0;
+}
+
+class AdderProperty : public ::testing::TestWithParam<ParamT> {
+ protected:
+  FpFormat fmt() const { return std::get<0>(GetParam()); }
+  AdderKind kind() const { return std::get<1>(GetParam()); }
+  int r() const { return fmt().precision() + 3; }
+};
+
+TEST_P(AdderProperty, AddZeroIsIdentity) {
+  const FpFormat f = fmt();
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << f.width()));
+    if (is_nan(f, a) || is_inf(f, a)) continue;
+    const uint32_t z = encode_zero(f, rng.below(2) == 1);
+    const uint32_t got = dispatch(f, kind(), a, z, r(), rng.draw(r()));
+    EXPECT_EQ(SoftFloat::to_double(f, got), SoftFloat::to_double(f, a))
+        << "a=" << a;
+  }
+}
+
+TEST_P(AdderProperty, ExactCancellationGivesPositiveZero) {
+  const FpFormat f = fmt();
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << f.width()));
+    if (is_nan(f, a) || is_inf(f, a)) continue;
+    const uint32_t got =
+        dispatch(f, kind(), a, a ^ f.sign_mask(), r(), rng.draw(r()));
+    EXPECT_EQ(SoftFloat::to_double(f, got), 0.0);
+    EXPECT_FALSE((got & f.sign_mask()) != 0 && !is_zero(f, a))
+        << "cancellation must give +0";
+  }
+}
+
+TEST_P(AdderProperty, SignSymmetry) {
+  // (-a) + (-b) == -(a + b) under the same random word.
+  const FpFormat f = fmt();
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << f.width()));
+    const uint32_t b = static_cast<uint32_t>(rng.below(1u << f.width()));
+    if (is_nan(f, a) || is_nan(f, b) || is_inf(f, a) || is_inf(f, b)) continue;
+    if (is_zero(f, a) && is_zero(f, b)) continue;  // -0 + -0 = -0 by IEEE
+    const uint64_t R = rng.draw(r());
+    const uint32_t pos = dispatch(f, kind(), a, b, r(), R);
+    const uint32_t neg = dispatch(f, kind(), a ^ f.sign_mask(),
+                                  b ^ f.sign_mask(), r(), R);
+    EXPECT_EQ(SoftFloat::to_double(f, neg), -SoftFloat::to_double(f, pos))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(AdderProperty, CommutativeUnderFixedRandomWord) {
+  const FpFormat f = fmt();
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << f.width()));
+    const uint32_t b = static_cast<uint32_t>(rng.below(1u << f.width()));
+    if (is_nan(f, a) || is_nan(f, b)) continue;
+    const uint64_t R = rng.draw(r());
+    const uint32_t ab = dispatch(f, kind(), a, b, r(), R);
+    const uint32_t ba = dispatch(f, kind(), b, a, r(), R);
+    const double da = SoftFloat::to_double(f, ab);
+    const double db = SoftFloat::to_double(f, ba);
+    if (std::isnan(da)) {
+      EXPECT_TRUE(std::isnan(db));
+    } else {
+      EXPECT_EQ(da, db) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(AdderProperty, TinyAddendTruncatesAtWindowEdge) {
+  // When |y| is many binades below |x| every kept window bit is zero, so
+  // all three designs return x (for SR this is the documented truncation
+  // semantics; for RN the sticky keeps x too when the fraction < 1/2 ulp).
+  const FpFormat f = fmt();
+  const uint32_t x = SoftFloat::from_double(f, 1.5);
+  const double tiny = std::ldexp(1.0, -(f.precision() + r() + 4));
+  const uint32_t y = SoftFloat::from_double(f, tiny);
+  if (is_zero(f, y)) GTEST_SKIP() << "tiny underflows this format";
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 256; ++i) {
+    const uint32_t got = dispatch(f, kind(), x, y, r(), rng.draw(r()));
+    EXPECT_EQ(SoftFloat::to_double(f, got), 1.5);
+  }
+}
+
+TEST_P(AdderProperty, OverflowSaturatesToInfinity) {
+  const FpFormat f = fmt();
+  const uint32_t m = f.max_finite_bits();
+  Xoshiro256 rng(6);
+  const uint32_t got = dispatch(f, kind(), m, m, r(), rng.draw(r()));
+  EXPECT_TRUE(is_inf(f, got));
+  const uint32_t nm = m | f.sign_mask();
+  const uint32_t gneg = dispatch(f, kind(), nm, nm, r(), rng.draw(r()));
+  EXPECT_TRUE(is_inf(f, gneg));
+  EXPECT_TRUE((gneg & f.sign_mask()) != 0);
+}
+
+TEST_P(AdderProperty, ResultBracketsWindowSum) {
+  // Any output lies within one ULP of the exact sum (the window borrow can
+  // push one ULP beyond the bracketing neighbours on far subtractions).
+  const FpFormat f = fmt();
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(1u << f.width()));
+    const uint32_t b = static_cast<uint32_t>(rng.below(1u << f.width()));
+    if (is_nan(f, a) || is_nan(f, b) || is_inf(f, a) || is_inf(f, b)) continue;
+    const double exact =
+        SoftFloat::to_double(f, a) + SoftFloat::to_double(f, b);
+    const uint32_t got = dispatch(f, kind(), a, b, r(), rng.draw(r()));
+    const double dv = SoftFloat::to_double(f, got);
+    if (std::isinf(dv)) continue;  // overflow
+    double ulp = std::max(std::ldexp(std::fabs(exact), -f.man_bits),
+                          std::ldexp(1.0, f.emin() - f.man_bits));
+    // Without subnormal storage, results in (0, 2^emin) flush to zero.
+    if (!f.subnormals) ulp = std::max(ulp, std::ldexp(1.0, f.emin()));
+    EXPECT_NEAR(dv, exact, 1.0001 * ulp) << "a=" << a << " b=" << b;
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<ParamT>& info) {
+  std::string n = std::get<0>(info.param).name() + "_" +
+                  to_string(std::get<1>(info.param));
+  for (auto& c : n)
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdderProperty,
+    ::testing::Combine(::testing::Values(kFp8E5M2, kFp8E4M3, kFp12,
+                                         kFp12.with_subnormals(false)),
+                       ::testing::Values(AdderKind::kRoundNearest,
+                                         AdderKind::kLazySR,
+                                         AdderKind::kEagerSR)),
+    param_name);
+
+}  // namespace
+}  // namespace srmac

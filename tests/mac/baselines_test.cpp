@@ -1,0 +1,189 @@
+// Related-work accumulator baselines: fixed-point MAC, Kahan compensation,
+// HFP8 format scheme.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/baselines.hpp"
+#include "mac/dot.hpp"
+#include "mac/multiplier.hpp"
+#include "tensor/quant.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+uint32_t q8(double x) { return SoftFloat::from_double(kFp8E5M2, x); }
+
+TEST(FixedPointMac, ExactWhenProductOnGrid) {
+  FixedPointMac::Config cfg;
+  cfg.total_bits = 24;
+  cfg.frac_bits = 12;
+  cfg.rounding = FixedRounding::kTruncate;
+  Xoshiro256 rng(1);
+  FixedPointMac mac(cfg, rng);
+  // 1.5 * 2.0 = 3.0, exactly representable in Q12.12.
+  mac.step(q8(1.5), q8(2.0));
+  EXPECT_DOUBLE_EQ(mac.value(), 3.0);
+  mac.step(q8(-0.25), q8(0.5));
+  EXPECT_DOUBLE_EQ(mac.value(), 3.0 - 0.125);
+  EXPECT_FALSE(mac.saturated());
+}
+
+TEST(FixedPointMac, SaturatesAtRails) {
+  FixedPointMac::Config cfg;
+  cfg.total_bits = 8;  // tiny register: Q4.4
+  cfg.frac_bits = 4;
+  cfg.rounding = FixedRounding::kTruncate;
+  Xoshiro256 rng(2);
+  FixedPointMac mac(cfg, rng);
+  for (int i = 0; i < 10; ++i) mac.step(q8(4.0), q8(4.0));
+  EXPECT_TRUE(mac.saturated());
+  EXPECT_DOUBLE_EQ(mac.value(), (127.0) / 16.0);  // +max of Q4.4
+  mac.reset();
+  // reset clears the register but keeps the sticky flag semantics local.
+  EXPECT_DOUBLE_EQ(mac.value(), 0.0);
+}
+
+TEST(FixedPointMac, NegativeSaturation) {
+  FixedPointMac::Config cfg;
+  cfg.total_bits = 8;
+  cfg.frac_bits = 4;
+  Xoshiro256 rng(3);
+  FixedPointMac mac(cfg, rng);
+  for (int i = 0; i < 10; ++i) mac.step(q8(-4.0), q8(4.0));
+  EXPECT_TRUE(mac.saturated());
+  EXPECT_DOUBLE_EQ(mac.value(), -128.0 / 16.0);
+}
+
+TEST(FixedPointMac, StochasticRoundingIsUnbiasedOnHalfUlp) {
+  // Product 2^-13 * 1 = half of the Q*.12 ULP: SR must round it up about
+  // half the time, truncation never.
+  FixedPointMac::Config cfg;
+  cfg.total_bits = 24;
+  cfg.frac_bits = 12;
+  cfg.rounding = FixedRounding::kStochastic;
+  cfg.random_bits = 8;
+  const uint32_t a = q8(std::ldexp(1.0, -13));
+  const uint32_t one = q8(1.0);
+
+  Xoshiro256 rng(4);
+  int ups = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    FixedPointMac mac(cfg, rng);
+    mac.step(a, one);
+    if (mac.raw() != 0) ++ups;
+  }
+  EXPECT_NEAR(static_cast<double>(ups) / trials, 0.5, 0.05);
+
+  // Truncation drops it every time (stagnation).
+  cfg.rounding = FixedRounding::kTruncate;
+  FixedPointMac trunc(cfg, rng);
+  for (int t = 0; t < 1000; ++t) trunc.step(a, one);
+  EXPECT_EQ(trunc.raw(), 0);
+}
+
+TEST(FixedPointMac, StochasticAccumulationTracksLongSum) {
+  // 4096 terms of 2^-13 sum to 0.5 exactly; SR keeps the expectation.
+  FixedPointMac::Config cfg;
+  cfg.total_bits = 24;
+  cfg.frac_bits = 12;
+  cfg.rounding = FixedRounding::kStochastic;
+  cfg.random_bits = 8;
+  Xoshiro256 rng(5);
+  FixedPointMac mac(cfg, rng);
+  const uint32_t a = q8(std::ldexp(1.0, -13));
+  const uint32_t one = q8(1.0);
+  for (int i = 0; i < 4096; ++i) mac.step(a, one);
+  EXPECT_NEAR(mac.value(), 0.5, 0.08);
+}
+
+TEST(Kahan, RecoversSwampedTail) {
+  // Adding 4096 copies of 2^-10 to 1.0 in E6M5 (ULP(1) = 2^-5): plain RN
+  // stagnates at 1.0, Kahan accumulates the full 4.0.
+  const FpFormat fmt = kFp12.with_subnormals(false);
+  KahanAccumulator kahan(fmt);
+  uint32_t naive = SoftFloat::from_double(fmt, 1.0);
+  kahan.add_value(1.0);
+  const double small = std::ldexp(1.0, -10);
+  for (int i = 0; i < 3072; ++i) {
+    kahan.add_value(small);
+    naive = SoftFloat::add(fmt, naive, SoftFloat::from_double(fmt, small),
+                           RoundingMode::kNearestEven);
+  }
+  EXPECT_DOUBLE_EQ(SoftFloat::to_double(fmt, naive), 1.0);  // swamped
+  EXPECT_NEAR(kahan.value(), 4.0, 0.15);
+}
+
+TEST(Kahan, DotMatchesReferenceClosely) {
+  std::mt19937_64 gen(7);
+  std::normal_distribution<float> dist(0.01f, 0.25f);
+  const int n = 2048;
+  std::vector<float> a(n), b(n);
+  for (auto& x : a) x = dist(gen);
+  for (auto& x : b) x = dist(gen);
+
+  // Reference on the quantized operands.
+  const auto qa = quantize_vector(kFp8E5M2, a);
+  const auto qb = quantize_vector(kFp8E5M2, b);
+  double ref = 0.0;
+  for (int i = 0; i < n; ++i)
+    ref += SoftFloat::to_double(kFp8E5M2, qa[static_cast<size_t>(i)]) *
+           SoftFloat::to_double(kFp8E5M2, qb[static_cast<size_t>(i)]);
+
+  const double kahan =
+      dot_kahan(kFp8E5M2, kFp12.with_subnormals(false), a.data(), b.data(), n);
+  // A naive RN E6M5 chain for contrast.
+  MacConfig cfg;
+  cfg.adder = AdderKind::kRoundNearest;
+  cfg.subnormals = false;
+  const DotResult naive = dot_mac(cfg, a, b);
+
+  const double kahan_err = std::abs(kahan - ref) / std::abs(ref);
+  const double naive_err = std::abs(naive.value - ref) / std::abs(ref);
+  EXPECT_LT(kahan_err, 0.05);
+  EXPECT_LT(kahan_err, naive_err);
+}
+
+TEST(Hfp8, SchemeSelectsFormatsPerPass) {
+  const Hfp8Scheme scheme;
+  EXPECT_EQ(scheme.fmt_for(false), kFp8E4M3);
+  EXPECT_EQ(scheme.fmt_for(true), kFp8E5M2);
+  // E4M3 resolves finer near 1.0; E5M2 reaches further out — exactly why
+  // [7] splits the passes.
+  const double fine = 1.0 + 1.0 / 8;  // E4M3 ULP at 1.0
+  EXPECT_DOUBLE_EQ(
+      SoftFloat::to_double(kFp8E4M3, SoftFloat::from_double(kFp8E4M3, fine)),
+      fine);
+  EXPECT_NE(
+      SoftFloat::to_double(kFp8E5M2, SoftFloat::from_double(kFp8E5M2, fine)),
+      fine);
+  EXPECT_GT(max_finite(kFp8E5M2), max_finite(kFp8E4M3));
+}
+
+TEST(Hfp8, ProductsStayExactInBothFormats) {
+  // The exact-multiplier property the MAC relies on holds for both FP8
+  // variants: p_a = 2 p_m keeps every product representable.
+  for (const FpFormat& f : {kFp8E4M3, kFp8E5M2}) {
+    const FpFormat out = product_format(f);
+    std::mt19937_64 gen(11);
+    for (int t = 0; t < 2000; ++t) {
+      const uint32_t a = static_cast<uint32_t>(gen()) & ((1u << f.width()) - 1);
+      const uint32_t b = static_cast<uint32_t>(gen()) & ((1u << f.width()) - 1);
+      const Unpacked ua = decode(f, a), ub = decode(f, b);
+      if (!ua.is_finite_nonzero() || !ub.is_finite_nonzero()) continue;
+      const uint32_t p = multiply_exact(f, a, b);
+      if (is_inf(out, p)) continue;  // saturated the product range
+      const double want = SoftFloat::to_double(f, a) * SoftFloat::to_double(f, b);
+      EXPECT_DOUBLE_EQ(SoftFloat::to_double(out, p), want);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srmac

@@ -1,0 +1,185 @@
+#include "mac/mac_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/dot.hpp"
+#include "mac/gemm.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+MacConfig cfg_of(AdderKind k, int r = 9, bool sub = true,
+                 FpFormat acc = kFp12) {
+  MacConfig c;
+  c.mul_fmt = kFp8E5M2;
+  c.acc_fmt = acc;
+  c.adder = k;
+  c.random_bits = r;
+  c.subnormals = sub;
+  return c;
+}
+
+TEST(MacUnit, SingleStepMatchesGoldenMacRN) {
+  MacUnit unit(cfg_of(AdderKind::kRoundNearest));
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.below(256));
+    const uint32_t b = static_cast<uint32_t>(rng.below(256));
+    if (is_nan(kFp8E5M2, a) || is_nan(kFp8E5M2, b)) continue;
+    if (is_inf(kFp8E5M2, a) || is_inf(kFp8E5M2, b)) continue;
+    const uint32_t acc = static_cast<uint32_t>(rng.below(1u << 12));
+    if (is_nan(kFp12, acc) || is_inf(kFp12, acc)) continue;
+    unit.set_acc(acc);
+    const uint32_t got = unit.step(a, b);
+    const uint32_t want = SoftFloat::mac(kFp12, acc, kFp8E5M2, a, b,
+                                         RoundingMode::kNearestEven);
+    ASSERT_EQ(SoftFloat::to_double(kFp12, got),
+              SoftFloat::to_double(kFp12, want))
+        << "a=" << a << " b=" << b << " acc=" << acc;
+  }
+}
+
+TEST(MacUnit, AccumulatesSmallDotProductExactly) {
+  // All representable small integers: every step exact, any adder kind.
+  for (AdderKind k : {AdderKind::kRoundNearest, AdderKind::kLazySR,
+                      AdderKind::kEagerSR}) {
+    MacUnit unit(cfg_of(k));
+    const uint32_t two = SoftFloat::from_double(kFp8E5M2, 2.0);
+    const uint32_t three = SoftFloat::from_double(kFp8E5M2, 3.0);
+    for (int i = 0; i < 4; ++i) unit.step(two, three);  // 4 * 6 = 24
+    EXPECT_EQ(unit.acc_value(), 24.0) << to_string(k);
+  }
+}
+
+TEST(MacUnit, SwampingRNvsSR) {
+  // The headline behaviour (paper Sec. II/IV): accumulating many small
+  // products in a narrow accumulator stagnates with RN, but SR tracks the
+  // true sum. 512 * (0.5*0.5) = 128 starting from 64.
+  const int n = 512;
+  const uint32_t half = SoftFloat::from_double(kFp8E5M2, 0.5);
+  auto run = [&](AdderKind k) {
+    MacUnit unit(cfg_of(k, 9));
+    unit.set_acc(SoftFloat::from_double(kFp12, 64.0));
+    for (int i = 0; i < n; ++i) unit.step(half, half);
+    return unit.acc_value();
+  };
+  const double exact = 64.0 + n * 0.25;
+  const double rn = run(AdderKind::kRoundNearest);
+  const double lazy = run(AdderKind::kLazySR);
+  const double eager = run(AdderKind::kEagerSR);
+  // RN stagnates as soon as acc ulp/2 > 0.25 (i.e. acc >= 32): total stuck.
+  EXPECT_LT(rn, 0.65 * exact);
+  EXPECT_NEAR(lazy, exact, 0.2 * exact);
+  EXPECT_NEAR(eager, exact, 0.2 * exact);
+}
+
+TEST(MacUnit, WideAccumulatorNeedsNoSR) {
+  // With an FP32 accumulator the same chain is exact under RN.
+  const int n = 512;
+  const uint32_t half = SoftFloat::from_double(kFp8E5M2, 0.5);
+  MacUnit unit(cfg_of(AdderKind::kRoundNearest, 0, true, kFp32));
+  unit.set_acc(SoftFloat::from_double(kFp32, 64.0));
+  for (int i = 0; i < n; ++i) unit.step(half, half);
+  EXPECT_EQ(unit.acc_value(), 64.0 + n * 0.25);
+}
+
+TEST(MacUnit, SubnormalsOffFlushesTinyProducts) {
+  // 2^-9 * 2^-9 = 2^-18: normal in E6M5 (emin -30); but (2^-15)*(2^-16)
+  // = 2^-31 is subnormal and must flush with Sub OFF.
+  const uint32_t t1 = SoftFloat::from_double(kFp8E5M2, std::ldexp(1.0, -15));
+  const uint32_t t2 = SoftFloat::from_double(kFp8E5M2, std::ldexp(1.0, -16));
+  MacUnit on(cfg_of(AdderKind::kEagerSR, 9, true));
+  MacUnit off(cfg_of(AdderKind::kEagerSR, 9, false));
+  on.step(t1, t2);
+  off.step(t1, t2);
+  EXPECT_EQ(on.acc_value(), std::ldexp(1.0, -31));
+  EXPECT_EQ(off.acc_value(), 0.0);
+}
+
+TEST(DotMac, MatchesQuantizedReferenceLooselyAndDeterministically) {
+  Xoshiro256 rng(5);
+  std::vector<float> a(256), b(256);
+  for (auto& v : a) v = static_cast<float>(rng.normal() * 0.5);
+  for (auto& v : b) v = static_cast<float>(rng.normal() * 0.5);
+  const MacConfig c = cfg_of(AdderKind::kEagerSR, 13);
+  const DotResult r1 = dot_mac(c, a, b, 42);
+  const DotResult r2 = dot_mac(c, a, b, 42);
+  EXPECT_EQ(r1.acc_bits, r2.acc_bits) << "same seed must reproduce";
+  EXPECT_NEAR(r1.value, r1.reference, std::fabs(r1.reference) * 0.25 + 0.5);
+}
+
+TEST(DotMac, SRBeatsRNOnLongUniformSums) {
+  // Average relative error over several random long dot products: SR's
+  // must be smaller than RN's for the narrow accumulator (the paper's
+  // motivating comparison).
+  Xoshiro256 rng(6);
+  double err_rn = 0, err_sr = 0;
+  const int trials = 20, n = 2048;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> a(n), b(n);
+    for (auto& v : a) v = static_cast<float>(0.25 + 0.5 * rng.uniform());
+    for (auto& v : b) v = static_cast<float>(0.25 + 0.5 * rng.uniform());
+    const DotResult rn =
+        dot_mac(cfg_of(AdderKind::kRoundNearest), a, b, 100 + t);
+    const DotResult sr = dot_mac(cfg_of(AdderKind::kEagerSR, 13), a, b, 100 + t);
+    err_rn += std::fabs(rn.value - rn.reference) / std::fabs(rn.reference);
+    err_sr += std::fabs(sr.value - sr.reference) / std::fabs(sr.reference);
+  }
+  EXPECT_LT(err_sr, 0.5 * err_rn);
+}
+
+TEST(GemmMac, MatchesPerElementDotChains) {
+  const int M = 5, N = 7, K = 33;
+  Xoshiro256 rng(8);
+  std::vector<float> A(M * K), B(K * N), C(M * N, -1.0f);
+  for (auto& v : A) v = static_cast<float>(rng.normal());
+  for (auto& v : B) v = static_cast<float>(rng.normal());
+  const MacConfig c = cfg_of(AdderKind::kLazySR, 9);
+  gemm_mac(c, M, N, K, A.data(), K, B.data(), N, C.data(), N, false, 77, 2);
+  // Row 2, col 3 recomputed by hand with the same per-element seed shape
+  // must agree with a fresh run (determinism across thread counts).
+  std::vector<float> C1(M * N, -2.0f);
+  gemm_mac(c, M, N, K, A.data(), K, B.data(), N, C1.data(), N, false, 77, 1);
+  for (int i = 0; i < M * N; ++i) EXPECT_EQ(C[i], C1[i]);
+}
+
+TEST(GemmMac, RnWithFp32AccMatchesReferenceClosely) {
+  const int M = 8, N = 8, K = 64;
+  Xoshiro256 rng(9);
+  std::vector<float> A(M * K), B(K * N), C(M * N), Cref(M * N);
+  for (auto& v : A) v = static_cast<float>(rng.normal());
+  for (auto& v : B) v = static_cast<float>(rng.normal());
+  MacConfig c = cfg_of(AdderKind::kRoundNearest, 0, true, kFp32);
+  gemm_mac(c, M, N, K, A.data(), K, B.data(), N, C.data(), N);
+  // Reference on the quantized inputs.
+  std::vector<float> qA(M * K), qB(K * N);
+  for (int i = 0; i < M * K; ++i)
+    qA[i] = static_cast<float>(SoftFloat::to_double(
+        kFp8E5M2, SoftFloat::from_double(kFp8E5M2, A[i])));
+  for (int i = 0; i < K * N; ++i)
+    qB[i] = static_cast<float>(SoftFloat::to_double(
+        kFp8E5M2, SoftFloat::from_double(kFp8E5M2, B[i])));
+  gemm_ref(M, N, K, qA.data(), K, qB.data(), N, Cref.data(), N);
+  for (int i = 0; i < M * N; ++i)
+    EXPECT_NEAR(C[i], Cref[i], std::fabs(Cref[i]) * 1e-4 + 1e-4);
+}
+
+TEST(MacUnit, LfsrSeedChangesSrResults) {
+  std::vector<float> a(512), b(512);
+  Xoshiro256 rng(10);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(0.5, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(0.5, 1.0));
+  const MacConfig c = cfg_of(AdderKind::kEagerSR, 9);
+  const DotResult r1 = dot_mac(c, a, b, 1);
+  const DotResult r2 = dot_mac(c, a, b, 2);
+  EXPECT_NE(r1.acc_bits, r2.acc_bits);
+}
+
+}  // namespace
+}  // namespace srmac

@@ -1,0 +1,88 @@
+#include "mac/multiplier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fpemu/softfloat.hpp"
+
+namespace srmac {
+namespace {
+
+TEST(Multiplier, ExhaustiveE5M2ProductsAreExact) {
+  const FpFormat in = kFp8E5M2;
+  const FpFormat out = product_format(in);
+  for (uint32_t a = 0; a < 256; ++a) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      if (is_nan(in, a) || is_nan(in, b)) continue;
+      const double da = SoftFloat::to_double(in, a);
+      const double db = SoftFloat::to_double(in, b);
+      const uint32_t got = multiply_exact(in, a, b);
+      if (std::isinf(da) || std::isinf(db)) {
+        if (da == 0.0 || db == 0.0) {
+          EXPECT_TRUE(is_nan(out, got));
+        } else {
+          EXPECT_TRUE(is_inf(out, got));
+        }
+        continue;
+      }
+      EXPECT_EQ(SoftFloat::to_double(out, got), da * db)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Multiplier, ExhaustiveE4M3ProductsAreExact) {
+  const FpFormat in = kFp8E4M3;
+  const FpFormat out = product_format(in);
+  for (uint32_t a = 0; a < 256; ++a)
+    for (uint32_t b = 0; b < 256; ++b) {
+      if (is_nan(in, a) || is_nan(in, b)) continue;
+      if (is_inf(in, a) || is_inf(in, b)) continue;
+      const double ref =
+          SoftFloat::to_double(in, a) * SoftFloat::to_double(in, b);
+      EXPECT_EQ(SoftFloat::to_double(out, multiply_exact(in, a, b)), ref);
+    }
+}
+
+TEST(Multiplier, SubnormalsFlushWhenDisabled) {
+  const FpFormat in = kFp8E5M2.with_subnormals(false);
+  // 0x01 is the smallest subnormal; with flushing the product is zero.
+  const uint32_t one = SoftFloat::from_double(kFp8E5M2, 1.0);
+  const uint32_t got = multiply_exact(in, 0x01u, one);
+  EXPECT_EQ(SoftFloat::to_double(product_format(in), got), 0.0);
+  // With subnormals on, the same product is the exact tiny value.
+  const uint32_t got_on = multiply_exact(kFp8E5M2, 0x01u, one);
+  EXPECT_EQ(SoftFloat::to_double(product_format(kFp8E5M2), got_on),
+            std::ldexp(1.0, -16));
+}
+
+TEST(Multiplier, SignHandling) {
+  const uint32_t two = SoftFloat::from_double(kFp8E5M2, 2.0);
+  const uint32_t ntwo = two | kFp8E5M2.sign_mask();
+  const FpFormat out = product_format(kFp8E5M2);
+  EXPECT_EQ(SoftFloat::to_double(out, multiply_exact(kFp8E5M2, two, ntwo)), -4.0);
+  EXPECT_EQ(SoftFloat::to_double(out, multiply_exact(kFp8E5M2, ntwo, ntwo)), 4.0);
+  // Signed zero: -0 * 2 = -0.
+  const uint32_t nz = multiply_exact(kFp8E5M2, kFp8E5M2.sign_mask(), two);
+  EXPECT_EQ(nz, out.sign_mask());
+}
+
+TEST(Multiplier, MaxFiniteDoesNotOverflowOutputFormat) {
+  // emax doubles in the product format, so max*max stays finite.
+  const uint32_t m = kFp8E5M2.max_finite_bits();
+  const uint32_t got = multiply_exact(kFp8E5M2, m, m);
+  const FpFormat out = product_format(kFp8E5M2);
+  EXPECT_FALSE(is_inf(out, got));
+  const double dm = SoftFloat::to_double(kFp8E5M2, m);
+  EXPECT_EQ(SoftFloat::to_double(out, got), dm * dm);
+}
+
+TEST(Multiplier, NanPropagates) {
+  const uint32_t one = SoftFloat::from_double(kFp8E5M2, 1.0);
+  EXPECT_TRUE(is_nan(product_format(kFp8E5M2),
+                     multiply_exact(kFp8E5M2, kFp8E5M2.nan_bits(), one)));
+}
+
+}  // namespace
+}  // namespace srmac

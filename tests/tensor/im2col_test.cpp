@@ -1,0 +1,105 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+// Direct (naive) convolution reference.
+void conv_naive(const float* img, int C, int H, int W, const float* w,
+                int out_ch, int k, int stride, int pad, float* out) {
+  const int oh = conv_out_dim(H, k, stride, pad);
+  const int ow = conv_out_dim(W, k, stride, pad);
+  for (int o = 0; o < out_ch; ++o)
+    for (int y = 0; y < oh; ++y)
+      for (int x = 0; x < ow; ++x) {
+        double acc = 0;
+        for (int c = 0; c < C; ++c)
+          for (int i = 0; i < k; ++i)
+            for (int j = 0; j < k; ++j) {
+              const int iy = y * stride - pad + i, ix = x * stride - pad + j;
+              if (iy < 0 || iy >= H || ix < 0 || ix >= W) continue;
+              acc += static_cast<double>(
+                         img[(static_cast<size_t>(c) * H + iy) * W + ix]) *
+                     w[((static_cast<size_t>(o) * C + c) * k + i) * k + j];
+            }
+        out[(static_cast<size_t>(o) * oh + y) * ow + x] =
+            static_cast<float>(acc);
+      }
+}
+
+TEST(Im2col, GemmConvMatchesNaive) {
+  Xoshiro256 rng(1);
+  for (const auto& [C, H, W, k, stride, pad] :
+       std::vector<std::tuple<int, int, int, int, int, int>>{
+           {1, 5, 5, 3, 1, 1},
+           {3, 8, 8, 3, 1, 1},
+           {2, 7, 9, 3, 2, 1},
+           {4, 6, 6, 1, 1, 0},
+           {3, 8, 8, 5, 1, 2},
+           {2, 9, 9, 3, 2, 0}}) {
+    const int out_ch = 4;
+    std::vector<float> img(static_cast<size_t>(C) * H * W);
+    std::vector<float> w(static_cast<size_t>(out_ch) * C * k * k);
+    for (auto& v : img) v = static_cast<float>(rng.normal());
+    for (auto& v : w) v = static_cast<float>(rng.normal());
+
+    const int oh = conv_out_dim(H, k, stride, pad);
+    const int ow = conv_out_dim(W, k, stride, pad);
+    std::vector<float> ref(static_cast<size_t>(out_ch) * oh * ow);
+    conv_naive(img.data(), C, H, W, w.data(), out_ch, k, stride, pad,
+               ref.data());
+
+    // im2col + row-times-matrix.
+    const int K = C * k * k, L = oh * ow;
+    std::vector<float> cols(static_cast<size_t>(K) * L);
+    im2col(img.data(), C, H, W, k, k, stride, pad, cols.data());
+    std::vector<float> got(static_cast<size_t>(out_ch) * L, 0.0f);
+    for (int o = 0; o < out_ch; ++o)
+      for (int r = 0; r < K; ++r)
+        for (int l = 0; l < L; ++l)
+          got[static_cast<size_t>(o) * L + l] +=
+              w[static_cast<size_t>(o) * K + r] *
+              cols[static_cast<size_t>(r) * L + l];
+    for (size_t i = 0; i < got.size(); ++i)
+      EXPECT_NEAR(got[i], ref[i], 1e-4) << "case C=" << C << " k=" << k;
+  }
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity that
+  // makes the convolution backward pass correct.
+  Xoshiro256 rng(2);
+  const int C = 3, H = 7, W = 6, k = 3, stride = 2, pad = 1;
+  const int oh = conv_out_dim(H, k, stride, pad);
+  const int ow = conv_out_dim(W, k, stride, pad);
+  const int K = C * k * k, L = oh * ow;
+  std::vector<float> x(static_cast<size_t>(C) * H * W);
+  std::vector<float> y(static_cast<size_t>(K) * L);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+
+  std::vector<float> cx(static_cast<size_t>(K) * L);
+  im2col(x.data(), C, H, W, k, k, stride, pad, cx.data());
+  std::vector<float> ay(static_cast<size_t>(C) * H * W);
+  col2im(y.data(), C, H, W, k, k, stride, pad, ay.data());
+
+  double lhs = 0, rhs = 0;
+  for (size_t i = 0; i < cx.size(); ++i) lhs += static_cast<double>(cx[i]) * y[i];
+  for (size_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * ay[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::abs(lhs) + 1e-3);
+}
+
+TEST(Im2col, OutDims) {
+  EXPECT_EQ(conv_out_dim(32, 3, 1, 1), 32);
+  EXPECT_EQ(conv_out_dim(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_dim(32, 1, 1, 0), 32);
+  EXPECT_EQ(conv_out_dim(8, 2, 2, 0), 4);
+}
+
+}  // namespace
+}  // namespace srmac

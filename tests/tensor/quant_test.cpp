@@ -1,0 +1,70 @@
+#include "tensor/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+TEST(Quant, RoundTripRepresentableValuesExactly) {
+  Tensor x({4});
+  x[0] = 1.0f;
+  x[1] = -0.375f;
+  x[2] = 1.75f;
+  x[3] = 0.0f;
+  const Tensor q = quantize_dequantize(kFp8E5M2, x);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q[i], x[i]);
+}
+
+TEST(Quant, RelativeErrorBoundedByHalfUlp) {
+  Xoshiro256 rng(3);
+  Tensor x({1000});
+  for (int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.normal());
+  const Tensor q = quantize_dequantize(kFp12, x);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (x[i] == 0) continue;
+    EXPECT_LE(std::fabs(q[i] - x[i]) / std::fabs(x[i]),
+              std::ldexp(1.0, -kFp12.man_bits - 1) * 1.0001);
+  }
+}
+
+TEST(Quant, MaxFiniteValues) {
+  EXPECT_EQ(max_finite(kFp8E5M2), 57344.0);           // 1.75 * 2^15
+  EXPECT_EQ(max_finite(kFp16), 65504.0);              // binary16 max
+  EXPECT_EQ(max_finite(kFp12), 4227858432.0);         // 1.96875 * 2^31
+  EXPECT_EQ(max_finite(kFp32), 3.4028234663852886e38);
+}
+
+TEST(Quant, StatsDetectUnderflowAndOverflow) {
+  Tensor x({4});
+  x[0] = 1e-12f;  // underflows E5M2 (min subnormal 2^-16)
+  x[1] = 1e6f;    // overflows E5M2 (max 57344)
+  x[2] = 1.0f;
+  x[3] = 0.0f;    // ignored (not counted as nonzero)
+  const QuantStats s = quantization_stats(kFp8E5M2, x);
+  EXPECT_NEAR(s.underflow_frac, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.overflow_frac, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Quant, LossScalingMovesGradientsAboveUnderflow) {
+  // The mechanism dynamic loss scaling exploits: scaling by 1024 rescues
+  // values from the E5M2 flush region.
+  Xoshiro256 rng(4);
+  Tensor g({2000});
+  for (int64_t i = 0; i < g.numel(); ++i)
+    g[i] = static_cast<float>(rng.normal() * 1e-5);
+  const QuantStats before = quantization_stats(kFp8E5M2, g);
+  Tensor gs = g;
+  for (int64_t i = 0; i < g.numel(); ++i) gs[i] *= 1024.0f;
+  const QuantStats after = quantization_stats(kFp8E5M2, gs);
+  EXPECT_GT(before.underflow_frac, 0.3);
+  EXPECT_LT(after.underflow_frac, 0.02);
+  EXPECT_EQ(after.overflow_frac, 0.0);
+}
+
+}  // namespace
+}  // namespace srmac

@@ -1,0 +1,269 @@
+// Training-stack extensions: Adam optimizer, checkpoint round-trip,
+// swamping instrumentation, MLP builder and the HFP8 per-pass format
+// switch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/mlp.hpp"
+#include "train/adam.hpp"
+#include "train/checkpoint.hpp"
+#include "train/stagnation.hpp"
+
+namespace srmac {
+namespace {
+
+// --------------------------------------------------------------------------
+// Adam
+// --------------------------------------------------------------------------
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 by feeding grad = 2(w - target).
+  Param w;
+  w.name = "w";
+  w.value = Tensor({4}, 0.0f);
+  w.grad = Tensor({4}, 0.0f);
+  const float target[4] = {1.0f, -2.0f, 0.5f, 3.0f};
+
+  Adam::Options opt;
+  opt.lr = 0.05f;
+  Adam adam({&w}, opt);
+  for (int it = 0; it < 2000; ++it) {
+    for (int i = 0; i < 4; ++i) w.grad[i] = 2.0f * (w.value[i] - target[i]);
+    adam.step(/*loss_scale=*/1.0f);
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(w.value[i], target[i], 1e-2f);
+}
+
+TEST(Adam, UnscalesLossScaledGradients) {
+  Param w;
+  w.name = "w";
+  w.value = Tensor({1}, 0.0f);
+  w.grad = Tensor({1}, 0.0f);
+  Adam::Options opt;
+  opt.lr = 0.1f;
+  Adam a({&w}, opt), b({&w}, opt);
+
+  // Same effective gradient at two loss scales must give the same step.
+  w.grad[0] = 1024.0f;
+  a.step(/*loss_scale=*/1024.0f);
+  const float after_scaled = w.value[0];
+
+  w.value[0] = 0.0f;
+  w.grad[0] = 1.0f;
+  b.step(/*loss_scale=*/1.0f);
+  EXPECT_FLOAT_EQ(w.value[0], after_scaled);
+}
+
+TEST(Adam, SkipAndOverflowDetection) {
+  Param w;
+  w.name = "w";
+  w.value = Tensor({1}, 1.0f);
+  w.grad = Tensor({1}, 1e30f);
+  Adam adam({&w}, {});
+  EXPECT_FALSE(adam.grads_overflowed(1.0f));
+  w.grad[0] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(adam.grads_overflowed(1.0f));
+  adam.step(1.0f, /*skip=*/true);
+  EXPECT_FLOAT_EQ(w.value[0], 1.0f);  // untouched
+  EXPECT_EQ(adam.steps_taken(), 0);
+}
+
+TEST(Adam, DecoupledWeightDecayShrinksUndecayedLoss) {
+  Param w;
+  w.name = "w";
+  w.value = Tensor({1}, 4.0f);
+  w.grad = Tensor({1}, 0.0f);
+  Adam::Options opt;
+  opt.lr = 0.1f;
+  opt.weight_decay = 0.1f;
+  Adam adam({&w}, opt);
+  for (int i = 0; i < 100; ++i) adam.step(1.0f);  // zero gradient
+  EXPECT_LT(std::abs(w.value[0]), 4.0f * 0.5f);
+
+  // decay=false parameters are untouched by decay.
+  Param b;
+  b.name = "b";
+  b.value = Tensor({1}, 4.0f);
+  b.grad = Tensor({1}, 0.0f);
+  b.decay = false;
+  Adam adam2({&b}, opt);
+  for (int i = 0; i < 100; ++i) adam2.step(1.0f);
+  EXPECT_FLOAT_EQ(b.value[0], 4.0f);
+}
+
+// --------------------------------------------------------------------------
+// Checkpointing
+// --------------------------------------------------------------------------
+
+TEST(Checkpoint, RoundTripsThroughMemoryAndDisk) {
+  auto model = make_mlp(12, {8, 6}, 4);
+  std::vector<Param*> params;
+  model->collect_params(params);
+  ASSERT_FALSE(params.empty());
+
+  std::mt19937 rng(3);
+  std::normal_distribution<float> dist;
+  for (Param* p : params)
+    for (int64_t i = 0; i < p->value.numel(); ++i) p->value[i] = dist(rng);
+
+  const std::vector<char> bytes = serialize_params(params);
+
+  // Wipe and restore from memory.
+  std::vector<float> saved;
+  for (Param* p : params)
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      saved.push_back(p->value[i]);
+      p->value[i] = 0.0f;
+    }
+  deserialize_params(bytes, params);
+  size_t at = 0;
+  for (Param* p : params)
+    for (int64_t i = 0; i < p->value.numel(); ++i)
+      ASSERT_EQ(p->value[i], saved[at++]);
+
+  // Disk round trip.
+  const std::string path = ::testing::TempDir() + "/srmac_ckpt.bin";
+  save_checkpoint(path, params);
+  for (Param* p : params) p->value.zero();
+  load_checkpoint(path, params);
+  at = 0;
+  for (Param* p : params)
+    for (int64_t i = 0; i < p->value.numel(); ++i)
+      ASSERT_EQ(p->value[i], saved[at++]);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMismatchedModel) {
+  auto model = make_mlp(12, {8}, 4);
+  std::vector<Param*> params;
+  model->collect_params(params);
+  const std::vector<char> bytes = serialize_params(params);
+
+  auto other = make_mlp(12, {9}, 4);  // different hidden width
+  std::vector<Param*> other_params;
+  other->collect_params(other_params);
+  EXPECT_THROW(deserialize_params(bytes, other_params), std::runtime_error);
+
+  std::vector<char> corrupt = bytes;
+  corrupt[0] ^= 0x5A;
+  EXPECT_THROW(deserialize_params(corrupt, params), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Swamping instrumentation
+// --------------------------------------------------------------------------
+
+std::vector<float> constant_stream(int n, float v) {
+  return std::vector<float>(static_cast<size_t>(n), v);
+}
+
+TEST(Swamping, RnStagnatesSrRescues) {
+  // 1.0 + sum of 2000 copies of 1/64: once the accumulator passes the
+  // point where 1/64 < ulp, RN swamps every step, SR keeps rescuing.
+  const int n = 2000;
+  const auto a = constant_stream(n, 0.125f);
+  const auto b = constant_stream(n, 0.125f);  // product 1/64
+
+  MacConfig rn;
+  rn.adder = AdderKind::kRoundNearest;
+  rn.subnormals = false;
+  const SwampingStats s_rn = measure_swamping(rn, a, b);
+
+  MacConfig sr = rn;
+  sr.adder = AdderKind::kEagerSR;
+  sr.random_bits = 13;
+  const SwampingStats s_sr = measure_swamping(sr, a, b);
+
+  EXPECT_GT(s_rn.swamped_frac(), 0.5);
+  EXPECT_EQ(s_rn.rescued, 0u);
+  EXPECT_GT(s_sr.rescued, 0u);
+  // SR's expectation tracks the reference (31.25); RN stalls early.
+  EXPECT_LT(s_sr.rel_error(), 0.15);
+  EXPECT_GT(s_rn.rel_error(), 0.5);
+  EXPECT_NEAR(s_rn.reference, n / 64.0, 1e-9);
+}
+
+TEST(Swamping, WideAccumulatorDoesNotSwamp) {
+  const int n = 2000;
+  const auto a = constant_stream(n, 0.125f);
+  const auto b = constant_stream(n, 0.125f);
+  MacConfig cfg;
+  cfg.adder = AdderKind::kRoundNearest;
+  cfg.acc_fmt = kFp32;
+  const SwampingStats st = measure_swamping(cfg, a, b);
+  EXPECT_EQ(st.swamped, 0u);
+  EXPECT_LT(st.rel_error(), 1e-6);
+}
+
+// --------------------------------------------------------------------------
+// MLP + HFP8 through the training GEMMs
+// --------------------------------------------------------------------------
+
+TEST(Mlp, ShapesAndGradientFlow) {
+  auto net = make_mlp(3 * 8 * 8, {32, 16}, 10);
+  he_init(*net, 5);
+  const ComputeContext ctx = ComputeContext::fp32();
+  Tensor x({2, 3, 8, 8});
+  for (int64_t i = 0; i < x.numel(); ++i)
+    x[i] = 0.01f * static_cast<float>(i % 97);
+  Tensor y = net->forward(ctx, x, /*training=*/true);
+  ASSERT_EQ(y.ndim(), 2);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+
+  Tensor g(y.shape(), 1.0f);
+  net->backward(ctx, g);
+  std::vector<Param*> params;
+  net->collect_params(params);
+  double grad_norm = 0.0;
+  for (const Param* p : params)
+    for (int64_t i = 0; i < p->grad.numel(); ++i)
+      grad_norm += static_cast<double>(p->grad[i]) * p->grad[i];
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(Hfp8Context, SwitchesFormatOnlyOnBackward) {
+  MacConfig cfg;
+  cfg.mul_fmt = kFp8E4M3;
+  cfg.adder = AdderKind::kEagerSR;
+  cfg.random_bits = 9;
+  ComputeContext ctx = ComputeContext::emulated(cfg);
+  ctx.hfp8 = true;
+  ctx.mul_fmt_bwd = kFp8E5M2;
+
+  EXPECT_EQ(ctx.mul_fmt(), kFp8E4M3);
+  EXPECT_EQ(ctx.backward().mul_fmt(), kFp8E5M2);
+  // fork() preserves the pass marker.
+  EXPECT_EQ(ctx.backward().fork(7).mul_fmt(), kFp8E5M2);
+  EXPECT_EQ(ctx.fork(7).mul_fmt(), kFp8E4M3);
+}
+
+TEST(Hfp8Context, BackwardGemmQuantizesInBwdFormat) {
+  // 1x1x1 GEMM on 1.125: exactly representable in E4M3 (ULP(1) = 1/8) but
+  // a tie in E5M2 (ULP(1) = 1/4) that RN resolves down to 1.0. Under HFP8
+  // the forward GEMM must keep the value and the backward GEMM must lose
+  // it — direct evidence the pass-dependent format switch reaches the
+  // quantizers.
+  MacConfig cfg;
+  cfg.mul_fmt = kFp8E4M3;
+  cfg.acc_fmt = kFp32;  // wide accumulator: isolates input quantization
+  cfg.adder = AdderKind::kRoundNearest;
+  ComputeContext ctx = ComputeContext::emulated(cfg);
+  ctx.hfp8 = true;
+
+  const float a = 1.125f, b = 1.0f;
+  float c_fwd = 0.0f, c_bwd = 0.0f;
+  matmul(ctx, 1, 1, 1, &a, &b, &c_fwd);
+  matmul(ctx.backward(), 1, 1, 1, &a, &b, &c_bwd);
+  EXPECT_EQ(c_fwd, 1.125f);
+  EXPECT_EQ(c_bwd, 1.0f);
+}
+
+}  // namespace
+}  // namespace srmac

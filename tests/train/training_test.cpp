@@ -1,0 +1,128 @@
+// End-to-end training smoke tests: the FP32 path must learn the synthetic
+// task; the bit-accurate SR path must track it; loss scaling and the
+// scheduler must behave.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/vgg.hpp"
+#include "train/trainer.hpp"
+
+namespace srmac {
+namespace {
+
+SyntheticImages small_data(int n = 512, int size = 16) {
+  SyntheticImages::Options o;
+  o.classes = 4;
+  o.size = size;
+  o.train_samples = n;
+  o.noise = 0.25f;
+  return SyntheticImages(o);
+}
+
+TEST(LossScaler, BackoffAndRegrowth) {
+  DynamicLossScaler s(1024.0f, 2.0f, 0.5f, 3);
+  EXPECT_EQ(s.scale(), 1024.0f);
+  EXPECT_TRUE(s.update(true));  // overflow: halve + skip
+  EXPECT_EQ(s.scale(), 512.0f);
+  EXPECT_FALSE(s.update(false));
+  EXPECT_FALSE(s.update(false));
+  EXPECT_FALSE(s.update(false));  // third good step: regrow
+  EXPECT_EQ(s.scale(), 1024.0f);
+  EXPECT_EQ(s.skipped_steps(), 1);
+}
+
+TEST(CosineSchedule, Endpoints) {
+  CosineAnnealing c(0.1f, 100);
+  EXPECT_FLOAT_EQ(c.at(0), 0.1f);
+  EXPECT_NEAR(c.at(50), 0.05f, 1e-6);
+  EXPECT_NEAR(c.at(100), 0.0f, 1e-7);
+  EXPECT_GT(c.at(10), c.at(90));
+}
+
+TEST(Training, Fp32LearnsSyntheticTask) {
+  auto net = make_vgg_mini(4, 8);
+  he_init(*net, 31);
+  const SyntheticImages train = small_data();
+  const SyntheticImages test = train.test_split(256);
+  TrainOptions opt;
+  opt.epochs = 4;
+  opt.batch_size = 32;
+  opt.lr = 0.05f;
+  opt.verbose = false;
+  opt.eval_samples = 256;
+  Trainer tr(*net, ComputeContext::fp32(), opt);
+  const auto hist = tr.fit(train, test);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_GT(hist.back().test_acc, 60.0f) << "must beat 25% chance clearly";
+  EXPECT_LT(hist.back().train_loss, hist.front().train_loss);
+}
+
+TEST(Training, BitAccurateSrPathLearns) {
+  auto net = make_vgg_mini(4, 8);
+  he_init(*net, 31);
+  const SyntheticImages train = small_data(256);
+  const SyntheticImages test = train.test_split(128);
+  MacConfig mac;
+  mac.mul_fmt = kFp8E5M2;
+  mac.acc_fmt = kFp12;
+  mac.adder = AdderKind::kEagerSR;
+  mac.random_bits = 13;
+  mac.subnormals = false;
+  TrainOptions opt;
+  opt.epochs = 2;
+  opt.batch_size = 32;
+  opt.lr = 0.05f;
+  opt.verbose = false;
+  opt.eval_samples = 128;
+  Trainer tr(*net, ComputeContext::emulated(mac), opt);
+  const auto hist = tr.fit(train, test);
+  EXPECT_GT(hist.back().test_acc, 40.0f);
+  EXPECT_LT(hist.back().train_loss, 1.45f);  // below ln(4) = chance level
+}
+
+TEST(Training, SgdMomentumDecaysWeights) {
+  Param p;
+  p.value = Tensor({4}, 1.0f);
+  p.grad = Tensor({4}, 0.0f);
+  p.momentum = Tensor({4});
+  SgdMomentum opt({&p}, 0.1f, 0.9f, 0.1f);
+  opt.step(1.0f);
+  // grad 0 + wd 0.1*1.0 => v = 0.1, w = 1 - 0.01
+  EXPECT_NEAR(p.value[0], 0.99f, 1e-6);
+}
+
+TEST(Training, OverflowSkipsStep) {
+  Param p;
+  p.value = Tensor({2}, 1.0f);
+  p.grad = Tensor({2});
+  p.grad[0] = std::numeric_limits<float>::infinity();
+  p.momentum = Tensor({2});
+  SgdMomentum opt({&p}, 0.1f, 0.9f, 0.0f);
+  ASSERT_TRUE(opt.grads_overflowed(1024.0f));
+  opt.step(1024.0f, /*skip=*/true);
+  EXPECT_EQ(p.value[0], 1.0f);
+}
+
+TEST(Dataset, DeterministicAndBalanced) {
+  const SyntheticImages d = small_data(64);
+  std::vector<float> a(3 * 16 * 16), b(3 * 16 * 16);
+  const int la = d.get(7, a.data());
+  const int lb = d.get(7, b.data());
+  EXPECT_EQ(la, lb);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  // Labels cycle through classes.
+  EXPECT_EQ(d.get(0, a.data()), 0);
+  EXPECT_EQ(d.get(1, a.data()), 1);
+  EXPECT_EQ(d.get(5, a.data()), 1);
+  // Test split differs from train at the same index.
+  const SyntheticImages t = d.test_split(64);
+  t.get(7, b.data());
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace srmac
