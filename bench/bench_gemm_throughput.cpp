@@ -1,0 +1,156 @@
+// Throughput benchmark of the fused emulation engine against the seed
+// per-element MacUnit reference, on the paper's reference configuration
+// (E5M2 multiplier inputs, E6M5 accumulator, eager SR). Reports MMAC/s for
+// single- and multi-threaded runs and writes BENCH_gemm.json so the perf
+// trajectory is tracked across PRs (see docs/PERF.md).
+//
+// Usage: bench_gemm_throughput [--smoke] [--json PATH]
+//   --smoke   small problem size for CI (correctness of the harness, not
+//             publishable numbers)
+//   --json    output path (default BENCH_gemm.json in the working dir)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mac/gemm.hpp"
+#include "rng/xoshiro.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace srmac;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Result {
+  std::string path;
+  int threads = 1;
+  double seconds = 0;
+  double mmacs = 0;  // million MAC steps per second
+};
+
+template <typename Fn>
+Result run_case(const std::string& path, int threads, int m, int n, int k,
+                int reps, Fn&& fn) {
+  // One warm-up rep (thread pool spin-up, product-table build), then the
+  // best of `reps` timed runs.
+  fn(threads);
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_s();
+    fn(threads);
+    best = std::min(best, now_s() - t0);
+  }
+  Result r;
+  r.path = path;
+  r.threads = threads;
+  r.seconds = best;
+  r.mmacs = static_cast<double>(m) * n * k / best / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_gemm.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int M = smoke ? 48 : 256, N = smoke ? 48 : 256, K = smoke ? 48 : 256;
+  const int reps = smoke ? 1 : 3;
+  const int hw = ThreadPool::global().parallelism();
+
+  MacConfig cfg;  // the paper's reference MAC: E5M2 inputs, E6M5 acc, eager SR
+  cfg.mul_fmt = kFp8E5M2;
+  cfg.acc_fmt = kFp12;
+  cfg.adder = AdderKind::kEagerSR;
+  cfg.random_bits = 9;
+  cfg.subnormals = true;
+
+  Xoshiro256 rng(42);
+  std::vector<float> A(static_cast<size_t>(M) * K);
+  std::vector<float> B(static_cast<size_t>(K) * N);
+  std::vector<float> C(static_cast<size_t>(M) * N);
+  for (auto& v : A) v = static_cast<float>(rng.normal());
+  for (auto& v : B) v = static_cast<float>(rng.normal());
+
+  auto fast = [&](int threads) {
+    gemm_mac(cfg, M, N, K, A.data(), K, B.data(), N, C.data(), N, false, 7,
+             threads);
+  };
+  auto reference = [&](int threads) {
+    gemm_mac_reference(cfg, M, N, K, A.data(), K, B.data(), N, C.data(), N,
+                       false, 7, threads);
+  };
+
+  std::vector<Result> results;
+  results.push_back(run_case("reference", 1, M, N, K, reps, reference));
+  results.push_back(run_case("fast", 1, M, N, K, reps, fast));
+  if (hw > 1) {
+    results.push_back(run_case("reference", hw, M, N, K, reps, reference));
+    results.push_back(run_case("fast", hw, M, N, K, reps, fast));
+  }
+
+  auto find = [&](const std::string& path, int threads) -> const Result* {
+    for (const auto& r : results)
+      if (r.path == path && r.threads == threads) return &r;
+    return nullptr;
+  };
+
+  std::printf("gemm_mac throughput, %dx%dx%d %s (%s)\n", M, N, K,
+              cfg.name().c_str(), smoke ? "smoke" : "full");
+  std::printf("%-10s %8s %12s %12s %9s\n", "path", "threads", "seconds",
+              "MMAC/s", "speedup");
+  for (const auto& r : results) {
+    const Result* base = find("reference", r.threads);
+    std::printf("%-10s %8d %12.4f %12.1f %8.2fx\n", r.path.c_str(), r.threads,
+                r.seconds, r.mmacs, base ? base->seconds / r.seconds : 1.0);
+  }
+
+  std::ofstream js(json_path);
+  if (!js) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 json_path.c_str());
+    return 1;
+  }
+  js << "{\n  \"bench\": \"gemm_throughput\",\n";
+  js << "  \"config\": \"" << cfg.name() << "\",\n";
+  js << "  \"mul_fmt\": \"" << cfg.mul_fmt.name() << "\",\n";
+  js << "  \"acc_fmt\": \"" << cfg.acc_fmt.name() << "\",\n";
+  js << "  \"m\": " << M << ", \"n\": " << N << ", \"k\": " << K << ",\n";
+  js << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  js << "  \"hardware_parallelism\": " << hw << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    const Result* base = find("reference", r.threads);
+    js << "    {\"path\": \"" << r.path << "\", \"threads\": " << r.threads
+       << ", \"seconds\": " << r.seconds << ", \"mmac_per_s\": " << r.mmacs
+       << ", \"speedup_vs_reference\": "
+       << (base ? base->seconds / r.seconds : 1.0) << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
+  js.flush();
+  if (!js) {
+    std::fprintf(stderr, "error: failed writing %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "accel/systolic_sim.hpp"
 
 #include <cassert>
+#include <mutex>
 
 #include "fpemu/softfloat.hpp"
+#include "util/thread_pool.hpp"
 
 namespace srmac::accel {
 
@@ -25,6 +27,19 @@ struct Reg {
   uint32_t value = 0;
   bool valid = false;
 };
+
+/// Adds `from`'s event counters into `into` (pe_count is set by the driver;
+/// tile counters are order-independent sums, so results are identical at
+/// any thread count).
+void merge_stats(const SimStats& from, SimStats* into) {
+  into->cycles += from.cycles;
+  into->macs += from.macs;
+  into->a_reads += from.a_reads;
+  into->b_reads += from.b_reads;
+  into->c_writes += from.c_writes;
+  into->c_reads += from.c_reads;
+  into->active_pe_cycles += from.active_pe_cycles;
+}
 
 }  // namespace
 
@@ -57,7 +72,7 @@ uint64_t CycleAccurateArray::expected_cycles(int M, int N, int K) const {
 }
 
 SimStats CycleAccurateArray::gemm(int M, int N, int K, const float* A,
-                                  const float* B, float* C) {
+                                  const float* B, float* C, int threads) {
   // Operand buffers hold mul_fmt words, exactly what the feeders read.
   std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
   std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
@@ -71,177 +86,216 @@ SimStats CycleAccurateArray::gemm(int M, int N, int K, const float* A,
           SoftFloat::from_double(cfg_.mul_fmt, B[static_cast<size_t>(k) * N + j]);
 
   return dataflow_ == Dataflow::kOutputStationary
-             ? gemm_output_stationary(M, N, K, qa, qb, C)
-             : gemm_weight_stationary(M, N, K, qa, qb, C);
+             ? gemm_output_stationary(M, N, K, qa, qb, C, threads)
+             : gemm_weight_stationary(M, N, K, qa, qb, C, threads);
+}
+
+void CycleAccurateArray::simulate_os_tile(int ti, int tj, int M, int N, int K,
+                                          const std::vector<uint32_t>& qa,
+                                          const std::vector<uint32_t>& qb,
+                                          float* C, SimStats* st) const {
+  const size_t npe = static_cast<size_t>(rows_) * cols_;
+  // Fresh PEs per output tile (accumulators at +0, tile-specific LFSR
+  // phase), as in the functional reference.
+  std::vector<MacUnit> pes;
+  pes.reserve(npe);
+  for (int pi = 0; pi < rows_; ++pi)
+    for (int pj = 0; pj < cols_; ++pj)
+      pes.emplace_back(cfg_, pe_seed(seed_, ti, tj, pi, pj));
+
+  std::vector<Reg> a_cur(npe), b_cur(npe), a_nxt(npe), b_nxt(npe);
+  const int tile_cycles = K + rows_ + cols_ - 2;
+  for (int t = 0; t < tile_cycles; ++t) {
+    ++st->cycles;
+    // Compute this cycle's operand at every PE: the left/top edges see
+    // the skewed feeder streams, interior PEs see their neighbours'
+    // registers from the previous edge.
+    for (int pi = 0; pi < rows_; ++pi) {
+      for (int pj = 0; pj < cols_; ++pj) {
+        const size_t at = static_cast<size_t>(pi) * cols_ + pj;
+        Reg a_in, b_in;
+        if (pj == 0) {
+          const int k = t - pi;
+          const int i = ti * rows_ + pi;
+          if (k >= 0 && k < K && i < M) {
+            a_in = {qa[static_cast<size_t>(i) * K + k], true};
+            ++st->a_reads;
+          }
+        } else {
+          a_in = a_cur[at - 1];
+        }
+        if (pi == 0) {
+          const int k = t - pj;
+          const int j = tj * cols_ + pj;
+          if (k >= 0 && k < K && j < N) {
+            b_in = {qb[static_cast<size_t>(k) * N + j], true};
+            ++st->b_reads;
+          }
+        } else {
+          b_in = b_cur[at - static_cast<size_t>(cols_)];
+        }
+        if (a_in.valid && b_in.valid) {
+          pes[at].step(a_in.value, b_in.value);
+          ++st->macs;
+          ++st->active_pe_cycles;
+        }
+        a_nxt[at] = a_in;
+        b_nxt[at] = b_in;
+      }
+    }
+    a_cur.swap(a_nxt);
+    b_cur.swap(b_nxt);
+  }
+  // Drain overlaps the next tile's fill through a separate network;
+  // only the traffic is charged here.
+  for (int pi = 0; pi < rows_ && ti * rows_ + pi < M; ++pi)
+    for (int pj = 0; pj < cols_ && tj * cols_ + pj < N; ++pj) {
+      const int i = ti * rows_ + pi, j = tj * cols_ + pj;
+      C[static_cast<size_t>(i) * N + j] = static_cast<float>(
+          pes[static_cast<size_t>(pi) * cols_ + pj].acc_value());
+      ++st->c_writes;
+    }
 }
 
 SimStats CycleAccurateArray::gemm_output_stationary(
     int M, int N, int K, const std::vector<uint32_t>& qa,
-    const std::vector<uint32_t>& qb, float* C) {
+    const std::vector<uint32_t>& qb, float* C, int threads) {
   SimStats st;
   st.pe_count = rows_ * cols_;
-  const size_t npe = static_cast<size_t>(rows_) * cols_;
-
-  for (int ti = 0; ti * rows_ < M; ++ti) {
-    for (int tj = 0; tj * cols_ < N; ++tj) {
-      // Fresh PEs per output tile (accumulators at +0, tile-specific LFSR
-      // phase), as in the functional reference.
-      std::vector<MacUnit> pes;
-      pes.reserve(npe);
-      for (int pi = 0; pi < rows_; ++pi)
-        for (int pj = 0; pj < cols_; ++pj)
-          pes.emplace_back(cfg_, pe_seed(seed_, ti, tj, pi, pj));
-
-      std::vector<Reg> a_cur(npe), b_cur(npe), a_nxt(npe), b_nxt(npe);
-      const int tile_cycles = K + rows_ + cols_ - 2;
-      for (int t = 0; t < tile_cycles; ++t) {
-        ++st.cycles;
-        // Compute this cycle's operand at every PE: the left/top edges see
-        // the skewed feeder streams, interior PEs see their neighbours'
-        // registers from the previous edge.
-        for (int pi = 0; pi < rows_; ++pi) {
-          for (int pj = 0; pj < cols_; ++pj) {
-            const size_t at = static_cast<size_t>(pi) * cols_ + pj;
-            Reg a_in, b_in;
-            if (pj == 0) {
-              const int k = t - pi;
-              const int i = ti * rows_ + pi;
-              if (k >= 0 && k < K && i < M) {
-                a_in = {qa[static_cast<size_t>(i) * K + k], true};
-                ++st.a_reads;
-              }
-            } else {
-              a_in = a_cur[at - 1];
-            }
-            if (pi == 0) {
-              const int k = t - pj;
-              const int j = tj * cols_ + pj;
-              if (k >= 0 && k < K && j < N) {
-                b_in = {qb[static_cast<size_t>(k) * N + j], true};
-                ++st.b_reads;
-              }
-            } else {
-              b_in = b_cur[at - static_cast<size_t>(cols_)];
-            }
-            if (a_in.valid && b_in.valid) {
-              pes[at].step(a_in.value, b_in.value);
-              ++st.macs;
-              ++st.active_pe_cycles;
-            }
-            a_nxt[at] = a_in;
-            b_nxt[at] = b_in;
-          }
-        }
-        a_cur.swap(a_nxt);
-        b_cur.swap(b_nxt);
-      }
-      // Drain overlaps the next tile's fill through a separate network;
-      // only the traffic is charged here.
-      for (int pi = 0; pi < rows_ && ti * rows_ + pi < M; ++pi)
-        for (int pj = 0; pj < cols_ && tj * cols_ + pj < N; ++pj) {
-          const int i = ti * rows_ + pi, j = tj * cols_ + pj;
-          C[static_cast<size_t>(i) * N + j] = static_cast<float>(
-              pes[static_cast<size_t>(pi) * cols_ + pj].acc_value());
-          ++st.c_writes;
-        }
-    }
-  }
+  const int tiles_m = (M + rows_ - 1) / rows_;
+  const int tiles_n = (N + cols_ - 1) / cols_;
+  std::mutex merge_m;
+  // Output tiles own disjoint C blocks and their own PE/LFSR state: they
+  // simulate concurrently, with per-task statistics merged at the end.
+  ThreadPool::global().parallel_for(
+      0, static_cast<int64_t>(tiles_m) * tiles_n,
+      [&](int64_t lo, int64_t hi) {
+        SimStats local;
+        for (int64_t t = lo; t < hi; ++t)
+          simulate_os_tile(static_cast<int>(t / tiles_n),
+                           static_cast<int>(t % tiles_n), M, N, K, qa, qb, C,
+                           &local);
+        std::lock_guard<std::mutex> lk(merge_m);
+        merge_stats(local, &st);
+      },
+      threads);
   st.cycles += static_cast<uint64_t>(rows_) + cols_;  // final drain epilogue
   return st;
 }
 
+void CycleAccurateArray::simulate_ws_tile(int kt, int tj, int M, int N, int K,
+                                          const std::vector<uint32_t>& qa,
+                                          const std::vector<uint32_t>& qb,
+                                          std::vector<uint32_t>* partial,
+                                          SimStats* st) const {
+  const size_t npe = static_cast<size_t>(rows_) * cols_;
+  std::vector<MacUnit> pes;
+  pes.reserve(npe);
+  std::vector<uint32_t> weight(npe, 0);
+  std::vector<bool> wvalid(npe, false);
+  for (int pk = 0; pk < rows_; ++pk)
+    for (int pj = 0; pj < cols_; ++pj) {
+      pes.emplace_back(cfg_, pe_seed(seed_, kt, tj, pk, pj));
+      const int k = kt * rows_ + pk;
+      const int j = tj * cols_ + pj;
+      const size_t at = static_cast<size_t>(pk) * cols_ + pj;
+      if (k < K && j < N) {
+        weight[at] = qb[static_cast<size_t>(k) * N + j];
+        wvalid[at] = true;
+        ++st->b_reads;
+      }
+    }
+  st->cycles += static_cast<uint64_t>(rows_);  // weight preload shift-in
+
+  std::vector<Reg> a_cur(npe), a_nxt(npe);
+  std::vector<Reg> p_cur(npe), p_nxt(npe);
+  const int tile_cycles = M + rows_ + cols_ - 2;
+  for (int t = 0; t < tile_cycles; ++t) {
+    ++st->cycles;
+    for (int pk = 0; pk < rows_; ++pk) {
+      for (int pj = 0; pj < cols_; ++pj) {
+        const size_t at = static_cast<size_t>(pk) * cols_ + pj;
+        Reg a_in, p_in;
+        if (pj == 0) {
+          // Row pk streams A column k = kt*rows_+pk, skewed by pk.
+          const int i = t - pk;
+          const int k = kt * rows_ + pk;
+          if (i >= 0 && i < M && k < K) {
+            a_in = {qa[static_cast<size_t>(i) * K + k], true};
+            ++st->a_reads;
+          }
+        } else {
+          a_in = a_cur[at - 1];
+        }
+        if (pk == 0) {
+          // Top of the column: inject the running partial for row i
+          // (previous k tiles), or +0 on the first k tile.
+          const int i = t - pj;
+          const int j = tj * cols_ + pj;
+          if (i >= 0 && i < M && j < N) {
+            uint32_t init = 0;
+            if (kt > 0) {
+              init = (*partial)[static_cast<size_t>(i) * N + j];
+              ++st->c_reads;
+            }
+            p_in = {init, true};
+          }
+        } else {
+          p_in = p_cur[at - static_cast<size_t>(cols_)];
+        }
+        Reg p_out = p_in;
+        if (a_in.valid && p_in.valid && wvalid[at]) {
+          pes[at].set_acc(p_in.value);
+          p_out.value = pes[at].step(a_in.value, weight[at]);
+          ++st->macs;
+          ++st->active_pe_cycles;
+        }
+        a_nxt[at] = a_in;
+        p_nxt[at] = p_out;
+      }
+    }
+    a_cur.swap(a_nxt);
+    p_cur.swap(p_nxt);
+    // Bottom edge emits finished partials.
+    for (int pj = 0; pj < cols_; ++pj) {
+      const Reg& out = p_cur[static_cast<size_t>(rows_ - 1) * cols_ + pj];
+      const int i = t - (rows_ - 1) - pj;
+      const int j = tj * cols_ + pj;
+      if (out.valid && i >= 0 && i < M && j < N) {
+        (*partial)[static_cast<size_t>(i) * N + j] = out.value;
+        ++st->c_writes;
+      }
+    }
+  }
+}
+
 SimStats CycleAccurateArray::gemm_weight_stationary(
     int M, int N, int K, const std::vector<uint32_t>& qa,
-    const std::vector<uint32_t>& qb, float* C) {
+    const std::vector<uint32_t>& qb, float* C, int threads) {
   SimStats st;
   st.pe_count = rows_ * cols_;
-  const size_t npe = static_cast<size_t>(rows_) * cols_;
   const FpFormat acc = cfg_.acc_fmt;
 
   // Partial results in accumulator format, +0-initialized.
   std::vector<uint32_t> partial(static_cast<size_t>(M) * N, 0);
+  const int tiles_n = (N + cols_ - 1) / cols_;
+  std::mutex merge_m;
 
+  // k tiles chain through the partial-sum buffer and stay sequential;
+  // within one k wave the column tiles touch disjoint partial columns and
+  // run concurrently.
   for (int kt = 0; kt * rows_ < K; ++kt) {
-    for (int tj = 0; tj * cols_ < N; ++tj) {
-      std::vector<MacUnit> pes;
-      pes.reserve(npe);
-      std::vector<uint32_t> weight(npe, 0);
-      std::vector<bool> wvalid(npe, false);
-      for (int pk = 0; pk < rows_; ++pk)
-        for (int pj = 0; pj < cols_; ++pj) {
-          pes.emplace_back(cfg_, pe_seed(seed_, kt, tj, pk, pj));
-          const int k = kt * rows_ + pk;
-          const int j = tj * cols_ + pj;
-          const size_t at = static_cast<size_t>(pk) * cols_ + pj;
-          if (k < K && j < N) {
-            weight[at] = qb[static_cast<size_t>(k) * N + j];
-            wvalid[at] = true;
-            ++st.b_reads;
-          }
-        }
-      st.cycles += static_cast<uint64_t>(rows_);  // weight preload shift-in
-
-      std::vector<Reg> a_cur(npe), a_nxt(npe);
-      std::vector<Reg> p_cur(npe), p_nxt(npe);
-      const int tile_cycles = M + rows_ + cols_ - 2;
-      for (int t = 0; t < tile_cycles; ++t) {
-        ++st.cycles;
-        for (int pk = 0; pk < rows_; ++pk) {
-          for (int pj = 0; pj < cols_; ++pj) {
-            const size_t at = static_cast<size_t>(pk) * cols_ + pj;
-            Reg a_in, p_in;
-            if (pj == 0) {
-              // Row pk streams A column k = kt*rows_+pk, skewed by pk.
-              const int i = t - pk;
-              const int k = kt * rows_ + pk;
-              if (i >= 0 && i < M && k < K) {
-                a_in = {qa[static_cast<size_t>(i) * K + k], true};
-                ++st.a_reads;
-              }
-            } else {
-              a_in = a_cur[at - 1];
-            }
-            if (pk == 0) {
-              // Top of the column: inject the running partial for row i
-              // (previous k tiles), or +0 on the first k tile.
-              const int i = t - pj;
-              const int j = tj * cols_ + pj;
-              if (i >= 0 && i < M && j < N) {
-                uint32_t init = 0;
-                if (kt > 0) {
-                  init = partial[static_cast<size_t>(i) * N + j];
-                  ++st.c_reads;
-                }
-                p_in = {init, true};
-              }
-            } else {
-              p_in = p_cur[at - static_cast<size_t>(cols_)];
-            }
-            Reg p_out = p_in;
-            if (a_in.valid && p_in.valid && wvalid[at]) {
-              pes[at].set_acc(p_in.value);
-              p_out.value = pes[at].step(a_in.value, weight[at]);
-              ++st.macs;
-              ++st.active_pe_cycles;
-            }
-            a_nxt[at] = a_in;
-            p_nxt[at] = p_out;
-          }
-        }
-        a_cur.swap(a_nxt);
-        p_cur.swap(p_nxt);
-        // Bottom edge emits finished partials.
-        for (int pj = 0; pj < cols_; ++pj) {
-          const Reg& out = p_cur[static_cast<size_t>(rows_ - 1) * cols_ + pj];
-          const int i = t - (rows_ - 1) - pj;
-          const int j = tj * cols_ + pj;
-          if (out.valid && i >= 0 && i < M && j < N) {
-            partial[static_cast<size_t>(i) * N + j] = out.value;
-            ++st.c_writes;
-          }
-        }
-      }
-    }
+    ThreadPool::global().parallel_for(
+        0, tiles_n,
+        [&](int64_t lo, int64_t hi) {
+          SimStats local;
+          for (int64_t tj = lo; tj < hi; ++tj)
+            simulate_ws_tile(kt, static_cast<int>(tj), M, N, K, qa, qb,
+                             &partial, &local);
+          std::lock_guard<std::mutex> lk(merge_m);
+          merge_stats(local, &st);
+        },
+        threads);
   }
   for (int i = 0; i < M; ++i)
     for (int j = 0; j < N; ++j)

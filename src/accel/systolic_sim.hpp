@@ -57,8 +57,11 @@ class CycleAccurateArray {
 
   /// C[MxN] = A[MxK] * B[KxN] (row-major floats, quantized into mul_fmt on
   /// the way into the operand buffers). Returns the run's statistics.
-  SimStats gemm(int M, int N, int K, const float* A, const float* B,
-                float* C);
+  /// Independent tiles simulate in parallel on the shared thread pool
+  /// (`threads` as in gemm_mac: 0 = hardware concurrency); per-PE seeds
+  /// make the results and statistics identical at any thread count.
+  SimStats gemm(int M, int N, int K, const float* A, const float* B, float* C,
+                int threads = 0);
 
   /// Analytic cycle count the simulator is expected to hit (tested equal):
   /// per (rows x cols) output tile the skew fill + K accumulations + the
@@ -68,10 +71,25 @@ class CycleAccurateArray {
  private:
   SimStats gemm_output_stationary(int M, int N, int K,
                                   const std::vector<uint32_t>& qa,
-                                  const std::vector<uint32_t>& qb, float* C);
+                                  const std::vector<uint32_t>& qb, float* C,
+                                  int threads);
   SimStats gemm_weight_stationary(int M, int N, int K,
                                   const std::vector<uint32_t>& qa,
-                                  const std::vector<uint32_t>& qb, float* C);
+                                  const std::vector<uint32_t>& qb, float* C,
+                                  int threads);
+  /// Simulates one output-stationary tile (ti, tj); writes its C block and
+  /// accumulates into `st`.
+  void simulate_os_tile(int ti, int tj, int M, int N, int K,
+                        const std::vector<uint32_t>& qa,
+                        const std::vector<uint32_t>& qb, float* C,
+                        SimStats* st) const;
+  /// Simulates one weight-stationary (kt, tj) tile against the running
+  /// partial-sum buffer (columns tj*cols..): tiles with distinct tj are
+  /// independent within one kt wave.
+  void simulate_ws_tile(int kt, int tj, int M, int N, int K,
+                        const std::vector<uint32_t>& qa,
+                        const std::vector<uint32_t>& qb,
+                        std::vector<uint32_t>* partial, SimStats* st) const;
 
   MacConfig cfg_;
   int rows_, cols_;

@@ -1,11 +1,16 @@
 #include "fpemu/format.hpp"
 
+#include <cstdio>
+
 namespace srmac {
 
 std::string FpFormat::name() const {
-  std::string s = "E" + std::to_string(exp_bits) + "M" + std::to_string(man_bits);
-  if (!subnormals) s += "-nosub";
-  return s;
+  // snprintf instead of string concatenation: GCC 12's -Wrestrict fires a
+  // false positive on the inlined std::string operator+ chain at -O3.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "E%dM%d%s", exp_bits, man_bits,
+                subnormals ? "" : "-nosub");
+  return buf;
 }
 
 }  // namespace srmac

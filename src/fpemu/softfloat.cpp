@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 namespace srmac {
@@ -173,11 +174,13 @@ uint32_t SoftFloat::round_pack(const FpFormat& fmt, const ExactVal& v,
       break;
     case RoundingMode::kSRExact: {
       assert(rng != nullptr);
+      if (rng == nullptr) std::abort();  // SR without a source: fail loudly
       up = rng->draw(64) < frac;
       break;
     }
     case RoundingMode::kSRQuant: {
       assert(rng != nullptr && r >= 1 && r <= 63);
+      if (rng == nullptr) std::abort();  // SR without a source: fail loudly
       const uint64_t fr = frac >> (64 - r);
       const uint64_t R = rng->draw(r);
       up = (fr + R) >= (1ull << r);  // the add-random-and-carry scheme

@@ -82,6 +82,80 @@ inline uint32_t encode_inf(const FpFormat& f, bool sign) {
   return (sign ? f.sign_mask() : 0u) | f.inf_bits();
 }
 
+/// Canonical decoded specials and finite values — exactly the forms decode()
+/// produces, so a value built here round-trips bit-for-bit through
+/// encode_unpacked()/decode(). These are the working representation of the
+/// fused MAC kernel, which keeps the accumulator decoded across a whole
+/// accumulation chain and only packs at the end.
+inline Unpacked unpacked_zero(const FpFormat& f, bool sign) {
+  Unpacked u;
+  u.sign = sign;
+  u.sig_bits = f.precision();
+  u.cls = FpClass::kZero;
+  return u;
+}
+
+inline Unpacked unpacked_inf(const FpFormat& f, bool sign) {
+  Unpacked u;
+  u.sign = sign;
+  u.sig_bits = f.precision();
+  u.cls = FpClass::kInf;
+  return u;
+}
+
+/// The canonical NaN (all adder datapaths return fmt.nan_bits(), which
+/// decodes with sign = false).
+inline Unpacked unpacked_nan(const FpFormat& f) {
+  Unpacked u;
+  u.sig_bits = f.precision();
+  u.cls = FpClass::kNaN;
+  return u;
+}
+
+/// A normal-range value: emin <= exp <= emax, sig normalized to p bits.
+inline Unpacked unpacked_normal(const FpFormat& f, bool sign, int exp,
+                                uint64_t sig) {
+  Unpacked u;
+  u.sign = sign;
+  u.exp = exp;
+  u.sig = sig;
+  u.sig_bits = f.precision();
+  u.cls = FpClass::kNormal;
+  return u;
+}
+
+/// A subnormal from its mantissa field (0 < man < 2^man_bits), normalized
+/// exactly the way decode() normalizes a subnormal encoding.
+inline Unpacked unpacked_subnormal(const FpFormat& f, bool sign,
+                                   uint64_t man) {
+  Unpacked u;
+  u.sign = sign;
+  u.sig_bits = f.precision();
+  u.cls = FpClass::kSubnormal;
+  const int msb = 63 - __builtin_clzll(man);
+  u.sig = man << (f.man_bits - msb);
+  u.exp = f.emin() - (f.man_bits - msb);
+  return u;
+}
+
+/// Re-encodes a canonical decoded value; the inverse of decode(). Finite
+/// values with exp < emin re-denormalize (their low bits are zero by the
+/// decode normalization invariant, so no information is lost).
+inline uint32_t encode_unpacked(const FpFormat& f, const Unpacked& u) {
+  switch (u.cls) {
+    case FpClass::kNaN:
+      return f.nan_bits();
+    case FpClass::kInf:
+      return encode_inf(f, u.sign);
+    case FpClass::kZero:
+      return encode_zero(f, u.sign);
+    default:
+      if (u.exp >= f.emin()) return encode_normal(f, u.sign, u.exp, u.sig);
+      return encode_subnormal(
+          f, u.sign, static_cast<uint32_t>(u.sig >> (f.emin() - u.exp)));
+  }
+}
+
 inline bool is_nan(const FpFormat& f, uint32_t bits) {
   return ((bits >> f.man_bits) & f.exp_field_max()) == f.exp_field_max() &&
          (bits & f.man_mask()) != 0;

@@ -1,135 +1,31 @@
 #include "mac/adder_common.hpp"
 
-#include <cassert>
-
 namespace srmac {
 
 PreparedAdd prepare_add(const FpFormat& fmt, uint32_t a, uint32_t b) {
+  const PreparedAddU u = prepare_add_u(fmt, decode(fmt, a), decode(fmt, b));
   PreparedAdd p;
-  const Unpacked ua = decode(fmt, a), ub = decode(fmt, b);
-
-  if (ua.cls == FpClass::kNaN || ub.cls == FpClass::kNaN) {
+  if (u.special) {
     p.special = true;
-    p.special_bits = fmt.nan_bits();
+    p.special_bits = encode_unpacked(fmt, u.special_val);
     return p;
   }
-  if (ua.cls == FpClass::kInf || ub.cls == FpClass::kInf) {
-    p.special = true;
-    if (ua.cls == FpClass::kInf && ub.cls == FpClass::kInf && ua.sign != ub.sign)
-      p.special_bits = fmt.nan_bits();
-    else
-      p.special_bits = encode_inf(fmt, ua.cls == FpClass::kInf ? ua.sign : ub.sign);
-    return p;
-  }
-  if (ua.cls == FpClass::kZero && ub.cls == FpClass::kZero) {
-    p.special = true;
-    p.special_bits = encode_zero(fmt, ua.sign && ub.sign);
-    return p;
-  }
-  if (ua.cls == FpClass::kZero || ub.cls == FpClass::kZero) {
-    // x + 0 is exact; return the nonzero operand, canonicalized through the
-    // decoder so that flushed subnormals read back as zero.
-    const Unpacked& u = ua.cls == FpClass::kZero ? ub : ua;
-    p.special = true;
-    if (u.exp >= fmt.emin())
-      p.special_bits = encode_normal(fmt, u.sign, u.exp, u.sig);
-    else  // subnormal passthrough (subnormals on, else it decoded as zero)
-      p.special_bits = encode_subnormal(
-          fmt, u.sign,
-          static_cast<uint32_t>(u.sig >> (fmt.emin() - u.exp)));
-    return p;
-  }
-
-  // Swap so |x| >= |y| (exponent first, significand as tiebreak).
-  const bool swap = (ub.exp > ua.exp) || (ub.exp == ua.exp && ub.sig > ua.sig);
-  const Unpacked& hi = swap ? ub : ua;
-  const Unpacked& lo = swap ? ua : ub;
-  p.sign = hi.sign;
-  p.op = ua.sign != ub.sign;
-  p.exp = hi.exp;
-  p.x = hi.sig;
-  p.y = lo.sig;
-  p.d = hi.exp - lo.exp;
+  p.sign = u.sign;
+  p.op = u.op;
+  p.exp = u.exp;
+  p.x = u.x;
+  p.y = u.y;
+  p.d = u.d;
   return p;
 }
-
-namespace {
-
-/// One rounding decision at an arbitrary cut: RN-even on (g, rest, lsb) or
-/// the add-R-and-carry SR scheme on the top r fraction bits.
-bool round_decision(uint64_t lsb, uint64_t frac64, bool sticky, bool rn_mode,
-                    int r, uint64_t rand_word) {
-  if (rn_mode) {
-    const bool g = (frac64 >> 63) != 0;
-    const bool rest = (frac64 << 1) != 0 || sticky;
-    return g && (rest || (lsb & 1));
-  }
-  const uint64_t fr = r >= 64 ? frac64 : (frac64 >> (64 - r));
-  const uint64_t rmask = r >= 64 ? ~0ull : ((1ull << r) - 1);
-  return (fr + (rand_word & rmask)) >= (1ull << r);
-}
-
-}  // namespace
 
 uint32_t pack_round(const FpFormat& fmt, bool sign, int exp, uint64_t sig,
                     uint64_t frac64, bool sticky, bool rn_mode, int r,
                     uint64_t rand_word, bool already_rounded,
                     AdderTrace* trace) {
-  const int p = fmt.precision();
-  assert((sig >> (p - 1)) == 1 && "pack_round expects a normalized p-bit significand");
-
-  if (exp < fmt.emin()) {
-    if (!fmt.subnormals) {
-      if (trace) trace->subnormal_out = true;
-      return encode_zero(fmt, sign);
-    }
-    if (trace) trace->subnormal_out = true;
-    // Denormalize: shift the cut right by sh, folding the displaced bits
-    // into the fraction, then round once at the subnormal ULP. (The eager
-    // adder also routes through here: a denormalized cut invalidates its
-    // pre-aligned rounding, so the full random word is re-applied.)
-    const int sh = fmt.emin() - exp;
-    uint64_t kept;
-    if (sh >= 64) {
-      kept = 0;
-      sticky |= sig != 0 || frac64 != 0;
-      frac64 = 0;
-    } else {
-      // kept = sig >> sh (zero when sh >= p); the displaced low bits become
-      // the new fraction. Pre-existing fraction bits sit deeper than the new
-      // 64-bit window can express exactly; they fold into sticky (harmless
-      // for RN, and below the top-r field for every r <= 64 - sh we use).
-      kept = sig >> sh;
-      sticky |= frac64 != 0;
-      frac64 = sig << (64 - sh);
-    }
-    const bool up =
-        round_decision(kept, frac64, sticky, rn_mode, r, rand_word);
-    uint64_t res = kept + (up ? 1u : 0u);
-    if (trace) {
-      trace->round_up = up;
-      trace->exact = frac64 == 0 && !sticky;
-    }
-    if (res == 0) return encode_zero(fmt, sign);
-    if (res >> fmt.man_bits) return encode_normal(fmt, sign, fmt.emin(), res);
-    return encode_subnormal(fmt, sign, static_cast<uint32_t>(res));
-  }
-
-  if (!already_rounded) {
-    const bool up = round_decision(sig, frac64, sticky, rn_mode, r, rand_word);
-    if (trace) {
-      trace->round_up = up;
-      trace->exact = frac64 == 0 && !sticky;
-      trace->f_r = rn_mode || r >= 64 ? frac64 : (frac64 >> (64 - r));
-    }
-    sig += up ? 1u : 0u;
-    if (sig >> p) {  // rounded into the next binade
-      sig >>= 1;
-      exp += 1;
-    }
-  }
-  if (exp > fmt.emax()) return encode_inf(fmt, sign);
-  return encode_normal(fmt, sign, exp, sig);
+  return encode_unpacked(
+      fmt, round_unpacked(fmt, sign, exp, sig, frac64, sticky, rn_mode, r,
+                          rand_word, already_rounded, trace));
 }
 
 }  // namespace srmac

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 #include "fpemu/format.hpp"
@@ -40,6 +41,193 @@ struct PreparedAdd {
 /// flushed to zero otherwise. When one operand is zero the other is returned
 /// through the `special` path (the sum is exact: no rounding needed).
 PreparedAdd prepare_add(const FpFormat& fmt, uint32_t a, uint32_t b);
+
+/// ---------------------------------------------------------------------------
+/// Decoded-domain adder plumbing.
+///
+/// The packed entry points (prepare_add / pack_round and the three adders)
+/// decode their uint32 operands, run the arithmetic, and re-encode. The fused
+/// GEMM kernel instead keeps the accumulator decoded across a whole K-chain;
+/// these `_u` forms are the shared cores both paths run through, so the fast
+/// path is bit-identical to the packed reference by construction.
+/// ---------------------------------------------------------------------------
+
+/// `prepare_add` on operands that are already decoded; the special-case
+/// result is returned decoded in `special_val` instead of packed.
+struct PreparedAddU {
+  bool special = false;
+  Unpacked special_val{};
+
+  bool sign = false;   ///< sign of the larger operand (= result sign)
+  bool op = false;     ///< effective subtraction
+  int exp = 0;         ///< exponent of the larger operand
+  uint64_t x = 0;      ///< larger significand, p bits, MSB set
+  uint64_t y = 0;      ///< smaller significand, p bits, MSB set
+  int d = 0;           ///< exponent difference >= 0
+};
+
+inline uint64_t adder_low_ones(int n) {
+  return n <= 0 ? 0 : ((n >= 64) ? ~0ull : ((1ull << n) - 1));
+}
+
+/// Loop-invariant constants of one (fmt, r) adder configuration. The fused
+/// kernel precomputes these once per GEMM so the per-step code does no mask
+/// arithmetic; the packed wrappers build them per call (a handful of shifts,
+/// immaterial there).
+struct AddParams {
+  FpFormat fmt;  ///< retained for the cold subnormal / fallback paths
+  int p = 0;
+  int r = 0;
+  int emin = 0;
+  uint64_t mask_p = 0;    ///< low_ones(p)
+  uint64_t mask_p1 = 0;   ///< low_ones(p + 1)
+  uint64_t mask_r = 0;    ///< low_ones(r)
+  uint64_t mask_rm1 = 0;  ///< low_ones(r - 1)
+  uint64_t mask_rm2 = 0;  ///< low_ones(r - 2)
+
+  AddParams(const FpFormat& f, int rr)
+      : fmt(f),
+        p(f.precision()),
+        r(rr),
+        emin(f.emin()),
+        mask_p(adder_low_ones(p)),
+        mask_p1(adder_low_ones(p + 1)),
+        mask_r(adder_low_ones(r)),
+        mask_rm1(adder_low_ones(r - 1)),
+        mask_rm2(adder_low_ones(r - 2)) {}
+};
+
+inline PreparedAddU prepare_add_u(const FpFormat& fmt, const Unpacked& ua,
+                                  const Unpacked& ub) {
+  PreparedAddU p;
+  if (ua.is_finite_nonzero() && ub.is_finite_nonzero()) [[likely]] {
+    // Swap so |x| >= |y| (exponent first, significand as tiebreak). The
+    // compare and the field selects are branch-free value moves (cmov):
+    // which operand is larger is unpredictable in accumulation chains, and
+    // selecting through pointers would force the operands out of registers.
+    const bool swap =
+        (ub.exp > ua.exp) | ((ub.exp == ua.exp) & (ub.sig > ua.sig));
+    p.sign = swap ? ub.sign : ua.sign;
+    p.op = ua.sign != ub.sign;
+    p.exp = swap ? ub.exp : ua.exp;
+    p.x = swap ? ub.sig : ua.sig;
+    p.y = swap ? ua.sig : ub.sig;
+    p.d = swap ? ub.exp - ua.exp : ua.exp - ub.exp;
+    return p;
+  }
+  if (ua.cls == FpClass::kNaN || ub.cls == FpClass::kNaN) {
+    p.special = true;
+    p.special_val = unpacked_nan(fmt);
+    return p;
+  }
+  if (ua.cls == FpClass::kInf || ub.cls == FpClass::kInf) {
+    p.special = true;
+    if (ua.cls == FpClass::kInf && ub.cls == FpClass::kInf &&
+        ua.sign != ub.sign)
+      p.special_val = unpacked_nan(fmt);
+    else
+      p.special_val = unpacked_inf(
+          fmt, ua.cls == FpClass::kInf ? ua.sign : ub.sign);
+    return p;
+  }
+  if (ua.cls == FpClass::kZero && ub.cls == FpClass::kZero) {
+    p.special = true;
+    p.special_val = unpacked_zero(fmt, ua.sign && ub.sign);
+    return p;
+  }
+  // One operand is zero: x + 0 is exact; the nonzero operand is already in
+  // canonical decoded form.
+  p.special = true;
+  p.special_val = ua.cls == FpClass::kZero ? ub : ua;
+  return p;
+}
+
+/// One rounding decision at an arbitrary cut: RN-even on (g, rest, lsb) or
+/// the add-R-and-carry SR scheme on the top r fraction bits.
+inline bool round_decision(uint64_t lsb, uint64_t frac64, bool sticky,
+                           bool rn_mode, int r, uint64_t rand_word) {
+  if (rn_mode) {
+    const bool g = (frac64 >> 63) != 0;
+    const bool rest = (frac64 << 1) != 0 || sticky;
+    return g && (rest || (lsb & 1));
+  }
+  const uint64_t fr = r >= 64 ? frac64 : (frac64 >> (64 - r));
+  const uint64_t rmask = r >= 64 ? ~0ull : ((1ull << r) - 1);
+  return (fr + (rand_word & rmask)) >= (1ull << r);
+}
+
+/// Decoded-result form of pack_round (same contract, see below); pack_round
+/// is the thin encode_unpacked() wrapper around this.
+inline Unpacked round_unpacked_core(const AddParams& ap, bool sign, int exp,
+                                    uint64_t sig, uint64_t frac64, bool sticky,
+                                    bool rn_mode, uint64_t rand_word,
+                                    bool already_rounded, AdderTrace* trace) {
+  const FpFormat& fmt = ap.fmt;
+  const int p = ap.p;
+  const int r = ap.r;
+  assert((sig >> (p - 1)) == 1 &&
+         "round_unpacked expects a normalized p-bit significand");
+
+  if (exp < ap.emin) [[unlikely]] {
+    if (!fmt.subnormals) {
+      if (trace) trace->subnormal_out = true;
+      return unpacked_zero(fmt, sign);
+    }
+    if (trace) trace->subnormal_out = true;
+    // Denormalize: shift the cut right by sh, folding the displaced bits
+    // into the fraction, then round once at the subnormal ULP. (The eager
+    // adder also routes through here: a denormalized cut invalidates its
+    // pre-aligned rounding, so the full random word is re-applied.)
+    const int sh = fmt.emin() - exp;
+    uint64_t kept;
+    if (sh >= 64) {
+      kept = 0;
+      sticky |= sig != 0 || frac64 != 0;
+      frac64 = 0;
+    } else {
+      // kept = sig >> sh (zero when sh >= p); the displaced low bits become
+      // the new fraction. Pre-existing fraction bits sit deeper than the new
+      // 64-bit window can express exactly; they fold into sticky (harmless
+      // for RN, and below the top-r field for every r <= 64 - sh we use).
+      kept = sig >> sh;
+      sticky |= frac64 != 0;
+      frac64 = sig << (64 - sh);
+    }
+    const bool up = round_decision(kept, frac64, sticky, rn_mode, r, rand_word);
+    const uint64_t res = kept + (up ? 1u : 0u);
+    if (trace) {
+      trace->round_up = up;
+      trace->exact = frac64 == 0 && !sticky;
+    }
+    if (res == 0) return unpacked_zero(fmt, sign);
+    if (res >> fmt.man_bits) return unpacked_normal(fmt, sign, fmt.emin(), res);
+    return unpacked_subnormal(fmt, sign, res);
+  }
+
+  if (!already_rounded) {
+    const bool up = round_decision(sig, frac64, sticky, rn_mode, r, rand_word);
+    if (trace) {
+      trace->round_up = up;
+      trace->exact = frac64 == 0 && !sticky;
+      trace->f_r = rn_mode || r >= 64 ? frac64 : (frac64 >> (64 - r));
+    }
+    sig += up ? 1u : 0u;
+    if (sig >> p) {  // rounded into the next binade
+      sig >>= 1;
+      exp += 1;
+    }
+  }
+  if (exp > fmt.emax()) [[unlikely]] return unpacked_inf(fmt, sign);
+  return unpacked_normal(fmt, sign, exp, sig);
+}
+
+inline Unpacked round_unpacked(const FpFormat& fmt, bool sign, int exp,
+                               uint64_t sig, uint64_t frac64, bool sticky,
+                               bool rn_mode, int r, uint64_t rand_word,
+                               bool already_rounded, AdderTrace* trace) {
+  return round_unpacked_core(AddParams(fmt, r), sign, exp, sig, frac64, sticky,
+                             rn_mode, rand_word, already_rounded, trace);
+}
 
 /// Final packing shared by all adder models. The adder hands over the
 /// normalized positive result: `sig` has exactly p bits (MSB set) with MSB

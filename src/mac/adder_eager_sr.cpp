@@ -1,154 +1,12 @@
 #include "mac/adder_eager_sr.hpp"
 
-#include <cassert>
-
-#include "mac/adder_lazy_sr.hpp"
-
 namespace srmac {
-
-namespace {
-inline uint64_t ones(int n) { return n <= 0 ? 0 : ((n >= 64) ? ~0ull : ((1ull << n) - 1)); }
-}  // namespace
 
 uint32_t add_eager_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
                       uint64_t rand_word, AdderTrace* trace) {
-  assert(r >= 3 && r <= 32);
-  const PreparedAdd pr = prepare_add(fmt, a, b);
-  if (pr.special) {
-    if (trace) trace->special = true;
-    return pr.special_bits;
-  }
-  const int p = fmt.precision();
-  const bool far = pr.d > 1;
-  const bool op = pr.op;
-
-  if (trace) {
-    trace->far_path = far;
-    trace->effective_sub = op;
-  }
-
-  // --- (ii) significand alignment -----------------------------------------
-  // Window of p+r positions: the p+1 MSBs feed the main adder, the r-1 bits
-  // below (positions p+2 .. p+r) form the shifted-out field D.
-  const uint64_t yk = (pr.d < p + r) ? ((pr.y << r) >> pr.d) : 0;
-  const uint64_t Bhi = yk >> (r - 1);       // positions 1 .. p+1
-  const uint64_t D = yk & ones(r - 1);      // positions p+2 .. p+r
-  const bool dropped =                      // any operand bit truncated away
-      (pr.d >= p + r) ? (pr.y != 0) : (((pr.y << r) & ones(pr.d)) != 0);
-
-  const uint64_t R = rand_word & ones(r);
-  const uint64_t R1 = (R >> (r - 1)) & 1;   // random MSB
-  [[maybe_unused]] const uint64_t R2 = (R >> (r - 2)) & 1;  // case (a) only
-  const uint64_t Rlow = R & ones(r - 2);    // the r-2 LSBs used eagerly
-
-  // --- Sticky Round stage (Fig. 3b), far path only ------------------------
-  // Adds the r-2 random LSBs to D starting at position p+3 of the eventual
-  // carry-normalized result (R3 lands on D1); the effective-subtraction
-  // complement and its +1 are fused into the same small adder. Only the two
-  // MSBs of the partial sum survive: S'1 (carry into position p+1) and S'2.
-  uint64_t S1, S2;
-  if (far) {
-    const uint64_t Dc = op ? (~D & ones(r - 1)) : D;
-    const uint64_t u = Dc + (Rlow << 1) + (op ? 1 : 0);
-    S1 = (u >> (r - 1)) & 1;
-    S2 = (u >> (r - 2)) & 1;
-  } else {
-    // Close path: no shifted-out field; the two's-complement +1 goes
-    // straight to the main adder carry-in and no random LSBs are consumed.
-    S1 = op ? 1 : 0;
-    S2 = 0;
-  }
-  // In this reconstruction S'1 rides the main adder carry-in, which puts the
-  // stage-1 result at the correct weight on every normalization outcome, so
-  // S'2 (the stage-1 sum MSB, which the paper's wiring consults explicitly)
-  // is carried in the datapath but never gates the correction.
-  (void)S2;
-
-  // --- (iii) main significand addition ------------------------------------
-  const uint64_t Bc = op ? (~Bhi & ones(p + 1)) : Bhi;
-  const uint64_t full = (pr.x << 1) + Bc + S1;  // p+2 bits
-
-  // --- (iv) carry-dependent normalization + (v) Round Correction ----------
-  uint64_t kept;
-  int exp_z;
-  uint64_t rc;  // rounding carry produced by the correction stage
-  bool exact = false;
-
-  if (!op) {
-    const bool c = (full >> (p + 1)) != 0;
-    if (trace) trace->carry_out = c;
-    if (c) {
-      // Paper case (a): the carry becomes the implicit bit, exponent++.
-      // Remaining rounding work: 2-bit addition {G,L} + {R1,R2}; together
-      // with the S'1 already folded into `full` this reproduces the lazy
-      // rounding chain bit-for-bit (carry-save associativity).
-      kept = (full >> 2) & ones(p);
-      const uint64_t G = (full >> 1) & 1, L = full & 1;
-      exp_z = pr.exp + 1;
-      if (exp_z < fmt.emin())  // cannot happen (carry raises the exponent)
-        return add_lazy_sr(fmt, a, b, r, rand_word, trace);
-      rc = ((G << 1 | L) + (R1 << 1 | R2)) >> 2;
-      exact = !dropped && D == 0 && G == 0 && L == 0;
-    } else {
-      // Paper case (b): the window's 1-bit left shift. The random LSBs were
-      // consumed one position high, so the correction only adds R1 at the
-      // guard position (which already absorbed the stage-1 carry S'1).
-      // R2 is unused on this path: including it could inject more than one
-      // ULP of randomness in total and break the two-neighbour SR invariant
-      // (the total here is 2*Rlow + R1*2^(r-1) <= 2^r - 2 < one ULP).
-      kept = (full >> 1) & ones(p);
-      const uint64_t Gp = full & 1;  // position p+1
-      exp_z = pr.exp;
-      if (exp_z < fmt.emin())
-        return add_lazy_sr(fmt, a, b, r, rand_word, trace);
-      rc = Gp & R1;
-      exact = !dropped && D == 0 && Gp == 0;
-    }
-    if (trace) trace->norm_shift = c ? -1 : 0;
-  } else {
-    // Effective subtraction: the adder's carry-out only signals no-borrow.
-    const uint64_t val = full & ones(p + 1);
-    assert((full >> (p + 1)) == 1 && "subtraction must not borrow after swap");
-    if (val == 0) return encode_zero(fmt, false);  // exact cancellation
-    const int msb = 63 - __builtin_clzll(val);
-    if (trace) trace->norm_shift = p - msb;
-    if (msb == p) {
-      // Normalized as-is: same correction as case (b).
-      kept = (val >> 1) & ones(p);
-      const uint64_t Gp = val & 1;
-      exp_z = pr.exp;
-      if (exp_z < fmt.emin())
-        return add_lazy_sr(fmt, a, b, r, rand_word, trace);
-      rc = Gp & R1;
-      exact = !dropped && D == 0 && Gp == 0;
-    } else {
-      // LZD left shift by lz. On the far path lz == 1: after the shift the
-      // old position p+1 becomes the kept LSB, so the Sticky-Round carry S'1
-      // (already folded into the main adder at that position) IS the
-      // rounding carry for the shifted cut — no further correction may be
-      // applied or the randomness would be double-counted. Deeper shifts
-      // only occur on the close path, where the result is exact.
-      const int lz = p - msb;
-      kept = (val << (lz - 1)) & ones(p);
-      exp_z = pr.exp - lz;
-      if (exp_z < fmt.emin())
-        return add_lazy_sr(fmt, a, b, r, rand_word, trace);
-      rc = 0;
-      exact = !far;
-    }
-  }
-
-  kept += rc;
-  if (kept >> p) {  // rounding carried into the next binade
-    kept >>= 1;
-    exp_z += 1;
-  }
-  if (trace) {
-    trace->round_up = rc != 0;
-    trace->exact = exact;
-  }
-  return pack_round(fmt, pr.sign, exp_z, kept, /*frac64=*/0, /*sticky=*/false,
-                    /*rn_mode=*/false, r, R, /*already_rounded=*/true, trace);
+  return encode_unpacked(fmt, add_eager_sr_u(fmt, decode(fmt, a),
+                                             decode(fmt, b), r, rand_word,
+                                             trace));
 }
 
 uint32_t add_eager_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,

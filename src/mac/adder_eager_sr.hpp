@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "mac/adder_common.hpp"
+#include "mac/adder_lazy_sr.hpp"
 
 namespace srmac {
 
@@ -48,5 +49,145 @@ uint32_t add_eager_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
 /// Convenience overload drawing from a RandomSource.
 uint32_t add_eager_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
                       RandomSource& rng, AdderTrace* trace = nullptr);
+
+/// Decoded-operand core of add_eager_sr (see add_rn_u for the contract).
+///
+/// The op-dependent selects are written branch-free (XOR with a sign mask
+/// instead of conditional complement): the effective-subtraction flag is a
+/// coin flip on real accumulation data, and a data-dependent branch on it
+/// costs more in mispredictions than both arms of the select. The remaining
+/// branches (specials, normalization case, subnormal fallback) are heavily
+/// skewed in accumulation chains and predict well. The AddParams carry the
+/// precomputed loop-invariant masks of the (fmt, r) configuration.
+inline Unpacked add_eager_sr_core(const AddParams& ap, const Unpacked& ua,
+                                  const Unpacked& ub, uint64_t rand_word,
+                                  AdderTrace* trace = nullptr) {
+  const FpFormat& fmt = ap.fmt;
+  const int p = ap.p;
+  const int r = ap.r;
+  assert(r >= 3 && r <= 32);
+  const PreparedAddU pr = prepare_add_u(fmt, ua, ub);
+  if (pr.special) [[unlikely]] {
+    if (trace) trace->special = true;
+    return pr.special_val;
+  }
+  const bool far = pr.d > 1;
+  const bool op = pr.op;
+  const uint64_t opmask = op ? ~0ull : 0ull;
+
+  if (trace) {
+    trace->far_path = far;
+    trace->effective_sub = op;
+  }
+
+  // --- (ii) significand alignment -----------------------------------------
+  // Window of p+r positions: the p+1 MSBs feed the main adder, the r-1 bits
+  // below (positions p+2 .. p+r) form the shifted-out field D.
+  const uint64_t yk = (pr.d < p + r) ? ((pr.y << r) >> pr.d) : 0;
+  const uint64_t Bhi = yk >> (r - 1);               // positions 1 .. p+1
+  const uint64_t D = yk & ap.mask_rm1;              // positions p+2 .. p+r
+  const bool dropped =                    // any operand bit truncated away
+      (pr.d >= p + r) ? (pr.y != 0)
+                      : (((pr.y << r) & ((1ull << pr.d) - 1)) != 0);
+
+  const uint64_t R = rand_word & ap.mask_r;
+  const uint64_t Rlow = R & ap.mask_rm2;  // the r-2 LSBs used eagerly; the
+                                          // top two (R1, R2) round-correct
+
+  // --- Sticky Round stage (Fig. 3b) ---------------------------------------
+  // Adds the r-2 random LSBs to D starting at position p+3 of the eventual
+  // carry-normalized result (R3 lands on D1); the effective-subtraction
+  // complement and its +1 are fused into the same small adder. Only the
+  // partial sum's carry out survives: S'1, riding the main adder carry-in.
+  // (The paper's S'2 is carried in the datapath but never gates the
+  // correction in this reconstruction — see the header comment.)
+  // On the close path (|d| <= 1) the shifted-out field D is zero by
+  // construction, and this expression degenerates exactly to the paper's
+  // close-path wiring: S'1 = op (the two's-complement +1), with the random
+  // LSBs contributing nothing to the carry.
+  const uint64_t Dc = (D ^ opmask) & ap.mask_rm1;
+  const uint64_t u = Dc + (Rlow << 1) + (op ? 1u : 0u);
+  const uint64_t S1 = (u >> (r - 1)) & 1;
+
+  // --- (iii) main significand addition ------------------------------------
+  const uint64_t Bc = (Bhi ^ opmask) & ap.mask_p1;
+  const uint64_t full = (pr.x << 1) + Bc + S1;  // p+2 bits
+
+  // --- (iv) carry-dependent normalization + (v) Round Correction ----------
+  // For effective subtraction bit p+1 of `full` is the no-borrow flag
+  // (always set after the magnitude swap), not a value bit; mask it away so
+  // `v` holds the magnitude on both paths and the normalization case is a
+  // single shift count s = msb - p: +1 carry (addition only), 0 in place,
+  // negative LZD cancellation (subtraction only).
+  assert(op ? (full >> (p + 1)) == 1 : true);
+  const uint64_t v = full & ~(opmask << (p + 1));
+  if (v == 0) [[unlikely]] return unpacked_zero(fmt, false);  // exact cancellation
+  const int msb = 63 - __builtin_clzll(v);
+  const int s = msb - p;
+
+  if (trace) {
+    trace->carry_out = !op && s == 1;
+    trace->norm_shift = op ? p - msb : (s == 1 ? -1 : 0);
+  }
+
+  uint64_t kept;
+  int exp_z;
+  uint64_t rc;  // rounding carry produced by the correction stage
+  bool exact;
+
+  if (s >= 0) [[likely]] {
+    // Paper cases (a) (s == 1, carry out: the carry becomes the implicit
+    // bit, exponent++) and (b) (s == 0, the window's 1-bit left shift),
+    // unified branch-free: s+1 value bits fall below the kept window, and
+    // the Round Correction adds the top s+1 random bits to them. For (a)
+    // that is the 2-bit addition {G,L} + {R1,R2} which — together with the
+    // S'1 already folded into `full` — reproduces the lazy rounding chain
+    // bit-for-bit (carry-save associativity). For (b) it degenerates to
+    // Gp & R1: the random LSBs were consumed one position high, and R2
+    // must stay unused or the total injected randomness could exceed one
+    // ULP and break the two-neighbour SR invariant (the total here is
+    // 2*Rlow + R1*2^(r-1) <= 2^r - 2 < one ULP).
+    kept = (v >> (s + 1)) & ap.mask_p;
+    const uint64_t t = v & ((1ull << (s + 1)) - 1);  // {G,L} or {Gp}
+    exp_z = pr.exp + s;
+    rc = (t + (R >> (r - 1 - s))) >> (s + 1);
+    exact = !dropped && D == 0 && t == 0;
+  } else {
+    // LZD left shift by lz. On the far path lz == 1: after the shift the
+    // old position p+1 becomes the kept LSB, so the Sticky-Round carry S'1
+    // (already folded into the main adder at that position) IS the
+    // rounding carry for the shifted cut — no further correction may be
+    // applied or the randomness would be double-counted. Deeper shifts
+    // only occur on the close path, where the result is exact.
+    const int lz = -s;
+    kept = (v << (lz - 1)) & ap.mask_p;
+    exp_z = pr.exp - lz;
+    rc = 0;
+    exact = !far;
+  }
+  // Denormalized cut: the eager pre-alignment is invalid, fall back to the
+  // late-rounding (lazy) datapath with the same operands and random word.
+  if (exp_z < ap.emin) [[unlikely]]
+    return add_lazy_sr_fallback(ap, ua, ub, rand_word, trace);
+
+  kept += rc;
+  const uint64_t binade = kept >> p;  // rounding carried into the next binade
+  kept >>= binade;
+  exp_z += static_cast<int>(binade);
+  if (trace) {
+    trace->round_up = rc != 0;
+    trace->exact = exact;
+  }
+  return round_unpacked_core(ap, pr.sign, exp_z, kept, /*frac64=*/0,
+                             /*sticky=*/false, /*rn_mode=*/false, R,
+                             /*already_rounded=*/true, trace);
+}
+
+/// Decoded-operand entry point (see add_rn_u for the contract).
+inline Unpacked add_eager_sr_u(const FpFormat& fmt, const Unpacked& ua,
+                               const Unpacked& ub, int r, uint64_t rand_word,
+                               AdderTrace* trace = nullptr) {
+  return add_eager_sr_core(AddParams(fmt, r), ua, ub, rand_word, trace);
+}
 
 }  // namespace srmac

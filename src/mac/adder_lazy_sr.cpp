@@ -1,52 +1,12 @@
 #include "mac/adder_lazy_sr.hpp"
 
-#include <cassert>
-
 namespace srmac {
-
-namespace {
-inline uint64_t ones(int n) { return n <= 0 ? 0 : ((n >= 64) ? ~0ull : ((1ull << n) - 1)); }
-}  // namespace
 
 uint32_t add_lazy_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
                      uint64_t rand_word, AdderTrace* trace) {
-  assert(r >= 1 && r <= 32);
-  const PreparedAdd pr = prepare_add(fmt, a, b);
-  if (pr.special) {
-    if (trace) trace->special = true;
-    return pr.special_bits;
-  }
-  const int p = fmt.precision();
-  const int K = r;  // extension window: r bits below the result ULP
-
-  if (trace) {
-    trace->far_path = pr.d > 1;
-    trace->effective_sub = pr.op;
-  }
-
-  // Alignment with an r-bit extension window; bits shifted beyond it are
-  // truncated (the random addition *replaces* the sticky computation).
-  const uint64_t A = pr.x << K;
-  const uint64_t B = (pr.d < p + K) ? ((pr.y << K) >> pr.d) : 0;
-
-  uint64_t S = pr.op ? (A - B) : (A + B);
-  if (S == 0) return encode_zero(fmt, false);  // exact cancellation -> +0
-
-  const int msb = 63 - __builtin_clzll(S);
-  if (trace) {
-    trace->carry_out = !pr.op && msb == p + K;
-    trace->norm_shift = (p + K - 1) - msb;
-  }
-  // Normalize: right shift when the sum grew past p bits, left shift after
-  // deep cancellation (LZD path).
-  const int fw = msb - (p - 1);  // fraction width (negative: left shift)
-  const uint64_t sig_p = fw >= 0 ? (S >> fw) : (S << -fw);
-  const uint64_t frac64 = fw >= 1 ? (S << (64 - fw)) : 0;
-  const int exp_z = pr.exp + (msb - (p + K - 1));
-
-  return pack_round(fmt, pr.sign, exp_z, sig_p, frac64, /*sticky=*/false,
-                    /*rn_mode=*/false, r, rand_word,
-                    /*already_rounded=*/false, trace);
+  return encode_unpacked(fmt, add_lazy_sr_u(fmt, decode(fmt, a),
+                                            decode(fmt, b), r, rand_word,
+                                            trace));
 }
 
 uint32_t add_lazy_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,

@@ -26,4 +26,73 @@ uint32_t add_lazy_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
 uint32_t add_lazy_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
                      RandomSource& rng, AdderTrace* trace = nullptr);
 
+/// Decoded-operand core of add_lazy_sr (see add_rn_u for the contract; the
+/// AddParams carry the precomputed constants of the (fmt, r) configuration).
+inline Unpacked add_lazy_sr_core(const AddParams& ap, const Unpacked& ua,
+                                 const Unpacked& ub, uint64_t rand_word,
+                                 AdderTrace* trace = nullptr) {
+  const FpFormat& fmt = ap.fmt;
+  const int p = ap.p;
+  const int r = ap.r;
+  assert(r >= 1 && r <= 32);
+  const PreparedAddU pr = prepare_add_u(fmt, ua, ub);
+  if (pr.special) [[unlikely]] {
+    if (trace) trace->special = true;
+    return pr.special_val;
+  }
+  const int K = r;  // extension window: r bits below the result ULP
+
+  if (trace) {
+    trace->far_path = pr.d > 1;
+    trace->effective_sub = pr.op;
+  }
+
+  // Alignment with an r-bit extension window; bits shifted beyond it are
+  // truncated (the random addition *replaces* the sticky computation).
+  const uint64_t A = pr.x << K;
+  const uint64_t B = (pr.d < p + K) ? ((pr.y << K) >> pr.d) : 0;
+
+  // Branch-free add/subtract select (A - B == A + ~B + 1): the op flag is
+  // data-dependent and effectively random in accumulation chains.
+  const uint64_t opmask = pr.op ? ~0ull : 0ull;
+  const uint64_t S = A + (B ^ opmask) + (pr.op ? 1u : 0u);
+  if (S == 0) [[unlikely]]
+    return unpacked_zero(fmt, false);  // exact cancellation -> +0
+
+  const int msb = 63 - __builtin_clzll(S);
+  if (trace) {
+    trace->carry_out = !pr.op && msb == p + K;
+    trace->norm_shift = (p + K - 1) - msb;
+  }
+  // Normalize: right shift when the sum grew past p bits, left shift after
+  // deep cancellation (LZD path).
+  const int fw = msb - (p - 1);  // fraction width (negative: left shift)
+  const uint64_t sig_p = fw >= 0 ? (S >> fw) : (S << -fw);
+  const uint64_t frac64 = fw >= 1 ? (S << (64 - fw)) : 0;
+  const int exp_z = pr.exp + (msb - (p + K - 1));
+
+  return round_unpacked_core(ap, pr.sign, exp_z, sig_p, frac64,
+                             /*sticky=*/false, /*rn_mode=*/false, rand_word,
+                             /*already_rounded=*/false, trace);
+}
+
+/// Decoded-operand entry point (see add_rn_u for the contract).
+inline Unpacked add_lazy_sr_u(const FpFormat& fmt, const Unpacked& ua,
+                              const Unpacked& ub, int r, uint64_t rand_word,
+                              AdderTrace* trace = nullptr) {
+  return add_lazy_sr_core(AddParams(fmt, r), ua, ub, rand_word, trace);
+}
+
+/// Out-of-line, by-value form for the eager adder's rare subnormal-cut
+/// fallback. Taking the operands by value (and never inlining) keeps their
+/// addresses from escaping at the call site, so the eager hot path can hold
+/// its accumulator fully in registers.
+[[gnu::noinline]] inline Unpacked add_lazy_sr_fallback(const AddParams& ap,
+                                                       Unpacked ua,
+                                                       Unpacked ub,
+                                                       uint64_t rand_word,
+                                                       AdderTrace* trace) {
+  return add_lazy_sr_core(ap, ua, ub, rand_word, trace);
+}
+
 }  // namespace srmac

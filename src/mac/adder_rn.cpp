@@ -1,70 +1,11 @@
 #include "mac/adder_rn.hpp"
 
-#include <cassert>
-
 namespace srmac {
 
-namespace {
-inline uint64_t ones(int n) { return n <= 0 ? 0 : ((n >= 64) ? ~0ull : ((1ull << n) - 1)); }
-}  // namespace
-
-uint32_t add_rn(const FpFormat& fmt, uint32_t a, uint32_t b, AdderTrace* trace) {
-  const PreparedAdd pr = prepare_add(fmt, a, b);
-  if (pr.special) {
-    if (trace) trace->special = true;
-    return pr.special_bits;
-  }
-  const int p = fmt.precision();
-  constexpr int K = 2;  // guard + round extension bits
-
-  if (trace) {
-    trace->far_path = pr.d > 1;
-    trace->effective_sub = pr.op;
-  }
-
-  // Alignment with bounded shifter: keep K extension bits, OR the rest into
-  // the sticky bit (computed during stages (ii)-(iii) per the paper).
-  const uint64_t A = pr.x << K;
-  uint64_t B;
-  bool sticky;
-  if (pr.d >= p + K) {
-    B = 0;
-    sticky = pr.y != 0;
-  } else {
-    const uint64_t yk = pr.y << K;
-    B = yk >> pr.d;
-    sticky = (yk & ones(pr.d)) != 0;
-  }
-
-  // Single shared adder/subtractor. When sticky bits were dropped from the
-  // subtrahend the window value underestimates it; borrow one window ULP so
-  // the retained difference is a truncation of the exact one.
-  uint64_t S;
-  if (pr.op) {
-    S = A - B - (sticky ? 1 : 0);
-  } else {
-    S = A + B;
-  }
-  if (S == 0) {
-    assert(!sticky);
-    return encode_zero(fmt, false);  // exact cancellation gives +0
-  }
-
-  const int msb = 63 - __builtin_clzll(S);
-  if (trace) {
-    trace->carry_out = !pr.op && msb == p + K;
-    trace->norm_shift = (p + K - 1) - msb;
-  }
-  // Normalize: right shift when the sum grew past p bits, left shift after
-  // deep cancellation (LZD path).
-  const int fw = msb - (p - 1);  // fraction width (negative: left shift)
-  const uint64_t sig_p = fw >= 0 ? (S >> fw) : (S << -fw);
-  const uint64_t frac64 = fw >= 1 ? (S << (64 - fw)) : 0;
-  const int exp_z = pr.exp + (msb - (p + K - 1));
-
-  return pack_round(fmt, pr.sign, exp_z, sig_p, frac64, sticky,
-                    /*rn_mode=*/true, /*r=*/0, /*rand_word=*/0,
-                    /*already_rounded=*/false, trace);
+uint32_t add_rn(const FpFormat& fmt, uint32_t a, uint32_t b,
+                AdderTrace* trace) {
+  return encode_unpacked(fmt,
+                         add_rn_u(fmt, decode(fmt, a), decode(fmt, b), trace));
 }
 
 }  // namespace srmac

@@ -16,4 +16,74 @@ namespace srmac {
 uint32_t add_rn(const FpFormat& fmt, uint32_t a, uint32_t b,
                 AdderTrace* trace = nullptr);
 
+/// Decoded-operand core of add_rn; the packed entry point is the
+/// decode/encode wrapper around this, and the fused GEMM kernel calls it
+/// directly with its decoded accumulator (bit-identical by construction).
+/// The AddParams carry the precomputed constants of the format (r unused).
+inline Unpacked add_rn_core(const AddParams& ap, const Unpacked& ua,
+                            const Unpacked& ub, AdderTrace* trace = nullptr) {
+  const FpFormat& fmt = ap.fmt;
+  const int p = ap.p;
+  const PreparedAddU pr = prepare_add_u(fmt, ua, ub);
+  if (pr.special) [[unlikely]] {
+    if (trace) trace->special = true;
+    return pr.special_val;
+  }
+  constexpr int K = 2;  // guard + round extension bits
+
+  if (trace) {
+    trace->far_path = pr.d > 1;
+    trace->effective_sub = pr.op;
+  }
+
+  // Alignment with bounded shifter: keep K extension bits, OR the rest into
+  // the sticky bit (computed during stages (ii)-(iii) per the paper).
+  const uint64_t A = pr.x << K;
+  uint64_t B;
+  bool sticky;
+  if (pr.d >= p + K) {
+    B = 0;
+    sticky = pr.y != 0;
+  } else {
+    const uint64_t yk = pr.y << K;
+    B = yk >> pr.d;
+    sticky = (yk & ((1ull << pr.d) - 1)) != 0;  // d < p + 2 <= 26 here
+  }
+
+  // Single shared adder/subtractor, with the add/subtract select written
+  // branch-free (the op flag is data-dependent and effectively random in
+  // accumulation chains). When sticky bits were dropped from the subtrahend
+  // the window value underestimates it; borrow one window ULP so the
+  // retained difference is a truncation of the exact one.
+  const uint64_t opmask = pr.op ? ~0ull : 0ull;
+  const uint64_t S = A + (B ^ opmask) + (pr.op ? 1u : 0u) -
+                     ((pr.op && sticky) ? 1u : 0u);
+  if (S == 0) {
+    assert(!sticky);
+    return unpacked_zero(fmt, false);  // exact cancellation gives +0
+  }
+
+  const int msb = 63 - __builtin_clzll(S);
+  if (trace) {
+    trace->carry_out = !pr.op && msb == p + K;
+    trace->norm_shift = (p + K - 1) - msb;
+  }
+  // Normalize: right shift when the sum grew past p bits, left shift after
+  // deep cancellation (LZD path).
+  const int fw = msb - (p - 1);  // fraction width (negative: left shift)
+  const uint64_t sig_p = fw >= 0 ? (S >> fw) : (S << -fw);
+  const uint64_t frac64 = fw >= 1 ? (S << (64 - fw)) : 0;
+  const int exp_z = pr.exp + (msb - (p + K - 1));
+
+  return round_unpacked_core(ap, pr.sign, exp_z, sig_p, frac64, sticky,
+                             /*rn_mode=*/true, /*rand_word=*/0,
+                             /*already_rounded=*/false, trace);
+}
+
+/// Decoded-operand entry point (see above for the contract).
+inline Unpacked add_rn_u(const FpFormat& fmt, const Unpacked& ua,
+                         const Unpacked& ub, AdderTrace* trace = nullptr) {
+  return add_rn_core(AddParams(fmt, 0), ua, ub, trace);
+}
+
 }  // namespace srmac

@@ -1,12 +1,14 @@
 #include "mac/gemm.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <thread>
+#include <span>
 #include <vector>
 
 #include "fpemu/softfloat.hpp"
+#include "mac/mac_kernel.hpp"
 #include "mac/mac_unit.hpp"
+#include "rng/lfsr.hpp"
+#include "util/thread_pool.hpp"
 
 namespace srmac {
 
@@ -20,75 +22,214 @@ inline uint64_t mix_seed(uint64_t s, uint64_t i, uint64_t j) {
   return z ^ (z >> 31);
 }
 
-void parallel_rows(int M, int threads, const std::function<void(int, int)>& fn) {
-  int n = threads > 0 ? threads
-                      : static_cast<int>(std::thread::hardware_concurrency());
-  n = std::clamp(n, 1, std::max(1, M));
-  if (n == 1) {
-    fn(0, M);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(n);
-  const int chunk = (M + n - 1) / n;
-  for (int t = 0; t < n; ++t) {
-    const int lo = t * chunk, hi = std::min(M, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back(fn, lo, hi);
-  }
-  for (auto& th : pool) th.join();
-}
+/// Blocking parameters (see docs/PERF.md). NC bounds the packed-B working
+/// set of one row sweep (NC * K operand words); KC bounds the bulk-draw
+/// random buffer and gives the k-loop a cache-sized stride.
+constexpr int kNc = 64;
+constexpr int kKc = 512;
 
 }  // namespace
+
+void gemm_quantize(const FpFormat& fmt, int rows, int cols, const float* src,
+                   int ld, uint32_t* dst, int threads) {
+  ThreadPool::global().parallel_for(
+      0, rows,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r)
+          for (int c = 0; c < cols; ++c)
+            dst[static_cast<size_t>(r) * cols + c] = SoftFloat::from_double(
+                fmt, src[static_cast<size_t>(r) * ld + c]);
+      },
+      threads, /*grain=*/16);
+}
+
+void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
+                   const uint32_t* Aq, int lda, const uint32_t* Bq, int ldb,
+                   float* C, int ldc, bool accumulate, uint64_t seed,
+                   int threads) {
+  const MacConfig c = cfg.normalized();
+  const FusedMacKernel kernel(c);
+  const FpFormat acc_fmt = c.acc_fmt;
+
+  const bool needs_rand = kernel.needs_rand();
+  const int lfsr_width = kernel.lfsr_width();
+  const int r = c.random_bits;
+
+  // Pack B into group panels. Full groups of G = group_width() columns are
+  // interleaved (bt[group][k*G + l]) so a lockstep step reads all lanes'
+  // operands from one contiguous line; the N % G remainder columns follow,
+  // each contiguous in k for the single-lane chains.
+  const int G = kernel.group_width();
+  const int full_groups = N / G;
+  std::vector<uint32_t> bt(static_cast<size_t>(N) * K);
+  ThreadPool::global().parallel_for(
+      0, N,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t j = lo; j < hi; ++j) {
+          uint32_t* dst;
+          size_t stride;
+          if (j < static_cast<int64_t>(full_groups) * G) {
+            dst = bt.data() + (j / G) * static_cast<size_t>(G) * K + (j % G);
+            stride = static_cast<size_t>(G);
+          } else {
+            dst = bt.data() + static_cast<size_t>(full_groups) * G * K +
+                  static_cast<size_t>(j - static_cast<int64_t>(full_groups) * G) * K;
+            stride = 1;
+          }
+          for (int k = 0; k < K; ++k)
+            dst[static_cast<size_t>(k) * stride] =
+                Bq[static_cast<size_t>(k) * ldb + j];
+        }
+      },
+      threads, /*grain=*/16);
+  ThreadPool::global().parallel_for(
+      0, M,
+      [&](int64_t row_lo, int64_t row_hi) {
+        GaloisLfsr lfsr(lfsr_width, 1);
+        std::vector<GaloisLfsr> lf(G, lfsr);  // one sequence per group lane
+        const int kc_width = std::min(K, kKc);
+        std::vector<uint64_t> rand_tmp(needs_rand ? kc_width : 0);
+        std::vector<uint64_t> rand_ilv(
+            needs_rand ? static_cast<size_t>(G) * kc_width : 1);
+        std::vector<Unpacked> acc(G);
+        // Takes the address, not the value: with accumulate=false the
+        // caller's C may be uninitialized and must not be read.
+        auto init_acc = [&](const float* out) {
+          return accumulate
+                     ? decode(acc_fmt, SoftFloat::from_double(acc_fmt, *out))
+                     : unpacked_zero(acc_fmt, false);
+        };
+        auto finish = [&](const Unpacked& a) {
+          return static_cast<float>(
+              SoftFloat::to_double(acc_fmt, encode_unpacked(acc_fmt, a)));
+        };
+        // MC x NC x KC blocking: this task's rows sweep one NC-wide panel
+        // of packed B at a time; within the panel, G = group_width() output
+        // elements run in lockstep (independent chains hide the per-add
+        // latency) and each chain walks K in KC strides with one bulk LFSR
+        // fill per stride and lane.
+        for (int jc = 0; jc < N; jc += kNc) {
+          const int jhi = std::min(N, jc + kNc);
+          for (int64_t i = row_lo; i < row_hi; ++i) {
+            const uint32_t* arow = Aq + static_cast<size_t>(i) * lda;
+            int j = jc;
+            for (; j + G <= jhi; j += G) {
+              // b panel for this group, interleaved: bg[k*G + l].
+              const uint32_t* bg =
+                  bt.data() + static_cast<size_t>(j / G) * G * K;
+              for (int l = 0; l < G; ++l) {
+                acc[l] = init_acc(C + static_cast<size_t>(i) * ldc + j + l);
+                lf[l].reseed(mix_seed(seed, static_cast<uint64_t>(i),
+                                      static_cast<uint64_t>(j + l)));
+              }
+              for (int kc = 0; kc < K; kc += kKc) {
+                const int kn = std::min(K - kc, kKc);
+                if (needs_rand) {
+                  // One bulk fill per lane, interleaved to match the group
+                  // operand layout (rand_ilv[k*G + l]).
+                  for (int l = 0; l < G; ++l) {
+                    lf[l].fill(std::span<uint64_t>(rand_tmp.data(),
+                                                   static_cast<size_t>(kn)),
+                               r);
+                    for (int k = 0; k < kn; ++k)
+                      rand_ilv[static_cast<size_t>(k) * G + l] = rand_tmp[k];
+                  }
+                }
+                kernel.chain_group(acc.data(), arow + kc,
+                                   bg + static_cast<size_t>(kc) * G, kn,
+                                   rand_ilv.data());
+              }
+              for (int l = 0; l < G; ++l)
+                C[static_cast<size_t>(i) * ldc + j + l] = finish(acc[l]);
+            }
+            for (; j < jhi; ++j) {
+              // Remainder columns (N % G): contiguous panel after the
+              // interleaved groups.
+              const uint32_t* bcol = bt.data() +
+                                     static_cast<size_t>(full_groups) * G * K +
+                                     static_cast<size_t>(j - full_groups * G) * K;
+              lfsr.reseed(mix_seed(seed, static_cast<uint64_t>(i),
+                                   static_cast<uint64_t>(j)));
+              float* out = C + static_cast<size_t>(i) * ldc + j;
+              Unpacked a0 = init_acc(out);
+              for (int kc = 0; kc < K; kc += kKc) {
+                const int kn = std::min(K - kc, kKc);
+                if (needs_rand)
+                  lfsr.fill(std::span<uint64_t>(rand_ilv.data(),
+                                                static_cast<size_t>(kn)),
+                            r);
+                kernel.chain(a0, arow + kc, bcol + kc, kn, rand_ilv.data());
+              }
+              *out = finish(a0);
+            }
+          }
+        }
+      },
+      threads, /*grain=*/1);
+}
 
 void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
               int lda, const float* B, int ldb, float* C, int ldc,
               bool accumulate, uint64_t seed, int threads) {
   const MacConfig c = cfg.normalized();
+  std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
+  std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
+  gemm_quantize(c.mul_fmt, M, K, A, lda, qa.data(), threads);
+  gemm_quantize(c.mul_fmt, K, N, B, ldb, qb.data(), threads);
+  gemm_mac_bits(c, M, N, K, qa.data(), K, qb.data(), N, C, ldc, accumulate,
+                seed, threads);
+}
+
+void gemm_mac_reference(const MacConfig& cfg, int M, int N, int K,
+                        const float* A, int lda, const float* B, int ldb,
+                        float* C, int ldc, bool accumulate, uint64_t seed,
+                        int threads) {
+  const MacConfig c = cfg.normalized();
 
   // Quantize operands once (RN into the multiplier input format).
   std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
   std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
-  for (int i = 0; i < M; ++i)
-    for (int k = 0; k < K; ++k)
-      qa[static_cast<size_t>(i) * K + k] =
-          SoftFloat::from_double(c.mul_fmt, A[static_cast<size_t>(i) * lda + k]);
-  for (int k = 0; k < K; ++k)
-    for (int j = 0; j < N; ++j)
-      qb[static_cast<size_t>(k) * N + j] =
-          SoftFloat::from_double(c.mul_fmt, B[static_cast<size_t>(k) * ldb + j]);
+  gemm_quantize(c.mul_fmt, M, K, A, lda, qa.data(), threads);
+  gemm_quantize(c.mul_fmt, K, N, B, ldb, qb.data(), threads);
 
-  parallel_rows(M, threads, [&](int lo, int hi) {
-    for (int i = lo; i < hi; ++i) {
-      for (int j = 0; j < N; ++j) {
-        MacUnit unit(c, mix_seed(seed, i, j));
-        if (accumulate) {
-          unit.set_acc(SoftFloat::from_double(
-              c.acc_fmt, C[static_cast<size_t>(i) * ldc + j]));
+  ThreadPool::global().parallel_for(
+      0, M,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          for (int j = 0; j < N; ++j) {
+            MacUnit unit(c, mix_seed(seed, static_cast<uint64_t>(i),
+                                     static_cast<uint64_t>(j)));
+            if (accumulate) {
+              unit.set_acc(SoftFloat::from_double(
+                  c.acc_fmt, C[static_cast<size_t>(i) * ldc + j]));
+            }
+            for (int k = 0; k < K; ++k)
+              unit.step(qa[static_cast<size_t>(i) * K + k],
+                        qb[static_cast<size_t>(k) * N + j]);
+            C[static_cast<size_t>(i) * ldc + j] =
+                static_cast<float>(unit.acc_value());
+          }
         }
-        for (int k = 0; k < K; ++k)
-          unit.step(qa[static_cast<size_t>(i) * K + k],
-                    qb[static_cast<size_t>(k) * N + j]);
-        C[static_cast<size_t>(i) * ldc + j] =
-            static_cast<float>(unit.acc_value());
-      }
-    }
-  });
+      },
+      threads, /*grain=*/1);
 }
 
 void gemm_ref(int M, int N, int K, const float* A, int lda, const float* B,
               int ldb, float* C, int ldc, bool accumulate, int threads) {
-  parallel_rows(M, threads, [&](int lo, int hi) {
-    for (int i = lo; i < hi; ++i) {
-      for (int j = 0; j < N; ++j) {
-        float acc = accumulate ? C[static_cast<size_t>(i) * ldc + j] : 0.0f;
-        for (int k = 0; k < K; ++k)
-          acc += A[static_cast<size_t>(i) * lda + k] *
-                 B[static_cast<size_t>(k) * ldb + j];
-        C[static_cast<size_t>(i) * ldc + j] = acc;
-      }
-    }
-  });
+  ThreadPool::global().parallel_for(
+      0, M,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          for (int j = 0; j < N; ++j) {
+            float acc = accumulate ? C[static_cast<size_t>(i) * ldc + j] : 0.0f;
+            for (int k = 0; k < K; ++k)
+              acc += A[static_cast<size_t>(i) * lda + k] *
+                     B[static_cast<size_t>(k) * ldb + j];
+            C[static_cast<size_t>(i) * ldc + j] = acc;
+          }
+        }
+      },
+      threads, /*grain=*/1);
 }
 
 }  // namespace srmac

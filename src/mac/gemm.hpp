@@ -16,14 +16,45 @@ namespace srmac {
 ///
 /// The final accumulator is read back as float into C (exact: every
 /// accumulator format here is narrower than binary32's significand).
+///
+/// This entry point runs the fused emulation engine: cache-blocked loops
+/// over packed operand panels, a decoded accumulator that is packed only at
+/// chain boundaries, a process-wide product table for FP8-class multiplier
+/// formats, bulk LFSR draws, and the persistent thread pool. It is
+/// bit-identical to gemm_mac_reference (asserted by tests/mac/
+/// test_gemm_fastpath.cpp); see docs/PERF.md for the architecture.
 void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
               int lda, const float* B, int ldb, float* C, int ldc,
               bool accumulate = false, uint64_t seed = 0x5EED5EEDull,
               int threads = 0);
 
+/// gemm_mac on operands already quantized to cfg.mul_fmt bit patterns
+/// (row-major uint32 with leading dimensions). This is the layer the nn
+/// modules call with their cached weight planes so weights are not
+/// requantized on every forward/backward GEMM.
+void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
+                   const uint32_t* Aq, int lda, const uint32_t* Bq, int ldb,
+                   float* C, int ldc, bool accumulate = false,
+                   uint64_t seed = 0x5EED5EEDull, int threads = 0);
+
+/// The seed implementation: one MacUnit per output element stepping through
+/// packed bits, kept as the golden reference the fused engine is verified
+/// against (and as the baseline of bench_gemm_throughput).
+void gemm_mac_reference(const MacConfig& cfg, int M, int N, int K,
+                        const float* A, int lda, const float* B, int ldb,
+                        float* C, int ldc, bool accumulate = false,
+                        uint64_t seed = 0x5EED5EEDull, int threads = 0);
+
 /// Float reference GEMM with the same interface (the FP32 baseline).
 void gemm_ref(int M, int N, int K, const float* A, int lda, const float* B,
               int ldb, float* C, int ldc, bool accumulate = false,
               int threads = 0);
+
+/// Quantizes a row-major float matrix into `fmt` bit patterns (RN), rows
+/// split across the thread pool — the operand-quantization step of
+/// gemm_mac, exposed so callers preparing inputs for gemm_mac_bits (e.g.
+/// the layers' activation panels) share it.
+void gemm_quantize(const FpFormat& fmt, int rows, int cols, const float* src,
+                   int ld, uint32_t* dst, int threads = 0);
 
 }  // namespace srmac

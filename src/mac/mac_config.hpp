@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <string>
 
 #include "fpemu/format.hpp"
@@ -30,11 +31,20 @@ struct MacConfig {
     return acc.precision() + 3;
   }
 
-  /// Applies the subnormal flag consistently to both formats.
+  /// Applies the subnormal flag consistently to both formats and clamps
+  /// `random_bits` into the range the configured adder can actually consume:
+  /// the rounding datapaths hold at most 32 random bits, the lazy SR scheme
+  /// needs at least 1 and the eager scheme at least 3 (its sticky-round
+  /// stage splits off two MSBs). RN ignores randomness; its r is only kept
+  /// non-negative so LFSR sizing stays meaningful.
   MacConfig normalized() const {
     MacConfig c = *this;
     c.mul_fmt.subnormals = subnormals;
     c.acc_fmt.subnormals = subnormals;
+    const int lo = adder == AdderKind::kEagerSR  ? 3
+                   : adder == AdderKind::kLazySR ? 1
+                                                 : 0;
+    c.random_bits = std::clamp(random_bits, lo, 32);
     return c;
   }
 

@@ -1,0 +1,252 @@
+#include "mac/mac_kernel.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/adder_eager_sr.hpp"
+#include "mac/adder_lazy_sr.hpp"
+#include "mac/adder_rn.hpp"
+#include "mac/multiplier.hpp"
+
+namespace srmac {
+
+// Defined in mac_kernel_avx512.cpp (x86-64 only).
+bool mac_kernel_avx512_supported();
+void chain_group_avx512_eager(const FusedMacKernel& kernel, Unpacked* acc,
+                              const uint32_t* a, const uint32_t* b_ilv, int n,
+                              const uint64_t* rand_ilv);
+
+namespace {
+
+/// Multiplier formats up to this encoding width get a product table
+/// (width 9 -> 2^16 magnitude pairs -> 512 KiB; the paper's FP8 formats
+/// are width 8 -> 128 KiB, comfortably L2-resident).
+constexpr int kMaxTableWidth = 9;
+
+struct TableKey {
+  int mul_exp, mul_man, acc_exp, acc_man;
+  bool subnormals;
+  bool operator==(const TableKey&) const = default;
+};
+
+std::mutex g_table_mutex;
+std::vector<std::pair<TableKey, std::shared_ptr<const std::vector<MacAddend>>>>
+    g_tables;
+
+}  // namespace
+
+FusedMacKernel::FusedMacKernel(const MacConfig& cfg)
+    : cfg_(cfg.normalized()),
+      params_(cfg_.acc_fmt, cfg_.random_bits),
+      prod_fmt_(product_format(cfg_.mul_fmt)) {
+  direct_ = prod_fmt_ == cfg_.acc_fmt.with_subnormals(prod_fmt_.subnormals);
+  mag_bits_ = cfg_.mul_fmt.width() - 1;
+  mag_mask_ = (1u << mag_bits_) - 1;
+  mul_sign_mask_ = cfg_.mul_fmt.sign_mask();
+
+  if (cfg_.mul_fmt.width() <= kMaxTableWidth) {
+    const TableKey key{cfg_.mul_fmt.exp_bits, cfg_.mul_fmt.man_bits,
+                       cfg_.acc_fmt.exp_bits, cfg_.acc_fmt.man_bits,
+                       cfg_.subnormals};
+    {
+      std::lock_guard<std::mutex> lk(g_table_mutex);
+      for (const auto& [k, tab] : g_tables) {
+        if (k == key) {
+          table_ = tab;
+          break;
+        }
+      }
+    }
+    if (!table_) {
+      // Build outside the lock (idempotent: a racing builder produces an
+      // identical table and the registry just keeps whichever lands first).
+      const size_t n = size_t{1} << (2 * mag_bits_);
+      auto tab = std::make_shared<std::vector<MacAddend>>(n);
+      for (uint32_t ma = 0; ma <= mag_mask_; ++ma) {
+        for (uint32_t mb = 0; mb <= mag_mask_; ++mb) {
+          const Unpacked u = addend_slow(ma, mb);
+          MacAddend& e = (*tab)[(size_t{ma} << mag_bits_) | mb];
+          e.sig = static_cast<uint32_t>(u.sig);
+          e.exp = static_cast<int16_t>(u.exp);
+          e.cls = static_cast<uint8_t>(u.cls);
+          e.sign_sensitive = u.cls == FpClass::kNaN ? 0 : 1;
+        }
+      }
+      std::lock_guard<std::mutex> lk(g_table_mutex);
+      bool found = false;
+      for (const auto& [k, existing] : g_tables) {
+        if (k == key) {
+          table_ = existing;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        g_tables.emplace_back(key, tab);
+        table_ = std::move(tab);
+      }
+    }
+  }
+
+  // The vectorized chain covers the eager-SR table path (the paper's
+  // reference configuration and the training hot spot); everything else
+  // runs the scalar lockstep groups.
+  use_avx512_ = cfg_.adder == AdderKind::kEagerSR && table_ != nullptr &&
+                mac_kernel_avx512_supported();
+  group_width_ = use_avx512_ ? 16 : kLanes;
+}
+
+Unpacked FusedMacKernel::addend_slow(uint32_t a, uint32_t b) const {
+  const uint32_t prod = multiply_exact(cfg_.mul_fmt, a, b);
+  const uint32_t bits =
+      direct_ ? prod
+              : SoftFloat::convert(prod_fmt_, prod, cfg_.acc_fmt,
+                                   RoundingMode::kNearestEven);
+  return decode(cfg_.acc_fmt, bits);
+}
+
+Unpacked FusedMacKernel::addend_from_table(uint32_t a, uint32_t b) const {
+  const MacAddend& e =
+      (*table_)[(size_t{a & mag_mask_} << mag_bits_) | (b & mag_mask_)];
+  Unpacked u;
+  u.sig = e.sig;
+  u.exp = e.exp;
+  u.sig_bits = cfg_.acc_fmt.precision();
+  u.cls = static_cast<FpClass>(e.cls);
+  u.sign = e.sign_sensitive != 0 && ((a ^ b) & mul_sign_mask_) != 0;
+  return u;
+}
+
+Unpacked FusedMacKernel::addend(uint32_t a, uint32_t b) const {
+  return table_ ? addend_from_table(a, b) : addend_slow(a, b);
+}
+
+template <AdderKind kKind, bool kTable>
+void FusedMacKernel::chain_impl(Unpacked& acc, const uint32_t* a,
+                                const uint32_t* b, int n,
+                                const uint64_t* rand) const {
+  const AddParams ap = params_;
+  for (int i = 0; i < n; ++i) {
+    const Unpacked ad =
+        kTable ? addend_from_table(a[i], b[i]) : addend_slow(a[i], b[i]);
+    if constexpr (kKind == AdderKind::kRoundNearest) {
+      acc = add_rn_core(ap, acc, ad, nullptr);
+    } else if constexpr (kKind == AdderKind::kLazySR) {
+      acc = add_lazy_sr_core(ap, acc, ad, rand[i], nullptr);
+    } else {
+      acc = add_eager_sr_core(ap, acc, ad, rand[i], nullptr);
+    }
+  }
+}
+
+template <AdderKind kKind, bool kTable>
+void FusedMacKernel::chain_group_impl(Unpacked* acc, const uint32_t* a,
+                                      const uint32_t* b_ilv, int n,
+                                      const uint64_t* rand_ilv) const {
+  static_assert(kLanes == 4);
+  const AddParams ap = params_;
+  // Named lane state (not an array): GCC's scalar replacement runs before
+  // loop unrolling, so an indexed array would pin every accumulator to the
+  // stack; named locals keep the four chains in registers.
+  const MacAddend* tab = kTable ? table_->data() : nullptr;
+  const int mag_bits = mag_bits_;
+  const uint32_t mag_mask = mag_mask_;
+  const uint32_t smask = mul_sign_mask_;
+  const int acc_p = cfg_.acc_fmt.precision();
+  const auto make_addend = [&](uint32_t av, uint32_t bv) -> Unpacked {
+    if constexpr (kTable) {
+      const MacAddend e =
+          tab[(size_t{av & mag_mask} << mag_bits) | (bv & mag_mask)];
+      Unpacked u;
+      u.sig = e.sig;
+      u.exp = e.exp;
+      u.sig_bits = acc_p;
+      u.cls = static_cast<FpClass>(e.cls);
+      u.sign = e.sign_sensitive != 0 && ((av ^ bv) & smask) != 0;
+      return u;
+    } else {
+      return addend_slow(av, bv);
+    }
+  };
+  const auto step = [&](const Unpacked& la, uint32_t ai, uint32_t bi,
+                        uint64_t ri) -> Unpacked {
+    const Unpacked ad = make_addend(ai, bi);
+    if constexpr (kKind == AdderKind::kRoundNearest) {
+      (void)ri;
+      return add_rn_core(ap, la, ad, nullptr);
+    } else if constexpr (kKind == AdderKind::kLazySR) {
+      return add_lazy_sr_core(ap, la, ad, ri, nullptr);
+    } else {
+      return add_eager_sr_core(ap, la, ad, ri, nullptr);
+    }
+  };
+
+  Unpacked l0 = acc[0], l1 = acc[1], l2 = acc[2], l3 = acc[3];
+  const bool rnd = kKind != AdderKind::kRoundNearest;
+  for (int i = 0; i < n; ++i) {
+    const uint32_t ai = a[i];
+    const uint32_t* bi = b_ilv + static_cast<size_t>(i) * kLanes;
+    const uint64_t* ri = rnd ? rand_ilv + static_cast<size_t>(i) * kLanes
+                             : rand_ilv;
+    l0 = step(l0, ai, bi[0], rnd ? ri[0] : 0);
+    l1 = step(l1, ai, bi[1], rnd ? ri[1] : 0);
+    l2 = step(l2, ai, bi[2], rnd ? ri[2] : 0);
+    l3 = step(l3, ai, bi[3], rnd ? ri[3] : 0);
+  }
+  acc[0] = l0;
+  acc[1] = l1;
+  acc[2] = l2;
+  acc[3] = l3;
+}
+
+void FusedMacKernel::chain_group(Unpacked* acc, const uint32_t* a,
+                                 const uint32_t* b_ilv, int n,
+                                 const uint64_t* rand_ilv) const {
+  if (use_avx512_) {
+    chain_group_avx512_eager(*this, acc, a, b_ilv, n, rand_ilv);
+    return;
+  }
+  const bool tab = table_ != nullptr;
+  switch (cfg_.adder) {
+    case AdderKind::kRoundNearest:
+      tab ? chain_group_impl<AdderKind::kRoundNearest, true>(acc, a, b_ilv, n,
+                                                             rand_ilv)
+          : chain_group_impl<AdderKind::kRoundNearest, false>(acc, a, b_ilv, n,
+                                                              rand_ilv);
+      break;
+    case AdderKind::kLazySR:
+      tab ? chain_group_impl<AdderKind::kLazySR, true>(acc, a, b_ilv, n,
+                                                       rand_ilv)
+          : chain_group_impl<AdderKind::kLazySR, false>(acc, a, b_ilv, n,
+                                                        rand_ilv);
+      break;
+    case AdderKind::kEagerSR:
+      tab ? chain_group_impl<AdderKind::kEagerSR, true>(acc, a, b_ilv, n,
+                                                        rand_ilv)
+          : chain_group_impl<AdderKind::kEagerSR, false>(acc, a, b_ilv, n,
+                                                         rand_ilv);
+      break;
+  }
+}
+
+void FusedMacKernel::chain(Unpacked& acc, const uint32_t* a, const uint32_t* b,
+                           int n, const uint64_t* rand) const {
+  const bool tab = table_ != nullptr;
+  switch (cfg_.adder) {
+    case AdderKind::kRoundNearest:
+      tab ? chain_impl<AdderKind::kRoundNearest, true>(acc, a, b, n, rand)
+          : chain_impl<AdderKind::kRoundNearest, false>(acc, a, b, n, rand);
+      break;
+    case AdderKind::kLazySR:
+      tab ? chain_impl<AdderKind::kLazySR, true>(acc, a, b, n, rand)
+          : chain_impl<AdderKind::kLazySR, false>(acc, a, b, n, rand);
+      break;
+    case AdderKind::kEagerSR:
+      tab ? chain_impl<AdderKind::kEagerSR, true>(acc, a, b, n, rand)
+          : chain_impl<AdderKind::kEagerSR, false>(acc, a, b, n, rand);
+      break;
+  }
+}
+
+}  // namespace srmac

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fpemu/value.hpp"
+#include "mac/adder_common.hpp"
+#include "mac/mac_config.hpp"
+
+namespace srmac {
+
+/// Fused high-throughput emulation of one MAC accumulation chain.
+///
+/// MacUnit::step pays four costs per accumulation that this kernel
+/// eliminates while staying bit-identical (the adders' decoded cores are
+/// the *same code* both paths run through):
+///
+///  1. The accumulator is packed into acc_fmt bits after every add and
+///     decoded again by the next one. Here it stays decoded (Unpacked)
+///     across the whole K-chain; packing happens once at the end. The
+///     per-step rounding points are unchanged — every add still rounds in
+///     acc_fmt through the configured adder core.
+///  2. The exact multiply + RN conversion into acc_fmt is a pure function
+///     of the two operand bit patterns. For FP8-class multiplier formats
+///     (width <= 9) it is precomputed into a magnitude-indexed table of
+///     decoded addends, built once per (mul_fmt, acc_fmt, subnormals)
+///     triple and shared process-wide.
+///  3. Random words are consumed from a caller-filled buffer (bulk LFSR
+///     fill) instead of one virtual RandomSource::draw per step.
+///  4. The adder-kind dispatch is hoisted out of the k-loop.
+struct MacAddend {
+  uint32_t sig = 0;
+  int16_t exp = 0;
+  uint8_t cls = 0;            ///< FpClass of the addend
+  uint8_t sign_sensitive = 0; ///< 0 only for NaN (canonical sign false)
+};
+
+class FusedMacKernel {
+ public:
+  /// `cfg` is normalized by the constructor; the table (when the multiplier
+  /// format is narrow enough) is fetched from the process-wide cache.
+  explicit FusedMacKernel(const MacConfig& cfg);
+
+  const MacConfig& config() const { return cfg_; }
+  bool has_table() const { return table_ != nullptr; }
+  /// True for the SR adders: chain() then needs one random word per step.
+  bool needs_rand() const { return cfg_.adder != AdderKind::kRoundNearest; }
+  /// LFSR register width matching MacUnit's (max(4, normalized r)).
+  int lfsr_width() const { return cfg_.random_bits < 4 ? 4 : cfg_.random_bits; }
+
+  /// The decoded addend the adder sees for operand bits (a, b) in
+  /// cfg.mul_fmt: decode(acc_fmt, convert(multiply_exact(a, b))), exactly
+  /// as MacUnit::step computes it.
+  Unpacked addend(uint32_t a, uint32_t b) const;
+
+  /// Runs acc <- acc (+) a[i]*b[i] for i in [0, n), with the accumulator
+  /// held decoded. `rand` must hold n random words (one per step, as drawn
+  /// by MacUnit's LFSR) for the SR adders; it is ignored under RN.
+  void chain(Unpacked& acc, const uint32_t* a, const uint32_t* b, int n,
+             const uint64_t* rand) const;
+
+  /// Lanes per scalar lockstep subgroup. Each accumulation chain is a
+  /// serial dependency (acc -> next add, ~30 cycles); interleaving
+  /// independent output elements fills the pipeline between those chains.
+  static constexpr int kLanes = 4;
+
+  /// Output elements processed together by chain_group: 4 on the scalar
+  /// path, 16 (two 8-wide zmm register groups) when the AVX-512 eager
+  /// kernel is active. The GEMM packs B panels and random words
+  /// group-interleaved at this width.
+  int group_width() const { return group_width_; }
+
+  /// Runs group_width() independent chains over a shared A stream:
+  /// acc[l] <- acc[l] (+) a[i] * b_ilv[i*G + l], with per-lane random words
+  /// rand_ilv[i*G + l] (G = group_width()). Bit-identical to G separate
+  /// chain() calls.
+  void chain_group(Unpacked* acc, const uint32_t* a, const uint32_t* b_ilv,
+                   int n, const uint64_t* rand_ilv) const;
+
+ private:
+  template <AdderKind kKind, bool kTable>
+  void chain_impl(Unpacked& acc, const uint32_t* a, const uint32_t* b, int n,
+                  const uint64_t* rand) const;
+
+  template <AdderKind kKind, bool kTable>
+  void chain_group_impl(Unpacked* acc, const uint32_t* a,
+                        const uint32_t* b_ilv, int n,
+                        const uint64_t* rand_ilv) const;
+
+  Unpacked addend_slow(uint32_t a, uint32_t b) const;
+  Unpacked addend_from_table(uint32_t a, uint32_t b) const;
+
+  friend void chain_group_avx512_eager(const FusedMacKernel& kernel,
+                                       Unpacked* acc, const uint32_t* a,
+                                       const uint32_t* b_ilv, int n,
+                                       const uint64_t* rand_ilv);
+
+  int group_width_ = kLanes;
+  bool use_avx512_ = false;
+
+  MacConfig cfg_;
+  AddParams params_;  ///< precomputed (acc_fmt, r) adder constants
+  FpFormat prod_fmt_;
+  bool direct_ = false;  ///< product bits feed the adder without conversion
+  std::shared_ptr<const std::vector<MacAddend>> table_;
+  int mag_bits_ = 0;       ///< magnitude field width of mul_fmt
+  uint32_t mag_mask_ = 0;
+  uint32_t mul_sign_mask_ = 0;
+};
+
+}  // namespace srmac

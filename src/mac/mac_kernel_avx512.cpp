@@ -1,0 +1,296 @@
+// AVX-512 implementation of the fused eager-SR accumulation chain.
+//
+// Sixteen independent output chains run in lockstep: two groups of eight
+// 64-bit lanes (zmm), interleaved so each group's serial add latency hides
+// behind the other's work. The vector step is a lane-parallel transcription
+// of add_eager_sr_core's hot path; every rare event — non-finite or zero
+// operands, exact cancellation, a subnormal (emin) cut, overflow past emax —
+// raises a lane mask and is replayed through the *scalar* core for exactly
+// those lanes, so the vector path is bit-identical to the scalar engine by
+// construction (and is covered by the same bit-exactness suite).
+//
+// Lanes whose accumulator is not finite-nonzero (zero at chain start, NaN /
+// Inf after saturation) are "parked": held as decoded Unpacked values at
+// the side and stepped through the scalar core until they re-enter the
+// finite range, at which point they are folded back into the vectors.
+#include "mac/mac_kernel.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+// GCC's AVX-512 intrinsic wrappers pass self-initialized dummy operands to
+// the masked builtins, tripping -Wmaybe-uninitialized at -O3 (GCC bug
+// 105593). Header-internal false positive; silence it for this TU only.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#include <immintrin.h>
+
+#include "mac/adder_eager_sr.hpp"
+
+namespace srmac {
+
+bool mac_kernel_avx512_supported() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512cd");
+}
+
+namespace {
+
+struct alignas(64) LaneArrays {
+  int64_t sig[16];
+  int64_t exp[16];
+  int64_t sign[16];
+};
+
+}  // namespace
+
+__attribute__((target("avx512f,avx512cd"))) void chain_group_avx512_eager(
+    const FusedMacKernel& kernel, Unpacked* acc, const uint32_t* a,
+    const uint32_t* b_ilv, int n, const uint64_t* rand_ilv) {
+  constexpr int G = 16;
+  const AddParams ap = kernel.params_;
+  const MacAddend* tab = kernel.table_->data();
+  const int p = ap.p;
+  const int r = ap.r;
+  const int w1 = kernel.cfg_.mul_fmt.width() - 1;  // sign bit position
+
+  // Broadcast constants.
+  const __m512i vzero64 = _mm512_setzero_si512();
+  const __m512i vone = _mm512_set1_epi64(1);
+  const __m512i v63 = _mm512_set1_epi64(63);
+  const __m512i vp = _mm512_set1_epi64(p);
+  const __m512i vr1 = _mm512_set1_epi64(r - 1);
+  const __m512i vemin = _mm512_set1_epi64(ap.emin);
+  const __m512i vemax = _mm512_set1_epi64(ap.fmt.emax());
+  const __m512i vmask_p = _mm512_set1_epi64(static_cast<int64_t>(ap.mask_p));
+  const __m512i vmask_p1 = _mm512_set1_epi64(static_cast<int64_t>(ap.mask_p1));
+  const __m512i vmask_r = _mm512_set1_epi64(static_cast<int64_t>(ap.mask_r));
+  const __m512i vmask_rm1 =
+      _mm512_set1_epi64(static_cast<int64_t>(ap.mask_rm1));
+  const __m512i vmask_rm2 =
+      _mm512_set1_epi64(static_cast<int64_t>(ap.mask_rm2));
+  const __m512i vmask32 = _mm512_set1_epi64(0xffffffffll);
+  const __m512i vmagmask = _mm512_set1_epi64(kernel.mag_mask_);
+  const __m128i cnt_r = _mm_cvtsi32_si128(r);
+  const __m128i cnt_r1 = _mm_cvtsi32_si128(r - 1);
+  const __m128i cnt_p = _mm_cvtsi32_si128(p);
+  const __m128i cnt_p1 = _mm_cvtsi32_si128(p + 1);
+  const __m128i cnt_w1 = _mm_cvtsi32_si128(w1);
+
+  // Lane state: vectors hold unparked (finite-nonzero) accumulators;
+  // `spare` holds the decoded value of parked lanes.
+  LaneArrays la;
+  Unpacked spare[G];
+  uint32_t parked = 0;
+  for (int l = 0; l < G; ++l) {
+    spare[l] = acc[l];
+    if (acc[l].is_finite_nonzero()) {
+      la.sig[l] = static_cast<int64_t>(acc[l].sig);
+      la.exp[l] = acc[l].exp;
+      la.sign[l] = acc[l].sign ? 1 : 0;
+    } else {
+      la.sig[l] = la.exp[l] = la.sign[l] = 0;
+      parked |= 1u << l;
+    }
+  }
+  __m512i gsig[2], gexp[2], gsign[2];
+  for (int g = 0; g < 2; ++g) {
+    gsig[g] = _mm512_load_si512(la.sig + 8 * g);
+    gexp[g] = _mm512_load_si512(la.exp + 8 * g);
+    gsign[g] = _mm512_load_si512(la.sign + 8 * g);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const uint32_t ai = a[i];
+    const int64_t abase = static_cast<int64_t>(
+        static_cast<uint64_t>(ai & kernel.mag_mask_) << kernel.mag_bits_);
+    const __m512i vabase = _mm512_set1_epi64(abase);
+    const __m512i vasign =
+        _mm512_set1_epi64(static_cast<int64_t>((ai >> w1) & 1u));
+
+    __m512i nsig[2], nexp[2], nsign[2];
+    uint32_t bad = parked;
+    for (int g = 0; g < 2; ++g) {
+      // ---- addend: gather the pre-decoded product, apply the sign -------
+      const __m256i b32 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          b_ilv + static_cast<size_t>(i) * G + 8 * g));
+      const __m512i bq = _mm512_cvtepu32_epi64(b32);
+      const __m512i idx =
+          _mm512_or_si512(vabase, _mm512_and_si512(bq, vmagmask));
+      const __m512i e = _mm512_i64gather_epi64(idx, tab, 8);
+      const __m512i dsig = _mm512_and_si512(e, vmask32);
+      const __m512i dexp =
+          _mm512_srai_epi64(_mm512_slli_epi64(e, 16), 48);
+      const __m512i dcls =
+          _mm512_and_si512(_mm512_srli_epi64(e, 48), _mm512_set1_epi64(0xff));
+      // finite-nonzero addend: cls in {kSubnormal=1, kNormal=2}
+      const __mmask8 dbad = _mm512_cmpgt_epu64_mask(
+          _mm512_sub_epi64(dcls, vone), vone);
+      const __m512i bsign =
+          _mm512_and_si512(_mm512_srl_epi64(bq, cnt_w1), vone);
+      const __m512i dsign = _mm512_and_si512(
+          _mm512_srli_epi64(e, 56), _mm512_xor_si512(vasign, bsign));
+
+      // ---- random word --------------------------------------------------
+      const __m512i R = _mm512_and_si512(
+          _mm512_loadu_si512(rand_ilv + static_cast<size_t>(i) * G + 8 * g),
+          vmask_r);
+
+      // ---- prepare: magnitude swap, effective op (branch-free) ----------
+      const __mmask8 keq = _mm512_cmpeq_epi64_mask(dexp, gexp[g]);
+      const __mmask8 swap = static_cast<__mmask8>(
+          _mm512_cmpgt_epi64_mask(dexp, gexp[g]) |
+          (keq & _mm512_cmpgt_epi64_mask(dsig, gsig[g])));
+      const __m512i psign = _mm512_mask_blend_epi64(swap, gsign[g], dsign);
+      const __m512i x = _mm512_mask_blend_epi64(swap, gsig[g], dsig);
+      const __m512i y = _mm512_mask_blend_epi64(swap, dsig, gsig[g]);
+      const __m512i exph = _mm512_mask_blend_epi64(swap, gexp[g], dexp);
+      const __m512i d = _mm512_abs_epi64(_mm512_sub_epi64(gexp[g], dexp));
+      const __m512i op = _mm512_xor_si512(gsign[g], dsign);
+      const __m512i opm = _mm512_sub_epi64(vzero64, op);
+
+      // ---- alignment (variable shifts zero out for d >= 64) -------------
+      const __m512i yk =
+          _mm512_srlv_epi64(_mm512_sll_epi64(y, cnt_r), d);
+      const __m512i Bhi = _mm512_srl_epi64(yk, cnt_r1);
+      const __m512i D = _mm512_and_si512(yk, vmask_rm1);
+
+      // ---- sticky-round stage -------------------------------------------
+      const __m512i Rlow = _mm512_and_si512(R, vmask_rm2);
+      const __m512i Dc =
+          _mm512_and_si512(_mm512_xor_si512(D, opm), vmask_rm1);
+      const __m512i u = _mm512_add_epi64(
+          _mm512_add_epi64(Dc, _mm512_slli_epi64(Rlow, 1)), op);
+      const __m512i S1 = _mm512_and_si512(_mm512_srl_epi64(u, cnt_r1), vone);
+
+      // ---- main addition + normalization --------------------------------
+      const __m512i Bc =
+          _mm512_and_si512(_mm512_xor_si512(Bhi, opm), vmask_p1);
+      const __m512i full = _mm512_add_epi64(
+          _mm512_add_epi64(_mm512_slli_epi64(x, 1), Bc), S1);
+      const __m512i v =
+          _mm512_andnot_si512(_mm512_sll_epi64(opm, cnt_p1), full);
+      const __mmask8 vzerom = _mm512_cmpeq_epi64_mask(v, vzero64);
+      const __m512i msb = _mm512_sub_epi64(v63, _mm512_lzcnt_epi64(v));
+      const __m512i s = _mm512_sub_epi64(msb, vp);
+      const __mmask8 sneg = _mm512_cmpgt_epi64_mask(vzero64, s);
+
+      // ---- round correction (unified s >= 0 arm; LZD arm blended) -------
+      const __m512i sp1 = _mm512_add_epi64(s, vone);
+      const __m512i kept_pos =
+          _mm512_and_si512(_mm512_srlv_epi64(v, sp1), vmask_p);
+      const __m512i t = _mm512_and_si512(
+          v, _mm512_sub_epi64(_mm512_sllv_epi64(vone, sp1), vone));
+      const __m512i rc_pos = _mm512_srlv_epi64(
+          _mm512_add_epi64(t, _mm512_srlv_epi64(R, _mm512_sub_epi64(vr1, s))),
+          sp1);
+      const __m512i lzm1 =
+          _mm512_sub_epi64(_mm512_sub_epi64(vzero64, s), vone);
+      const __m512i kept_neg =
+          _mm512_and_si512(_mm512_sllv_epi64(v, lzm1), vmask_p);
+      __m512i kept = _mm512_mask_blend_epi64(sneg, kept_pos, kept_neg);
+      const __m512i rc =
+          _mm512_maskz_mov_epi64(static_cast<__mmask8>(~sneg), rc_pos);
+      __m512i expz = _mm512_add_epi64(exph, s);
+      const __mmask8 eminm = _mm512_cmpgt_epi64_mask(vemin, expz);
+      kept = _mm512_add_epi64(kept, rc);
+      const __m512i bin = _mm512_srl_epi64(kept, cnt_p);
+      kept = _mm512_srlv_epi64(kept, bin);
+      expz = _mm512_add_epi64(expz, bin);
+      const __mmask8 emaxm = _mm512_cmpgt_epi64_mask(expz, vemax);
+
+      const __mmask8 badg =
+          static_cast<__mmask8>(dbad | vzerom | eminm | emaxm);
+      bad |= static_cast<uint32_t>(badg) << (8 * g);
+
+      // Commit the vector result on clean lanes; bad lanes keep the old
+      // accumulator and are replayed through the scalar core below.
+      const __mmask8 keep =
+          static_cast<__mmask8>(badg | (parked >> (8 * g)));
+      nsig[g] = _mm512_mask_mov_epi64(kept, keep, gsig[g]);
+      nexp[g] = _mm512_mask_mov_epi64(expz, keep, gexp[g]);
+      nsign[g] = _mm512_mask_mov_epi64(psign, keep, gsign[g]);
+    }
+
+    if (bad != 0) [[unlikely]] {
+      // Scalar replay for flagged lanes, through the exact same decoded
+      // core the scalar engine runs.
+      for (int g = 0; g < 2; ++g) {
+        _mm512_store_si512(la.sig + 8 * g, nsig[g]);
+        _mm512_store_si512(la.exp + 8 * g, nexp[g]);
+        _mm512_store_si512(la.sign + 8 * g, nsign[g]);
+      }
+      for (int l = 0; l < G; ++l) {
+        if (!(bad & (1u << l))) continue;
+        Unpacked cur;
+        if (parked & (1u << l)) {
+          cur = spare[l];
+        } else {
+          cur.sig = static_cast<uint64_t>(la.sig[l]);
+          cur.exp = static_cast<int>(la.exp[l]);
+          cur.sign = la.sign[l] != 0;
+          cur.sig_bits = p;
+          cur.cls =
+              cur.exp >= ap.emin ? FpClass::kNormal : FpClass::kSubnormal;
+        }
+        const Unpacked ad =
+            kernel.addend(ai, b_ilv[static_cast<size_t>(i) * G + l]);
+        const Unpacked res = add_eager_sr_core(
+            ap, cur, ad, rand_ilv[static_cast<size_t>(i) * G + l], nullptr);
+        if (res.is_finite_nonzero()) {
+          la.sig[l] = static_cast<int64_t>(res.sig);
+          la.exp[l] = res.exp;
+          la.sign[l] = res.sign ? 1 : 0;
+          parked &= ~(1u << l);
+        } else {
+          spare[l] = res;
+          parked |= 1u << l;
+        }
+      }
+      for (int g = 0; g < 2; ++g) {
+        nsig[g] = _mm512_load_si512(la.sig + 8 * g);
+        nexp[g] = _mm512_load_si512(la.exp + 8 * g);
+        nsign[g] = _mm512_load_si512(la.sign + 8 * g);
+      }
+    }
+    gsig[0] = nsig[0];
+    gsig[1] = nsig[1];
+    gexp[0] = nexp[0];
+    gexp[1] = nexp[1];
+    gsign[0] = nsign[0];
+    gsign[1] = nsign[1];
+  }
+
+  for (int g = 0; g < 2; ++g) {
+    _mm512_store_si512(la.sig + 8 * g, gsig[g]);
+    _mm512_store_si512(la.exp + 8 * g, gexp[g]);
+    _mm512_store_si512(la.sign + 8 * g, gsign[g]);
+  }
+  for (int l = 0; l < G; ++l) {
+    if (parked & (1u << l)) {
+      acc[l] = spare[l];
+    } else {
+      acc[l].sig = static_cast<uint64_t>(la.sig[l]);
+      acc[l].exp = static_cast<int>(la.exp[l]);
+      acc[l].sign = la.sign[l] != 0;
+      acc[l].sig_bits = p;
+      acc[l].cls =
+          acc[l].exp >= ap.emin ? FpClass::kNormal : FpClass::kSubnormal;
+    }
+  }
+}
+
+}  // namespace srmac
+
+#else  // !x86-64
+
+namespace srmac {
+
+bool mac_kernel_avx512_supported() { return false; }
+
+void chain_group_avx512_eager(const FusedMacKernel&, Unpacked*,
+                              const uint32_t*, const uint32_t*, int,
+                              const uint64_t*) {}
+
+}  // namespace srmac
+
+#endif

@@ -13,7 +13,7 @@ namespace srmac {
 MacUnit::MacUnit(const MacConfig& cfg, uint64_t lfsr_seed)
     : cfg_(cfg.normalized()),
       prod_fmt_(product_format(cfg_.mul_fmt)),
-      lfsr_(std::max(4, cfg.random_bits), lfsr_seed) {
+      lfsr_(std::max(4, cfg_.random_bits), lfsr_seed) {
   widening_exact_ = cfg_.acc_fmt.exp_bits >= prod_fmt_.exp_bits &&
                     cfg_.acc_fmt.man_bits >= prod_fmt_.man_bits;
   acc_ = encode_zero(cfg_.acc_fmt, false);

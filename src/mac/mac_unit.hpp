@@ -33,6 +33,8 @@ class MacUnit {
 
   const MacConfig& config() const { return cfg_; }
   const AdderTrace& last_trace() const { return trace_; }
+  /// Register width of the per-unit LFSR (max(4, normalized random_bits)).
+  int lfsr_width() const { return lfsr_.width(); }
 
   /// Stateless single addition in the configured adder (exposed for tests
   /// and the Sec. III-B harness).

@@ -22,7 +22,7 @@ uint32_t multiply_exact(const FpFormat& in, uint32_t a, uint32_t b) {
 
   // Exact significand product: p_m x p_m -> at most 2*p_m bits, which is
   // exactly the output precision p_a. One normalization shift at most.
-  const int pm = in.precision();
+  [[maybe_unused]] const int pm = in.precision();
   const int pa = out.precision();
   assert(pa == 2 * pm);
   uint64_t prod = ua.sig * ub.sig;  // in [2^(2pm-2), 2^(2pm))

@@ -4,9 +4,56 @@
 #include <cassert>
 #include <cmath>
 
+#include "fpemu/softfloat.hpp"
+#include "mac/gemm.hpp"
 #include "tensor/im2col.hpp"
+#include "util/thread_pool.hpp"
 
 namespace srmac {
+
+// -------------------------- WeightQuantCache -------------------------------
+
+const std::vector<uint32_t>& WeightQuantCache::get(const Param& p,
+                                                   const FpFormat& fmt,
+                                                   bool transposed) {
+  assert(p.value.ndim() == 2);
+  const int rows = p.value.dim(0), cols = p.value.dim(1);
+  Plane* plane = nullptr;
+  for (Plane& pl : planes_) {
+    if (pl.fmt == fmt && pl.transposed == transposed) {
+      plane = &pl;
+      break;
+    }
+  }
+  if (!plane) {
+    planes_.push_back(Plane{fmt, transposed, 0, nullptr, {}});
+    plane = &planes_.back();  // deque: stable across later push_backs
+  } else if (plane->version == p.version && plane->data == p.value.data()) {
+    return plane->bits;
+  }
+  plane->version = p.version;
+  plane->data = p.value.data();
+  plane->bits.resize(static_cast<size_t>(rows) * cols);
+  // Quantization is elementwise, so transposing the quantized plane equals
+  // quantizing the transpose — the backward GEMMs reuse the same cache.
+  // This recurs once per optimizer step per format; split it across the
+  // pool like every other quantization pass.
+  if (transposed) {
+    uint32_t* bits = plane->bits.data();
+    ThreadPool::global().parallel_for(
+        0, rows,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i)
+            for (int j = 0; j < cols; ++j)
+              bits[static_cast<size_t>(j) * rows + i] =
+                  SoftFloat::from_double(fmt, p.value.at(static_cast<int>(i), j));
+        },
+        /*max_threads=*/0, /*grain=*/16);
+  } else {
+    gemm_quantize(fmt, rows, cols, p.value.data(), cols, plane->bits.data());
+  }
+  return plane->bits;
+}
 
 // ------------------------------- Conv2d ------------------------------------
 
@@ -22,6 +69,26 @@ Conv2d::Conv2d(int in_ch, int out_ch, int k, int stride, int pad)
   w_.momentum = Tensor({out_ch, in_ch * k * k});
 }
 
+void Conv2d::build_cols(const ComputeContext& ctx, const Tensor& x, int oh,
+                        int ow) {
+  const int N = x.dim(0), H = x.dim(2), W = x.dim(3);
+  const int K = in_ch_ * k_ * k_;
+  const int64_t L = static_cast<int64_t>(oh) * ow;
+  cols_.resize(static_cast<size_t>(K) * N * L);  // grows once, then reused
+  // im2col writes each sample's rows directly into the batched panel
+  // (row pitch N*L), so there is no per-sample staging copy; samples are
+  // independent, so the batch splits across the pool.
+  ThreadPool::global().parallel_for(
+      0, N,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t n = lo; n < hi; ++n)
+          im2col(x.data() + static_cast<size_t>(n) * in_ch_ * H * W, in_ch_,
+                 H, W, k_, k_, stride_, pad_, cols_.data() + n * L,
+                 /*row_stride=*/static_cast<int64_t>(N) * L);
+      },
+      ctx.threads);
+}
+
 Tensor Conv2d::forward(const ComputeContext& ctx, const Tensor& x,
                        bool training) {
   assert(x.ndim() == 4 && x.dim(1) == in_ch_);
@@ -33,19 +100,17 @@ Tensor Conv2d::forward(const ComputeContext& ctx, const Tensor& x,
 
   if (training) x_cache_ = x;
 
-  // One batched GEMM: cols_all is K x (N*L); out = W * cols_all.
-  Tensor cols({K, N * L});
-  std::vector<float> tmp(static_cast<size_t>(K) * L);
-  for (int n = 0; n < N; ++n) {
-    im2col(x.data() + static_cast<size_t>(n) * in_ch_ * H * W, in_ch_, H, W,
-           k_, k_, stride_, pad_, tmp.data());
-    for (int r = 0; r < K; ++r)
-      std::copy_n(tmp.data() + static_cast<size_t>(r) * L, L,
-                  cols.data() + (static_cast<size_t>(r) * N + n) * L);
-  }
+  // One batched GEMM: cols_ is K x (N*L); out = W * cols_.
+  build_cols(ctx, x, oh, ow);
   Tensor out_flat({out_ch_, N * L});
-  matmul(ctx, out_ch_, N * L, K, w_.value.data(), cols.data(),
-         out_flat.data());
+  if (ctx.bit_accurate) {
+    const auto& wq = wq_.get(w_, ctx.quant_fmt(), /*transposed=*/false);
+    matmul_qa(ctx, out_ch_, N * L, K, wq.data(), cols_.data(),
+              out_flat.data());
+  } else {
+    matmul(ctx, out_ch_, N * L, K, w_.value.data(), cols_.data(),
+           out_flat.data());
+  }
 
   // Reorder (out_ch, N, L) -> (N, out_ch, oh, ow).
   Tensor out({N, out_ch_, oh, ow});
@@ -63,16 +128,8 @@ Tensor Conv2d::backward(const ComputeContext& ctx, const Tensor& gout) {
   const int K = in_ch_ * k_ * k_;
   const int L = oh * ow;
 
-  // Rebuild cols_all (recompute trades memory for cache footprint).
-  Tensor cols({K, N * L});
-  std::vector<float> tmp(static_cast<size_t>(K) * L);
-  for (int n = 0; n < N; ++n) {
-    im2col(x.data() + static_cast<size_t>(n) * in_ch_ * H * W, in_ch_, H, W,
-           k_, k_, stride_, pad_, tmp.data());
-    for (int r = 0; r < K; ++r)
-      std::copy_n(tmp.data() + static_cast<size_t>(r) * L, L,
-                  cols.data() + (static_cast<size_t>(r) * N + n) * L);
-  }
+  // Rebuild cols_ (recompute trades memory for cache footprint).
+  build_cols(ctx, x, oh, ow);
   // gout as (out_ch, N*L).
   Tensor g_flat({out_ch_, N * L});
   for (int c = 0; c < out_ch_; ++c)
@@ -81,23 +138,31 @@ Tensor Conv2d::backward(const ComputeContext& ctx, const Tensor& gout) {
                   g_flat.data() + (static_cast<size_t>(c) * N + n) * L);
 
   // dW = gout * cols^T   (BWD weight-gradient GEMM).
-  matmul_nt(ctx.fork(1), out_ch_, K, N * L, g_flat.data(), cols.data(),
+  matmul_nt(ctx.fork(1), out_ch_, K, N * L, g_flat.data(), cols_.data(),
             w_.grad.data(), /*accumulate=*/true);
 
   // gcols = W^T * gout   (BWD data-gradient GEMM), then col2im.
+  const ComputeContext ctx_gx = ctx.fork(2);
   Tensor gcols({K, N * L});
-  matmul_tn(ctx.fork(2), K, N * L, out_ch_, w_.value.data(), g_flat.data(),
-            gcols.data());
-  Tensor gx({N, in_ch_, H, W});
-  std::vector<float> gimg(static_cast<size_t>(in_ch_) * H * W);
-  for (int n = 0; n < N; ++n) {
-    for (int r = 0; r < K; ++r)
-      std::copy_n(gcols.data() + (static_cast<size_t>(r) * N + n) * L, L,
-                  tmp.data() + static_cast<size_t>(r) * L);
-    col2im(tmp.data(), in_ch_, H, W, k_, k_, stride_, pad_, gimg.data());
-    std::copy_n(gimg.data(), gimg.size(),
-                gx.data() + static_cast<size_t>(n) * in_ch_ * H * W);
+  if (ctx_gx.bit_accurate) {
+    const auto& wqt = wq_.get(w_, ctx_gx.quant_fmt(), /*transposed=*/true);
+    matmul_qa(ctx_gx, K, N * L, out_ch_, wqt.data(), g_flat.data(),
+              gcols.data());
+  } else {
+    matmul_tn(ctx_gx, K, N * L, out_ch_, w_.value.data(), g_flat.data(),
+              gcols.data());
   }
+  Tensor gx({N, in_ch_, H, W});  // zero-initialized: col2im accumulates
+  ThreadPool::global().parallel_for(
+      0, N,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t n = lo; n < hi; ++n)
+          col2im_accumulate(gcols.data() + n * L, in_ch_, H, W, k_, k_,
+                            stride_, pad_,
+                            gx.data() + static_cast<size_t>(n) * in_ch_ * H * W,
+                            /*row_stride=*/static_cast<int64_t>(N) * L);
+      },
+      ctx.threads);
   return gx;
 }
 
@@ -121,7 +186,13 @@ Tensor Linear::forward(const ComputeContext& ctx, const Tensor& x,
   const int N = x.dim(0);
   if (training) x_cache_ = x;
   Tensor out({N, out_f_});
-  matmul_nt(ctx, N, out_f_, in_f_, x.data(), w_.value.data(), out.data());
+  if (ctx.bit_accurate) {
+    // B = W^T from the cached transposed weight plane.
+    const auto& wqt = wq_.get(w_, ctx.quant_fmt(), /*transposed=*/true);
+    matmul_qb(ctx, N, out_f_, in_f_, x.data(), wqt.data(), out.data());
+  } else {
+    matmul_nt(ctx, N, out_f_, in_f_, x.data(), w_.value.data(), out.data());
+  }
   for (int n = 0; n < N; ++n)
     for (int o = 0; o < out_f_; ++o) out.at(n, o) += b_.value[o];
   return out;
@@ -135,8 +206,13 @@ Tensor Linear::backward(const ComputeContext& ctx, const Tensor& gout) {
   for (int n = 0; n < N; ++n)
     for (int o = 0; o < out_f_; ++o) b_.grad[o] += gout.at(n, o);
   Tensor gx({N, in_f_});
-  matmul(ctx.fork(2), N, in_f_, out_f_, gout.data(), w_.value.data(),
-         gx.data());
+  const ComputeContext ctx_gx = ctx.fork(2);
+  if (ctx_gx.bit_accurate) {
+    const auto& wq = wq_.get(w_, ctx_gx.quant_fmt(), /*transposed=*/false);
+    matmul_qb(ctx_gx, N, in_f_, out_f_, gout.data(), wq.data(), gx.data());
+  } else {
+    matmul(ctx_gx, N, in_f_, out_f_, gout.data(), w_.value.data(), gx.data());
+  }
   return gx;
 }
 

@@ -17,9 +17,15 @@ class Conv2d : public Layer {
   Param& weight() { return w_; }
 
  private:
+  /// Rebuilds cols_ (K x N*L) from x through im2col, reusing the member
+  /// scratch buffers; parallel over the batch.
+  void build_cols(const ComputeContext& ctx, const Tensor& x, int oh, int ow);
+
   int in_ch_, out_ch_, k_, stride_, pad_;
   Param w_;        // (out_ch, in_ch*k*k)
   Tensor x_cache_; // input needed for dW
+  WeightQuantCache wq_;       // quantized weight planes (fwd + bwd formats)
+  std::vector<float> cols_;   // im2col scratch, reused across calls
 };
 
 /// Fully connected layer with bias.
@@ -39,6 +45,7 @@ class Linear : public Layer {
   int in_f_, out_f_;
   Param w_, b_;
   Tensor x_cache_;
+  WeightQuantCache wq_;  // quantized weight planes (fwd + bwd formats)
 };
 
 /// Batch normalization over (N, H, W) per channel. Pointwise math stays in

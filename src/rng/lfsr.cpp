@@ -59,4 +59,18 @@ uint64_t GaloisLfsr::draw(int bits) {
   return state_ & ((1ull << bits) - 1);
 }
 
+void GaloisLfsr::fill(std::span<uint64_t> out, int bits) {
+  const uint64_t bmask =
+      bits <= 0 ? 0 : (bits >= 64 ? ~0ull : ((1ull << bits) - 1));
+  uint64_t s = state_;
+  const uint64_t taps = taps_;
+  for (auto& w : out) {
+    const uint64_t lsb = s & 1ull;
+    s >>= 1;
+    if (lsb) s ^= taps;
+    w = s & bmask;
+  }
+  state_ = s;
+}
+
 }  // namespace srmac

@@ -27,6 +27,17 @@ class GaloisLfsr final : public RandomSource {
   /// Steps the register and returns its low `bits` bits.
   uint64_t draw(int bits) override;
 
+  /// Bulk draw without per-word virtual dispatch: identical word sequence
+  /// to repeated draw(bits) calls (one register step per word).
+  void fill(std::span<uint64_t> out, int bits) override;
+
+  /// Re-seeds the register in place (same nonzero-state rule as the
+  /// constructor), so one LFSR instance can serve many GEMM elements.
+  void reseed(uint64_t seed) {
+    state_ = seed & mask_;
+    if (state_ == 0) state_ = 1;
+  }
+
   uint64_t state() const { return state_; }
   int width() const { return width_; }
   /// Maximal-length feedback mask for `width` (taps as a bit mask).

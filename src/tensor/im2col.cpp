@@ -1,27 +1,94 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace srmac {
 
+namespace {
+
+/// First output index y with y*stride - pad + k >= 0 (clamped to [0, o]).
+inline int interior_begin(int pad, int k, int stride, int o) {
+  const int num = pad - k;
+  const int y = num <= 0 ? 0 : (num + stride - 1) / stride;
+  return std::min(y, o);
+}
+
+/// One past the last output index y with y*stride - pad + k < limit.
+inline int interior_end(int limit, int pad, int k, int stride, int o) {
+  const int num = limit + pad - k;  // need y*stride < num
+  const int y = num <= 0 ? 0 : (num - 1) / stride + 1;
+  return std::clamp(y, 0, o);
+}
+
+}  // namespace
+
 void im2col(const float* img, int C, int H, int W, int kh, int kw, int stride,
-            int pad, float* cols) {
+            int pad, float* cols, int64_t row_stride) {
   const int oh = conv_out_dim(H, kh, stride, pad);
   const int ow = conv_out_dim(W, kw, stride, pad);
-  const int cols_w = oh * ow;
   int row = 0;
   for (int c = 0; c < C; ++c) {
+    const float* src = img + static_cast<size_t>(c) * H * W;
     for (int ki = 0; ki < kh; ++ki) {
+      // Rows of the output with the source scanline in bounds.
+      const int y0 = interior_begin(pad, ki, stride, oh);
+      const int y1 = interior_end(H, pad, ki, stride, oh);
       for (int kj = 0; kj < kw; ++kj, ++row) {
-        float* out = cols + static_cast<size_t>(row) * cols_w;
-        for (int y = 0; y < oh; ++y) {
+        float* out = cols + static_cast<int64_t>(row) * row_stride;
+        const int x0 = interior_begin(pad, kj, stride, ow);
+        const int x1 = interior_end(W, pad, kj, stride, ow);
+        // Top / bottom padding rows are all zero.
+        if (y0 > 0)
+          std::memset(out, 0, sizeof(float) * static_cast<size_t>(y0) * ow);
+        if (y1 < oh)
+          std::memset(out + static_cast<size_t>(y1) * ow, 0,
+                      sizeof(float) * static_cast<size_t>(oh - y1) * ow);
+        for (int y = y0; y < y1; ++y) {
           const int iy = y * stride - pad + ki;
-          for (int x = 0; x < ow; ++x) {
-            const int ix = x * stride - pad + kj;
-            out[y * ow + x] =
-                (iy >= 0 && iy < H && ix >= 0 && ix < W)
-                    ? img[(static_cast<size_t>(c) * H + iy) * W + ix]
-                    : 0.0f;
+          const float* line = src + static_cast<size_t>(iy) * W;
+          float* dst = out + static_cast<size_t>(y) * ow;
+          // Left / right padding, then the in-bounds interior with no
+          // per-pixel bounds checks (memcpy when the window is dense).
+          for (int x = 0; x < x0; ++x) dst[x] = 0.0f;
+          if (stride == 1) {
+            std::memcpy(dst + x0, line + (x0 - pad + kj),
+                        sizeof(float) * static_cast<size_t>(x1 - x0));
+          } else {
+            const float* in = line + (static_cast<int64_t>(x0) * stride - pad + kj);
+            for (int x = x0; x < x1; ++x, in += stride) dst[x] = *in;
+          }
+          for (int x = x1; x < ow; ++x) dst[x] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void col2im_accumulate(const float* cols, int C, int H, int W, int kh, int kw,
+                       int stride, int pad, float* img, int64_t row_stride) {
+  const int oh = conv_out_dim(H, kh, stride, pad);
+  const int ow = conv_out_dim(W, kw, stride, pad);
+  int row = 0;
+  for (int c = 0; c < C; ++c) {
+    float* dst_ch = img + static_cast<size_t>(c) * H * W;
+    for (int ki = 0; ki < kh; ++ki) {
+      const int y0 = interior_begin(pad, ki, stride, oh);
+      const int y1 = interior_end(H, pad, ki, stride, oh);
+      for (int kj = 0; kj < kw; ++kj, ++row) {
+        const float* in = cols + static_cast<int64_t>(row) * row_stride;
+        const int x0 = interior_begin(pad, kj, stride, ow);
+        const int x1 = interior_end(W, pad, kj, stride, ow);
+        for (int y = y0; y < y1; ++y) {
+          const int iy = y * stride - pad + ki;
+          float* line = dst_ch + static_cast<size_t>(iy) * W;
+          const float* src = in + static_cast<size_t>(y) * ow;
+          if (stride == 1) {
+            float* out = line + (x0 - pad + kj);
+            for (int x = x0; x < x1; ++x) out[x - x0] += src[x];
+          } else {
+            float* out = line + (static_cast<int64_t>(x0) * stride - pad + kj);
+            for (int x = x0; x < x1; ++x, out += stride) *out += src[x];
           }
         }
       }
@@ -33,25 +100,9 @@ void col2im(const float* cols, int C, int H, int W, int kh, int kw, int stride,
             int pad, float* img) {
   const int oh = conv_out_dim(H, kh, stride, pad);
   const int ow = conv_out_dim(W, kw, stride, pad);
-  const int cols_w = oh * ow;
   std::memset(img, 0, sizeof(float) * static_cast<size_t>(C) * H * W);
-  int row = 0;
-  for (int c = 0; c < C; ++c) {
-    for (int ki = 0; ki < kh; ++ki) {
-      for (int kj = 0; kj < kw; ++kj, ++row) {
-        const float* in = cols + static_cast<size_t>(row) * cols_w;
-        for (int y = 0; y < oh; ++y) {
-          const int iy = y * stride - pad + ki;
-          if (iy < 0 || iy >= H) continue;
-          for (int x = 0; x < ow; ++x) {
-            const int ix = x * stride - pad + kj;
-            if (ix < 0 || ix >= W) continue;
-            img[(static_cast<size_t>(c) * H + iy) * W + ix] += in[y * ow + x];
-          }
-        }
-      }
-    }
-  }
+  col2im_accumulate(cols, C, H, W, kh, kw, stride, pad, img,
+                    static_cast<int64_t>(oh) * ow);
 }
 
 }  // namespace srmac

@@ -19,6 +19,30 @@ void matmul(const ComputeContext& ctx, int M, int N, int K, const float* A,
   }
 }
 
+void matmul_qa(const ComputeContext& ctx, int M, int N, int K,
+               const uint32_t* Aq, const float* B, float* C, bool accumulate) {
+  assert(ctx.bit_accurate && "quantized-operand matmul needs a MAC context");
+  MacConfig cfg = ctx.mac;
+  cfg.mul_fmt = ctx.mul_fmt();
+  const MacConfig c = cfg.normalized();
+  std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
+  gemm_quantize(c.mul_fmt, K, N, B, N, qb.data(), ctx.threads);
+  gemm_mac_bits(c, M, N, K, Aq, K, qb.data(), N, C, N, accumulate, ctx.seed,
+                ctx.threads);
+}
+
+void matmul_qb(const ComputeContext& ctx, int M, int N, int K, const float* A,
+               const uint32_t* Bq, float* C, bool accumulate) {
+  assert(ctx.bit_accurate && "quantized-operand matmul needs a MAC context");
+  MacConfig cfg = ctx.mac;
+  cfg.mul_fmt = ctx.mul_fmt();
+  const MacConfig c = cfg.normalized();
+  std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
+  gemm_quantize(c.mul_fmt, M, K, A, K, qa.data(), ctx.threads);
+  gemm_mac_bits(c, M, N, K, qa.data(), K, Bq, N, C, N, accumulate, ctx.seed,
+                ctx.threads);
+}
+
 void matmul_nt(const ComputeContext& ctx, int M, int N, int K, const float* A,
                const float* B_t, float* C, bool accumulate) {
   std::vector<float> B(static_cast<size_t>(K) * N);

@@ -49,6 +49,10 @@ struct ComputeContext {
   const FpFormat& mul_fmt() const {
     return hfp8 && backward_pass ? mul_fmt_bwd : mac.mul_fmt;
   }
+
+  /// mul_fmt() with the context's subnormal flag applied — the exact format
+  /// gemm_mac quantizes operands into (cached weight planes must match it).
+  FpFormat quant_fmt() const { return mul_fmt().with_subnormals(mac.subnormals); }
 };
 
 /// C[MxN] = A[MxK] * B[KxN] (+C), through the context's compute path.
@@ -65,6 +69,15 @@ void matmul_nt(const ComputeContext& ctx, int M, int N, int K, const float* A,
 void matmul_tn(const ComputeContext& ctx, int M, int N, int K,
                const float* A_t /*KxM*/, const float* B, float* C,
                bool accumulate = false);
+
+/// matmul with one operand already quantized to ctx.quant_fmt() bit
+/// patterns (row-major, MxK resp. KxN) — the layers' cached weight planes.
+/// Only valid on bit-accurate contexts; FP32 contexts keep the float path.
+void matmul_qa(const ComputeContext& ctx, int M, int N, int K,
+               const uint32_t* Aq, const float* B, float* C,
+               bool accumulate = false);
+void matmul_qb(const ComputeContext& ctx, int M, int N, int K, const float* A,
+               const uint32_t* Bq, float* C, bool accumulate = false);
 
 /// Elementwise helpers used by the layers (always FP32: the paper quantizes
 /// the GEMM inputs/accumulations, not pointwise math).

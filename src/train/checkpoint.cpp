@@ -75,6 +75,7 @@ void deserialize_params(const std::vector<char>& bytes,
     if (static_cast<size_t>(end - p) < bytes_needed)
       throw std::runtime_error("checkpoint: truncated tensor for " + name);
     std::memcpy(param->value.data(), p, bytes_needed);
+    param->bump();  // invalidate cached quantized weight planes
     p += bytes_needed;
   }
 }

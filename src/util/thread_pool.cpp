@@ -1,0 +1,177 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace srmac {
+
+namespace {
+/// Set while a thread is executing a pool chunk: nested parallel_for calls
+/// run inline instead of deadlocking on the workers they themselves occupy.
+thread_local bool t_in_pool_task = false;
+}  // namespace
+
+/// One batch = one parallel_for invocation in flight.
+struct Batch {
+  std::function<void(int64_t, int64_t)> body;
+  std::atomic<int> remaining{0};  ///< chunks not yet finished
+};
+
+/// A chunk of a batch's index range, queued on one worker's deque.
+struct Chunk {
+  Batch* batch = nullptr;
+  int64_t lo = 0, hi = 0;
+};
+
+struct ThreadPool::State {
+  struct Shard {
+    std::mutex m;
+    std::deque<Chunk> q;
+  };
+  std::vector<Shard> shards;  ///< one per worker, plus one for the caller
+  std::mutex wake_m;
+  std::condition_variable wake_cv;
+  std::condition_variable done_cv;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> queued{0};  ///< chunks pushed and not yet popped
+
+  explicit State(int nshards) : shards(nshards) {}
+
+  bool pop(int shard_hint, Chunk* out) {
+    const int n = static_cast<int>(shards.size());
+    // Own deque from the front; siblings from the back (classic stealing
+    // order: thieves take the largest-index chunks the owner queued last).
+    for (int attempt = 0; attempt < n; ++attempt) {
+      Shard& s = shards[(shard_hint + attempt) % n];
+      std::lock_guard<std::mutex> lk(s.m);
+      if (s.q.empty()) continue;
+      if (attempt == 0) {
+        *out = s.q.front();
+        s.q.pop_front();
+      } else {
+        *out = s.q.back();
+        s.q.pop_back();
+      }
+      queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  void run_chunk(const Chunk& c) {
+    t_in_pool_task = true;
+    c.batch->body(c.lo, c.hi);
+    t_in_pool_task = false;
+    if (c.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(wake_m);
+      done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int workers) {
+  workers = std::max(0, workers);
+  state_ = std::make_unique<State>(workers + 1);  // shard [workers] = caller's
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(state_->wake_m);
+    state_->stop.store(true);
+    state_->wake_cv.notify_all();
+  }
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(
+      static_cast<int>(std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+void ThreadPool::worker_loop(int id) {
+  State& st = *state_;
+  Chunk c;
+  while (true) {
+    if (st.pop(id, &c)) {
+      st.run_chunk(c);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(st.wake_m);
+    st.wake_cv.wait(lk, [&] {
+      return st.stop.load() || st.queued.load(std::memory_order_relaxed) > 0;
+    });
+    if (st.stop.load()) return;
+  }
+}
+
+void ThreadPool::parallel_for(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& body, int max_threads,
+    int64_t grain) {
+  const int64_t span = end - begin;
+  if (span <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+
+  int nthreads = parallelism();
+  if (max_threads > 0) nthreads = std::min(nthreads, max_threads);
+  nthreads = static_cast<int>(
+      std::min<int64_t>(nthreads, (span + grain - 1) / grain));
+
+  if (nthreads <= 1 || t_in_pool_task) {
+    body(begin, end);
+    return;
+  }
+
+  // A few chunks per thread so stealing can rebalance uneven chunk costs.
+  State& st = *state_;
+  const int64_t nchunks =
+      std::min<int64_t>(static_cast<int64_t>(nthreads) * 4,
+                        (span + grain - 1) / grain);
+  const int64_t chunk = (span + nchunks - 1) / nchunks;
+
+  Batch batch;
+  batch.body = body;
+  batch.remaining.store(static_cast<int>((span + chunk - 1) / chunk));
+
+  {
+    const int nshards = static_cast<int>(st.shards.size());
+    int shard = 0;
+    for (int64_t lo = begin; lo < end; lo += chunk, ++shard) {
+      const int64_t hi = std::min(end, lo + chunk);
+      State::Shard& s = st.shards[shard % nshards];
+      std::lock_guard<std::mutex> lk(s.m);
+      s.q.push_back(Chunk{&batch, lo, hi});
+      st.queued.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lk(st.wake_m);
+    st.wake_cv.notify_all();
+    // Also wake callers parked in another batch's completion wait: their
+    // predicate admits new work (queued > 0) so they can help drain it.
+    st.done_cv.notify_all();
+  }
+
+  // The caller participates: drain chunks (own shard = the extra one), then
+  // wait for the stragglers other threads are still running.
+  const int home = static_cast<int>(st.shards.size()) - 1;
+  Chunk c;
+  while (batch.remaining.load(std::memory_order_acquire) > 0) {
+    if (st.pop(home, &c)) {
+      st.run_chunk(c);
+    } else {
+      std::unique_lock<std::mutex> lk(st.wake_m);
+      st.done_cv.wait(lk, [&] {
+        return batch.remaining.load(std::memory_order_acquire) == 0 ||
+               st.queued.load(std::memory_order_relaxed) > 0;
+      });
+    }
+  }
+}
+
+}  // namespace srmac

@@ -139,8 +139,12 @@ TEST(SoftFloatAdd, DirectedModesBracketRN) {
     EXPECT_LE(rn, ru);
     const double exact =
         SoftFloat::to_double(kFp12, a) + SoftFloat::to_double(kFp12, b);
-    if (std::isfinite(rd)) EXPECT_LE(rd, exact);
-    if (std::isfinite(ru)) EXPECT_GE(ru, exact);
+    if (std::isfinite(rd)) {
+      EXPECT_LE(rd, exact);
+    }
+    if (std::isfinite(ru)) {
+      EXPECT_GE(ru, exact);
+    }
   }
 }
 

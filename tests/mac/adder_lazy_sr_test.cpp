@@ -129,7 +129,6 @@ TEST(AdderLazySr, MatchesGoldenWhenWindowLossless) {
   // same random word.
   const FpFormat f = kFp12;
   const int r = 9;
-  const int p = f.precision();
   CaseGen gen(f, 9);
   int checked = 0;
   while (checked < 50000) {

@@ -1,0 +1,228 @@
+// Bit-exactness suite for the fused emulation engine: the blocked GEMM
+// (decoded accumulator + product table + bulk LFSR draws) must match the
+// per-element MacUnit reference bit-for-bit, and the decoded adder cores
+// must match the packed adder entry points on every input.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "fpemu/softfloat.hpp"
+#include "mac/adder_eager_sr.hpp"
+#include "mac/adder_lazy_sr.hpp"
+#include "mac/adder_rn.hpp"
+#include "mac/gemm.hpp"
+#include "mac/mac_kernel.hpp"
+#include "mac/mac_unit.hpp"
+#include "mac/multiplier.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+MacConfig make_cfg(AdderKind k, int r, bool sub, FpFormat acc,
+                   FpFormat mul = kFp8E5M2) {
+  MacConfig c;
+  c.mul_fmt = mul;
+  c.acc_fmt = acc;
+  c.adder = k;
+  c.random_bits = r;
+  c.subnormals = sub;
+  return c;
+}
+
+/// Fills a matrix with a mix of normals, tiny (subnormal-range) values,
+/// exact zeros and occasional specials, so the chains exercise every adder
+/// path including NaN/Inf propagation.
+void fill_inputs(Xoshiro256& rng, std::vector<float>& v, bool specials) {
+  for (auto& x : v) {
+    const uint64_t pick = rng.below(100);
+    if (pick < 70) {
+      x = static_cast<float>(rng.normal());
+    } else if (pick < 80) {
+      x = static_cast<float>(rng.normal() * 1e-6);  // subnormal range in E5M2
+    } else if (pick < 90) {
+      x = 0.0f;
+    } else if (specials && pick < 93) {
+      x = std::numeric_limits<float>::infinity() * (rng.below(2) ? 1.f : -1.f);
+    } else if (specials && pick < 95) {
+      x = std::numeric_limits<float>::quiet_NaN();
+    } else {
+      x = static_cast<float>(rng.normal() * 64.0);  // overflow candidates
+    }
+  }
+}
+
+void expect_bitwise_equal(const std::vector<float>& got,
+                          const std::vector<float>& want,
+                          const std::string& what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint32_t>(got[i]), std::bit_cast<uint32_t>(want[i]))
+        << what << " diverges at flat index " << i << ": fast=" << got[i]
+        << " ref=" << want[i];
+  }
+}
+
+TEST(GemmFastpath, BitIdenticalToMacUnitReference) {
+  // N >= 16 exercises the AVX-512 group path (plus remainder columns) on
+  // hosts that have it; K > 512 exercises LFSR continuation across KC
+  // blocks.
+  const struct {
+    int m, n, k;
+  } shapes[] = {{1, 1, 1},   {2, 3, 9},   {5, 7, 33},  {16, 5, 129},
+                {8, 8, 70},  {4, 16, 40}, {3, 37, 60}, {2, 18, 520}};
+  const AdderKind kinds[] = {AdderKind::kRoundNearest, AdderKind::kLazySR,
+                             AdderKind::kEagerSR};
+  const FpFormat accs[] = {kFp12, kFp16};
+  Xoshiro256 rng(0xFA57);
+  int combo = 0;
+  for (const auto& sh : shapes) {
+    for (AdderKind kind : kinds) {
+      for (int r : {1, 8, 16}) {
+        for (bool sub : {true, false}) {
+          for (const FpFormat& acc : accs) {
+            for (bool accumulate : {false, true}) {
+              const MacConfig cfg = make_cfg(kind, r, sub, acc);
+              std::vector<float> A(static_cast<size_t>(sh.m) * sh.k);
+              std::vector<float> B(static_cast<size_t>(sh.k) * sh.n);
+              std::vector<float> Cf(static_cast<size_t>(sh.m) * sh.n);
+              // Specials only on the non-accumulating runs: NaN/Inf chains
+              // saturate identically either way, plain runs keep the
+              // accumulate path's arithmetic observable.
+              fill_inputs(rng, A, !accumulate);
+              fill_inputs(rng, B, !accumulate);
+              fill_inputs(rng, Cf, false);
+              std::vector<float> Cr = Cf;
+              const uint64_t seed = 1000 + combo;
+              gemm_mac(cfg, sh.m, sh.n, sh.k, A.data(), sh.k, B.data(), sh.n,
+                       Cf.data(), sh.n, accumulate, seed, /*threads=*/2);
+              gemm_mac_reference(cfg, sh.m, sh.n, sh.k, A.data(), sh.k,
+                                 B.data(), sh.n, Cr.data(), sh.n, accumulate,
+                                 seed, /*threads=*/1);
+              expect_bitwise_equal(
+                  Cf, Cr,
+                  cfg.name() + " " + std::to_string(sh.m) + "x" +
+                      std::to_string(sh.n) + "x" + std::to_string(sh.k) +
+                      (accumulate ? " acc" : ""));
+              ++combo;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmFastpath, BitIdenticalForWideMultiplierFormat) {
+  // E5M10 inputs exceed the product-table width gate, forcing the kernel's
+  // slow addend path; the engine must stay bit-identical there too.
+  const MacConfig cfg =
+      make_cfg(AdderKind::kEagerSR, 13, true, kFp32, /*mul=*/kFp16);
+  const int M = 4, N = 6, K = 40;
+  Xoshiro256 rng(0x51DE);
+  std::vector<float> A(M * K), B(K * N), Cf(M * N, 0.f), Cr(M * N, 0.f);
+  fill_inputs(rng, A, true);
+  fill_inputs(rng, B, true);
+  gemm_mac(cfg, M, N, K, A.data(), K, B.data(), N, Cf.data(), N, false, 7, 2);
+  gemm_mac_reference(cfg, M, N, K, A.data(), K, B.data(), N, Cr.data(), N,
+                     false, 7, 1);
+  expect_bitwise_equal(Cf, Cr, "E5M10 multiplier");
+}
+
+TEST(GemmFastpath, DecodedAdderCoresMatchPackedAdders) {
+  // The packed adders are decode/encode wrappers around the decoded cores;
+  // this pins the wrapper equivalence on dense random 12-bit patterns
+  // (every class: normals, subnormals, zeros, infs, NaNs).
+  Xoshiro256 rng(0xADDE);
+  for (bool sub : {true, false}) {
+    const FpFormat fmt = kFp12.with_subnormals(sub);
+    for (int iter = 0; iter < 200000; ++iter) {
+      const uint32_t a = static_cast<uint32_t>(rng.below(1u << fmt.width()));
+      const uint32_t b = static_cast<uint32_t>(rng.below(1u << fmt.width()));
+      const Unpacked ua = decode(fmt, a), ub = decode(fmt, b);
+      const uint64_t rand_word = rng.next();
+      ASSERT_EQ(add_rn(fmt, a, b),
+                encode_unpacked(fmt, add_rn_u(fmt, ua, ub)))
+          << "RN a=" << a << " b=" << b;
+      for (int r : {1, 3, 9, 16, 32}) {
+        ASSERT_EQ(add_lazy_sr(fmt, a, b, r, rand_word),
+                  encode_unpacked(fmt, add_lazy_sr_u(fmt, ua, ub, r, rand_word)))
+            << "lazy r=" << r << " a=" << a << " b=" << b;
+        if (r >= 3) {
+          ASSERT_EQ(
+              add_eager_sr(fmt, a, b, r, rand_word),
+              encode_unpacked(fmt, add_eager_sr_u(fmt, ua, ub, r, rand_word)))
+              << "eager r=" << r << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmFastpath, TableAddendMatchesStepSemantics) {
+  // Exhaustive over all operand pairs of the 8-bit formats: the kernel's
+  // (table) addend must equal what MacUnit::step feeds its adder.
+  for (const FpFormat& mul : {kFp8E5M2, kFp8E4M3}) {
+    for (bool sub : {true, false}) {
+      const MacConfig cfg =
+          make_cfg(AdderKind::kEagerSR, 9, sub, kFp12, mul).normalized();
+      const FusedMacKernel kernel(cfg);
+      ASSERT_TRUE(kernel.has_table());
+      const FpFormat prod = product_format(cfg.mul_fmt);
+      const bool direct =
+          prod == cfg.acc_fmt.with_subnormals(prod.subnormals);
+      for (uint32_t a = 0; a < 256; ++a) {
+        for (uint32_t b = 0; b < 256; ++b) {
+          const uint32_t pbits = multiply_exact(cfg.mul_fmt, a, b);
+          const uint32_t want =
+              direct ? pbits
+                     : SoftFloat::convert(prod, pbits, cfg.acc_fmt,
+                                          RoundingMode::kNearestEven);
+          ASSERT_EQ(encode_unpacked(cfg.acc_fmt, kernel.addend(a, b)), want)
+              << mul.name() << " sub=" << sub << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmFastpath, NormalizedConfigClampsRandomBits) {
+  // Regression for the MacUnit constructor sizing its LFSR from the raw
+  // (un-normalized) random_bits: width and draw amount must both come from
+  // the normalized configuration.
+  MacConfig cfg = make_cfg(AdderKind::kEagerSR, 64, true, kFp12);
+  EXPECT_EQ(cfg.normalized().random_bits, 32);
+  EXPECT_EQ(MacUnit(cfg).lfsr_width(), 32);  // was 64 before the fix
+
+  cfg.random_bits = 1;  // below the eager minimum of 3
+  EXPECT_EQ(cfg.normalized().random_bits, 3);
+  EXPECT_EQ(MacUnit(cfg).lfsr_width(), 4);
+
+  cfg.adder = AdderKind::kLazySR;
+  cfg.random_bits = 0;
+  EXPECT_EQ(cfg.normalized().random_bits, 1);
+  EXPECT_EQ(MacUnit(cfg).lfsr_width(), 4);
+
+  cfg.adder = AdderKind::kRoundNearest;
+  cfg.random_bits = -5;
+  EXPECT_EQ(cfg.normalized().random_bits, 0);
+  EXPECT_EQ(MacUnit(cfg).lfsr_width(), 4);
+
+  // A non-normalized config must still run bit-identically through the
+  // fused engine (both paths normalize to the same clamped r).
+  const MacConfig wide = make_cfg(AdderKind::kEagerSR, 40, true, kFp12);
+  const int M = 3, N = 4, K = 25;
+  Xoshiro256 rng(0xC1A);
+  std::vector<float> A(M * K), B(K * N), Cf(M * N, 0.f), Cr(M * N, 0.f);
+  fill_inputs(rng, A, false);
+  fill_inputs(rng, B, false);
+  gemm_mac(wide, M, N, K, A.data(), K, B.data(), N, Cf.data(), N, false, 3, 2);
+  gemm_mac_reference(wide, M, N, K, A.data(), K, B.data(), N, Cr.data(), N,
+                     false, 3, 1);
+  expect_bitwise_equal(Cf, Cr, "r=40 clamp");
+}
+
+}  // namespace
+}  // namespace srmac
