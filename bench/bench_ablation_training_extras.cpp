@@ -123,7 +123,7 @@ int main() {
     bool adam;
   };
   ComputeContext hfp8 = ComputeContext::emulated(eager12(kFp8E4M3));
-  hfp8.hfp8 = true;
+  hfp8.policy = QuantPolicy::hfp8(eager12(kFp8E4M3));
 
   const Case cases[] = {
       {"FP32, SGD+momentum", ComputeContext::fp32(), false},

@@ -4,10 +4,15 @@
 // single- and multi-threaded runs and writes BENCH_gemm.json so the perf
 // trajectory is tracked across PRs (see docs/PERF.md).
 //
-// Usage: bench_gemm_throughput [--smoke] [--json PATH]
-//   --smoke   small problem size for CI (correctness of the harness, not
-//             publishable numbers)
-//   --json    output path (default BENCH_gemm.json in the working dir)
+// Usage: bench_gemm_throughput [--smoke] [--json PATH] [engine flags]
+//   --smoke          small problem size for CI (correctness of the harness,
+//                    not publishable numbers)
+//   --json PATH      output path (default BENCH_gemm.json in the workdir)
+//   --scenario=SPEC  MAC configuration (default the paper's reference MAC)
+//   --backend=NAME   bench one registry backend against the reference
+//                    instead of the default fused-vs-reference pair — the
+//                    CI backend smoke loops this over every built-in
+//   --threads=N, --seed=N   as in every engine CLI (src/engine/cli.hpp)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -16,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "engine/cli.hpp"
+#include "engine/registry.hpp"
 #include "mac/gemm.hpp"
 #include "rng/xoshiro.hpp"
 #include "util/thread_pool.hpp"
@@ -66,22 +73,21 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
-    else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
-      return 2;
-    }
   }
+  const EngineCliArgs eng = parse_engine_cli(argc, argv);
 
   const int M = smoke ? 48 : 256, N = smoke ? 48 : 256, K = smoke ? 48 : 256;
   const int reps = smoke ? 1 : 3;
   const int hw = ThreadPool::global().parallelism();
 
-  MacConfig cfg;  // the paper's reference MAC: E5M2 inputs, E6M5 acc, eager SR
-  cfg.mul_fmt = kFp8E5M2;
-  cfg.acc_fmt = kFp12;
-  cfg.adder = AdderKind::kEagerSR;
-  cfg.random_bits = 9;
-  cfg.subnormals = true;
+  // Default: the paper's reference MAC (E5M2 inputs, E6M5 acc, eager SR).
+  std::string error;
+  const auto parsed = MacConfig::parse(eng.scenario, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(), engine_cli_usage());
+    return 2;
+  }
+  const MacConfig cfg = *parsed;
 
   Xoshiro256 rng(42);
   std::vector<float> A(static_cast<size_t>(M) * K);
@@ -100,11 +106,47 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Result> results;
-  results.push_back(run_case("reference", 1, M, N, K, reps, reference));
-  results.push_back(run_case("fast", 1, M, N, K, reps, fast));
-  if (hw > 1) {
-    results.push_back(run_case("reference", hw, M, N, K, reps, reference));
-    results.push_back(run_case("fast", hw, M, N, K, reps, fast));
+  if (eng.backend.empty()) {
+    results.push_back(run_case("reference", 1, M, N, K, reps, reference));
+    results.push_back(run_case("fast", 1, M, N, K, reps, fast));
+    if (hw > 1) {
+      results.push_back(run_case("reference", hw, M, N, K, reps, reference));
+      results.push_back(run_case("fast", hw, M, N, K, reps, fast));
+    }
+  } else {
+    // Registry mode: one named backend through the MatmulBackend dispatch,
+    // against the reference baseline.
+    const MatmulBackend* backend = nullptr;
+    try {
+      backend = BackendRegistry::instance().get(eng.backend);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    auto via_backend = [&](int threads) {
+      GemmArgs a;
+      a.M = M;
+      a.N = N;
+      a.K = K;
+      a.A = A.data();
+      a.lda = K;
+      a.B = B.data();
+      a.ldb = N;
+      a.C = C.data();
+      a.ldc = N;
+      a.seed = 7;
+      a.threads = threads;
+      backend->gemm(cfg, a);
+    };
+    results.push_back(run_case("reference", 1, M, N, K, reps, reference));
+    results.push_back(run_case(backend->name(), 1, M, N, K, reps, via_backend));
+    if (hw > 1) {
+      // Reference at the same thread count, so the multi-thread row's
+      // speedup_vs_reference stays meaningful in BENCH_gemm.json.
+      results.push_back(run_case("reference", hw, M, N, K, reps, reference));
+      results.push_back(
+          run_case(backend->name(), hw, M, N, K, reps, via_backend));
+    }
   }
 
   auto find = [&](const std::string& path, int threads) -> const Result* {
@@ -131,6 +173,7 @@ int main(int argc, char** argv) {
   }
   js << "{\n  \"bench\": \"gemm_throughput\",\n";
   js << "  \"config\": \"" << cfg.name() << "\",\n";
+  js << "  \"scenario\": \"" << cfg.to_string() << "\",\n";
   js << "  \"mul_fmt\": \"" << cfg.mul_fmt.name() << "\",\n";
   js << "  \"acc_fmt\": \"" << cfg.acc_fmt.name() << "\",\n";
   js << "  \"m\": " << M << ", \"n\": " << N << ", \"k\": " << K << ",\n";

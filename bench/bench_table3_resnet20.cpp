@@ -30,15 +30,15 @@ int main(int argc, char** argv) {
 
   const ConfigRow rows[] = {
       {"FP32 baseline", ComputeContext::fp32()},
-      {"RN subON E5M10", ctx_for(AdderKind::kRoundNearest, kFp16, 0, true, 1)},
-      {"RN subON E8M7", ctx_for(AdderKind::kRoundNearest, kBf16, 0, true, 1)},
-      {"RN subON E6M5", ctx_for(AdderKind::kRoundNearest, kFp12, 0, true, 1)},
-      {"SR subON E6M5 r=4", ctx_for(AdderKind::kEagerSR, kFp12, 4, true, 1)},
-      {"SR subON E6M5 r=9", ctx_for(AdderKind::kEagerSR, kFp12, 9, true, 1)},
-      {"SR subON E6M5 r=11", ctx_for(AdderKind::kEagerSR, kFp12, 11, true, 1)},
-      {"SR subON E6M5 r=13", ctx_for(AdderKind::kEagerSR, kFp12, 13, true, 1)},
-      {"SR subOFF E6M5 r=11", ctx_for(AdderKind::kEagerSR, kFp12, 11, false, 1)},
-      {"SR subOFF E6M5 r=13", ctx_for(AdderKind::kEagerSR, kFp12, 13, false, 1)},
+      {"RN subON E5M10", ctx_for(AdderKind::kRoundNearest, kFp16, 0, true, 1, s.backend)},
+      {"RN subON E8M7", ctx_for(AdderKind::kRoundNearest, kBf16, 0, true, 1, s.backend)},
+      {"RN subON E6M5", ctx_for(AdderKind::kRoundNearest, kFp12, 0, true, 1, s.backend)},
+      {"SR subON E6M5 r=4", ctx_for(AdderKind::kEagerSR, kFp12, 4, true, 1, s.backend)},
+      {"SR subON E6M5 r=9", ctx_for(AdderKind::kEagerSR, kFp12, 9, true, 1, s.backend)},
+      {"SR subON E6M5 r=11", ctx_for(AdderKind::kEagerSR, kFp12, 11, true, 1, s.backend)},
+      {"SR subON E6M5 r=13", ctx_for(AdderKind::kEagerSR, kFp12, 13, true, 1, s.backend)},
+      {"SR subOFF E6M5 r=11", ctx_for(AdderKind::kEagerSR, kFp12, 11, false, 1, s.backend)},
+      {"SR subOFF E6M5 r=13", ctx_for(AdderKind::kEagerSR, kFp12, 13, false, 1, s.backend)},
   };
 
   std::printf(

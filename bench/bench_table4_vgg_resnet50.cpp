@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
 
   const ConfigRow rows[] = {
       {"FP32 baseline", ComputeContext::fp32()},
-      {"RN subON E5M10", ctx_for(AdderKind::kRoundNearest, kFp16, 0, true, 2)},
-      {"SR subOFF E6M5 r=13", ctx_for(AdderKind::kEagerSR, kFp12, 13, false, 2)},
+      {"RN subON E5M10", ctx_for(AdderKind::kRoundNearest, kFp16, 0, true, 2, s.backend)},
+      {"SR subOFF E6M5 r=13", ctx_for(AdderKind::kEagerSR, kFp12, 13, false, 2, s.backend)},
   };
 
   // --- VGG16 / synthetic-CIFAR10 -------------------------------------------

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "data/synthetic.hpp"
+#include "engine/registry.hpp"
 #include "nn/init.hpp"
 #include "nn/resnet.hpp"
 #include "nn/vgg.hpp"
@@ -34,6 +35,9 @@ struct Scale {
   float lr = 0.1f;
   float noise = 0.15f;
   bool verbose = false;
+  // Registry key the emulated rows run on ("fused" by default; "reference"
+  // or "systolic" re-run the same table on another backend).
+  std::string backend = "fused";
 
   static Scale from_args(int argc, char** argv) {
     Scale s;
@@ -52,6 +56,7 @@ struct Scale {
       if (const char* v = val("--batch")) s.batch = std::atoi(v);
       if (const char* v = val("--lr")) s.lr = std::atof(v);
       if (const char* v = val("--noise")) s.noise = std::atof(v);
+      if (const char* v = val("--backend")) s.backend = v;
       if (std::strcmp(argv[i], "--verbose") == 0) s.verbose = true;
       if (std::strcmp(argv[i], "--full") == 0) {
         // Paper-scale models and data shapes (still synthetic data and few
@@ -74,14 +79,15 @@ struct ConfigRow {
 };
 
 inline ComputeContext ctx_for(AdderKind kind, const FpFormat& acc, int r,
-                              bool sub, uint64_t seed) {
+                              bool sub, uint64_t seed,
+                              const std::string& backend = "fused") {
   MacConfig m;
   m.mul_fmt = kFp8E5M2;
   m.acc_fmt = acc;
   m.adder = kind;
   m.random_bits = r;
   m.subnormals = sub;
-  return ComputeContext::emulated(m, seed);
+  return ComputeContext::with_backend(backend, QuantPolicy::uniform(m), seed);
 }
 
 /// Trains a fresh copy of `make_model()` under `ctx` and returns final test

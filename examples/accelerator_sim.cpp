@@ -22,11 +22,9 @@ int main() {
               1e-6 * static_cast<double>(layer.M) * layer.N * layer.K);
 
   // The paper's recommended PE: FP8 E5M2 multiplier, FP12 eager-SR
-  // accumulator, 13 random bits, no subnormals.
-  MacConfig cfg;
-  cfg.adder = AdderKind::kEagerSR;
-  cfg.random_bits = 13;
-  cfg.subnormals = false;
+  // accumulator, 13 random bits, no subnormals — as a scenario string (the
+  // grammar shared with the engine registry's "systolic" backend).
+  const MacConfig cfg = *MacConfig::parse("eager_sr:e5m2/e6m5:r=13:subOFF");
 
   std::mt19937_64 rng(42);
   std::normal_distribution<float> dist(0.0f, 0.5f);

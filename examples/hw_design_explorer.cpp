@@ -76,6 +76,14 @@ int main(int argc, char** argv) {
     std::printf("%-30s %10.1f %8.2f %10.2f\n", p.rep.name.c_str(),
                 p.rep.area_um2, p.rep.delay_ns, p.rep.energy_nw_mhz);
 
+  // Situate the paper's pick (as its scenario string) on the frontier.
+  const MacConfig paper = *MacConfig::parse("eager_sr:e5m2/e6m5:r=13:subOFF");
+  const AsicReport rep =
+      asic_adder_cost(paper.acc_fmt, paper.adder, paper.random_bits, false);
+  std::printf("\nPaper design %s: area %.1f um^2, delay %.2f ns, %.2f nW/MHz\n",
+              paper.to_string().c_str(), rep.area_um2, rep.delay_ns,
+              rep.energy_nw_mhz);
+
   std::printf("\nNote how eager-SR points populate the frontier while lazy-SR"
               "\nones are dominated — the paper's Sec. III-C conclusion.\n");
   return 0;

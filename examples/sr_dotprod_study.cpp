@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "mac/dot.hpp"
@@ -18,14 +19,18 @@
 using namespace srmac;
 
 namespace {
-MacConfig cfg(AdderKind k, int r) {
-  MacConfig c;
-  c.mul_fmt = kFp8E5M2;
-  c.acc_fmt = kFp12;
-  c.adder = k;
-  c.random_bits = r;
-  c.subnormals = false;
-  return c;
+/// Configurations come from the shared scenario-string grammar (docs/
+/// API.md) — the same strings every engine CLI accepts.
+MacConfig cfg(const std::string& adder, int r) {
+  char spec[64];
+  std::snprintf(spec, sizeof(spec), "%s:e5m2/e6m5:r=%d:subOFF", adder.c_str(),
+                r);
+  const auto c = MacConfig::parse(spec);
+  if (!c) {
+    std::fprintf(stderr, "internal error: bad scenario %s\n", spec);
+    std::exit(2);
+  }
+  return *c;
 }
 }  // namespace
 
@@ -60,18 +65,18 @@ int main(int argc, char** argv) {
     std::printf("%-22s %10.4f %10.4f %+10.4f\n", name, mean, std::sqrt(var), b);
   };
 
-  study("RN  E6M5", cfg(AdderKind::kRoundNearest, 0));
+  study("RN  E6M5", cfg("rn", 0));
   for (int r : {4, 9, 13}) {
     char nm[32];
     std::snprintf(nm, sizeof(nm), "SR-lazy  E6M5 r=%d", r);
-    study(nm, cfg(AdderKind::kLazySR, r));
+    study(nm, cfg("lazy_sr", r));
     std::snprintf(nm, sizeof(nm), "SR-eager E6M5 r=%d", r);
-    study(nm, cfg(AdderKind::kEagerSR, r));
+    study(nm, cfg("eager_sr", r));
   }
 
   // Seed-to-seed variability on one instance.
   std::printf("\nSeed variability (eager r=13, one instance, 16 seeds):\n  ");
-  const MacConfig c = cfg(AdderKind::kEagerSR, 13);
+  const MacConfig c = cfg("eager_sr", 13);
   for (uint64_t s = 0; s < 16; ++s)
     std::printf("%.3f ", dot_mac(c, as[0], bs[0], s).value);
   std::printf("\n  exact %.3f\n", dot_mac(c, as[0], bs[0], 0).reference);

@@ -28,16 +28,14 @@ int main() {
   std::printf("Chain: 4096 products of 0.125*0.125 (exact sum 64)\n\n");
   std::printf("%-24s %9s %9s %9s %10s\n", "accumulator", "swamped", "rescued",
               "value", "rel.err");
-  for (const auto& [name, kind, r] :
-       {std::tuple<const char*, AdderKind, int>{"E6M5 RN",
-                                                AdderKind::kRoundNearest, 0},
-        {"E6M5 SR lazy r=9", AdderKind::kLazySR, 9},
-        {"E6M5 SR eager r=9", AdderKind::kEagerSR, 9},
-        {"E6M5 SR eager r=13", AdderKind::kEagerSR, 13}}) {
-    MacConfig cfg;
-    cfg.adder = kind;
-    cfg.random_bits = r;
-    cfg.subnormals = false;
+  // Accumulator configurations as scenario strings (docs/API.md grammar).
+  for (const auto& [name, spec] :
+       {std::pair<const char*, const char*>{"E6M5 RN",
+                                            "rn:e5m2/e6m5:r=0:subOFF"},
+        {"E6M5 SR lazy r=9", "lazy_sr:e5m2/e6m5:r=9:subOFF"},
+        {"E6M5 SR eager r=9", "eager_sr:e5m2/e6m5:r=9:subOFF"},
+        {"E6M5 SR eager r=13", "eager_sr:e5m2/e6m5:r=13:subOFF"}}) {
+    const MacConfig cfg = *MacConfig::parse(spec);
     const SwampingStats st = measure_swamping(cfg, v, v);
     std::printf("%-24s %9llu %9llu %9.2f %9.2f%%\n", name,
                 static_cast<unsigned long long>(st.swamped),

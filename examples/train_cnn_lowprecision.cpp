@@ -1,17 +1,23 @@
 // Example: train a small CNN end to end with every GEMM running through the
 // bit-accurate SR-MAC models — the workload the paper designs its unit for.
 //
-// Compares three arithmetic configurations on the same data, init and
-// schedule (only the MAC arithmetic differs):
-//   * FP32 reference,
-//   * RN with the 12-bit accumulator (degrades),
-//   * eager SR with the 12-bit accumulator (tracks FP32).
+// Compares three arithmetic scenarios on the same data, init and schedule
+// (only the MAC arithmetic differs), each built from a scenario string on
+// the EmuEngine facade:
+//   * "fp32"                           — the reference,
+//   * "rn:e5m2/e6m5:r=0:subON"         — RN with the 12-bit accumulator
+//                                        (degrades),
+//   * "eager_sr:e5m2/e6m5:r=13:subOFF" — eager SR (tracks FP32).
 //
 // Usage: ./build/examples/train_cnn_lowprecision [epochs] [samples]
+//                                                [--backend=NAME] ...
+// Engine flags (--backend, --threads, --seed) apply to the emulated runs;
+// see src/engine/cli.hpp.
 #include <cstdio>
 #include <cstdlib>
 
 #include "data/synthetic.hpp"
+#include "engine/cli.hpp"
 #include "nn/init.hpp"
 #include "nn/vgg.hpp"
 #include "train/trainer.hpp"
@@ -19,8 +25,9 @@
 using namespace srmac;
 
 int main(int argc, char** argv) {
-  const int epochs = argc > 1 ? std::atoi(argv[1]) : 3;
-  const int samples = argc > 2 ? std::atoi(argv[2]) : 384;
+  const int epochs = argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 3;
+  const int samples = argc > 2 && argv[2][0] != '-' ? std::atoi(argv[2]) : 384;
+  EngineCliArgs cli = parse_engine_cli(argc, argv);
 
   SyntheticImages::Options dopt;
   dopt.classes = 4;
@@ -29,7 +36,13 @@ int main(int argc, char** argv) {
   const SyntheticImages train(dopt);
   const SyntheticImages test = train.test_split(samples / 2);
 
-  auto run = [&](const char* name, const ComputeContext& ctx) {
+  auto run = [&](const char* scenario) {
+    EngineCliArgs args = cli;
+    args.scenario = scenario;
+    // The FP32 baseline stays the true reference: --backend only retargets
+    // the emulated scenarios (as the usage comment promises).
+    if (std::string(scenario) == "fp32") args.backend.clear();
+    EmuEngine engine = engine_or_die(args);
     auto net = make_vgg_mini(4, 8);
     he_init(*net, 7);
     TrainOptions opt;
@@ -38,26 +51,21 @@ int main(int argc, char** argv) {
     opt.lr = 0.05f;
     opt.eval_samples = samples / 2;
     opt.verbose = true;
-    std::printf("\n--- %s ---\n", name);
-    Trainer tr(*net, ctx, opt);
+    std::printf("\n--- %s ---\n", engine.describe().c_str());
+    Trainer tr(*net, engine.context(), opt);
     const auto hist = tr.fit(train, test);
+    const TelemetrySnapshot t = engine.telemetry().snapshot();
+    std::printf("telemetry: %llu GEMMs, %.1f GMACs, %.1f MB quantized, "
+                "%.2fs in backend \"%s\"\n",
+                static_cast<unsigned long long>(t.gemms), 1e-9 * t.macs,
+                1e-6 * t.bytes_quantized, t.seconds,
+                engine.backend().name().c_str());
     return hist.back().test_acc;
   };
 
-  MacConfig rn;
-  rn.mul_fmt = kFp8E5M2;
-  rn.acc_fmt = kFp12;
-  rn.adder = AdderKind::kRoundNearest;
-  MacConfig sr = rn;
-  sr.adder = AdderKind::kEagerSR;
-  sr.random_bits = 13;
-  sr.subnormals = false;
-
-  const float acc_fp32 = run("FP32 reference", ComputeContext::fp32());
-  const float acc_rn = run("FP8 x FP8 -> E6M5 accumulate, RN",
-                           ComputeContext::emulated(rn));
-  const float acc_sr = run("FP8 x FP8 -> E6M5 accumulate, eager SR r=13",
-                           ComputeContext::emulated(sr));
+  const float acc_fp32 = run("fp32");
+  const float acc_rn = run("rn:e5m2/e6m5:r=0:subON");
+  const float acc_sr = run("eager_sr:e5m2/e6m5:r=13:subOFF");
 
   std::printf("\n== final test accuracy ==\n");
   std::printf("  FP32             : %5.2f%%\n", acc_fp32);

@@ -27,14 +27,27 @@ int main(int argc, char** argv) {
   const int r = argc > 2 ? std::atoi(argv[2]) : 13;
   const std::string out_dir = argc > 3 ? argv[3] : ".";
 
+  // A full scenario string ("eager_sr:e5m2/e6m5:r=13:subOFF") selects the
+  // design directly; the legacy kind/r arguments remain as shorthand.
   MacConfig cfg;
-  cfg.adder = kind_arg == "rn"     ? AdderKind::kRoundNearest
-              : kind_arg == "lazy" ? AdderKind::kLazySR
-                                   : AdderKind::kEagerSR;
-  cfg.random_bits = r;
-  cfg.subnormals = false;
+  if (kind_arg.find(':') != std::string::npos) {
+    std::string error;
+    const auto parsed = MacConfig::parse(kind_arg, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    cfg = *parsed;
+  } else {
+    cfg.adder = kind_arg == "rn"     ? AdderKind::kRoundNearest
+                : kind_arg == "lazy" ? AdderKind::kLazySR
+                                     : AdderKind::kEagerSR;
+    cfg.random_bits = r;
+    cfg.subnormals = false;
+  }
 
-  std::printf("Configuration: %s\n", cfg.name().c_str());
+  std::printf("Configuration: %s (%s)\n", cfg.name().c_str(),
+              cfg.to_string().c_str());
 
   // Full MAC (exact E5M2 multiplier + accumulator adder + LFSR).
   Netlist mac = build_mac_unit(cfg.normalized());

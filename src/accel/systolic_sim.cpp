@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "fpemu/softfloat.hpp"
+#include "mac/gemm.hpp"
 #include "util/thread_pool.hpp"
 
 namespace srmac::accel {
@@ -73,17 +74,12 @@ uint64_t CycleAccurateArray::expected_cycles(int M, int N, int K) const {
 
 SimStats CycleAccurateArray::gemm(int M, int N, int K, const float* A,
                                   const float* B, float* C, int threads) {
-  // Operand buffers hold mul_fmt words, exactly what the feeders read.
+  // Operand buffers hold mul_fmt words, exactly what the feeders read —
+  // produced by the engine's shared operand-quantization pass.
   std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
   std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
-  for (int i = 0; i < M; ++i)
-    for (int k = 0; k < K; ++k)
-      qa[static_cast<size_t>(i) * K + k] =
-          SoftFloat::from_double(cfg_.mul_fmt, A[static_cast<size_t>(i) * K + k]);
-  for (int k = 0; k < K; ++k)
-    for (int j = 0; j < N; ++j)
-      qb[static_cast<size_t>(k) * N + j] =
-          SoftFloat::from_double(cfg_.mul_fmt, B[static_cast<size_t>(k) * N + j]);
+  gemm_quantize(cfg_.mul_fmt, M, K, A, K, qa.data(), threads);
+  gemm_quantize(cfg_.mul_fmt, K, N, B, N, qb.data(), threads);
 
   return dataflow_ == Dataflow::kOutputStationary
              ? gemm_output_stationary(M, N, K, qa, qb, C, threads)

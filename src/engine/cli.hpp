@@ -1,0 +1,80 @@
+#pragma once
+
+// Common CLI plumbing for the examples and benches: every binary that
+// selects arithmetic accepts the same flags, parsed into an EmuEngine —
+//
+//   --scenario=SPEC   "fp32" or a MacConfig spec, e.g.
+//                     "eager_sr:e5m2/e6m5:r=9:subON" (see docs/API.md)
+//   --backend=NAME    registry key: fp32 | fused | reference | systolic | ...
+//   --hfp8            HFP8 policy (E4M3 forward / E5M2 backward) on top of
+//                     the scenario's accumulator and adder
+//   --seed=N          base LFSR seed (default kDefaultSeed)
+//   --threads=N       thread cap (default 0 = hardware concurrency)
+//
+// Unknown flags are left alone so callers can parse their own arguments
+// from the same argv.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "engine/emu_engine.hpp"
+
+namespace srmac {
+
+struct EngineCliArgs {
+  std::string scenario = "eager_sr:e5m2/e6m5:r=9:subON";
+  std::string backend;  // empty: the scenario decides (fp32 vs fused)
+  bool hfp8 = false;
+  uint64_t seed = kDefaultSeed;
+  int threads = 0;
+};
+
+inline const char* engine_cli_usage() {
+  return "  --scenario=SPEC  'fp32' or adder:mulfmt/accfmt[:r=N][:subON|subOFF]\n"
+         "                   (e.g. eager_sr:e5m2/e6m5:r=9:subON)\n"
+         "  --backend=NAME   fp32 | fused | reference | systolic | ...\n"
+         "  --hfp8           E4M3-forward / E5M2-backward multiplier formats\n"
+         "  --seed=N         base LFSR seed\n"
+         "  --threads=N      thread cap (0 = hardware concurrency)\n";
+}
+
+/// Scans argv for the engine flags above; everything else is ignored (the
+/// caller parses its own flags from the same argv).
+inline EngineCliArgs parse_engine_cli(int argc, char** argv) {
+  EngineCliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    auto val = [&](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, n) == 0 && argv[i][n] == '=')
+        return argv[i] + n + 1;
+      return nullptr;
+    };
+    if (const char* v = val("--scenario")) args.scenario = v;
+    if (const char* v = val("--backend")) args.backend = v;
+    if (const char* v = val("--seed")) args.seed = std::strtoull(v, nullptr, 0);
+    if (const char* v = val("--threads")) args.threads = std::atoi(v);
+    if (std::strcmp(argv[i], "--hfp8") == 0) args.hfp8 = true;
+  }
+  return args;
+}
+
+/// Builds the engine the parsed flags describe; on a bad scenario or
+/// backend name prints the error plus the flag reference and exits — the
+/// behavior every CLI binary wants.
+inline EmuEngine engine_or_die(const EngineCliArgs& args) {
+  try {
+    EmuEngine::Builder b;
+    b.scenario(args.scenario).seed(args.seed).threads(args.threads);
+    if (!args.backend.empty()) b.backend(args.backend);
+    if (args.hfp8) b.hfp8();
+    return b.build();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), engine_cli_usage());
+    std::exit(2);
+  }
+}
+
+}  // namespace srmac

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mac/mac_config.hpp"
+
+namespace srmac {
+
+/// Which of the training GEMMs a dispatch belongs to. The trainer marks the
+/// top-level backward call (kBackwardData); the layers mark their
+/// weight-gradient GEMMs (kBackwardWeight). Everything else is kForward.
+enum class GemmPass { kForward = 0, kBackwardData = 1, kBackwardWeight = 2 };
+
+constexpr const char* to_string(GemmPass p) {
+  switch (p) {
+    case GemmPass::kForward: return "fwd";
+    case GemmPass::kBackwardData: return "bwd-grad";
+    case GemmPass::kBackwardWeight: return "bwd-weight";
+  }
+  return "?";
+}
+
+/// Per-layer override applied on top of the per-pass configurations when a
+/// layer named `Layer::name()` executes. Unset fields keep the pass value.
+struct LayerQuantRule {
+  std::optional<FpFormat> mul_fmt;
+  std::optional<FpFormat> acc_fmt;
+  std::optional<AdderKind> adder;
+  std::optional<int> random_bits;
+  std::optional<bool> subnormals;
+
+  MacConfig applied_to(MacConfig cfg) const {
+    if (mul_fmt) cfg.mul_fmt = *mul_fmt;
+    if (acc_fmt) cfg.acc_fmt = *acc_fmt;
+    if (adder) cfg.adder = *adder;
+    if (random_bits) cfg.random_bits = *random_bits;
+    if (subnormals) cfg.subnormals = *subnormals;
+    return cfg;
+  }
+};
+
+/// What gets quantized how, as data: one full MacConfig per GEMM pass
+/// (multiplier/accumulator format, RN/SR adder, random bits, subnormals),
+/// optional per-layer overrides, and the seed-derivation constant. This
+/// generalizes the old ComputeContext flag soup — HFP8's "E4M3 forward,
+/// E5M2 backward" special case is just one policy instance (hfp8()), and
+/// mixed-precision schedules the paper doesn't study (wider accumulators
+/// for weight gradients, RN forward + SR backward, per-layer formats) are
+/// policies too, with no new plumbing.
+struct QuantPolicy {
+  /// Indexed by GemmPass. Meaningless under the fp32 backend.
+  MacConfig passes[3];
+
+  /// Overrides keyed by Layer::name() (e.g. "Linear"), applied by
+  /// ComputeContext::for_layer as the Sequential walks the graph. Shared,
+  /// immutable, and usually null — contexts are copied on every fork.
+  std::shared_ptr<const std::map<std::string, LayerQuantRule>> layer_rules;
+
+  /// Seed-derivation multiplier used by ComputeContext::fork: the
+  /// decorrelation schedule is policy data, not hard-wired arithmetic.
+  uint64_t fork_mult = 0x9E3779B97F4A7C15ull;
+
+  /// Every pass runs the same MacConfig (the paper's main configurations).
+  static QuantPolicy uniform(const MacConfig& cfg) {
+    QuantPolicy p;
+    p.passes[0] = p.passes[1] = p.passes[2] = cfg;
+    return p;
+  }
+
+  /// The HFP8 scheme [7]: forward GEMMs quantize multiplier inputs in
+  /// `fwd_fmt` (E4M3: more precision for activations/weights), both
+  /// backward GEMMs in `bwd_fmt` (E5M2: more range for gradients); the
+  /// accumulator and adder come from `base` unchanged.
+  static QuantPolicy hfp8(const MacConfig& base,
+                          const FpFormat& fwd_fmt = kFp8E4M3,
+                          const FpFormat& bwd_fmt = kFp8E5M2) {
+    QuantPolicy p = uniform(base);
+    p.passes[static_cast<int>(GemmPass::kForward)].mul_fmt = fwd_fmt;
+    p.passes[static_cast<int>(GemmPass::kBackwardData)].mul_fmt = bwd_fmt;
+    p.passes[static_cast<int>(GemmPass::kBackwardWeight)].mul_fmt = bwd_fmt;
+    return p;
+  }
+
+  const MacConfig& mac_for(GemmPass pass) const {
+    return passes[static_cast<int>(pass)];
+  }
+
+  /// Copy with `rule` registered for layers named `layer`.
+  QuantPolicy with_layer_rule(const std::string& layer,
+                              const LayerQuantRule& rule) const {
+    QuantPolicy p = *this;
+    auto rules = layer_rules
+                     ? std::map<std::string, LayerQuantRule>(*layer_rules)
+                     : std::map<std::string, LayerQuantRule>();
+    rules[layer] = rule;
+    p.layer_rules = std::make_shared<const std::map<std::string, LayerQuantRule>>(
+        std::move(rules));
+    return p;
+  }
+};
+
+}  // namespace srmac

@@ -1,0 +1,43 @@
+#include "engine/telemetry.hpp"
+
+#include "hwcost/adder_designs.hpp"
+
+namespace srmac {
+
+void Telemetry::record_gemm(const std::string& backend, int M, int N, int K,
+                            double seconds) {
+  const uint64_t macs = static_cast<uint64_t>(M) * static_cast<uint64_t>(N) *
+                        static_cast<uint64_t>(K);
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.gemms += 1;
+  totals_.macs += macs;
+  totals_.seconds += seconds;
+  BackendStats& b = totals_.per_backend[backend];
+  b.gemms += 1;
+  b.macs += macs;
+  b.seconds += seconds;
+}
+
+void Telemetry::record_quantize(uint64_t values, const FpFormat& fmt) {
+  const uint64_t bytes = values * static_cast<uint64_t>((fmt.width() + 7) / 8);
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.bytes_quantized += bytes;
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_ = TelemetrySnapshot{};
+}
+
+double TelemetrySnapshot::projected_mac_energy_uj(const MacConfig& cfg) const {
+  const hw::AsicReport rep = hw::asic_mac_cost(cfg.normalized());
+  // energy_nw_mhz is fJ per MAC cycle; 1e-9 converts fJ to uJ.
+  return static_cast<double>(macs) * rep.energy_nw_mhz * 1e-9;
+}
+
+}  // namespace srmac

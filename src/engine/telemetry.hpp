@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "mac/mac_config.hpp"
+
+namespace srmac {
+
+/// Aggregated counters for one backend (one row of a snapshot).
+struct BackendStats {
+  uint64_t gemms = 0;    ///< GEMM dispatches
+  uint64_t macs = 0;     ///< MAC steps retired (sum of M*N*K)
+  double seconds = 0.0;  ///< wall time inside the backend
+};
+
+/// Point-in-time copy of a Telemetry sink's counters.
+struct TelemetrySnapshot {
+  uint64_t gemms = 0;
+  uint64_t macs = 0;
+  uint64_t bytes_quantized = 0;  ///< operand bytes freshly quantized
+  double seconds = 0.0;
+  std::map<std::string, BackendStats> per_backend;
+
+  /// Projects the recorded MAC count onto the hwcost layer: the energy the
+  /// paper's ASIC MAC (asic_mac_cost of `cfg`) would have spent retiring
+  /// the same number of MAC steps, in microjoules. energy_nw_mhz is
+  /// femtojoules per cycle at one MAC per cycle.
+  double projected_mac_energy_uj(const MacConfig& cfg) const;
+};
+
+/// Thread-safe sink for the engine's execution counters: GEMM count, MAC
+/// count, bytes quantized, and per-backend wall time. One mutex-guarded
+/// record per GEMM dispatch (not per element), so the cost is invisible
+/// next to any real GEMM. ComputeContext carries a non-owning pointer;
+/// EmuEngine owns one sink per engine, and the layer benches read the
+/// counters back through snapshot().
+class Telemetry {
+ public:
+  /// Records one GEMM dispatched to `backend` covering M*N*K MAC steps.
+  void record_gemm(const std::string& backend, int M, int N, int K,
+                   double seconds);
+
+  /// Records `values` operand words freshly quantized into `fmt`
+  /// (byte-rounded per value: ceil(width/8)).
+  void record_quantize(uint64_t values, const FpFormat& fmt);
+
+  TelemetrySnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  TelemetrySnapshot totals_;
+};
+
+}  // namespace srmac

@@ -1,8 +1,42 @@
 #include "fpemu/format.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 
 namespace srmac {
+
+namespace {
+
+/// Parses a decimal run starting at s[i]; advances i. Returns -1 if empty.
+/// Saturates at a value above any legal field width so arbitrarily long
+/// digit runs cannot overflow (the range check then rejects them).
+int parse_int(std::string_view s, size_t& i) {
+  int v = -1;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    if (v < 0) v = 0;
+    v = std::min(v * 10 + (s[i] - '0'), 1000000);
+    ++i;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<FpFormat> FpFormat::parse(std::string_view token) {
+  size_t i = 0;
+  if (i >= token.size() || std::tolower(static_cast<unsigned char>(token[i])) != 'e')
+    return std::nullopt;
+  ++i;
+  const int e = parse_int(token, i);
+  if (i >= token.size() || std::tolower(static_cast<unsigned char>(token[i])) != 'm')
+    return std::nullopt;
+  ++i;
+  const int m = parse_int(token, i);
+  if (i != token.size() || e < 2 || e > 8 || m < 0 || m > 23)
+    return std::nullopt;
+  return FpFormat{e, m, true};
+}
 
 std::string FpFormat::name() const {
   // snprintf instead of string concatenation: GCC 12's -Wrestrict fires a

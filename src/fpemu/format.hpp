@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace srmac {
 
@@ -54,6 +56,13 @@ struct FpFormat {
   }
 
   std::string name() const;  ///< e.g. "E6M5"
+
+  /// Parses a format token of the scenario-string grammar: "e5m2" / "E5M2"
+  /// (case-insensitive, subnormals left at the default `true`; the MacConfig
+  /// grammar's subON/subOFF option toggles them). Returns nullopt on
+  /// malformed input or out-of-range field widths (exp 2..8, man 0..23 — the
+  /// ranges the uint32-packed softfloat layer supports).
+  static std::optional<FpFormat> parse(std::string_view token);
 };
 
 /// The formats used throughout the paper.

@@ -25,7 +25,7 @@ namespace srmac {
 /// test_gemm_fastpath.cpp); see docs/PERF.md for the architecture.
 void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
               int lda, const float* B, int ldb, float* C, int ldc,
-              bool accumulate = false, uint64_t seed = 0x5EED5EEDull,
+              bool accumulate = false, uint64_t seed = kDefaultSeed,
               int threads = 0);
 
 /// gemm_mac on operands already quantized to cfg.mul_fmt bit patterns
@@ -35,7 +35,7 @@ void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
 void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
                    const uint32_t* Aq, int lda, const uint32_t* Bq, int ldb,
                    float* C, int ldc, bool accumulate = false,
-                   uint64_t seed = 0x5EED5EEDull, int threads = 0);
+                   uint64_t seed = kDefaultSeed, int threads = 0);
 
 /// The seed implementation: one MacUnit per output element stepping through
 /// packed bits, kept as the golden reference the fused engine is verified
@@ -43,7 +43,7 @@ void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
 void gemm_mac_reference(const MacConfig& cfg, int M, int N, int K,
                         const float* A, int lda, const float* B, int ldb,
                         float* C, int ldc, bool accumulate = false,
-                        uint64_t seed = 0x5EED5EEDull, int threads = 0);
+                        uint64_t seed = kDefaultSeed, int threads = 0);
 
 /// Float reference GEMM with the same interface (the FP32 baseline).
 void gemm_ref(int M, int N, int K, const float* A, int lda, const float* B,

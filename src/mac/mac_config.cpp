@@ -1,0 +1,118 @@
+#include "mac/mac_config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace srmac {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+std::string adder_token(AdderKind k) {
+  switch (k) {
+    case AdderKind::kRoundNearest: return "rn";
+    case AdderKind::kLazySR: return "lazy_sr";
+    case AdderKind::kEagerSR: return "eager_sr";
+  }
+  return "?";
+}
+
+std::optional<AdderKind> parse_adder_token(std::string_view token) {
+  const std::string t = lower(token);
+  if (t == "rn") return AdderKind::kRoundNearest;
+  if (t == "lazy_sr") return AdderKind::kLazySR;
+  if (t == "eager_sr") return AdderKind::kEagerSR;
+  return std::nullopt;
+}
+
+std::string MacConfig::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s:e%dm%d/e%dm%d:r=%d:sub%s",
+                adder_token(adder).c_str(), mul_fmt.exp_bits, mul_fmt.man_bits,
+                acc_fmt.exp_bits, acc_fmt.man_bits, random_bits,
+                subnormals ? "ON" : "OFF");
+  return buf;
+}
+
+std::optional<MacConfig> MacConfig::parse(std::string_view spec,
+                                          std::string* error) {
+  auto err = [&](const std::string& msg) -> std::optional<MacConfig> {
+    fail(error, msg + " in \"" + std::string(spec) + "\"");
+    return std::nullopt;
+  };
+
+  const auto parts = split(spec, ':');
+  if (parts.size() < 2) return err("expected adder:mulfmt/accfmt");
+
+  MacConfig cfg;
+  const auto adder = parse_adder_token(parts[0]);
+  if (!adder) return err("unknown adder \"" + std::string(parts[0]) + "\"");
+  cfg.adder = *adder;
+
+  const auto fmts = split(parts[1], '/');
+  if (fmts.size() != 2) return err("expected mulfmt/accfmt");
+  const auto mul = FpFormat::parse(fmts[0]);
+  if (!mul) return err("bad multiplier format \"" + std::string(fmts[0]) + "\"");
+  const auto acc = FpFormat::parse(fmts[1]);
+  if (!acc) return err("bad accumulator format \"" + std::string(fmts[1]) + "\"");
+  cfg.mul_fmt = *mul;
+  cfg.acc_fmt = *acc;
+
+  bool have_r = false;
+  for (size_t i = 2; i < parts.size(); ++i) {
+    const std::string opt = lower(parts[i]);
+    if (opt.rfind("r=", 0) == 0) {
+      int r = 0;
+      bool any = false;
+      for (size_t j = 2; j < opt.size(); ++j) {
+        if (!std::isdigit(static_cast<unsigned char>(opt[j])))
+          return err("bad random-bit option \"" + std::string(parts[i]) + "\"");
+        // Saturate: long digit runs must not overflow (normalized() clamps
+        // the stored value into the adder's real range later).
+        r = std::min(r * 10 + (opt[j] - '0'), 1000000);
+        any = true;
+      }
+      if (!any) return err("bad random-bit option \"" + std::string(parts[i]) + "\"");
+      cfg.random_bits = r;
+      have_r = true;
+    } else if (opt == "subon") {
+      cfg.subnormals = true;
+    } else if (opt == "suboff") {
+      cfg.subnormals = false;
+    } else {
+      return err("unknown option \"" + std::string(parts[i]) + "\"");
+    }
+  }
+  if (!have_r) cfg.random_bits = default_random_bits(cfg.acc_fmt);
+  cfg.mul_fmt.subnormals = cfg.subnormals;
+  cfg.acc_fmt.subnormals = cfg.subnormals;
+  return cfg;
+}
+
+}  // namespace srmac

@@ -1,11 +1,20 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "fpemu/format.hpp"
 
 namespace srmac {
+
+/// Base seed every per-element LFSR derivation starts from when the caller
+/// does not provide one. A single constant shared by the direct GEMM entry
+/// points (mac/gemm.hpp) and the engine's ComputeContext, so a
+/// context-default run and a direct-call run are reproducibly identical.
+inline constexpr uint64_t kDefaultSeed = 0x5EED5EEDull;
 
 /// Which adder micro-architecture a MAC instantiates (paper Sec. III).
 enum class AdderKind {
@@ -15,6 +24,10 @@ enum class AdderKind {
 };
 
 std::string to_string(AdderKind k);
+
+/// Scenario-grammar token of an adder kind: "rn" / "lazy_sr" / "eager_sr".
+std::string adder_token(AdderKind k);
+std::optional<AdderKind> parse_adder_token(std::string_view token);
 
 /// Full configuration of a MAC unit: FP8-class multiplier inputs, a wider
 /// accumulator format, the adder kind, the number of random bits r, and
@@ -48,7 +61,29 @@ struct MacConfig {
     return c;
   }
 
+  friend bool operator==(const MacConfig& a, const MacConfig& b) {
+    return a.mul_fmt == b.mul_fmt && a.acc_fmt == b.acc_fmt &&
+           a.adder == b.adder && a.random_bits == b.random_bits &&
+           a.subnormals == b.subnormals;
+  }
+
   std::string name() const;
+
+  /// Canonical scenario string, e.g. "eager_sr:e5m2/e6m5:r=9:subON" —
+  /// the grammar shared by EmuEngine::Builder, the common CLI helper, and
+  /// every bench/example that selects a configuration by string:
+  ///
+  ///   macspec := adder ":" mulfmt "/" accfmt [":r=" int] [":sub" ("ON"|"OFF")]
+  ///   adder   := "rn" | "lazy_sr" | "eager_sr"
+  ///   fmt     := "e" int "m" int
+  ///
+  /// to_string() always emits every field; parse() accepts omitted options
+  /// (r defaults to default_random_bits(acc), sub defaults to ON) and is
+  /// case-insensitive in the tokens. parse(to_string()) round-trips exactly
+  /// (asserted by tests/mac/mac_config_roundtrip_test.cpp).
+  std::string to_string() const;
+  static std::optional<MacConfig> parse(std::string_view spec,
+                                        std::string* error = nullptr);
 };
 
 inline std::string to_string(AdderKind k) {
@@ -61,7 +96,8 @@ inline std::string to_string(AdderKind k) {
 }
 
 inline std::string MacConfig::name() const {
-  return to_string(adder) + " " + acc_fmt.name() +
+  // srmac:: qualification: the to_string() member hides the free overload.
+  return srmac::to_string(adder) + " " + acc_fmt.name() +
          (adder == AdderKind::kRoundNearest ? "" : " r=" + std::to_string(random_bits)) +
          (subnormals ? " subON" : " subOFF");
 }

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "fpemu/softfloat.hpp"
+#include "mac/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace srmac {
 
@@ -35,40 +37,54 @@ uint64_t SystolicArray::cycle_model(int M, int N, int K) const {
 
 uint64_t SystolicArray::gemm(int M, int N, int K, const float* A,
                              const float* B, float* C) {
+  return gemm(M, N, K, A, K, B, N, C, N, /*accumulate=*/false, /*threads=*/0);
+}
+
+uint64_t SystolicArray::gemm(int M, int N, int K, const float* A, int lda,
+                             const float* B, int ldb, float* C, int ldc,
+                             bool accumulate, int threads) {
   // Quantize operand streams once (what the feeders would hold in SRAM).
   std::vector<uint32_t> qa(static_cast<size_t>(M) * K), qb(static_cast<size_t>(K) * N);
-  for (int i = 0; i < M; ++i)
-    for (int k = 0; k < K; ++k)
-      qa[static_cast<size_t>(i) * K + k] = SoftFloat::from_double(
-          cfg_.mul_fmt, A[static_cast<size_t>(i) * K + k]);
-  for (int k = 0; k < K; ++k)
-    for (int j = 0; j < N; ++j)
-      qb[static_cast<size_t>(k) * N + j] = SoftFloat::from_double(
-          cfg_.mul_fmt, B[static_cast<size_t>(k) * N + j]);
+  gemm_quantize(cfg_.mul_fmt, M, K, A, lda, qa.data(), threads);
+  gemm_quantize(cfg_.mul_fmt, K, N, B, ldb, qb.data(), threads);
 
-  uint64_t macs = 0;
-  for (int ti = 0; ti * rows_ < M; ++ti) {
-    for (int tj = 0; tj * cols_ < N; ++tj) {
-      // One output-stationary tile: every PE owns C[i][j] and consumes the
-      // skewed A-row / B-column streams. Functionally this is a MAC chain
-      // per PE in k order — bit-identical to the MacUnit reference.
-      for (int pi = 0; pi < rows_; ++pi) {
-        const int i = ti * rows_ + pi;
-        if (i >= M) break;
-        for (int pj = 0; pj < cols_; ++pj) {
-          const int j = tj * cols_ + pj;
-          if (j >= N) break;
-          MacUnit pe(cfg_, pe_seed(seed_, ti, tj, pi, pj));
-          for (int k = 0; k < K; ++k) {
-            pe.step(qa[static_cast<size_t>(i) * K + k],
-                    qb[static_cast<size_t>(k) * N + j]);
+  const int tiles_m = (M + rows_ - 1) / rows_;
+  const int tiles_n = (N + cols_ - 1) / cols_;
+  // One output-stationary tile per task: every PE owns C[i][j] and consumes
+  // the skewed A-row / B-column streams. Functionally this is a MAC chain
+  // per PE in k order — bit-identical to the MacUnit reference — and tiles
+  // are independent, so they split across the pool.
+  ThreadPool::global().parallel_for(
+      0, static_cast<int64_t>(tiles_m) * tiles_n,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+          const int ti = static_cast<int>(t / tiles_n);
+          const int tj = static_cast<int>(t % tiles_n);
+          for (int pi = 0; pi < rows_; ++pi) {
+            const int i = ti * rows_ + pi;
+            if (i >= M) break;
+            for (int pj = 0; pj < cols_; ++pj) {
+              const int j = tj * cols_ + pj;
+              if (j >= N) break;
+              MacUnit pe(cfg_, pe_seed(seed_, ti, tj, pi, pj));
+              if (accumulate) {
+                pe.set_acc(SoftFloat::from_double(
+                    cfg_.acc_fmt, C[static_cast<size_t>(i) * ldc + j]));
+              }
+              for (int k = 0; k < K; ++k) {
+                pe.step(qa[static_cast<size_t>(i) * K + k],
+                        qb[static_cast<size_t>(k) * N + j]);
+              }
+              C[static_cast<size_t>(i) * ldc + j] =
+                  static_cast<float>(pe.acc_value());
+            }
           }
-          macs += static_cast<uint64_t>(K);
-          C[static_cast<size_t>(i) * N + j] = static_cast<float>(pe.acc_value());
         }
-      }
-    }
-  }
+      },
+      threads, /*grain=*/1);
+
+  const uint64_t macs =
+      static_cast<uint64_t>(M) * static_cast<uint64_t>(N) * K;
   const uint64_t cycles = cycle_model(M, N, K);
   last_util_ = static_cast<double>(macs) /
                (static_cast<double>(rows_) * cols_ * static_cast<double>(cycles));

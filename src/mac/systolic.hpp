@@ -40,6 +40,14 @@ class SystolicArray {
   uint64_t gemm(int M, int N, int K, const float* A, const float* B,
                 float* C);
 
+  /// General form used by the engine's "systolic" backend: leading
+  /// dimensions, accumulation into C (each PE's accumulator starts from the
+  /// existing C value in acc_fmt, as in gemm_mac), and output tiles
+  /// simulated in parallel on the shared thread pool (0 = hardware
+  /// concurrency; per-PE seeds keep results thread-count invariant).
+  uint64_t gemm(int M, int N, int K, const float* A, int lda, const float* B,
+                int ldb, float* C, int ldc, bool accumulate, int threads);
+
   /// Tensor convenience wrapper.
   Tensor matmul(const Tensor& a, const Tensor& b, uint64_t* cycles = nullptr);
 

@@ -103,7 +103,7 @@ Tensor Conv2d::forward(const ComputeContext& ctx, const Tensor& x,
   // One batched GEMM: cols_ is K x (N*L); out = W * cols_.
   build_cols(ctx, x, oh, ow);
   Tensor out_flat({out_ch_, N * L});
-  if (ctx.bit_accurate) {
+  if (ctx.bit_accurate()) {
     const auto& wq = wq_.get(w_, ctx.quant_fmt(), /*transposed=*/false);
     matmul_qa(ctx, out_ch_, N * L, K, wq.data(), cols_.data(),
               out_flat.data());
@@ -138,13 +138,13 @@ Tensor Conv2d::backward(const ComputeContext& ctx, const Tensor& gout) {
                   g_flat.data() + (static_cast<size_t>(c) * N + n) * L);
 
   // dW = gout * cols^T   (BWD weight-gradient GEMM).
-  matmul_nt(ctx.fork(1), out_ch_, K, N * L, g_flat.data(), cols_.data(),
-            w_.grad.data(), /*accumulate=*/true);
+  matmul_nt(ctx.fork(1).weight_grad(), out_ch_, K, N * L, g_flat.data(),
+            cols_.data(), w_.grad.data(), /*accumulate=*/true);
 
   // gcols = W^T * gout   (BWD data-gradient GEMM), then col2im.
   const ComputeContext ctx_gx = ctx.fork(2);
   Tensor gcols({K, N * L});
-  if (ctx_gx.bit_accurate) {
+  if (ctx_gx.bit_accurate()) {
     const auto& wqt = wq_.get(w_, ctx_gx.quant_fmt(), /*transposed=*/true);
     matmul_qa(ctx_gx, K, N * L, out_ch_, wqt.data(), g_flat.data(),
               gcols.data());
@@ -186,7 +186,7 @@ Tensor Linear::forward(const ComputeContext& ctx, const Tensor& x,
   const int N = x.dim(0);
   if (training) x_cache_ = x;
   Tensor out({N, out_f_});
-  if (ctx.bit_accurate) {
+  if (ctx.bit_accurate()) {
     // B = W^T from the cached transposed weight plane.
     const auto& wqt = wq_.get(w_, ctx.quant_fmt(), /*transposed=*/true);
     matmul_qb(ctx, N, out_f_, in_f_, x.data(), wqt.data(), out.data());
@@ -201,13 +201,13 @@ Tensor Linear::forward(const ComputeContext& ctx, const Tensor& x,
 Tensor Linear::backward(const ComputeContext& ctx, const Tensor& gout) {
   const int N = gout.dim(0);
   // dW = gout^T * x ; db = column sums ; gx = gout * W.
-  matmul_tn(ctx.fork(1), out_f_, in_f_, N, gout.data(), x_cache_.data(),
-            w_.grad.data(), /*accumulate=*/true);
+  matmul_tn(ctx.fork(1).weight_grad(), out_f_, in_f_, N, gout.data(),
+            x_cache_.data(), w_.grad.data(), /*accumulate=*/true);
   for (int n = 0; n < N; ++n)
     for (int o = 0; o < out_f_; ++o) b_.grad[o] += gout.at(n, o);
   Tensor gx({N, in_f_});
   const ComputeContext ctx_gx = ctx.fork(2);
-  if (ctx_gx.bit_accurate) {
+  if (ctx_gx.bit_accurate()) {
     const auto& wq = wq_.get(w_, ctx_gx.quant_fmt(), /*transposed=*/false);
     matmul_qb(ctx_gx, N, in_f_, out_f_, gout.data(), wq.data(), gx.data());
   } else {

@@ -58,10 +58,12 @@ class WeightQuantCache {
 /// gradient w.r.t. the output and returns the gradient w.r.t. the input,
 /// accumulating parameter gradients into their `grad` tensors.
 ///
-/// The ComputeContext decides whether the layer's GEMMs run in FP32 or
-/// through the bit-accurate MAC emulation (both directions, matching the
-/// paper: "all GEMM operations during training (FWD and BWD passes) are
-/// performed using low-precision MAC units").
+/// The ComputeContext decides which backend the layer's GEMMs run on — the
+/// FP32 reference or a bit-accurate MAC emulation backend (both directions,
+/// matching the paper: "all GEMM operations during training (FWD and BWD
+/// passes) are performed using low-precision MAC units") — and its
+/// QuantPolicy decides the per-pass (and, via for_layer, per-layer)
+/// quantization formats.
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -82,14 +84,15 @@ class Sequential : public Layer {
                  bool training) override {
     Tensor h = x;
     int salt = 0;
-    for (auto& l : layers_) h = l->forward(ctx.fork(++salt), h, training);
+    for (auto& l : layers_)
+      h = l->forward(ctx.fork(++salt).for_layer(l->name()), h, training);
     return h;
   }
   Tensor backward(const ComputeContext& ctx, const Tensor& gout) override {
     Tensor g = gout;
     int salt = static_cast<int>(layers_.size());
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-      g = (*it)->backward(ctx.fork(1000 + salt--), g);
+      g = (*it)->backward(ctx.fork(1000 + salt--).for_layer((*it)->name()), g);
     return g;
   }
   void collect_params(std::vector<Param*>& out) override {

@@ -1,46 +1,139 @@
 #include "tensor/tensor_ops.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <vector>
 
+#include "fpemu/softfloat.hpp"
 #include "mac/gemm.hpp"
 
 namespace srmac {
 
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Dispatches one float-operand GEMM on the context's backend, recording
+/// the call into the telemetry sink when one is attached.
+void dispatch(const ComputeContext& ctx, const GemmArgs& args) {
+  assert(ctx.backend && "ComputeContext must carry a backend");
+  const MacConfig cfg = ctx.mac_config().normalized();
+  const double t0 = ctx.telemetry ? now_s() : 0.0;
+  ctx.backend->gemm(cfg, args);
+  if (ctx.telemetry) {
+    ctx.telemetry->record_gemm(ctx.backend->name(), args.M, args.N, args.K,
+                               now_s() - t0);
+    if (ctx.bit_accurate())
+      ctx.telemetry->record_quantize(
+          static_cast<uint64_t>(args.M) * args.K +
+              static_cast<uint64_t>(args.K) * args.N,
+          cfg.mul_fmt);
+  }
+}
+
+/// Dispatches one pre-quantized-operand GEMM on the context's backend;
+/// `fresh_quant_values` is how many operand words this call quantized anew
+/// (the cached plane was not).
+void dispatch_bits(const ComputeContext& ctx, const MacConfig& cfg,
+                   const GemmBitsArgs& args, uint64_t fresh_quant_values) {
+  const double t0 = ctx.telemetry ? now_s() : 0.0;
+  ctx.backend->gemm_bits(cfg, args);
+  if (ctx.telemetry) {
+    ctx.telemetry->record_gemm(ctx.backend->name(), args.M, args.N, args.K,
+                               now_s() - t0);
+    ctx.telemetry->record_quantize(fresh_quant_values, cfg.mul_fmt);
+  }
+}
+
+/// Decodes a quantized operand plane back to floats — the fallback feeding
+/// backends without native gemm_bits. Lossless round trip: the backend's
+/// RN requantization of a value already on the format grid returns the
+/// same bits.
+std::vector<float> decode_plane(const FpFormat& fmt, int rows, int cols,
+                                const uint32_t* bits) {
+  std::vector<float> out(static_cast<size_t>(rows) * cols);
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<float>(SoftFloat::to_double(fmt, bits[i]));
+  return out;
+}
+
+}  // namespace
+
 void matmul(const ComputeContext& ctx, int M, int N, int K, const float* A,
             const float* B, float* C, bool accumulate) {
-  if (ctx.bit_accurate) {
-    MacConfig cfg = ctx.mac;
-    cfg.mul_fmt = ctx.mul_fmt();  // HFP8 swaps the format on backward GEMMs
-    gemm_mac(cfg, M, N, K, A, K, B, N, C, N, accumulate, ctx.seed,
-             ctx.threads);
-  } else {
-    gemm_ref(M, N, K, A, K, B, N, C, N, accumulate, ctx.threads);
-  }
+  GemmArgs args;
+  args.M = M;
+  args.N = N;
+  args.K = K;
+  args.A = A;
+  args.lda = K;
+  args.B = B;
+  args.ldb = N;
+  args.C = C;
+  args.ldc = N;
+  args.accumulate = accumulate;
+  args.seed = ctx.seed;
+  args.threads = ctx.threads;
+  dispatch(ctx, args);
 }
 
 void matmul_qa(const ComputeContext& ctx, int M, int N, int K,
                const uint32_t* Aq, const float* B, float* C, bool accumulate) {
-  assert(ctx.bit_accurate && "quantized-operand matmul needs a MAC context");
-  MacConfig cfg = ctx.mac;
-  cfg.mul_fmt = ctx.mul_fmt();
-  const MacConfig c = cfg.normalized();
+  assert(ctx.bit_accurate() && "quantized-operand matmul needs a MAC context");
+  const MacConfig cfg = ctx.mac_config().normalized();
+  if (!ctx.backend->supports_prequantized()) {
+    const std::vector<float> a = decode_plane(cfg.mul_fmt, M, K, Aq);
+    matmul(ctx, M, N, K, a.data(), B, C, accumulate);
+    return;
+  }
   std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
-  gemm_quantize(c.mul_fmt, K, N, B, N, qb.data(), ctx.threads);
-  gemm_mac_bits(c, M, N, K, Aq, K, qb.data(), N, C, N, accumulate, ctx.seed,
-                ctx.threads);
+  gemm_quantize(cfg.mul_fmt, K, N, B, N, qb.data(), ctx.threads);
+  GemmBitsArgs args;
+  args.M = M;
+  args.N = N;
+  args.K = K;
+  args.Aq = Aq;
+  args.lda = K;
+  args.Bq = qb.data();
+  args.ldb = N;
+  args.C = C;
+  args.ldc = N;
+  args.accumulate = accumulate;
+  args.seed = ctx.seed;
+  args.threads = ctx.threads;
+  // Only B was freshly quantized; the cached A plane was not.
+  dispatch_bits(ctx, cfg, args, static_cast<uint64_t>(K) * N);
 }
 
 void matmul_qb(const ComputeContext& ctx, int M, int N, int K, const float* A,
                const uint32_t* Bq, float* C, bool accumulate) {
-  assert(ctx.bit_accurate && "quantized-operand matmul needs a MAC context");
-  MacConfig cfg = ctx.mac;
-  cfg.mul_fmt = ctx.mul_fmt();
-  const MacConfig c = cfg.normalized();
+  assert(ctx.bit_accurate() && "quantized-operand matmul needs a MAC context");
+  const MacConfig cfg = ctx.mac_config().normalized();
+  if (!ctx.backend->supports_prequantized()) {
+    const std::vector<float> b = decode_plane(cfg.mul_fmt, K, N, Bq);
+    matmul(ctx, M, N, K, A, b.data(), C, accumulate);
+    return;
+  }
   std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
-  gemm_quantize(c.mul_fmt, M, K, A, K, qa.data(), ctx.threads);
-  gemm_mac_bits(c, M, N, K, qa.data(), K, Bq, N, C, N, accumulate, ctx.seed,
-                ctx.threads);
+  gemm_quantize(cfg.mul_fmt, M, K, A, K, qa.data(), ctx.threads);
+  GemmBitsArgs args;
+  args.M = M;
+  args.N = N;
+  args.K = K;
+  args.Aq = qa.data();
+  args.lda = K;
+  args.Bq = Bq;
+  args.ldb = N;
+  args.C = C;
+  args.ldc = N;
+  args.accumulate = accumulate;
+  args.seed = ctx.seed;
+  args.threads = ctx.threads;
+  dispatch_bits(ctx, cfg, args, static_cast<uint64_t>(M) * K);
 }
 
 void matmul_nt(const ComputeContext& ctx, int M, int N, int K, const float* A,

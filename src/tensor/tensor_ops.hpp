@@ -1,63 +1,15 @@
 #pragma once
 
-#include "mac/mac_config.hpp"
+#include "engine/compute_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace srmac {
 
-/// How the training math executes: the FP32 reference path, or the
-/// bit-accurate MAC emulation (the paper's PyTorch/CUDA flow, here in C++).
-struct ComputeContext {
-  bool bit_accurate = false;  ///< route GEMMs through the MAC models
-  MacConfig mac;              ///< MAC configuration when bit_accurate
-  uint64_t seed = 0x5EED;     ///< base seed for per-element LFSRs
-  int threads = 0;            ///< 0 = hardware concurrency
-
-  /// HFP8 [7]: quantize forward GEMMs in mac.mul_fmt (E4M3 under the
-  /// scheme) but backward GEMMs in `mul_fmt_bwd` (E5M2: more range for
-  /// gradients). `backward_pass` is set once by the trainer at the
-  /// top-level backward call and propagates through fork().
-  bool hfp8 = false;
-  FpFormat mul_fmt_bwd = kFp8E5M2;
-  bool backward_pass = false;
-
-  /// FP32 baseline context.
-  static ComputeContext fp32() { return {}; }
-  /// Bit-accurate context for a MAC configuration.
-  static ComputeContext emulated(const MacConfig& cfg, uint64_t seed = 0x5EED) {
-    ComputeContext c;
-    c.bit_accurate = true;
-    c.mac = cfg;
-    c.seed = seed;
-    return c;
-  }
-  /// Derives a context with a decorrelated seed (per layer / per pass).
-  ComputeContext fork(uint64_t salt) const {
-    ComputeContext c = *this;
-    c.seed = seed * 0x9E3779B97F4A7C15ull + salt;
-    return c;
-  }
-
-  /// Marks the context as inside the backward pass (HFP8 format switch).
-  ComputeContext backward() const {
-    ComputeContext c = *this;
-    c.backward_pass = true;
-    return c;
-  }
-
-  /// The multiplier-input format this context's GEMMs quantize into.
-  const FpFormat& mul_fmt() const {
-    return hfp8 && backward_pass ? mul_fmt_bwd : mac.mul_fmt;
-  }
-
-  /// mul_fmt() with the context's subnormal flag applied — the exact format
-  /// gemm_mac quantizes operands into (cached weight planes must match it).
-  FpFormat quant_fmt() const { return mul_fmt().with_subnormals(mac.subnormals); }
-};
-
-/// C[MxN] = A[MxK] * B[KxN] (+C), through the context's compute path.
+/// C[MxN] = A[MxK] * B[KxN] (+C), through the context's compute backend.
 /// Every multiply-accumulate of DNN training (FWD and BWD GEMMs) passes
-/// through here, as in the paper's Sec. IV emulation flow.
+/// through here, as in the paper's Sec. IV emulation flow: the context's
+/// backend executes, its policy decides the per-pass quantization, and its
+/// telemetry sink (when present) records the dispatch.
 void matmul(const ComputeContext& ctx, int M, int N, int K, const float* A,
             const float* B, float* C, bool accumulate = false);
 
@@ -72,7 +24,10 @@ void matmul_tn(const ComputeContext& ctx, int M, int N, int K,
 
 /// matmul with one operand already quantized to ctx.quant_fmt() bit
 /// patterns (row-major, MxK resp. KxN) — the layers' cached weight planes.
-/// Only valid on bit-accurate contexts; FP32 contexts keep the float path.
+/// Only valid on bit-accurate contexts. Backends without native
+/// pre-quantized support receive the plane decoded back to floats; their
+/// internal requantization is lossless on already-representable values, so
+/// results match the float path bit for bit.
 void matmul_qa(const ComputeContext& ctx, int M, int N, int K,
                const uint32_t* Aq, const float* B, float* C,
                bool accumulate = false);

@@ -1,0 +1,95 @@
+// Round-trip coverage of the scenario-string grammar (satellite of the
+// EmuEngine PR): MacConfig::parse(MacConfig::to_string(c)) must reproduce
+// c exactly for every adder kind, multiplier/accumulator format pair the
+// emulation supports, random-bit count, and subnormal flag. The sweep is
+// exhaustive over the discrete fields and fuzz-ish over format geometry
+// (every E/M split the softfloat layer accepts), which is the whole input
+// space of the grammar.
+#include <gtest/gtest.h>
+
+#include "mac/mac_config.hpp"
+
+namespace srmac {
+namespace {
+
+MacConfig make(const FpFormat& mul, const FpFormat& acc, AdderKind adder,
+               int r, bool sub) {
+  MacConfig c;
+  c.mul_fmt = mul.with_subnormals(sub);
+  c.acc_fmt = acc.with_subnormals(sub);
+  c.adder = adder;
+  c.random_bits = r;
+  c.subnormals = sub;
+  return c;
+}
+
+TEST(MacConfigRoundTrip, ExhaustiveSweep) {
+  const AdderKind kinds[] = {AdderKind::kRoundNearest, AdderKind::kLazySR,
+                             AdderKind::kEagerSR};
+  const FpFormat muls[] = {kFp8E5M2, kFp8E4M3, FpFormat{3, 4}, FpFormat{2, 1}};
+  const FpFormat accs[] = {kFp12, kFp16, kBf16, kFp32, FpFormat{7, 8}};
+  int checked = 0;
+  for (const AdderKind kind : kinds)
+    for (const FpFormat& mul : muls)
+      for (const FpFormat& acc : accs)
+        for (const int r : {0, 1, 3, 4, 9, 11, 13, 21, 32})
+          for (const bool sub : {true, false}) {
+            const MacConfig c = make(mul, acc, kind, r, sub);
+            const std::string spec = c.to_string();
+            std::string error;
+            const auto back = MacConfig::parse(spec, &error);
+            ASSERT_TRUE(back.has_value()) << spec << ": " << error;
+            EXPECT_EQ(*back, c) << spec;
+            ++checked;
+          }
+  EXPECT_EQ(checked, 3 * 4 * 5 * 9 * 2);
+}
+
+TEST(MacConfigRoundTrip, ParseDefaultsAndCase) {
+  // r defaults to default_random_bits(acc) = p + 3; sub defaults to ON.
+  const auto c = MacConfig::parse("eager_sr:e5m2/e6m5");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->adder, AdderKind::kEagerSR);
+  EXPECT_EQ(c->mul_fmt, kFp8E5M2);
+  EXPECT_EQ(c->acc_fmt, kFp12);
+  EXPECT_EQ(c->random_bits, MacConfig::default_random_bits(kFp12));
+  EXPECT_TRUE(c->subnormals);
+
+  // Tokens are case-insensitive; options reorder freely.
+  const auto upper = MacConfig::parse("EAGER_SR:E5M2/E6M5:SUBOFF:R=9");
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(upper->random_bits, 9);
+  EXPECT_FALSE(upper->subnormals);
+  EXPECT_FALSE(upper->mul_fmt.subnormals);  // sub flag reaches the formats
+
+  const auto rn = MacConfig::parse("rn:e4m3/e8m23:r=0:subON");
+  ASSERT_TRUE(rn.has_value());
+  EXPECT_EQ(rn->adder, AdderKind::kRoundNearest);
+  EXPECT_EQ(rn->acc_fmt, kFp32);
+}
+
+TEST(MacConfigRoundTrip, RejectsMalformedSpecs) {
+  std::string error;
+  for (const char* bad :
+       {"", "eager_sr", "eager_sr:e5m2", "sr:e5m2/e6m5", "eager_sr:e5m2/x",
+        "eager_sr:5m2/e6m5", "eager_sr:e5m2/e6m5:r=", "eager_sr:e5m2/e6m5:r=x",
+        "eager_sr:e5m2/e6m5:blah", "eager_sr:e5m2/e6m5/e6m5",
+        "eager_sr:e99m2/e6m5", "eager_sr:e5m99/e6m5"}) {
+    error.clear();
+    EXPECT_FALSE(MacConfig::parse(bad, &error).has_value()) << bad;
+    EXPECT_NE(error.find('"'), std::string::npos) << "error names the input";
+  }
+}
+
+TEST(MacConfigRoundTrip, AdderTokens) {
+  for (const AdderKind k :
+       {AdderKind::kRoundNearest, AdderKind::kLazySR, AdderKind::kEagerSR}) {
+    const auto back = parse_adder_token(adder_token(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(parse_adder_token("sr").has_value());
+}
+
+}  // namespace
+}  // namespace srmac

@@ -234,11 +234,11 @@ TEST(Hfp8Context, SwitchesFormatOnlyOnBackward) {
   cfg.adder = AdderKind::kEagerSR;
   cfg.random_bits = 9;
   ComputeContext ctx = ComputeContext::emulated(cfg);
-  ctx.hfp8 = true;
-  ctx.mul_fmt_bwd = kFp8E5M2;
+  ctx.policy = QuantPolicy::hfp8(cfg);
 
   EXPECT_EQ(ctx.mul_fmt(), kFp8E4M3);
   EXPECT_EQ(ctx.backward().mul_fmt(), kFp8E5M2);
+  EXPECT_EQ(ctx.weight_grad().mul_fmt(), kFp8E5M2);
   // fork() preserves the pass marker.
   EXPECT_EQ(ctx.backward().fork(7).mul_fmt(), kFp8E5M2);
   EXPECT_EQ(ctx.fork(7).mul_fmt(), kFp8E4M3);
@@ -248,14 +248,14 @@ TEST(Hfp8Context, BackwardGemmQuantizesInBwdFormat) {
   // 1x1x1 GEMM on 1.125: exactly representable in E4M3 (ULP(1) = 1/8) but
   // a tie in E5M2 (ULP(1) = 1/4) that RN resolves down to 1.0. Under HFP8
   // the forward GEMM must keep the value and the backward GEMM must lose
-  // it — direct evidence the pass-dependent format switch reaches the
+  // it — direct evidence the pass-dependent policy switch reaches the
   // quantizers.
   MacConfig cfg;
   cfg.mul_fmt = kFp8E4M3;
   cfg.acc_fmt = kFp32;  // wide accumulator: isolates input quantization
   cfg.adder = AdderKind::kRoundNearest;
   ComputeContext ctx = ComputeContext::emulated(cfg);
-  ctx.hfp8 = true;
+  ctx.policy = QuantPolicy::hfp8(cfg);
 
   const float a = 1.125f, b = 1.0f;
   float c_fwd = 0.0f, c_bwd = 0.0f;
