@@ -12,6 +12,9 @@
 //   --backend=NAME   bench one registry backend against the reference
 //                    instead of the default fused-vs-reference pair — the
 //                    CI backend smoke loops this over every built-in
+//   --batch=N        with --backend: also submit N problems sharing one B
+//                    plane through gemm_batch and report the batch speedup
+//                    over the N sequential gemm() dispatches
 //   --threads=N, --seed=N   as in every engine CLI (src/engine/cli.hpp)
 #include <chrono>
 #include <cstdio>
@@ -68,11 +71,14 @@ Result run_case(const std::string& path, int threads, int m, int n, int k,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  int batch = 0;
   std::string json_path = "BENCH_gemm.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+    else if (std::strncmp(argv[i], "--batch=", 8) == 0)
+      batch = std::atoi(argv[i] + 8);
   }
   const EngineCliArgs eng = parse_engine_cli(argc, argv);
 
@@ -147,6 +153,49 @@ int main(int argc, char** argv) {
       results.push_back(
           run_case(backend->name(), hw, M, N, K, reps, via_backend));
     }
+    if (batch > 1) {
+      // Batch mode: `batch` problems over the same operands (one shared B
+      // plane — the weight-plane fan-out pattern) with distinct seeds and
+      // outputs, submitted once via gemm_batch vs looped via gemm(). The
+      // MAC total is batch * M*N*K; rows compare the two schedules.
+      std::vector<std::vector<float>> Cs(batch,
+                                         std::vector<float>(C.size()));
+      std::vector<GemmBatchItem> items(batch);
+      for (int b = 0; b < batch; ++b) {
+        items[b].cfg = cfg;
+        items[b].args.M = M;
+        items[b].args.N = N;
+        items[b].args.K = K;
+        items[b].args.A = A.data();
+        items[b].args.lda = K;
+        items[b].args.B = B.data();
+        items[b].args.ldb = N;
+        items[b].args.C = Cs[b].data();
+        items[b].args.ldc = N;
+        items[b].args.seed = 7 + b;
+      }
+      auto seq = [&](int threads) {
+        for (int b = 0; b < batch; ++b) {
+          items[b].args.threads = threads;
+          backend->gemm(items[b].cfg, items[b].args);
+        }
+      };
+      auto batched = [&](int threads) {
+        for (int b = 0; b < batch; ++b) items[b].args.threads = threads;
+        backend->gemm_batch(items.data(), items.size());
+      };
+      const std::string tag = "x" + std::to_string(batch);
+      results.push_back(
+          run_case("seq" + tag, 1, M, N, K * batch, reps, seq));
+      results.push_back(
+          run_case("batch" + tag, 1, M, N, K * batch, reps, batched));
+      if (hw > 1) {
+        results.push_back(
+            run_case("seq" + tag, hw, M, N, K * batch, reps, seq));
+        results.push_back(
+            run_case("batch" + tag, hw, M, N, K * batch, reps, batched));
+      }
+    }
   }
 
   auto find = [&](const std::string& path, int threads) -> const Result* {
@@ -154,13 +203,21 @@ int main(int argc, char** argv) {
       if (r.path == path && r.threads == threads) return &r;
     return nullptr;
   };
+  // Batch rows compare against the sequential loop over the same problems;
+  // everything else against the seed reference at the same thread count.
+  auto base_of = [&](const Result& r) -> const Result* {
+    if (r.path.rfind("batchx", 0) == 0)
+      return find("seq" + r.path.substr(5), r.threads);
+    if (r.path.rfind("seqx", 0) == 0) return find(r.path, r.threads);
+    return find("reference", r.threads);
+  };
 
   std::printf("gemm_mac throughput, %dx%dx%d %s (%s)\n", M, N, K,
               cfg.name().c_str(), smoke ? "smoke" : "full");
   std::printf("%-10s %8s %12s %12s %9s\n", "path", "threads", "seconds",
               "MMAC/s", "speedup");
   for (const auto& r : results) {
-    const Result* base = find("reference", r.threads);
+    const Result* base = base_of(r);
     std::printf("%-10s %8d %12.4f %12.1f %8.2fx\n", r.path.c_str(), r.threads,
                 r.seconds, r.mmacs, base ? base->seconds / r.seconds : 1.0);
   }
@@ -181,7 +238,7 @@ int main(int argc, char** argv) {
   js << "  \"hardware_parallelism\": " << hw << ",\n  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
-    const Result* base = find("reference", r.threads);
+    const Result* base = base_of(r);
     js << "    {\"path\": \"" << r.path << "\", \"threads\": " << r.threads
        << ", \"seconds\": " << r.seconds << ", \"mmac_per_s\": " << r.mmacs
        << ", \"speedup_vs_reference\": "

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Dead-link check for the repository's Markdown docs.
+
+Scans every tracked *.md file for inline links and validates the relative
+ones (external http(s)/mailto links and pure #anchors are skipped; an
+anchor on a relative link is stripped before the existence check). Exits
+nonzero listing every dead link, so CI fails when a doc points at a file
+that moved. Stdlib only.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target captured up to the first unescaped ')'; images
+# (![alt](target)) match the same pattern one character in.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    dead = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            checked += 1
+            if not os.path.exists(resolved):
+                line = text[: match.start()].count("\n") + 1
+                dead.append(f"{path}:{line}: dead link -> {match.group(1)}")
+    for entry in dead:
+        print(entry, file=sys.stderr)
+    print(f"checked {checked} relative links, {len(dead)} dead")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,7 @@
 //
 //   --scenario=SPEC   "fp32" or a MacConfig spec, e.g.
 //                     "eager_sr:e5m2/e6m5:r=9:subON" (see docs/API.md)
-//   --backend=NAME    registry key: fp32 | fused | reference | systolic | ...
+//   --backend=NAME    registry key: fp32 | fused | reference | batched | systolic | ...
 //   --hfp8            HFP8 policy (E4M3 forward / E5M2 backward) on top of
 //                     the scenario's accumulator and adder
 //   --seed=N          base LFSR seed (default kDefaultSeed)
@@ -35,7 +35,7 @@ struct EngineCliArgs {
 inline const char* engine_cli_usage() {
   return "  --scenario=SPEC  'fp32' or adder:mulfmt/accfmt[:r=N][:subON|subOFF]\n"
          "                   (e.g. eager_sr:e5m2/e6m5:r=9:subON)\n"
-         "  --backend=NAME   fp32 | fused | reference | systolic | ...\n"
+         "  --backend=NAME   fp32 | fused | reference | batched | systolic | ...\n"
          "  --hfp8           E4M3-forward / E5M2-backward multiplier formats\n"
          "  --seed=N         base LFSR seed\n"
          "  --threads=N      thread cap (0 = hardware concurrency)\n";

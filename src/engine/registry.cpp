@@ -1,10 +1,13 @@
 #include "engine/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <tuple>
+#include <vector>
 
-#include "fpemu/softfloat.hpp"
 #include "mac/gemm.hpp"
 #include "mac/systolic.hpp"
+#include "util/thread_pool.hpp"
 
 namespace srmac {
 
@@ -15,6 +18,69 @@ void MatmulBackend::gemm_bits(const MacConfig& cfg,
   throw std::logic_error("backend \"" + name() +
                          "\" does not implement gemm_bits; the engine must "
                          "route through the float fallback");
+}
+
+void MatmulBackend::gemm_batch(const GemmBatchItem* items,
+                               size_t count) const {
+  for (size_t i = 0; i < count; ++i) {
+    const GemmBatchItem& it = items[i];
+    const GemmArgs& a = it.args;
+    if (!it.Aq && !it.Bq) {
+      gemm(it.cfg, a);
+      continue;
+    }
+    const MacConfig c = it.cfg.normalized();
+    if (!supports_prequantized()) {
+      // Decode the cached plane(s) back to floats (lossless round trip:
+      // requantizing a representable value returns the same bits).
+      GemmArgs fa = a;
+      std::vector<float> af, bf;
+      if (it.Aq) {
+        af.resize(static_cast<size_t>(a.M) * a.K);
+        gemm_dequantize(c.mul_fmt, a.M, a.K, it.Aq, a.lda, af.data());
+        fa.A = af.data();
+        fa.lda = a.K;
+      }
+      if (it.Bq) {
+        bf.resize(static_cast<size_t>(a.K) * a.N);
+        gemm_dequantize(c.mul_fmt, a.K, a.N, it.Bq, a.ldb, bf.data());
+        fa.B = bf.data();
+        fa.ldb = a.N;
+      }
+      gemm(c, fa);
+      continue;
+    }
+    // Quantize the float side(s) and route through gemm_bits.
+    std::vector<uint32_t> qa, qb;
+    GemmBitsArgs b;
+    b.M = a.M;
+    b.N = a.N;
+    b.K = a.K;
+    b.C = a.C;
+    b.ldc = a.ldc;
+    b.accumulate = a.accumulate;
+    b.seed = a.seed;
+    b.threads = a.threads;
+    if (it.Aq) {
+      b.Aq = it.Aq;
+      b.lda = a.lda;
+    } else {
+      qa.resize(static_cast<size_t>(a.M) * a.K);
+      gemm_quantize(c.mul_fmt, a.M, a.K, a.A, a.lda, qa.data(), a.threads);
+      b.Aq = qa.data();
+      b.lda = a.K;
+    }
+    if (it.Bq) {
+      b.Bq = it.Bq;
+      b.ldb = a.ldb;
+    } else {
+      qb.resize(static_cast<size_t>(a.K) * a.N);
+      gemm_quantize(c.mul_fmt, a.K, a.N, a.B, a.ldb, qb.data(), a.threads);
+      b.Bq = qb.data();
+      b.ldb = a.N;
+    }
+    gemm_bits(c, b);
+  }
 }
 
 namespace {
@@ -59,6 +125,126 @@ class ReferenceBackend final : public MatmulBackend {
   }
 };
 
+/// Batch-sharding variant of the fused engine. Single GEMMs delegate to the
+/// fused paths unchanged (same bits, same speed); gemm_batch() prepares all
+/// operands up front — quantizing and panel-packing each *unique* B plane
+/// exactly once, keyed on (pointer, dims, quantization format) so
+/// fan-out batches over a shared weight plane pay one pack — and then
+/// shards whole problems across the persistent thread pool with grain 1:
+/// work-stealing rebalances across problems instead of splitting rows
+/// within one, which keeps every problem's panel working set on a single
+/// core. Per-element seeds make the result bit-identical to a sequential
+/// fused loop at any thread count (asserted by
+/// tests/engine/batched_backend_test.cpp).
+class BatchedBackend final : public MatmulBackend {
+ public:
+  std::string name() const override { return "batched"; }
+  bool bit_accurate() const override { return true; }
+  bool supports_prequantized() const override { return true; }
+  bool supports_batch() const override { return true; }
+  void gemm(const MacConfig& cfg, const GemmArgs& a) const override {
+    gemm_mac(cfg, a.M, a.N, a.K, a.A, a.lda, a.B, a.ldb, a.C, a.ldc,
+             a.accumulate, a.seed, a.threads);
+  }
+  void gemm_bits(const MacConfig& cfg, const GemmBitsArgs& a) const override {
+    gemm_mac_bits(cfg, a.M, a.N, a.K, a.Aq, a.lda, a.Bq, a.ldb, a.C, a.ldc,
+                  a.accumulate, a.seed, a.threads);
+  }
+
+  void gemm_batch(const GemmBatchItem* items, size_t count) const override {
+    if (count <= 1) {
+      // The sequential default handles a lone item (including its
+      // prequantized planes) without the batch staging.
+      MatmulBackend::gemm_batch(items, count);
+      return;
+    }
+    // Stage 1: quantize A operands (cached planes pass through untouched)
+    // and pack unique B planes. The panel layout only depends on the
+    // normalized quantization format, so the key omits the adder /
+    // random-bit fields two passes may disagree on; prequantized and float
+    // submissions of the same plane key separately (distinct pointer
+    // spaces).
+    struct Prepared {
+      MacConfig cfg;
+      std::vector<uint32_t> aq_store;
+      const uint32_t* aq = nullptr;
+      int lda = 0;
+      const PackedBPanels* b = nullptr;
+    };
+    using PlaneKey =
+        std::tuple<const void*, bool, int, int, int, int, int, bool>;
+    std::vector<Prepared> prep(count);
+    std::vector<std::pair<PlaneKey, PackedBPanels>> planes;
+    planes.reserve(count);  // stable addresses for the p.b pointers
+    // Thread cap for the cross-problem sweep: 0 means "full hardware
+    // concurrency", so any uncapped item uncaps the whole batch.
+    int threads = 0;
+    bool uncapped = false;
+    for (size_t i = 0; i < count; ++i) {
+      const GemmBatchItem& it = items[i];
+      const GemmArgs& a = it.args;
+      Prepared& p = prep[i];
+      p.cfg = it.cfg.normalized();
+      if (a.threads <= 0)
+        uncapped = true;
+      else
+        threads = std::max(threads, a.threads);
+      if (it.Aq) {
+        p.aq = it.Aq;
+        p.lda = a.lda;
+      } else {
+        p.aq_store.resize(static_cast<size_t>(a.M) * a.K);
+        gemm_quantize(p.cfg.mul_fmt, a.M, a.K, a.A, a.lda,
+                      p.aq_store.data(), a.threads);
+        p.aq = p.aq_store.data();
+        p.lda = a.K;
+      }
+      const PlaneKey key{it.Bq ? static_cast<const void*>(it.Bq)
+                               : static_cast<const void*>(a.B),
+                         it.Bq != nullptr,
+                         a.ldb,
+                         a.K,
+                         a.N,
+                         p.cfg.mul_fmt.exp_bits,
+                         p.cfg.mul_fmt.man_bits,
+                         p.cfg.mul_fmt.subnormals};
+      for (const auto& [k, panels] : planes) {
+        if (k == key) {
+          p.b = &panels;
+          break;
+        }
+      }
+      if (!p.b) {
+        if (it.Bq) {
+          planes.emplace_back(
+              key, gemm_pack_b(p.cfg, a.K, a.N, it.Bq, a.ldb, a.threads));
+        } else {
+          std::vector<uint32_t> bq(static_cast<size_t>(a.K) * a.N);
+          gemm_quantize(p.cfg.mul_fmt, a.K, a.N, a.B, a.ldb, bq.data(),
+                        a.threads);
+          planes.emplace_back(
+              key, gemm_pack_b(p.cfg, a.K, a.N, bq.data(), a.N, a.threads));
+        }
+        p.b = &planes.back().second;
+      }
+    }
+    if (uncapped) threads = 0;
+    // Stage 2: one problem per pool chunk; a worker that finishes its
+    // problems steals whole problems from its siblings.
+    ThreadPool::global().parallel_for(
+        0, static_cast<int64_t>(count),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            const GemmArgs& a = items[i].args;
+            const Prepared& p = prep[i];
+            gemm_mac_bits_packed(p.cfg, a.M, a.N, a.K, p.aq, p.lda, *p.b,
+                                 a.C, a.ldc, a.accumulate, a.seed, a.threads);
+          }
+        },
+        threads, /*grain=*/1);
+  }
+};
+
 /// The functional systolic-array simulator: a rows x cols grid of SR-MAC
 /// PEs with per-PE seeds (decorrelated from the fused/reference per-element
 /// seeding — this backend models the accelerator, it does not reproduce the
@@ -84,6 +270,7 @@ BackendRegistry::BackendRegistry() {
   factories_["fp32"] = [] { return std::make_shared<Fp32Backend>(); };
   factories_["fused"] = [] { return std::make_shared<FusedBackend>(); };
   factories_["reference"] = [] { return std::make_shared<ReferenceBackend>(); };
+  factories_["batched"] = [] { return std::make_shared<BatchedBackend>(); };
   factories_["systolic"] = [] { return std::make_shared<SystolicBackend>(16, 16); };
 }
 

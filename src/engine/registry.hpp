@@ -12,11 +12,11 @@
 namespace srmac {
 
 /// Process-wide string-keyed registry of MatmulBackend implementations.
-/// The four built-ins ("fp32", "fused", "reference", "systolic") are
-/// registered inside instance() — not by static initializers, which a
-/// static-library link would silently drop — and additional backends
-/// (sharded, batched, remote, test doubles) register at runtime under new
-/// names without touching any call site.
+/// The five built-ins ("fp32", "fused", "reference", "batched",
+/// "systolic") are registered inside instance() — not by static
+/// initializers, which a static-library link would silently drop — and
+/// additional backends (sharded, remote, test doubles) register at runtime
+/// under new names without touching any call site.
 class BackendRegistry {
  public:
   using Factory = std::function<std::shared_ptr<MatmulBackend>()>;

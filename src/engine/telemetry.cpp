@@ -18,6 +18,22 @@ void Telemetry::record_gemm(const std::string& backend, int M, int N, int K,
   b.seconds += seconds;
 }
 
+void Telemetry::record_batch(const std::string& backend, uint64_t problems,
+                             uint64_t macs, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.gemms += problems;
+  totals_.macs += macs;
+  totals_.seconds += seconds;
+  totals_.batches += 1;
+  totals_.batch_problems += problems;
+  BackendStats& b = totals_.per_backend[backend];
+  b.gemms += problems;
+  b.macs += macs;
+  b.seconds += seconds;
+  b.batches += 1;
+  b.batch_problems += problems;
+}
+
 void Telemetry::record_quantize(uint64_t values, const FpFormat& fmt) {
   const uint64_t bytes = values * static_cast<uint64_t>((fmt.width() + 7) / 8);
   std::lock_guard<std::mutex> lock(mu_);

@@ -11,8 +11,10 @@ namespace srmac {
 
 /// Aggregated counters for one backend (one row of a snapshot).
 struct BackendStats {
-  uint64_t gemms = 0;    ///< GEMM dispatches
+  uint64_t gemms = 0;    ///< GEMM dispatches (batch items count individually)
   uint64_t macs = 0;     ///< MAC steps retired (sum of M*N*K)
+  uint64_t batches = 0;         ///< gemm_batch submissions
+  uint64_t batch_problems = 0;  ///< problems inside those submissions
   double seconds = 0.0;  ///< wall time inside the backend
 };
 
@@ -21,6 +23,8 @@ struct TelemetrySnapshot {
   uint64_t gemms = 0;
   uint64_t macs = 0;
   uint64_t bytes_quantized = 0;  ///< operand bytes freshly quantized
+  uint64_t batches = 0;          ///< gemm_batch submissions
+  uint64_t batch_problems = 0;   ///< problems inside those submissions
   double seconds = 0.0;
   std::map<std::string, BackendStats> per_backend;
 
@@ -42,6 +46,13 @@ class Telemetry {
   /// Records one GEMM dispatched to `backend` covering M*N*K MAC steps.
   void record_gemm(const std::string& backend, int M, int N, int K,
                    double seconds);
+
+  /// Records one gemm_batch dispatch of `problems` GEMMs totalling `macs`
+  /// MAC steps. The problems also count into the per-problem gemms/macs
+  /// counters (one batch of 4 reads as 4 GEMMs + 1 batch), so throughput
+  /// math stays uniform whether or not work was batched.
+  void record_batch(const std::string& backend, uint64_t problems,
+                    uint64_t macs, double seconds);
 
   /// Records `values` operand words freshly quantized into `fmt`
   /// (byte-rounded per value: ceil(width/8)).

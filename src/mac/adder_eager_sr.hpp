@@ -43,14 +43,30 @@ namespace srmac {
 /// Denormalized results fall back to the late rounding stage (pack_round):
 /// a subnormal cut invalidates the eager pre-alignment, mirroring the
 /// dedicated slow path subnormal handling costs in the hardware model.
+///
+/// Contract:
+///  * Operand packing — `a` and `b` are bit patterns in `fmt`; the return
+///    value is the packed, stochastically rounded sum in the same format
+///    (specials as in add_rn: canonical NaN, Inf propagation, +0 on exact
+///    cancellation).
+///  * Random bits — exactly the low r bits of `rand_word` are consumed,
+///    3 <= r <= 32, split per the eager scheme: the r-2 LSBs enter at the
+///    Sticky Round stage (alignment time), the two MSBs at Round
+///    Correction; higher word bits are ignored. Under the same word the
+///    result is bit-identical to add_lazy_sr (tested exhaustively).
+///  * Trace — as in add_rn; `round_up` reports the Round Correction carry,
+///    and the subnormal fallback re-fills the trace on the lazy path.
 uint32_t add_eager_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
                       uint64_t rand_word, AdderTrace* trace = nullptr);
 
-/// Convenience overload drawing from a RandomSource.
+/// Convenience overload drawing one word from a RandomSource.
 uint32_t add_eager_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
                       RandomSource& rng, AdderTrace* trace = nullptr);
 
-/// Decoded-operand core of add_eager_sr (see add_rn_u for the contract).
+/// Decoded-operand core of add_eager_sr: canonical decoded operands in,
+/// canonical decoded result out (see add_rn_core for the decoded-form
+/// contract; packing, random-bit consumption, and trace semantics as in
+/// add_eager_sr above).
 ///
 /// The op-dependent selects are written branch-free (XOR with a sign mask
 /// instead of conditional complement): the effective-subtraction flag is a
@@ -183,7 +199,9 @@ inline Unpacked add_eager_sr_core(const AddParams& ap, const Unpacked& ua,
                              /*already_rounded=*/true, trace);
 }
 
-/// Decoded-operand entry point (see add_rn_u for the contract).
+/// Decoded-operand entry point: add_eager_sr_core with the AddParams built
+/// per call (same contract; use the _core form with precomputed params in
+/// loops).
 inline Unpacked add_eager_sr_u(const FpFormat& fmt, const Unpacked& ua,
                                const Unpacked& ub, int r, uint64_t rand_word,
                                AdderTrace* trace = nullptr) {

@@ -16,18 +16,31 @@ namespace srmac {
 /// This is the reference SR behaviour the eager design is compared against;
 /// it realizes SR with probability floor(2^r * eps)/2^r (Eq. (2) discrete).
 ///
-/// `rand_word` is the r-bit LFSR draw; exposing it (rather than a
-/// RandomSource) lets the validation harness drive lazy and eager with the
-/// same randomness.
+/// Contract:
+///  * Operand packing — `a` and `b` are bit patterns in `fmt`; the return
+///    value is the packed, stochastically rounded sum in the same format
+///    (specials as in add_rn: canonical NaN, Inf propagation, +0 on exact
+///    cancellation).
+///  * Random bits — exactly the low r bits of `rand_word` are consumed,
+///    1 <= r <= 32, all of them at the single post-normalization rounding
+///    cut; higher bits are ignored. Exposing the word (rather than a
+///    RandomSource) lets the validation harness drive lazy and eager with
+///    the same randomness — under an identical word the two designs are
+///    bit-identical (the paper's equivalence claim).
+///  * Trace — as in add_rn; `f_r` holds the r-bit field the random word was
+///    added to, `round_up` whether that addition carried.
 uint32_t add_lazy_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
                      uint64_t rand_word, AdderTrace* trace = nullptr);
 
-/// Convenience overload drawing from a RandomSource.
+/// Convenience overload drawing one word from a RandomSource.
 uint32_t add_lazy_sr(const FpFormat& fmt, uint32_t a, uint32_t b, int r,
                      RandomSource& rng, AdderTrace* trace = nullptr);
 
-/// Decoded-operand core of add_lazy_sr (see add_rn_u for the contract; the
-/// AddParams carry the precomputed constants of the (fmt, r) configuration).
+/// Decoded-operand core of add_lazy_sr: canonical decoded operands in,
+/// canonical decoded result out (see add_rn_core for the decoded-form
+/// contract; packing, random-bit consumption, and trace semantics as in
+/// add_lazy_sr above). The AddParams carry the precomputed constants of
+/// the (fmt, r) configuration.
 inline Unpacked add_lazy_sr_core(const AddParams& ap, const Unpacked& ua,
                                  const Unpacked& ub, uint64_t rand_word,
                                  AdderTrace* trace = nullptr) {
@@ -76,7 +89,9 @@ inline Unpacked add_lazy_sr_core(const AddParams& ap, const Unpacked& ua,
                              /*already_rounded=*/false, trace);
 }
 
-/// Decoded-operand entry point (see add_rn_u for the contract).
+/// Decoded-operand entry point: add_lazy_sr_core with the AddParams built
+/// per call (same contract; use the _core form with precomputed params in
+/// loops).
 inline Unpacked add_lazy_sr_u(const FpFormat& fmt, const Unpacked& ua,
                               const Unpacked& ub, int r, uint64_t rand_word,
                               AdderTrace* trace = nullptr) {

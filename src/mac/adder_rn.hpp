@@ -13,13 +13,31 @@ namespace srmac {
 /// plus a sticky OR of everything shifted past them, one shared integer
 /// adder/subtractor, LZD-driven normalization, RN-even rounding. Bit-exact
 /// against the golden SoftFloat RN addition (validated in tests).
+///
+/// Contract:
+///  * Operand packing — `a` and `b` are bit patterns in `fmt` (sign /
+///    exponent / mantissa fields, subnormals honored per fmt.subnormals);
+///    the return value is the packed sum in the same format. NaN in, NaN
+///    out (the canonical fmt.nan_bits()); opposite infinities give NaN;
+///    exact cancellation gives +0.
+///  * Random bits — none; RN consumes no randomness.
+///  * Trace — when non-null, `trace` is filled with the datapath events of
+///    this one addition: special shortcut, far path (|d| > 1), effective
+///    subtraction, carry out, normalization shift, exactness, round-up, and
+///    the discarded field at the cut (AdderTrace fields in adder_common.hpp).
 uint32_t add_rn(const FpFormat& fmt, uint32_t a, uint32_t b,
                 AdderTrace* trace = nullptr);
 
 /// Decoded-operand core of add_rn; the packed entry point is the
 /// decode/encode wrapper around this, and the fused GEMM kernel calls it
 /// directly with its decoded accumulator (bit-identical by construction).
-/// The AddParams carry the precomputed constants of the format (r unused).
+///
+/// Contract: `ua` / `ub` are canonical decoded values (exactly the forms
+/// decode() produces — normalized significands, subnormal inputs carried
+/// with exp < emin, specials by class); the result is returned in the same
+/// canonical form and round-trips bit-for-bit through encode_unpacked().
+/// The AddParams carry the precomputed constants of the format (r unused);
+/// randomness and trace as in add_rn above.
 inline Unpacked add_rn_core(const AddParams& ap, const Unpacked& ua,
                             const Unpacked& ub, AdderTrace* trace = nullptr) {
   const FpFormat& fmt = ap.fmt;
@@ -80,7 +98,9 @@ inline Unpacked add_rn_core(const AddParams& ap, const Unpacked& ua,
                              /*already_rounded=*/false, trace);
 }
 
-/// Decoded-operand entry point (see above for the contract).
+/// Decoded-operand entry point: add_rn_core with the AddParams built per
+/// call (same contract; use the _core form with precomputed params in
+/// loops).
 inline Unpacked add_rn_u(const FpFormat& fmt, const Unpacked& ua,
                          const Unpacked& ub, AdderTrace* trace = nullptr) {
   return add_rn_core(AddParams(fmt, 0), ua, ub, trace);

@@ -1,6 +1,7 @@
 #include "mac/gemm.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <span>
 #include <vector>
 
@@ -43,25 +44,22 @@ void gemm_quantize(const FpFormat& fmt, int rows, int cols, const float* src,
       threads, /*grain=*/16);
 }
 
-void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
-                   const uint32_t* Aq, int lda, const uint32_t* Bq, int ldb,
-                   float* C, int ldc, bool accumulate, uint64_t seed,
-                   int threads) {
+PackedBPanels gemm_pack_b(const MacConfig& cfg, int K, int N,
+                          const uint32_t* Bq, int ldb, int threads) {
   const MacConfig c = cfg.normalized();
   const FusedMacKernel kernel(c);
-  const FpFormat acc_fmt = c.acc_fmt;
-
-  const bool needs_rand = kernel.needs_rand();
-  const int lfsr_width = kernel.lfsr_width();
-  const int r = c.random_bits;
 
   // Pack B into group panels. Full groups of G = group_width() columns are
   // interleaved (bt[group][k*G + l]) so a lockstep step reads all lanes'
   // operands from one contiguous line; the N % G remainder columns follow,
   // each contiguous in k for the single-lane chains.
-  const int G = kernel.group_width();
+  PackedBPanels out;
+  out.K = K;
+  out.N = N;
+  const int G = out.group = kernel.group_width();
   const int full_groups = N / G;
-  std::vector<uint32_t> bt(static_cast<size_t>(N) * K);
+  out.bt.resize(static_cast<size_t>(N) * K);
+  std::vector<uint32_t>& bt = out.bt;
   ThreadPool::global().parallel_for(
       0, N,
       [&](int64_t lo, int64_t hi) {
@@ -82,6 +80,26 @@ void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
         }
       },
       threads, /*grain=*/16);
+  return out;
+}
+
+void gemm_mac_bits_packed(const MacConfig& cfg, int M, int N, int K,
+                          const uint32_t* Aq, int lda, const PackedBPanels& B,
+                          float* C, int ldc, bool accumulate, uint64_t seed,
+                          int threads) {
+  const MacConfig c = cfg.normalized();
+  const FusedMacKernel kernel(c);
+  const FpFormat acc_fmt = c.acc_fmt;
+
+  const bool needs_rand = kernel.needs_rand();
+  const int lfsr_width = kernel.lfsr_width();
+  const int r = c.random_bits;
+
+  const int G = kernel.group_width();
+  assert(B.K == K && B.N == N && B.group == G &&
+         "PackedBPanels must be packed for this problem and config");
+  const int full_groups = N / G;
+  const std::vector<uint32_t>& bt = B.bt;
   ThreadPool::global().parallel_for(
       0, M,
       [&](int64_t row_lo, int64_t row_hi) {
@@ -166,6 +184,24 @@ void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
         }
       },
       threads, /*grain=*/1);
+}
+
+void gemm_dequantize(const FpFormat& fmt, int rows, int cols,
+                     const uint32_t* src, int ld, float* dst) {
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      dst[static_cast<size_t>(r) * cols + c] = static_cast<float>(
+          SoftFloat::to_double(fmt, src[static_cast<size_t>(r) * ld + c]));
+}
+
+void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
+                   const uint32_t* Aq, int lda, const uint32_t* Bq, int ldb,
+                   float* C, int ldc, bool accumulate, uint64_t seed,
+                   int threads) {
+  const MacConfig c = cfg.normalized();
+  const PackedBPanels packed = gemm_pack_b(c, K, N, Bq, ldb, threads);
+  gemm_mac_bits_packed(c, M, N, K, Aq, lda, packed, C, ldc, accumulate, seed,
+                       threads);
 }
 
 void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,

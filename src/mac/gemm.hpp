@@ -1,10 +1,38 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "mac/mac_config.hpp"
 
 namespace srmac {
+
+/// One B operand packed into the group-interleaved panel layout the fused
+/// kernel consumes (full groups of `group` columns interleaved as
+/// `bt[g][k*group + l]`, the N % group remainder columns contiguous in k).
+/// Built once by gemm_pack_b and reusable across every GEMM that multiplies
+/// against the same weight plane — the "batched" backend packs each unique
+/// plane once per batch and shares it across problems.
+struct PackedBPanels {
+  int K = 0;
+  int N = 0;
+  int group = 0;  ///< FusedMacKernel::group_width() at pack time
+  std::vector<uint32_t> bt;
+};
+
+/// Packs quantized B bits (row-major KxN with leading dimension ldb) into
+/// the panel layout for `cfg` (the group width is a pure function of the
+/// normalized config and the host ISA).
+PackedBPanels gemm_pack_b(const MacConfig& cfg, int K, int N,
+                          const uint32_t* Bq, int ldb, int threads = 0);
+
+/// gemm_mac_bits with B already packed by gemm_pack_b under the same
+/// (normalized) cfg. This is the inner entry point of both gemm_mac_bits
+/// and the batched backend's per-problem loop.
+void gemm_mac_bits_packed(const MacConfig& cfg, int M, int N, int K,
+                          const uint32_t* Aq, int lda, const PackedBPanels& B,
+                          float* C, int ldc, bool accumulate = false,
+                          uint64_t seed = kDefaultSeed, int threads = 0);
 
 /// Bit-accurate GEMM: C[MxN] = A[MxK] * B[KxN] (+ C when `accumulate`),
 /// row-major with leading dimensions. Every output element is produced by
@@ -56,5 +84,13 @@ void gemm_ref(int M, int N, int K, const float* A, int lda, const float* B,
 /// the layers' activation panels) share it.
 void gemm_quantize(const FpFormat& fmt, int rows, int cols, const float* src,
                    int ld, uint32_t* dst, int threads = 0);
+
+/// Inverse of gemm_quantize for already-quantized planes: decodes `fmt`
+/// bit patterns back to floats (dst is dense rows x cols). Lossless round
+/// trip — requantizing a representable value returns the same bits — so
+/// this is the fallback feeding pre-quantized operands to backends without
+/// native gemm_bits support.
+void gemm_dequantize(const FpFormat& fmt, int rows, int cols,
+                     const uint32_t* src, int ld, float* dst);
 
 }  // namespace srmac

@@ -16,6 +16,12 @@ bool mac_kernel_avx512_supported();
 void chain_group_avx512_eager(const FusedMacKernel& kernel, Unpacked* acc,
                               const uint32_t* a, const uint32_t* b_ilv, int n,
                               const uint64_t* rand_ilv);
+void chain_group_avx512_lazy(const FusedMacKernel& kernel, Unpacked* acc,
+                             const uint32_t* a, const uint32_t* b_ilv, int n,
+                             const uint64_t* rand_ilv);
+void chain_group_avx512_rn(const FusedMacKernel& kernel, Unpacked* acc,
+                           const uint32_t* a, const uint32_t* b_ilv, int n,
+                           const uint64_t* rand_ilv);
 
 namespace {
 
@@ -89,11 +95,12 @@ FusedMacKernel::FusedMacKernel(const MacConfig& cfg)
     }
   }
 
-  // The vectorized chain covers the eager-SR table path (the paper's
-  // reference configuration and the training hot spot); everything else
-  // runs the scalar lockstep groups.
-  use_avx512_ = cfg_.adder == AdderKind::kEagerSR && table_ != nullptr &&
-                mac_kernel_avx512_supported();
+  // Every adder kind has a 16-lane vector chain (eager-SR with its fused
+  // rounding; lazy-SR and RN through the shared late-rounding chain), gated
+  // only on the product table (FP8-class multiplier formats) and cpuid.
+  // Wide multiplier formats and non-AVX-512 hosts run the scalar lockstep
+  // groups.
+  use_avx512_ = table_ != nullptr && mac_kernel_avx512_supported();
   group_width_ = use_avx512_ ? 16 : kLanes;
 }
 
@@ -204,8 +211,17 @@ void FusedMacKernel::chain_group(Unpacked* acc, const uint32_t* a,
                                  const uint32_t* b_ilv, int n,
                                  const uint64_t* rand_ilv) const {
   if (use_avx512_) {
-    chain_group_avx512_eager(*this, acc, a, b_ilv, n, rand_ilv);
-    return;
+    switch (cfg_.adder) {
+      case AdderKind::kEagerSR:
+        chain_group_avx512_eager(*this, acc, a, b_ilv, n, rand_ilv);
+        return;
+      case AdderKind::kLazySR:
+        chain_group_avx512_lazy(*this, acc, a, b_ilv, n, rand_ilv);
+        return;
+      case AdderKind::kRoundNearest:
+        chain_group_avx512_rn(*this, acc, a, b_ilv, n, rand_ilv);
+        return;
+    }
   }
   const bool tab = table_ != nullptr;
   switch (cfg_.adder) {

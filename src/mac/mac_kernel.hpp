@@ -66,9 +66,10 @@ class FusedMacKernel {
   static constexpr int kLanes = 4;
 
   /// Output elements processed together by chain_group: 4 on the scalar
-  /// path, 16 (two 8-wide zmm register groups) when the AVX-512 eager
-  /// kernel is active. The GEMM packs B panels and random words
-  /// group-interleaved at this width.
+  /// path, 16 (two 8-wide zmm register groups) when one of the AVX-512
+  /// kernels is active — every AdderKind has a vector chain (eager-SR,
+  /// lazy-SR, RN), gated only on the product table and cpuid. The GEMM
+  /// packs B panels and random words group-interleaved at this width.
   int group_width() const { return group_width_; }
 
   /// Runs group_width() independent chains over a shared A stream:
@@ -95,6 +96,14 @@ class FusedMacKernel {
                                        Unpacked* acc, const uint32_t* a,
                                        const uint32_t* b_ilv, int n,
                                        const uint64_t* rand_ilv);
+  friend void chain_group_avx512_lazy(const FusedMacKernel& kernel,
+                                      Unpacked* acc, const uint32_t* a,
+                                      const uint32_t* b_ilv, int n,
+                                      const uint64_t* rand_ilv);
+  friend void chain_group_avx512_rn(const FusedMacKernel& kernel,
+                                    Unpacked* acc, const uint32_t* a,
+                                    const uint32_t* b_ilv, int n,
+                                    const uint64_t* rand_ilv);
 
   int group_width_ = kLanes;
   bool use_avx512_ = false;

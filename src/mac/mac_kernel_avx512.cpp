@@ -1,13 +1,17 @@
-// AVX-512 implementation of the fused eager-SR accumulation chain.
+// AVX-512 implementations of the fused accumulation chains, one per
+// AdderKind: the eager-SR chain (rounding fused into the add) and the
+// late-rounding chain shared by lazy-SR and RN (full-width alignment
+// window, normalize, then one rounding decision at the cut).
 //
 // Sixteen independent output chains run in lockstep: two groups of eight
 // 64-bit lanes (zmm), interleaved so each group's serial add latency hides
-// behind the other's work. The vector step is a lane-parallel transcription
-// of add_eager_sr_core's hot path; every rare event — non-finite or zero
-// operands, exact cancellation, a subnormal (emin) cut, overflow past emax —
-// raises a lane mask and is replayed through the *scalar* core for exactly
-// those lanes, so the vector path is bit-identical to the scalar engine by
-// construction (and is covered by the same bit-exactness suite).
+// behind the other's work. Each vector step is a lane-parallel transcription
+// of the corresponding adder core's hot path; every rare event — non-finite
+// or zero operands, exact cancellation, a subnormal (emin) cut, overflow
+// past emax — raises a lane mask and is replayed through the *scalar* core
+// for exactly those lanes, so the vector paths are bit-identical to the
+// scalar engine by construction (and are covered by the same bit-exactness
+// suite).
 //
 // Lanes whose accumulator is not finite-nonzero (zero at chain start, NaN /
 // Inf after saturation) are "parked": held as decoded Unpacked values at
@@ -25,6 +29,8 @@
 #include <immintrin.h>
 
 #include "mac/adder_eager_sr.hpp"
+#include "mac/adder_lazy_sr.hpp"
+#include "mac/adder_rn.hpp"
 
 namespace srmac {
 
@@ -279,6 +285,277 @@ __attribute__((target("avx512f,avx512cd"))) void chain_group_avx512_eager(
   }
 }
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Late-rounding chain (lazy-SR and RN), the vector transcription of
+// add_lazy_sr_core / add_rn_core: align the smaller operand into a K-bit
+// extension window below the p+1 adder bits (K = r for lazy, K = 2 plus a
+// sticky OR for RN), one full-width add/subtract, LZD normalization, then a
+// single rounding decision at the cut — add-R-and-carry on the top r
+// fraction bits for lazy, guard/rest/even for RN. Takes the kernel's
+// precomputed constants by value (only public kernel members are touched;
+// the friend wrappers below extract the private ones).
+template <bool kRn>
+__attribute__((target("avx512f,avx512cd"))) void chain_group_avx512_late(
+    const FusedMacKernel& kernel, const AddParams& ap, const MacAddend* tab,
+    uint32_t mag_mask, int mag_bits, int w1, Unpacked* acc, const uint32_t* a,
+    const uint32_t* b_ilv, int n, const uint64_t* rand_ilv) {
+  constexpr int G = 16;
+  const int p = ap.p;
+  const int r = ap.r;
+  const int K = kRn ? 2 : r;  // extension window below the kept p bits
+
+  // Broadcast constants.
+  const __m512i vzero64 = _mm512_setzero_si512();
+  const __m512i vone = _mm512_set1_epi64(1);
+  const __m512i v63 = _mm512_set1_epi64(63);
+  const __m512i v64 = _mm512_set1_epi64(64);
+  const __m512i vpm1 = _mm512_set1_epi64(p - 1);
+  const __m512i vpK1 = _mm512_set1_epi64(p + K - 1);
+  const __m512i vemin = _mm512_set1_epi64(ap.emin);
+  const __m512i vemax = _mm512_set1_epi64(ap.fmt.emax());
+  [[maybe_unused]] const __m512i vmask_r =
+      _mm512_set1_epi64(static_cast<int64_t>(ap.mask_r));
+  const __m512i vmask32 = _mm512_set1_epi64(0xffffffffll);
+  [[maybe_unused]] const __m512i vmsb63 =
+      _mm512_set1_epi64(static_cast<int64_t>(1ull << 63));
+  const __m512i vmagmask = _mm512_set1_epi64(mag_mask);
+  const __m128i cnt_K = _mm_cvtsi32_si128(K);
+  const __m128i cnt_p = _mm_cvtsi32_si128(p);
+  [[maybe_unused]] const __m128i cnt_r = _mm_cvtsi32_si128(r);
+  [[maybe_unused]] const __m128i cnt_64mr = _mm_cvtsi32_si128(64 - r);
+  const __m128i cnt_w1 = _mm_cvtsi32_si128(w1);
+
+  // Lane state: vectors hold unparked (finite-nonzero) accumulators;
+  // `spare` holds the decoded value of parked lanes.
+  LaneArrays la;
+  Unpacked spare[G];
+  uint32_t parked = 0;
+  for (int l = 0; l < G; ++l) {
+    spare[l] = acc[l];
+    if (acc[l].is_finite_nonzero()) {
+      la.sig[l] = static_cast<int64_t>(acc[l].sig);
+      la.exp[l] = acc[l].exp;
+      la.sign[l] = acc[l].sign ? 1 : 0;
+    } else {
+      la.sig[l] = la.exp[l] = la.sign[l] = 0;
+      parked |= 1u << l;
+    }
+  }
+  __m512i gsig[2], gexp[2], gsign[2];
+  for (int g = 0; g < 2; ++g) {
+    gsig[g] = _mm512_load_si512(la.sig + 8 * g);
+    gexp[g] = _mm512_load_si512(la.exp + 8 * g);
+    gsign[g] = _mm512_load_si512(la.sign + 8 * g);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const uint32_t ai = a[i];
+    const int64_t abase = static_cast<int64_t>(
+        static_cast<uint64_t>(ai & mag_mask) << mag_bits);
+    const __m512i vabase = _mm512_set1_epi64(abase);
+    const __m512i vasign =
+        _mm512_set1_epi64(static_cast<int64_t>((ai >> w1) & 1u));
+
+    __m512i nsig[2], nexp[2], nsign[2];
+    uint32_t bad = parked;
+    for (int g = 0; g < 2; ++g) {
+      // ---- addend: gather the pre-decoded product, apply the sign -------
+      const __m256i b32 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          b_ilv + static_cast<size_t>(i) * G + 8 * g));
+      const __m512i bq = _mm512_cvtepu32_epi64(b32);
+      const __m512i idx =
+          _mm512_or_si512(vabase, _mm512_and_si512(bq, vmagmask));
+      const __m512i e = _mm512_i64gather_epi64(idx, tab, 8);
+      const __m512i dsig = _mm512_and_si512(e, vmask32);
+      const __m512i dexp = _mm512_srai_epi64(_mm512_slli_epi64(e, 16), 48);
+      const __m512i dcls =
+          _mm512_and_si512(_mm512_srli_epi64(e, 48), _mm512_set1_epi64(0xff));
+      // finite-nonzero addend: cls in {kSubnormal=1, kNormal=2}
+      const __mmask8 dbad =
+          _mm512_cmpgt_epu64_mask(_mm512_sub_epi64(dcls, vone), vone);
+      const __m512i bsign =
+          _mm512_and_si512(_mm512_srl_epi64(bq, cnt_w1), vone);
+      const __m512i dsign = _mm512_and_si512(
+          _mm512_srli_epi64(e, 56), _mm512_xor_si512(vasign, bsign));
+
+      // ---- prepare: magnitude swap, effective op (branch-free) ----------
+      const __mmask8 keq = _mm512_cmpeq_epi64_mask(dexp, gexp[g]);
+      const __mmask8 swap = static_cast<__mmask8>(
+          _mm512_cmpgt_epi64_mask(dexp, gexp[g]) |
+          (keq & _mm512_cmpgt_epi64_mask(dsig, gsig[g])));
+      const __m512i psign = _mm512_mask_blend_epi64(swap, gsign[g], dsign);
+      const __m512i x = _mm512_mask_blend_epi64(swap, gsig[g], dsig);
+      const __m512i y = _mm512_mask_blend_epi64(swap, dsig, gsig[g]);
+      const __m512i exph = _mm512_mask_blend_epi64(swap, gexp[g], dexp);
+      const __m512i d = _mm512_abs_epi64(_mm512_sub_epi64(gexp[g], dexp));
+      const __m512i op = _mm512_xor_si512(gsign[g], dsign);
+      const __m512i opm = _mm512_sub_epi64(vzero64, op);
+
+      // ---- alignment into the K-bit window (srlv zeroes for d >= 64; for
+      // d in [p+K, 64) the window value underruns to zero by itself, which
+      // is exactly the scalar cores' d >= p+K arm) -------------------------
+      const __m512i ykfull = _mm512_sll_epi64(y, cnt_K);
+      const __m512i B = _mm512_srlv_epi64(ykfull, d);
+
+      // ---- one full-width add/subtract (A - B == A + ~B + 1) -------------
+      __m512i S = _mm512_add_epi64(
+          _mm512_add_epi64(_mm512_sll_epi64(x, cnt_K),
+                           _mm512_xor_si512(B, opm)),
+          op);
+      [[maybe_unused]] __mmask8 stickym = 0;
+      if constexpr (kRn) {
+        // Bits shifted past the window OR into the sticky; a subtrahend that
+        // dropped sticky bits borrows one window ULP (truncation invariant).
+        const __m512i maskd =
+            _mm512_sub_epi64(_mm512_sllv_epi64(vone, d), vone);
+        stickym = _mm512_test_epi64_mask(ykfull, maskd);
+        S = _mm512_mask_sub_epi64(
+            S, _mm512_test_epi64_mask(op, vone) & stickym, S, vone);
+      }
+      const __mmask8 vzerom = _mm512_cmpeq_epi64_mask(S, vzero64);
+
+      // ---- normalization (LZD) -------------------------------------------
+      const __m512i msb = _mm512_sub_epi64(v63, _mm512_lzcnt_epi64(S));
+      const __m512i fw = _mm512_sub_epi64(msb, vpm1);
+      const __mmask8 fwneg = _mm512_cmpgt_epi64_mask(vzero64, fw);
+      __m512i sig = _mm512_mask_blend_epi64(
+          fwneg, _mm512_srlv_epi64(S, fw),
+          _mm512_sllv_epi64(S, _mm512_sub_epi64(vzero64, fw)));
+      // Discarded fraction, left-aligned at bit 63 (sllv count >= 64 for
+      // fw <= 0 gives the scalar cores' frac64 = 0).
+      const __m512i frac = _mm512_sllv_epi64(S, _mm512_sub_epi64(v64, fw));
+      __m512i expz = _mm512_add_epi64(exph, _mm512_sub_epi64(msb, vpK1));
+      const __mmask8 eminm = _mm512_cmpgt_epi64_mask(vemin, expz);
+
+      // ---- one rounding decision at the cut ------------------------------
+      if constexpr (kRn) {
+        // RN-even on (guard, rest | sticky, lsb).
+        const __mmask8 gm = _mm512_test_epi64_mask(frac, vmsb63);
+        const __mmask8 restm =
+            _mm512_cmpneq_epi64_mask(_mm512_slli_epi64(frac, 1), vzero64);
+        const __mmask8 lsbm = _mm512_test_epi64_mask(sig, vone);
+        const __mmask8 upm =
+            gm & static_cast<__mmask8>(restm | stickym | lsbm);
+        sig = _mm512_mask_add_epi64(sig, upm, sig, vone);
+      } else {
+        // Add-R-and-carry on the top r fraction bits (paper Fig. 1 scheme).
+        const __m512i R = _mm512_and_si512(
+            _mm512_loadu_si512(rand_ilv + static_cast<size_t>(i) * G + 8 * g),
+            vmask_r);
+        const __m512i fr = _mm512_srl_epi64(frac, cnt_64mr);
+        const __m512i up = _mm512_srl_epi64(_mm512_add_epi64(fr, R), cnt_r);
+        sig = _mm512_add_epi64(sig, up);
+      }
+      const __m512i bin = _mm512_srl_epi64(sig, cnt_p);
+      sig = _mm512_srlv_epi64(sig, bin);
+      expz = _mm512_add_epi64(expz, bin);
+      const __mmask8 emaxm = _mm512_cmpgt_epi64_mask(expz, vemax);
+
+      const __mmask8 badg =
+          static_cast<__mmask8>(dbad | vzerom | eminm | emaxm);
+      bad |= static_cast<uint32_t>(badg) << (8 * g);
+
+      // Commit the vector result on clean lanes; bad lanes keep the old
+      // accumulator and are replayed through the scalar core below.
+      const __mmask8 keep = static_cast<__mmask8>(badg | (parked >> (8 * g)));
+      nsig[g] = _mm512_mask_mov_epi64(sig, keep, gsig[g]);
+      nexp[g] = _mm512_mask_mov_epi64(expz, keep, gexp[g]);
+      nsign[g] = _mm512_mask_mov_epi64(psign, keep, gsign[g]);
+    }
+
+    if (bad != 0) [[unlikely]] {
+      // Scalar replay for flagged lanes, through the exact same decoded
+      // core the scalar engine runs.
+      for (int g = 0; g < 2; ++g) {
+        _mm512_store_si512(la.sig + 8 * g, nsig[g]);
+        _mm512_store_si512(la.exp + 8 * g, nexp[g]);
+        _mm512_store_si512(la.sign + 8 * g, nsign[g]);
+      }
+      for (int l = 0; l < G; ++l) {
+        if (!(bad & (1u << l))) continue;
+        Unpacked cur;
+        if (parked & (1u << l)) {
+          cur = spare[l];
+        } else {
+          cur.sig = static_cast<uint64_t>(la.sig[l]);
+          cur.exp = static_cast<int>(la.exp[l]);
+          cur.sign = la.sign[l] != 0;
+          cur.sig_bits = p;
+          cur.cls =
+              cur.exp >= ap.emin ? FpClass::kNormal : FpClass::kSubnormal;
+        }
+        const Unpacked ad =
+            kernel.addend(ai, b_ilv[static_cast<size_t>(i) * G + l]);
+        const Unpacked res =
+            kRn ? add_rn_core(ap, cur, ad, nullptr)
+                : add_lazy_sr_core(
+                      ap, cur, ad,
+                      rand_ilv[static_cast<size_t>(i) * G + l], nullptr);
+        if (res.is_finite_nonzero()) {
+          la.sig[l] = static_cast<int64_t>(res.sig);
+          la.exp[l] = res.exp;
+          la.sign[l] = res.sign ? 1 : 0;
+          parked &= ~(1u << l);
+        } else {
+          spare[l] = res;
+          parked |= 1u << l;
+        }
+      }
+      for (int g = 0; g < 2; ++g) {
+        nsig[g] = _mm512_load_si512(la.sig + 8 * g);
+        nexp[g] = _mm512_load_si512(la.exp + 8 * g);
+        nsign[g] = _mm512_load_si512(la.sign + 8 * g);
+      }
+    }
+    gsig[0] = nsig[0];
+    gsig[1] = nsig[1];
+    gexp[0] = nexp[0];
+    gexp[1] = nexp[1];
+    gsign[0] = nsign[0];
+    gsign[1] = nsign[1];
+  }
+
+  for (int g = 0; g < 2; ++g) {
+    _mm512_store_si512(la.sig + 8 * g, gsig[g]);
+    _mm512_store_si512(la.exp + 8 * g, gexp[g]);
+    _mm512_store_si512(la.sign + 8 * g, gsign[g]);
+  }
+  for (int l = 0; l < G; ++l) {
+    if (parked & (1u << l)) {
+      acc[l] = spare[l];
+    } else {
+      acc[l].sig = static_cast<uint64_t>(la.sig[l]);
+      acc[l].exp = static_cast<int>(la.exp[l]);
+      acc[l].sign = la.sign[l] != 0;
+      acc[l].sig_bits = p;
+      acc[l].cls =
+          acc[l].exp >= ap.emin ? FpClass::kNormal : FpClass::kSubnormal;
+    }
+  }
+}
+
+}  // namespace
+
+void chain_group_avx512_lazy(const FusedMacKernel& kernel, Unpacked* acc,
+                             const uint32_t* a, const uint32_t* b_ilv, int n,
+                             const uint64_t* rand_ilv) {
+  chain_group_avx512_late<false>(kernel, kernel.params_, kernel.table_->data(),
+                                 kernel.mag_mask_, kernel.mag_bits_,
+                                 kernel.cfg_.mul_fmt.width() - 1, acc, a,
+                                 b_ilv, n, rand_ilv);
+}
+
+void chain_group_avx512_rn(const FusedMacKernel& kernel, Unpacked* acc,
+                           const uint32_t* a, const uint32_t* b_ilv, int n,
+                           const uint64_t* rand_ilv) {
+  chain_group_avx512_late<true>(kernel, kernel.params_, kernel.table_->data(),
+                                kernel.mag_mask_, kernel.mag_bits_,
+                                kernel.cfg_.mul_fmt.width() - 1, acc, a, b_ilv,
+                                n, rand_ilv);
+}
+
 }  // namespace srmac
 
 #else  // !x86-64
@@ -290,6 +567,13 @@ bool mac_kernel_avx512_supported() { return false; }
 void chain_group_avx512_eager(const FusedMacKernel&, Unpacked*,
                               const uint32_t*, const uint32_t*, int,
                               const uint64_t*) {}
+
+void chain_group_avx512_lazy(const FusedMacKernel&, Unpacked*,
+                             const uint32_t*, const uint32_t*, int,
+                             const uint64_t*) {}
+
+void chain_group_avx512_rn(const FusedMacKernel&, Unpacked*, const uint32_t*,
+                           const uint32_t*, int, const uint64_t*) {}
 
 }  // namespace srmac
 

@@ -137,21 +137,27 @@ Tensor Conv2d::backward(const ComputeContext& ctx, const Tensor& gout) {
       std::copy_n(gout.data() + (static_cast<size_t>(n) * out_ch_ + c) * L, L,
                   g_flat.data() + (static_cast<size_t>(c) * N + n) * L);
 
-  // dW = gout * cols^T   (BWD weight-gradient GEMM).
-  matmul_nt(ctx.fork(1).weight_grad(), out_ch_, K, N * L, g_flat.data(),
-            cols_.data(), w_.grad.data(), /*accumulate=*/true);
-
-  // gcols = W^T * gout   (BWD data-gradient GEMM), then col2im.
+  // The two backward GEMMs — dW = gout * cols^T (weight gradient) and
+  // gcols = W^T * gout (data gradient) — are independent, so they go down
+  // as one gemm_batch submission: a batching backend shards them across
+  // the pool, every other backend's default loop is exactly the sequential
+  // dispatch (bit-identical either way, per-element seeds).
   const ComputeContext ctx_gx = ctx.fork(2);
   Tensor gcols({K, N * L});
+  MatmulBatch batch(ctx);
+  batch.add_nt(ctx.fork(1).weight_grad(), out_ch_, K, N * L, g_flat.data(),
+               cols_.data(), w_.grad.data(), /*accumulate=*/true);
   if (ctx_gx.bit_accurate()) {
+    // The cached transposed weight plane; non-prequantized backends get it
+    // decoded back losslessly by the dispatch.
     const auto& wqt = wq_.get(w_, ctx_gx.quant_fmt(), /*transposed=*/true);
-    matmul_qa(ctx_gx, K, N * L, out_ch_, wqt.data(), g_flat.data(),
-              gcols.data());
+    batch.add_qa(ctx_gx, K, N * L, out_ch_, wqt.data(), g_flat.data(),
+                 gcols.data());
   } else {
-    matmul_tn(ctx_gx, K, N * L, out_ch_, w_.value.data(), g_flat.data(),
-              gcols.data());
+    batch.add_tn(ctx_gx, K, N * L, out_ch_, w_.value.data(), g_flat.data(),
+                 gcols.data());
   }
+  batch.flush();
   Tensor gx({N, in_ch_, H, W});  // zero-initialized: col2im accumulates
   ThreadPool::global().parallel_for(
       0, N,
@@ -200,19 +206,26 @@ Tensor Linear::forward(const ComputeContext& ctx, const Tensor& x,
 
 Tensor Linear::backward(const ComputeContext& ctx, const Tensor& gout) {
   const int N = gout.dim(0);
-  // dW = gout^T * x ; db = column sums ; gx = gout * W.
-  matmul_tn(ctx.fork(1).weight_grad(), out_f_, in_f_, N, gout.data(),
-            x_cache_.data(), w_.grad.data(), /*accumulate=*/true);
+  // dW = gout^T * x ; db = column sums ; gx = gout * W. The two GEMMs are
+  // independent, so they submit as one gemm_batch (sharded on a batching
+  // backend, the sequential default loop elsewhere — bit-identical).
   for (int n = 0; n < N; ++n)
     for (int o = 0; o < out_f_; ++o) b_.grad[o] += gout.at(n, o);
   Tensor gx({N, in_f_});
   const ComputeContext ctx_gx = ctx.fork(2);
+  MatmulBatch batch(ctx);
+  batch.add_tn(ctx.fork(1).weight_grad(), out_f_, in_f_, N, gout.data(),
+               x_cache_.data(), w_.grad.data(), /*accumulate=*/true);
   if (ctx_gx.bit_accurate()) {
+    // The cached weight plane; non-prequantized backends get it decoded
+    // back losslessly by the dispatch.
     const auto& wq = wq_.get(w_, ctx_gx.quant_fmt(), /*transposed=*/false);
-    matmul_qb(ctx_gx, N, in_f_, out_f_, gout.data(), wq.data(), gx.data());
+    batch.add_qb(ctx_gx, N, in_f_, out_f_, gout.data(), wq.data(), gx.data());
   } else {
-    matmul(ctx_gx, N, in_f_, out_f_, gout.data(), w_.value.data(), gx.data());
+    batch.add(ctx_gx, N, in_f_, out_f_, gout.data(), w_.value.data(),
+              gx.data());
   }
+  batch.flush();
   return gx;
 }
 

@@ -1,10 +1,11 @@
 #include "tensor/tensor_ops.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <tuple>
 #include <vector>
 
-#include "fpemu/softfloat.hpp"
 #include "mac/gemm.hpp"
 
 namespace srmac {
@@ -49,16 +50,24 @@ void dispatch_bits(const ComputeContext& ctx, const MacConfig& cfg,
   }
 }
 
-/// Decodes a quantized operand plane back to floats — the fallback feeding
-/// backends without native gemm_bits. Lossless round trip: the backend's
-/// RN requantization of a value already on the format grid returns the
-/// same bits.
+/// Dense decode of a quantized operand plane back to floats — the fallback
+/// feeding backends without native gemm_bits (see gemm_dequantize for the
+/// lossless-round-trip argument).
 std::vector<float> decode_plane(const FpFormat& fmt, int rows, int cols,
                                 const uint32_t* bits) {
   std::vector<float> out(static_cast<size_t>(rows) * cols);
-  for (size_t i = 0; i < out.size(); ++i)
-    out[i] = static_cast<float>(SoftFloat::to_double(fmt, bits[i]));
+  gemm_dequantize(fmt, rows, cols, bits, cols, out.data());
   return out;
+}
+
+/// dst[c * rows + r] = src[r * cols + c]: materializes the transpose of a
+/// row-major rows x cols matrix (shared by the _nt/_tn entry points and
+/// MatmulBatch's owned-transpose adds).
+void transpose_into(float* dst, const float* src, int rows, int cols) {
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      dst[static_cast<size_t>(c) * rows + r] =
+          src[static_cast<size_t>(r) * cols + c];
 }
 
 }  // namespace
@@ -139,19 +148,117 @@ void matmul_qb(const ComputeContext& ctx, int M, int N, int K, const float* A,
 void matmul_nt(const ComputeContext& ctx, int M, int N, int K, const float* A,
                const float* B_t, float* C, bool accumulate) {
   std::vector<float> B(static_cast<size_t>(K) * N);
-  for (int n = 0; n < N; ++n)
-    for (int k = 0; k < K; ++k)
-      B[static_cast<size_t>(k) * N + n] = B_t[static_cast<size_t>(n) * K + k];
+  transpose_into(B.data(), B_t, N, K);
   matmul(ctx, M, N, K, A, B.data(), C, accumulate);
 }
 
 void matmul_tn(const ComputeContext& ctx, int M, int N, int K,
                const float* A_t, const float* B, float* C, bool accumulate) {
   std::vector<float> A(static_cast<size_t>(M) * K);
-  for (int k = 0; k < K; ++k)
-    for (int m = 0; m < M; ++m)
-      A[static_cast<size_t>(m) * K + k] = A_t[static_cast<size_t>(k) * M + m];
+  transpose_into(A.data(), A_t, K, M);
   matmul(ctx, M, N, K, A.data(), B, C, accumulate);
+}
+
+void MatmulBatch::add(const ComputeContext& ctx, int M, int N, int K,
+                      const float* A, const float* B, float* C,
+                      bool accumulate) {
+  assert(ctx.backend == base_.backend &&
+         "every GEMM of a batch must target the base context's backend");
+  GemmBatchItem item;
+  item.cfg = ctx.mac_config().normalized();
+  item.args.M = M;
+  item.args.N = N;
+  item.args.K = K;
+  item.args.A = A;
+  item.args.lda = K;
+  item.args.B = B;
+  item.args.ldb = N;
+  item.args.C = C;
+  item.args.ldc = N;
+  item.args.accumulate = accumulate;
+  item.args.seed = ctx.seed;
+  item.args.threads = ctx.threads;
+  items_.push_back(item);
+}
+
+void MatmulBatch::add_nt(const ComputeContext& ctx, int M, int N, int K,
+                         const float* A, const float* B_t, float* C,
+                         bool accumulate) {
+  std::vector<float>& B = owned_.emplace_back(static_cast<size_t>(K) * N);
+  transpose_into(B.data(), B_t, N, K);
+  add(ctx, M, N, K, A, B.data(), C, accumulate);
+}
+
+void MatmulBatch::add_tn(const ComputeContext& ctx, int M, int N, int K,
+                         const float* A_t, const float* B, float* C,
+                         bool accumulate) {
+  std::vector<float>& A = owned_.emplace_back(static_cast<size_t>(M) * K);
+  transpose_into(A.data(), A_t, K, M);
+  add(ctx, M, N, K, A.data(), B, C, accumulate);
+}
+
+void MatmulBatch::add_qa(const ComputeContext& ctx, int M, int N, int K,
+                         const uint32_t* Aq, const float* B, float* C,
+                         bool accumulate) {
+  assert(ctx.bit_accurate() && "quantized-operand add needs a MAC context");
+  add(ctx, M, N, K, /*A=*/nullptr, B, C, accumulate);
+  items_.back().Aq = Aq;
+}
+
+void MatmulBatch::add_qb(const ComputeContext& ctx, int M, int N, int K,
+                         const float* A, const uint32_t* Bq, float* C,
+                         bool accumulate) {
+  assert(ctx.bit_accurate() && "quantized-operand add needs a MAC context");
+  add(ctx, M, N, K, A, /*B=*/nullptr, C, accumulate);
+  items_.back().Bq = Bq;
+}
+
+void MatmulBatch::flush() {
+  if (items_.empty()) return;
+  assert(base_.backend && "ComputeContext must carry a backend");
+  const double t0 = base_.telemetry ? now_s() : 0.0;
+  base_.backend->gemm_batch(items_.data(), items_.size());
+  if (base_.telemetry) {
+    uint64_t macs = 0;
+    // Fresh-quantization accounting, per item format (items of one batch
+    // may run different policy passes). Cached planes (Aq/Bq) were not
+    // quantized by this dispatch; on a batching backend a float B plane
+    // repeated across items is packed once, so it counts once.
+    const bool dedup = base_.backend->supports_batch();
+    std::vector<std::pair<FpFormat, uint64_t>> per_fmt;
+    std::vector<std::tuple<const float*, int, int, int, FpFormat>> seen_b;
+    auto count_quant = [&](const FpFormat& fmt, uint64_t values) {
+      for (auto& [f, v] : per_fmt) {
+        if (f == fmt) {
+          v += values;
+          return;
+        }
+      }
+      per_fmt.emplace_back(fmt, values);
+    };
+    for (const GemmBatchItem& it : items_) {
+      macs += static_cast<uint64_t>(it.args.M) * it.args.N * it.args.K;
+      if (!base_.bit_accurate()) continue;
+      const FpFormat fmt = it.cfg.normalized().mul_fmt;
+      if (!it.Aq)
+        count_quant(fmt, static_cast<uint64_t>(it.args.M) * it.args.K);
+      if (!it.Bq) {
+        const std::tuple<const float*, int, int, int, FpFormat> key{
+            it.args.B, it.args.ldb, it.args.K, it.args.N, fmt};
+        if (dedup &&
+            std::find(seen_b.begin(), seen_b.end(), key) != seen_b.end())
+          continue;
+        if (dedup) seen_b.push_back(key);
+        count_quant(fmt, static_cast<uint64_t>(it.args.K) * it.args.N);
+      }
+    }
+    base_.telemetry->record_batch(base_.backend->name(), items_.size(), macs,
+                                  now_s() - t0);
+    for (const auto& [fmt, values] : per_fmt)
+      base_.telemetry->record_quantize(values, fmt);
+  }
+  items_.clear();
+  owned_.clear();
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {

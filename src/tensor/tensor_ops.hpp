@@ -1,5 +1,8 @@
 #pragma once
 
+#include <deque>
+#include <vector>
+
 #include "engine/compute_context.hpp"
 #include "tensor/tensor.hpp"
 
@@ -33,6 +36,60 @@ void matmul_qa(const ComputeContext& ctx, int M, int N, int K,
                bool accumulate = false);
 void matmul_qb(const ComputeContext& ctx, int M, int N, int K, const float* A,
                const uint32_t* Bq, float* C, bool accumulate = false);
+
+/// Collects independent GEMMs and submits them in one
+/// MatmulBackend::gemm_batch dispatch — the batch-submission front end of
+/// the "batched" backend. Each added GEMM carries its *own* context's
+/// quantization pass and fork seed (a layer's weight-gradient and
+/// data-gradient GEMMs run different policy passes), so results are
+/// bit-identical to dispatching the same GEMMs sequentially; what changes
+/// is scheduling: the backend shards whole problems across the thread pool
+/// and packs shared operand planes once. All contexts must share the base
+/// context's backend, and operands must stay alive until flush() (the _nt /
+/// _tn variants materialize and own their transposes internally).
+class MatmulBatch {
+ public:
+  /// `base` supplies the backend and telemetry sink; it must outlive the
+  /// batch. Deferred GEMMs run at flush() (also called by the destructor).
+  explicit MatmulBatch(const ComputeContext& base) : base_(base) {}
+  MatmulBatch(const MatmulBatch&) = delete;
+  MatmulBatch& operator=(const MatmulBatch&) = delete;
+  ~MatmulBatch() { flush(); }
+
+  /// Defers C[MxN] = A[MxK] * B[KxN] (+C) under `ctx`'s pass/seed.
+  void add(const ComputeContext& ctx, int M, int N, int K, const float* A,
+           const float* B, float* C, bool accumulate = false);
+
+  /// add() with B supplied transposed (NxK) resp. A supplied transposed
+  /// (KxM); the transpose is materialized into batch-owned storage.
+  void add_nt(const ComputeContext& ctx, int M, int N, int K, const float* A,
+              const float* B_t, float* C, bool accumulate = false);
+  void add_tn(const ComputeContext& ctx, int M, int N, int K,
+              const float* A_t, const float* B, float* C,
+              bool accumulate = false);
+
+  /// add() with one operand already quantized to ctx.quant_fmt() bit
+  /// patterns — the layers' cached weight planes, so a batched backward
+  /// does not requantize weights the cache already holds. Only valid on
+  /// bit-accurate contexts (as matmul_qa/matmul_qb).
+  void add_qa(const ComputeContext& ctx, int M, int N, int K,
+              const uint32_t* Aq, const float* B, float* C,
+              bool accumulate = false);
+  void add_qb(const ComputeContext& ctx, int M, int N, int K, const float* A,
+              const uint32_t* Bq, float* C, bool accumulate = false);
+
+  size_t size() const { return items_.size(); }
+
+  /// Dispatches every deferred GEMM through the base backend's gemm_batch
+  /// (recording one batch plus per-problem counters into telemetry), then
+  /// clears the batch for reuse.
+  void flush();
+
+ private:
+  ComputeContext base_;
+  std::vector<GemmBatchItem> items_;
+  std::deque<std::vector<float>> owned_;  ///< materialized transposes
+};
 
 /// Elementwise helpers used by the layers (always FP32: the paper quantizes
 /// the GEMM inputs/accumulations, not pointwise math).

@@ -38,7 +38,8 @@ std::vector<float> random_matrix(int rows, int cols, uint64_t seed) {
 
 TEST(BackendRegistry, BuiltinsAreRegistered) {
   const auto names = BackendRegistry::instance().names();
-  for (const char* expected : {"fp32", "fused", "reference", "systolic"}) {
+  for (const char* expected : {"fp32", "fused", "reference", "batched",
+                               "systolic"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

@@ -1,0 +1,211 @@
+// The "batched" backend and the batch-submission API: gemm_batch must be
+// bit-identical to the sequential gemm() loop (shared-B-plane dedup
+// included), single dispatches must match the fused engine, the layers'
+// batched backward pair must reproduce the fused gradients, and the
+// telemetry sink must see the per-problem counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/compute_context.hpp"
+#include "engine/registry.hpp"
+#include "mac/gemm.hpp"
+#include "nn/init.hpp"
+#include "nn/layers.hpp"
+#include "rng/xoshiro.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace srmac {
+namespace {
+
+MacConfig paper_config() {
+  MacConfig cfg;
+  cfg.mul_fmt = kFp8E5M2;
+  cfg.acc_fmt = kFp12;
+  cfg.adder = AdderKind::kEagerSR;
+  cfg.random_bits = 9;
+  cfg.subnormals = true;
+  return cfg;
+}
+
+std::vector<float> random_matrix(int rows, int cols, uint64_t seed) {
+  std::vector<float> m(static_cast<size_t>(rows) * cols);
+  Xoshiro256 rng(seed);
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+TEST(BatchedBackend, SingleGemmMatchesFused) {
+  const int M = 19, N = 23, K = 37;
+  const auto A = random_matrix(M, K, 1), B = random_matrix(K, N, 2);
+  const QuantPolicy policy = QuantPolicy::uniform(paper_config());
+  std::vector<float> c_batched(static_cast<size_t>(M) * N, -1.0f);
+  std::vector<float> c_fused(static_cast<size_t>(M) * N, -2.0f);
+  matmul(ComputeContext::with_backend("batched", policy, /*seed=*/5), M, N, K,
+         A.data(), B.data(), c_batched.data());
+  matmul(ComputeContext::with_backend("fused", policy, /*seed=*/5), M, N, K,
+         A.data(), B.data(), c_fused.data());
+  EXPECT_EQ(c_batched, c_fused);
+}
+
+// gemm_batch over heterogeneous problems — different shapes, adders, seeds,
+// with two items sharing one B plane (the pack-dedup path) — must equal the
+// sequential per-item dispatch bit for bit, on both the batched backend and
+// the default-loop implementation every other backend inherits.
+TEST(BatchedBackend, GemmBatchMatchesSequentialLoop) {
+  const auto A1 = random_matrix(12, 40, 11), B1 = random_matrix(40, 17, 12);
+  const auto A2 = random_matrix(9, 40, 13);  // shares B1 (dedup)
+  const auto A3 = random_matrix(21, 33, 14), B3 = random_matrix(33, 48, 15);
+
+  MacConfig lazy = paper_config();
+  lazy.adder = AdderKind::kLazySR;
+  MacConfig rn = paper_config();
+  rn.adder = AdderKind::kRoundNearest;
+
+  std::vector<GemmBatchItem> items(3);
+  items[0].cfg = paper_config();
+  items[0].args = {12, 17, 40, A1.data(), 40, B1.data(), 17,
+                   nullptr, 17, false,   7,  1};
+  items[1].cfg = lazy;
+  items[1].args = {9, 17, 40, A2.data(), 40, B1.data(), 17,
+                   nullptr, 17, false,  8,  1};
+  items[2].cfg = rn;
+  items[2].args = {21, 48, 33, A3.data(), 33, B3.data(), 48,
+                   nullptr, 48, false,   9,  1};
+
+  for (const char* name : {"batched", "fused"}) {
+    const MatmulBackend* backend = BackendRegistry::instance().get(name);
+    std::vector<std::vector<float>> c_seq, c_batch;
+    for (const auto& it : items) {
+      c_seq.emplace_back(static_cast<size_t>(it.args.M) * it.args.N, -1.0f);
+      c_batch.emplace_back(static_cast<size_t>(it.args.M) * it.args.N, -2.0f);
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+      GemmBatchItem it = items[i];
+      it.args.C = c_seq[i].data();
+      backend->gemm(it.cfg, it.args);
+    }
+    std::vector<GemmBatchItem> batch = items;
+    for (size_t i = 0; i < batch.size(); ++i) batch[i].args.C = c_batch[i].data();
+    backend->gemm_batch(batch.data(), batch.size());
+    for (size_t i = 0; i < items.size(); ++i)
+      EXPECT_EQ(c_seq[i], c_batch[i]) << name << " item " << i;
+  }
+}
+
+// Prequantized-plane submission (the cached-weight-plane pattern): items
+// carrying Bq bits — two of them sharing one plane, exercising the bits-
+// pointer dedup — must match the equivalent float submission bit for bit,
+// on the batched backend and on the default-loop (fused) implementation.
+TEST(BatchedBackend, PrequantizedPlanesMatchFloatSubmission) {
+  const int K = 28, N = 15;
+  const auto A1 = random_matrix(10, K, 61), A2 = random_matrix(7, K, 62);
+  const auto B = random_matrix(K, N, 63);
+  const MacConfig cfg = paper_config().normalized();
+  std::vector<uint32_t> bq(static_cast<size_t>(K) * N);
+  gemm_quantize(cfg.mul_fmt, K, N, B.data(), N, bq.data());
+
+  std::vector<GemmBatchItem> items(2);
+  items[0].cfg = cfg;
+  items[0].args = {10, N, K, A1.data(), K, B.data(), N, nullptr, N,
+                   false,  31, 1};
+  items[1].cfg = cfg;
+  items[1].args = {7, N, K, A2.data(), K, B.data(), N, nullptr, N,
+                   false, 32, 1};
+
+  for (const char* name : {"batched", "fused"}) {
+    const MatmulBackend* backend = BackendRegistry::instance().get(name);
+    std::vector<std::vector<float>> c_float, c_bits;
+    for (const auto& it : items) {
+      c_float.emplace_back(static_cast<size_t>(it.args.M) * N, -1.0f);
+      c_bits.emplace_back(static_cast<size_t>(it.args.M) * N, -2.0f);
+    }
+    std::vector<GemmBatchItem> floats = items, bits = items;
+    for (size_t i = 0; i < items.size(); ++i) {
+      floats[i].args.C = c_float[i].data();
+      bits[i].args.C = c_bits[i].data();
+      bits[i].args.B = nullptr;
+      bits[i].Bq = bq.data();
+    }
+    backend->gemm_batch(floats.data(), floats.size());
+    backend->gemm_batch(bits.data(), bits.size());
+    for (size_t i = 0; i < items.size(); ++i)
+      EXPECT_EQ(c_float[i], c_bits[i]) << name << " item " << i;
+  }
+}
+
+// The layers' backward pair goes down as one batch on a batching backend;
+// the resulting gradients must be bit-identical to the fused (sequential)
+// backend — per-element seeds make the scheduling invisible.
+TEST(BatchedBackend, LayerBackwardMatchesFused) {
+  const QuantPolicy policy = QuantPolicy::uniform(paper_config());
+  struct Run {
+    std::vector<Tensor> grads;
+    Tensor gx;
+  };
+  for (const bool conv : {false, true}) {
+    auto run = [&](const char* name) {
+      Sequential model;
+      if (conv)
+        model.add(std::make_unique<Conv2d>(3, 4, 3));
+      else
+        model.add(std::make_unique<Linear>(10, 6));
+      he_init(model, 0xBEEF);
+      const ComputeContext ctx =
+          ComputeContext::with_backend(name, policy, /*seed=*/21);
+      const Tensor x =
+          conv ? Tensor({2, 3, 8, 8}, 0.25f) : Tensor({4, 10}, 0.5f);
+      Tensor out = model.forward(ctx, x, /*training=*/true);
+      Tensor gout(out.shape(), 1.0f);
+      Run r;
+      r.gx = model.backward(ctx.backward(), gout);
+      std::vector<Param*> params;
+      model.collect_params(params);
+      for (Param* p : params) r.grads.push_back(p->grad);
+      return r;
+    };
+    const Run fused = run("fused");
+    const Run batched = run("batched");
+    ASSERT_EQ(fused.grads.size(), batched.grads.size());
+    for (size_t i = 0; i < fused.grads.size(); ++i) {
+      ASSERT_EQ(fused.grads[i].numel(), batched.grads[i].numel());
+      for (int64_t j = 0; j < fused.grads[i].numel(); ++j)
+        ASSERT_EQ(fused.grads[i][j], batched.grads[i][j])
+            << (conv ? "conv" : "linear") << " param " << i << " @" << j;
+    }
+    ASSERT_EQ(fused.gx.numel(), batched.gx.numel());
+    for (int64_t j = 0; j < fused.gx.numel(); ++j)
+      ASSERT_EQ(fused.gx[j], batched.gx[j])
+          << (conv ? "conv" : "linear") << " gx @" << j;
+  }
+}
+
+// MatmulBatch records one batch + per-problem counters into the sink.
+TEST(BatchedBackend, TelemetryCountsBatches) {
+  Telemetry sink;
+  ComputeContext ctx =
+      ComputeContext::with_backend("batched", QuantPolicy::uniform(paper_config()),
+                                   /*seed=*/3);
+  ctx.telemetry = &sink;
+  const auto A = random_matrix(6, 12, 31), B = random_matrix(12, 8, 32);
+  std::vector<float> c1(48), c2(48);
+  {
+    MatmulBatch batch(ctx);
+    batch.add(ctx, 6, 8, 12, A.data(), B.data(), c1.data());
+    batch.add(ctx.fork(1), 6, 8, 12, A.data(), B.data(), c2.data());
+    EXPECT_EQ(batch.size(), 2u);
+    batch.flush();
+    EXPECT_EQ(batch.size(), 0u);
+  }
+  const TelemetrySnapshot snap = sink.snapshot();
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_EQ(snap.batch_problems, 2u);
+  EXPECT_EQ(snap.gemms, 2u);
+  EXPECT_EQ(snap.macs, 2ull * 6 * 8 * 12);
+  ASSERT_EQ(snap.per_backend.count("batched"), 1u);
+  EXPECT_EQ(snap.per_backend.at("batched").batches, 1u);
+}
+
+}  // namespace
+}  // namespace srmac

@@ -83,7 +83,8 @@ TEST(QuantPolicy, AllBackendsThreadInvariant) {
   cfg.random_bits = 9;
   const QuantPolicy policy = QuantPolicy::uniform(cfg);
 
-  for (const char* name : {"fp32", "fused", "reference", "systolic"}) {
+  for (const char* name : {"fp32", "fused", "reference", "batched",
+                           "systolic"}) {
     ComputeContext one =
         ComputeContext::with_backend(name, policy, /*seed=*/3, /*threads=*/1);
     ComputeContext many =

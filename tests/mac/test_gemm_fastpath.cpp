@@ -188,6 +188,68 @@ TEST(GemmFastpath, TableAddendMatchesStepSemantics) {
   }
 }
 
+TEST(GemmFastpath, VectorChainsMatchScalarAcrossRandomFormats) {
+  // Scalar-vs-vector parity fuzz for every adder kind, with the lazy-SR and
+  // RN chains as the main subjects (their AVX-512 paths landed after the
+  // eager one): for each (adder, acc fmt, mul fmt, subnormals, r) the
+  // 16-lane chain_group — the vector kernel on AVX-512 hosts, the 4-wide
+  // scalar lockstep groups elsewhere — must be bit-identical to per-lane
+  // chain() calls over the same operand and random streams. Operands are
+  // raw random encodings of the multiplier format, so NaN/Inf/zero/
+  // subnormal lanes, parking, and replay all trigger; r sweeps the 1..32
+  // edge widths (normalized() clamps below each adder's minimum).
+  Xoshiro256 rng(0xF0522);
+  const FpFormat accs[] = {kFp12, kFp16, FpFormat{4, 8}, FpFormat{7, 3},
+                           FpFormat{8, 14}};
+  const AdderKind kinds[] = {AdderKind::kLazySR, AdderKind::kRoundNearest,
+                             AdderKind::kEagerSR};
+  for (AdderKind kind : kinds) {
+    for (const FpFormat& acc : accs) {
+      for (const FpFormat& mul : {kFp8E5M2, kFp8E4M3}) {
+        for (bool sub : {true, false}) {
+          for (int r : {1, 2, 3, 4, 31, 32}) {
+            const MacConfig cfg = make_cfg(kind, r, sub, acc, mul).normalized();
+            const FusedMacKernel kernel(cfg);
+            const int G = kernel.group_width();
+            const int n = 96;
+            std::vector<uint32_t> a(n), b_ilv(static_cast<size_t>(n) * G);
+            std::vector<uint64_t> rand_ilv(static_cast<size_t>(n) * G);
+            for (auto& v : a)
+              v = static_cast<uint32_t>(rng.below(1u << cfg.mul_fmt.width()));
+            for (auto& v : b_ilv)
+              v = static_cast<uint32_t>(rng.below(1u << cfg.mul_fmt.width()));
+            for (auto& v : rand_ilv) v = rng.next();
+            // Start lanes on a mix of zero and random finite/special values.
+            std::vector<Unpacked> start(G);
+            for (int l = 0; l < G; ++l)
+              start[l] = (l % 3 == 0)
+                             ? unpacked_zero(cfg.acc_fmt, false)
+                             : decode(cfg.acc_fmt,
+                                      static_cast<uint32_t>(rng.below(
+                                          1u << cfg.acc_fmt.width())));
+            std::vector<Unpacked> vec = start;
+            kernel.chain_group(vec.data(), a.data(), b_ilv.data(), n,
+                               rand_ilv.data());
+            for (int l = 0; l < G; ++l) {
+              Unpacked sc = start[l];
+              std::vector<uint32_t> bcol(n);
+              std::vector<uint64_t> rcol(n);
+              for (int k = 0; k < n; ++k) {
+                bcol[k] = b_ilv[static_cast<size_t>(k) * G + l];
+                rcol[k] = rand_ilv[static_cast<size_t>(k) * G + l];
+              }
+              kernel.chain(sc, a.data(), bcol.data(), n, rcol.data());
+              ASSERT_EQ(encode_unpacked(cfg.acc_fmt, vec[l]),
+                        encode_unpacked(cfg.acc_fmt, sc))
+                  << cfg.name() << " mul=" << mul.name() << " lane " << l;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(GemmFastpath, NormalizedConfigClampsRandomBits) {
   // Regression for the MacUnit constructor sizing its LFSR from the raw
   // (un-normalized) random_bits: width and draw amount must both come from
