@@ -235,7 +235,9 @@ int main(int argc, char** argv) {
   js << "  \"acc_fmt\": \"" << cfg.acc_fmt.name() << "\",\n";
   js << "  \"m\": " << M << ", \"n\": " << N << ", \"k\": " << K << ",\n";
   js << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
-  js << "  \"hardware_parallelism\": " << hw << ",\n  \"results\": [\n";
+  js << "  \"hardware_parallelism\": " << hw << ",\n";
+  js << "  \"shards\": " << ThreadPool::default_shards() << ",\n";
+  js << "  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     const Result* base = base_of(r);

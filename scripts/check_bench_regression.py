@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate over BENCH_*.json files.
+
+Compares bench output files (the CI smoke runs, or the checked-in
+docs/bench trend files) against the baseline values recorded in
+docs/bench/bench_floors.json. A row fails when its throughput drops more
+than `tolerance` (default 40%, generous: CI runners are noisy and smoke
+sizes are tiny) below its baseline — catching the silent perf regressions
+a green test suite would wave through, without flaking on machine jitter.
+
+Floors file format:
+
+    {
+      "tolerance": 0.40,
+      "floors": [
+        {"bench": "gemm_throughput", "path": "fast", "threads": 1,
+         "smoke": true, "baseline_mmac_per_s": 150.0},
+        {"bench": "gemm_throughput", "path": "fast", "threads": 1,
+         "smoke": false, "scenario_prefix": "rn:",
+         "baseline_mmac_per_s": 349.0},
+        {"bench": "layers", "smoke": true, "aggregate": true,
+         "baseline_mmac_per_s": 100.0}
+      ]
+    }
+
+A floor matches a gemm_throughput row on (path, threads, the file's smoke
+flag, and an optional scenario prefix); a `layers` floor with "aggregate"
+matches the whole file (total MACs / total GEMM seconds). Rows without a
+matching floor pass silently (new paths get floors when their numbers are
+recorded); floors that match nothing in the given files are reported as
+skipped, not failed — each CI job only produces a subset. Stdlib only.
+
+Usage: check_bench_regression.py [--floors PATH] [--tolerance F] FILE...
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def scenario_matches(rule, data):
+    prefix = rule.get("scenario_prefix")
+    return prefix is None or str(data.get("scenario", "")).startswith(prefix)
+
+
+def check_file(path, data, floors, tolerance, report):
+    bench = data.get("bench")
+    smoke = bool(data.get("smoke", False))
+    matched = set()
+
+    if bench == "layers":
+        total_macs = sum(r.get("gemm_macs", 0) for r in data.get("results", []))
+        total_secs = sum(r.get("gemm_seconds", 0.0)
+                         for r in data.get("results", []))
+        aggregate = total_macs / total_secs / 1e6 if total_secs > 0 else 0.0
+        for i, rule in enumerate(floors):
+            if rule.get("bench") != bench or not rule.get("aggregate"):
+                continue
+            if bool(rule.get("smoke", False)) != smoke:
+                continue
+            matched.add(i)
+            report(path, "aggregate", aggregate, rule, tolerance)
+        return matched
+
+    for row in data.get("results", []):
+        for i, rule in enumerate(floors):
+            if rule.get("bench") != bench:
+                continue
+            if rule.get("path") != row.get("path"):
+                continue
+            if rule.get("threads") is not None and \
+                    rule.get("threads") != row.get("threads"):
+                continue
+            if bool(rule.get("smoke", False)) != smoke:
+                continue
+            if not scenario_matches(rule, data):
+                continue
+            matched.add(i)
+            label = "%s@%d" % (row.get("path"), row.get("threads", 0))
+            report(path, label, row.get("mmac_per_s", 0.0), rule, tolerance)
+    return matched
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--floors", default="docs/bench/bench_floors.json")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="override the floors file's tolerance fraction")
+    ap.add_argument("--min-rows", type=int, default=1,
+                    help="fail unless at least this many rows matched a "
+                         "floor — catches bench-format or row-name drift "
+                         "that would otherwise turn the gate into a no-op")
+    ap.add_argument("files", nargs="+")
+    args = ap.parse_args()
+
+    spec = load(args.floors)
+    floors = spec.get("floors", [])
+    tolerance = args.tolerance if args.tolerance is not None \
+        else float(spec.get("tolerance", 0.40))
+
+    failures = []
+    checked = [0]
+
+    def report(path, label, value, rule, tol):
+        floor = float(rule["baseline_mmac_per_s"]) * (1.0 - tol)
+        checked[0] += 1
+        ok = value >= floor
+        print("%s %s: %s = %.1f MMAC/s (baseline %.1f, floor %.1f)"
+              % ("ok  " if ok else "FAIL", path, label, value,
+                 rule["baseline_mmac_per_s"], floor))
+        if not ok:
+            failures.append("%s: %s dropped to %.1f MMAC/s, floor %.1f"
+                            % (path, label, value, floor))
+
+    matched = set()
+    for path in args.files:
+        try:
+            data = load(path)
+        except (OSError, json.JSONDecodeError) as e:
+            failures.append("%s: unreadable bench file (%s)" % (path, e))
+            continue
+        matched |= check_file(path, data, floors, tolerance, report)
+
+    for i, rule in enumerate(floors):
+        if i not in matched:
+            print("skip (no matching row in given files): %s"
+                  % json.dumps(rule))
+
+    if checked[0] < args.min_rows:
+        failures.append(
+            "only %d row(s) matched any floor (--min-rows %d): the bench "
+            "output format, row names, or floor selectors have drifted"
+            % (checked[0], args.min_rows))
+
+    print("checked %d rows against %d floors, %d failures"
+          % (checked[0], len(floors), len(failures)))
+    for f in failures:
+        print("error: " + f, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

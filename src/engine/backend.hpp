@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mac/mac_config.hpp"
 
@@ -100,9 +101,32 @@ class MatmulBackend {
   /// Executes `count` independent GEMMs. The default implementation loops
   /// gemm(); the "batched" backend shards whole problems across the thread
   /// pool (work-stealing across problems, not within one) and packs each
-  /// unique B plane once. Results are bit-identical to the sequential loop
-  /// for every implementation.
+  /// unique B plane once; the "sharded" backend routes whole problems to
+  /// topology-aware worker shards with shard-local plane caches. Results
+  /// are bit-identical to the sequential loop for every implementation.
   virtual void gemm_batch(const GemmBatchItem* items, size_t count) const;
+};
+
+/// Optional mix-in for backends that schedule across worker shards (the
+/// "sharded" backend). Counters are cumulative over the backend instance's
+/// lifetime; the telemetry dispatch in MatmulBatch::flush snapshots them
+/// around a gemm_batch call and records the delta. With several engines
+/// sharing one registry instance concurrently the deltas may interleave —
+/// the counters are scheduling diagnostics, not accounting.
+class ShardStatsSource {
+ public:
+  virtual ~ShardStatsSource() = default;
+
+  struct Stats {
+    uint64_t migrations = 0;  ///< problems executed off their routed shard
+    std::vector<uint64_t> planes_packed;  ///< B planes packed, per shard
+    /// Bytes of float B planes the backend quantized itself (a shared
+    /// plane quantizes once per shard that packs it) — the telemetry
+    /// dispatch records these instead of its once-per-batch dedup
+    /// estimate, so bytes_quantized agrees with planes_packed_per_shard.
+    uint64_t plane_bytes_quantized = 0;
+  };
+  virtual Stats shard_stats() const = 0;
 };
 
 }  // namespace srmac

@@ -5,11 +5,14 @@
 //
 //   --scenario=SPEC   "fp32" or a MacConfig spec, e.g.
 //                     "eager_sr:e5m2/e6m5:r=9:subON" (see docs/API.md)
-//   --backend=NAME    registry key: fp32 | fused | reference | batched | systolic | ...
+//   --backend=NAME    registry key: fp32 | fused | reference | batched |
+//                     sharded | systolic | ...
 //   --hfp8            HFP8 policy (E4M3 forward / E5M2 backward) on top of
 //                     the scenario's accumulator and adder
 //   --seed=N          base LFSR seed (default kDefaultSeed)
 //   --threads=N       thread cap (default 0 = hardware concurrency)
+//   --shards=N        worker-shard count for sharded scheduling (default 0
+//                     = auto: SRMAC_SHARDS env, then detected NUMA nodes)
 //
 // Unknown flags are left alone so callers can parse their own arguments
 // from the same argv.
@@ -21,6 +24,7 @@
 #include <string>
 
 #include "engine/emu_engine.hpp"
+#include "util/thread_pool.hpp"
 
 namespace srmac {
 
@@ -30,19 +34,26 @@ struct EngineCliArgs {
   bool hfp8 = false;
   uint64_t seed = kDefaultSeed;
   int threads = 0;
+  int shards = 0;  // 0 = auto (SRMAC_SHARDS env, then topology)
 };
 
 inline const char* engine_cli_usage() {
   return "  --scenario=SPEC  'fp32' or adder:mulfmt/accfmt[:r=N][:subON|subOFF]\n"
          "                   (e.g. eager_sr:e5m2/e6m5:r=9:subON)\n"
-         "  --backend=NAME   fp32 | fused | reference | batched | systolic | ...\n"
+         "  --backend=NAME   fp32 | fused | reference | batched | sharded |\n"
+         "                   systolic | ...\n"
          "  --hfp8           E4M3-forward / E5M2-backward multiplier formats\n"
          "  --seed=N         base LFSR seed\n"
-         "  --threads=N      thread cap (0 = hardware concurrency)\n";
+         "  --threads=N      thread cap (0 = hardware concurrency)\n"
+         "  --shards=N       worker shards for sharded scheduling\n"
+         "                   (0 = auto: SRMAC_SHARDS env, then NUMA topology)\n";
 }
 
 /// Scans argv for the engine flags above; everything else is ignored (the
-/// caller parses its own flags from the same argv).
+/// caller parses its own flags from the same argv). A --shards value is
+/// applied immediately as the process-wide default
+/// (ThreadPool::set_default_shards), so the "sharded" backend's dispatches
+/// pick it up without further plumbing.
 inline EngineCliArgs parse_engine_cli(int argc, char** argv) {
   EngineCliArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -56,8 +67,10 @@ inline EngineCliArgs parse_engine_cli(int argc, char** argv) {
     if (const char* v = val("--backend")) args.backend = v;
     if (const char* v = val("--seed")) args.seed = std::strtoull(v, nullptr, 0);
     if (const char* v = val("--threads")) args.threads = std::atoi(v);
+    if (const char* v = val("--shards")) args.shards = std::atoi(v);
     if (std::strcmp(argv[i], "--hfp8") == 0) args.hfp8 = true;
   }
+  if (args.shards > 0) ThreadPool::set_default_shards(args.shards);
   return args;
 }
 

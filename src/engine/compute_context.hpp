@@ -9,6 +9,8 @@
 
 namespace srmac {
 
+class MatmulBatch;  // tensor/tensor_ops.hpp — deferred-GEMM sink
+
 /// How the training math executes: which backend runs the GEMMs, what the
 /// quantization policy is, and the reproducibility/observability plumbing.
 /// This replaces the old boolean-flag context (`bit_accurate`, `hfp8`,
@@ -26,6 +28,15 @@ struct ComputeContext {
   int threads = 0;               ///< 0 = hardware concurrency
   Telemetry* telemetry = nullptr;
   GemmPass pass = GemmPass::kForward;
+
+  /// When non-null (set by Sequential::backward on a batching backend),
+  /// layers defer their weight-gradient GEMM into this batch instead of
+  /// dispatching it themselves — cross-layer gradient bucketing, flushed by
+  /// the owner in bounded buckets. Operands of a deferred GEMM must stay
+  /// valid until that flush: layer-owned caches qualify, locals go through
+  /// MatmulBatch::scratch. Results are bit-identical either way (the item
+  /// carries its own pass/seed; scheduling is invisible to the bits).
+  MatmulBatch* grad_batch = nullptr;
 
   /// FP32 baseline context (the "fp32" backend).
   static ComputeContext fp32();

@@ -34,6 +34,20 @@ void Telemetry::record_batch(const std::string& backend, uint64_t problems,
   b.batch_problems += problems;
 }
 
+void Telemetry::record_sharded(
+    const std::string& backend, uint64_t migrations,
+    const std::vector<uint64_t>& planes_packed_per_shard,
+    uint64_t plane_bytes_quantized) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.shard_migrations += migrations;
+  totals_.bytes_quantized += plane_bytes_quantized;
+  if (totals_.planes_packed_per_shard.size() < planes_packed_per_shard.size())
+    totals_.planes_packed_per_shard.resize(planes_packed_per_shard.size());
+  for (size_t s = 0; s < planes_packed_per_shard.size(); ++s)
+    totals_.planes_packed_per_shard[s] += planes_packed_per_shard[s];
+  totals_.per_backend[backend].shard_migrations += migrations;
+}
+
 void Telemetry::record_quantize(uint64_t values, const FpFormat& fmt) {
   const uint64_t bytes = values * static_cast<uint64_t>((fmt.width() + 7) / 8);
   std::lock_guard<std::mutex> lock(mu_);

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "mac/mac_config.hpp"
 
@@ -15,6 +16,7 @@ struct BackendStats {
   uint64_t macs = 0;     ///< MAC steps retired (sum of M*N*K)
   uint64_t batches = 0;         ///< gemm_batch submissions
   uint64_t batch_problems = 0;  ///< problems inside those submissions
+  uint64_t shard_migrations = 0;  ///< problems stolen across worker shards
   double seconds = 0.0;  ///< wall time inside the backend
 };
 
@@ -25,6 +27,11 @@ struct TelemetrySnapshot {
   uint64_t bytes_quantized = 0;  ///< operand bytes freshly quantized
   uint64_t batches = 0;          ///< gemm_batch submissions
   uint64_t batch_problems = 0;   ///< problems inside those submissions
+  uint64_t shard_migrations = 0;  ///< problems stolen across worker shards
+  /// B planes the sharded scheduler packed, indexed by shard (grows to the
+  /// largest shard count seen; a plane reused across a batch packs once per
+  /// shard that touches it, not once per problem).
+  std::vector<uint64_t> planes_packed_per_shard;
   double seconds = 0.0;
   std::map<std::string, BackendStats> per_backend;
 
@@ -57,6 +64,15 @@ class Telemetry {
   /// Records `values` operand words freshly quantized into `fmt`
   /// (byte-rounded per value: ceil(width/8)).
   void record_quantize(uint64_t values, const FpFormat& fmt);
+
+  /// Records the shard-scheduling counters of one sharded gemm_batch
+  /// dispatch: how many problems were stolen across shards, how many B
+  /// planes each shard packed, and the operand bytes those per-shard packs
+  /// quantized (deltas, added to the running totals; the bytes land in
+  /// bytes_quantized, replacing the dispatcher's once-per-batch estimate).
+  void record_sharded(const std::string& backend, uint64_t migrations,
+                      const std::vector<uint64_t>& planes_packed_per_shard,
+                      uint64_t plane_bytes_quantized);
 
   TelemetrySnapshot snapshot() const;
   void reset();

@@ -19,7 +19,11 @@
 // finite range, at which point they are folded back into the vectors.
 #include "mac/mac_kernel.hpp"
 
-#if defined(__x86_64__) || defined(_M_X64)
+// SRMAC_DISABLE_AVX512 (CMake -DSRMAC_DISABLE_AVX512=ON) compiles this TU
+// as the non-x86 stub, forcing the scalar lockstep groups everywhere — the
+// CI leg that keeps the scalar replay/fallback paths built and tested on
+// hosts that would otherwise always take the vector chains.
+#if (defined(__x86_64__) || defined(_M_X64)) && !defined(SRMAC_DISABLE_AVX512)
 
 // GCC's AVX-512 intrinsic wrappers pass self-initialized dummy operands to
 // the masked builtins, tripping -Wmaybe-uninitialized at -O3 (GCC bug
@@ -558,7 +562,7 @@ void chain_group_avx512_rn(const FusedMacKernel& kernel, Unpacked* acc,
 
 }  // namespace srmac
 
-#else  // !x86-64
+#else  // !x86-64 or SRMAC_DISABLE_AVX512
 
 namespace srmac {
 

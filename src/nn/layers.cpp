@@ -130,34 +130,61 @@ Tensor Conv2d::backward(const ComputeContext& ctx, const Tensor& gout) {
 
   // Rebuild cols_ (recompute trades memory for cache footprint).
   build_cols(ctx, x, oh, ow);
-  // gout as (out_ch, N*L).
-  Tensor g_flat({out_ch_, N * L});
+  // gout as (out_ch, N*L). When the dW GEMM defers into a cross-layer
+  // bucket (ctx.grad_batch), the reshaped gradient must outlive this call,
+  // so it stages in the bucket's scratch instead of a local tensor.
+  Tensor g_flat_store;
+  float* g_flat;
+  if (ctx.grad_batch) {
+    g_flat = ctx.grad_batch->scratch(static_cast<size_t>(out_ch_) * N * L);
+  } else {
+    g_flat_store = Tensor({out_ch_, N * L});
+    g_flat = g_flat_store.data();
+  }
   for (int c = 0; c < out_ch_; ++c)
     for (int n = 0; n < N; ++n)
       std::copy_n(gout.data() + (static_cast<size_t>(n) * out_ch_ + c) * L, L,
-                  g_flat.data() + (static_cast<size_t>(c) * N + n) * L);
+                  g_flat + (static_cast<size_t>(c) * N + n) * L);
 
   // The two backward GEMMs — dW = gout * cols^T (weight gradient) and
-  // gcols = W^T * gout (data gradient) — are independent, so they go down
-  // as one gemm_batch submission: a batching backend shards them across
-  // the pool, every other backend's default loop is exactly the sequential
-  // dispatch (bit-identical either way, per-element seeds).
+  // gcols = W^T * gout (data gradient) — are independent. With a deferred
+  // bucket the dW GEMM joins it (cols^T is materialized into the bucket at
+  // add time) and the data gradient, which the serial gx chain needs now,
+  // dispatches immediately; otherwise both go down as one gemm_batch
+  // submission. Bit-identical every way — each item carries its own
+  // pass/seed, scheduling is invisible to the bits.
   const ComputeContext ctx_gx = ctx.fork(2);
   Tensor gcols({K, N * L});
-  MatmulBatch batch(ctx);
-  batch.add_nt(ctx.fork(1).weight_grad(), out_ch_, K, N * L, g_flat.data(),
-               cols_.data(), w_.grad.data(), /*accumulate=*/true);
+  MatmulBatch local(ctx);
+  MatmulBatch& dw_sink = ctx.grad_batch ? *ctx.grad_batch : local;
+  dw_sink.add_nt(ctx.fork(1).weight_grad(), out_ch_, K, N * L, g_flat,
+                 cols_.data(), w_.grad.data(), /*accumulate=*/true);
   if (ctx_gx.bit_accurate()) {
     // The cached transposed weight plane; non-prequantized backends get it
     // decoded back losslessly by the dispatch.
     const auto& wqt = wq_.get(w_, ctx_gx.quant_fmt(), /*transposed=*/true);
-    batch.add_qa(ctx_gx, K, N * L, out_ch_, wqt.data(), g_flat.data(),
-                 gcols.data());
+    if (ctx.grad_batch)
+      matmul_qa(ctx_gx, K, N * L, out_ch_, wqt.data(), g_flat, gcols.data());
+    else
+      local.add_qa(ctx_gx, K, N * L, out_ch_, wqt.data(), g_flat,
+                   gcols.data());
   } else {
-    batch.add_tn(ctx_gx, K, N * L, out_ch_, w_.value.data(), g_flat.data(),
-                 gcols.data());
+    if (ctx.grad_batch)
+      matmul_tn(ctx_gx, K, N * L, out_ch_, w_.value.data(), g_flat,
+                gcols.data());
+    else
+      local.add_tn(ctx_gx, K, N * L, out_ch_, w_.value.data(), g_flat,
+                   gcols.data());
   }
-  batch.flush();
+  local.flush();
+  // End of this layer's backward is a safe flush point for the deferred
+  // bucket (our staged g_flat is no longer needed; every other pending
+  // item's operands are layer members or batch-owned copies), so the
+  // memory bound holds even when this conv is nested inside a composite
+  // block the bucketing Sequential only sees as one child.
+  if (ctx.grad_batch &&
+      ctx.grad_batch->staged_floats() >= Sequential::kGradBucketFloats)
+    ctx.grad_batch->flush();
   Tensor gx({N, in_ch_, H, W});  // zero-initialized: col2im accumulates
   ThreadPool::global().parallel_for(
       0, N,
@@ -207,25 +234,41 @@ Tensor Linear::forward(const ComputeContext& ctx, const Tensor& x,
 Tensor Linear::backward(const ComputeContext& ctx, const Tensor& gout) {
   const int N = gout.dim(0);
   // dW = gout^T * x ; db = column sums ; gx = gout * W. The two GEMMs are
-  // independent, so they submit as one gemm_batch (sharded on a batching
-  // backend, the sequential default loop elsewhere — bit-identical).
+  // independent: with a deferred bucket (ctx.grad_batch) the dW GEMM joins
+  // it — add_tn copies gout^T into the bucket and x_cache_ is a member, so
+  // both operands outlive this call — and gx dispatches immediately;
+  // otherwise both submit as one gemm_batch. Bit-identical either way.
   for (int n = 0; n < N; ++n)
     for (int o = 0; o < out_f_; ++o) b_.grad[o] += gout.at(n, o);
   Tensor gx({N, in_f_});
   const ComputeContext ctx_gx = ctx.fork(2);
-  MatmulBatch batch(ctx);
-  batch.add_tn(ctx.fork(1).weight_grad(), out_f_, in_f_, N, gout.data(),
-               x_cache_.data(), w_.grad.data(), /*accumulate=*/true);
+  MatmulBatch local(ctx);
+  MatmulBatch& dw_sink = ctx.grad_batch ? *ctx.grad_batch : local;
+  dw_sink.add_tn(ctx.fork(1).weight_grad(), out_f_, in_f_, N, gout.data(),
+                 x_cache_.data(), w_.grad.data(), /*accumulate=*/true);
   if (ctx_gx.bit_accurate()) {
     // The cached weight plane; non-prequantized backends get it decoded
     // back losslessly by the dispatch.
     const auto& wq = wq_.get(w_, ctx_gx.quant_fmt(), /*transposed=*/false);
-    batch.add_qb(ctx_gx, N, in_f_, out_f_, gout.data(), wq.data(), gx.data());
+    if (ctx.grad_batch)
+      matmul_qb(ctx_gx, N, in_f_, out_f_, gout.data(), wq.data(), gx.data());
+    else
+      local.add_qb(ctx_gx, N, in_f_, out_f_, gout.data(), wq.data(),
+                   gx.data());
   } else {
-    batch.add(ctx_gx, N, in_f_, out_f_, gout.data(), w_.value.data(),
-              gx.data());
+    if (ctx.grad_batch)
+      matmul(ctx_gx, N, in_f_, out_f_, gout.data(), w_.value.data(),
+             gx.data());
+    else
+      local.add(ctx_gx, N, in_f_, out_f_, gout.data(), w_.value.data(),
+                gx.data());
   }
-  batch.flush();
+  local.flush();
+  // Safe flush point, as in Conv2d::backward: bounds the bucket's staged
+  // memory regardless of how deeply this layer is nested.
+  if (ctx.grad_batch &&
+      ctx.grad_batch->staged_floats() >= Sequential::kGradBucketFloats)
+    ctx.grad_batch->flush();
   return gx;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -89,12 +90,49 @@ class Sequential : public Layer {
     return h;
   }
   Tensor backward(const ComputeContext& ctx, const Tensor& gout) override {
+    // Cross-layer weight-gradient bucketing: on a batching backend the
+    // layers' dW GEMMs are deferred into one MatmulBatch and flushed in
+    // buckets of kGradBucket problems, so gemm_batch sees multi-problem
+    // submissions spanning layers (more problems than shards) instead of
+    // one pair per layer. Bounded buckets cap how long deferred operand
+    // copies (MatmulBatch::scratch) stay alive. The data-gradient chain
+    // stays serial — only the independent dW GEMMs defer — and per-item
+    // seeds make the bits identical to per-layer dispatch. A Sequential
+    // nested under one that already buckets just forwards the pointer.
+    std::optional<MatmulBatch> bucket;
+    ComputeContext c = ctx;
+    if (!ctx.grad_batch && ctx.backend && ctx.backend->supports_batch()) {
+      bucket.emplace(ctx);
+      c.grad_batch = &*bucket;
+    }
     Tensor g = gout;
     int salt = static_cast<int>(layers_.size());
-    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-      g = (*it)->backward(ctx.fork(1000 + salt--).for_layer((*it)->name()), g);
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(c.fork(1000 + salt--).for_layer((*it)->name()), g);
+      if (bucket && (bucket->size() >= kGradBucket ||
+                     bucket->staged_floats() >= kGradBucketFloats))
+        bucket->flush();
+    }
+    if (bucket) bucket->flush();
     return g;
   }
+
+  /// Deferred weight-gradient GEMMs per bucket flush; a handful keeps the
+  /// shard queues fed without holding every layer's staged operands alive
+  /// at once.
+  static constexpr size_t kGradBucket = 4;
+
+  /// Byte bound on the same bucket (as floats): conv layers stage their
+  /// im2col cols^T and reshaped gradient per deferred dW, which dwarfs the
+  /// problem count as a memory measure — a bucket holding big planes
+  /// flushes early so peak backward memory stays near the per-layer-flush
+  /// baseline (one large conv stages ~a few MB; 16 MB ≈ a handful). The
+  /// bound is enforced by Conv2d/Linear at the *end* of their own backward
+  /// (the safe flush point: their staged operands are dead, everyone
+  /// else's are layer members or batch-owned), so composite blocks this
+  /// Sequential sees as one child cannot overshoot it; the check in the
+  /// loop above is the coarse per-child backstop.
+  static constexpr size_t kGradBucketFloats = (16u << 20) / sizeof(float);
   void collect_params(std::vector<Param*>& out) override {
     for (auto& l : layers_) l->collect_params(out);
   }

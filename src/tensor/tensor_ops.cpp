@@ -216,14 +216,36 @@ void MatmulBatch::add_qb(const ComputeContext& ctx, int M, int N, int K,
 void MatmulBatch::flush() {
   if (items_.empty()) return;
   assert(base_.backend && "ComputeContext must carry a backend");
+  // Shard-scheduling backends expose cumulative counters; snapshot around
+  // the dispatch and record the delta.
+  const auto* shard_src =
+      base_.telemetry ? dynamic_cast<const ShardStatsSource*>(base_.backend)
+                      : nullptr;
+  const ShardStatsSource::Stats before =
+      shard_src ? shard_src->shard_stats() : ShardStatsSource::Stats{};
   const double t0 = base_.telemetry ? now_s() : 0.0;
   base_.backend->gemm_batch(items_.data(), items_.size());
+  if (shard_src) {
+    ShardStatsSource::Stats after = shard_src->shard_stats();
+    after.migrations -= before.migrations;
+    after.plane_bytes_quantized -= before.plane_bytes_quantized;
+    for (size_t s = 0;
+         s < after.planes_packed.size() && s < before.planes_packed.size();
+         ++s)
+      after.planes_packed[s] -= before.planes_packed[s];
+    base_.telemetry->record_sharded(base_.backend->name(), after.migrations,
+                                    after.planes_packed,
+                                    after.plane_bytes_quantized);
+  }
   if (base_.telemetry) {
     uint64_t macs = 0;
     // Fresh-quantization accounting, per item format (items of one batch
     // may run different policy passes). Cached planes (Aq/Bq) were not
     // quantized by this dispatch; on a batching backend a float B plane
-    // repeated across items is packed once, so it counts once.
+    // repeated across items is packed once, so it counts once — except on
+    // a shard-scheduling backend, which quantizes a shared plane once per
+    // shard and reported the exact bytes through record_sharded above, so
+    // its B planes are skipped here entirely.
     const bool dedup = base_.backend->supports_batch();
     std::vector<std::pair<FpFormat, uint64_t>> per_fmt;
     std::vector<std::tuple<const float*, int, int, int, FpFormat>> seen_b;
@@ -242,7 +264,7 @@ void MatmulBatch::flush() {
       const FpFormat fmt = it.cfg.normalized().mul_fmt;
       if (!it.Aq)
         count_quant(fmt, static_cast<uint64_t>(it.args.M) * it.args.K);
-      if (!it.Bq) {
+      if (!it.Bq && !shard_src) {
         const std::tuple<const float*, int, int, int, FpFormat> key{
             it.args.B, it.args.ldb, it.args.K, it.args.N, fmt};
         if (dedup &&

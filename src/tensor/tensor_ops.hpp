@@ -80,9 +80,26 @@ class MatmulBatch {
 
   size_t size() const { return items_.size(); }
 
+  /// Batch-owned float scratch the caller can stage an operand into before
+  /// add()-ing it — e.g. a layer deferring its weight-gradient GEMM past
+  /// its own scope (Sequential's cross-layer bucketing) parks the reshaped
+  /// gradient here. Freed at flush() with everything else the batch owns.
+  float* scratch(size_t n) { return owned_.emplace_back(n).data(); }
+
+  /// Floats currently staged in batch-owned storage (scratch plus the
+  /// materialized transposes of _nt/_tn adds) — what a bucketing caller
+  /// bounds to keep peak memory flat when the deferred operands are large
+  /// (conv im2col planes dwarf the problem count as a measure).
+  size_t staged_floats() const {
+    size_t n = 0;
+    for (const auto& v : owned_) n += v.size();
+    return n;
+  }
+
   /// Dispatches every deferred GEMM through the base backend's gemm_batch
-  /// (recording one batch plus per-problem counters into telemetry), then
-  /// clears the batch for reuse.
+  /// (recording one batch plus per-problem counters into telemetry; on a
+  /// shard-scheduling backend also the shard_migrations /
+  /// planes_packed_per_shard deltas), then clears the batch for reuse.
   void flush();
 
  private:

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 
 namespace srmac {
@@ -109,6 +112,157 @@ void ThreadPool::worker_loop(int id) {
     });
     if (st.stop.load()) return;
   }
+}
+
+int parse_cpulist_count(const std::string& list) {
+  int count = 0;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t end = list.find(',', pos);
+    if (end == std::string::npos) end = list.size();
+    const std::string entry = list.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    char* rest = nullptr;
+    const long lo = std::strtol(entry.c_str(), &rest, 10);
+    if (rest == entry.c_str() || lo < 0) continue;  // not a number
+    if (*rest == '-') {
+      char* rest2 = nullptr;
+      const long hi = std::strtol(rest + 1, &rest2, 10);
+      if (rest2 == rest + 1 || hi < lo) continue;  // malformed range
+      count += static_cast<int>(hi - lo + 1);
+    } else {
+      count += 1;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+ShardTopology detect_topology() try {
+  ShardTopology topo;
+  std::error_code ec;
+  const std::filesystem::path root("/sys/devices/system/node");
+  if (!std::filesystem::is_directory(root, ec) || ec) return topo;
+  // increment(ec), not a range-for: the range-for's operator++ throws, and
+  // a sandboxed /sys that fails mid-readdir must degrade to the 1-shard
+  // fallback, not terminate the process.
+  std::filesystem::directory_iterator it(root, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind("node", 0) != 0 || name.size() <= 4) continue;
+    if (name.find_first_not_of("0123456789", 4) != std::string::npos) continue;
+    std::ifstream cpulist(it->path() / "cpulist");
+    std::string list;
+    if (cpulist) std::getline(cpulist, list);
+    const int cpus = parse_cpulist_count(list);
+    // Memory-only nodes (CXL expanders, pmem) have an empty cpulist; a
+    // shard with no CPUs would only collect phantom queues drained by
+    // cross-node steals, so they don't count.
+    if (cpus > 0) topo.cpus_per_shard.push_back(cpus);
+  }
+  if (ec || topo.cpus_per_shard.empty()) return ShardTopology{};
+  topo.shards = static_cast<int>(topo.cpus_per_shard.size());
+  topo.from_sysfs = true;
+  return topo;
+} catch (...) {
+  return ShardTopology{};  // any filesystem surprise means "no topology"
+}
+
+/// The --shards override; 0 = auto (env, then topology).
+std::atomic<int> g_shard_override{0};
+
+}  // namespace
+
+const ShardTopology& ThreadPool::topology() {
+  static const ShardTopology topo = detect_topology();
+  return topo;
+}
+
+void ThreadPool::set_default_shards(int shards) {
+  g_shard_override.store(std::max(0, shards), std::memory_order_relaxed);
+}
+
+int ThreadPool::default_shards() {
+  const int forced = g_shard_override.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  static const int env_shards = [] {
+    const char* v = std::getenv("SRMAC_SHARDS");
+    return v ? std::atoi(v) : 0;
+  }();
+  if (env_shards > 0) return env_shards;
+  return topology().shards;
+}
+
+void ThreadPool::parallel_for_sharded(
+    int64_t count, int nshards, const std::function<void(int64_t)>& item,
+    const std::function<int(int64_t)>& shard_of, ShardStats* stats,
+    int max_threads) {
+  if (stats) *stats = ShardStats{};
+  if (count <= 0) return;
+  if (nshards <= 0) nshards = default_shards();
+  const int S = static_cast<int>(
+      std::min<int64_t>(std::max(1, nshards), count));
+
+  // One FIFO queue per shard; whole items are routed by shard_of. The
+  // queues exist per dispatch, so the shard count is a per-call parameter
+  // (--shards sweeps need no pool reconstruction).
+  struct ShardQueue {
+    std::mutex m;
+    std::deque<int64_t> q;
+  };
+  std::vector<ShardQueue> queues(S);
+  for (int64_t i = 0; i < count; ++i) {
+    const int s = ((shard_of(i) % S) + S) % S;
+    queues[s].q.push_back(i);
+  }
+
+  int participants = parallelism();
+  if (max_threads > 0) participants = std::min(participants, max_threads);
+  participants = static_cast<int>(std::min<int64_t>(participants, count));
+  participants = std::max(participants, 1);
+  const int P = participants;
+
+  std::atomic<uint64_t> migrated{0};
+  // Each participant homes on shard p*S/P (contiguous, balanced): with
+  // P >= S every shard has a resident drainer, with P < S the homeless
+  // shards are drained through the steal scan below.
+  auto drain = [&](int p) {
+    const int home = static_cast<int>(static_cast<int64_t>(p) * S / P);
+    while (true) {
+      int64_t idx = -1;
+      int from = -1;
+      for (int attempt = 0; attempt < S; ++attempt) {
+        ShardQueue& sq = queues[(home + attempt) % S];
+        std::lock_guard<std::mutex> lk(sq.m);
+        if (sq.q.empty()) continue;
+        if (attempt == 0) {
+          idx = sq.q.front();  // own shard drains in routed order
+          sq.q.pop_front();
+        } else {
+          idx = sq.q.back();  // thieves take from the tail
+          sq.q.pop_back();
+        }
+        from = (home + attempt) % S;
+        break;
+      }
+      if (idx < 0) return;
+      if (from != home) migrated.fetch_add(1, std::memory_order_relaxed);
+      item(idx);
+    }
+  };
+
+  // The participants themselves schedule on the plain pool, one chunk per
+  // participant (grain 1); nested calls inside a pool task collapse to one
+  // inline participant, which drains every shard sequentially.
+  parallel_for(
+      0, P,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t p = lo; p < hi; ++p) drain(static_cast<int>(p));
+      },
+      P, /*grain=*/1);
+  if (stats) stats->migrations = migrated.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::parallel_for(

@@ -39,7 +39,7 @@ std::vector<float> random_matrix(int rows, int cols, uint64_t seed) {
 TEST(BackendRegistry, BuiltinsAreRegistered) {
   const auto names = BackendRegistry::instance().names();
   for (const char* expected : {"fp32", "fused", "reference", "batched",
-                               "systolic"}) {
+                               "sharded", "systolic"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -59,6 +59,75 @@ TEST(BackendRegistry, UnknownNameThrowsWithInventory) {
     EXPECT_NE(msg.find("no-such-backend"), std::string::npos);
     EXPECT_NE(msg.find("fused"), std::string::npos) << "lists known names";
   }
+  // create() takes the same error path as get().
+  EXPECT_THROW(BackendRegistry::instance().create("also-missing"),
+               std::invalid_argument);
+  EXPECT_FALSE(BackendRegistry::instance().contains("no-such-backend"));
+  // EmuEngine surfaces the same failure through its builder (the CLI's
+  // engine_or_die path).
+  EXPECT_THROW(EmuEngine::Builder()
+                   .scenario("eager_sr:e5m2/e6m5:r=9:subON")
+                   .backend("no-such-backend")
+                   .build(),
+               std::invalid_argument);
+}
+
+// Registering an existing name replaces the factory for future create()
+// calls, but shared instances get() already handed out stay alive and
+// unchanged — the documented duplicate-registration contract.
+TEST(BackendRegistry, DuplicateRegistrationReplacesFactoryKeepsInstances) {
+  struct Dup final : MatmulBackend {
+    bool accurate;
+    explicit Dup(bool a) : accurate(a) {}
+    std::string name() const override { return "dup"; }
+    bool bit_accurate() const override { return accurate; }
+    void gemm(const MacConfig&, const GemmArgs& a) const override {
+      gemm_ref(a.M, a.N, a.K, a.A, a.lda, a.B, a.ldb, a.C, a.ldc,
+               a.accumulate, a.threads);
+    }
+  };
+  BackendRegistry::instance().register_backend(
+      "dup", [] { return std::make_shared<Dup>(false); });
+  const MatmulBackend* first = BackendRegistry::instance().get("dup");
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(first->bit_accurate());
+
+  BackendRegistry::instance().register_backend(
+      "dup", [] { return std::make_shared<Dup>(true); });
+  EXPECT_EQ(BackendRegistry::instance().get("dup"), first)
+      << "shared instance survives re-registration";
+  EXPECT_FALSE(BackendRegistry::instance().get("dup")->bit_accurate());
+  EXPECT_TRUE(BackendRegistry::instance().create("dup")->bit_accurate())
+      << "fresh instances come from the replacement factory";
+}
+
+// A MatmulBatch on a backend without supports_batch() routes through the
+// default sequential gemm_batch loop: bit-identical to per-GEMM dispatch,
+// and still recorded as one batch in telemetry.
+TEST(BackendRegistry, BatchOnNonBatchingBackendFallsBackSequentially) {
+  const MatmulBackend* fused = BackendRegistry::instance().get("fused");
+  ASSERT_FALSE(fused->supports_batch());
+  const QuantPolicy policy = QuantPolicy::uniform(paper_config());
+  Telemetry sink;
+  ComputeContext ctx = ComputeContext::with_backend("fused", policy, 17);
+  ctx.telemetry = &sink;
+  const auto A = random_matrix(7, 11, 91), B = random_matrix(11, 9, 92);
+  std::vector<float> c_batch1(63), c_batch2(63), c_seq1(63), c_seq2(63);
+  {
+    MatmulBatch batch(ctx);
+    batch.add(ctx, 7, 9, 11, A.data(), B.data(), c_batch1.data());
+    batch.add(ctx.fork(4), 7, 9, 11, A.data(), B.data(), c_batch2.data());
+    batch.flush();
+  }
+  matmul(ctx, 7, 9, 11, A.data(), B.data(), c_seq1.data());
+  matmul(ctx.fork(4), 7, 9, 11, A.data(), B.data(), c_seq2.data());
+  EXPECT_EQ(c_batch1, c_seq1);
+  EXPECT_EQ(c_batch2, c_seq2);
+  const TelemetrySnapshot snap = sink.snapshot();
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_EQ(snap.batch_problems, 2u);
+  EXPECT_TRUE(snap.planes_packed_per_shard.empty())
+      << "no shard counters on a non-sharding backend";
 }
 
 TEST(BackendRegistry, CustomBackendDropsIn) {

@@ -1,0 +1,117 @@
+// Shard-group scheduling of the persistent thread pool: sysfs cpulist
+// parsing, topology fallback, the default-shard override chain, and the
+// parallel_for_sharded contract — every item exactly once, routing reduced
+// mod the shard count, cross-shard stealing only when the home shard runs
+// dry (counted as migrations), and nested-inline safety.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace srmac {
+namespace {
+
+/// Restores the process-wide shard override when a test returns.
+struct ShardOverrideGuard {
+  ~ShardOverrideGuard() { ThreadPool::set_default_shards(0); }
+};
+
+TEST(CpuListParse, RangesSinglesAndJunk) {
+  EXPECT_EQ(parse_cpulist_count("0-3"), 4);
+  EXPECT_EQ(parse_cpulist_count("0"), 1);
+  EXPECT_EQ(parse_cpulist_count("0-3,8,10-11"), 7);
+  EXPECT_EQ(parse_cpulist_count("0-0"), 1);
+  EXPECT_EQ(parse_cpulist_count(""), 0);
+  EXPECT_EQ(parse_cpulist_count("garbage"), 0);
+  EXPECT_EQ(parse_cpulist_count("4-2"), 0) << "inverted range is malformed";
+  EXPECT_EQ(parse_cpulist_count("1,,3"), 2) << "empty entries are skipped";
+}
+
+TEST(ShardTopologyDetect, AtLeastOneShard) {
+  const ShardTopology& topo = ThreadPool::topology();
+  EXPECT_GE(topo.shards, 1);
+  if (topo.from_sysfs) {
+    EXPECT_EQ(static_cast<int>(topo.cpus_per_shard.size()), topo.shards);
+  }
+}
+
+TEST(DefaultShards, OverrideThenAuto) {
+  ShardOverrideGuard guard;
+  ThreadPool::set_default_shards(3);
+  EXPECT_EQ(ThreadPool::default_shards(), 3);
+  ThreadPool::set_default_shards(0);
+  EXPECT_GE(ThreadPool::default_shards(), 1) << "auto falls back to topology";
+}
+
+TEST(ParallelForSharded, RunsEveryItemExactlyOnce) {
+  const int64_t count = 97;
+  std::vector<std::atomic<int>> hits(count);
+  ThreadPool::ShardStats stats;
+  ThreadPool::global().parallel_for_sharded(
+      count, 4, [&](int64_t i) { hits[i].fetch_add(1); },
+      [](int64_t i) { return static_cast<int>(i % 4); }, &stats);
+  for (int64_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForSharded, ShardCountClampsToItemCount) {
+  std::atomic<int> ran{0};
+  ThreadPool::global().parallel_for_sharded(
+      3, 16, [&](int64_t) { ran.fetch_add(1); },
+      [](int64_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ParallelForSharded, NegativeRoutingIsReducedIntoRange) {
+  std::atomic<int> ran{0};
+  ThreadPool::global().parallel_for_sharded(
+      8, 3, [&](int64_t) { ran.fetch_add(1); },
+      [](int64_t i) { return static_cast<int>(i - 100); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ParallelForSharded, EmptyRangeIsANoop) {
+  ThreadPool::ShardStats stats;
+  stats.migrations = 99;
+  ThreadPool::global().parallel_for_sharded(
+      0, 4, [](int64_t) { FAIL() << "no items to run"; },
+      [](int64_t) { return 0; }, &stats);
+  EXPECT_EQ(stats.migrations, 0u) << "stats are reset even for empty runs";
+}
+
+TEST(ParallelForSharded, DefaultShardCountIsUsedWhenZero) {
+  ShardOverrideGuard guard;
+  ThreadPool::set_default_shards(2);
+  std::atomic<int> ran{0};
+  ThreadPool::global().parallel_for_sharded(
+      10, /*nshards=*/0, [&](int64_t) { ran.fetch_add(1); },
+      [](int64_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+// With one participant the drain order is deterministic: the home shard
+// (shard 0) empties first, every other shard's items are steals.
+TEST(ParallelForSharded, MigrationsCountOffHomeExecutions) {
+  ThreadPool::ShardStats stats;
+  ThreadPool::global().parallel_for_sharded(
+      8, 4, [](int64_t) {}, [](int64_t i) { return static_cast<int>(i % 4); },
+      &stats, /*max_threads=*/1);
+  EXPECT_EQ(stats.migrations, 6u) << "8 items, 2 homed on shard 0";
+}
+
+TEST(ParallelForSharded, NestedInsidePoolTaskRunsInline) {
+  std::atomic<int> ran{0};
+  ThreadPool::global().parallel_for(0, 2, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      ThreadPool::global().parallel_for_sharded(
+          5, 2, [&](int64_t) { ran.fetch_add(1); },
+          [](int64_t j) { return static_cast<int>(j % 2); });
+    }
+  });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+}  // namespace
+}  // namespace srmac
