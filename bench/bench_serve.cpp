@@ -1,0 +1,280 @@
+// Closed-loop serving benchmark: drives an EmuServer session with
+// concurrent clients and compares request-at-a-time serving (max_batch=1)
+// against dynamic micro-batching (max_batch=N) on the same model, scenario,
+// and backend — the request-level workload the ROADMAP's serving milestone
+// asks for. Writes BENCH_serve.json for the perf-tracking workflow
+// (docs/PERF.md, docs/SERVING.md); the CI regression gate floors the
+// coalesced row and the batchN/batch1 speedup.
+//
+// Every client verifies its responses bitwise against an offline forward
+// of the same sample on the same engine configuration, so a throughput win
+// can never come from changed arithmetic.
+//
+// Usage: bench_serve [--smoke] [--json PATH] [--model SPEC] [--requests N]
+//                    [--reps N] [engine flags incl. --serve-*]
+//   --model SPEC     mlp:W,D (W-wide MLP, D hidden layers; default mlp:64,3)
+//                    or resnet20 (width-reduced CIFAR graph)
+//   --requests N     total requests per leg (default 2000; smoke 240)
+//   --reps N         repetitions per leg, best kept; telemetry resets per
+//                    repetition so every JSON row is per-run (default 3/1)
+//   --serve-batch=N  coalescing cap of the batched leg (default 16)
+//   --serve-wait-us=N, --serve-clients=N, --scenario, --backend, ...
+//                    the common engine CLI (src/engine/cli.hpp)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/cli.hpp"
+#include "nn/init.hpp"
+#include "nn/mlp.hpp"
+#include "nn/resnet.hpp"
+#include "rng/xoshiro.hpp"
+#include "serve/emu_server.hpp"
+
+using namespace srmac;
+
+namespace {
+
+constexpr uint64_t kInitSeed = 0xBE7C;
+constexpr int kSamplePool = 16;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ModelSpec {
+  std::string name = "mlp:64,3";
+  bool resnet = false;
+  int width = 64, depth = 3;
+
+  static ModelSpec parse(const std::string& s) {
+    ModelSpec m;
+    m.name = s;
+    if (s == "resnet20") {
+      m.resnet = true;
+      return m;
+    }
+    if (s.rfind("mlp:", 0) == 0 &&
+        std::sscanf(s.c_str() + 4, "%d,%d", &m.width, &m.depth) == 2 &&
+        m.width > 0 && m.depth > 0)
+      return m;
+    std::fprintf(stderr, "error: bad --model \"%s\" (mlp:W,D | resnet20)\n",
+                 s.c_str());
+    std::exit(2);
+  }
+
+  std::unique_ptr<Sequential> build() const {
+    std::unique_ptr<Sequential> net;
+    if (resnet) {
+      net = make_resnet20(10, 0.25f);
+    } else {
+      net = make_mlp(width, std::vector<int>(depth, width), 10);
+    }
+    he_init(*net, kInitSeed);
+    return net;
+  }
+
+  std::vector<int> input_shape() const {
+    return resnet ? std::vector<int>{3, 16, 16} : std::vector<int>{width};
+  }
+
+  Tensor sample(int i) const {
+    Tensor x = resnet ? Tensor({1, 3, 16, 16}) : Tensor({1, width});
+    Xoshiro256 rng(500 + static_cast<uint64_t>(i));
+    for (int64_t j = 0; j < x.numel(); ++j)
+      x[j] = static_cast<float>(rng.normal());
+    return x;
+  }
+};
+
+struct LegResult {
+  std::string path;      // "batch1" / "batch16"
+  int max_batch = 1;
+  int requests = 0;
+  double seconds = 0;
+  double req_per_s = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  double mean_batch = 0;
+  uint64_t batches = 0;
+};
+
+/// One serving leg: `clients` closed-loop threads push `requests` total
+/// requests through a fresh session; every response is verified bitwise
+/// against `refs`. Repeated `reps` times (telemetry reset per repetition);
+/// the best-throughput repetition is reported.
+LegResult run_leg(const std::string& path, const ModelSpec& model,
+                  const EngineCliArgs& eng, int max_batch, int clients,
+                  int requests, int reps, const std::vector<Tensor>& refs) {
+  LegResult best;
+  best.path = path;
+  best.max_batch = max_batch;
+  best.requests = requests;
+  for (int rep = 0; rep < reps; ++rep) {
+    ServeConfig cfg;
+    cfg.max_batch = max_batch;
+    cfg.max_wait_us = eng.serve_wait_us;
+    cfg.queue_capacity = static_cast<size_t>(std::max(64, 4 * clients));
+    cfg.input_shape = model.input_shape();
+    EmuEngine engine = engine_or_die(eng);
+    Telemetry& telemetry = engine.telemetry();
+    EmuServer server(model.build(), std::move(engine), cfg);
+
+    // Warm-up (weight-plane quantization, product table, pool spin-up),
+    // then reset so the recorded counters cover exactly this repetition.
+    server.submit(model.sample(0)).get();
+    telemetry.reset();
+
+    std::atomic<int> next{0};
+    std::atomic<bool> mismatch{false};
+    auto client = [&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) return;
+        const int s = i % kSamplePool;
+        const InferResult r = server.submit(model.sample(s)).get();
+        if (r.output.numel() != refs[s].numel() ||
+            std::memcmp(r.output.data(), refs[s].data(),
+                        static_cast<size_t>(r.output.numel()) *
+                            sizeof(float)) != 0)
+          mismatch.store(true, std::memory_order_relaxed);
+      }
+    };
+    const double t0 = now_s();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) threads.emplace_back(client);
+    for (auto& t : threads) t.join();
+    const double wall = now_s() - t0;
+
+    if (mismatch.load()) {
+      std::fprintf(stderr,
+                   "error: served output diverged from the offline forward "
+                   "(leg %s)\n",
+                   path.c_str());
+      std::exit(1);
+    }
+    const TelemetrySnapshot snap = server.telemetry();
+    LegResult r;
+    r.path = path;
+    r.max_batch = max_batch;
+    r.requests = requests;
+    r.seconds = wall;
+    r.req_per_s = requests / wall;
+    r.p50_us = snap.serve_latency_percentile_us(50);
+    r.p95_us = snap.serve_latency_percentile_us(95);
+    r.p99_us = snap.serve_latency_percentile_us(99);
+    r.mean_batch = snap.serve_mean_batch();
+    r.batches = snap.serve_batches;
+    if (r.req_per_s > best.req_per_s) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_serve.json";
+  std::string model_spec = "mlp:64,3";
+  int requests = 0, reps = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc)
+      model_spec = argv[++i];
+    else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+      requests = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
+  }
+  EngineCliArgs eng = parse_engine_cli(argc, argv);
+  if (eng.backend.empty()) eng.backend = "sharded";  // the gemm_batch path
+  const ModelSpec model = ModelSpec::parse(model_spec);
+  if (requests <= 0) requests = smoke ? 240 : 2000;
+  if (reps <= 0) reps = smoke ? 1 : 3;
+  const int clients = std::max(1, eng.serve_clients);
+  const int batch = std::max(2, eng.serve_batch);
+
+  // Offline references on the same engine configuration: the bitwise
+  // anchor every served response is checked against.
+  std::vector<Tensor> refs;
+  {
+    EmuEngine engine = engine_or_die(eng);
+    std::unique_ptr<Sequential> net = model.build();
+    for (int s = 0; s < kSamplePool; ++s)
+      refs.push_back(net->forward(engine.context(), model.sample(s), false));
+  }
+
+  std::printf(
+      "serve bench: model=%s backend=%s scenario=%s clients=%d "
+      "requests=%d wait=%lluus (%s)\n",
+      model.name.c_str(), eng.backend.c_str(), eng.scenario.c_str(), clients,
+      requests, static_cast<unsigned long long>(eng.serve_wait_us),
+      smoke ? "smoke" : "full");
+
+  const LegResult base = run_leg("batch1", model, eng, /*max_batch=*/1,
+                                 clients, requests, reps, refs);
+  const std::string tag = "batch" + std::to_string(batch);
+  const LegResult coal =
+      run_leg(tag, model, eng, batch, clients, requests, reps, refs);
+  const double speedup = coal.req_per_s / base.req_per_s;
+
+  std::printf("%-10s %10s %10s %9s %9s %9s %11s\n", "path", "req/s",
+              "p50 us", "p95 us", "p99 us", "batches", "mean batch");
+  for (const LegResult* r : {&base, &coal})
+    std::printf("%-10s %10.1f %10.1f %9.1f %9.1f %9llu %11.2f\n",
+                r->path.c_str(), r->req_per_s, r->p50_us, r->p95_us,
+                r->p99_us, static_cast<unsigned long long>(r->batches),
+                r->mean_batch);
+  std::printf("coalescing speedup (%s vs batch1): %.2fx\n", tag.c_str(),
+              speedup);
+
+  std::ofstream js(json_path);
+  if (!js) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 json_path.c_str());
+    return 1;
+  }
+  js << "{\n  \"bench\": \"serve\",\n";
+  js << "  \"model\": \"" << model.name << "\",\n";
+  js << "  \"backend\": \"" << eng.backend << "\",\n";
+  js << "  \"scenario\": \"" << eng.scenario << "\",\n";
+  js << "  \"clients\": " << clients << ",\n";
+  js << "  \"serve_wait_us\": " << eng.serve_wait_us << ",\n";
+  js << "  \"requests\": " << requests << ",\n";
+  js << "  \"shards\": " << ThreadPool::default_shards() << ",\n";
+  // The coalescing speedup is a strong function of core count: batch-16
+  // problems run concurrently across the pool, batch-1 serving is serial.
+  js << "  \"hardware_parallelism\": " << ThreadPool::global().parallelism()
+     << ",\n";
+  js << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  js << "  \"speedup_batched_vs_batch1\": " << speedup << ",\n";
+  js << "  \"results\": [\n";
+  bool first = true;
+  for (const LegResult* r : {&base, &coal}) {
+    if (!first) js << ",\n";
+    first = false;
+    js << "    {\"path\": \"" << r->path << "\", \"max_batch\": "
+       << r->max_batch << ", \"requests\": " << r->requests
+       << ", \"seconds\": " << r->seconds << ", \"req_per_s\": "
+       << r->req_per_s << ", \"p50_us\": " << r->p50_us << ", \"p95_us\": "
+       << r->p95_us << ", \"p99_us\": " << r->p99_us << ", \"mean_batch\": "
+       << r->mean_batch << ", \"batches\": " << r->batches << "}";
+  }
+  js << "\n  ]\n}\n";
+  js.flush();
+  if (!js) {
+    std::fprintf(stderr, "error: failed writing %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

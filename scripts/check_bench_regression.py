@@ -19,13 +19,22 @@ Floors file format:
          "smoke": false, "scenario_prefix": "rn:",
          "baseline_mmac_per_s": 349.0},
         {"bench": "layers", "smoke": true, "aggregate": true,
-         "baseline_mmac_per_s": 100.0}
+         "baseline_mmac_per_s": 100.0},
+        {"bench": "serve", "path": "batch16", "smoke": true,
+         "baseline_req_per_s": 2400.0},
+        {"bench": "serve", "smoke": false, "min_speedup": 1.05}
       ]
     }
 
 A floor matches a gemm_throughput row on (path, threads, the file's smoke
 flag, and an optional scenario prefix); a `layers` floor with "aggregate"
-matches the whole file (total MACs / total GEMM seconds). Rows without a
+matches the whole file (total MACs / total GEMM seconds). A `serve` floor
+with "path" matches that serving leg's requests/sec against
+"baseline_req_per_s" (same tolerance machinery); a `serve` floor with
+"min_speedup" checks the file's recorded batchN-vs-batch1 coalescing
+speedup directly (no tolerance — it is already a floor; note the speedup
+is a strong function of core count, so full-size floors pin the recorded
+trend file, not an arbitrary target). Rows without a
 matching floor pass silently (new paths get floors when their numbers are
 recorded); floors that match nothing in the given files are reported as
 skipped, not failed — each CI job only produces a subset. Stdlib only.
@@ -48,10 +57,29 @@ def scenario_matches(rule, data):
     return prefix is None or str(data.get("scenario", "")).startswith(prefix)
 
 
-def check_file(path, data, floors, tolerance, report):
+def check_file(path, data, floors, tolerance, report, report_speedup):
     bench = data.get("bench")
     smoke = bool(data.get("smoke", False))
     matched = set()
+
+    if bench == "serve":
+        for i, rule in enumerate(floors):
+            if rule.get("bench") != bench:
+                continue
+            if bool(rule.get("smoke", False)) != smoke:
+                continue
+            if "min_speedup" in rule:
+                matched.add(i)
+                report_speedup(path, data.get("speedup_batched_vs_batch1"),
+                               rule)
+                continue
+            for row in data.get("results", []):
+                if rule.get("path") != row.get("path"):
+                    continue
+                matched.add(i)
+                report(path, "%s req/s" % row.get("path"),
+                       row.get("req_per_s", 0.0), rule, tolerance)
+        return matched
 
     if bench == "layers":
         total_macs = sum(r.get("gemm_macs", 0) for r in data.get("results", []))
@@ -107,15 +135,30 @@ def main():
     checked = [0]
 
     def report(path, label, value, rule, tol):
-        floor = float(rule["baseline_mmac_per_s"]) * (1.0 - tol)
+        # gemm/layers floors are MMAC/s; serve leg floors are requests/sec.
+        baseline_key = "baseline_mmac_per_s" if "baseline_mmac_per_s" in rule \
+            else "baseline_req_per_s"
+        unit = "MMAC/s" if baseline_key == "baseline_mmac_per_s" else "req/s"
+        floor = float(rule[baseline_key]) * (1.0 - tol)
         checked[0] += 1
         ok = value >= floor
-        print("%s %s: %s = %.1f MMAC/s (baseline %.1f, floor %.1f)"
-              % ("ok  " if ok else "FAIL", path, label, value,
-                 rule["baseline_mmac_per_s"], floor))
+        print("%s %s: %s = %.1f %s (baseline %.1f, floor %.1f)"
+              % ("ok  " if ok else "FAIL", path, label, value, unit,
+                 rule[baseline_key], floor))
         if not ok:
-            failures.append("%s: %s dropped to %.1f MMAC/s, floor %.1f"
-                            % (path, label, value, floor))
+            failures.append("%s: %s dropped to %.1f %s, floor %.1f"
+                            % (path, label, value, unit, floor))
+
+    def report_speedup(path, value, rule):
+        need = float(rule["min_speedup"])
+        checked[0] += 1
+        ok = value is not None and float(value) >= need
+        shown = float(value) if value is not None else 0.0
+        print("%s %s: coalescing speedup = %.2fx (floor %.2fx)"
+              % ("ok  " if ok else "FAIL", path, shown, need))
+        if not ok:
+            failures.append("%s: coalescing speedup %.2fx below floor %.2fx"
+                            % (path, shown, need))
 
     matched = set()
     for path in args.files:
@@ -124,7 +167,8 @@ def main():
         except (OSError, json.JSONDecodeError) as e:
             failures.append("%s: unreadable bench file (%s)" % (path, e))
             continue
-        matched |= check_file(path, data, floors, tolerance, report)
+        matched |= check_file(path, data, floors, tolerance, report,
+                              report_speedup)
 
     for i, rule in enumerate(floors):
         if i not in matched:

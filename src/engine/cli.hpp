@@ -13,6 +13,12 @@
 //   --threads=N       thread cap (default 0 = hardware concurrency)
 //   --shards=N        worker-shard count for sharded scheduling (default 0
 //                     = auto: SRMAC_SHARDS env, then detected NUMA nodes)
+//   --serve-batch=N   serving: micro-batch coalescing cap (EmuServer
+//                     max_batch; 1 = no coalescing)
+//   --serve-wait-us=N serving: linger for stragglers after the first
+//                     request of a micro-batch (EmuServer max_wait_us)
+//   --serve-clients=N serving: closed-loop client threads the serve
+//                     bench/example drives the session with
 //
 // Unknown flags are left alone so callers can parse their own arguments
 // from the same argv.
@@ -35,6 +41,10 @@ struct EngineCliArgs {
   uint64_t seed = kDefaultSeed;
   int threads = 0;
   int shards = 0;  // 0 = auto (SRMAC_SHARDS env, then topology)
+  // Serving knobs (EmuServer / bench_serve / examples):
+  int serve_batch = 16;          // micro-batch coalescing cap
+  uint64_t serve_wait_us = 200;  // straggler linger per micro-batch
+  int serve_clients = 16;        // closed-loop load-generator threads
 };
 
 inline const char* engine_cli_usage() {
@@ -46,7 +56,10 @@ inline const char* engine_cli_usage() {
          "  --seed=N         base LFSR seed\n"
          "  --threads=N      thread cap (0 = hardware concurrency)\n"
          "  --shards=N       worker shards for sharded scheduling\n"
-         "                   (0 = auto: SRMAC_SHARDS env, then NUMA topology)\n";
+         "                   (0 = auto: SRMAC_SHARDS env, then NUMA topology)\n"
+         "  --serve-batch=N  serving micro-batch cap (1 = no coalescing)\n"
+         "  --serve-wait-us=N  micro-batch straggler linger in microseconds\n"
+         "  --serve-clients=N  closed-loop client threads (serve bench)\n";
 }
 
 /// Scans argv for the engine flags above; everything else is ignored (the
@@ -68,6 +81,11 @@ inline EngineCliArgs parse_engine_cli(int argc, char** argv) {
     if (const char* v = val("--seed")) args.seed = std::strtoull(v, nullptr, 0);
     if (const char* v = val("--threads")) args.threads = std::atoi(v);
     if (const char* v = val("--shards")) args.shards = std::atoi(v);
+    if (const char* v = val("--serve-batch")) args.serve_batch = std::atoi(v);
+    if (const char* v = val("--serve-wait-us"))
+      args.serve_wait_us = std::strtoull(v, nullptr, 0);
+    if (const char* v = val("--serve-clients"))
+      args.serve_clients = std::atoi(v);
     if (std::strcmp(argv[i], "--hfp8") == 0) args.hfp8 = true;
   }
   if (args.shards > 0) ThreadPool::set_default_shards(args.shards);

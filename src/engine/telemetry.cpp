@@ -1,5 +1,8 @@
 #include "engine/telemetry.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "hwcost/adder_designs.hpp"
 
 namespace srmac {
@@ -54,6 +57,30 @@ void Telemetry::record_quantize(uint64_t values, const FpFormat& fmt) {
   totals_.bytes_quantized += bytes;
 }
 
+void Telemetry::record_serve_batch(size_t batch_size,
+                                   const uint64_t* latency_us, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.serve_batches += 1;
+  totals_.serve_requests += n;
+  if (totals_.serve_batch_hist.size() <= batch_size)
+    totals_.serve_batch_hist.resize(batch_size + 1);
+  totals_.serve_batch_hist[batch_size] += 1;
+  // Bounded reservoir: exact below the cap; past it, halve the retained
+  // series and double the sampling stride (deterministic decimation), so
+  // a long-lived session keeps fixed memory and a representative spread.
+  for (size_t i = 0; i < n; ++i) {
+    if ((serve_lat_seen_++ % serve_lat_stride_) != 0) continue;
+    std::vector<uint64_t>& v = totals_.serve_latency_us;
+    if (v.size() >= kServeLatencySampleCap) {
+      size_t w = 0;
+      for (size_t r = 0; r < v.size(); r += 2) v[w++] = v[r];
+      v.resize(w);
+      serve_lat_stride_ *= 2;
+    }
+    v.push_back(latency_us[i]);
+  }
+}
+
 TelemetrySnapshot Telemetry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return totals_;
@@ -62,6 +89,28 @@ TelemetrySnapshot Telemetry::snapshot() const {
 void Telemetry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   totals_ = TelemetrySnapshot{};
+  serve_lat_stride_ = 1;
+  serve_lat_seen_ = 0;
+}
+
+double TelemetrySnapshot::serve_latency_percentile_us(double q) const {
+  if (serve_latency_us.empty()) return 0.0;
+  std::vector<uint64_t> sorted = serve_latency_us;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest sample with at least q% of the mass at or
+  // below it, so p50 of {1,2} is 1 and p100 is always the maximum.
+  const double clamped = std::min(100.0, std::max(0.0, q));
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  return static_cast<double>(sorted[rank]);
+}
+
+double TelemetrySnapshot::serve_mean_batch() const {
+  return serve_batches
+             ? static_cast<double>(serve_requests) /
+                   static_cast<double>(serve_batches)
+             : 0.0;
 }
 
 double TelemetrySnapshot::projected_mac_energy_uj(const MacConfig& cfg) const {

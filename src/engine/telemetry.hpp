@@ -35,6 +35,29 @@ struct TelemetrySnapshot {
   double seconds = 0.0;
   std::map<std::string, BackendStats> per_backend;
 
+  // ---- serving-side counters (EmuServer, docs/SERVING.md) ----
+  uint64_t serve_requests = 0;  ///< requests completed by the server
+  uint64_t serve_batches = 0;   ///< micro-batches executed
+  /// serve_batch_hist[s] = micro-batches that coalesced exactly s requests
+  /// (index 0 unused; grows to the largest batch seen).
+  std::vector<uint64_t> serve_batch_hist;
+  /// Per-request submit->completion latency samples in microseconds, in
+  /// completion order — the series behind the percentile accessors. The
+  /// sink bounds it at Telemetry::kServeLatencySampleCap by deterministic
+  /// decimation (when full, every other retained sample is dropped and
+  /// only every 2nd/4th/... new request is sampled), so a long-lived
+  /// session keeps fixed memory and the percentiles stay representative.
+  /// Benches reset() per repetition, which also keeps JSON rows per-run
+  /// instead of cumulative (below the cap the series is exact).
+  std::vector<uint64_t> serve_latency_us;
+
+  /// The q-th latency percentile (q in [0,100], e.g. 50/95/99) over the
+  /// recorded samples by nearest-rank; 0 when no requests were recorded.
+  double serve_latency_percentile_us(double q) const;
+
+  /// Mean coalesced batch size (requests per micro-batch); 0 when idle.
+  double serve_mean_batch() const;
+
   /// Projects the recorded MAC count onto the hwcost layer: the energy the
   /// paper's ASIC MAC (asic_mac_cost of `cfg`) would have spent retiring
   /// the same number of MAC steps, in microjoules. energy_nw_mhz is
@@ -50,6 +73,10 @@ struct TelemetrySnapshot {
 /// counters back through snapshot().
 class Telemetry {
  public:
+  /// Bound on the retained serve-latency samples (512 KiB of uint64_t):
+  /// past it, the sink halves resolution instead of growing.
+  static constexpr size_t kServeLatencySampleCap = 65536;
+
   /// Records one GEMM dispatched to `backend` covering M*N*K MAC steps.
   void record_gemm(const std::string& backend, int M, int N, int K,
                    double seconds);
@@ -74,12 +101,29 @@ class Telemetry {
                       const std::vector<uint64_t>& planes_packed_per_shard,
                       uint64_t plane_bytes_quantized);
 
+  /// Records one executed micro-batch that coalesced `batch_size` requests,
+  /// with each completed request's submit->completion latency in
+  /// `latency_us[0..n)` (n == batch_size in the normal flow; the split
+  /// exists so failed requests can count into the histogram without fake
+  /// latency samples).
+  void record_serve_batch(size_t batch_size, const uint64_t* latency_us,
+                          size_t n);
+
   TelemetrySnapshot snapshot() const;
+
+  /// Zeroes every counter — GEMM/MAC/batch totals, per-backend rows, and
+  /// the serving counters above. Benches call this per repetition so each
+  /// JSON row reflects one run, not the engine's cumulative history.
   void reset();
 
  private:
   mutable std::mutex mu_;
   TelemetrySnapshot totals_;
+  // Decimation state of the bounded serve-latency reservoir: only every
+  // serve_lat_stride_-th completed request is sampled once the cap has
+  // been hit (stride doubles on each compaction).
+  uint64_t serve_lat_stride_ = 1;
+  uint64_t serve_lat_seen_ = 0;
 };
 
 }  // namespace srmac

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "fpemu/softfloat.hpp"
 #include "mac/gemm.hpp"
@@ -121,6 +122,67 @@ Tensor Conv2d::forward(const ComputeContext& ctx, const Tensor& x,
   return out;
 }
 
+void Conv2d::forward_batch(const ComputeContext& ctx,
+                           std::vector<Tensor>& xs) {
+  // Coalescing pays only where gemm_batch beats the sequential loop; the
+  // fallback keeps every backend (and the 1-sample case) on the exact
+  // forward() path.
+  if (xs.size() <= 1 || !ctx.backend || !ctx.backend->supports_batch()) {
+    Layer::forward_batch(ctx, xs);
+    return;
+  }
+  const bool bits = ctx.bit_accurate();
+  // One cache fetch for the whole batch: every item shares the plane.
+  const std::vector<uint32_t>* wq =
+      bits ? &wq_.get(w_, ctx.quant_fmt(), /*transposed=*/false) : nullptr;
+  MatmulBatch batch(ctx);
+  std::vector<Tensor> flats(xs.size());
+  std::vector<std::pair<int, int>> dims(xs.size());  // (oh, ow) per sample
+  const int K = in_ch_ * k_ * k_;
+  // Stage the per-sample panels in batch-owned scratch (alive until
+  // flush — the member cols_ buffer can't be shared by deferred
+  // problems), then unfold all samples across the pool like build_cols
+  // does for a stacked batch.
+  std::vector<float*> cols(xs.size());
+  for (size_t s = 0; s < xs.size(); ++s) {
+    const Tensor& x = xs[s];
+    assert(x.ndim() == 4 && x.dim(0) == 1 && x.dim(1) == in_ch_);
+    const int oh = conv_out_dim(x.dim(2), k_, stride_, pad_);
+    const int ow = conv_out_dim(x.dim(3), k_, stride_, pad_);
+    dims[s] = {oh, ow};
+    cols[s] = batch.scratch(static_cast<size_t>(K) * oh * ow);
+  }
+  ThreadPool::global().parallel_for(
+      0, static_cast<int64_t>(xs.size()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          const Tensor& x = xs[s];
+          const int64_t L = static_cast<int64_t>(dims[s].first) *
+                            dims[s].second;
+          im2col(x.data(), in_ch_, x.dim(2), x.dim(3), k_, k_, stride_,
+                 pad_, cols[s], /*row_stride=*/L);
+        }
+      },
+      ctx.threads);
+  for (size_t s = 0; s < xs.size(); ++s) {
+    const int L = dims[s].first * dims[s].second;
+    // The sample's own M x L problem under the shared ctx — seed and shape
+    // match the single-sample forward() dispatch exactly, so the batched
+    // schedule returns the same bits.
+    flats[s] = Tensor({out_ch_, L});
+    if (bits)
+      batch.add_qa(ctx, out_ch_, L, K, wq->data(), cols[s],
+                   flats[s].data());
+    else
+      batch.add(ctx, out_ch_, L, K, w_.value.data(), cols[s],
+                flats[s].data());
+  }
+  batch.flush();
+  // At batch dimension 1 the (out_ch, L) GEMM output *is* the NCHW layout.
+  for (size_t s = 0; s < xs.size(); ++s)
+    xs[s] = flats[s].reshaped({1, out_ch_, dims[s].first, dims[s].second});
+}
+
 Tensor Conv2d::backward(const ComputeContext& ctx, const Tensor& gout) {
   const Tensor& x = x_cache_;
   const int N = x.dim(0), H = x.dim(2), W = x.dim(3);
@@ -229,6 +291,37 @@ Tensor Linear::forward(const ComputeContext& ctx, const Tensor& x,
   for (int n = 0; n < N; ++n)
     for (int o = 0; o < out_f_; ++o) out.at(n, o) += b_.value[o];
   return out;
+}
+
+void Linear::forward_batch(const ComputeContext& ctx,
+                           std::vector<Tensor>& xs) {
+  if (xs.size() <= 1 || !ctx.backend || !ctx.backend->supports_batch()) {
+    Layer::forward_batch(ctx, xs);
+    return;
+  }
+  const bool bits = ctx.bit_accurate();
+  const std::vector<uint32_t>* wqt =
+      bits ? &wq_.get(w_, ctx.quant_fmt(), /*transposed=*/true) : nullptr;
+  MatmulBatch batch(ctx);
+  std::vector<Tensor> outs(xs.size());
+  for (size_t s = 0; s < xs.size(); ++s) {
+    const Tensor& x = xs[s];
+    assert(x.ndim() == 2 && x.dim(0) == 1 && x.dim(1) == in_f_);
+    outs[s] = Tensor({1, out_f_});
+    // Same 1 x out_f problem and seed as the single-sample forward(); the
+    // shared W^T plane is packed once for the whole batch by the backend.
+    if (bits)
+      batch.add_qb(ctx, 1, out_f_, in_f_, x.data(), wqt->data(),
+                   outs[s].data());
+    else
+      batch.add_nt(ctx, 1, out_f_, in_f_, x.data(), w_.value.data(),
+                   outs[s].data());
+  }
+  batch.flush();
+  for (size_t s = 0; s < xs.size(); ++s) {
+    for (int o = 0; o < out_f_; ++o) outs[s].at(0, o) += b_.value[o];
+    xs[s] = std::move(outs[s]);
+  }
 }
 
 Tensor Linear::backward(const ComputeContext& ctx, const Tensor& gout) {

@@ -11,6 +11,12 @@ class Conv2d : public Layer {
  public:
   Conv2d(int in_ch, int out_ch, int k, int stride = 1, int pad = -1);
   Tensor forward(const ComputeContext& ctx, const Tensor& x, bool training) override;
+  /// Coalesced inference: every sample's im2col GEMM joins one gemm_batch
+  /// (the cached weight plane is fetched once and shared across items),
+  /// bit-identical to per-sample forward. Falls back to the base loop on
+  /// backends without gemm_batch support.
+  void forward_batch(const ComputeContext& ctx,
+                     std::vector<Tensor>& xs) override;
   Tensor backward(const ComputeContext& ctx, const Tensor& gout) override;
   void collect_params(std::vector<Param*>& out) override { out.push_back(&w_); }
   std::string name() const override { return "Conv2d"; }
@@ -33,6 +39,11 @@ class Linear : public Layer {
  public:
   Linear(int in_f, int out_f);
   Tensor forward(const ComputeContext& ctx, const Tensor& x, bool training) override;
+  /// Coalesced inference: one gemm_batch over the samples' row-vector
+  /// GEMMs, which all multiply against the same cached transposed weight
+  /// plane — the plane packs once per batch instead of once per request.
+  void forward_batch(const ComputeContext& ctx,
+                     std::vector<Tensor>& xs) override;
   Tensor backward(const ComputeContext& ctx, const Tensor& gout) override;
   void collect_params(std::vector<Param*>& out) override {
     out.push_back(&w_);

@@ -13,6 +13,12 @@ class BasicBlock : public Layer {
  public:
   BasicBlock(int in_ch, int out_ch, int stride);
   Tensor forward(const ComputeContext& ctx, const Tensor& x, bool training) override;
+  /// Coalesced inference: the same child walk and context forks as
+  /// forward(), with each child seeing the whole batch — so the convs'
+  /// GEMMs coalesce into per-layer gemm_batch dispatches (bit-identical to
+  /// the per-sample walk).
+  void forward_batch(const ComputeContext& ctx,
+                     std::vector<Tensor>& xs) override;
   Tensor backward(const ComputeContext& ctx, const Tensor& gout) override;
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return "BasicBlock"; }
@@ -33,6 +39,9 @@ class BottleneckBlock : public Layer {
  public:
   BottleneckBlock(int in_ch, int mid_ch, int out_ch, int stride);
   Tensor forward(const ComputeContext& ctx, const Tensor& x, bool training) override;
+  /// Coalesced inference walk, as BasicBlock::forward_batch.
+  void forward_batch(const ComputeContext& ctx,
+                     std::vector<Tensor>& xs) override;
   Tensor backward(const ComputeContext& ctx, const Tensor& gout) override;
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return "BottleneckBlock"; }

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace srmac {
+
+/// Monotonic microsecond clock behind the serving stack's latency
+/// accounting and micro-batch deadlines. Injectable so tests drive time by
+/// hand: the determinism suite pins latencies to exact values instead of
+/// asserting around scheduler jitter (the "monotonic-clock, injectable for
+/// tests" requirement of the serving telemetry).
+class ServeClock {
+ public:
+  virtual ~ServeClock() = default;
+  virtual uint64_t now_us() const = 0;
+
+  /// The process-wide steady_clock instance (what EmuServer uses when no
+  /// clock is injected).
+  static const ServeClock& steady();
+};
+
+/// std::chrono::steady_clock in microseconds — monotonic, unaffected by
+/// wall-clock adjustments, the right base for latency percentiles.
+class SteadyServeClock final : public ServeClock {
+ public:
+  uint64_t now_us() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+inline const ServeClock& ServeClock::steady() {
+  static const SteadyServeClock clock;
+  return clock;
+}
+
+/// Hand-driven clock for tests: time moves only when the test advances it,
+/// so queue/total latencies recorded by the server are exact expected
+/// values. Atomic so a test may advance it while server threads read it.
+class ManualServeClock final : public ServeClock {
+ public:
+  explicit ManualServeClock(uint64_t start_us = 0) : t_(start_us) {}
+  uint64_t now_us() const override {
+    return t_.load(std::memory_order_acquire);
+  }
+  void advance(uint64_t us) { t_.fetch_add(us, std::memory_order_acq_rel); }
+  void set(uint64_t us) { t_.store(us, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t> t_;
+};
+
+}  // namespace srmac

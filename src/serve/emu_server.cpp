@@ -1,0 +1,151 @@
+#include "serve/emu_server.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace srmac {
+
+EmuServer::EmuServer(std::unique_ptr<Sequential> model, EmuEngine engine,
+                     const ServeConfig& cfg, const ServeClock* clock)
+    : model_(std::move(model)),
+      engine_(std::move(engine)),
+      cfg_(cfg),
+      clock_(clock ? clock : &ServeClock::steady()),
+      queue_(cfg.queue_capacity),
+      batcher_(queue_, cfg_, *clock_) {
+  if (!model_) throw std::invalid_argument("EmuServer: null model");
+  if (cfg_.start_thread) thread_ = std::thread([this] { serve_loop(); });
+}
+
+EmuServer::~EmuServer() { stop(); }
+
+Tensor EmuServer::normalize_input(Tensor x) const {
+  // Models take (N,F) or (N,C,H,W); 3-D is therefore always a bare CHW
+  // sample (checked before the batched forms so a single-channel (1,H,W)
+  // sample is not misread as an already-batched 2-D tensor).
+  Tensor sample;
+  if (x.ndim() == 3) {
+    sample = x.reshaped({1, x.dim(0), x.dim(1), x.dim(2)});
+  } else if (x.ndim() == 1) {
+    sample = x.reshaped({1, x.dim(0)});
+  } else if ((x.ndim() == 2 || x.ndim() == 4) && x.dim(0) == 1) {
+    sample = std::move(x);
+  } else {
+    throw std::invalid_argument(
+        "EmuServer::submit expects one sample: a (1,F) / (1,C,H,W) tensor "
+        "or a bare (C,H,W) / (F,) sample");
+  }
+  // Admission-edge shape check: requests are untrusted input, and the
+  // layers' own shape assertions compile out in Release builds.
+  if (!cfg_.input_shape.empty()) {
+    const std::vector<int>& want = cfg_.input_shape;
+    bool ok = sample.ndim() == static_cast<int>(want.size()) + 1;
+    for (int d = 0; ok && d < static_cast<int>(want.size()); ++d)
+      ok = sample.dim(d + 1) == want[static_cast<size_t>(d)];
+    if (!ok)
+      throw std::invalid_argument(
+          "EmuServer::submit: sample shape does not match the session's "
+          "configured input_shape");
+  }
+  return sample;
+}
+
+std::future<InferResult> EmuServer::submit(Tensor x) {
+  ServeRequest req;
+  req.input = normalize_input(std::move(x));
+  req.submit_us = clock_->now_us();
+  std::future<InferResult> fut = req.promise.get_future();
+  if (!queue_.push(std::move(req))) {
+    // Closed while (or before) waiting for space: fail explicitly instead
+    // of handing back a broken promise.
+    std::promise<InferResult> p;
+    p.set_exception(std::make_exception_ptr(
+        std::runtime_error("EmuServer: submit after stop()")));
+    return p.get_future();
+  }
+  return fut;
+}
+
+bool EmuServer::try_submit(Tensor x, std::future<InferResult>* out) {
+  ServeRequest req;
+  req.input = normalize_input(std::move(x));
+  req.submit_us = clock_->now_us();
+  std::future<InferResult> fut = req.promise.get_future();
+  if (!queue_.try_push(req)) return false;
+  if (out) *out = std::move(fut);
+  return true;
+}
+
+void EmuServer::serve_loop() {
+  while (true) {
+    std::vector<ServeRequest> batch = batcher_.collect();
+    if (batch.empty()) return;  // closed and drained
+    process(batch);
+  }
+}
+
+int EmuServer::run_once() {
+  if (thread_.joinable())
+    throw std::logic_error(
+        "EmuServer::run_once requires start_thread=false (the batcher "
+        "thread owns the forward pass)");
+  // exec_m_ upholds the single-executor invariant against stop()'s inline
+  // drain racing a run_once() caller (forwards are not reentrant).
+  std::lock_guard<std::mutex> lk(exec_m_);
+  std::vector<ServeRequest> batch = batcher_.collect_pending();
+  if (!batch.empty()) process(batch);
+  return static_cast<int>(batch.size());
+}
+
+void EmuServer::process(std::vector<ServeRequest>& batch) {
+  const uint64_t formed_us = clock_->now_us();
+  std::vector<Tensor> xs(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i)
+    xs[i] = std::move(batch[i].input);
+  try {
+    // Inference-pinned dispatch: the engine context starts at
+    // GemmPass::kForward with the engine's base seed — the same chain an
+    // offline model.forward(engine.context(), x, false) walks.
+    model_->forward_batch(engine_.context(), xs);
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (ServeRequest& r : batch) r.promise.set_exception(err);
+    // The batch still happened; count it without latency samples.
+    engine_.telemetry().record_serve_batch(batch.size(), nullptr, 0);
+    return;
+  }
+  const uint64_t done_us = clock_->now_us();
+  std::vector<uint64_t> lat(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i)
+    lat[i] = done_us - batch[i].submit_us;
+  engine_.telemetry().record_serve_batch(batch.size(), lat.data(),
+                                         lat.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    InferResult r;
+    r.output = std::move(xs[i]);
+    r.batch_size = static_cast<int>(batch.size());
+    r.queue_us = formed_us - batch[i].submit_us;
+    r.total_us = lat[i];
+    batch[i].promise.set_value(std::move(r));
+  }
+}
+
+void EmuServer::stop() {
+  // Serialized: concurrent stop() calls must not both join the thread.
+  std::lock_guard<std::mutex> lk(stop_m_);
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  if (thread_.joinable()) {
+    thread_.join();  // serve_loop drains the queue before returning
+  } else {
+    // Manual mode: drain inline so every admitted request resolves —
+    // under exec_m_, in case a run_once() caller is mid-batch.
+    std::lock_guard<std::mutex> exec_lk(exec_m_);
+    std::vector<ServeRequest> batch;
+    while (!(batch = batcher_.collect_pending()).empty()) process(batch);
+  }
+}
+
+}  // namespace srmac

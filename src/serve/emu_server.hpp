@@ -1,0 +1,101 @@
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "engine/emu_engine.hpp"
+#include "nn/module.hpp"
+#include "serve/micro_batcher.hpp"
+#include "serve/serve_types.hpp"
+
+namespace srmac {
+
+/// Async inference session: the request-level entry point over the
+/// emulation stack (docs/SERVING.md). One EmuServer owns a model plus the
+/// EmuEngine scenario it serves under, accepts concurrent single-sample
+/// submissions from any thread, and coalesces them into dynamic
+/// micro-batches whose per-layer GEMMs go through the engine backend's
+/// gemm_batch — so a weight plane quantizes+packs once per batch (per
+/// shard, on the sharded backend) instead of once per request.
+///
+/// Serving is inference-pinned: every dispatch runs the engine policy's
+/// forward-pass MacConfig (ComputeContext defaults to GemmPass::kForward
+/// and nothing in the serve path ever marks a backward pass), and the
+/// engine's base seed anchors the per-layer fork chain — which makes a
+/// served output bitwise identical to `model.forward(engine.context(), x,
+/// false)` offline, regardless of how requests were coalesced
+/// (tests/serve/serve_determinism_test.cpp; the layer-level contract is
+/// Layer::forward_batch in nn/module.hpp).
+///
+/// Threading: submit()/try_submit() are safe from any thread; the bounded
+/// admission queue blocks producers when full (backpressure). Exactly one
+/// thread executes forwards — the internal batcher thread, or the caller
+/// of run_once() when constructed with start_thread=false — because layer
+/// forward passes reuse member scratch and are not reentrant. Serving
+/// telemetry (request count, batch-size histogram, latency samples for
+/// p50/p95/p99) lands in the engine's Telemetry sink.
+class EmuServer {
+ public:
+  /// Takes ownership of the model and the engine. `clock` (optional)
+  /// injects the time source for deadlines and latency accounting; it must
+  /// outlive the server. With cfg.start_thread the batcher starts
+  /// immediately; otherwise drive the session with run_once().
+  EmuServer(std::unique_ptr<Sequential> model, EmuEngine engine,
+            const ServeConfig& cfg = {},
+            const ServeClock* clock = nullptr);
+  EmuServer(const EmuServer&) = delete;
+  EmuServer& operator=(const EmuServer&) = delete;
+  ~EmuServer();  // stop()s: drains admitted requests, joins the thread
+
+  /// Submits one sample. Accepts (1,...) tensors as well as bare (C,H,W) /
+  /// (F,) samples, which are reshaped to batch dimension 1; any other
+  /// leading dimension throws std::invalid_argument. Blocks while the
+  /// queue is full (the backpressure edge); after stop() the returned
+  /// future fails with std::runtime_error.
+  std::future<InferResult> submit(Tensor x);
+
+  /// Non-blocking admission: false when the queue is full or the server is
+  /// stopped (the sample is consumed either way — resubmit a copy to
+  /// retry). On success `*out` receives the result future.
+  bool try_submit(Tensor x, std::future<InferResult>* out);
+
+  /// Synchronously collects and executes one micro-batch of pending
+  /// requests on the calling thread; returns its size (0 when idle). Only
+  /// valid with start_thread=false — the deterministic test/embedding
+  /// harness; calling it while the batcher thread runs throws
+  /// std::logic_error.
+  int run_once();
+
+  /// Closes admission, drains every already-accepted request, and joins
+  /// the batcher thread (with start_thread=false the drain runs inline).
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  Sequential& model() { return *model_; }
+  const EmuEngine& engine() const { return engine_; }
+  const ServeConfig& config() const { return cfg_; }
+
+  /// Snapshot of the engine's telemetry sink (GEMM counters plus the
+  /// serve_* serving counters). Callable from any thread.
+  TelemetrySnapshot telemetry() const { return engine_.telemetry().snapshot(); }
+
+ private:
+  void serve_loop();
+  void process(std::vector<ServeRequest>& batch);
+  Tensor normalize_input(Tensor x) const;
+
+  std::unique_ptr<Sequential> model_;
+  EmuEngine engine_;
+  const ServeConfig cfg_;
+  const ServeClock* clock_;
+  BoundedQueue<ServeRequest> queue_;
+  MicroBatcher batcher_;
+  std::thread thread_;
+  std::mutex exec_m_;  ///< serializes run_once() vs stop()'s inline drain
+  std::mutex stop_m_;
+  bool stopped_ = false;  ///< guarded by stop_m_
+};
+
+}  // namespace srmac

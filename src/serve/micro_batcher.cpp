@@ -1,0 +1,45 @@
+#include "serve/micro_batcher.hpp"
+
+#include <algorithm>
+
+namespace srmac {
+
+std::vector<ServeRequest> MicroBatcher::collect() {
+  std::vector<ServeRequest> batch;
+  const size_t cap = static_cast<size_t>(std::max(1, cfg_.max_batch));
+  batch.reserve(cap);
+
+  std::optional<ServeRequest> first = queue_.pop();  // blocks; nullopt = done
+  if (!first) return batch;
+  batch.push_back(std::move(*first));
+
+  const uint64_t deadline = clock_.now_us() + cfg_.max_wait_us;
+  while (batch.size() < cap) {
+    if (std::optional<ServeRequest> r = queue_.try_pop()) {
+      batch.push_back(std::move(*r));
+      continue;
+    }
+    const uint64_t now = clock_.now_us();
+    if (now >= deadline || queue_.closed()) break;
+    // Timed wait for a straggler; re-check the session clock on wake so a
+    // manual clock governs the deadline even though the sleep is real-time.
+    if (std::optional<ServeRequest> r = queue_.pop_for(deadline - now))
+      batch.push_back(std::move(*r));
+    else if (queue_.closed())
+      break;
+  }
+  return batch;
+}
+
+std::vector<ServeRequest> MicroBatcher::collect_pending() {
+  std::vector<ServeRequest> batch;
+  const size_t cap = static_cast<size_t>(std::max(1, cfg_.max_batch));
+  while (batch.size() < cap) {
+    std::optional<ServeRequest> r = queue_.try_pop();
+    if (!r) break;
+    batch.push_back(std::move(*r));
+  }
+  return batch;
+}
+
+}  // namespace srmac

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "serve/clock.hpp"
+#include "serve/serve_types.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace srmac {
+
+/// Dynamic micro-batching policy over the admission queue: coalesce up to
+/// max_batch pending requests, lingering at most max_wait_us (on the
+/// session clock) after the first one, then hand the batch to the executor.
+/// Pure collection logic — no model, no thread of its own — so the policy
+/// is testable in isolation and EmuServer's loop stays a three-liner.
+class MicroBatcher {
+ public:
+  MicroBatcher(BoundedQueue<ServeRequest>& queue, const ServeConfig& cfg,
+               const ServeClock& clock)
+      : queue_(queue), cfg_(cfg), clock_(clock) {}
+
+  /// Blocks for the first request, then drains stragglers until the batch
+  /// is full or the linger deadline passes. An empty result means the
+  /// queue is closed and fully drained — the executor's exit signal.
+  /// Deadlines are read from the session clock; the underlying waits are
+  /// real-time (they coincide on the steady clock; under a manual test
+  /// clock the wait degrades to polling until the test advances time).
+  std::vector<ServeRequest> collect();
+
+  /// Non-blocking variant: whatever is pending right now, up to max_batch.
+  /// The run_once() harness uses this so tests control batch composition
+  /// exactly (submit k, collect k).
+  std::vector<ServeRequest> collect_pending();
+
+ private:
+  BoundedQueue<ServeRequest>& queue_;
+  const ServeConfig cfg_;
+  const ServeClock& clock_;
+};
+
+}  // namespace srmac

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace srmac {
+
+/// What a served request resolves to: the model output for that one sample
+/// plus the request's own observability slice (how it was scheduled and
+/// what it waited for). Latencies are measured on the session's ServeClock.
+struct InferResult {
+  Tensor output;          ///< logits/activations, batch dimension 1
+  int batch_size = 0;     ///< requests coalesced into the micro-batch it rode
+  uint64_t queue_us = 0;  ///< submit -> micro-batch formation
+  uint64_t total_us = 0;  ///< submit -> completion
+};
+
+/// Knobs of one serving session (the CLI's --serve-* flags map onto these;
+/// defaults here and in EngineCliArgs are kept identical, so "default"
+/// serving behaves the same from every entry point).
+struct ServeConfig {
+  /// Coalescing cap: a micro-batch executes as soon as this many requests
+  /// are pending. 1 disables coalescing (the classic request-at-a-time
+  /// server — the baseline bench_serve compares against).
+  int max_batch = 16;
+
+  /// How long the batcher lingers for stragglers after the first request of
+  /// a micro-batch, before executing a partial batch. The knob trades p50
+  /// latency for coalescing under light load; under saturation the batch
+  /// fills before the deadline and the wait never happens.
+  uint64_t max_wait_us = 200;
+
+  /// Bound of the admission queue. A full queue blocks submit() — the
+  /// backpressure edge — so memory stays bounded and overload surfaces at
+  /// the client instead of inside the server.
+  size_t queue_capacity = 64;
+
+  /// true: the constructor starts the batcher thread (production mode).
+  /// false: no thread; the owner drives micro-batches synchronously with
+  /// EmuServer::run_once() — the deterministic harness the serving tests
+  /// (and any single-threaded embedding) use.
+  bool start_thread = true;
+
+  /// Expected per-sample shape, without the batch dimension (e.g. {3,32,32}
+  /// or {16}). When set, submit() rejects mismatched samples with
+  /// std::invalid_argument at the admission edge. Serving accepts tensors
+  /// from untrusted callers, and the layer-level shape assertions compile
+  /// out in Release — an unchecked wrong-shaped sample would read out of
+  /// bounds inside a GEMM, so sessions should set this. Empty = accept any
+  /// single-sample tensor (embedders that validate upstream).
+  std::vector<int> input_shape;
+};
+
+/// One admitted request in flight: the sample, the promise its future is
+/// watching, and the submission timestamp for the latency accounting.
+struct ServeRequest {
+  Tensor input;  ///< batch dimension 1 (submit() normalizes the shape)
+  std::promise<InferResult> promise;
+  uint64_t submit_us = 0;
+};
+
+}  // namespace srmac

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace srmac {
+
+/// Bounded multi-producer/multi-consumer queue — the admission-control
+/// primitive under the serving stack (docs/SERVING.md). A full queue blocks
+/// (or rejects, for try_push) producers instead of growing without bound,
+/// so a burst of clients back-pressures at the submission edge rather than
+/// ballooning memory inside the server.
+///
+/// close() ends the stream: producers are refused from that point on, but
+/// consumers keep draining whatever was admitted — pop() returns
+/// std::nullopt only once the queue is both closed and empty, so no
+/// accepted element is ever dropped. All operations are safe from any
+/// thread; a mutex plus two condition variables (one per direction) keeps
+/// the implementation obviously correct under ThreadSanitizer rather than
+/// cleverly lock-free.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (and drops `v`) when the
+  /// queue was closed before space became available.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lk(m_);
+    space_cv_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(v));
+    lk.unlock();
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed (`v` is left untouched so
+  /// the caller can retry or fail the request upward).
+  bool try_push(T& v) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(v));
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available; std::nullopt once closed AND
+  /// drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(m_);
+    item_cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    return pop_locked(lk);
+  }
+
+  /// pop() with a real-time bound; std::nullopt on timeout as well as on
+  /// closed-and-drained (disambiguate with closed()).
+  std::optional<T> pop_for(uint64_t timeout_us) {
+    std::unique_lock<std::mutex> lk(m_);
+    item_cv_.wait_for(lk, std::chrono::microseconds(timeout_us),
+                      [&] { return closed_ || !q_.empty(); });
+    return pop_locked(lk);
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lk(m_);
+    return pop_locked(lk);
+  }
+
+  /// Refuses all future pushes and wakes every waiter. Elements already
+  /// queued stay poppable (drain semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return q_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lk) {
+    if (q_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(q_.front()));
+    q_.pop_front();
+    lk.unlock();
+    space_cv_.notify_one();
+    return v;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex m_;
+  std::condition_variable item_cv_;   ///< waited on by consumers
+  std::condition_variable space_cv_;  ///< waited on by producers
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace srmac

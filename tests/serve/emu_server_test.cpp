@@ -1,0 +1,293 @@
+// EmuServer behavior: async submission, dynamic micro-batching, bounded
+// admission with backpressure, drain-on-stop, injected-clock latency
+// accounting, and the serving telemetry counters. The threaded cases are
+// the serve suite the TSan CI leg runs under ThreadSanitizer.
+#include "serve/emu_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "nn/init.hpp"
+#include "nn/mlp.hpp"
+#include "rng/xoshiro.hpp"
+
+using namespace srmac;
+
+namespace {
+
+constexpr const char* kScenario = "eager_sr:e5m2/e6m5:r=9:subON";
+
+std::unique_ptr<Sequential> make_model() {
+  auto net = make_mlp(16, {16, 16}, 4);
+  he_init(*net, 0xBE7C);
+  return net;
+}
+
+EmuEngine make_engine(const std::string& backend = "sharded") {
+  return EmuEngine::Builder().scenario(kScenario).backend(backend).build();
+}
+
+Tensor make_sample(int i) {
+  Tensor x({1, 16});
+  Xoshiro256 rng(77 + static_cast<uint64_t>(i));
+  for (int64_t j = 0; j < x.numel(); ++j)
+    x[j] = static_cast<float>(rng.normal());
+  return x;
+}
+
+}  // namespace
+
+TEST(EmuServer, ThreadedClientsAllResolveWithCorrectBits) {
+  // Offline references first.
+  auto offline_model = make_model();
+  const EmuEngine offline =
+      EmuEngine::Builder().scenario(kScenario).backend("fused").build();
+  std::vector<Tensor> refs;
+  for (int i = 0; i < 32; ++i)
+    refs.push_back(
+        offline_model->forward(offline.context(), make_sample(i), false));
+
+  ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 200;
+  cfg.queue_capacity = 16;
+  EmuServer server(make_model(), make_engine(), cfg);
+
+  // 4 client threads x 8 requests, blocking submit (backpressure applies).
+  std::vector<std::future<InferResult>> futs(32);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c)
+    clients.emplace_back([&, c] {
+      for (int i = c * 8; i < (c + 1) * 8; ++i)
+        futs[i] = server.submit(make_sample(i));
+    });
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < 32; ++i) {
+    InferResult r = futs[i].get();
+    ASSERT_EQ(r.output.shape(), refs[i].shape());
+    for (int64_t j = 0; j < r.output.numel(); ++j)
+      ASSERT_EQ(r.output[j], refs[i][j]) << "request " << i;
+    EXPECT_GE(r.batch_size, 1);
+    EXPECT_LE(r.batch_size, 8);
+    EXPECT_LE(r.queue_us, r.total_us);
+  }
+  const TelemetrySnapshot snap = server.telemetry();
+  EXPECT_EQ(snap.serve_requests, 32u);
+  EXPECT_EQ(snap.serve_latency_us.size(), 32u);
+  uint64_t hist_requests = 0, hist_batches = 0;
+  for (size_t s = 0; s < snap.serve_batch_hist.size(); ++s) {
+    hist_requests += s * snap.serve_batch_hist[s];
+    hist_batches += snap.serve_batch_hist[s];
+  }
+  EXPECT_EQ(hist_requests, 32u);
+  EXPECT_EQ(hist_batches, snap.serve_batches);
+}
+
+TEST(EmuServer, PartialBatchExecutesAfterLinger) {
+  // One lonely request must not wait for a full batch: the max_wait_us
+  // deadline fires and a batch of 1 executes.
+  ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 5000;
+  EmuServer server(make_model(), make_engine(), cfg);
+  InferResult r = server.submit(make_sample(0)).get();
+  EXPECT_EQ(r.batch_size, 1);
+}
+
+TEST(EmuServer, MaxBatchSplitsPendingRequests) {
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.start_thread = false;
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::vector<std::future<InferResult>> futs(6);
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(server.try_submit(make_sample(i), &futs[i]));
+  EXPECT_EQ(server.run_once(), 4);
+  EXPECT_EQ(server.run_once(), 2);
+  EXPECT_EQ(server.run_once(), 0);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(futs[i].get().batch_size, 4);
+  for (int i = 4; i < 6; ++i) EXPECT_EQ(futs[i].get().batch_size, 2);
+}
+
+TEST(EmuServer, TrySubmitBackpressuresOnFullQueue) {
+  ServeConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.max_batch = 4;
+  cfg.start_thread = false;
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::future<InferResult> f1, f2, f3;
+  EXPECT_TRUE(server.try_submit(make_sample(0), &f1));
+  EXPECT_TRUE(server.try_submit(make_sample(1), &f2));
+  EXPECT_FALSE(server.try_submit(make_sample(2), &f3));  // full: rejected
+  EXPECT_EQ(server.run_once(), 2);
+  EXPECT_TRUE(server.try_submit(make_sample(2), &f3));  // space again
+  EXPECT_EQ(server.run_once(), 1);
+  f1.get();
+  f2.get();
+  f3.get();
+}
+
+TEST(EmuServer, BlockingSubmitWaitsForSpace) {
+  ServeConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.max_batch = 1;
+  cfg.start_thread = false;
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::future<InferResult> f0;
+  ASSERT_TRUE(server.try_submit(make_sample(0), &f0));
+
+  std::atomic<bool> admitted{false};
+  std::thread client([&] {
+    std::future<InferResult> f1 = server.submit(make_sample(1));  // blocks
+    admitted.store(true);
+    f1.get();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());  // still backpressured
+  EXPECT_EQ(server.run_once(), 1);  // frees the slot
+  while (!admitted.load()) {
+    server.run_once();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Drain whatever the client got admitted, then let it finish.
+  while (server.run_once() > 0) {
+  }
+  client.join();
+  f0.get();
+}
+
+TEST(EmuServer, StopDrainsAdmittedRequestsAndRefusesNew) {
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.start_thread = false;
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::vector<std::future<InferResult>> futs(3);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(server.try_submit(make_sample(i), &futs[i]));
+  server.stop();  // manual mode: drains inline
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  std::future<InferResult> rejected = server.submit(make_sample(9));
+  EXPECT_THROW(rejected.get(), std::runtime_error);
+  std::future<InferResult> out;
+  EXPECT_FALSE(server.try_submit(make_sample(9), &out));
+}
+
+TEST(EmuServer, ThreadedStopDrainsInFlightWork) {
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50;
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::vector<std::future<InferResult>> futs;
+  for (int i = 0; i < 12; ++i) futs.push_back(server.submit(make_sample(i)));
+  server.stop();
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  EXPECT_EQ(server.telemetry().serve_requests, 12u);
+}
+
+TEST(EmuServer, RunOnceOnThreadedServerThrows) {
+  EmuServer server(make_model(), make_engine(), ServeConfig{});
+  EXPECT_THROW(server.run_once(), std::logic_error);
+}
+
+TEST(EmuServer, NormalizesBareSampleShapesAndRejectsBatches) {
+  ServeConfig cfg;
+  cfg.start_thread = false;
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::future<InferResult> f;
+  ASSERT_TRUE(server.try_submit(Tensor({16}), &f));  // (F,) -> (1,F)
+  EXPECT_EQ(server.run_once(), 1);
+  EXPECT_EQ(f.get().output.dim(0), 1);
+  EXPECT_THROW(server.submit(Tensor({2, 16})), std::invalid_argument);
+}
+
+TEST(EmuServer, ConfiguredInputShapeRejectsMismatchesAtAdmission) {
+  // Requests are untrusted input and the layers' shape asserts compile out
+  // in Release — a session with input_shape set must reject wrong-shaped
+  // samples at submit() instead of reading out of bounds in a GEMM.
+  ServeConfig cfg;
+  cfg.start_thread = false;
+  cfg.input_shape = {16};
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::future<InferResult> f;
+  ASSERT_TRUE(server.try_submit(Tensor({16}), &f));       // exact match
+  ASSERT_TRUE(server.try_submit(Tensor({1, 16}), &f));    // (1,F) form
+  EXPECT_THROW(server.submit(Tensor({8})), std::invalid_argument);
+  EXPECT_THROW(server.submit(Tensor({17})), std::invalid_argument);
+  EXPECT_THROW(server.submit(Tensor({1, 4, 4})), std::invalid_argument);
+  EXPECT_EQ(server.run_once(), 2);  // only the valid samples were admitted
+}
+
+TEST(ServeTelemetry, LatencyReservoirStaysBounded) {
+  // A long-lived session must not grow telemetry without bound: past the
+  // cap the sink decimates deterministically, keeping percentiles sane.
+  Telemetry telemetry;
+  std::vector<uint64_t> chunk(1024, 7);
+  const size_t total = 3 * Telemetry::kServeLatencySampleCap;
+  for (size_t fed = 0; fed < total; fed += chunk.size())
+    telemetry.record_serve_batch(chunk.size(), chunk.data(), chunk.size());
+  const TelemetrySnapshot snap = telemetry.snapshot();
+  EXPECT_EQ(snap.serve_requests, total);
+  EXPECT_LE(snap.serve_latency_us.size(), Telemetry::kServeLatencySampleCap);
+  EXPECT_GE(snap.serve_latency_us.size(),
+            Telemetry::kServeLatencySampleCap / 4);  // still well-populated
+  EXPECT_EQ(snap.serve_latency_percentile_us(50), 7.0);
+  EXPECT_EQ(snap.serve_latency_percentile_us(99), 7.0);
+}
+
+TEST(EmuServer, InjectedClockPinsLatenciesExactly) {
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.start_thread = false;
+  ManualServeClock clock(1000);
+  EmuServer server(make_model(), make_engine(), cfg, &clock);
+  std::future<InferResult> f0, f1;
+  ASSERT_TRUE(server.try_submit(make_sample(0), &f0));  // t = 1000
+  clock.advance(100);
+  ASSERT_TRUE(server.try_submit(make_sample(1), &f1));  // t = 1100
+  clock.advance(50);                                    // batch forms at 1150
+  ASSERT_EQ(server.run_once(), 2);
+  const InferResult r0 = f0.get(), r1 = f1.get();
+  EXPECT_EQ(r0.queue_us, 150u);
+  EXPECT_EQ(r0.total_us, 150u);  // manual clock: forward takes zero ticks
+  EXPECT_EQ(r1.queue_us, 50u);
+  EXPECT_EQ(r1.total_us, 50u);
+
+  const TelemetrySnapshot snap = server.telemetry();
+  ASSERT_EQ(snap.serve_latency_us.size(), 2u);
+  EXPECT_EQ(snap.serve_latency_percentile_us(50), 50.0);
+  EXPECT_EQ(snap.serve_latency_percentile_us(99), 150.0);
+  EXPECT_EQ(snap.serve_mean_batch(), 2.0);
+}
+
+TEST(EmuServer, TelemetryResetClearsServingCounters) {
+  // The per-repetition reset() benches rely on must cover the serving
+  // counters too, so JSON rows are per-run rather than cumulative.
+  ServeConfig cfg;
+  cfg.start_thread = false;
+  auto model = make_model();
+  EmuEngine engine = make_engine();
+  Telemetry& telemetry = engine.telemetry();
+  EmuServer server(std::move(model), std::move(engine), cfg);
+  std::future<InferResult> f;
+  ASSERT_TRUE(server.try_submit(make_sample(0), &f));
+  ASSERT_EQ(server.run_once(), 1);
+  f.get();
+  TelemetrySnapshot snap = server.telemetry();
+  ASSERT_EQ(snap.serve_requests, 1u);
+  ASSERT_GT(snap.gemms, 0u);
+  telemetry.reset();
+  snap = server.telemetry();
+  EXPECT_EQ(snap.serve_requests, 0u);
+  EXPECT_EQ(snap.serve_batches, 0u);
+  EXPECT_TRUE(snap.serve_batch_hist.empty());
+  EXPECT_TRUE(snap.serve_latency_us.empty());
+  EXPECT_EQ(snap.gemms, 0u);
+  EXPECT_EQ(snap.serve_latency_percentile_us(50), 0.0);
+}
