@@ -10,15 +10,26 @@
 // of the same sample on the same engine configuration, so a throughput win
 // can never come from changed arithmetic.
 //
+// With --serve-replicas=N (N > 1) a "fleetN" leg additionally drives a
+// ClusterController fleet of N replicas through the same closed loop, and
+// --chaos adds a "chaosN" leg where a deterministic FaultInjector delays,
+// fails, and finally kills one replica mid-run: every request must still
+// resolve (a bitwise-verified result or a typed ServeError — a hang fails
+// the bench), and the JSON row carries the fleet's shed/retry/deadline/
+// breaker counters plus per-replica stats (docs/SERVING.md).
+//
 // Usage: bench_serve [--smoke] [--json PATH] [--model SPEC] [--requests N]
-//                    [--reps N] [engine flags incl. --serve-*]
+//                    [--reps N] [--chaos] [engine flags incl. --serve-*]
 //   --model SPEC     mlp:W,D (W-wide MLP, D hidden layers; default mlp:64,3)
 //                    or resnet20 (width-reduced CIFAR graph)
 //   --requests N     total requests per leg (default 2000; smoke 240)
 //   --reps N         repetitions per leg, best kept; telemetry resets per
 //                    repetition so every JSON row is per-run (default 3/1)
+//   --chaos          add the fault-injection leg (3 replicas unless
+//                    --serve-replicas says otherwise)
 //   --serve-batch=N  coalescing cap of the batched leg (default 16)
-//   --serve-wait-us=N, --serve-clients=N, --scenario, --backend, ...
+//   --serve-wait-us=N, --serve-clients=N, --serve-replicas=N,
+//   --serve-deadline-us=N, --serve-slo-us=N, --scenario, --backend, ...
 //                    the common engine CLI (src/engine/cli.hpp)
 #include <atomic>
 #include <chrono>
@@ -35,7 +46,9 @@
 #include "nn/mlp.hpp"
 #include "nn/resnet.hpp"
 #include "rng/xoshiro.hpp"
+#include "serve/cluster_controller.hpp"
 #include "serve/emu_server.hpp"
+#include "serve/fault_injector.hpp"
 
 using namespace srmac;
 
@@ -96,7 +109,7 @@ struct ModelSpec {
 };
 
 struct LegResult {
-  std::string path;      // "batch1" / "batch16"
+  std::string path;  // "batch1" / "batch16" / "fleet3" / "chaos3"
   int max_batch = 1;
   int requests = 0;
   double seconds = 0;
@@ -104,6 +117,13 @@ struct LegResult {
   double p50_us = 0, p95_us = 0, p99_us = 0;
   double mean_batch = 0;
   uint64_t batches = 0;
+  // Fleet/chaos accounting (single-session legs: completed == requests).
+  int replicas = 1;
+  int completed = 0;
+  int failed = 0;  ///< resolved with a typed ServeError
+  uint64_t sheds = 0, retries = 0, deadline_misses = 0;
+  uint64_t breaker_transitions = 0, failed_batches = 0, faults_injected = 0;
+  std::vector<ServeReplicaStats> replica_stats;
 };
 
 /// One serving leg: `clients` closed-loop threads push `requests` total
@@ -174,18 +194,166 @@ LegResult run_leg(const std::string& path, const ModelSpec& model,
     r.batches = snap.serve_batches;
     if (r.req_per_s > best.req_per_s) best = r;
   }
+  best.completed = best.requests;
+  return best;
+}
+
+/// Fleet leg: the same closed loop through a ClusterController of
+/// `replicas` EmuServer sessions. With `chaos`, a deterministic
+/// FaultInjector delays, then fails, then kills the highest-index replica
+/// mid-run; clients tolerate typed ServeErrors (anything else — a hang, a
+/// bitwise mismatch, an anonymous failure — fails the bench), and the
+/// result row carries the fleet's robustness counters.
+LegResult run_fleet_leg(const std::string& path, const ModelSpec& model,
+                        const EngineCliArgs& eng, int max_batch, int clients,
+                        int requests, int reps, const std::vector<Tensor>& refs,
+                        int replicas, bool chaos) {
+  LegResult best;
+  best.path = path;
+  best.max_batch = max_batch;
+  best.requests = requests;
+  best.replicas = replicas;
+  for (int rep = 0; rep < reps; ++rep) {
+    ClusterConfig ccfg;
+    ccfg.replicas = replicas;
+    ccfg.serve.max_batch = max_batch;
+    ccfg.serve.max_wait_us = eng.serve_wait_us;
+    ccfg.serve.queue_capacity = static_cast<size_t>(std::max(64, 4 * clients));
+    ccfg.serve.input_shape = model.input_shape();
+    ccfg.deadline_us = eng.serve_deadline_us;
+    ccfg.slo_us = eng.serve_slo_us;
+    FaultInjector injector;
+    if (chaos) {
+      // The chaos schedule, keyed on the victim's executed-batch sequence
+      // (deterministic, no wall-clock): wedge it, fail it, kill it.
+      const int victim = replicas - 1;
+      injector.delay_batches(victim, /*from=*/1, /*to=*/3, /*delay_us=*/2000);
+      injector.fail_batches(victim, /*from=*/3, /*to=*/5);
+      injector.kill_at(victim, /*seq=*/5);
+    }
+    ClusterController cluster([&] { return model.build(); },
+                              [&] { return engine_or_die(eng); }, ccfg,
+                              /*clock=*/nullptr,
+                              chaos ? &injector : nullptr);
+
+    // Warm every replica (one request each lands on distinct replicas while
+    // the others' admissions are still in flight), then reset the sinks.
+    // The chaos schedule starts at batch 1, after this per-replica batch 0.
+    std::vector<std::future<InferResult>> warm;
+    for (int r = 0; r < replicas; ++r)
+      warm.push_back(cluster.submit(model.sample(0)));
+    for (auto& f : warm) f.get();
+    cluster.reset_telemetry();
+
+    std::atomic<int> next{0};
+    std::atomic<int> completed{0}, failed{0};
+    std::atomic<bool> mismatch{false};
+    auto client = [&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) return;
+        const int s = i % kSamplePool;
+        try {
+          const InferResult r = cluster.submit(model.sample(s)).get();
+          if (r.output.numel() != refs[s].numel() ||
+              std::memcmp(r.output.data(), refs[s].data(),
+                          static_cast<size_t>(r.output.numel()) *
+                              sizeof(float)) != 0)
+            mismatch.store(true, std::memory_order_relaxed);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const ServeException&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    };
+    const double t0 = now_s();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) threads.emplace_back(client);
+    for (auto& t : threads) t.join();
+    const double wall = now_s() - t0;
+
+    if (mismatch.load()) {
+      std::fprintf(stderr,
+                   "error: served output diverged from the offline forward "
+                   "(leg %s)\n",
+                   path.c_str());
+      std::exit(1);
+    }
+    if (completed.load() + failed.load() != requests) {
+      std::fprintf(stderr, "error: %d of %d requests unaccounted for (leg %s)\n",
+                   requests - completed.load() - failed.load(), requests,
+                   path.c_str());
+      std::exit(1);
+    }
+    if (!chaos && failed.load() != 0) {
+      std::fprintf(stderr,
+                   "error: %d requests failed on a healthy fleet (leg %s)\n",
+                   failed.load(), path.c_str());
+      std::exit(1);
+    }
+
+    // Merge execution-side telemetry across the replicas; the latency
+    // percentiles come from the concatenated per-replica reservoirs.
+    TelemetrySnapshot merged;
+    LegResult r;
+    r.path = path;
+    r.max_batch = max_batch;
+    r.requests = requests;
+    r.replicas = replicas;
+    r.replica_stats.resize(static_cast<size_t>(replicas));
+    for (int i = 0; i < replicas; ++i) {
+      const TelemetrySnapshot snap = cluster.replica(static_cast<size_t>(i))
+                                         .telemetry();
+      merged.serve_batches += snap.serve_batches;
+      merged.serve_requests += snap.serve_requests;
+      merged.serve_latency_us.insert(merged.serve_latency_us.end(),
+                                     snap.serve_latency_us.begin(),
+                                     snap.serve_latency_us.end());
+      r.failed_batches += snap.serve_failed_batches;
+      r.deadline_misses += snap.serve_deadline_misses;
+      if (static_cast<size_t>(i) < snap.serve_replicas.size())
+        r.replica_stats[static_cast<size_t>(i)] =
+            snap.serve_replicas[static_cast<size_t>(i)];
+    }
+    const TelemetrySnapshot cs = cluster.telemetry_snapshot();
+    r.sheds = cs.serve_sheds;
+    r.retries = cs.serve_retries;
+    r.breaker_transitions = cs.serve_breaker_transitions;
+    for (size_t i = 0; i < r.replica_stats.size() &&
+                       i < cs.serve_replicas.size();
+         ++i) {
+      r.replica_stats[i].sheds = cs.serve_replicas[i].sheds;
+      r.replica_stats[i].retries = cs.serve_replicas[i].retries;
+      r.replica_stats[i].breaker_opens = cs.serve_replicas[i].breaker_opens;
+      r.replica_stats[i].breaker_half_opens =
+          cs.serve_replicas[i].breaker_half_opens;
+      r.replica_stats[i].breaker_closes = cs.serve_replicas[i].breaker_closes;
+    }
+    r.completed = completed.load();
+    r.failed = failed.load();
+    r.faults_injected = injector.injected();
+    r.seconds = wall;
+    r.req_per_s = r.completed / wall;
+    r.p50_us = merged.serve_latency_percentile_us(50);
+    r.p95_us = merged.serve_latency_percentile_us(95);
+    r.p99_us = merged.serve_latency_percentile_us(99);
+    r.mean_batch = merged.serve_mean_batch();
+    r.batches = merged.serve_batches;
+    if (r.req_per_s > best.req_per_s) best = r;
+  }
   return best;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
+  bool smoke = false, chaos = false;
   std::string json_path = "BENCH_serve.json";
   std::string model_spec = "mlp:64,3";
   int requests = 0, reps = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
     else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc)
@@ -202,6 +370,9 @@ int main(int argc, char** argv) {
   if (reps <= 0) reps = smoke ? 1 : 3;
   const int clients = std::max(1, eng.serve_clients);
   const int batch = std::max(2, eng.serve_batch);
+  const int replicas = std::max(1, eng.serve_replicas);
+  // Chaos needs somewhere to reroute: at least 2 replicas (default 3).
+  const int chaos_replicas = replicas > 1 ? replicas : 3;
 
   // Offline references on the same engine configuration: the bitwise
   // anchor every served response is checked against.
@@ -227,15 +398,40 @@ int main(int argc, char** argv) {
       run_leg(tag, model, eng, batch, clients, requests, reps, refs);
   const double speedup = coal.req_per_s / base.req_per_s;
 
-  std::printf("%-10s %10s %10s %9s %9s %9s %11s\n", "path", "req/s",
-              "p50 us", "p95 us", "p99 us", "batches", "mean batch");
-  for (const LegResult* r : {&base, &coal})
-    std::printf("%-10s %10.1f %10.1f %9.1f %9.1f %9llu %11.2f\n",
+  std::vector<const LegResult*> rows = {&base, &coal};
+  LegResult fleet, wreck;
+  if (replicas > 1) {
+    fleet = run_fleet_leg("fleet" + std::to_string(replicas), model, eng,
+                          batch, clients, requests, reps, refs, replicas,
+                          /*chaos=*/false);
+    rows.push_back(&fleet);
+  }
+  if (chaos) {
+    wreck = run_fleet_leg("chaos" + std::to_string(chaos_replicas), model,
+                          eng, batch, clients, requests, reps, refs,
+                          chaos_replicas, /*chaos=*/true);
+    rows.push_back(&wreck);
+  }
+
+  std::printf("%-10s %10s %10s %9s %9s %9s %11s %9s %7s\n", "path", "req/s",
+              "p50 us", "p95 us", "p99 us", "batches", "mean batch", "done",
+              "failed");
+  for (const LegResult* r : rows)
+    std::printf("%-10s %10.1f %10.1f %9.1f %9.1f %9llu %11.2f %9d %7d\n",
                 r->path.c_str(), r->req_per_s, r->p50_us, r->p95_us,
                 r->p99_us, static_cast<unsigned long long>(r->batches),
-                r->mean_batch);
+                r->mean_batch, r->completed, r->failed);
   std::printf("coalescing speedup (%s vs batch1): %.2fx\n", tag.c_str(),
               speedup);
+  if (chaos)
+    std::printf(
+        "chaos (%d replicas): %d completed, %d typed failures, %llu sheds, "
+        "%llu retries, %llu breaker transitions, %llu faults injected\n",
+        chaos_replicas, wreck.completed, wreck.failed,
+        static_cast<unsigned long long>(wreck.sheds),
+        static_cast<unsigned long long>(wreck.retries),
+        static_cast<unsigned long long>(wreck.breaker_transitions),
+        static_cast<unsigned long long>(wreck.faults_injected));
 
   std::ofstream js(json_path);
   if (!js) {
@@ -256,10 +452,12 @@ int main(int argc, char** argv) {
   js << "  \"hardware_parallelism\": " << ThreadPool::global().parallelism()
      << ",\n";
   js << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  js << "  \"serve_replicas\": " << replicas << ",\n";
+  js << "  \"chaos\": " << (chaos ? "true" : "false") << ",\n";
   js << "  \"speedup_batched_vs_batch1\": " << speedup << ",\n";
   js << "  \"results\": [\n";
   bool first = true;
-  for (const LegResult* r : {&base, &coal}) {
+  for (const LegResult* r : rows) {
     if (!first) js << ",\n";
     first = false;
     js << "    {\"path\": \"" << r->path << "\", \"max_batch\": "
@@ -267,7 +465,30 @@ int main(int argc, char** argv) {
        << ", \"seconds\": " << r->seconds << ", \"req_per_s\": "
        << r->req_per_s << ", \"p50_us\": " << r->p50_us << ", \"p95_us\": "
        << r->p95_us << ", \"p99_us\": " << r->p99_us << ", \"mean_batch\": "
-       << r->mean_batch << ", \"batches\": " << r->batches << "}";
+       << r->mean_batch << ", \"batches\": " << r->batches
+       << ", \"replicas\": " << r->replicas << ", \"completed\": "
+       << r->completed << ", \"failed\": " << r->failed;
+    if (r->replicas > 1) {
+      js << ", \"sheds\": " << r->sheds << ", \"retries\": " << r->retries
+         << ", \"deadline_misses\": " << r->deadline_misses
+         << ", \"breaker_transitions\": " << r->breaker_transitions
+         << ", \"failed_batches\": " << r->failed_batches
+         << ", \"faults_injected\": " << r->faults_injected
+         << ", \"replica_stats\": [";
+      for (size_t i = 0; i < r->replica_stats.size(); ++i) {
+        const ServeReplicaStats& s = r->replica_stats[i];
+        if (i) js << ", ";
+        js << "{\"replica\": " << i << ", \"requests\": " << s.requests
+           << ", \"batches\": " << s.batches << ", \"failures\": "
+           << s.failures << ", \"deadline_misses\": " << s.deadline_misses
+           << ", \"sheds\": " << s.sheds << ", \"retries\": " << s.retries
+           << ", \"breaker_opens\": " << s.breaker_opens
+           << ", \"breaker_half_opens\": " << s.breaker_half_opens
+           << ", \"breaker_closes\": " << s.breaker_closes << "}";
+      }
+      js << "]";
+    }
+    js << "}";
   }
   js << "\n  ]\n}\n";
   js.flush();

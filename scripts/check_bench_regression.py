@@ -22,6 +22,8 @@ Floors file format:
          "baseline_mmac_per_s": 100.0},
         {"bench": "serve", "path": "batch16", "smoke": true,
          "baseline_req_per_s": 2400.0},
+        {"bench": "serve", "path": "chaos3", "smoke": true,
+         "require_resolved": true, "min_completed_fraction": 0.5},
         {"bench": "serve", "smoke": false, "min_speedup": 1.05}
       ]
     }
@@ -34,7 +36,12 @@ with "path" matches that serving leg's requests/sec against
 "min_speedup" checks the file's recorded batchN-vs-batch1 coalescing
 speedup directly (no tolerance — it is already a floor; note the speedup
 is a strong function of core count, so full-size floors pin the recorded
-trend file, not an arbitrary target). Rows without a
+trend file, not an arbitrary target). Fleet/chaos serve legs carry
+completed/failed counters; a floor with "require_resolved" asserts
+completed + failed == requests (no request vanished or hung during the
+chaos run) and "min_completed_fraction" bounds how much of the load the
+degraded fleet may shed/fail (both no-tolerance checks — they are
+correctness floors, not throughput). Rows without a
 matching floor pass silently (new paths get floors when their numbers are
 recorded); floors that match nothing in the given files are reported as
 skipped, not failed — each CI job only produces a subset. Stdlib only.
@@ -57,7 +64,8 @@ def scenario_matches(rule, data):
     return prefix is None or str(data.get("scenario", "")).startswith(prefix)
 
 
-def check_file(path, data, floors, tolerance, report, report_speedup):
+def check_file(path, data, floors, tolerance, report, report_speedup,
+               report_resolved):
     bench = data.get("bench")
     smoke = bool(data.get("smoke", False))
     matched = set()
@@ -77,8 +85,12 @@ def check_file(path, data, floors, tolerance, report, report_speedup):
                 if rule.get("path") != row.get("path"):
                     continue
                 matched.add(i)
-                report(path, "%s req/s" % row.get("path"),
-                       row.get("req_per_s", 0.0), rule, tolerance)
+                if "baseline_req_per_s" in rule:
+                    report(path, "%s req/s" % row.get("path"),
+                           row.get("req_per_s", 0.0), rule, tolerance)
+                if rule.get("require_resolved") or \
+                        "min_completed_fraction" in rule:
+                    report_resolved(path, row, rule)
         return matched
 
     if bench == "layers":
@@ -149,6 +161,33 @@ def main():
             failures.append("%s: %s dropped to %.1f %s, floor %.1f"
                             % (path, label, value, unit, floor))
 
+    def report_resolved(path, row, rule):
+        # Chaos-leg correctness floors: every request resolved (completed
+        # or failed typed — nothing vanished/hung), and the degraded fleet
+        # still completed at least min_completed_fraction of the load.
+        label = row.get("path", "?")
+        requests = int(row.get("requests", 0))
+        completed = int(row.get("completed", 0))
+        failed = int(row.get("failed", 0))
+        checked[0] += 1
+        ok = True
+        if rule.get("require_resolved") and completed + failed != requests:
+            ok = False
+            failures.append(
+                "%s: %s left %d of %d requests unresolved"
+                % (path, label, requests - completed - failed, requests))
+        frac = completed / requests if requests else 0.0
+        need = float(rule.get("min_completed_fraction", 0.0))
+        if frac < need:
+            ok = False
+            failures.append(
+                "%s: %s completed only %.0f%% of requests (floor %.0f%%)"
+                % (path, label, 100.0 * frac, 100.0 * need))
+        print("%s %s: %s resolved %d+%d of %d (completed %.0f%%%s)"
+              % ("ok  " if ok else "FAIL", path, label, completed, failed,
+                 requests, 100.0 * frac,
+                 (", floor %.0f%%" % (100.0 * need)) if need else ""))
+
     def report_speedup(path, value, rule):
         need = float(rule["min_speedup"])
         checked[0] += 1
@@ -168,7 +207,7 @@ def main():
             failures.append("%s: unreadable bench file (%s)" % (path, e))
             continue
         matched |= check_file(path, data, floors, tolerance, report,
-                              report_speedup)
+                              report_speedup, report_resolved)
 
     for i, rule in enumerate(floors):
         if i not in matched:

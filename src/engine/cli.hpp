@@ -19,6 +19,10 @@
 //                     request of a micro-batch (EmuServer max_wait_us)
 //   --serve-clients=N serving: closed-loop client threads the serve
 //                     bench/example drives the session with
+//   --serve-replicas=N serving: fleet size (ClusterController replicas;
+//                     1 = a single EmuServer session, no controller)
+//   --serve-deadline-us=N serving: per-request deadline (0 = none)
+//   --serve-slo-us=N  serving: p95 SLO target of the fleet load score
 //
 // Unknown flags are left alone so callers can parse their own arguments
 // from the same argv.
@@ -45,6 +49,9 @@ struct EngineCliArgs {
   int serve_batch = 16;          // micro-batch coalescing cap
   uint64_t serve_wait_us = 200;  // straggler linger per micro-batch
   int serve_clients = 16;        // closed-loop load-generator threads
+  int serve_replicas = 1;        // fleet size (1 = no ClusterController)
+  uint64_t serve_deadline_us = 0;  // per-request deadline (0 = none)
+  uint64_t serve_slo_us = 20000;   // p95 SLO target of the fleet load score
 };
 
 inline const char* engine_cli_usage() {
@@ -59,7 +66,10 @@ inline const char* engine_cli_usage() {
          "                   (0 = auto: SRMAC_SHARDS env, then NUMA topology)\n"
          "  --serve-batch=N  serving micro-batch cap (1 = no coalescing)\n"
          "  --serve-wait-us=N  micro-batch straggler linger in microseconds\n"
-         "  --serve-clients=N  closed-loop client threads (serve bench)\n";
+         "  --serve-clients=N  closed-loop client threads (serve bench)\n"
+         "  --serve-replicas=N serving fleet size (1 = single session)\n"
+         "  --serve-deadline-us=N  per-request deadline (0 = none)\n"
+         "  --serve-slo-us=N   p95 SLO target of the fleet load score\n";
 }
 
 /// Scans argv for the engine flags above; everything else is ignored (the
@@ -86,6 +96,12 @@ inline EngineCliArgs parse_engine_cli(int argc, char** argv) {
       args.serve_wait_us = std::strtoull(v, nullptr, 0);
     if (const char* v = val("--serve-clients"))
       args.serve_clients = std::atoi(v);
+    if (const char* v = val("--serve-replicas"))
+      args.serve_replicas = std::atoi(v);
+    if (const char* v = val("--serve-deadline-us"))
+      args.serve_deadline_us = std::strtoull(v, nullptr, 0);
+    if (const char* v = val("--serve-slo-us"))
+      args.serve_slo_us = std::strtoull(v, nullptr, 0);
     if (std::strcmp(argv[i], "--hfp8") == 0) args.hfp8 = true;
   }
   if (args.shards > 0) ThreadPool::set_default_shards(args.shards);

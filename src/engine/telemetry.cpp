@@ -57,11 +57,27 @@ void Telemetry::record_quantize(uint64_t values, const FpFormat& fmt) {
   totals_.bytes_quantized += bytes;
 }
 
+namespace {
+ServeReplicaStats& replica_row(TelemetrySnapshot& t, int replica) {
+  const size_t idx = replica < 0 ? 0 : static_cast<size_t>(replica);
+  if (t.serve_replicas.size() <= idx) t.serve_replicas.resize(idx + 1);
+  return t.serve_replicas[idx];
+}
+}  // namespace
+
 void Telemetry::record_serve_batch(size_t batch_size,
-                                   const uint64_t* latency_us, size_t n) {
+                                   const uint64_t* latency_us, size_t n,
+                                   int replica, bool ok) {
   std::lock_guard<std::mutex> lock(mu_);
   totals_.serve_batches += 1;
   totals_.serve_requests += n;
+  ServeReplicaStats& row = replica_row(totals_, replica);
+  row.batches += 1;
+  row.requests += n;
+  if (!ok) {
+    totals_.serve_failed_batches += 1;
+    row.failures += 1;
+  }
   if (totals_.serve_batch_hist.size() <= batch_size)
     totals_.serve_batch_hist.resize(batch_size + 1);
   totals_.serve_batch_hist[batch_size] += 1;
@@ -79,6 +95,34 @@ void Telemetry::record_serve_batch(size_t batch_size,
     }
     v.push_back(latency_us[i]);
   }
+}
+
+void Telemetry::record_serve_deadline_miss(int replica, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.serve_deadline_misses += n;
+  replica_row(totals_, replica).deadline_misses += n;
+}
+
+void Telemetry::record_serve_shed(int replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.serve_sheds += 1;
+  if (replica >= 0) replica_row(totals_, replica).sheds += 1;
+}
+
+void Telemetry::record_serve_retry(int replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.serve_retries += 1;
+  replica_row(totals_, replica).retries += 1;
+}
+
+void Telemetry::record_breaker_transition(int replica, int to_state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.serve_breaker_transitions += 1;
+  ServeReplicaStats& row = replica_row(totals_, replica);
+  // 0 closed / 1 open / 2 half-open (CircuitBreaker::State's numbering).
+  if (to_state == 1) row.breaker_opens += 1;
+  else if (to_state == 2) row.breaker_half_opens += 1;
+  else row.breaker_closes += 1;
 }
 
 TelemetrySnapshot Telemetry::snapshot() const {

@@ -20,6 +20,25 @@ struct BackendStats {
   double seconds = 0.0;  ///< wall time inside the backend
 };
 
+/// Per-replica serving counters of a fleet (ClusterController,
+/// docs/SERVING.md "Fleet & fault tolerance"). Indexed by replica id in
+/// TelemetrySnapshot::serve_replicas; a standalone EmuServer populates
+/// index 0. Routing-side rows (sheds/retries/breaker transitions) live in
+/// the controller's own sink, execution-side rows (batches/failures/
+/// deadline misses) in each replica engine's sink.
+struct ServeReplicaStats {
+  uint64_t requests = 0;         ///< requests resolved with a result
+  uint64_t batches = 0;          ///< micro-batches collected
+  uint64_t failures = 0;         ///< micro-batches that failed (kFault)
+  uint64_t deadline_misses = 0;  ///< requests expired at admission/collect
+  uint64_t sheds = 0;            ///< requests shed after this replica refused
+  uint64_t retries = 0;          ///< submissions this replica rejected and
+                                 ///< the controller retried elsewhere
+  uint64_t breaker_opens = 0;       ///< closed/half-open -> open transitions
+  uint64_t breaker_half_opens = 0;  ///< open -> half-open (probe admitted)
+  uint64_t breaker_closes = 0;      ///< half-open -> closed (probe succeeded)
+};
+
 /// Point-in-time copy of a Telemetry sink's counters.
 struct TelemetrySnapshot {
   uint64_t gemms = 0;
@@ -50,6 +69,15 @@ struct TelemetrySnapshot {
   /// Benches reset() per repetition, which also keeps JSON rows per-run
   /// instead of cumulative (below the cap the series is exact).
   std::vector<uint64_t> serve_latency_us;
+
+  // ---- fleet counters (ClusterController, docs/SERVING.md) ----
+  uint64_t serve_sheds = 0;     ///< requests failed kOverloaded (load shed)
+  uint64_t serve_retries = 0;   ///< rejected submissions retried elsewhere
+  uint64_t serve_deadline_misses = 0;  ///< requests failed kDeadline
+  uint64_t serve_failed_batches = 0;   ///< micro-batches failed kFault
+  uint64_t serve_breaker_transitions = 0;  ///< total breaker state changes
+  /// Per-replica rows (grows to the largest replica id seen + 1).
+  std::vector<ServeReplicaStats> serve_replicas;
 
   /// The q-th latency percentile (q in [0,100], e.g. 50/95/99) over the
   /// recorded samples by nearest-rank; 0 when no requests were recorded.
@@ -105,9 +133,28 @@ class Telemetry {
   /// with each completed request's submit->completion latency in
   /// `latency_us[0..n)` (n == batch_size in the normal flow; the split
   /// exists so failed requests can count into the histogram without fake
-  /// latency samples).
+  /// latency samples). `replica` selects the per-replica row; `ok=false`
+  /// marks a failed batch (kFault) and counts into serve_failed_batches.
   void record_serve_batch(size_t batch_size, const uint64_t* latency_us,
-                          size_t n);
+                          size_t n, int replica = 0, bool ok = true);
+
+  /// Records `n` requests that expired (failed ServeError::kDeadline) at
+  /// `replica`'s admission edge or micro-batch collect.
+  void record_serve_deadline_miss(int replica, uint64_t n);
+
+  /// Records one request shed with ServeError::kOverloaded. `replica` is
+  /// the last replica that refused it (-1: shed before any admission
+  /// attempt, e.g. every breaker open — counts into the global total only).
+  void record_serve_shed(int replica);
+
+  /// Records one rejected submission to `replica` that the controller
+  /// retried on another replica.
+  void record_serve_retry(int replica);
+
+  /// Records one circuit-breaker transition of `replica` into
+  /// CircuitBreaker::State `to_state` (0 closed / 1 open / 2 half-open —
+  /// kept as int so the telemetry layer stays decoupled from serve/).
+  void record_breaker_transition(int replica, int to_state);
 
   TelemetrySnapshot snapshot() const;
 

@@ -1,0 +1,222 @@
+#include "serve/cluster_controller.hpp"
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace srmac {
+
+namespace {
+
+std::future<InferResult> failed_future(ServeError code, const char* what) {
+  std::promise<InferResult> p;
+  p.set_exception(std::make_exception_ptr(ServeException(code, what)));
+  return p.get_future();
+}
+
+}  // namespace
+
+ClusterController::ClusterController(const ModelFactory& model_factory,
+                                     const EngineFactory& engine_factory,
+                                     ClusterConfig cfg,
+                                     const ServeClock* clock,
+                                     FaultInjector* injector)
+    : cfg_(std::move(cfg)), clock_(clock ? clock : &ServeClock::steady()) {
+  if (cfg_.replicas <= 0)
+    throw std::invalid_argument("ClusterController: need >= 1 replica");
+  states_.resize(static_cast<size_t>(cfg_.replicas));
+  replicas_.reserve(static_cast<size_t>(cfg_.replicas));
+  for (int r = 0; r < cfg_.replicas; ++r) {
+    states_[static_cast<size_t>(r)].breaker =
+        std::make_unique<CircuitBreaker>(cfg_.breaker_threshold,
+                                         cfg_.breaker_open_us,
+                                         cfg_.breaker_open_max_us);
+    ServeConfig sc = cfg_.serve;
+    sc.replica_id = r;
+    // Every replica builds from the same factories: same weights, same
+    // scenario, independent engine/telemetry — the fleet-wide bitwise
+    // guarantee rests on this symmetry.
+    replicas_.push_back(std::make_unique<EmuServer>(
+        model_factory(), engine_factory(), sc, clock_, injector,
+        [this](const ReplicaBatchEvent& ev) { on_replica_batch(ev); }));
+  }
+}
+
+ClusterController::~ClusterController() { stop(); }
+
+uint64_t ClusterController::recent_p95_us_locked(size_t r) const {
+  const std::vector<uint64_t>& ring = states_[r].exec_ring;
+  if (ring.empty()) return 0;
+  std::vector<uint64_t> sorted = ring;
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = static_cast<size_t>((sorted.size() * 95 + 99) / 100);
+  if (rank > 0) --rank;
+  return sorted[rank];
+}
+
+double ClusterController::load_score_locked(size_t r) const {
+  const ReplicaState& st = states_[r];
+  const double cap =
+      static_cast<double>(std::max<size_t>(1, cfg_.serve.queue_capacity));
+  const double max_batch = static_cast<double>(std::max(1, cfg_.serve.max_batch));
+  const double slo = static_cast<double>(std::max<uint64_t>(1, cfg_.slo_us));
+  return static_cast<double>(replicas_[r]->pending()) / cap +
+         static_cast<double>(st.in_flight) / max_batch +
+         static_cast<double>(recent_p95_us_locked(r)) / slo;
+}
+
+double ClusterController::load_score(size_t replica) const {
+  std::lock_guard<std::mutex> lk(m_);
+  if (!states_[replica].breaker->would_allow(clock_->now_us()))
+    return std::numeric_limits<double>::infinity();
+  return load_score_locked(replica);
+}
+
+CircuitBreaker::State ClusterController::breaker_state(size_t replica) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return states_[replica].breaker->state();
+}
+
+std::vector<BreakerTransition> ClusterController::breaker_log() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return transitions_;
+}
+
+void ClusterController::log_transition_locked(int replica,
+                                              CircuitBreaker::State to,
+                                              uint64_t trace_id) {
+  transitions_.push_back({replica, to, trace_id});
+  telemetry_.record_breaker_transition(replica, static_cast<int>(to));
+}
+
+int ClusterController::pick_replica_locked(uint64_t now_us,
+                                           uint64_t trace_id) {
+  // Score with the side-effect-free preview so losing half-open candidates
+  // keep their single probe; only the winner's allow() runs (and may log
+  // its open -> half-open transition).
+  int best = -1;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (!states_[r].breaker->would_allow(now_us)) continue;
+    const double score = load_score_locked(r);
+    if (score < best_score) {  // strict <: ties go to the lowest index
+      best_score = score;
+      best = static_cast<int>(r);
+    }
+  }
+  if (best < 0) return -1;
+  CircuitBreaker::State entered = CircuitBreaker::State::kClosed;
+  CircuitBreaker::State* watch = &entered;
+  const CircuitBreaker::State before =
+      states_[static_cast<size_t>(best)].breaker->state();
+  states_[static_cast<size_t>(best)].breaker->allow(now_us, watch);
+  if (before == CircuitBreaker::State::kOpen &&
+      entered == CircuitBreaker::State::kHalfOpen)
+    log_transition_locked(best, CircuitBreaker::State::kHalfOpen, trace_id);
+  return best;
+}
+
+std::future<InferResult> ClusterController::submit(Tensor x) {
+  const uint64_t trace_id =
+      next_trace_.fetch_add(1, std::memory_order_relaxed) + 1;
+  SubmitMeta meta;
+  meta.trace_id = trace_id;
+  const uint64_t now = clock_->now_us();
+  if (cfg_.deadline_us) meta.deadline_us = now + cfg_.deadline_us;
+
+  const size_t shed_limit =
+      cfg_.shed_inflight
+          ? cfg_.shed_inflight
+          : static_cast<size_t>(cfg_.replicas) *
+                (cfg_.serve.queue_capacity +
+                 static_cast<size_t>(std::max(1, cfg_.serve.max_batch)));
+
+  const int attempts = 1 + std::max(0, cfg_.max_retries);
+  int last_rejecting = -1;
+  for (int a = 0; a < attempts; ++a) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      size_t in_flight = 0;
+      for (const ReplicaState& st : states_) in_flight += st.in_flight;
+      if (in_flight >= shed_limit) break;  // global shed threshold
+
+      const int r = pick_replica_locked(clock_->now_us(), trace_id);
+      if (r < 0) break;  // every breaker refuses traffic: shed
+      last_rejecting = r;
+
+      std::future<InferResult> fut;
+      ServeError err = ServeError::kOverloaded;
+      if (replicas_[static_cast<size_t>(r)]->try_submit(x, &fut, meta,
+                                                        &err)) {
+        states_[static_cast<size_t>(r)].in_flight += 1;
+        return fut;
+      }
+      if (err == ServeError::kDeadline)
+        return failed_future(ServeError::kDeadline,
+                             "ClusterController: request deadline expired "
+                             "at admission");
+      // Rejected (queue full, or the replica stopped underneath us). A
+      // dead replica — and a half-open probe that bounced — counts as a
+      // breaker failure so routing stops picking it; plain backpressure
+      // on a closed breaker does not (overload is not replica failure).
+      CircuitBreaker& br = *states_[static_cast<size_t>(r)].breaker;
+      if (err == ServeError::kStopped ||
+          br.state() == CircuitBreaker::State::kHalfOpen) {
+        if (br.record_failure(clock_->now_us()))
+          log_transition_locked(r, CircuitBreaker::State::kOpen, trace_id);
+      }
+      if (a + 1 < attempts) telemetry_.record_serve_retry(r);
+    }
+    // Bounded exponential backoff between attempts (outside the lock).
+    if (a + 1 < attempts && cfg_.retry_backoff_us)
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(cfg_.retry_backoff_us << a));
+  }
+  telemetry_.record_serve_shed(last_rejecting);
+  return failed_future(ServeError::kOverloaded,
+                       "ClusterController: load shed (no healthy replica "
+                       "admitted the request)");
+}
+
+void ClusterController::on_replica_batch(const ReplicaBatchEvent& ev) {
+  std::lock_guard<std::mutex> lk(m_);
+  ReplicaState& st = states_[static_cast<size_t>(ev.replica)];
+  st.in_flight -= std::min(st.in_flight, ev.requests);
+  if (!ev.ran) return;  // expired-only batch: no forward was attempted
+  CircuitBreaker& br = *st.breaker;
+  if (ev.ok) {
+    if (st.exec_ring.size() < kRingSize) {
+      st.exec_ring.push_back(ev.exec_us);
+    } else {
+      st.exec_ring[st.ring_next] = ev.exec_us;
+      st.ring_next = (st.ring_next + 1) % kRingSize;
+    }
+    if (br.record_success())
+      log_transition_locked(ev.replica, CircuitBreaker::State::kClosed, 0);
+  } else {
+    if (br.record_failure(clock_->now_us()))
+      log_transition_locked(ev.replica, CircuitBreaker::State::kOpen, 0);
+  }
+}
+
+void ClusterController::reset_telemetry() {
+  telemetry_.reset();
+  for (std::unique_ptr<EmuServer>& r : replicas_) r->telemetry_sink().reset();
+}
+
+int ClusterController::run_once() {
+  int processed = 0;
+  for (std::unique_ptr<EmuServer>& r : replicas_) processed += r->run_once();
+  return processed;
+}
+
+void ClusterController::stop() {
+  std::lock_guard<std::mutex> lk(stop_m_);
+  if (stopped_) return;
+  stopped_ = true;
+  for (std::unique_ptr<EmuServer>& r : replicas_) r->stop();
+}
+
+}  // namespace srmac

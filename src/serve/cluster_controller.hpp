@@ -1,0 +1,294 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/emu_engine.hpp"
+#include "serve/emu_server.hpp"
+#include "serve/fault_injector.hpp"
+#include "serve/serve_types.hpp"
+
+namespace srmac {
+
+/// Per-replica circuit breaker (docs/SERVING.md "Fleet & fault tolerance").
+/// Classic three-state machine over a consecutive-failure counter:
+///
+///   closed ──(threshold consecutive failures)──▶ open
+///   open ──(open window elapsed)──▶ half-open (admits ONE probe)
+///   half-open ──probe ok──▶ closed (backoff resets)
+///   half-open ──probe fails──▶ open (window doubles, capped)
+///
+/// Time comes from the caller (the cluster's ServeClock), never wall-clock
+/// directly, so the chaos determinism tests drive transitions by hand.
+/// Not thread-safe by itself — the ClusterController serializes access
+/// under its routing mutex.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker(int failure_threshold, uint64_t open_us, uint64_t open_max_us)
+      : threshold_(failure_threshold > 0 ? failure_threshold : 1),
+        open_base_us_(open_us ? open_us : 1),
+        open_max_us_(open_max_us ? open_max_us : open_base_us_),
+        open_window_us_(open_base_us_) {}
+
+  /// May this replica take traffic now? Open transitions to half-open once
+  /// the window has elapsed, and half-open admits exactly one in-flight
+  /// probe — further requests are refused until the probe's outcome is
+  /// recorded. `transition` (when non-null) receives the state entered by
+  /// this call, for the telemetry/transition log.
+  bool allow(uint64_t now_us, State* transition = nullptr) {
+    if (state_ == State::kClosed) return true;
+    if (state_ == State::kOpen && now_us >= open_until_us_) {
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = false;
+      if (transition) *transition = State::kHalfOpen;
+    }
+    if (state_ == State::kHalfOpen && !probe_in_flight_) {
+      probe_in_flight_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// A batch on this replica succeeded: half-open closes (backoff resets);
+  /// closed just clears the consecutive-failure count. Returns the state
+  /// entered, or kClosed-no-change as kClosed with `transitioned` false.
+  bool record_success() {
+    consecutive_failures_ = 0;
+    if (state_ != State::kClosed) {
+      state_ = State::kClosed;
+      open_window_us_ = open_base_us_;
+      probe_in_flight_ = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// A batch on this replica failed (kFault) or the replica died: count
+  /// it; at the threshold — or instantly while half-open — trip to open
+  /// with exponential backoff. Returns true when a transition to open
+  /// happened.
+  bool record_failure(uint64_t now_us) {
+    if (state_ == State::kHalfOpen) {
+      // The probe failed: reopen with a doubled window.
+      open_window_us_ = std::min(open_window_us_ * 2, open_max_us_);
+      trip(now_us);
+      return true;
+    }
+    if (state_ == State::kOpen) return false;  // already open, keep waiting
+    if (++consecutive_failures_ >= threshold_) {
+      trip(now_us);
+      return true;
+    }
+    return false;
+  }
+
+  /// Side-effect-free preview of allow(): would this replica take traffic
+  /// at now_us? The router scores candidates with this, then calls allow()
+  /// on the winner only — so scoring never consumes a half-open probe.
+  bool would_allow(uint64_t now_us) const {
+    if (state_ == State::kClosed) return true;
+    if (state_ == State::kOpen) return now_us >= open_until_us_;
+    return !probe_in_flight_;
+  }
+
+  State state() const { return state_; }
+  uint64_t open_until_us() const { return open_until_us_; }
+
+ private:
+  void trip(uint64_t now_us) {
+    state_ = State::kOpen;
+    open_until_us_ = now_us + open_window_us_;
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+  }
+
+  const int threshold_;
+  const uint64_t open_base_us_;
+  const uint64_t open_max_us_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t open_window_us_;  ///< current backoff window (doubles on reopen)
+  uint64_t open_until_us_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+inline const char* breaker_state_name(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+/// Knobs of a replica fleet. `serve` is the per-replica session config
+/// (replica_id is overwritten per replica).
+struct ClusterConfig {
+  int replicas = 2;
+  ServeConfig serve;
+
+  /// Default per-request deadline, relative to admission at the
+  /// controller, in microseconds on the cluster clock (0 = none).
+  uint64_t deadline_us = 0;
+
+  /// p95 SLO target of the load score's latency term: a replica whose
+  /// recent per-batch execution p95 sits at the target contributes 1.0 to
+  /// its score (see ClusterController::load_score).
+  uint64_t slo_us = 20000;
+
+  /// Circuit breaker: consecutive failed batches before closed -> open,
+  /// the initial open window, and the backoff cap the window doubles up to
+  /// on failed half-open probes.
+  int breaker_threshold = 3;
+  uint64_t breaker_open_us = 2000;
+  uint64_t breaker_open_max_us = 64000;
+
+  /// Bounded retry of rejected submissions: after the first refusal, try
+  /// at most this many more replicas (each attempt re-picks the best
+  /// breaker-admitted replica), sleeping retry_backoff_us * 2^attempt of
+  /// real time between attempts (0 = no backoff — what the deterministic
+  /// tests use).
+  int max_retries = 2;
+  uint64_t retry_backoff_us = 0;
+
+  /// Graceful degradation: when this many requests are already in flight
+  /// across the fleet (admitted, not yet resolved), new submissions are
+  /// shed with ServeError::kOverloaded instead of blocking. 0 = auto:
+  /// replicas * (queue_capacity + max_batch) — i.e. shed only when the
+  /// whole fleet is saturated.
+  size_t shed_inflight = 0;
+};
+
+/// One breaker state change, in the order it happened — the deterministic
+/// sequence the chaos tests pin (replica, entered state, trace id of the
+/// request whose routing observed/caused it; 0 for batch-feedback
+/// transitions).
+struct BreakerTransition {
+  int replica = 0;
+  CircuitBreaker::State to = CircuitBreaker::State::kClosed;
+  uint64_t trace_id = 0;
+};
+
+/// Fault-tolerant routing front end over N EmuServer replicas — the fleet
+/// entry point of the serving stack (docs/SERVING.md). All replicas host
+/// the same model weights and scenario (built by the factories the
+/// constructor takes, so per-replica engines stay independent), which
+/// makes every completed response bitwise identical to the offline
+/// forward no matter which replica served it or how the fleet degraded.
+///
+/// Robustness mechanics, in request order:
+///   * admission stamps a monotonically increasing trace id and an
+///     absolute deadline (cfg.deadline_us) on every request;
+///   * graceful degradation: past cfg.shed_inflight admitted-unresolved
+///     requests, or when every replica's breaker refuses traffic, the
+///     request is shed immediately with ServeError::kOverloaded — the
+///     controller never blocks a client on a dead fleet;
+///   * routing picks the breaker-admitted replica with the lowest
+///     weighted load score (queue depth + in-flight + recent p95 vs the
+///     SLO target — see load_score());
+///   * a rejected submission (replica queue full, or replica stopped) is
+///     retried on the next-best replica up to cfg.max_retries times with
+///     exponential real-time backoff, moving the sample (never copying);
+///   * per-replica circuit breakers open on consecutive failed batches
+///     (fed back through the replicas' batch callbacks), re-admit a
+///     single half-open probe after an exponentially backed-off window,
+///     and close again on success.
+///
+/// Threading: submit()/stop()/telemetry are safe from any thread. With
+/// cfg.serve.start_thread=false the fleet runs on the deterministic
+/// run_once() harness (drive every replica one micro-batch at a time) —
+/// how the chaos determinism tests replay exact breaker sequences.
+class ClusterController {
+ public:
+  using ModelFactory = std::function<std::unique_ptr<Sequential>()>;
+  using EngineFactory = std::function<EmuEngine()>;
+
+  /// Builds cfg.replicas replicas, each owning model_factory() +
+  /// engine_factory() (factories must therefore yield identical weights /
+  /// scenarios for the fleet's bitwise guarantee to hold). `clock` and
+  /// `injector` are optional and must outlive the controller.
+  ClusterController(const ModelFactory& model_factory,
+                    const EngineFactory& engine_factory, ClusterConfig cfg,
+                    const ServeClock* clock = nullptr,
+                    FaultInjector* injector = nullptr);
+  ClusterController(const ClusterController&) = delete;
+  ClusterController& operator=(const ClusterController&) = delete;
+  ~ClusterController();  // stop()s the fleet
+
+  /// Routes one sample to the best replica (see class comment). The
+  /// returned future always resolves: with an InferResult, or with a
+  /// ServeException (kOverloaded shed, kDeadline, kFault, kStopped).
+  std::future<InferResult> submit(Tensor x);
+
+  /// Manual-mode harness (cfg.serve.start_thread=false): drives every
+  /// replica one micro-batch; returns requests processed across the fleet.
+  int run_once();
+
+  /// Stops every replica (drains admitted requests). Idempotent.
+  void stop();
+
+  /// Cluster-level sink: sheds, retries, breaker transitions, and the
+  /// per-replica routing rows. Execution-side counters live in each
+  /// replica's own engine sink (replica(i).telemetry()).
+  const Telemetry& telemetry() const { return telemetry_; }
+  TelemetrySnapshot telemetry_snapshot() const {
+    return telemetry_.snapshot();
+  }
+
+  /// Clears the cluster sink and every replica's engine sink — the
+  /// per-repetition reset the serve bench uses so JSON rows are per-run.
+  void reset_telemetry();
+
+  size_t replica_count() const { return replicas_.size(); }
+  const EmuServer& replica(size_t i) const { return *replicas_[i]; }
+
+  /// The weighted load score routing minimizes:
+  ///   pending/capacity + in_flight/max_batch + recent_p95_us/slo_us
+  /// (+inf while the replica's breaker refuses traffic). Exposed so tests
+  /// and docs can pin the formula.
+  double load_score(size_t replica) const;
+
+  CircuitBreaker::State breaker_state(size_t replica) const;
+
+  /// Every breaker transition so far, in order — the deterministic
+  /// sequence the chaos tests assert.
+  std::vector<BreakerTransition> breaker_log() const;
+
+ private:
+  struct ReplicaState {
+    std::unique_ptr<CircuitBreaker> breaker;
+    size_t in_flight = 0;  ///< admitted, not yet resolved
+    std::vector<uint64_t> exec_ring;  ///< last kRingSize batch exec times
+    size_t ring_next = 0;
+  };
+  static constexpr size_t kRingSize = 32;
+
+  void on_replica_batch(const ReplicaBatchEvent& ev);
+  double load_score_locked(size_t r) const;
+  int pick_replica_locked(uint64_t now_us, uint64_t trace_id);
+  uint64_t recent_p95_us_locked(size_t r) const;
+  void log_transition_locked(int replica, CircuitBreaker::State to,
+                             uint64_t trace_id);
+
+  const ClusterConfig cfg_;
+  const ServeClock* clock_;
+  Telemetry telemetry_;  ///< cluster-level counters (routing side)
+  std::vector<std::unique_ptr<EmuServer>> replicas_;
+  std::atomic<uint64_t> next_trace_{0};
+  mutable std::mutex m_;  ///< guards states_ + transitions_ (routing state)
+  std::vector<ReplicaState> states_;
+  std::vector<BreakerTransition> transitions_;
+  std::mutex stop_m_;
+  bool stopped_ = false;
+};
+
+}  // namespace srmac

@@ -1,5 +1,6 @@
 #include "serve/emu_server.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -7,11 +8,14 @@
 namespace srmac {
 
 EmuServer::EmuServer(std::unique_ptr<Sequential> model, EmuEngine engine,
-                     const ServeConfig& cfg, const ServeClock* clock)
+                     const ServeConfig& cfg, const ServeClock* clock,
+                     FaultInjector* injector, BatchCallback on_batch)
     : model_(std::move(model)),
       engine_(std::move(engine)),
       cfg_(cfg),
       clock_(clock ? clock : &ServeClock::steady()),
+      injector_(injector),
+      on_batch_(std::move(on_batch)),
       queue_(cfg.queue_capacity),
       batcher_(queue_, cfg_, *clock_) {
   if (!model_) throw std::invalid_argument("EmuServer: null model");
@@ -51,28 +55,79 @@ Tensor EmuServer::normalize_input(Tensor x) const {
   return sample;
 }
 
-std::future<InferResult> EmuServer::submit(Tensor x) {
+uint64_t EmuServer::resolve_deadline(const SubmitMeta& meta,
+                                     uint64_t now) const {
+  if (meta.deadline_us) return meta.deadline_us;
+  return cfg_.deadline_us ? now + cfg_.deadline_us : 0;
+}
+
+std::future<InferResult> EmuServer::failed_future(ServeError code,
+                                                  const char* what) {
+  std::promise<InferResult> p;
+  p.set_exception(std::make_exception_ptr(ServeException(code, what)));
+  return p.get_future();
+}
+
+std::future<InferResult> EmuServer::submit(Tensor x, const SubmitMeta& meta) {
   ServeRequest req;
   req.input = normalize_input(std::move(x));
   req.submit_us = clock_->now_us();
+  req.deadline_us = resolve_deadline(meta, req.submit_us);
+  req.trace_id = meta.trace_id;
   std::future<InferResult> fut = req.promise.get_future();
+  if (req.deadline_us) {
+    // Deadline-aware admission: wait for queue space only as long as the
+    // request's own time budget allows, then fail fast instead of holding
+    // the client hostage on a wedged session.
+    if (req.submit_us >= req.deadline_us) {
+      engine_.telemetry().record_serve_deadline_miss(cfg_.replica_id, 1);
+      return failed_future(ServeError::kDeadline,
+                           "EmuServer: deadline expired before admission");
+    }
+    switch (queue_.push_for(req, req.deadline_us - req.submit_us)) {
+      case QueuePushResult::kOk:
+        return fut;
+      case QueuePushResult::kTimeout:
+        engine_.telemetry().record_serve_deadline_miss(cfg_.replica_id, 1);
+        return failed_future(ServeError::kDeadline,
+                             "EmuServer: deadline expired waiting for "
+                             "queue space");
+      case QueuePushResult::kClosed:
+        return failed_future(ServeError::kStopped,
+                             "EmuServer: submit after stop()");
+    }
+  }
   if (!queue_.push(std::move(req))) {
     // Closed while (or before) waiting for space: fail explicitly instead
     // of handing back a broken promise.
-    std::promise<InferResult> p;
-    p.set_exception(std::make_exception_ptr(
-        std::runtime_error("EmuServer: submit after stop()")));
-    return p.get_future();
+    return failed_future(ServeError::kStopped,
+                         "EmuServer: submit after stop()");
   }
   return fut;
 }
 
-bool EmuServer::try_submit(Tensor x, std::future<InferResult>* out) {
+bool EmuServer::try_submit(Tensor& x, std::future<InferResult>* out,
+                           const SubmitMeta& meta, ServeError* err) {
   ServeRequest req;
   req.input = normalize_input(std::move(x));
   req.submit_us = clock_->now_us();
+  req.deadline_us = resolve_deadline(meta, req.submit_us);
+  req.trace_id = meta.trace_id;
+  if (req.deadline_us && req.submit_us >= req.deadline_us) {
+    engine_.telemetry().record_serve_deadline_miss(cfg_.replica_id, 1);
+    x = std::move(req.input);  // hand the (normalized) sample back
+    if (err) *err = ServeError::kDeadline;
+    return false;
+  }
   std::future<InferResult> fut = req.promise.get_future();
-  if (!queue_.try_push(req)) return false;
+  if (!queue_.try_push(req)) {
+    // try_push left `req` untouched: return the sample so a routing layer
+    // retries it elsewhere without a deep copy, and say why it bounced.
+    x = std::move(req.input);
+    if (err)
+      *err = queue_.closed() ? ServeError::kStopped : ServeError::kOverloaded;
+    return false;
+  }
   if (out) *out = std::move(fut);
   return true;
 }
@@ -98,11 +153,77 @@ int EmuServer::run_once() {
   return static_cast<int>(batch.size());
 }
 
+void EmuServer::fail_batch(std::vector<ServeRequest>& batch, ServeError code,
+                           const char* what) {
+  const std::exception_ptr err =
+      std::make_exception_ptr(ServeException(code, what));
+  for (ServeRequest& r : batch) r.promise.set_exception(err);
+}
+
 void EmuServer::process(std::vector<ServeRequest>& batch) {
+  ReplicaBatchEvent ev;
+  ev.replica = cfg_.replica_id;
+  ev.requests = batch.size();
+
+  // Deadline enforcement at collect time: an expired request fails fast
+  // with kDeadline instead of occupying a slot in the forward (its client
+  // already gave up on it; executing it would only slow live requests).
+  const uint64_t collect_us = clock_->now_us();
+  std::vector<ServeRequest> live;
+  live.reserve(batch.size());
+  for (ServeRequest& r : batch) {
+    if (r.deadline_us && collect_us > r.deadline_us) {
+      r.promise.set_exception(std::make_exception_ptr(ServeException(
+          ServeError::kDeadline,
+          "EmuServer: deadline expired before micro-batch execution")));
+      ++ev.expired;
+    } else {
+      live.push_back(std::move(r));
+    }
+  }
+  if (ev.expired)
+    engine_.telemetry().record_serve_deadline_miss(
+        cfg_.replica_id, static_cast<uint64_t>(ev.expired));
+  if (live.empty()) {
+    if (on_batch_) on_batch_(ev);
+    return;
+  }
+
+  // Chaos hook: the injector decides the fate of this executed batch.
+  // killed_ makes a kKill sticky — the remaining drain fails kStopped, the
+  // exact behavior of a replica that died with requests still queued.
+  FaultInjector::Plan fault;
+  if (killed_.load(std::memory_order_acquire)) {
+    fail_batch(live, ServeError::kStopped,
+               "EmuServer: replica killed before execution");
+    engine_.telemetry().record_serve_batch(live.size(), nullptr, 0,
+                                           cfg_.replica_id, /*ok=*/false);
+    ev.ran = true;
+    if (on_batch_) on_batch_(ev);
+    return;
+  }
+  if (injector_) fault = injector_->on_batch(cfg_.replica_id, batch_seq_);
+  ++batch_seq_;
+  ev.ran = true;
+  if (fault.action == FaultInjector::Action::kFail ||
+      fault.action == FaultInjector::Action::kKill) {
+    if (fault.action == FaultInjector::Action::kKill) {
+      killed_.store(true, std::memory_order_release);
+      queue_.close();  // admission refused from here on (kStopped)
+    }
+    fail_batch(live, ServeError::kFault,
+               "EmuServer: injected fault failed the micro-batch");
+    engine_.telemetry().record_serve_batch(live.size(), nullptr, 0,
+                                           cfg_.replica_id, /*ok=*/false);
+    if (on_batch_) on_batch_(ev);
+    return;
+  }
+  if (fault.action == FaultInjector::Action::kDelay && fault.delay_us)
+    std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
+
   const uint64_t formed_us = clock_->now_us();
-  std::vector<Tensor> xs(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i)
-    xs[i] = std::move(batch[i].input);
+  std::vector<Tensor> xs(live.size());
+  for (size_t i = 0; i < live.size(); ++i) xs[i] = std::move(live[i].input);
   try {
     // Inference-pinned dispatch: the engine context starts at
     // GemmPass::kForward with the engine's base seed — the same chain an
@@ -110,25 +231,32 @@ void EmuServer::process(std::vector<ServeRequest>& batch) {
     model_->forward_batch(engine_.context(), xs);
   } catch (...) {
     const std::exception_ptr err = std::current_exception();
-    for (ServeRequest& r : batch) r.promise.set_exception(err);
+    for (ServeRequest& r : live) r.promise.set_exception(err);
     // The batch still happened; count it without latency samples.
-    engine_.telemetry().record_serve_batch(batch.size(), nullptr, 0);
+    engine_.telemetry().record_serve_batch(live.size(), nullptr, 0,
+                                           cfg_.replica_id, /*ok=*/false);
+    if (on_batch_) on_batch_(ev);
     return;
   }
   const uint64_t done_us = clock_->now_us();
-  std::vector<uint64_t> lat(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i)
-    lat[i] = done_us - batch[i].submit_us;
-  engine_.telemetry().record_serve_batch(batch.size(), lat.data(),
-                                         lat.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
+  ev.ok = true;
+  ev.completed = live.size();
+  ev.exec_us = done_us - formed_us;
+  std::vector<uint64_t> lat(live.size());
+  for (size_t i = 0; i < live.size(); ++i) lat[i] = done_us - live[i].submit_us;
+  engine_.telemetry().record_serve_batch(live.size(), lat.data(), lat.size(),
+                                         cfg_.replica_id);
+  for (size_t i = 0; i < live.size(); ++i) {
     InferResult r;
     r.output = std::move(xs[i]);
-    r.batch_size = static_cast<int>(batch.size());
-    r.queue_us = formed_us - batch[i].submit_us;
+    r.batch_size = static_cast<int>(live.size());
+    r.queue_us = formed_us - live[i].submit_us;
     r.total_us = lat[i];
-    batch[i].promise.set_value(std::move(r));
+    r.trace_id = live[i].trace_id;
+    r.replica = cfg_.replica_id;
+    live[i].promise.set_value(std::move(r));
   }
+  if (on_batch_) on_batch_(ev);
 }
 
 void EmuServer::stop() {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -7,6 +9,7 @@
 
 #include "engine/emu_engine.hpp"
 #include "nn/module.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/serve_types.hpp"
 
@@ -29,22 +32,39 @@ namespace srmac {
 /// (tests/serve/serve_determinism_test.cpp; the layer-level contract is
 /// Layer::forward_batch in nn/module.hpp).
 ///
+/// Failure semantics are typed (ServeError): a request future never hangs
+/// and never fails anonymously — submit-after-stop is kStopped, a blown
+/// per-request deadline is kDeadline (enforced at admission and again at
+/// micro-batch collect, so an expired request never occupies a forward),
+/// and a faulted batch is kFault. An optional FaultInjector wedges,
+/// delays, or kills the session on a deterministic schedule — the chaos
+/// hook the ClusterController's breaker logic is tested against.
+///
 /// Threading: submit()/try_submit() are safe from any thread; the bounded
 /// admission queue blocks producers when full (backpressure). Exactly one
 /// thread executes forwards — the internal batcher thread, or the caller
 /// of run_once() when constructed with start_thread=false — because layer
 /// forward passes reuse member scratch and are not reentrant. Serving
 /// telemetry (request count, batch-size histogram, latency samples for
-/// p50/p95/p99) lands in the engine's Telemetry sink.
+/// p50/p95/p99, deadline misses) lands in the engine's Telemetry sink
+/// under the session's cfg.replica_id row.
 class EmuServer {
  public:
+  /// Per-batch outcome callback (see ReplicaBatchEvent). Invoked on the
+  /// executor thread after every collected micro-batch resolves — the
+  /// ClusterController's circuit-breaker/load feedback edge. Must be set
+  /// at construction (before any traffic) to stay race-free.
+  using BatchCallback = std::function<void(const ReplicaBatchEvent&)>;
+
   /// Takes ownership of the model and the engine. `clock` (optional)
-  /// injects the time source for deadlines and latency accounting; it must
-  /// outlive the server. With cfg.start_thread the batcher starts
-  /// immediately; otherwise drive the session with run_once().
+  /// injects the time source for deadlines and latency accounting;
+  /// `injector` (optional) the chaos hook; both must outlive the server,
+  /// as must any captured state of `on_batch`. With cfg.start_thread the
+  /// batcher starts immediately; otherwise drive the session with
+  /// run_once().
   EmuServer(std::unique_ptr<Sequential> model, EmuEngine engine,
-            const ServeConfig& cfg = {},
-            const ServeClock* clock = nullptr);
+            const ServeConfig& cfg = {}, const ServeClock* clock = nullptr,
+            FaultInjector* injector = nullptr, BatchCallback on_batch = {});
   EmuServer(const EmuServer&) = delete;
   EmuServer& operator=(const EmuServer&) = delete;
   ~EmuServer();  // stop()s: drains admitted requests, joins the thread
@@ -52,14 +72,29 @@ class EmuServer {
   /// Submits one sample. Accepts (1,...) tensors as well as bare (C,H,W) /
   /// (F,) samples, which are reshaped to batch dimension 1; any other
   /// leading dimension throws std::invalid_argument. Blocks while the
-  /// queue is full (the backpressure edge); after stop() the returned
-  /// future fails with std::runtime_error.
-  std::future<InferResult> submit(Tensor x);
+  /// queue is full (the backpressure edge) — but only up to the request's
+  /// deadline (meta.deadline_us, or now + cfg.deadline_us when unset), so
+  /// an overloaded session fails the future with ServeError::kDeadline
+  /// instead of stalling the client forever. After stop() the returned
+  /// future fails with ServeError::kStopped.
+  std::future<InferResult> submit(Tensor x, const SubmitMeta& meta = {});
 
-  /// Non-blocking admission: false when the queue is full or the server is
-  /// stopped (the sample is consumed either way — resubmit a copy to
-  /// retry). On success `*out` receives the result future.
-  bool try_submit(Tensor x, std::future<InferResult>* out);
+  /// Non-blocking admission. On success `*out` receives the result future
+  /// and `x` is consumed. On failure `x` is returned to the caller intact
+  /// (normalized to batch dimension 1) so a routing layer can retry it on
+  /// another replica without deep-copying every request, and `*err` (when
+  /// non-null) says why: kStopped after stop(), kOverloaded on a full
+  /// queue, kDeadline when the deadline already expired at admission.
+  bool try_submit(Tensor& x, std::future<InferResult>* out,
+                  const SubmitMeta& meta = {}, ServeError* err = nullptr);
+
+  /// Rvalue convenience overload: same semantics, but a rejected sample is
+  /// discarded with the temporary (callers who retry keep an lvalue).
+  bool try_submit(Tensor&& x, std::future<InferResult>* out,
+                  const SubmitMeta& meta = {}, ServeError* err = nullptr) {
+    Tensor local = std::move(x);
+    return try_submit(local, out, meta, err);
+  }
 
   /// Synchronously collects and executes one micro-batch of pending
   /// requests on the calling thread; returns its size (0 when idle). Only
@@ -73,6 +108,14 @@ class EmuServer {
   /// Idempotent; also called by the destructor.
   void stop();
 
+  /// Requests admitted but not yet collected into a micro-batch — the
+  /// queue-depth term of the ClusterController's load score.
+  size_t pending() const { return queue_.size(); }
+
+  /// false once stop() ran or a kKill fault fired: new submissions fail
+  /// with ServeError::kStopped (already-admitted requests still drain).
+  bool accepting() const { return !queue_.closed(); }
+
   Sequential& model() { return *model_; }
   const EmuEngine& engine() const { return engine_; }
   const ServeConfig& config() const { return cfg_; }
@@ -81,18 +124,32 @@ class EmuServer {
   /// serve_* serving counters). Callable from any thread.
   TelemetrySnapshot telemetry() const { return engine_.telemetry().snapshot(); }
 
+  /// The mutable sink itself — for owners (cluster, benches) that reset
+  /// counters between measured repetitions.
+  Telemetry& telemetry_sink() { return engine_.telemetry(); }
+
  private:
   void serve_loop();
   void process(std::vector<ServeRequest>& batch);
+  void fail_batch(std::vector<ServeRequest>& batch, ServeError code,
+                  const char* what);
   Tensor normalize_input(Tensor x) const;
+  uint64_t resolve_deadline(const SubmitMeta& meta, uint64_t now) const;
+  static std::future<InferResult> failed_future(ServeError code,
+                                                const char* what);
 
   std::unique_ptr<Sequential> model_;
   EmuEngine engine_;
   const ServeConfig cfg_;
   const ServeClock* clock_;
+  FaultInjector* injector_;
+  const BatchCallback on_batch_;
   BoundedQueue<ServeRequest> queue_;
   MicroBatcher batcher_;
   std::thread thread_;
+  uint64_t batch_seq_ = 0;  ///< executed batches; the FaultInjector's key
+                            ///< (touched only by the executor thread)
+  std::atomic<bool> killed_{false};  ///< a kKill fault fired: drain dead
   std::mutex exec_m_;  ///< serializes run_once() vs stop()'s inline drain
   std::mutex stop_m_;
   bool stopped_ = false;  ///< guarded by stop_m_

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+
+/// Deterministic fault-injection plan for the serve fleet (docs/SERVING.md,
+/// "Fleet & fault tolerance"). The ClusterController hands one injector to
+/// every replica; before executing a micro-batch the replica asks
+/// on_batch(replica, seq) what to do with it. Faults are keyed on the
+/// replica's own executed-batch sequence number — a deterministic counter,
+/// not wall-clock — so a scheduled chaos run replays identically under the
+/// run_once() harness, and the randomized mode draws from a seeded xoshiro
+/// stream (no real randomness, the "seeded from the engine RNG" rule the
+/// chaos determinism tests rely on).
+///
+/// Three fault kinds, mirroring the failure modes a real fleet must absorb:
+///   kFail  — the batch's forward "crashes": every request in it fails with
+///            ServeError::kFault (feeds the circuit breaker).
+///   kDelay — the batch executes, but only after a real-time stall of
+///            delay_us (a wedged/slow replica; drives deadline misses and
+///            p95-based routing away from the replica).
+///   kKill  — the replica dies mid-drain: the current batch fails, admission
+///            closes, and everything still queued drains with
+///            ServeError::kStopped. The breaker must open and the
+///            controller must route around the corpse.
+class FaultInjector {
+ public:
+  enum class Action { kNone, kFail, kDelay, kKill };
+
+  struct Plan {
+    Action action = Action::kNone;
+    uint64_t delay_us = 0;  ///< only meaningful for kDelay
+  };
+
+  FaultInjector() : rng_(0) {}
+  /// Seeded constructor for the randomized mode (random_fail_percent).
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// Schedule: fail replica `replica`'s executed batches [from, to).
+  void fail_batches(int replica, uint64_t from, uint64_t to) {
+    std::lock_guard<std::mutex> lk(m_);
+    rules_.push_back({replica, Action::kFail, from, to, 0});
+  }
+
+  /// Schedule: stall replica `replica`'s executed batches [from, to) by
+  /// delay_us of real time before the forward runs.
+  void delay_batches(int replica, uint64_t from, uint64_t to,
+                     uint64_t delay_us) {
+    std::lock_guard<std::mutex> lk(m_);
+    rules_.push_back({replica, Action::kDelay, from, to, delay_us});
+  }
+
+  /// Schedule: kill replica `replica` at executed batch `seq` (the batch
+  /// fails, then the replica drains dead).
+  void kill_at(int replica, uint64_t seq) {
+    std::lock_guard<std::mutex> lk(m_);
+    rules_.push_back({replica, Action::kKill, seq, seq + 1, 0});
+  }
+
+  /// Randomized mode: every batch on every replica fails with `percent`%
+  /// probability, drawn from the seeded stream. Deterministic given the
+  /// seed and the (replica, seq) visit order of a run_once() harness.
+  void random_fail_percent(int percent) {
+    std::lock_guard<std::mutex> lk(m_);
+    random_fail_percent_ = percent;
+  }
+
+  /// The replica-side hook: what should replica `replica` do with its
+  /// seq-th executed batch? Scheduled rules win over the randomized mode;
+  /// the first matching rule in insertion order applies.
+  Plan on_batch(int replica, uint64_t seq) {
+    std::lock_guard<std::mutex> lk(m_);
+    for (const Rule& r : rules_) {
+      if (r.replica != replica || seq < r.from || seq >= r.to) continue;
+      ++injected_;
+      return {r.action, r.delay_us};
+    }
+    if (random_fail_percent_ > 0 &&
+        static_cast<int>(rng_.next() % 100) < random_fail_percent_) {
+      ++injected_;
+      return {Action::kFail, 0};
+    }
+    return {};
+  }
+
+  /// Faults handed out so far (tests assert the schedule actually fired).
+  uint64_t injected() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return injected_;
+  }
+
+ private:
+  struct Rule {
+    int replica;
+    Action action;
+    uint64_t from, to;  ///< half-open executed-batch range [from, to)
+    uint64_t delay_us;
+  };
+
+  mutable std::mutex m_;
+  std::vector<Rule> rules_;
+  int random_fail_percent_ = 0;
+  Xoshiro256 rng_;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace srmac

@@ -2,11 +2,49 @@
 
 #include <cstdint>
 #include <future>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
 
 namespace srmac {
+
+/// Typed failure codes of the serving stack. Every failed request future
+/// resolves with a ServeException carrying one of these, so callers (and
+/// the ClusterController's routing/retry logic) can tell shutdown from
+/// overload from a blown deadline from a faulted replica — the "no request
+/// ever hangs or fails anonymously" contract of docs/SERVING.md.
+enum class ServeError {
+  kStopped,     ///< session stopped (or replica killed) before execution
+  kOverloaded,  ///< load shed: admission rejected after bounded retries, or
+                ///< every replica's circuit breaker is open
+  kDeadline,    ///< the request's deadline expired (at admission or at
+                ///< micro-batch collect time)
+  kFault,       ///< the batch's forward pass failed (injected or real)
+};
+
+inline const char* serve_error_name(ServeError e) {
+  switch (e) {
+    case ServeError::kStopped: return "stopped";
+    case ServeError::kOverloaded: return "overloaded";
+    case ServeError::kDeadline: return "deadline";
+    case ServeError::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+/// What a failed request future throws: std::runtime_error (so legacy
+/// catch sites keep working) plus the machine-readable code above.
+class ServeException : public std::runtime_error {
+ public:
+  ServeException(ServeError code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ServeError code() const { return code_; }
+
+ private:
+  ServeError code_;
+};
 
 /// What a served request resolves to: the model output for that one sample
 /// plus the request's own observability slice (how it was scheduled and
@@ -16,6 +54,8 @@ struct InferResult {
   int batch_size = 0;     ///< requests coalesced into the micro-batch it rode
   uint64_t queue_us = 0;  ///< submit -> micro-batch formation
   uint64_t total_us = 0;  ///< submit -> completion
+  uint64_t trace_id = 0;  ///< cluster-assigned trace (0: direct session submit)
+  int replica = 0;        ///< replica that executed the request
 };
 
 /// Knobs of one serving session (the CLI's --serve-* flags map onto these;
@@ -52,14 +92,53 @@ struct ServeConfig {
   /// bounds inside a GEMM, so sessions should set this. Empty = accept any
   /// single-sample tensor (embedders that validate upstream).
   std::vector<int> input_shape;
+
+  /// Default per-request deadline, relative to submission, in microseconds
+  /// on the session clock (0 = no deadline). Enforced twice: at admission
+  /// (a blocking submit() waits at most the remaining budget for queue
+  /// space, then fails ServeError::kDeadline) and at micro-batch collect
+  /// time (an expired request fails fast instead of occupying the
+  /// forward). SubmitMeta::deadline_us overrides per request.
+  uint64_t deadline_us = 0;
+
+  /// Identity of this session inside a fleet: stamped on InferResult and
+  /// used as the per-replica index of the telemetry counters. 0 for a
+  /// standalone session.
+  int replica_id = 0;
+};
+
+/// Per-request submission metadata (the ClusterController threads routing
+/// state through here; direct EmuServer users can usually ignore it).
+struct SubmitMeta {
+  /// Absolute deadline on the session clock (0 = use the session's
+  /// ServeConfig::deadline_us relative default, if any).
+  uint64_t deadline_us = 0;
+  /// Cluster-assigned monotonically increasing trace id (0 = untraced).
+  uint64_t trace_id = 0;
+};
+
+/// Outcome of one collected micro-batch, reported to the session's batch
+/// observer (the ClusterController's feedback edge: circuit breakers,
+/// in-flight accounting, and the p95 term of the load score all update
+/// from these events).
+struct ReplicaBatchEvent {
+  int replica = 0;
+  size_t requests = 0;   ///< removed from the queue (completed+expired+failed)
+  size_t completed = 0;  ///< resolved with a result
+  size_t expired = 0;    ///< failed ServeError::kDeadline at collect
+  bool ran = false;      ///< a forward pass was attempted
+  bool ok = false;       ///< ... and succeeded (false + ran = kFault batch)
+  uint64_t exec_us = 0;  ///< forward wall time on the session clock
 };
 
 /// One admitted request in flight: the sample, the promise its future is
-/// watching, and the submission timestamp for the latency accounting.
+/// watching, and the scheduling metadata the batcher/executor act on.
 struct ServeRequest {
   Tensor input;  ///< batch dimension 1 (submit() normalizes the shape)
   std::promise<InferResult> promise;
   uint64_t submit_us = 0;
+  uint64_t deadline_us = 0;  ///< absolute on the session clock; 0 = none
+  uint64_t trace_id = 0;
 };
 
 }  // namespace srmac

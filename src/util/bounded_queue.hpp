@@ -10,6 +10,11 @@
 
 namespace srmac {
 
+/// Outcome of a deadline-bounded push (BoundedQueue::push_for): admitted,
+/// out of time, or refused because the queue closed. The serving stack maps
+/// kTimeout to ServeError::kDeadline and kClosed to ServeError::kStopped.
+enum class QueuePushResult { kOk, kTimeout, kClosed };
+
 /// Bounded multi-producer/multi-consumer queue — the admission-control
 /// primitive under the serving stack (docs/SERVING.md). A full queue blocks
 /// (or rejects, for try_push) producers instead of growing without bound,
@@ -40,6 +45,22 @@ class BoundedQueue {
     lk.unlock();
     item_cv_.notify_one();
     return true;
+  }
+
+  /// Deadline-aware admission: blocks while full, but for at most
+  /// timeout_us of real time. On kTimeout and kClosed `v` is left untouched
+  /// so the caller can retry elsewhere or fail the request upward — the
+  /// primitive under per-request deadlines at the submission edge.
+  QueuePushResult push_for(T& v, uint64_t timeout_us) {
+    std::unique_lock<std::mutex> lk(m_);
+    if (!space_cv_.wait_for(lk, std::chrono::microseconds(timeout_us),
+                            [&] { return closed_ || q_.size() < capacity_; }))
+      return QueuePushResult::kTimeout;
+    if (closed_) return QueuePushResult::kClosed;
+    q_.push_back(std::move(v));
+    lk.unlock();
+    item_cv_.notify_one();
+    return QueuePushResult::kOk;
   }
 
   /// Non-blocking push; false when full or closed (`v` is left untouched so

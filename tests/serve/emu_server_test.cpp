@@ -266,6 +266,218 @@ TEST(EmuServer, InjectedClockPinsLatenciesExactly) {
   EXPECT_EQ(snap.serve_mean_batch(), 2.0);
 }
 
+TEST(EmuServer, TrySubmitReturnsSampleOnRejection) {
+  // A rejected try_submit must hand the sample back (normalized), so a
+  // routing layer retries it on another replica without a deep copy.
+  ServeConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.max_batch = 1;
+  cfg.start_thread = false;
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::future<InferResult> f0, f1;
+  ASSERT_TRUE(server.try_submit(make_sample(0), &f0));  // fills the queue
+
+  Tensor x = make_sample(1);
+  const float first = x[0];
+  ServeError err = ServeError::kFault;
+  EXPECT_FALSE(server.try_submit(x, &f1, {}, &err));
+  EXPECT_EQ(err, ServeError::kOverloaded);
+  ASSERT_EQ(x.numel(), 16);  // the sample came back intact
+  EXPECT_EQ(x[0], first);
+
+  EXPECT_EQ(server.run_once(), 1);
+  EXPECT_TRUE(server.try_submit(x, &f1, {}, &err));  // same tensor, no copy
+  EXPECT_EQ(server.run_once(), 1);
+  f0.get();
+  f1.get();
+
+  // After stop() the same rejection path reports kStopped.
+  Tensor y = make_sample(2);
+  server.stop();
+  std::future<InferResult> f2;
+  EXPECT_FALSE(server.try_submit(y, &f2, {}, &err));
+  EXPECT_EQ(err, ServeError::kStopped);
+  EXPECT_EQ(y.numel(), 16);
+}
+
+TEST(EmuServer, SubmitAfterStopFailsWithTypedStoppedError) {
+  // Both admission paths must fail uniformly after stop(): a typed
+  // ServeError::kStopped, never a broken promise or an anonymous error.
+  ServeConfig cfg;
+  cfg.start_thread = false;
+  EmuServer server(make_model(), make_engine(), cfg);
+  server.stop();
+  EXPECT_FALSE(server.accepting());
+  try {
+    server.submit(make_sample(0)).get();
+    FAIL() << "submit after stop() must not resolve with a result";
+  } catch (const ServeException& e) {
+    EXPECT_EQ(e.code(), ServeError::kStopped);
+  }
+  // With a deadline set the blocking path goes through push_for — the
+  // closed queue must still surface kStopped, not kDeadline.
+  SubmitMeta meta;
+  meta.deadline_us = ServeClock::steady().now_us() + 1000000;
+  try {
+    server.submit(make_sample(1), meta).get();
+    FAIL() << "deadline submit after stop() must not resolve";
+  } catch (const ServeException& e) {
+    EXPECT_EQ(e.code(), ServeError::kStopped);
+  }
+}
+
+TEST(EmuServer, DeadlineEnforcedAtAdmissionAndAtCollect) {
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.start_thread = false;
+  ManualServeClock clock(1000);
+  EmuServer server(make_model(), make_engine(), cfg, &clock);
+
+  // Already expired at admission: fail fast on both submission paths.
+  SubmitMeta expired;
+  expired.deadline_us = 500;
+  try {
+    server.submit(make_sample(0), expired).get();
+    FAIL() << "expired request must not resolve with a result";
+  } catch (const ServeException& e) {
+    EXPECT_EQ(e.code(), ServeError::kDeadline);
+  }
+  Tensor x = make_sample(1);
+  std::future<InferResult> f;
+  ServeError err = ServeError::kFault;
+  EXPECT_FALSE(server.try_submit(x, &f, expired, &err));
+  EXPECT_EQ(err, ServeError::kDeadline);
+  EXPECT_EQ(x.numel(), 16);  // sample returned here too
+
+  // Admitted alive, expired by collect time: fails at the batch edge and
+  // never occupies a slot in the forward.
+  SubmitMeta soon;
+  soon.deadline_us = 2000;
+  std::future<InferResult> flate = server.submit(make_sample(2), soon);
+  std::future<InferResult> flive = server.submit(make_sample(3));
+  clock.advance(1500);               // t = 2500 > 2000
+  EXPECT_EQ(server.run_once(), 2);   // both collected, one expired
+  try {
+    flate.get();
+    FAIL() << "collect-expired request must not resolve with a result";
+  } catch (const ServeException& e) {
+    EXPECT_EQ(e.code(), ServeError::kDeadline);
+  }
+  InferResult r = flive.get();
+  EXPECT_EQ(r.batch_size, 1);  // the expired request left the batch
+  EXPECT_EQ(server.telemetry().serve_deadline_misses, 3u);
+}
+
+TEST(EmuServer, BlockingSubmitFailsDeadlineInsteadOfWedging) {
+  // A full queue plus a deadline: submit() waits only the request's time
+  // budget, then fails kDeadline — a wedged session cannot hold clients.
+  ServeConfig cfg;
+  cfg.queue_capacity = 1;
+  cfg.max_batch = 1;
+  cfg.start_thread = false;
+  EmuServer server(make_model(), make_engine(), cfg);
+  std::future<InferResult> f0;
+  ASSERT_TRUE(server.try_submit(make_sample(0), &f0));  // wedge: queue full
+
+  SubmitMeta meta;  // a 20ms budget on the backpressured request only
+  meta.deadline_us = ServeClock::steady().now_us() + 20000;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::future<InferResult> f1 = server.submit(make_sample(1), meta);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  try {
+    f1.get();
+    FAIL() << "backpressured past its deadline: must not resolve";
+  } catch (const ServeException& e) {
+    EXPECT_EQ(e.code(), ServeError::kDeadline);
+  }
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            15);
+  EXPECT_EQ(server.run_once(), 1);
+  f0.get();  // the admitted request was never disturbed
+}
+
+TEST(EmuServer, FaultInjectorFailsDelaysAndKillsOnSchedule) {
+  ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.start_thread = false;
+  FaultInjector chaos;
+  chaos.fail_batches(0, /*from=*/0, /*to=*/1);
+  chaos.delay_batches(0, /*from=*/1, /*to=*/2, /*delay_us=*/1000);
+  chaos.kill_at(0, /*seq=*/2);
+  EmuServer server(make_model(), make_engine(), cfg, nullptr, &chaos);
+
+  std::future<InferResult> f0, f1, f2, f3;
+  ASSERT_TRUE(server.try_submit(make_sample(0), &f0));
+  ASSERT_TRUE(server.try_submit(make_sample(1), &f1));
+  ASSERT_TRUE(server.try_submit(make_sample(2), &f2));
+  ASSERT_TRUE(server.try_submit(make_sample(3), &f3));
+
+  EXPECT_EQ(server.run_once(), 1);  // seq 0: injected failure
+  try {
+    f0.get();
+    FAIL() << "faulted batch must not resolve with a result";
+  } catch (const ServeException& e) {
+    EXPECT_EQ(e.code(), ServeError::kFault);
+  }
+  EXPECT_EQ(server.run_once(), 1);  // seq 1: delayed but correct
+  EXPECT_NO_THROW(f1.get());
+  EXPECT_EQ(server.run_once(), 1);  // seq 2: the kill
+  try {
+    f2.get();
+    FAIL() << "killed batch must not resolve with a result";
+  } catch (const ServeException& e) {
+    EXPECT_EQ(e.code(), ServeError::kFault);
+  }
+  // Dead replica: admission refused, the queued remainder drains kStopped.
+  EXPECT_FALSE(server.accepting());
+  EXPECT_EQ(server.run_once(), 1);
+  try {
+    f3.get();
+    FAIL() << "post-kill drain must not resolve with a result";
+  } catch (const ServeException& e) {
+    EXPECT_EQ(e.code(), ServeError::kStopped);
+  }
+  EXPECT_EQ(chaos.injected(), 3u);
+  EXPECT_EQ(server.telemetry().serve_failed_batches, 3u);
+}
+
+TEST(EmuServer, StopRacingConcurrentSubmittersDrainsWithoutDrop) {
+  // 4 threads submit while stop() runs. Every future obtained must
+  // resolve: a result for everything admitted before the close, a typed
+  // kStopped for everything after — no drops, no hangs, no anonymous
+  // errors. This is the drain-without-drop case the TSan CI leg pins.
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50;
+  cfg.queue_capacity = 8;
+  EmuServer server(make_model(), make_engine(), cfg);
+
+  constexpr int kThreads = 4, kPerThread = 16;
+  std::atomic<int> completed{0}, stopped{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kThreads; ++c)
+    clients.emplace_back([&, c] {
+      for (int i = c * kPerThread; i < (c + 1) * kPerThread; ++i) {
+        try {
+          server.submit(make_sample(i)).get();
+          completed.fetch_add(1);
+        } catch (const ServeException& e) {
+          EXPECT_EQ(e.code(), ServeError::kStopped);
+          stopped.fetch_add(1);
+        }
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  server.stop();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(completed.load() + stopped.load(), kThreads * kPerThread);
+  // Telemetry agrees: exactly the completed requests were executed.
+  EXPECT_EQ(server.telemetry().serve_requests,
+            static_cast<uint64_t>(completed.load()));
+}
+
 TEST(EmuServer, TelemetryResetClearsServingCounters) {
   // The per-repetition reset() benches rely on must cover the serving
   // counters too, so JSON rows are per-run rather than cumulative.

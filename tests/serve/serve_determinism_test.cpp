@@ -162,7 +162,12 @@ TEST(ServeDeterminism, Resnet20ServedSampleMatchesOffline) {
       EmuEngine::Builder().scenario(scenario).backend("sharded").build(),
       cfg);
   std::vector<std::future<InferResult>> futs(4);
-  for (int i = 0; i < 4; ++i) ASSERT_TRUE(server.try_submit(x, &futs[i]));
+  for (int i = 0; i < 4; ++i) {
+    // try_submit moves the sample on success (so fleet retries need no deep
+    // copy); resubmitting the same tensor therefore takes an explicit copy.
+    Tensor xi = x;
+    ASSERT_TRUE(server.try_submit(xi, &futs[i]));
+  }
   ASSERT_EQ(server.run_once(), 4);
   for (int i = 0; i < 4; ++i)
     expect_bitwise_equal(futs[i].get().output, ref, "resnet20 coalesced");

@@ -89,6 +89,71 @@ TEST(BoundedQueue, CloseWakesBlockedProducer) {
   EXPECT_EQ(q.pop().value(), 1);  // the admitted element survives
 }
 
+TEST(BoundedQueue, PushForTimesOutAndLeavesValueIntact) {
+  BoundedQueue<int> q(1);
+  int a = 1;
+  ASSERT_TRUE(q.try_push(a));
+  int v = 42;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.push_for(v, 2000), QueuePushResult::kTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::microseconds(1500));
+  EXPECT_EQ(v, 42);  // a timed-out push must not consume the value
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, PushForSucceedsWhenSpaceFrees) {
+  BoundedQueue<int> q(1);
+  int a = 1;
+  ASSERT_TRUE(q.try_push(a));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(q.pop().value(), 1);
+  });
+  int v = 2;
+  EXPECT_EQ(q.push_for(v, 5u * 1000 * 1000), QueuePushResult::kOk);
+  consumer.join();
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, PushForReportsClosedDistinctFromTimeout) {
+  BoundedQueue<int> q(1);
+  int a = 1;
+  ASSERT_TRUE(q.try_push(a));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+  });
+  int v = 2;
+  // Blocked on a full queue, then woken by close: kClosed, not kTimeout.
+  EXPECT_EQ(q.push_for(v, 5u * 1000 * 1000), QueuePushResult::kClosed);
+  closer.join();
+  int c = 3;
+  EXPECT_EQ(q.push_for(c, 1000), QueuePushResult::kClosed);  // fast-fail now
+}
+
+TEST(BoundedQueue, CloseWhileFullWakesEveryBlockedProducer) {
+  // The stop() race in the serving stack: several clients blocked on a
+  // full admission queue while another thread closes it. All of them must
+  // wake and report failure — a single notify would strand the rest.
+  constexpr int kProducers = 4;
+  BoundedQueue<int> q(1);
+  int a = 0;
+  ASSERT_TRUE(q.try_push(a));
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      if (!q.push(p + 1)) rejected.fetch_add(1);
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers);
+  EXPECT_EQ(q.pop().value(), 0);  // only the admitted element survives
+  EXPECT_FALSE(q.pop().has_value());
+}
+
 TEST(BoundedQueue, MpmcStressDeliversEveryElementOnce) {
   // 4 producers x 4 consumers through a deliberately tight queue: every
   // pushed value is popped exactly once and nothing is invented. This is
