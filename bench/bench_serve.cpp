@@ -10,6 +10,13 @@
 // of the same sample on the same engine configuration, so a throughput win
 // can never come from changed arithmetic.
 //
+// A "wireN" leg re-runs the batched configuration behind a WireServer on a
+// loopback ephemeral port, every client holding its own WireClient
+// connection — pricing the length-prefixed framing + TCP round trip
+// against the in-process submit() path (docs/PERSISTENCE.md has the frame
+// layout). The cross-process flavor of the same measurement lives in
+// bench/loadgen.cpp, which drives an external serve_daemon.
+//
 // With --serve-replicas=N (N > 1) a "fleetN" leg additionally drives a
 // ClusterController fleet of N replicas through the same closed loop, and
 // --chaos adds a "chaosN" leg where a deterministic FaultInjector delays,
@@ -20,8 +27,8 @@
 //
 // Usage: bench_serve [--smoke] [--json PATH] [--model SPEC] [--requests N]
 //                    [--reps N] [--chaos] [engine flags incl. --serve-*]
-//   --model SPEC     mlp:W,D (W-wide MLP, D hidden layers; default mlp:64,3)
-//                    or resnet20 (width-reduced CIFAR graph)
+//   --model SPEC     model-zoo grammar (nn/model_zoo.hpp): mlp:W,D
+//                    (default mlp:64,3), resnet20[:S], vgg_mini:C,B[,S]
 //   --requests N     total requests per leg (default 2000; smoke 240)
 //   --reps N         repetitions per leg, best kept; telemetry resets per
 //                    repetition so every JSON row is per-run (default 3/1)
@@ -42,10 +49,9 @@
 #include <vector>
 
 #include "engine/cli.hpp"
-#include "nn/init.hpp"
-#include "nn/mlp.hpp"
-#include "nn/resnet.hpp"
-#include "rng/xoshiro.hpp"
+#include "net/wire_client.hpp"
+#include "net/wire_server.hpp"
+#include "nn/model_zoo.hpp"
 #include "serve/cluster_controller.hpp"
 #include "serve/emu_server.hpp"
 #include "serve/fault_injector.hpp"
@@ -54,7 +60,6 @@ using namespace srmac;
 
 namespace {
 
-constexpr uint64_t kInitSeed = 0xBE7C;
 constexpr int kSamplePool = 16;
 
 double now_s() {
@@ -63,53 +68,13 @@ double now_s() {
       .count();
 }
 
-struct ModelSpec {
-  std::string name = "mlp:64,3";
-  bool resnet = false;
-  int width = 64, depth = 3;
-
-  static ModelSpec parse(const std::string& s) {
-    ModelSpec m;
-    m.name = s;
-    if (s == "resnet20") {
-      m.resnet = true;
-      return m;
-    }
-    if (s.rfind("mlp:", 0) == 0 &&
-        std::sscanf(s.c_str() + 4, "%d,%d", &m.width, &m.depth) == 2 &&
-        m.width > 0 && m.depth > 0)
-      return m;
-    std::fprintf(stderr, "error: bad --model \"%s\" (mlp:W,D | resnet20)\n",
-                 s.c_str());
-    std::exit(2);
-  }
-
-  std::unique_ptr<Sequential> build() const {
-    std::unique_ptr<Sequential> net;
-    if (resnet) {
-      net = make_resnet20(10, 0.25f);
-    } else {
-      net = make_mlp(width, std::vector<int>(depth, width), 10);
-    }
-    he_init(*net, kInitSeed);
-    return net;
-  }
-
-  std::vector<int> input_shape() const {
-    return resnet ? std::vector<int>{3, 16, 16} : std::vector<int>{width};
-  }
-
-  Tensor sample(int i) const {
-    Tensor x = resnet ? Tensor({1, 3, 16, 16}) : Tensor({1, width});
-    Xoshiro256 rng(500 + static_cast<uint64_t>(i));
-    for (int64_t j = 0; j < x.numel(); ++j)
-      x[j] = static_cast<float>(rng.normal());
-    return x;
-  }
-};
+// The model comes from the shared zoo (nn/model_zoo.hpp): the same spec
+// grammar, deterministic init, and sample stream every serving front end
+// uses — which is what lets the wire leg verify responses against offline
+// forwards computed in this process.
 
 struct LegResult {
-  std::string path;  // "batch1" / "batch16" / "fleet3" / "chaos3"
+  std::string path;  // "batch1" / "batch16" / "wire16" / "fleet3" / "chaos3"
   int max_batch = 1;
   int requests = 0;
   double seconds = 0;
@@ -180,6 +145,90 @@ LegResult run_leg(const std::string& path, const ModelSpec& model,
                    path.c_str());
       std::exit(1);
     }
+    const TelemetrySnapshot snap = server.telemetry();
+    LegResult r;
+    r.path = path;
+    r.max_batch = max_batch;
+    r.requests = requests;
+    r.seconds = wall;
+    r.req_per_s = requests / wall;
+    r.p50_us = snap.serve_latency_percentile_us(50);
+    r.p95_us = snap.serve_latency_percentile_us(95);
+    r.p99_us = snap.serve_latency_percentile_us(99);
+    r.mean_batch = snap.serve_mean_batch();
+    r.batches = snap.serve_batches;
+    if (r.req_per_s > best.req_per_s) best = r;
+  }
+  best.completed = best.requests;
+  return best;
+}
+
+/// Wire leg: the batched session again, but fronted by a WireServer on a
+/// loopback ephemeral port, with every client thread holding its own
+/// WireClient connection — so the row prices the full frame encode / TCP /
+/// decode path against the in-process "batchN" row. Responses stay
+/// bitwise-anchored to the same offline refs.
+LegResult run_wire_leg(const std::string& path, const ModelSpec& model,
+                       const EngineCliArgs& eng, int max_batch, int clients,
+                       int requests, int reps,
+                       const std::vector<Tensor>& refs) {
+  LegResult best;
+  best.path = path;
+  best.max_batch = max_batch;
+  best.requests = requests;
+  for (int rep = 0; rep < reps; ++rep) {
+    ServeConfig cfg;
+    cfg.max_batch = max_batch;
+    cfg.max_wait_us = eng.serve_wait_us;
+    cfg.queue_capacity = static_cast<size_t>(std::max(64, 4 * clients));
+    cfg.input_shape = model.input_shape();
+    EmuEngine engine = engine_or_die(eng);
+    Telemetry& telemetry = engine.telemetry();
+    EmuServer server(model.build(), std::move(engine), cfg);
+
+    WireServerConfig wcfg;
+    wcfg.scenario = eng.scenario;
+    wcfg.model = model.name;
+    wcfg.input_shape = model.input_shape();
+    WireServer wire(wire_submit(server), wcfg);
+
+    {  // Warm up through the wire, then reset the counters.
+      WireClient warm("127.0.0.1", wire.port(), eng.scenario, model.name);
+      warm.infer(model.sample(0));
+    }
+    telemetry.reset();
+
+    std::atomic<int> next{0};
+    std::atomic<bool> mismatch{false};
+    auto client = [&] {
+      WireClient conn("127.0.0.1", wire.port(), eng.scenario, model.name);
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) return;
+        const int s = i % kSamplePool;
+        const Tensor out = conn.infer(model.sample(s)).output;
+        if (out.numel() != refs[s].numel() ||
+            std::memcmp(out.data(), refs[s].data(),
+                        static_cast<size_t>(out.numel()) * sizeof(float)) !=
+                0)
+          mismatch.store(true, std::memory_order_relaxed);
+      }
+    };
+    const double t0 = now_s();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) threads.emplace_back(client);
+    for (auto& t : threads) t.join();
+    const double wall = now_s() - t0;
+
+    if (mismatch.load()) {
+      std::fprintf(stderr,
+                   "error: wire output diverged from the offline forward "
+                   "(leg %s)\n",
+                   path.c_str());
+      std::exit(1);
+    }
+    wire.stop();
+    server.stop();
     const TelemetrySnapshot snap = server.telemetry();
     LegResult r;
     r.path = path;
@@ -365,7 +414,7 @@ int main(int argc, char** argv) {
   }
   EngineCliArgs eng = parse_engine_cli(argc, argv);
   if (eng.backend.empty()) eng.backend = "sharded";  // the gemm_batch path
-  const ModelSpec model = ModelSpec::parse(model_spec);
+  const ModelSpec model = ModelSpec::parse_or_die(model_spec);
   if (requests <= 0) requests = smoke ? 240 : 2000;
   if (reps <= 0) reps = smoke ? 1 : 3;
   const int clients = std::max(1, eng.serve_clients);
@@ -397,8 +446,11 @@ int main(int argc, char** argv) {
   const LegResult coal =
       run_leg(tag, model, eng, batch, clients, requests, reps, refs);
   const double speedup = coal.req_per_s / base.req_per_s;
+  const LegResult wire = run_wire_leg("wire" + std::to_string(batch), model,
+                                      eng, batch, clients, requests, reps,
+                                      refs);
 
-  std::vector<const LegResult*> rows = {&base, &coal};
+  std::vector<const LegResult*> rows = {&base, &coal, &wire};
   LegResult fleet, wreck;
   if (replicas > 1) {
     fleet = run_fleet_leg("fleet" + std::to_string(replicas), model, eng,

@@ -10,18 +10,26 @@
 //  4. Verify a served output is bitwise identical to the same sample run
 //     offline — coalescing changes scheduling, never bits.
 //
-// Usage: serve_resnet20 [--requests N] [engine flags incl. --serve-*]
+// Usage: serve_resnet20 [--requests N] [--checkpoint=FILE]
+//                       [engine flags incl. --serve-*]
 //   defaults: 64 requests, --serve-clients=8 clients, --serve-batch=16,
 //   backend "sharded" (any gemm_batch-capable backend coalesces).
+//   --checkpoint=FILE serves FILE's weights instead of the deterministic
+//   init (the architecture here stays this example's ResNet-20 — the file
+//   must have been saved from a matching one, e.g. by this example's zoo
+//   tag "resnet20:32"), and adopts the file's pinned scenario unless
+//   --scenario= is also given (docs/PERSISTENCE.md).
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/cli.hpp"
+#include "io/checkpoint.hpp"
 #include "nn/init.hpp"
 #include "nn/resnet.hpp"
 #include "rng/xoshiro.hpp"
@@ -31,9 +39,12 @@ using namespace srmac;
 
 namespace {
 
+std::string g_ckpt_path;  // --checkpoint=FILE ("" = deterministic init)
+
 std::unique_ptr<Sequential> make_model() {
   auto net = make_resnet20(10, /*width_mult=*/0.25f);
   he_init(*net, 0xBE7C);
+  if (!g_ckpt_path.empty()) load_checkpoint(g_ckpt_path, *net);
   return net;
 }
 
@@ -49,19 +60,41 @@ Tensor make_sample(int i) {
 
 int main(int argc, char** argv) {
   int requests = 64;
-  for (int i = 1; i < argc; ++i)
+  bool scenario_flag_given = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
       requests = std::atoi(argv[++i]);
+    else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0)
+      g_ckpt_path = argv[i] + 13;
+    else if (std::strncmp(argv[i], "--scenario=", 11) == 0)
+      scenario_flag_given = true;
+  }
   EngineCliArgs eng = parse_engine_cli(argc, argv);
   if (eng.backend.empty()) eng.backend = "sharded";
   eng.serve_clients = std::max(1, std::min(eng.serve_clients, 8));
+  if (!g_ckpt_path.empty()) {
+    try {
+      const CheckpointMeta meta = read_checkpoint_meta(g_ckpt_path);
+      if (!scenario_flag_given && !meta.scenario.empty())
+        eng.scenario = meta.scenario;  // adopt the pinned arithmetic
+      std::printf("serving weights from %s (format v%u, scenario %s)\n",
+                  g_ckpt_path.c_str(), meta.format_version,
+                  eng.scenario.c_str());
+    } catch (const CheckpointError& e) {
+      std::fprintf(stderr, "error: %s: %s\n", g_ckpt_path.c_str(), e.what());
+      return 1;
+    }
+  }
 
   // Offline reference for the bitwise check, on the same configuration.
   const Tensor probe = make_sample(0);
   Tensor ref;
-  {
+  try {
     EmuEngine offline = engine_or_die(eng);
     ref = make_model()->forward(offline.context(), probe, false);
+  } catch (const CheckpointError& e) {
+    std::fprintf(stderr, "error: %s: %s\n", g_ckpt_path.c_str(), e.what());
+    return 1;
   }
 
   ServeConfig cfg;

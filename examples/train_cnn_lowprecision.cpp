@@ -9,15 +9,25 @@
 //                                        (degrades),
 //   * "eager_sr:e5m2/e6m5:r=13:subOFF" — eager SR (tracks FP32).
 //
+// The eager-SR run's trained weights are saved as a versioned checkpoint
+// at the end (--checkpoint=PATH, default train_cnn_lowprecision.ckpt) with
+// the scenario and model tag pinned in the header — point serve_daemon
+// --checkpoint at it, or reopen it through the C API
+// (docs/PERSISTENCE.md).
+//
 // Usage: ./build/examples/train_cnn_lowprecision [epochs] [samples]
+//                                                [--checkpoint=PATH]
 //                                                [--backend=NAME] ...
 // Engine flags (--backend, --threads, --seed) apply to the emulated runs;
 // see src/engine/cli.hpp.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "data/synthetic.hpp"
 #include "engine/cli.hpp"
+#include "io/checkpoint.hpp"
 #include "nn/init.hpp"
 #include "nn/vgg.hpp"
 #include "train/trainer.hpp"
@@ -28,6 +38,10 @@ int main(int argc, char** argv) {
   const int epochs = argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 3;
   const int samples = argc > 2 && argv[2][0] != '-' ? std::atoi(argv[2]) : 384;
   EngineCliArgs cli = parse_engine_cli(argc, argv);
+  std::string ckpt_path = "train_cnn_lowprecision.ckpt";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--checkpoint=", 13) == 0)
+      ckpt_path = argv[i] + 13;
 
   SyntheticImages::Options dopt;
   dopt.classes = 4;
@@ -36,7 +50,7 @@ int main(int argc, char** argv) {
   const SyntheticImages train(dopt);
   const SyntheticImages test = train.test_split(samples / 2);
 
-  auto run = [&](const char* scenario) {
+  auto run = [&](const char* scenario, const std::string& save_path = "") {
     EngineCliArgs args = cli;
     args.scenario = scenario;
     // The FP32 baseline stays the true reference: --backend only retargets
@@ -60,12 +74,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.gemms), 1e-9 * t.macs,
                 1e-6 * t.bytes_quantized, t.seconds,
                 engine.backend().name().c_str());
+    if (!save_path.empty()) {
+      // The header pins the scenario the weights were trained under and
+      // the zoo tag of the architecture ("vgg_mini:4,8", spatial size 16),
+      // so serve_daemon / srmac_session_open can rebuild this model from
+      // the file alone.
+      save_checkpoint(save_path, *net, args.scenario, "vgg_mini:4,8");
+      std::printf("saved checkpoint %s (scenario %s, model vgg_mini:4,8)\n",
+                  save_path.c_str(), args.scenario.c_str());
+    }
     return hist.back().test_acc;
   };
 
   const float acc_fp32 = run("fp32");
   const float acc_rn = run("rn:e5m2/e6m5:r=0:subON");
-  const float acc_sr = run("eager_sr:e5m2/e6m5:r=13:subOFF");
+  const float acc_sr = run("eager_sr:e5m2/e6m5:r=13:subOFF", ckpt_path);
 
   std::printf("\n== final test accuracy ==\n");
   std::printf("  FP32             : %5.2f%%\n", acc_fp32);

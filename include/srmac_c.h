@@ -1,0 +1,102 @@
+/* srmac_c.h — minimal C API over the SR-MAC emulation engine.
+ *
+ * The embedding surface for non-C++ hosts (Python ctypes/cffi, Rust FFI,
+ * plain C tools): create an inference session from the same two strings
+ * the rest of the stack speaks — an engine scenario ("fp32",
+ * "eager_sr:e5m2/e6m5:r=9:subON", ... — the MacConfig grammar) and a
+ * model-zoo spec ("mlp:64,3", "resnet20[:S]", "vgg_mini:C,B[,S]") — or
+ * straight from a checkpoint file, whose header pins both strings
+ * (docs/PERSISTENCE.md). Forward passes are bit-identical to the C++
+ * `model.forward(engine.context(), x, false)` path: the C boundary adds
+ * no arithmetic of its own.
+ *
+ * Conventions:
+ *   - Functions returning int: 0 success, -1 failure.
+ *   - Functions returning a count use the capacity protocol: the needed
+ *     count comes back unconditionally; the buffer is written only when
+ *     its capacity suffices. Probe with capacity 0, then call again.
+ *   - On any failure, srmac_last_error() (thread-local) has the message.
+ *   - A session is NOT thread-safe; share nothing or lock outside.
+ */
+#ifndef SRMAC_C_H
+#define SRMAC_C_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Opaque inference session: one model plus the engine scenario it runs
+ * under (weights, quantization config, telemetry sink). */
+typedef struct srmac_session srmac_session;
+
+/* Engine-side counters of the session (a prefix of the C++
+ * TelemetrySnapshot — the fields embedders chart). */
+typedef struct srmac_telemetry {
+  uint64_t gemms;          /* GEMM dispatches issued */
+  double macs;             /* multiply-accumulates executed */
+  double bytes_quantized;  /* bytes through the quantizers */
+  double seconds;          /* wall time inside the backend */
+} srmac_telemetry;
+
+/* Message of the most recent failure on the calling thread ("" when the
+ * last call succeeded). The pointer stays valid until the thread's next
+ * srmac_* call. */
+const char* srmac_last_error(void);
+
+/* Builds a session: `model_spec` names the architecture (model-zoo
+ * grammar), `scenario` the arithmetic. Weights are He-initialized
+ * deterministically (seed 0xBE7C) — the same init every other front end
+ * uses, so two processes building the same spec agree bitwise. NULL on
+ * failure. */
+srmac_session* srmac_session_create(const char* scenario,
+                                    const char* model_spec);
+
+/* Builds a session from a checkpoint: the architecture comes from the
+ * file's embedded model tag, the weights from its tensor records, and the
+ * arithmetic from its embedded scenario — pass a non-NULL `scenario` to
+ * override the pinned one. NULL on failure (missing/corrupt/truncated
+ * file, a checkpoint without a model tag, ...). */
+srmac_session* srmac_session_open(const char* checkpoint_path,
+                                  const char* scenario);
+
+/* Destroys a session (NULL is a no-op). */
+void srmac_session_destroy(srmac_session* s);
+
+/* The session's scenario string / model tag (valid while `s` lives). */
+const char* srmac_session_scenario(const srmac_session* s);
+const char* srmac_session_model(const srmac_session* s);
+
+/* Per-sample input shape, without the batch dimension (capacity
+ * protocol; e.g. {3,16,16} for "resnet20"). -1 on a NULL session. */
+int srmac_session_input_shape(const srmac_session* s, int* dims,
+                              int capacity);
+
+/* Number of floats one input sample takes. -1 on a NULL session. */
+long srmac_session_input_numel(const srmac_session* s);
+
+/* Runs one sample through the model (inference pass, batch 1).
+ * `input` holds exactly srmac_session_input_numel() floats. Returns the
+ * output element count (capacity protocol for `output`), -1 on failure. */
+long srmac_session_forward(srmac_session* s, const float* input,
+                           size_t input_numel, float* output,
+                           size_t output_capacity);
+
+/* Replaces the session's weights from a checkpoint (architecture must
+ * match: name, rank, shape per tensor — see docs/PERSISTENCE.md). */
+int srmac_session_load_checkpoint(srmac_session* s, const char* path);
+
+/* Writes the session's weights as a checkpoint, embedding the session's
+ * scenario and model tag so the file can rebuild itself anywhere. */
+int srmac_session_save_checkpoint(srmac_session* s, const char* path);
+
+/* Snapshot of the session engine's counters. */
+int srmac_session_telemetry(const srmac_session* s, srmac_telemetry* out);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* SRMAC_C_H */

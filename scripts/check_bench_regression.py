@@ -24,7 +24,10 @@ Floors file format:
          "baseline_req_per_s": 2400.0},
         {"bench": "serve", "path": "chaos3", "smoke": true,
          "require_resolved": true, "min_completed_fraction": 0.5},
-        {"bench": "serve", "smoke": false, "min_speedup": 1.05}
+        {"bench": "serve", "smoke": false, "min_speedup": 1.05},
+        {"bench": "serve", "transport": "wire", "path": "loadgen",
+         "smoke": true, "baseline_req_per_s": 400.0,
+         "require_resolved": true}
       ]
     }
 
@@ -41,7 +44,10 @@ completed/failed counters; a floor with "require_resolved" asserts
 completed + failed == requests (no request vanished or hung during the
 chaos run) and "min_completed_fraction" bounds how much of the load the
 degraded fleet may shed/fail (both no-tolerance checks — they are
-correctness floors, not throughput). Rows without a
+correctness floors, not throughput). Serve floors additionally select on
+"transport": "inproc" (the default, bench_serve's in-process rows) vs
+"wire" (loadgen's cross-process rows over the TCP protocol — a file-level
+key in the loadgen JSON). Rows without a
 matching floor pass silently (new paths get floors when their numbers are
 recorded); floors that match nothing in the given files are reported as
 skipped, not failed — each CI job only produces a subset. Stdlib only.
@@ -71,10 +77,16 @@ def check_file(path, data, floors, tolerance, report, report_speedup,
     matched = set()
 
     if bench == "serve":
+        # In-process bench_serve files carry no "transport" key; loadgen's
+        # cross-process rows say "wire". Rules default to "inproc" so the
+        # pre-existing floors never match a loadgen file by accident.
+        transport = str(data.get("transport", "inproc"))
         for i, rule in enumerate(floors):
             if rule.get("bench") != bench:
                 continue
             if bool(rule.get("smoke", False)) != smoke:
+                continue
+            if str(rule.get("transport", "inproc")) != transport:
                 continue
             if "min_speedup" in rule:
                 matched.add(i)

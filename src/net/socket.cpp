@@ -1,0 +1,172 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/crc32.hpp"
+
+namespace srmac {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw WireError(WireCode::kInternal,
+                  "socket: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw WireError(WireCode::kInternal, "socket: bad address " + host);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::listen_on(const std::string& host, uint16_t port,
+                         int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  Socket s(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    sys_fail("bind " + host + ":" + std::to_string(port));
+  if (::listen(fd, backlog) != 0) sys_fail("listen");
+  return s;
+}
+
+Socket Socket::connect_to(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  Socket s(fd);
+  sockaddr_in addr = make_addr(host, port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) sys_fail("connect " + host + ":" + std::to_string(port));
+  // The protocol is request/response with small frames; Nagle only adds
+  // latency here.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+std::optional<Socket> Socket::accept_one() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return std::nullopt;  // closed/shut down: the accept loop exits
+  }
+}
+
+uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    sys_fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+bool Socket::send_all(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+Socket::RecvStatus Socket::recv_all(void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kError;
+    }
+    if (r == 0)
+      return got == 0 ? RecvStatus::kEof : RecvStatus::kError;
+    got += static_cast<size_t>(r);
+  }
+  return RecvStatus::kOk;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool write_frame(Socket& s, FrameType t, const std::string& body) {
+  const std::string frame = encode_frame(t, body);
+  return s.send_all(frame.data(), frame.size());
+}
+
+std::optional<std::pair<FrameType, std::string>> read_frame(Socket& s) {
+  char header[9];
+  switch (s.recv_all(header, sizeof(header))) {
+    case Socket::RecvStatus::kEof:
+      return std::nullopt;  // clean close at a frame boundary
+    case Socket::RecvStatus::kError:
+      throw WireError(WireCode::kBadFrame,
+                      "wire: connection lost inside a frame header");
+    case Socket::RecvStatus::kOk:
+      break;
+  }
+  uint32_t body_len, crc;
+  uint8_t type;
+  std::memcpy(&body_len, header, 4);
+  std::memcpy(&type, header + 4, 1);
+  std::memcpy(&crc, header + 5, 4);
+  if (body_len > kMaxWireBody)
+    throw WireError(WireCode::kBadFrame, "wire: implausible frame length");
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kError))
+    throw WireError(WireCode::kBadFrame, "wire: unknown frame type");
+  std::string body(body_len, '\0');
+  if (body_len &&
+      s.recv_all(body.data(), body_len) != Socket::RecvStatus::kOk)
+    throw WireError(WireCode::kBadFrame,
+                    "wire: connection lost inside a frame body");
+  if (crc32(body.data(), body.size()) != crc)
+    throw WireError(WireCode::kBadFrame, "wire: frame CRC mismatch");
+  return std::make_pair(static_cast<FrameType>(type), std::move(body));
+}
+
+}  // namespace srmac

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "net/wire_protocol.hpp"
+
+namespace srmac {
+
+/// Thin RAII wrapper over a POSIX TCP socket — just enough for the wire
+/// front end: bind/listen (ephemeral ports supported: port 0 binds and
+/// local_port() reports the kernel's pick, which is how tests and CI avoid
+/// port collisions), connect, and exact-length send/recv that absorb
+/// EINTR/partial transfers. Writes use MSG_NOSIGNAL so a vanished peer is
+/// an error return, not a SIGPIPE.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Listening socket on host:port (SO_REUSEADDR; port 0 = ephemeral).
+  /// Throws WireError(kInternal) on failure.
+  static Socket listen_on(const std::string& host, uint16_t port,
+                          int backlog = 64);
+
+  /// Connected client socket; throws WireError(kInternal) on failure.
+  static Socket connect_to(const std::string& host, uint16_t port);
+
+  /// Blocks for one inbound connection; nullopt once the socket is closed
+  /// or shut down (how the accept loop is told to exit).
+  std::optional<Socket> accept_one();
+
+  /// The locally bound port (resolves an ephemeral bind).
+  uint16_t local_port() const;
+
+  /// Sends exactly n bytes; false on error or a vanished peer.
+  bool send_all(const void* data, size_t n);
+
+  enum class RecvStatus { kOk, kEof, kError };
+
+  /// Receives exactly n bytes. kEof only for a clean close before the
+  /// first byte — a connection dying mid-message is kError.
+  RecvStatus recv_all(void* data, size_t n);
+
+  /// Unblocks any thread sitting in accept/recv on this socket (used to
+  /// stop reader threads from outside).
+  void shutdown_both();
+
+  void close();
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sends one protocol frame; false on a transport error.
+bool write_frame(Socket& s, FrameType t, const std::string& body);
+
+/// Receives one protocol frame: nullopt on clean EOF at a frame boundary;
+/// WireError(kBadFrame) on an oversized length prefix, unknown frame type,
+/// CRC mismatch, or a connection dying mid-frame.
+std::optional<std::pair<FrameType, std::string>> read_frame(Socket& s);
+
+}  // namespace srmac

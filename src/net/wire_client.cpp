@@ -1,0 +1,77 @@
+#include "net/wire_client.hpp"
+
+namespace srmac {
+
+namespace {
+
+[[noreturn]] void rethrow_error_frame(const WireErrorFrame& err) {
+  ServeError serve;
+  if (wire_code_to_serve_error(err.code, &serve))
+    throw ServeException(serve, err.message);
+  throw WireError(err.code, err.message);
+}
+
+}  // namespace
+
+WireClient::WireClient(const std::string& host, uint16_t port,
+                       const std::string& scenario,
+                       const std::string& model)
+    : sock_(Socket::connect_to(host, port)) {
+  WireHello hello;
+  hello.scenario = scenario;
+  hello.model = model;
+  if (!write_frame(sock_, FrameType::kHello, encode_hello(hello)))
+    throw WireError(WireCode::kInternal, "wire: handshake send failed");
+  std::optional<std::pair<FrameType, std::string>> reply = read_frame(sock_);
+  if (!reply)
+    throw WireError(WireCode::kInternal,
+                    "wire: server closed during the handshake");
+  if (reply->first == FrameType::kError)
+    rethrow_error_frame(decode_error(reply->second));
+  if (reply->first != FrameType::kHelloOk)
+    throw WireError(WireCode::kBadFrame,
+                    "wire: expected HELLO_OK, got another frame type");
+  server_ = decode_hello(reply->second);
+}
+
+WireClient::~WireClient() { close(); }
+
+void WireClient::close() { sock_.close(); }
+
+uint64_t WireClient::send_infer(const Tensor& x, uint64_t deadline_us) {
+  WireInfer req;
+  req.tag = next_tag_++;
+  req.deadline_us = deadline_us;
+  req.input = x;
+  if (!write_frame(sock_, FrameType::kInfer, encode_infer(req)))
+    throw WireError(WireCode::kInternal, "wire: send failed");
+  return req.tag;
+}
+
+InferResult WireClient::recv_result() {
+  std::optional<std::pair<FrameType, std::string>> reply = read_frame(sock_);
+  if (!reply)
+    throw WireError(WireCode::kInternal,
+                    "wire: server closed before the response");
+  if (reply->first == FrameType::kError)
+    rethrow_error_frame(decode_error(reply->second));
+  if (reply->first != FrameType::kResult)
+    throw WireError(WireCode::kBadFrame,
+                    "wire: expected RESULT, got another frame type");
+  const WireResultFrame res = decode_result(reply->second);
+  InferResult r;
+  r.output = res.output;
+  r.batch_size = static_cast<int>(res.batch_size);
+  r.queue_us = res.queue_us;
+  r.total_us = res.total_us;
+  r.trace_id = res.trace_id;
+  r.replica = static_cast<int>(res.replica);
+  return r;
+}
+
+InferResult WireClient::infer(const Tensor& x, uint64_t deadline_us) {
+  send_infer(x, deadline_us);
+  return recv_result();
+}
+
+}  // namespace srmac

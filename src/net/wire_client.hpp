@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+#include "net/wire_protocol.hpp"
+#include "serve/serve_types.hpp"
+
+namespace srmac {
+
+/// Client side of the wire protocol: one connection, blocking calls — the
+/// shape loadgen's closed-loop workers and the examples want. Not
+/// thread-safe; open one WireClient per client thread (responses are
+/// FIFO-ordered per connection anyway, so sharing one connection would
+/// serialize callers).
+///
+/// Exception mapping mirrors in-process serving: an ERROR frame whose code
+/// is a ServeError rethrows as ServeException (so `catch (const
+/// ServeException&)` written against EmuServer works unchanged against the
+/// wire), every transport/protocol failure is a WireError.
+class WireClient {
+ public:
+  /// Connects and performs the HELLO handshake. Non-empty
+  /// `scenario`/`model` pin what the server must be running (refused
+  /// handshakes throw WireError(kHandshake)).
+  WireClient(const std::string& host, uint16_t port,
+             const std::string& scenario = "", const std::string& model = "");
+  ~WireClient();
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// The server's HELLO_OK identity (scenario/model/input shape).
+  const WireHello& server_info() const { return server_; }
+
+  /// One blocking round trip: sends INFER, waits for its RESULT.
+  /// `deadline_us` is a relative budget (0 = server default).
+  InferResult infer(const Tensor& x, uint64_t deadline_us = 0);
+
+  /// Pipelined use: queue INFER frames without waiting, then collect each
+  /// response with recv_result() — responses come back in send order.
+  /// Returns the request's correlation tag.
+  uint64_t send_infer(const Tensor& x, uint64_t deadline_us = 0);
+  InferResult recv_result();
+
+  void close();
+
+ private:
+  Socket sock_;
+  WireHello server_;
+  uint64_t next_tag_ = 1;
+};
+
+}  // namespace srmac

@@ -1,0 +1,270 @@
+#include "net/wire_protocol.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "util/crc32.hpp"
+
+namespace srmac {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw WireError(WireCode::kBadFrame, "wire: " + what);
+}
+
+void put_u8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+void put_shape_and_payload(std::string& out, const Tensor& t) {
+  if (t.ndim() < 1 || t.ndim() > kMaxWireNdim)
+    throw WireError(WireCode::kInternal, "wire: unencodable tensor rank");
+  put_u8(out, static_cast<uint8_t>(t.ndim()));
+  for (int d = 0; d < t.ndim(); ++d)
+    put_u32(out, static_cast<uint32_t>(t.dim(d)));
+  out.append(reinterpret_cast<const char*>(t.data()),
+             static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+/// Bounds-checked cursor over a frame body; every short read is kBadFrame
+/// (the frame length already matched the prefix, so a short body means the
+/// peer and this codec disagree about the layout).
+struct BodyReader {
+  const char* p;
+  size_t left;
+
+  explicit BodyReader(const std::string& body)
+      : p(body.data()), left(body.size()) {}
+
+  void take(void* dst, size_t n, const char* what) {
+    if (n > left) bad(std::string("body ends inside ") + what);
+    std::memcpy(dst, p, n);
+    p += n;
+    left -= n;
+  }
+
+  uint8_t u8(const char* what) {
+    uint8_t v;
+    take(&v, 1, what);
+    return v;
+  }
+
+  uint32_t u32(const char* what) {
+    uint32_t v;
+    take(&v, 4, what);
+    return v;
+  }
+
+  uint64_t u64(const char* what) {
+    uint64_t v;
+    take(&v, 8, what);
+    return v;
+  }
+
+  std::string str(const char* what) {
+    const uint32_t len = u32(what);
+    if (len > left) bad(std::string("body ends inside ") + what);
+    std::string s(p, len);
+    p += len;
+    left -= len;
+    return s;
+  }
+
+  std::vector<int> shape(const char* what) {
+    const uint8_t ndim = u8(what);
+    if (ndim < 1 || ndim > kMaxWireNdim)
+      bad(std::string("implausible rank in ") + what);
+    std::vector<int> dims;
+    uint64_t numel = 1;
+    for (uint8_t d = 0; d < ndim; ++d) {
+      const uint32_t dim = u32(what);
+      if (dim == 0 ||
+          dim > static_cast<uint32_t>(std::numeric_limits<int>::max()))
+        bad(std::string("implausible dimension in ") + what);
+      numel *= dim;
+      // The payload must fit the remaining body, so the shape cannot claim
+      // more elements than the frame physically carries.
+      if (numel * sizeof(float) > left) bad(std::string("shape larger than ") +
+                                            what + " payload");
+      dims.push_back(static_cast<int>(dim));
+    }
+    return dims;
+  }
+
+  Tensor payload(const std::vector<int>& dims, const char* what) {
+    Tensor t(dims);
+    take(t.data(), static_cast<size_t>(t.numel()) * sizeof(float), what);
+    return t;
+  }
+
+  void done(const char* what) {
+    if (left) bad(std::string("trailing bytes after ") + what);
+  }
+};
+
+}  // namespace
+
+const char* wire_code_name(WireCode c) {
+  switch (c) {
+    case WireCode::kStopped: return "stopped";
+    case WireCode::kOverloaded: return "overloaded";
+    case WireCode::kDeadline: return "deadline";
+    case WireCode::kFault: return "fault";
+    case WireCode::kBadFrame: return "bad_frame";
+    case WireCode::kHandshake: return "handshake";
+    case WireCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+WireCode wire_code_from(ServeError e) {
+  switch (e) {
+    case ServeError::kStopped: return WireCode::kStopped;
+    case ServeError::kOverloaded: return WireCode::kOverloaded;
+    case ServeError::kDeadline: return WireCode::kDeadline;
+    case ServeError::kFault: return WireCode::kFault;
+  }
+  return WireCode::kInternal;
+}
+
+bool wire_code_to_serve_error(WireCode c, ServeError* out) {
+  switch (c) {
+    case WireCode::kStopped:
+      if (out) *out = ServeError::kStopped;
+      return true;
+    case WireCode::kOverloaded:
+      if (out) *out = ServeError::kOverloaded;
+      return true;
+    case WireCode::kDeadline:
+      if (out) *out = ServeError::kDeadline;
+      return true;
+    case WireCode::kFault:
+      if (out) *out = ServeError::kFault;
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string encode_hello(const WireHello& h) {
+  std::string body;
+  put_u32(body, h.version);
+  put_string(body, h.scenario);
+  put_string(body, h.model);
+  put_u8(body, static_cast<uint8_t>(h.input_shape.size()));
+  for (int d : h.input_shape) put_u32(body, static_cast<uint32_t>(d));
+  return body;
+}
+
+WireHello decode_hello(const std::string& body) {
+  BodyReader r(body);
+  WireHello h;
+  h.version = r.u32("hello version");
+  h.scenario = r.str("hello scenario");
+  h.model = r.str("hello model tag");
+  const uint8_t ndim = r.u8("hello input shape");
+  if (ndim > kMaxWireNdim) bad("implausible rank in hello input shape");
+  for (uint8_t d = 0; d < ndim; ++d) {
+    const uint32_t dim = r.u32("hello input shape");
+    if (dim == 0 ||
+        dim > static_cast<uint32_t>(std::numeric_limits<int>::max()))
+      bad("implausible dimension in hello input shape");
+    h.input_shape.push_back(static_cast<int>(dim));
+  }
+  r.done("hello");
+  return h;
+}
+
+std::string encode_infer(const WireInfer& f) {
+  std::string body;
+  put_u64(body, f.tag);
+  put_u64(body, f.deadline_us);
+  put_shape_and_payload(body, f.input);
+  return body;
+}
+
+WireInfer decode_infer(const std::string& body) {
+  BodyReader r(body);
+  WireInfer f;
+  f.tag = r.u64("infer tag");
+  f.deadline_us = r.u64("infer deadline");
+  const std::vector<int> dims = r.shape("infer tensor");
+  f.input = r.payload(dims, "infer tensor");
+  r.done("infer");
+  return f;
+}
+
+std::string encode_result(const WireResultFrame& f) {
+  std::string body;
+  put_u64(body, f.tag);
+  put_u64(body, f.trace_id);
+  put_u32(body, f.batch_size);
+  put_u64(body, f.queue_us);
+  put_u64(body, f.total_us);
+  put_u32(body, f.replica);
+  put_shape_and_payload(body, f.output);
+  return body;
+}
+
+WireResultFrame decode_result(const std::string& body) {
+  BodyReader r(body);
+  WireResultFrame f;
+  f.tag = r.u64("result tag");
+  f.trace_id = r.u64("result trace id");
+  f.batch_size = r.u32("result batch size");
+  f.queue_us = r.u64("result queue time");
+  f.total_us = r.u64("result total time");
+  f.replica = r.u32("result replica");
+  const std::vector<int> dims = r.shape("result tensor");
+  f.output = r.payload(dims, "result tensor");
+  r.done("result");
+  return f;
+}
+
+std::string encode_error(const WireErrorFrame& f) {
+  std::string body;
+  put_u64(body, f.tag);
+  put_u8(body, static_cast<uint8_t>(f.code));
+  put_string(body, f.message);
+  return body;
+}
+
+WireErrorFrame decode_error(const std::string& body) {
+  BodyReader r(body);
+  WireErrorFrame f;
+  f.tag = r.u64("error tag");
+  f.code = static_cast<WireCode>(r.u8("error code"));
+  f.message = r.str("error message");
+  r.done("error");
+  return f;
+}
+
+std::string encode_frame(FrameType t, const std::string& body) {
+  std::string frame;
+  frame.reserve(body.size() + 9);
+  put_u32(frame, static_cast<uint32_t>(body.size()));
+  put_u8(frame, static_cast<uint8_t>(t));
+  put_u32(frame, crc32(body.data(), body.size()));
+  frame.append(body);
+  return frame;
+}
+
+}  // namespace srmac

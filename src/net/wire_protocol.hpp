@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/serve_types.hpp"
+#include "tensor/tensor.hpp"
+
+namespace srmac {
+
+/// The serving wire protocol (docs/PERSISTENCE.md "Wire protocol"): a
+/// length-prefixed binary framing over a byte stream (TCP on localhost in
+/// the loadgen/daemon pair; anything stream-shaped works), putting a
+/// process boundary in front of EmuServer/ClusterController without
+/// weakening either serving contract — responses stay bitwise identical to
+/// the offline forward, and failures stay typed (the ServeError taxonomy
+/// crosses the wire intact).
+///
+/// Frame layout (all integers little-endian):
+///
+///   u32  body length
+///   u8   frame type (FrameType)
+///   u32  CRC32 of the body
+///   ...  body
+///
+/// Conversation: the client opens with HELLO (protocol version + the
+/// scenario/model tags it expects; empty tags skip the check), the server
+/// answers HELLO_OK (its version, tags, and per-sample input shape) or
+/// ERROR and closes. After the handshake the client sends INFER frames; the
+/// server answers each with RESULT or ERROR, in request order per
+/// connection. A malformed frame (oversized, bad CRC, unknown type,
+/// short body) draws an ERROR(bad_frame) and the connection closes —
+/// framing errors are not recoverable mid-stream.
+
+inline constexpr uint32_t kWireVersion = 1;
+
+/// Upper bound a peer's length prefix is checked against before any
+/// allocation — the wire is a trust boundary, exactly like checkpoint
+/// length fields.
+inline constexpr uint32_t kMaxWireBody = 64u << 20;
+inline constexpr int kMaxWireNdim = 8;
+
+enum class FrameType : uint8_t {
+  kHello = 1,    ///< client -> server: version + expected scenario/model
+  kHelloOk = 2,  ///< server -> client: version + tags + input shape
+  kInfer = 3,    ///< client -> server: tag, deadline budget, sample tensor
+  kResult = 4,   ///< server -> client: tag + InferResult fields + output
+  kError = 5,    ///< server -> client: tag + typed code + message
+};
+
+/// The on-wire error code space: ServeError crosses unchanged in 0..99;
+/// 100+ are wire-layer failures that have no in-process counterpart.
+enum class WireCode : uint8_t {
+  kStopped = 0,     ///< ServeError::kStopped
+  kOverloaded = 1,  ///< ServeError::kOverloaded
+  kDeadline = 2,    ///< ServeError::kDeadline
+  kFault = 3,       ///< ServeError::kFault
+  kBadFrame = 100,  ///< malformed/oversized/CRC-failed frame or payload
+  kHandshake = 101, ///< HELLO rejected (version/scenario/model mismatch)
+  kInternal = 102,  ///< unexpected server-side failure
+};
+
+const char* wire_code_name(WireCode c);
+WireCode wire_code_from(ServeError e);
+
+/// true when `c` is a ServeError in disguise; *out (when non-null) gets it.
+bool wire_code_to_serve_error(WireCode c, ServeError* out);
+
+/// Thrown by codecs and the client for transport/protocol-layer failures.
+/// Serving failures (a RESULT that is an ERROR frame with a ServeError
+/// code) are re-thrown as ServeException instead, so wire callers handle
+/// the same exception type as in-process callers.
+class WireError : public std::runtime_error {
+ public:
+  WireError(WireCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  WireCode code() const { return code_; }
+
+ private:
+  WireCode code_;
+};
+
+// ---------------------------------------------------------------------------
+// Frame bodies
+// ---------------------------------------------------------------------------
+
+/// HELLO and HELLO_OK share a body: version, scenario tag, model tag, and
+/// the per-sample input shape (empty from clients; the server's
+/// ServeConfig::input_shape in HELLO_OK, empty = unconstrained).
+struct WireHello {
+  uint32_t version = kWireVersion;
+  std::string scenario;
+  std::string model;
+  std::vector<int> input_shape;
+};
+
+struct WireInfer {
+  uint64_t tag = 0;          ///< client correlation id, echoed in the reply
+  uint64_t deadline_us = 0;  ///< relative budget (0 = server default)
+  Tensor input;
+};
+
+struct WireResultFrame {
+  uint64_t tag = 0;
+  uint64_t trace_id = 0;
+  uint32_t batch_size = 0;
+  uint64_t queue_us = 0;
+  uint64_t total_us = 0;
+  uint32_t replica = 0;
+  Tensor output;
+};
+
+struct WireErrorFrame {
+  uint64_t tag = 0;  ///< request the error answers; 0 = the connection
+  WireCode code = WireCode::kInternal;
+  std::string message;
+};
+
+/// Body codecs. Every decode_* validates exhaustively and throws
+/// WireError(kBadFrame) on malformed input — lying length/shape fields
+/// never drive allocations (bounded by kMaxWireBody / kMaxWireNdim first).
+std::string encode_hello(const WireHello& h);
+WireHello decode_hello(const std::string& body);
+std::string encode_infer(const WireInfer& f);
+WireInfer decode_infer(const std::string& body);
+std::string encode_result(const WireResultFrame& f);
+WireResultFrame decode_result(const std::string& body);
+std::string encode_error(const WireErrorFrame& f);
+WireErrorFrame decode_error(const std::string& body);
+
+/// Wraps a body in the length/type/CRC frame header.
+std::string encode_frame(FrameType t, const std::string& body);
+
+}  // namespace srmac

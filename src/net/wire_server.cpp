@@ -1,0 +1,261 @@
+#include "net/wire_server.hpp"
+
+#include <utility>
+
+#include "serve/clock.hpp"
+#include "serve/cluster_controller.hpp"
+#include "serve/emu_server.hpp"
+
+namespace srmac {
+
+WireServer::WireServer(SubmitFn submit, const WireServerConfig& cfg)
+    : submit_(std::move(submit)),
+      cfg_(cfg),
+      listener_(Socket::listen_on(cfg.host, cfg.port)) {
+  port_ = listener_.local_port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+WireServer::~WireServer() { stop(); }
+
+void WireServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_m_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  listener_.shutdown_both();
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(conns_m_);
+  for (auto& c : conns_) {
+    // Unblock the reader; the writer drains its queue (in-flight futures
+    // still resolve — the back end's no-hang contract) and exits.
+    c->sock.shutdown_both();
+    if (c->reader.joinable()) c->reader.join();
+    if (c->writer.joinable()) c->writer.join();
+  }
+  conns_.clear();
+}
+
+void WireServer::accept_loop() {
+  for (;;) {
+    std::optional<Socket> sock = listener_.accept_one();
+    if (!sock) return;  // listener closed: stop()
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_m_);
+    reap_finished_locked();
+    conns_.push_back(std::make_unique<Conn>());
+    Conn* c = conns_.back().get();
+    c->sock = std::move(*sock);
+    c->reader = std::thread([this, c] { reader_loop(c); });
+    c->writer = std::thread([this, c] { writer_loop(c); });
+  }
+}
+
+void WireServer::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      if ((*it)->writer.joinable()) (*it)->writer.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WireServer::enqueue_frame(Conn* c, FrameType t,
+                               const std::string& body) {
+  Outgoing out;
+  out.frame = encode_frame(t, body);
+  {
+    std::lock_guard<std::mutex> lock(c->m);
+    c->outq.push_back(std::move(out));
+  }
+  c->cv.notify_one();
+}
+
+void WireServer::enqueue_error(Conn* c, uint64_t tag, WireCode code,
+                               const std::string& message) {
+  WireErrorFrame err;
+  err.tag = tag;
+  err.code = code;
+  err.message = message;
+  enqueue_frame(c, FrameType::kError, encode_error(err));
+}
+
+bool WireServer::handshake(Conn* c) {
+  std::optional<std::pair<FrameType, std::string>> frame =
+      read_frame(c->sock);
+  if (!frame) return false;  // connected and left without a word
+  if (frame->first != FrameType::kHello) {
+    enqueue_error(c, 0, WireCode::kHandshake,
+                  "expected HELLO as the first frame");
+    return false;
+  }
+  const WireHello hello = decode_hello(frame->second);
+  if (hello.version != kWireVersion) {
+    enqueue_error(c, 0, WireCode::kHandshake,
+                  "protocol version " + std::to_string(hello.version) +
+                      " unsupported (server speaks " +
+                      std::to_string(kWireVersion) + ")");
+    return false;
+  }
+  // Empty client tags mean "whatever you serve"; non-empty tags must match
+  // — a client built for one quantization scenario must not silently get
+  // answers from another.
+  if (!hello.scenario.empty() && hello.scenario != cfg_.scenario) {
+    enqueue_error(c, 0, WireCode::kHandshake,
+                  "scenario mismatch: client wants \"" + hello.scenario +
+                      "\", server runs \"" + cfg_.scenario + "\"");
+    return false;
+  }
+  if (!hello.model.empty() && hello.model != cfg_.model) {
+    enqueue_error(c, 0, WireCode::kHandshake,
+                  "model mismatch: client wants \"" + hello.model +
+                      "\", server runs \"" + cfg_.model + "\"");
+    return false;
+  }
+  WireHello ok;
+  ok.version = kWireVersion;
+  ok.scenario = cfg_.scenario;
+  ok.model = cfg_.model;
+  ok.input_shape = cfg_.input_shape;
+  enqueue_frame(c, FrameType::kHelloOk, encode_hello(ok));
+  return true;
+}
+
+void WireServer::reader_loop(Conn* c) {
+  try {
+    if (handshake(c)) {
+      for (;;) {
+        std::optional<std::pair<FrameType, std::string>> frame =
+            read_frame(c->sock);
+        if (!frame) break;  // clean close
+        if (frame->first != FrameType::kInfer) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          enqueue_error(c, 0, WireCode::kBadFrame,
+                        "only INFER frames follow the handshake");
+          break;
+        }
+        WireInfer req = decode_infer(frame->second);
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        Outgoing out;
+        out.is_future = true;
+        out.tag = req.tag;
+        try {
+          // May block on back-end admission — that block, through the TCP
+          // window, is the protocol's backpressure edge.
+          out.fut = submit_(std::move(req.input), req.deadline_us, req.tag);
+        } catch (const ServeException& e) {
+          enqueue_error(c, req.tag, wire_code_from(e.code()), e.what());
+          continue;
+        } catch (const std::invalid_argument& e) {
+          enqueue_error(c, req.tag, WireCode::kBadFrame, e.what());
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lock(c->m);
+          c->outq.push_back(std::move(out));
+        }
+        c->cv.notify_one();
+      }
+    }
+  } catch (const WireError& e) {
+    // Malformed framing: answer typed, then drop the connection — there is
+    // no resynchronizing a corrupted length-prefixed stream.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_error(c, 0, e.code(), e.what());
+  }
+  {
+    std::lock_guard<std::mutex> lock(c->m);
+    c->reader_done = true;
+  }
+  c->cv.notify_one();
+}
+
+void WireServer::writer_loop(Conn* c) {
+  for (;;) {
+    Outgoing out;
+    {
+      std::unique_lock<std::mutex> lock(c->m);
+      c->cv.wait(lock, [c] { return !c->outq.empty() || c->reader_done; });
+      if (c->outq.empty()) break;  // reader done and queue drained
+      out = std::move(c->outq.front());
+      c->outq.pop_front();
+    }
+    if (!out.is_future) {
+      if (!c->sock.send_all(out.frame.data(), out.frame.size())) break;
+      continue;
+    }
+    std::string body;
+    FrameType type;
+    try {
+      const InferResult r = out.fut.get();
+      WireResultFrame res;
+      res.tag = out.tag;
+      res.trace_id = r.trace_id;
+      res.batch_size = static_cast<uint32_t>(r.batch_size);
+      res.queue_us = r.queue_us;
+      res.total_us = r.total_us;
+      res.replica = static_cast<uint32_t>(r.replica);
+      res.output = r.output;
+      type = FrameType::kResult;
+      body = encode_result(res);
+    } catch (const ServeException& e) {
+      WireErrorFrame err;
+      err.tag = out.tag;
+      err.code = wire_code_from(e.code());
+      err.message = e.what();
+      type = FrameType::kError;
+      body = encode_error(err);
+    } catch (const std::exception& e) {
+      WireErrorFrame err;
+      err.tag = out.tag;
+      err.code = WireCode::kInternal;
+      err.message = e.what();
+      type = FrameType::kError;
+      body = encode_error(err);
+    }
+    if (!write_frame(c->sock, type, body)) break;
+  }
+  // Drain any stragglers the reader enqueued after a send failure: their
+  // futures must still be consumed so promises never outlive observers.
+  for (;;) {
+    Outgoing out;
+    {
+      std::unique_lock<std::mutex> lock(c->m);
+      c->cv.wait(lock, [c] { return !c->outq.empty() || c->reader_done; });
+      if (c->outq.empty()) break;
+      out = std::move(c->outq.front());
+      c->outq.pop_front();
+    }
+    if (out.is_future) {
+      try {
+        out.fut.get();
+      } catch (...) {
+      }
+    }
+  }
+  c->sock.shutdown_both();
+  c->finished.store(true, std::memory_order_release);
+}
+
+WireServer::SubmitFn wire_submit(EmuServer& server) {
+  return [&server](Tensor x, uint64_t deadline_us, uint64_t tag) {
+    SubmitMeta meta;
+    meta.trace_id = tag;
+    if (deadline_us)
+      meta.deadline_us = ServeClock::steady().now_us() + deadline_us;
+    return server.submit(std::move(x), meta);
+  };
+}
+
+WireServer::SubmitFn wire_submit(ClusterController& cluster) {
+  return [&cluster](Tensor x, uint64_t, uint64_t) {
+    return cluster.submit(std::move(x));
+  };
+}
+
+}  // namespace srmac

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire_protocol.hpp"
+#include "serve/serve_types.hpp"
+
+namespace srmac {
+
+class EmuServer;
+class ClusterController;
+
+struct WireServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0: ephemeral — read the pick back via port()
+
+  /// Identity advertised in HELLO_OK and checked against the client's
+  /// HELLO: a client that names a different scenario or model tag is
+  /// refused with ERROR(handshake) — the same config-pinning idea as the
+  /// checkpoint header, at the connection edge.
+  std::string scenario;
+  std::string model;
+
+  /// Per-sample input shape advertised in HELLO_OK (empty = unconstrained);
+  /// purely informative — the session's own admission validation remains
+  /// the enforcement point.
+  std::vector<int> input_shape;
+};
+
+/// The wire front end: accepts connections speaking the length-prefixed
+/// protocol (net/wire_protocol.hpp) and feeds decoded INFER frames into a
+/// serving back end through a plain submit function — EmuServer and
+/// ClusterController both fit behind it (see wire_submit below), so the
+/// process boundary composes with everything the serving stack already
+/// does (micro-batching, fleets, breakers, chaos).
+///
+/// Per connection: a reader thread decodes frames and submits, a writer
+/// thread resolves the returned futures in FIFO order and writes RESULT /
+/// ERROR frames — so responses arrive in request order per connection
+/// (head-of-line: one slow request delays later responses on the same
+/// connection; open more connections for independent streams, as loadgen
+/// does). Backpressure composes end to end: when the back end's admission
+/// queue fills, the reader thread blocks in submit, the kernel's TCP
+/// window fills, and the client's send blocks — overload surfaces at the
+/// client without any unbounded buffering in between.
+///
+/// Failure semantics stay typed across the boundary: a ServeException
+/// resolves to an ERROR frame carrying the same ServeError code, a
+/// malformed frame draws ERROR(bad_frame) and closes the connection, and a
+/// HELLO naming the wrong protocol version/scenario/model draws
+/// ERROR(handshake).
+class WireServer {
+ public:
+  /// Back-end hook: sample (batch dimension 1 or a bare sample — the back
+  /// end normalizes), the client's relative deadline budget in µs (0 =
+  /// back-end default), and the client's correlation tag. May throw
+  /// ServeException / std::invalid_argument synchronously; otherwise the
+  /// future must resolve (the serving stack's no-hang contract).
+  using SubmitFn = std::function<std::future<InferResult>(
+      Tensor x, uint64_t deadline_us, uint64_t tag)>;
+
+  /// Binds and starts the accept thread; throws WireError(kInternal) when
+  /// the bind fails. `submit` outlives the server.
+  WireServer(SubmitFn submit, const WireServerConfig& cfg = {});
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+  ~WireServer();  // stop()s
+
+  /// The bound port (the kernel's pick under cfg.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Closes the listener, unblocks every connection, joins all threads.
+  /// In-flight requests still resolve (their futures are drained before
+  /// the writer exits). Idempotent. Stop the WireServer before stopping
+  /// the back end it submits into.
+  void stop();
+
+  uint64_t connections_accepted() const { return connections_.load(); }
+  uint64_t requests_received() const { return requests_.load(); }
+  uint64_t protocol_errors() const { return protocol_errors_.load(); }
+
+ private:
+  struct Outgoing {
+    std::string frame;  ///< pre-encoded (HELLO_OK / ERROR) when not a future
+    bool is_future = false;
+    uint64_t tag = 0;
+    std::future<InferResult> fut;
+  };
+
+  struct Conn {
+    Socket sock;
+    std::thread reader, writer;
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Outgoing> outq;       ///< guarded by m
+    bool reader_done = false;        ///< guarded by m
+    std::atomic<bool> finished{false};
+  };
+
+  void accept_loop();
+  void reader_loop(Conn* c);
+  void writer_loop(Conn* c);
+  void enqueue_frame(Conn* c, FrameType t, const std::string& body);
+  void enqueue_error(Conn* c, uint64_t tag, WireCode code,
+                     const std::string& message);
+  bool handshake(Conn* c);
+  void reap_finished_locked();
+
+  SubmitFn submit_;
+  const WireServerConfig cfg_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conns_m_;
+  std::vector<std::unique_ptr<Conn>> conns_;  ///< guarded by conns_m_
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::mutex stop_m_;
+  bool stopped_ = false;  ///< guarded by stop_m_
+};
+
+/// Back-end adapters.
+///
+/// The EmuServer adapter converts the wire's relative deadline budget to
+/// an absolute deadline on the steady clock (the session default — a
+/// session running on an injected test clock needs its own SubmitFn) and
+/// threads the client tag through as the trace id.
+WireServer::SubmitFn wire_submit(EmuServer& server);
+
+/// The ClusterController adapter: the cluster stamps its own trace ids and
+/// its configured deadline (ClusterConfig::deadline_us), so the wire
+/// request's budget and tag only ride along in the reply framing.
+WireServer::SubmitFn wire_submit(ClusterController& cluster);
+
+}  // namespace srmac

@@ -1,0 +1,129 @@
+#include "nn/model_zoo.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/init.hpp"
+#include "nn/mlp.hpp"
+#include "nn/resnet.hpp"
+#include "nn/vgg.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+
+namespace {
+
+/// Parses a strictly positive decimal int in [lo, hi] from `s`, advancing
+/// past the digits. Rejects empty runs and (via the hi bound) oversized
+/// values before they can grow a multiplication.
+bool parse_bounded_int(const char*& s, int lo, int hi, int* out) {
+  if (*s < '0' || *s > '9') return false;
+  long v = 0;
+  while (*s >= '0' && *s <= '9') {
+    v = v * 10 + (*s - '0');
+    if (v > hi) return false;
+    ++s;
+  }
+  if (v < lo) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+bool parse_into(const std::string& spec, ModelSpec* m, std::string* error) {
+  m->name = spec;
+  const char* s = spec.c_str();
+  if (spec.rfind("mlp:", 0) == 0) {
+    m->kind = ModelSpec::Kind::kMlp;
+    s += 4;
+    if (!parse_bounded_int(s, 1, 4096, &m->width) || *s++ != ',' ||
+        !parse_bounded_int(s, 1, 64, &m->depth) || *s != '\0')
+      return fail(error, "mlp spec wants \"mlp:W,D\" with W in 1..4096 and D "
+                         "in 1..64");
+    return true;
+  }
+  if (spec.rfind("resnet20", 0) == 0) {
+    m->kind = ModelSpec::Kind::kResnet20;
+    s += 8;
+    if (*s == '\0') return true;  // bare "resnet20": the 16x16 bench shape
+    if (*s++ != ':' || !parse_bounded_int(s, 8, 128, &m->input_size) ||
+        *s != '\0')
+      return fail(error,
+                  "resnet20 spec wants \"resnet20[:S]\" with S in 8..128");
+    return true;
+  }
+  if (spec.rfind("vgg_mini:", 0) == 0) {
+    m->kind = ModelSpec::Kind::kVggMini;
+    s += 9;
+    if (!parse_bounded_int(s, 2, 1000, &m->classes) || *s++ != ',' ||
+        !parse_bounded_int(s, 1, 256, &m->base))
+      return fail(error, "vgg_mini spec wants \"vgg_mini:C,B[,S]\" with C in "
+                         "2..1000, B in 1..256, S in 8..128");
+    if (*s == '\0') return true;
+    if (*s++ != ',' || !parse_bounded_int(s, 8, 128, &m->input_size) ||
+        *s != '\0')
+      return fail(error, "vgg_mini spec wants \"vgg_mini:C,B[,S]\" with S in "
+                         "8..128");
+    return true;
+  }
+  return fail(error, "unknown model \"" + spec +
+                         "\" (mlp:W,D | resnet20[:S] | vgg_mini:C,B[,S])");
+}
+
+}  // namespace
+
+std::optional<ModelSpec> ModelSpec::parse(const std::string& spec,
+                                          std::string* error) {
+  ModelSpec m;
+  if (!parse_into(spec, &m, error)) return std::nullopt;
+  return m;
+}
+
+ModelSpec ModelSpec::parse_or_die(const std::string& spec) {
+  std::string error;
+  std::optional<ModelSpec> m = parse(spec, &error);
+  if (!m) {
+    std::fprintf(stderr, "error: bad model spec \"%s\": %s\n", spec.c_str(),
+                 error.c_str());
+    std::exit(2);
+  }
+  return *m;
+}
+
+std::unique_ptr<Sequential> ModelSpec::build(uint64_t init_seed) const {
+  std::unique_ptr<Sequential> net;
+  switch (kind) {
+    case Kind::kMlp:
+      net = make_mlp(width, std::vector<int>(depth, width), 10);
+      break;
+    case Kind::kResnet20:
+      net = make_resnet20(10, 0.25f);
+      break;
+    case Kind::kVggMini:
+      net = make_vgg_mini(classes, base);
+      break;
+  }
+  he_init(*net, init_seed);
+  return net;
+}
+
+std::vector<int> ModelSpec::input_shape() const {
+  if (kind == Kind::kMlp) return {width};
+  return {3, input_size, input_size};
+}
+
+Tensor ModelSpec::sample(int i) const {
+  std::vector<int> shape = input_shape();
+  shape.insert(shape.begin(), 1);
+  Tensor x(shape);
+  Xoshiro256 rng(500 + static_cast<uint64_t>(i));
+  for (int64_t j = 0; j < x.numel(); ++j)
+    x[j] = static_cast<float>(rng.normal());
+  return x;
+}
+
+}  // namespace srmac

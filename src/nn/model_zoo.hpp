@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace srmac {
+
+/// One string names a model everywhere: the serving benches, the serve
+/// daemon, loadgen, the C API, and checkpoint headers all build (and
+/// rebuild) architectures from the same spec grammar, so a model tag
+/// embedded in a checkpoint is enough to reconstruct the graph it was
+/// saved from (docs/PERSISTENCE.md).
+///
+/// Grammar:
+///   "mlp:W,D"           W-wide MLP with D hidden layers, input (W,)
+///   "resnet20[:S]"      width-0.25 CIFAR ResNet-20, input (3,S,S); S
+///                       defaults to 16 (the bench shape; the serving
+///                       example uses :32)
+///   "vgg_mini:C,B[,S]"  shallow VGG with C classes and base width B,
+///                       input (3,S,S), S defaults to 16
+///
+/// `build(seed)` He-initializes deterministically, so two processes that
+/// build the same spec with the same seed hold bitwise-identical weights —
+/// the anchor under every cross-process bitwise check. `sample(i)` derives
+/// the i-th deterministic pseudo-random input the same way in every binary,
+/// so a wire client can verify served outputs against its own offline
+/// forward of "the same" sample.
+struct ModelSpec {
+  enum class Kind { kMlp, kResnet20, kVggMini };
+
+  std::string name = "mlp:64,3";  ///< canonical tag (what parse consumed)
+  Kind kind = Kind::kMlp;
+  int width = 64, depth = 3;  ///< mlp
+  int classes = 10, base = 8;  ///< vgg_mini
+  int input_size = 16;         ///< conv-model spatial size
+
+  /// Parses the grammar above; nullopt (with a message in *error when
+  /// non-null) on malformed specs or out-of-range sizes. Model tags arrive
+  /// from checkpoints and wire handshakes, so this is a trust boundary:
+  /// every field is range-checked.
+  static std::optional<ModelSpec> parse(const std::string& spec,
+                                        std::string* error = nullptr);
+
+  /// parse() that prints the error plus the grammar and exits — CLI use.
+  static ModelSpec parse_or_die(const std::string& spec);
+
+  /// Builds + He-initializes the architecture (deterministic in `seed`).
+  std::unique_ptr<Sequential> build(uint64_t init_seed = 0xBE7C) const;
+
+  /// Per-sample input shape, without the batch dimension.
+  std::vector<int> input_shape() const;
+
+  /// The i-th deterministic pseudo-random sample, batch dimension 1.
+  Tensor sample(int i) const;
+};
+
+}  // namespace srmac

@@ -53,9 +53,19 @@ class BoundedQueue {
   /// primitive under per-request deadlines at the submission edge.
   QueuePushResult push_for(T& v, uint64_t timeout_us) {
     std::unique_lock<std::mutex> lk(m_);
-    if (!space_cv_.wait_for(lk, std::chrono::microseconds(timeout_us),
-                            [&] { return closed_ || q_.size() < capacity_; }))
+    if (timeout_us == 0) {
+      // An exhausted budget answers immediately — no wait_for call, whose
+      // zero-duration path still costs a timed sleep on some libstdc++
+      // builds. Callers admitting with an already-expired deadline (the
+      // serving stack does, to report kDeadline rather than guess) get the
+      // full-queue verdict at try_push speed.
+      if (closed_) return QueuePushResult::kClosed;
+      if (q_.size() >= capacity_) return QueuePushResult::kTimeout;
+    } else if (!space_cv_.wait_for(
+                   lk, std::chrono::microseconds(timeout_us),
+                   [&] { return closed_ || q_.size() < capacity_; })) {
       return QueuePushResult::kTimeout;
+    }
     if (closed_) return QueuePushResult::kClosed;
     q_.push_back(std::move(v));
     lk.unlock();

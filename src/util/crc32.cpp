@@ -1,0 +1,36 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace srmac {
+
+namespace {
+
+/// Byte-at-a-time table for the reflected IEEE polynomial, built once at
+/// first use. A table-driven CRC runs at ~1 GB/s — invisible next to the
+/// file/socket I/O it guards, so no slice-by-8 cleverness is warranted.
+const std::array<uint32_t, 256>& crc_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+  const auto& table = crc_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace srmac

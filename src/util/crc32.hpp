@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace srmac {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+/// check stamped on every checkpoint tensor record (src/io/checkpoint.hpp)
+/// and every tensor payload crossing the wire protocol
+/// (src/net/wire_format.hpp), so corruption is caught at each hop instead
+/// of surfacing as silently wrong bits downstream.
+///
+/// `seed` is the running state for incremental use: pass the previous
+/// call's return value to continue a checksum across chunks (the streaming
+/// checkpoint parser checksums tensors as it reads them). Start from 0.
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace srmac

@@ -85,6 +85,34 @@ TEST(Decode, Specials) {
   EXPECT_TRUE(neg_inf.sign);
 }
 
+TEST(FpFormatParse, AcceptsTheGrammarCaseInsensitively) {
+  const auto lower = FpFormat::parse("e5m2");
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_EQ(lower->exp_bits, 5);
+  EXPECT_EQ(lower->man_bits, 2);
+  EXPECT_TRUE(lower->subnormals);  // parse always yields subnormals on
+  const auto upper = FpFormat::parse("E8M23");
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(upper->exp_bits, 8);
+  EXPECT_EQ(upper->man_bits, 23);
+  const auto zero_man = FpFormat::parse("e2m0");  // m = 0 is legal
+  ASSERT_TRUE(zero_man.has_value());
+  EXPECT_EQ(zero_man->man_bits, 0);
+}
+
+TEST(FpFormatParse, RejectsMalformedAndOutOfRangeTokens) {
+  // Format tokens arrive inside scenario strings from checkpoints and wire
+  // handshakes, so the reject paths are load-bearing: malformed shapes,
+  // missing fields, trailing junk, and every out-of-range E/M.
+  for (const char* bad :
+       {"", "e", "m", "e5", "m2", "em", "e5m", "em2", "5m2", "e5n2",
+        "e5m2x", "xe5m2", " e5m2", "e5m2 ", "e5 m2", "e-5m2", "e5m-2",
+        "e1m2" /* exp < 2 */, "e9m2" /* exp > 8 */, "e0m2",
+        "e5m24" /* man > 23 */, "e999999999m2", "e5m999999999"}) {
+    EXPECT_FALSE(FpFormat::parse(bad).has_value()) << '"' << bad << '"';
+  }
+}
+
 TEST(Decode, EncodeDecodeRoundTripAllE5M2) {
   for (uint32_t bits = 0; bits < 256; ++bits) {
     const Unpacked u = decode(kFp8E5M2, bits);

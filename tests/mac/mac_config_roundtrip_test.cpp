@@ -81,6 +81,33 @@ TEST(MacConfigRoundTrip, RejectsMalformedSpecs) {
   }
 }
 
+TEST(MacConfigRoundTrip, RejectsMoreMalformedSpecsAndToleratesNullError) {
+  // Scenario strings are now a trust boundary (checkpoint headers, wire
+  // HELLO frames), so broaden the reject coverage: empty option slots,
+  // half-typed option names, whitespace, and a null error pointer (the
+  // C API probes without one).
+  for (const char* bad :
+       {":", "::", "eager_sr:", "eager_sr:e5m2/", "eager_sr:/e6m5",
+        "eager_sr:e5m2/e6m5:", "eager_sr:e5m2/e6m5:sub",
+        "eager_sr:e5m2/e6m5:subMAYBE", "eager_sr:e5m2/e6m5:r",
+        "eager_sr:e5m2/e6m5:r=-3", "eager_sr:e5m2/e6m5:r=3.5",
+        " eager_sr:e5m2/e6m5", "eager_sr :e5m2/e6m5"}) {
+    EXPECT_FALSE(MacConfig::parse(bad, nullptr).has_value()) << bad;
+    std::string error;
+    EXPECT_FALSE(MacConfig::parse(bad, &error).has_value()) << bad;
+    EXPECT_NE(error.find(bad), std::string::npos)
+        << "error quotes the offending spec: " << error;
+  }
+}
+
+TEST(MacConfigRoundTrip, RandomBitsSaturateInsteadOfOverflowing) {
+  // A pathological digit run must not wrap int; the parser clamps at 1e6
+  // and normalized() later brings the count into the adder's real range.
+  const auto c = MacConfig::parse("eager_sr:e5m2/e6m5:r=99999999999999999999");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->random_bits, 1000000);
+}
+
 TEST(MacConfigRoundTrip, AdderTokens) {
   for (const AdderKind k :
        {AdderKind::kRoundNearest, AdderKind::kLazySR, AdderKind::kEagerSR}) {

@@ -12,7 +12,7 @@
 #include "nn/init.hpp"
 #include "nn/mlp.hpp"
 #include "train/adam.hpp"
-#include "train/checkpoint.hpp"
+#include "io/checkpoint.hpp"
 #include "train/stagnation.hpp"
 
 namespace srmac {

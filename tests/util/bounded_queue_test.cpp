@@ -102,6 +102,31 @@ TEST(BoundedQueue, PushForTimesOutAndLeavesValueIntact) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(BoundedQueue, PushForZeroBudgetAnswersImmediately) {
+  // An already-expired deadline at the admission edge must fail fast, not
+  // sleep: the serving stack calls push_for(v, 0) to get a typed kTimeout
+  // (mapped to ServeError::kDeadline) without a zero-duration wait_for,
+  // which still costs a timed sleep on some libstdc++ builds.
+  BoundedQueue<int> q(1);
+  int a = 1;
+  ASSERT_TRUE(q.try_push(a));
+  int v = 42;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.push_for(v, 0), QueuePushResult::kTimeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(50));  // no sleep, just the verdict
+  EXPECT_EQ(v, 42);
+  // With space available a zero budget still admits (try_push semantics).
+  ASSERT_TRUE(q.try_pop().has_value());
+  EXPECT_EQ(q.push_for(v, 0), QueuePushResult::kOk);
+  EXPECT_EQ(q.try_pop().value(), 42);
+  // And closed beats full or empty: the typed kClosed survives the fast
+  // path.
+  q.close();
+  int c = 7;
+  EXPECT_EQ(q.push_for(c, 0), QueuePushResult::kClosed);
+}
+
 TEST(BoundedQueue, PushForSucceedsWhenSpaceFrees) {
   BoundedQueue<int> q(1);
   int a = 1;
