@@ -10,6 +10,13 @@
 // of the same sample on the same engine configuration, so a throughput win
 // can never come from changed arithmetic.
 //
+// A "compiledN" leg re-runs the batched configuration through an
+// ahead-of-time CompiledModel (ServeConfig::compile, docs/COMPILER.md):
+// weight planes quantize+pack once at session construction and the
+// BN/bias/ReLU epilogues fuse into the GEMM tails, so the row prices
+// exactly the steady-state overhead compilation removes — under the same
+// bitwise anchor (the CI gate floors compiledN/batchN).
+//
 // A "wireN" leg re-runs the batched configuration behind a WireServer on a
 // loopback ephemeral port, every client holding its own WireClient
 // connection — pricing the length-prefixed framing + TCP round trip
@@ -97,7 +104,8 @@ struct LegResult {
 /// the best-throughput repetition is reported.
 LegResult run_leg(const std::string& path, const ModelSpec& model,
                   const EngineCliArgs& eng, int max_batch, int clients,
-                  int requests, int reps, const std::vector<Tensor>& refs) {
+                  int requests, int reps, const std::vector<Tensor>& refs,
+                  bool compile = false) {
   LegResult best;
   best.path = path;
   best.max_batch = max_batch;
@@ -108,6 +116,7 @@ LegResult run_leg(const std::string& path, const ModelSpec& model,
     cfg.max_wait_us = eng.serve_wait_us;
     cfg.queue_capacity = static_cast<size_t>(std::max(64, 4 * clients));
     cfg.input_shape = model.input_shape();
+    cfg.compile = compile;
     EmuEngine engine = engine_or_die(eng);
     Telemetry& telemetry = engine.telemetry();
     EmuServer server(model.build(), std::move(engine), cfg);
@@ -446,11 +455,19 @@ int main(int argc, char** argv) {
   const LegResult coal =
       run_leg(tag, model, eng, batch, clients, requests, reps, refs);
   const double speedup = coal.req_per_s / base.req_per_s;
+  // The compiled leg: same session shape as the coalesced one but serving
+  // through an ahead-of-time CompiledModel (docs/COMPILER.md) — planes
+  // packed once, epilogues fused, zero steady-state packing. The clients'
+  // bitwise check against the eager offline refs makes the speedup honest.
+  const LegResult compiled =
+      run_leg("compiled" + std::to_string(batch), model, eng, batch, clients,
+              requests, reps, refs, /*compile=*/true);
+  const double compiled_speedup = compiled.req_per_s / coal.req_per_s;
   const LegResult wire = run_wire_leg("wire" + std::to_string(batch), model,
                                       eng, batch, clients, requests, reps,
                                       refs);
 
-  std::vector<const LegResult*> rows = {&base, &coal, &wire};
+  std::vector<const LegResult*> rows = {&base, &coal, &compiled, &wire};
   LegResult fleet, wreck;
   if (replicas > 1) {
     fleet = run_fleet_leg("fleet" + std::to_string(replicas), model, eng,
@@ -475,6 +492,8 @@ int main(int argc, char** argv) {
                 r->mean_batch, r->completed, r->failed);
   std::printf("coalescing speedup (%s vs batch1): %.2fx\n", tag.c_str(),
               speedup);
+  std::printf("compiled speedup (compiled%d vs %s): %.2fx\n", batch,
+              tag.c_str(), compiled_speedup);
   if (chaos)
     std::printf(
         "chaos (%d replicas): %d completed, %d typed failures, %llu sheds, "
@@ -507,6 +526,7 @@ int main(int argc, char** argv) {
   js << "  \"serve_replicas\": " << replicas << ",\n";
   js << "  \"chaos\": " << (chaos ? "true" : "false") << ",\n";
   js << "  \"speedup_batched_vs_batch1\": " << speedup << ",\n";
+  js << "  \"speedup_compiled_vs_batched\": " << compiled_speedup << ",\n";
   js << "  \"results\": [\n";
   bool first = true;
   for (const LegResult* r : rows) {

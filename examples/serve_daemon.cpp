@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   scfg.max_batch = std::max(1, eng.serve_batch);
   scfg.max_wait_us = eng.serve_wait_us;
   scfg.input_shape = model.input_shape();
+  scfg.compile = eng.serve_compile;
   const int replicas = std::max(1, eng.serve_replicas);
 
   std::signal(SIGINT, on_signal);
@@ -147,10 +148,14 @@ int main(int argc, char** argv) {
   }
 
   if (!port_file.empty()) write_port_file(port_file, wire->port());
+  // Reaching here with compile=1 means every session compiled: EmuServer's
+  // constructor (and each ClusterController replica's) throws on a failed
+  // compile, landing in the error path above instead.
   std::printf("serve_daemon: model=%s scenario=%s backend=%s replicas=%d "
-              "port=%u\n",
+              "compile=%d port=%u\n",
               model.name.c_str(), eng.scenario.c_str(), eng.backend.c_str(),
-              replicas, static_cast<unsigned>(wire->port()));
+              replicas, scfg.compile ? 1 : 0,
+              static_cast<unsigned>(wire->port()));
   std::fflush(stdout);
 
   const auto t0 = std::chrono::steady_clock::now();

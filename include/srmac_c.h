@@ -84,8 +84,23 @@ long srmac_session_forward(srmac_session* s, const float* input,
                            size_t input_numel, float* output,
                            size_t output_capacity);
 
+/* Compiles the session's model ahead of time (docs/COMPILER.md): weight
+ * planes quantize+pack once, BN/bias/ReLU epilogues fuse into the GEMM
+ * tails, and per-request buffers are preplanned for up to `max_batch`
+ * samples (pass 1 for the plain forward() use of this API). Subsequent
+ * srmac_session_forward calls serve through the compiled program —
+ * bitwise identical outputs, lower steady-state overhead. Idempotent
+ * (recompiles in place). 0 on success, -1 on failure (e.g. a backend or
+ * layer the compiler cannot lower), leaving the session serving eagerly. */
+int srmac_session_compile(srmac_session* s, int max_batch);
+
+/* 1 when the session serves through a compiled program, 0 when eager. */
+int srmac_session_is_compiled(const srmac_session* s);
+
 /* Replaces the session's weights from a checkpoint (architecture must
- * match: name, rank, shape per tensor — see docs/PERSISTENCE.md). */
+ * match: name, rank, shape per tensor — see docs/PERSISTENCE.md). A
+ * compiled session picks the new weights up on the next forward (each
+ * compiled plane rebuilds exactly once, keyed on the parameter version). */
 int srmac_session_load_checkpoint(srmac_session* s, const char* path);
 
 /* Writes the session's weights as a checkpoint, embedding the session's

@@ -39,7 +39,9 @@ with "path" matches that serving leg's requests/sec against
 "min_speedup" checks the file's recorded batchN-vs-batch1 coalescing
 speedup directly (no tolerance — it is already a floor; note the speedup
 is a strong function of core count, so full-size floors pin the recorded
-trend file, not an arbitrary target). Fleet/chaos serve legs carry
+trend file, not an arbitrary target), and "min_compiled_speedup" does the
+same for the recorded compiledN-vs-batchN speedup (the ahead-of-time
+CompiledModel serving path, docs/COMPILER.md). Fleet/chaos serve legs carry
 completed/failed counters; a floor with "require_resolved" asserts
 completed + failed == requests (no request vanished or hung during the
 chaos run) and "min_completed_fraction" bounds how much of the load the
@@ -92,6 +94,12 @@ def check_file(path, data, floors, tolerance, report, report_speedup,
                 matched.add(i)
                 report_speedup(path, data.get("speedup_batched_vs_batch1"),
                                rule)
+                continue
+            if "min_compiled_speedup" in rule:
+                matched.add(i)
+                report_speedup(path, data.get("speedup_compiled_vs_batched"),
+                               rule, key="min_compiled_speedup",
+                               label="compiled")
                 continue
             for row in data.get("results", []):
                 if rule.get("path") != row.get("path"):
@@ -200,16 +208,17 @@ def main():
                  requests, 100.0 * frac,
                  (", floor %.0f%%" % (100.0 * need)) if need else ""))
 
-    def report_speedup(path, value, rule):
-        need = float(rule["min_speedup"])
+    def report_speedup(path, value, rule, key="min_speedup",
+                       label="coalescing"):
+        need = float(rule[key])
         checked[0] += 1
         ok = value is not None and float(value) >= need
         shown = float(value) if value is not None else 0.0
-        print("%s %s: coalescing speedup = %.2fx (floor %.2fx)"
-              % ("ok  " if ok else "FAIL", path, shown, need))
+        print("%s %s: %s speedup = %.2fx (floor %.2fx)"
+              % ("ok  " if ok else "FAIL", path, label, shown, need))
         if not ok:
-            failures.append("%s: coalescing speedup %.2fx below floor %.2fx"
-                            % (path, shown, need))
+            failures.append("%s: %s speedup %.2fx below floor %.2fx"
+                            % (path, label, shown, need))
 
     matched = set()
     for path in args.files:

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "compile/model_compiler.hpp"
 #include "engine/emu_engine.hpp"
 #include "io/checkpoint.hpp"
 #include "nn/model_zoo.hpp"
@@ -22,6 +23,7 @@ struct srmac_session {
   std::string scenario;
   std::optional<EmuEngine> engine;
   std::unique_ptr<Sequential> model;
+  std::unique_ptr<CompiledModel> compiled;  // set by srmac_session_compile
 };
 
 namespace {
@@ -150,14 +152,41 @@ long srmac_session_forward(srmac_session* s, const float* input,
     shape.insert(shape.begin(), 1);
     Tensor x(shape);
     std::memcpy(x.data(), input, need * sizeof(float));
-    const Tensor y =
-        s->model->forward(s->engine->context(), x, /*training=*/false);
+    Tensor y;
+    if (s->compiled) {
+      s->compiled->refresh();  // pick up checkpoint loads / weight writes
+      std::vector<Tensor> xs;
+      xs.push_back(std::move(x));
+      s->compiled->forward_batch(xs);
+      y = std::move(xs[0]);
+    } else {
+      y = s->model->forward(s->engine->context(), x, /*training=*/false);
+    }
     const long out_numel = static_cast<long>(y.numel());
     if (output && output_capacity >= static_cast<size_t>(out_numel))
       std::memcpy(output, y.data(),
                   static_cast<size_t>(out_numel) * sizeof(float));
     return out_numel;
   });
+}
+
+int srmac_session_compile(srmac_session* s, int max_batch) {
+  return guarded<>(-1, [&] {
+    if (!s) throw std::invalid_argument("srmac: NULL session");
+    if (max_batch < 1)
+      throw std::invalid_argument("srmac: max_batch must be >= 1");
+    ModelCompiler::Options opts;
+    opts.input_shape = s->spec.input_shape();
+    opts.max_batch = max_batch;
+    // Compile into a fresh program first: on failure the session keeps its
+    // previous serving mode (eager, or an earlier compile).
+    s->compiled = ModelCompiler(*s->engine).compile(*s->model, opts);
+    return 0;
+  });
+}
+
+int srmac_session_is_compiled(const srmac_session* s) {
+  return s && s->compiled ? 1 : 0;
 }
 
 int srmac_session_load_checkpoint(srmac_session* s, const char* path) {

@@ -1,0 +1,304 @@
+#include "compile/compiled_model.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "fpemu/softfloat.hpp"
+#include "tensor/im2col.hpp"
+#include "util/thread_pool.hpp"
+
+namespace srmac {
+
+namespace {
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+// The exec_* bodies replicate the eager layers' math expression for
+// expression (nn/layers.cpp, nn/resnet.cpp) — same float casts, same
+// double accumulators, same kernel entry points with the same (normalized
+// config, shape, operand bits, seed). That identity is what the
+// differential harness pins; any "optimization" that reassociates a float
+// expression here breaks bitwise equality with eager serving.
+
+void CompiledModel::forward_batch(std::vector<Tensor>& xs) {
+  const int batch = static_cast<int>(xs.size());
+  if (batch == 0) return;
+  if (batch > capacity_)
+    throw CompileException(
+        CompileError::kCapacityExceeded,
+        "batch of " + std::to_string(batch) + " exceeds the compiled capacity " +
+            std::to_string(capacity_));
+  const double t0 = telemetry_ ? now_s() : 0.0;
+
+  // Stage the inputs into buffer 0 (samples may arrive as (1,C,H,W) or bare
+  // (C,H,W) — the serving admission edge normalizes to batch dimension 1).
+  for (int s = 0; s < batch; ++s) {
+    const Tensor& x = xs[s];
+    const int skip = (x.ndim() == static_cast<int>(input_shape_.size()) + 1 &&
+                      x.dim(0) == 1)
+                         ? 1
+                         : 0;
+    bool ok = x.ndim() - skip == static_cast<int>(input_shape_.size());
+    for (size_t d = 0; ok && d < input_shape_.size(); ++d)
+      ok = x.dim(static_cast<int>(d) + skip) == input_shape_[d];
+    if (!ok)
+      throw CompileException(CompileError::kShapeMismatch,
+                             "sample shape does not match the compiled input "
+                             "shape (recompile for a different shape)");
+    std::memcpy(buf(0) + static_cast<size_t>(s) * in_numel_, x.data(),
+                static_cast<size_t>(in_numel_) * sizeof(float));
+  }
+
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kConvGemm: exec_conv(op, batch); break;
+      case OpKind::kLinearGemm: exec_linear(op, batch); break;
+      case OpKind::kMaxPool: exec_maxpool(op, batch); break;
+      case OpKind::kGlobalAvgPool: exec_gap(op, batch); break;
+      case OpKind::kEltwise: exec_eltwise(op, batch); break;
+      case OpKind::kJoin: exec_join(op, batch); break;
+    }
+  }
+
+  // The only steady-state allocations of the whole pass: the output tensors
+  // handed back to the caller (eager serving allocates those too).
+  const float* src = buf(out_buf_);
+  for (int s = 0; s < batch; ++s) {
+    Tensor out(output_shape_);
+    std::memcpy(out.data(), src + static_cast<size_t>(s) * out_numel_,
+                static_cast<size_t>(out_numel_) * sizeof(float));
+    xs[s] = std::move(out);
+  }
+
+  if (telemetry_)
+    telemetry_->record_compiled_forward(
+        gemms_per_sample_ * batch, macs_per_sample_ * batch,
+        act_bytes_per_sample_ * batch, now_s() - t0);
+}
+
+uint64_t CompiledModel::refresh() {
+  uint64_t rebuilt = 0;
+  for (Op& op : ops_) {
+    if (!op.w) continue;
+    // fp32 convs read the live weight tensor — nothing materialized, nothing
+    // to go stale. Everything else compares the owning Param's version.
+    const bool materialized =
+        !op.aq.empty() || !op.bpanels.bt.empty() || !op.wt.empty();
+    if (!materialized || op.w->version == op.w_version) continue;
+    rebuild_plane(op);
+    op.w_version = op.w->version;
+    ++rebuilt;
+  }
+  if (rebuilt) {
+    stats_.planes_packed += rebuilt;
+    if (telemetry_) telemetry_->record_compile_rebuild(rebuilt);
+  }
+  return rebuilt;
+}
+
+void CompiledModel::rebuild_plane(Op& op) {
+  const Tensor& w = op.w->value;
+  if (op.kind == OpKind::kConvGemm) {
+    // Same elementwise RN quantization as WeightQuantCache::get(fmt, false).
+    gemm_quantize(op.cfg.mul_fmt, op.M, op.K, w.data(), op.K, op.aq.data(),
+                  threads_);
+    return;
+  }
+  if (!op.wt.empty()) {
+    // fp32 Linear: re-materialize W^T, as matmul_nt's transpose does.
+    for (int o = 0; o < op.N; ++o)
+      for (int k = 0; k < op.K; ++k)
+        op.wt[static_cast<size_t>(k) * op.N + o] = w.at(o, k);
+    return;
+  }
+  // Bit-accurate Linear: requantize the transposed plane (the same
+  // elementwise from_double as the eager cache's transposed path) and
+  // repack it into the panel layout.
+  std::vector<uint32_t> wqt(static_cast<size_t>(op.K) * op.N);
+  for (int o = 0; o < op.N; ++o)
+    for (int k = 0; k < op.K; ++k)
+      wqt[static_cast<size_t>(k) * op.N + o] =
+          SoftFloat::from_double(op.cfg.mul_fmt, w.at(o, k));
+  gemm_pack_b_into(op.cfg, op.K, op.N, wqt.data(), op.N, &op.bpanels,
+                   threads_);
+}
+
+void CompiledModel::apply_epilogue(const Op& op, float* out,
+                                   int64_t numel) const {
+  if (op.affine) {
+    // BatchNorm2d::forward's inference expression, per channel row:
+    // out = gamma * ((x - (float)mean) * invstd) + beta.
+    const Affine& af = *op.affine;
+    // Channel count from the fold itself: op.ch is the *input* channel
+    // count on conv ops, but the affine normalizes the output channels.
+    const int C = static_cast<int>(af.mean.size());
+    for (int c = 0; c < C; ++c) {
+      const float g = af.gamma->value[c], b = af.beta->value[c];
+      const float m = af.mean[c], inv = af.invstd[c];
+      float* row = out + static_cast<size_t>(c) * op.N;
+      for (int i = 0; i < op.N; ++i) {
+        const float xh = (row[i] - m) * inv;
+        row[i] = g * xh + b;
+      }
+    }
+  }
+  if (op.bias) {
+    const float* b = op.bias->value.data();
+    for (int o = 0; o < op.N; ++o) out[o] += b[o];
+  }
+  if (op.relu) {
+    for (int64_t i = 0; i < numel; ++i)
+      if (!(out[i] > 0)) out[i] = 0.0f;
+  }
+}
+
+void CompiledModel::exec_conv(const Op& op, int batch) {
+  const int64_t L = op.N;
+  const int64_t in_n = buf_numel_[static_cast<size_t>(op.src)];
+  const int64_t out_n = buf_numel_[static_cast<size_t>(op.dst)];
+  const float* src = buf(op.src);
+  float* dst = buf(op.dst);
+  const int64_t KL = static_cast<int64_t>(op.K) * L;
+  // Samples are independent GEMM problems with scheduling-invariant bits
+  // (every element derives its own LFSR stream from the op seed), so the
+  // whole unfold/quantize/pack/kernel/epilogue chain fans out across the
+  // pool one sample per slot — the same parallel shape the eager
+  // gemm_batch path gives a coalesced micro-batch — with the inner calls
+  // single-threaded.
+  ThreadPool::global().parallel_for(
+      0, batch,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          const float* cols = cols_.data() + s * KL;
+          float* out = dst + s * out_n;
+          im2col(src + s * in_n, op.ch, op.H, op.W, op.kk, op.kk, op.stride,
+                 op.pad, cols_.data() + s * KL, /*row_stride=*/L);
+          if (op.bits) {
+            // The eager dispatch's per-request work, against the
+            // precompiled A plane: quantize this sample's panel, pack it
+            // into the sample's reused panel buffer, run the fused kernel
+            // under the op's recorded seed.
+            uint32_t* qcols = qcols_.data() + s * KL;
+            gemm_quantize(op.cfg.mul_fmt, op.K, static_cast<int>(L), cols,
+                          static_cast<int>(L), qcols, /*threads=*/1);
+            gemm_pack_b_into(op.cfg, op.K, static_cast<int>(L), qcols,
+                             static_cast<int>(L),
+                             &panels_[static_cast<size_t>(s)],
+                             /*threads=*/1);
+            gemm_mac_bits_packed(op.cfg, op.M, static_cast<int>(L), op.K,
+                                 op.aq.data(), op.K,
+                                 panels_[static_cast<size_t>(s)], out,
+                                 static_cast<int>(L), /*accumulate=*/false,
+                                 op.seed, /*threads=*/1);
+          } else {
+            gemm_ref(op.M, static_cast<int>(L), op.K, op.w->value.data(),
+                     op.K, cols, static_cast<int>(L), out,
+                     static_cast<int>(L), /*accumulate=*/false,
+                     /*threads=*/1);
+          }
+          apply_epilogue(op, out, out_n);
+        }
+      },
+      threads_);
+}
+
+void CompiledModel::exec_linear(const Op& op, int batch) {
+  const float* src = buf(op.src);
+  float* dst = buf(op.dst);
+  const int64_t in_n = buf_numel_[static_cast<size_t>(op.src)];
+  if (op.bits) {
+    // One elementwise quantization sweep over all samples' activation rows
+    // (identical bits to matmul_qb's per-sample quantize).
+    gemm_quantize(op.cfg.mul_fmt, batch, op.K, src, op.K, qact_.data(),
+                  threads_);
+  }
+  // The M=1 row GEMMs have no internal parallelism; the batch dimension
+  // does — same fan-out as the eager gemm_batch dispatch, same bits.
+  ThreadPool::global().parallel_for(
+      0, batch,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          float* out = dst + static_cast<size_t>(s) * op.N;
+          if (op.bits) {
+            gemm_mac_bits_packed(op.cfg, 1, op.N, op.K,
+                                 qact_.data() + static_cast<size_t>(s) * op.K,
+                                 op.K, op.bpanels, out, op.N,
+                                 /*accumulate=*/false, op.seed,
+                                 /*threads=*/1);
+          } else {
+            gemm_ref(1, op.N, op.K, src + s * in_n, op.K, op.wt.data(), op.N,
+                     out, op.N, /*accumulate=*/false, /*threads=*/1);
+          }
+          apply_epilogue(op, out, op.N);
+        }
+      },
+      threads_);
+}
+
+void CompiledModel::exec_maxpool(const Op& op, int batch) {
+  const int64_t in_n = buf_numel_[static_cast<size_t>(op.src)];
+  const int64_t out_n = buf_numel_[static_cast<size_t>(op.dst)];
+  for (int s = 0; s < batch; ++s) {
+    const float* x = buf(op.src) + static_cast<size_t>(s) * in_n;
+    float* out = buf(op.dst) + static_cast<size_t>(s) * out_n;
+    // MaxPool2d::forward's exact window scan.
+    for (int c = 0; c < op.ch; ++c)
+      for (int y = 0; y < op.oh; ++y)
+        for (int xo = 0; xo < op.ow; ++xo) {
+          float best = -1e30f;
+          for (int i = 0; i < op.kk; ++i)
+            for (int j = 0; j < op.kk; ++j) {
+              const int iy = y * op.stride + i, ix = xo * op.stride + j;
+              const float v =
+                  x[(static_cast<size_t>(c) * op.H + iy) * op.W + ix];
+              if (v > best) best = v;
+            }
+          out[(static_cast<size_t>(c) * op.oh + y) * op.ow + xo] = best;
+        }
+  }
+}
+
+void CompiledModel::exec_gap(const Op& op, int batch) {
+  const int64_t in_n = buf_numel_[static_cast<size_t>(op.src)];
+  for (int s = 0; s < batch; ++s) {
+    const float* x = buf(op.src) + static_cast<size_t>(s) * in_n;
+    float* out = buf(op.dst) + static_cast<size_t>(s) * op.ch;
+    // GlobalAvgPool::forward's double-accumulated per-channel mean.
+    for (int c = 0; c < op.ch; ++c) {
+      double acc = 0;
+      const float* plane = x + static_cast<size_t>(c) * op.H * op.W;
+      for (int i = 0; i < op.H * op.W; ++i) acc += plane[i];
+      out[c] = static_cast<float>(acc / (op.H * op.W));
+    }
+  }
+}
+
+void CompiledModel::exec_eltwise(const Op& op, int batch) {
+  const int64_t n = buf_numel_[static_cast<size_t>(op.dst)];
+  for (int s = 0; s < batch; ++s) {
+    const float* x = buf(op.src) + static_cast<size_t>(s) * n;
+    float* out = buf(op.dst) + static_cast<size_t>(s) * n;
+    std::memcpy(out, x, static_cast<size_t>(n) * sizeof(float));
+    apply_epilogue(op, out, n);
+  }
+}
+
+void CompiledModel::exec_join(const Op& op, int batch) {
+  const int64_t n = buf_numel_[static_cast<size_t>(op.dst)];
+  for (int s = 0; s < batch; ++s) {
+    const float* h = buf(op.src) + static_cast<size_t>(s) * n;
+    const float* sc = buf(op.src2) + static_cast<size_t>(s) * n;
+    float* out = buf(op.dst) + static_cast<size_t>(s) * n;
+    // add_inplace + ReLU, the residual blocks' exit expression.
+    for (int64_t i = 0; i < n; ++i) {
+      const float v = h[i] + sc[i];
+      out[i] = op.relu && !(v > 0) ? 0.0f : v;
+    }
+  }
+}
+
+}  // namespace srmac

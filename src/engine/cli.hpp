@@ -23,6 +23,9 @@
 //                     1 = a single EmuServer session, no controller)
 //   --serve-deadline-us=N serving: per-request deadline (0 = none)
 //   --serve-slo-us=N  serving: p95 SLO target of the fleet load score
+//   --serve-compile   serving: serve through an ahead-of-time CompiledModel
+//                     (ServeConfig::compile; docs/COMPILER.md) — weight
+//                     planes pack once, epilogues fuse, bits unchanged
 //
 // Unknown flags are left alone so callers can parse their own arguments
 // from the same argv.
@@ -52,6 +55,7 @@ struct EngineCliArgs {
   int serve_replicas = 1;        // fleet size (1 = no ClusterController)
   uint64_t serve_deadline_us = 0;  // per-request deadline (0 = none)
   uint64_t serve_slo_us = 20000;   // p95 SLO target of the fleet load score
+  bool serve_compile = false;      // serve through a CompiledModel
 };
 
 inline const char* engine_cli_usage() {
@@ -69,7 +73,8 @@ inline const char* engine_cli_usage() {
          "  --serve-clients=N  closed-loop client threads (serve bench)\n"
          "  --serve-replicas=N serving fleet size (1 = single session)\n"
          "  --serve-deadline-us=N  per-request deadline (0 = none)\n"
-         "  --serve-slo-us=N   p95 SLO target of the fleet load score\n";
+         "  --serve-slo-us=N   p95 SLO target of the fleet load score\n"
+         "  --serve-compile    serve through an ahead-of-time CompiledModel\n";
 }
 
 /// Scans argv for the engine flags above; everything else is ignored (the
@@ -103,6 +108,8 @@ inline EngineCliArgs parse_engine_cli(int argc, char** argv) {
     if (const char* v = val("--serve-slo-us"))
       args.serve_slo_us = std::strtoull(v, nullptr, 0);
     if (std::strcmp(argv[i], "--hfp8") == 0) args.hfp8 = true;
+    if (std::strcmp(argv[i], "--serve-compile") == 0)
+      args.serve_compile = true;
   }
   if (args.shards > 0) ThreadPool::set_default_shards(args.shards);
   return args;

@@ -57,6 +57,35 @@ void Telemetry::record_quantize(uint64_t values, const FpFormat& fmt) {
   totals_.bytes_quantized += bytes;
 }
 
+void Telemetry::record_compile(uint64_t planes_packed, uint64_t folds,
+                               uint64_t fusions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.compile_planes_packed += planes_packed;
+  totals_.compile_folds += folds;
+  totals_.compile_fusions += fusions;
+}
+
+void Telemetry::record_compile_rebuild(uint64_t planes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.compile_rebuilds += planes;
+  totals_.compile_planes_packed += planes;
+}
+
+void Telemetry::record_compiled_forward(uint64_t gemms, uint64_t macs,
+                                        uint64_t activation_bytes,
+                                        double seconds) {
+  const uint64_t bytes = activation_bytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.gemms += gemms;
+  totals_.macs += macs;
+  totals_.seconds += seconds;
+  totals_.compile_activation_bytes += bytes;
+  BackendStats& b = totals_.per_backend["compiled"];
+  b.gemms += gemms;
+  b.macs += macs;
+  b.seconds += seconds;
+}
+
 namespace {
 ServeReplicaStats& replica_row(TelemetrySnapshot& t, int replica) {
   const size_t idx = replica < 0 ? 0 : static_cast<size_t>(replica);

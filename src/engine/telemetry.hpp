@@ -54,6 +54,23 @@ struct TelemetrySnapshot {
   double seconds = 0.0;
   std::map<std::string, BackendStats> per_backend;
 
+  // ---- model-compiler counters (CompiledModel, docs/COMPILER.md) ----
+  uint64_t compile_planes_packed = 0;  ///< weight planes quantized+packed by
+                                       ///< compiles and refresh() rebuilds
+  uint64_t compile_folds = 0;     ///< ops folded away at compile (BN affines
+                                  ///< absorbed into GEMM tails, Flattens)
+  uint64_t compile_fusions = 0;   ///< epilogue steps fused into GEMM tails
+                                  ///< (affine/bias/ReLU/residual joins)
+  uint64_t compile_rebuilds = 0;  ///< planes rebuilt by refresh() after a
+                                  ///< Param::version bump (checkpoint load)
+  /// Activation operand bytes the compiled executor quantized inside its
+  /// own kernels, per request. Compiled serving keeps `bytes_quantized` at
+  /// zero — that counter tracks the eager dispatch layer, whose per-request
+  /// weight/plane requantization is what compilation eliminates — while
+  /// this one keeps the per-request activation quantization (unavoidable in
+  /// any mode: inputs arrive as floats) honestly accounted.
+  uint64_t compile_activation_bytes = 0;
+
   // ---- serving-side counters (EmuServer, docs/SERVING.md) ----
   uint64_t serve_requests = 0;  ///< requests completed by the server
   uint64_t serve_batches = 0;   ///< micro-batches executed
@@ -155,6 +172,26 @@ class Telemetry {
   /// CircuitBreaker::State `to_state` (0 closed / 1 open / 2 half-open —
   /// kept as int so the telemetry layer stays decoupled from serve/).
   void record_breaker_transition(int replica, int to_state);
+
+  /// Records one ModelCompiler lowering: how many weight planes it
+  /// quantized+packed, how many ops it folded away, and how many epilogue
+  /// steps it fused into GEMM tails.
+  void record_compile(uint64_t planes_packed, uint64_t folds,
+                      uint64_t fusions);
+
+  /// Records `planes` weight planes CompiledModel::refresh() rebuilt after
+  /// observing Param::version bumps (optimizer step or checkpoint load).
+  void record_compile_rebuild(uint64_t planes);
+
+  /// Records one compiled forward pass of `gemms` GEMMs totalling `macs`
+  /// MAC steps, with `activation_bytes` bytes of activation operands freshly
+  /// quantized inside the compiled kernels (byte-rounded per value at the
+  /// per-op format, precomputed by the compiler). Lands in the gemms/macs
+  /// totals under the "compiled" per-backend row and in
+  /// compile_activation_bytes — never in bytes_quantized, which stays the
+  /// eager dispatch layer's counter (and zero in compiled steady state).
+  void record_compiled_forward(uint64_t gemms, uint64_t macs,
+                               uint64_t activation_bytes, double seconds);
 
   TelemetrySnapshot snapshot() const;
 

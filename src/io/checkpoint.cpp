@@ -269,7 +269,13 @@ CheckpointMeta read_checkpoint(std::istream& in,
                 "file has " + std::to_string(reader.meta().tensor_count) +
                     " tensors, model has " + std::to_string(params.size()) +
                     " parameters");
-  for (Param* param : params) {
+  // Stage every payload first: nothing in the model is touched until the
+  // whole file (trailing bytes included) has validated, so a corrupt or
+  // truncated checkpoint leaves the model — and any compiled planes built
+  // from it — exactly as they were.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t p = 0; p < params.size(); ++p) {
+    Param* param = params[p];
     const auto info = reader.next();  // count checked above; always present
     if (info->name != param->name)
       throw_error(CheckpointErrorKind::kMismatch,
@@ -282,10 +288,15 @@ CheckpointMeta read_checkpoint(std::istream& in,
     if (!shape_ok)
       throw_error(CheckpointErrorKind::kMismatch,
                   "shape mismatch for '" + param->name + "'");
-    reader.read_payload(param->value.data());
-    param->bump();  // invalidate cached quantized weight planes
+    staged[p].resize(static_cast<size_t>(param->value.numel()));
+    reader.read_payload(staged[p].data());
   }
   reader.next();  // trailing-bytes check
+  for (size_t p = 0; p < params.size(); ++p) {
+    std::memcpy(params[p]->value.data(), staged[p].data(),
+                staged[p].size() * sizeof(float));
+    params[p]->bump();  // invalidate cached quantized weight planes
+  }
   return reader.meta();
 }
 

@@ -144,9 +144,12 @@ void write_checkpoint(std::ostream& out, const std::vector<Param*>& params,
 /// Streaming load into `params`: every record must match the corresponding
 /// parameter's name, rank and shape (kMismatch otherwise), payload CRCs
 /// must hold (kCorrupt), and the file must contain exactly params.size()
-/// tensors. Each restored parameter's version is bumped so per-layer
-/// quantized weight caches rebuild. On any throw the model may be partially
-/// restored — callers treat a failed load as fatal for that model instance.
+/// tensors. The load is atomic: every record (CRCs included) is staged and
+/// validated before any parameter is touched, so on any throw the model is
+/// exactly as it was — a live compiled serving session keeps serving its
+/// old weights/planes after a failed load. On success each restored
+/// parameter's version is bumped so per-layer quantized weight caches and
+/// compiled planes (CompiledModel::refresh) rebuild.
 CheckpointMeta read_checkpoint(std::istream& in,
                                const std::vector<Param*>& params);
 

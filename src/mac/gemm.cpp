@@ -44,8 +44,8 @@ void gemm_quantize(const FpFormat& fmt, int rows, int cols, const float* src,
       threads, /*grain=*/16);
 }
 
-PackedBPanels gemm_pack_b(const MacConfig& cfg, int K, int N,
-                          const uint32_t* Bq, int ldb, int threads) {
+void gemm_pack_b_into(const MacConfig& cfg, int K, int N, const uint32_t* Bq,
+                      int ldb, PackedBPanels* out, int threads) {
   const MacConfig c = cfg.normalized();
   const FusedMacKernel kernel(c);
 
@@ -53,13 +53,12 @@ PackedBPanels gemm_pack_b(const MacConfig& cfg, int K, int N,
   // interleaved (bt[group][k*G + l]) so a lockstep step reads all lanes'
   // operands from one contiguous line; the N % G remainder columns follow,
   // each contiguous in k for the single-lane chains.
-  PackedBPanels out;
-  out.K = K;
-  out.N = N;
-  const int G = out.group = kernel.group_width();
+  out->K = K;
+  out->N = N;
+  const int G = out->group = kernel.group_width();
   const int full_groups = N / G;
-  out.bt.resize(static_cast<size_t>(N) * K);
-  std::vector<uint32_t>& bt = out.bt;
+  out->bt.resize(static_cast<size_t>(N) * K);
+  std::vector<uint32_t>& bt = out->bt;
   ThreadPool::global().parallel_for(
       0, N,
       [&](int64_t lo, int64_t hi) {
@@ -80,6 +79,12 @@ PackedBPanels gemm_pack_b(const MacConfig& cfg, int K, int N,
         }
       },
       threads, /*grain=*/16);
+}
+
+PackedBPanels gemm_pack_b(const MacConfig& cfg, int K, int N,
+                          const uint32_t* Bq, int ldb, int threads) {
+  PackedBPanels out;
+  gemm_pack_b_into(cfg, K, N, Bq, ldb, &out, threads);
   return out;
 }
 

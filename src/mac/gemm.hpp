@@ -26,6 +26,13 @@ struct PackedBPanels {
 PackedBPanels gemm_pack_b(const MacConfig& cfg, int K, int N,
                           const uint32_t* Bq, int ldb, int threads = 0);
 
+/// gemm_pack_b into caller-owned storage: `out->bt` is resized in place, so
+/// a panel buffer reserved once can absorb every repack without allocating —
+/// the steady-state path of the compiled serve executor, which packs each
+/// request's im2col panel into the same reused panels (docs/COMPILER.md).
+void gemm_pack_b_into(const MacConfig& cfg, int K, int N, const uint32_t* Bq,
+                      int ldb, PackedBPanels* out, int threads = 0);
+
 /// gemm_mac_bits with B already packed by gemm_pack_b under the same
 /// (normalized) cfg. This is the inner entry point of both gemm_mac_bits
 /// and the batched backend's per-problem loop.

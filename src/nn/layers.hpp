@@ -22,6 +22,13 @@ class Conv2d : public Layer {
   std::string name() const override { return "Conv2d"; }
   Param& weight() { return w_; }
 
+  // Geometry accessors for the model compiler's lowering pass.
+  int in_channels() const { return in_ch_; }
+  int out_channels() const { return out_ch_; }
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+  int padding() const { return pad_; }
+
  private:
   /// Rebuilds cols_ (K x N*L) from x through im2col, reusing the member
   /// scratch buffers; parallel over the batch.
@@ -51,6 +58,9 @@ class Linear : public Layer {
   }
   std::string name() const override { return "Linear"; }
   Param& weight() { return w_; }
+  Param& bias() { return b_; }
+  int in_features() const { return in_f_; }
+  int out_features() const { return out_f_; }
 
  private:
   int in_f_, out_f_;
@@ -71,6 +81,15 @@ class BatchNorm2d : public Layer {
     out.push_back(&beta_);
   }
   std::string name() const override { return "BatchNorm2d"; }
+
+  // Inference-math inputs for the model compiler's BN fold: the compiled
+  // affine epilogue must reproduce forward()'s exact expression from these.
+  int channels() const { return ch_; }
+  float eps() const { return eps_; }
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
 
  private:
   int ch_;
@@ -97,6 +116,8 @@ class MaxPool2d : public Layer {
   Tensor forward(const ComputeContext& ctx, const Tensor& x, bool training) override;
   Tensor backward(const ComputeContext& ctx, const Tensor& gout) override;
   std::string name() const override { return "MaxPool2d"; }
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
 
  private:
   int k_, stride_;

@@ -165,6 +165,10 @@ class Sequential : public Layer {
   std::string name() const override { return "Sequential"; }
   size_t size() const { return layers_.size(); }
 
+  /// The i-th child, in the order forward()/forward_batch() walk them — the
+  /// introspection surface the model compiler lowers through (src/compile).
+  Layer& child(size_t i) const { return *layers_.at(i); }
+
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
 };

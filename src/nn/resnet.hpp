@@ -23,6 +23,16 @@ class BasicBlock : public Layer {
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return "BasicBlock"; }
 
+  // Child accessors for the model compiler: the lowering pass replays
+  // forward_batch()'s child order and fork salts from these.
+  Conv2d& conv1() { return conv1_; }
+  Conv2d& conv2() { return conv2_; }
+  BatchNorm2d& bn1() { return bn1_; }
+  BatchNorm2d& bn2() { return bn2_; }
+  bool has_projection() const { return project_; }
+  Conv2d* proj() { return proj_.get(); }
+  BatchNorm2d* proj_bn() { return proj_bn_.get(); }
+
  private:
   Conv2d conv1_, conv2_;
   BatchNorm2d bn1_, bn2_;
@@ -45,6 +55,17 @@ class BottleneckBlock : public Layer {
   Tensor backward(const ComputeContext& ctx, const Tensor& gout) override;
   void collect_params(std::vector<Param*>& out) override;
   std::string name() const override { return "BottleneckBlock"; }
+
+  // Child accessors for the model compiler (as BasicBlock's).
+  Conv2d& conv1() { return conv1_; }
+  Conv2d& conv2() { return conv2_; }
+  Conv2d& conv3() { return conv3_; }
+  BatchNorm2d& bn1() { return bn1_; }
+  BatchNorm2d& bn2() { return bn2_; }
+  BatchNorm2d& bn3() { return bn3_; }
+  bool has_projection() const { return project_; }
+  Conv2d* proj() { return proj_.get(); }
+  BatchNorm2d* proj_bn() { return proj_bn_.get(); }
 
  private:
   Conv2d conv1_, conv2_, conv3_;

@@ -1,9 +1,12 @@
 #include "serve/emu_server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "compile/model_compiler.hpp"
 
 namespace srmac {
 
@@ -19,6 +22,21 @@ EmuServer::EmuServer(std::unique_ptr<Sequential> model, EmuEngine engine,
       queue_(cfg.queue_capacity),
       batcher_(queue_, cfg_, *clock_) {
   if (!model_) throw std::invalid_argument("EmuServer: null model");
+  if (cfg_.compile) {
+    // Ahead-of-time lowering happens before any traffic (and before the
+    // batcher thread exists), so a model/backend the compiler rejects
+    // fails the session constructor with a typed CompileException instead
+    // of faulting batches at runtime.
+    if (cfg_.input_shape.empty())
+      throw CompileException(
+          CompileError::kBadConfig,
+          "ServeConfig::compile requires input_shape (the compiler plans "
+          "buffers for one fixed sample shape)");
+    ModelCompiler::Options copts;
+    copts.input_shape = cfg_.input_shape;
+    copts.max_batch = std::max(1, cfg_.max_batch);
+    compiled_ = ModelCompiler(engine_).compile(*model_, copts);
+  }
   if (cfg_.start_thread) thread_ = std::thread([this] { serve_loop(); });
 }
 
@@ -227,8 +245,16 @@ void EmuServer::process(std::vector<ServeRequest>& batch) {
   try {
     // Inference-pinned dispatch: the engine context starts at
     // GemmPass::kForward with the engine's base seed — the same chain an
-    // offline model.forward(engine.context(), x, false) walks.
-    model_->forward_batch(engine_.context(), xs);
+    // offline model.forward(engine.context(), x, false) walks. Compiled
+    // sessions replay that chain through the precompiled program instead;
+    // refresh() first picks up any Param::version bumps (checkpoint load,
+    // optimizer step) by rebuilding exactly the stale planes.
+    if (compiled_) {
+      compiled_->refresh();
+      compiled_->forward_batch(xs);
+    } else {
+      model_->forward_batch(engine_.context(), xs);
+    }
   } catch (...) {
     const std::exception_ptr err = std::current_exception();
     for (ServeRequest& r : live) r.promise.set_exception(err);

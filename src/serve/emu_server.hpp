@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "compile/compiled_model.hpp"
 #include "engine/emu_engine.hpp"
 #include "nn/module.hpp"
 #include "serve/fault_injector.hpp"
@@ -120,6 +121,12 @@ class EmuServer {
   const EmuEngine& engine() const { return engine_; }
   const ServeConfig& config() const { return cfg_; }
 
+  /// The compiled program this session serves through, or nullptr in eager
+  /// mode (cfg.compile=false). Built once at construction; checkpoint loads
+  /// into the live model are picked up through CompiledModel::refresh()
+  /// before every micro-batch (one Param::version compare per GEMM op).
+  const CompiledModel* compiled() const { return compiled_.get(); }
+
   /// Snapshot of the engine's telemetry sink (GEMM counters plus the
   /// serve_* serving counters). Callable from any thread.
   TelemetrySnapshot telemetry() const { return engine_.telemetry().snapshot(); }
@@ -141,6 +148,7 @@ class EmuServer {
   std::unique_ptr<Sequential> model_;
   EmuEngine engine_;
   const ServeConfig cfg_;
+  std::unique_ptr<CompiledModel> compiled_;  ///< set iff cfg_.compile
   const ServeClock* clock_;
   FaultInjector* injector_;
   const BatchCallback on_batch_;

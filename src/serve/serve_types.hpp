@@ -105,6 +105,16 @@ struct ServeConfig {
   /// used as the per-replica index of the telemetry counters. 0 for a
   /// standalone session.
   int replica_id = 0;
+
+  /// Serve through an ahead-of-time CompiledModel (src/compile,
+  /// docs/COMPILER.md) instead of the eager per-layer walk: weight planes
+  /// quantize+pack once at session construction, BN/bias/ReLU epilogues
+  /// fuse into the GEMM tails, and all per-request buffers are preplanned —
+  /// bit-identical outputs (the compiled executor replays the eager fork
+  /// chain), lower steady-state overhead. Requires `input_shape` to be set
+  /// (the compiler plans buffers for one shape); construction throws
+  /// CompileException for models/backends the compiler cannot lower.
+  bool compile = false;
 };
 
 /// Per-request submission metadata (the ClusterController threads routing

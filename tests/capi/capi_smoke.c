@@ -92,6 +92,23 @@ int main(void) {
     CHECK(t.macs > 0.0);
   }
 
+  /* Ahead-of-time compilation: same bits through the compiled program,
+   * including after a live checkpoint reload (plane rebuild via the
+   * parameter-version handshake). */
+  CHECK(srmac_session_is_compiled(s) == 0);
+  CHECK(srmac_session_compile(NULL, 1) == -1);
+  CHECK(srmac_session_compile(s, 0) == -1);
+  CHECK(srmac_session_compile(s, 1) == 0);
+  CHECK(srmac_session_is_compiled(s) == 1);
+  CHECK(srmac_session_forward(s, input, (size_t)in_numel, out_b, 32) ==
+        out_numel);
+  CHECK(memcmp(out_a, out_b, (size_t)out_numel * sizeof(float)) == 0);
+  CHECK(srmac_session_load_checkpoint(s, ckpt_path) == 0);
+  memset(out_b, 0, sizeof(out_b));
+  CHECK(srmac_session_forward(s, input, (size_t)in_numel, out_b, 32) ==
+        out_numel);
+  CHECK(memcmp(out_a, out_b, (size_t)out_numel * sizeof(float)) == 0);
+
   srmac_session_destroy(s);
   srmac_session_destroy(NULL); /* no-op */
   remove(ckpt_path);

@@ -480,9 +480,15 @@ TEST(EmuServer, StopRacingConcurrentSubmittersDrainsWithoutDrop) {
 
 TEST(EmuServer, TelemetryResetClearsServingCounters) {
   // The per-repetition reset() benches rely on must cover the serving
-  // counters too, so JSON rows are per-run rather than cumulative.
+  // counters too, so JSON rows are per-run rather than cumulative. A
+  // compiled session makes every counter family non-zero at once: the
+  // serve_* counters, the GEMM counters, and the compile_* counters
+  // (planes packed + fused epilogues at construction, activation bytes per
+  // request, a rebuild forced through refresh() by a version bump).
   ServeConfig cfg;
   cfg.start_thread = false;
+  cfg.input_shape = {16};
+  cfg.compile = true;
   auto model = make_model();
   EmuEngine engine = make_engine();
   Telemetry& telemetry = engine.telemetry();
@@ -491,9 +497,21 @@ TEST(EmuServer, TelemetryResetClearsServingCounters) {
   ASSERT_TRUE(server.try_submit(make_sample(0), &f));
   ASSERT_EQ(server.run_once(), 1);
   f.get();
+  std::vector<Param*> params;
+  server.model().collect_params(params);
+  ASSERT_FALSE(params.empty());
+  ++params[0]->version;  // stale plane: the next micro-batch must rebuild it
+  ASSERT_TRUE(server.try_submit(make_sample(1), &f));
+  ASSERT_EQ(server.run_once(), 1);
+  f.get();
   TelemetrySnapshot snap = server.telemetry();
-  ASSERT_EQ(snap.serve_requests, 1u);
+  ASSERT_EQ(snap.serve_requests, 2u);
   ASSERT_GT(snap.gemms, 0u);
+  ASSERT_GT(snap.compile_planes_packed, 0u);
+  ASSERT_GT(snap.compile_folds, 0u);
+  ASSERT_GT(snap.compile_fusions, 0u);
+  ASSERT_GT(snap.compile_rebuilds, 0u);
+  ASSERT_GT(snap.compile_activation_bytes, 0u);
   telemetry.reset();
   snap = server.telemetry();
   EXPECT_EQ(snap.serve_requests, 0u);
@@ -502,4 +520,9 @@ TEST(EmuServer, TelemetryResetClearsServingCounters) {
   EXPECT_TRUE(snap.serve_latency_us.empty());
   EXPECT_EQ(snap.gemms, 0u);
   EXPECT_EQ(snap.serve_latency_percentile_us(50), 0.0);
+  EXPECT_EQ(snap.compile_planes_packed, 0u);
+  EXPECT_EQ(snap.compile_folds, 0u);
+  EXPECT_EQ(snap.compile_fusions, 0u);
+  EXPECT_EQ(snap.compile_rebuilds, 0u);
+  EXPECT_EQ(snap.compile_activation_bytes, 0u);
 }
