@@ -24,6 +24,19 @@
 // layout). The cross-process flavor of the same measurement lives in
 // bench/loadgen.cpp, which drives an external serve_daemon.
 //
+// A "groupedN" leg re-runs the batched configuration with grouped
+// same-shape execution (ServeConfig::grouped, docs/SERVING.md): the
+// micro-batch's per-sample GEMMs merge into one wider dispatch per layer
+// under the seed-period contract, so the row prices the merge against the
+// coalesced per-sample "batchN" row — bitwise-anchored as always (the
+// multicore CI leg floors groupedN/batchN and records the runner's
+// hardware_parallelism, since the win is a function of core count).
+//
+// A "classesN" leg drives the same session with three priority classes
+// (gold/silver/bronze, weighted 4/2/1) and reports per-class latency
+// percentiles in the row's "class_lat" array — the admission-ordering
+// measurement the SLO floors in bench_floors.json gate.
+//
 // With --serve-replicas=N (N > 1) a "fleetN" leg additionally drives a
 // ClusterController fleet of N replicas through the same closed loop, and
 // --chaos adds a "chaosN" leg where a deterministic FaultInjector delays,
@@ -33,7 +46,11 @@
 // breaker counters plus per-replica stats (docs/SERVING.md).
 //
 // Usage: bench_serve [--smoke] [--json PATH] [--model SPEC] [--requests N]
-//                    [--reps N] [--chaos] [engine flags incl. --serve-*]
+//                    [--reps N] [--chaos] [--leg NAME]
+//                    [engine flags incl. --serve-*]
+//   --leg NAME       stamp a file-level "leg" key into the JSON so the
+//                    regression gate can scope floors to one CI matrix leg
+//                    (e.g. the multicore runner's grouped-speedup floor)
 //   --model SPEC     model-zoo grammar (nn/model_zoo.hpp): mlp:W,D
 //                    (default mlp:64,3), resnet20[:S], vgg_mini:C,B[,S]
 //   --requests N     total requests per leg (default 2000; smoke 240)
@@ -45,6 +62,7 @@
 //   --serve-wait-us=N, --serve-clients=N, --serve-replicas=N,
 //   --serve-deadline-us=N, --serve-slo-us=N, --scenario, --backend, ...
 //                    the common engine CLI (src/engine/cli.hpp)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -80,6 +98,16 @@ double now_s() {
 // uses — which is what lets the wire leg verify responses against offline
 // forwards computed in this process.
 
+/// Per-priority-class latency summary for the "classesN" leg row.
+struct ClassLat {
+  std::string name;
+  int priority = 0;
+  int requests = 0;
+  double p50_us = 0, p95_us = 0;
+  uint64_t slo_us = 0;
+  double completed_fraction = 0;
+};
+
 struct LegResult {
   std::string path;  // "batch1" / "batch16" / "wire16" / "fleet3" / "chaos3"
   int max_batch = 1;
@@ -96,7 +124,18 @@ struct LegResult {
   uint64_t sheds = 0, retries = 0, deadline_misses = 0;
   uint64_t breaker_transitions = 0, failed_batches = 0, faults_injected = 0;
   std::vector<ServeReplicaStats> replica_stats;
+  std::vector<ClassLat> class_lat;  ///< per-class summary (classesN only)
 };
+
+/// Client-side latency percentile over a sample set (the serving-session
+/// reservoir covers the whole leg; the classes leg needs them per class).
+double percentile_us(std::vector<double> us, int pct) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  size_t rank = (us.size() * static_cast<size_t>(pct) + 99) / 100;
+  if (rank > 0) --rank;
+  return us[rank];
+}
 
 /// One serving leg: `clients` closed-loop threads push `requests` total
 /// requests through a fresh session; every response is verified bitwise
@@ -105,7 +144,7 @@ struct LegResult {
 LegResult run_leg(const std::string& path, const ModelSpec& model,
                   const EngineCliArgs& eng, int max_batch, int clients,
                   int requests, int reps, const std::vector<Tensor>& refs,
-                  bool compile = false) {
+                  bool compile = false, bool grouped = false) {
   LegResult best;
   best.path = path;
   best.max_batch = max_batch;
@@ -117,6 +156,10 @@ LegResult run_leg(const std::string& path, const ModelSpec& model,
     cfg.queue_capacity = static_cast<size_t>(std::max(64, 4 * clients));
     cfg.input_shape = model.input_shape();
     cfg.compile = compile;
+    // Grouped merge is opt-in per leg: the historical batchN/compiledN rows
+    // keep pricing the coalesced per-sample path so their recorded trends
+    // stay comparable, and groupedN prices exactly the merge delta.
+    cfg.grouped = grouped;
     EmuEngine engine = engine_or_die(eng);
     Telemetry& telemetry = engine.telemetry();
     EmuServer server(model.build(), std::move(engine), cfg);
@@ -166,6 +209,112 @@ LegResult run_leg(const std::string& path, const ModelSpec& model,
     r.p99_us = snap.serve_latency_percentile_us(99);
     r.mean_batch = snap.serve_mean_batch();
     r.batches = snap.serve_batches;
+    if (r.req_per_s > best.req_per_s) best = r;
+  }
+  best.completed = best.requests;
+  return best;
+}
+
+/// Classes leg: the grouped batched session under three priority classes
+/// (gold/silver/bronze weighted 4/2/1, request i in class i % 3), with
+/// client-side latency measured per class. Everything completes — the
+/// single healthy session never sheds — so the row's per-class
+/// completed_fraction floors catch a class silently starving, and the
+/// per-class p95 ceilings catch weighted admission inverting (bronze
+/// beating gold would show up here long before users notice).
+LegResult run_classes_leg(const std::string& path, const ModelSpec& model,
+                          const EngineCliArgs& eng, int max_batch,
+                          int clients, int requests, int reps,
+                          const std::vector<Tensor>& refs) {
+  const std::vector<PriorityClass> classes = {
+      {"gold", 4, eng.serve_slo_us, 0, 1.0},
+      {"silver", 2, eng.serve_slo_us ? 2 * eng.serve_slo_us : 0, 0, 1.0},
+      {"bronze", 1, 0, 0, 0.5}};
+  LegResult best;
+  best.path = path;
+  best.max_batch = max_batch;
+  best.requests = requests;
+  for (int rep = 0; rep < reps; ++rep) {
+    ServeConfig cfg;
+    cfg.max_batch = max_batch;
+    cfg.max_wait_us = eng.serve_wait_us;
+    cfg.queue_capacity = static_cast<size_t>(std::max(64, 4 * clients));
+    cfg.input_shape = model.input_shape();
+    cfg.grouped = true;
+    cfg.classes = classes;
+    EmuEngine engine = engine_or_die(eng);
+    Telemetry& telemetry = engine.telemetry();
+    EmuServer server(model.build(), std::move(engine), cfg);
+    server.submit(model.sample(0)).get();
+    telemetry.reset();
+
+    std::atomic<int> next{0};
+    std::atomic<bool> mismatch{false};
+    // Slot i of the latency table belongs to request i (class i % 3): no
+    // locking, and the per-class split falls out of the index.
+    std::vector<double> lat_us(static_cast<size_t>(requests), 0.0);
+    auto client = [&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) return;
+        const int s = i % kSamplePool;
+        SubmitMeta meta;
+        meta.priority = i % static_cast<int>(classes.size());
+        const double t0 = now_s();
+        std::future<InferResult> fut;
+        Tensor x = model.sample(s);
+        if (!server.try_submit(x, &fut, meta)) {
+          fut = server.submit(std::move(x), meta);
+        }
+        const InferResult r = fut.get();
+        lat_us[static_cast<size_t>(i)] = (now_s() - t0) * 1e6;
+        if (r.output.numel() != refs[s].numel() ||
+            std::memcmp(r.output.data(), refs[s].data(),
+                        static_cast<size_t>(r.output.numel()) *
+                            sizeof(float)) != 0)
+          mismatch.store(true, std::memory_order_relaxed);
+      }
+    };
+    const double t0 = now_s();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) threads.emplace_back(client);
+    for (auto& t : threads) t.join();
+    const double wall = now_s() - t0;
+
+    if (mismatch.load()) {
+      std::fprintf(stderr,
+                   "error: served output diverged from the offline forward "
+                   "(leg %s)\n",
+                   path.c_str());
+      std::exit(1);
+    }
+    const TelemetrySnapshot snap = server.telemetry();
+    LegResult r;
+    r.path = path;
+    r.max_batch = max_batch;
+    r.requests = requests;
+    r.seconds = wall;
+    r.req_per_s = requests / wall;
+    r.p50_us = snap.serve_latency_percentile_us(50);
+    r.p95_us = snap.serve_latency_percentile_us(95);
+    r.p99_us = snap.serve_latency_percentile_us(99);
+    r.mean_batch = snap.serve_mean_batch();
+    r.batches = snap.serve_batches;
+    for (size_t c = 0; c < classes.size(); ++c) {
+      std::vector<double> cls_lat;
+      for (int i = static_cast<int>(c); i < requests;
+           i += static_cast<int>(classes.size()))
+        cls_lat.push_back(lat_us[static_cast<size_t>(i)]);
+      ClassLat cl;
+      cl.name = classes[c].name;
+      cl.priority = static_cast<int>(c);
+      cl.requests = static_cast<int>(cls_lat.size());
+      cl.p50_us = percentile_us(cls_lat, 50);
+      cl.p95_us = percentile_us(cls_lat, 95);
+      cl.slo_us = classes[c].slo_us;
+      cl.completed_fraction = 1.0;  // single healthy session: no shedding
+      r.class_lat.push_back(cl);
+    }
     if (r.req_per_s > best.req_per_s) best = r;
   }
   best.completed = best.requests;
@@ -408,12 +557,15 @@ int main(int argc, char** argv) {
   bool smoke = false, chaos = false;
   std::string json_path = "BENCH_serve.json";
   std::string model_spec = "mlp:64,3";
+  std::string leg_tag;
   int requests = 0, reps = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--leg") == 0 && i + 1 < argc)
+      leg_tag = argv[++i];
     else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc)
       model_spec = argv[++i];
     else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
@@ -463,11 +615,21 @@ int main(int argc, char** argv) {
       run_leg("compiled" + std::to_string(batch), model, eng, batch, clients,
               requests, reps, refs, /*compile=*/true);
   const double compiled_speedup = compiled.req_per_s / coal.req_per_s;
+  // The tentpole measurement: the same batched traffic with the per-layer
+  // GEMMs merged into one wide dispatch (grouped vs coalesced, same bits).
+  const LegResult grouped =
+      run_leg("grouped" + std::to_string(batch), model, eng, batch, clients,
+              requests, reps, refs, /*compile=*/false, /*grouped=*/true);
+  const double grouped_speedup = grouped.req_per_s / coal.req_per_s;
+  const LegResult classes =
+      run_classes_leg("classes" + std::to_string(batch), model, eng, batch,
+                      clients, requests, reps, refs);
   const LegResult wire = run_wire_leg("wire" + std::to_string(batch), model,
                                       eng, batch, clients, requests, reps,
                                       refs);
 
-  std::vector<const LegResult*> rows = {&base, &coal, &compiled, &wire};
+  std::vector<const LegResult*> rows = {&base,    &coal,    &compiled,
+                                        &grouped, &classes, &wire};
   LegResult fleet, wreck;
   if (replicas > 1) {
     fleet = run_fleet_leg("fleet" + std::to_string(replicas), model, eng,
@@ -494,6 +656,12 @@ int main(int argc, char** argv) {
               speedup);
   std::printf("compiled speedup (compiled%d vs %s): %.2fx\n", batch,
               tag.c_str(), compiled_speedup);
+  std::printf("grouped speedup (grouped%d vs %s): %.2fx\n", batch,
+              tag.c_str(), grouped_speedup);
+  for (const ClassLat& cl : classes.class_lat)
+    std::printf("class %-7s (w-pri %d): %5d req, p50 %8.1fus, p95 %8.1fus\n",
+                cl.name.c_str(), cl.priority, cl.requests, cl.p50_us,
+                cl.p95_us);
   if (chaos)
     std::printf(
         "chaos (%d replicas): %d completed, %d typed failures, %llu sheds, "
@@ -523,10 +691,12 @@ int main(int argc, char** argv) {
   js << "  \"hardware_parallelism\": " << ThreadPool::global().parallelism()
      << ",\n";
   js << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  js << "  \"leg\": \"" << leg_tag << "\",\n";
   js << "  \"serve_replicas\": " << replicas << ",\n";
   js << "  \"chaos\": " << (chaos ? "true" : "false") << ",\n";
   js << "  \"speedup_batched_vs_batch1\": " << speedup << ",\n";
   js << "  \"speedup_compiled_vs_batched\": " << compiled_speedup << ",\n";
+  js << "  \"speedup_grouped_vs_batched\": " << grouped_speedup << ",\n";
   js << "  \"results\": [\n";
   bool first = true;
   for (const LegResult* r : rows) {
@@ -557,6 +727,19 @@ int main(int argc, char** argv) {
            << ", \"breaker_opens\": " << s.breaker_opens
            << ", \"breaker_half_opens\": " << s.breaker_half_opens
            << ", \"breaker_closes\": " << s.breaker_closes << "}";
+      }
+      js << "]";
+    }
+    if (!r->class_lat.empty()) {
+      js << ", \"class_lat\": [";
+      for (size_t i = 0; i < r->class_lat.size(); ++i) {
+        const ClassLat& cl = r->class_lat[i];
+        if (i) js << ", ";
+        js << "{\"class\": \"" << cl.name << "\", \"priority\": "
+           << cl.priority << ", \"requests\": " << cl.requests
+           << ", \"p50_us\": " << cl.p50_us << ", \"p95_us\": " << cl.p95_us
+           << ", \"slo_us\": " << cl.slo_us << ", \"completed_fraction\": "
+           << cl.completed_fraction << "}";
       }
       js << "]";
     }

@@ -27,7 +27,12 @@ Floors file format:
         {"bench": "serve", "smoke": false, "min_speedup": 1.05},
         {"bench": "serve", "transport": "wire", "path": "loadgen",
          "smoke": true, "baseline_req_per_s": 400.0,
-         "require_resolved": true}
+         "require_resolved": true},
+        {"bench": "serve", "leg": "multicore", "smoke": true,
+         "min_grouped_speedup": 1.0, "min_hardware_parallelism": 2},
+        {"bench": "serve", "path": "classes16", "class": "gold",
+         "smoke": true, "max_p95_us": 500000.0,
+         "min_completed_fraction": 1.0}
       ]
     }
 
@@ -46,10 +51,21 @@ completed/failed counters; a floor with "require_resolved" asserts
 completed + failed == requests (no request vanished or hung during the
 chaos run) and "min_completed_fraction" bounds how much of the load the
 degraded fleet may shed/fail (both no-tolerance checks — they are
-correctness floors, not throughput). Serve floors additionally select on
+correctness floors, not throughput). "min_grouped_speedup" floors the
+file's recorded groupedN-vs-batchN merge speedup (grouped same-shape
+execution, docs/SERVING.md) and "min_hardware_parallelism" asserts the
+runner actually had cores for the merge to use — together they make the
+multicore CI leg prove the grouped win instead of assuming it. A serve
+floor carrying "class" matches a row's per-class "class_lat" entries by
+class name and applies "max_p95_us" (a latency CEILING, no tolerance) and
+per-class "min_completed_fraction" — the SLO-ordering gate. Serve floors
+additionally select on
 "transport": "inproc" (the default, bench_serve's in-process rows) vs
 "wire" (loadgen's cross-process rows over the TCP protocol — a file-level
-key in the loadgen JSON). Rows without a
+key in the loadgen JSON), and on "leg" (matched against the file-level
+"leg" key bench_serve stamps with --leg; rules without "leg" match only
+files without one, so a multicore floor can never gate a single-core
+smoke file by accident). Rows without a
 matching floor pass silently (new paths get floors when their numbers are
 recorded); floors that match nothing in the given files are reported as
 skipped, not failed — each CI job only produces a subset. Stdlib only.
@@ -73,7 +89,7 @@ def scenario_matches(rule, data):
 
 
 def check_file(path, data, floors, tolerance, report, report_speedup,
-               report_resolved):
+               report_resolved, report_parallelism, report_class):
     bench = data.get("bench")
     smoke = bool(data.get("smoke", False))
     matched = set()
@@ -81,14 +97,19 @@ def check_file(path, data, floors, tolerance, report, report_speedup,
     if bench == "serve":
         # In-process bench_serve files carry no "transport" key; loadgen's
         # cross-process rows say "wire". Rules default to "inproc" so the
-        # pre-existing floors never match a loadgen file by accident.
+        # pre-existing floors never match a loadgen file by accident. The
+        # "leg" selector works the same way against the file-level key
+        # bench_serve stamps with --leg (default "").
         transport = str(data.get("transport", "inproc"))
+        leg = str(data.get("leg", ""))
         for i, rule in enumerate(floors):
             if rule.get("bench") != bench:
                 continue
             if bool(rule.get("smoke", False)) != smoke:
                 continue
             if str(rule.get("transport", "inproc")) != transport:
+                continue
+            if str(rule.get("leg", "")) != leg:
                 continue
             if "min_speedup" in rule:
                 matched.add(i)
@@ -101,8 +122,29 @@ def check_file(path, data, floors, tolerance, report, report_speedup,
                                rule, key="min_compiled_speedup",
                                label="compiled")
                 continue
+            if "min_grouped_speedup" in rule:
+                matched.add(i)
+                report_speedup(path, data.get("speedup_grouped_vs_batched"),
+                               rule, key="min_grouped_speedup",
+                               label="grouped")
+                if "min_hardware_parallelism" in rule:
+                    report_parallelism(
+                        path, data.get("hardware_parallelism"), rule)
+                continue
+            if "min_hardware_parallelism" in rule:
+                matched.add(i)
+                report_parallelism(path, data.get("hardware_parallelism"),
+                                   rule)
+                continue
             for row in data.get("results", []):
                 if rule.get("path") != row.get("path"):
+                    continue
+                if "class" in rule:
+                    for cl in row.get("class_lat", []):
+                        if cl.get("class") != rule.get("class"):
+                            continue
+                        matched.add(i)
+                        report_class(path, row, cl, rule)
                     continue
                 matched.add(i)
                 if "baseline_req_per_s" in rule:
@@ -220,6 +262,52 @@ def main():
             failures.append("%s: %s speedup %.2fx below floor %.2fx"
                             % (path, label, shown, need))
 
+    def report_parallelism(path, value, rule):
+        # Sanity anchor for the multicore leg: a grouped-speedup floor on a
+        # 1-core runner proves nothing, so the floor asserts the runner's
+        # recorded hardware_parallelism too (no tolerance — it is a fact
+        # about the machine, not a measurement).
+        need = int(rule["min_hardware_parallelism"])
+        got = int(value) if value is not None else 0
+        checked[0] += 1
+        ok = got >= need
+        print("%s %s: hardware_parallelism = %d (floor %d)"
+              % ("ok  " if ok else "FAIL", path, got, need))
+        if not ok:
+            failures.append(
+                "%s: hardware_parallelism %d below floor %d (the multicore "
+                "leg ran on too small a runner)" % (path, got, need))
+
+    def report_class(path, row, cl, rule):
+        # Per-class SLO floors over a classesN row's class_lat entries:
+        # p95 latency CEILING and completed-fraction floor, both
+        # no-tolerance (ordering inversions and starved classes are
+        # correctness, not jitter).
+        label = "%s class %s" % (row.get("path", "?"), cl.get("class", "?"))
+        checked[0] += 1
+        ok = True
+        if "max_p95_us" in rule:
+            p95 = float(cl.get("p95_us", 0.0))
+            ceiling = float(rule["max_p95_us"])
+            if p95 > ceiling:
+                ok = False
+                failures.append("%s: %s p95 %.1fus above ceiling %.1fus"
+                                % (path, label, p95, ceiling))
+        frac = float(cl.get("completed_fraction", 0.0))
+        need = float(rule.get("min_completed_fraction", 0.0))
+        if frac < need:
+            ok = False
+            failures.append(
+                "%s: %s completed only %.0f%% of requests (floor %.0f%%)"
+                % (path, label, 100.0 * frac, 100.0 * need))
+        print("%s %s: %s p95 = %.1fus%s, completed %.0f%%%s"
+              % ("ok  " if ok else "FAIL", path, label,
+                 float(cl.get("p95_us", 0.0)),
+                 (" (ceiling %.1fus)" % float(rule["max_p95_us"]))
+                 if "max_p95_us" in rule else "",
+                 100.0 * frac,
+                 (", floor %.0f%%" % (100.0 * need)) if need else ""))
+
     matched = set()
     for path in args.files:
         try:
@@ -228,7 +316,8 @@ def main():
             failures.append("%s: unreadable bench file (%s)" % (path, e))
             continue
         matched |= check_file(path, data, floors, tolerance, report,
-                              report_speedup, report_resolved)
+                              report_speedup, report_resolved,
+                              report_parallelism, report_class)
 
     for i, rule in enumerate(floors):
         if i not in matched:

@@ -150,6 +150,11 @@ class CompiledModel {
   Telemetry* telemetry_ = nullptr;
   int threads_ = 0;
   int capacity_ = 0;
+  /// Grouped same-shape execution (ModelCompiler::Options::grouped,
+  /// docs/SERVING.md): each GEMM op runs the whole micro-batch as one wide
+  /// kernel (seed periods keep per-sample bits) instead of fanning samples
+  /// out as independent problems.
+  bool grouped_ = false;
   std::vector<int> input_shape_, output_shape_;  ///< per sample, no batch dim
   int64_t in_numel_ = 0, out_numel_ = 0;
 
@@ -165,6 +170,7 @@ class CompiledModel {
   std::vector<uint32_t> qcols_;  ///< quantized im2col, capacity * max(K*L)
   std::vector<uint32_t> qact_;   ///< quantized Linear activations, cap*max(K)
   std::vector<PackedBPanels> panels_;  ///< conv B pack target per sample
+  std::vector<float> gout_;  ///< grouped: wide conv GEMM output, cap*max(M*L)
 
   Stats stats_;
   uint64_t gemms_per_sample_ = 0;

@@ -34,6 +34,7 @@ std::unique_ptr<CompiledModel> ModelCompiler::compile(
   m.telemetry_ = base.telemetry;
   m.threads_ = base.threads;
   m.capacity_ = opts.max_batch;
+  m.grouped_ = opts.grouped;
   m.input_shape_ = opts.input_shape;
 
   // The lowering walk. Local to the friend's member function so it can
@@ -46,6 +47,7 @@ std::unique_ptr<CompiledModel> ModelCompiler::compile(
     int cur = 0;             ///< buffer holding the current activation
     int64_t max_conv_kl = 0;  ///< largest conv K*L (im2col scratch)
     int64_t max_conv_nk = 0;  ///< largest conv panel bt size (N*K words)
+    int64_t max_conv_ml = 0;  ///< largest conv M*L (grouped wide output)
     int64_t max_lin_k = 0;    ///< largest Linear K (activation quantize)
 
     static int64_t numel_of(const std::vector<int>& s) {
@@ -122,6 +124,8 @@ std::unique_ptr<CompiledModel> ModelCompiler::compile(
       op.w_version = op.w->version;
       const int64_t kl = static_cast<int64_t>(op.K) * op.N;
       max_conv_kl = std::max(max_conv_kl, kl);
+      max_conv_ml = std::max(max_conv_ml,
+                             static_cast<int64_t>(op.M) * op.N);
       if (bits) {
         op.cfg = cc.mac_config().normalized();
         op.seed = cc.seed;
@@ -424,6 +428,12 @@ std::unique_ptr<CompiledModel> ModelCompiler::compile(
   m.panels_.resize(cap);
   for (PackedBPanels& p : m.panels_)
     p.bt.reserve(static_cast<size_t>(lo.max_conv_nk));
+  if (opts.grouped) {
+    m.gout_.assign(cap * static_cast<size_t>(lo.max_conv_ml), 0.0f);
+    // The grouped conv pack targets one panel spanning the whole wide batch.
+    if (!m.panels_.empty())
+      m.panels_[0].bt.reserve(cap * static_cast<size_t>(lo.max_conv_nk));
+  }
 
   if (base.telemetry)
     base.telemetry->record_compile(m.stats_.planes_packed, m.stats_.folds,

@@ -32,6 +32,13 @@ class ModelCompiler {
   struct Options {
     std::vector<int> input_shape;  ///< per-sample shape, no batch dimension
     int max_batch = 16;            ///< compiled capacity (ServeConfig::max_batch)
+    /// Grouped same-shape execution (docs/SERVING.md): run each GEMM op as
+    /// ONE wide kernel over the whole micro-batch (samples concatenated
+    /// along the free axis, seed periods preserving each sample's
+    /// standalone bits) instead of one problem per sample. Bitwise
+    /// identical either way; grouped amortizes dispatch and lets the
+    /// kernel's own threading span the merged problem.
+    bool grouped = false;
   };
 
   /// The engine supplies the backend, policy, seed, thread cap, and

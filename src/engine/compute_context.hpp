@@ -29,6 +29,14 @@ struct ComputeContext {
   Telemetry* telemetry = nullptr;
   GemmPass pass = GemmPass::kForward;
 
+  /// When true (set by EmuServer under ServeConfig::grouped), batch-aware
+  /// layers may merge the micro-batch's same-shape per-sample GEMMs into
+  /// one wider dispatch, using the backend's seed-period contract
+  /// (MatmulBackend::supports_grouped) so every sample keeps the exact
+  /// seeds of its standalone forward — outputs stay bitwise identical to
+  /// per-sample execution (docs/SERVING.md "Grouped execution").
+  bool grouped = false;
+
   /// When non-null (set by Sequential::backward on a batching backend),
   /// layers defer their weight-gradient GEMM into this batch instead of
   /// dispatching it themselves — cross-layer gradient bucketing, flushed by

@@ -64,6 +64,8 @@ void MatmulBackend::gemm_batch(const GemmBatchItem* items,
     b.accumulate = a.accumulate;
     b.seed = a.seed;
     b.threads = a.threads;
+    b.seed_row_period = a.seed_row_period;
+    b.seed_col_period = a.seed_col_period;
     if (it.Aq) {
       b.Aq = it.Aq;
       b.lda = a.lda;
@@ -140,6 +142,9 @@ class Fp32Backend final : public MatmulBackend {
  public:
   std::string name() const override { return "fp32"; }
   bool bit_accurate() const override { return false; }
+  // No randomness at all, so seed periods are vacuously honored — grouping
+  // callers may concatenate problems freely.
+  bool supports_grouped() const override { return true; }
   void gemm(const MacConfig&, const GemmArgs& a) const override {
     gemm_ref(a.M, a.N, a.K, a.A, a.lda, a.B, a.ldb, a.C, a.ldc, a.accumulate,
              a.threads);
@@ -153,13 +158,16 @@ class FusedBackend final : public MatmulBackend {
   std::string name() const override { return "fused"; }
   bool bit_accurate() const override { return true; }
   bool supports_prequantized() const override { return true; }
+  bool supports_grouped() const override { return true; }
   void gemm(const MacConfig& cfg, const GemmArgs& a) const override {
     gemm_mac(cfg, a.M, a.N, a.K, a.A, a.lda, a.B, a.ldb, a.C, a.ldc,
-             a.accumulate, a.seed, a.threads);
+             a.accumulate, a.seed, a.threads, a.seed_row_period,
+             a.seed_col_period);
   }
   void gemm_bits(const MacConfig& cfg, const GemmBitsArgs& a) const override {
     gemm_mac_bits(cfg, a.M, a.N, a.K, a.Aq, a.lda, a.Bq, a.ldb, a.C, a.ldc,
-                  a.accumulate, a.seed, a.threads);
+                  a.accumulate, a.seed, a.threads, a.seed_row_period,
+                  a.seed_col_period);
   }
 };
 
@@ -169,9 +177,11 @@ class ReferenceBackend final : public MatmulBackend {
  public:
   std::string name() const override { return "reference"; }
   bool bit_accurate() const override { return true; }
+  bool supports_grouped() const override { return true; }
   void gemm(const MacConfig& cfg, const GemmArgs& a) const override {
     gemm_mac_reference(cfg, a.M, a.N, a.K, a.A, a.lda, a.B, a.ldb, a.C, a.ldc,
-                       a.accumulate, a.seed, a.threads);
+                       a.accumulate, a.seed, a.threads, a.seed_row_period,
+                       a.seed_col_period);
   }
 };
 
@@ -192,13 +202,16 @@ class BatchedBackend final : public MatmulBackend {
   bool bit_accurate() const override { return true; }
   bool supports_prequantized() const override { return true; }
   bool supports_batch() const override { return true; }
+  bool supports_grouped() const override { return true; }
   void gemm(const MacConfig& cfg, const GemmArgs& a) const override {
     gemm_mac(cfg, a.M, a.N, a.K, a.A, a.lda, a.B, a.ldb, a.C, a.ldc,
-             a.accumulate, a.seed, a.threads);
+             a.accumulate, a.seed, a.threads, a.seed_row_period,
+             a.seed_col_period);
   }
   void gemm_bits(const MacConfig& cfg, const GemmBitsArgs& a) const override {
     gemm_mac_bits(cfg, a.M, a.N, a.K, a.Aq, a.lda, a.Bq, a.ldb, a.C, a.ldc,
-                  a.accumulate, a.seed, a.threads);
+                  a.accumulate, a.seed, a.threads, a.seed_row_period,
+                  a.seed_col_period);
   }
 
   void gemm_batch(const GemmBatchItem* items, size_t count) const override {
@@ -257,7 +270,8 @@ class BatchedBackend final : public MatmulBackend {
             const GemmArgs& a = items[i].args;
             const Prepared& p = prep[i];
             gemm_mac_bits_packed(p.cfg, a.M, a.N, a.K, p.aq, p.lda, *p.b,
-                                 a.C, a.ldc, a.accumulate, a.seed, a.threads);
+                                 a.C, a.ldc, a.accumulate, a.seed, a.threads,
+                                 a.seed_row_period, a.seed_col_period);
           }
         },
         threads, /*grain=*/1);
@@ -288,13 +302,16 @@ class ShardedBackend final : public MatmulBackend, public ShardStatsSource {
   bool bit_accurate() const override { return true; }
   bool supports_prequantized() const override { return true; }
   bool supports_batch() const override { return true; }
+  bool supports_grouped() const override { return true; }
   void gemm(const MacConfig& cfg, const GemmArgs& a) const override {
     gemm_mac(cfg, a.M, a.N, a.K, a.A, a.lda, a.B, a.ldb, a.C, a.ldc,
-             a.accumulate, a.seed, a.threads);
+             a.accumulate, a.seed, a.threads, a.seed_row_period,
+             a.seed_col_period);
   }
   void gemm_bits(const MacConfig& cfg, const GemmBitsArgs& a) const override {
     gemm_mac_bits(cfg, a.M, a.N, a.K, a.Aq, a.lda, a.Bq, a.ldb, a.C, a.ldc,
-                  a.accumulate, a.seed, a.threads);
+                  a.accumulate, a.seed, a.threads, a.seed_row_period,
+                  a.seed_col_period);
   }
 
   void gemm_batch(const GemmBatchItem* items, size_t count) const override {
@@ -376,7 +393,8 @@ class ShardedBackend final : public MatmulBackend, public ShardStatsSource {
             }
           }
           gemm_mac_bits_packed(cfg, a.M, a.N, a.K, aq, lda, *panels, a.C,
-                               a.ldc, a.accumulate, a.seed, a.threads);
+                               a.ldc, a.accumulate, a.seed, a.threads,
+                               a.seed_row_period, a.seed_col_period);
         },
         [S](int64_t i) { return static_cast<int>(i % S); }, &run,
         batch_thread_cap(items, count));

@@ -51,6 +51,12 @@ void Telemetry::record_sharded(
   totals_.per_backend[backend].shard_migrations += migrations;
 }
 
+void Telemetry::record_grouped_gemm(uint64_t samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.gemms_grouped += 1;
+  totals_.grouped_samples += samples;
+}
+
 void Telemetry::record_quantize(uint64_t values, const FpFormat& fmt) {
   const uint64_t bytes = values * static_cast<uint64_t>((fmt.width() + 7) / 8);
   std::lock_guard<std::mutex> lock(mu_);

@@ -74,6 +74,13 @@ struct TelemetrySnapshot {
   // ---- serving-side counters (EmuServer, docs/SERVING.md) ----
   uint64_t serve_requests = 0;  ///< requests completed by the server
   uint64_t serve_batches = 0;   ///< micro-batches executed
+  /// Wide GEMM dispatches that merged several same-shape per-sample
+  /// problems into one kernel (grouped execution, docs/SERVING.md), and the
+  /// per-sample problems they absorbed. gemms counts the merged dispatch
+  /// once; grouped_samples - gemms_grouped is the number of dispatches the
+  /// merge eliminated.
+  uint64_t gemms_grouped = 0;
+  uint64_t grouped_samples = 0;
   /// serve_batch_hist[s] = micro-batches that coalesced exactly s requests
   /// (index 0 unused; grows to the largest batch seen).
   std::vector<uint64_t> serve_batch_hist;
@@ -145,6 +152,12 @@ class Telemetry {
   void record_sharded(const std::string& backend, uint64_t migrations,
                       const std::vector<uint64_t>& planes_packed_per_shard,
                       uint64_t plane_bytes_quantized);
+
+  /// Records one grouped GEMM dispatch that merged `samples` same-shape
+  /// per-sample problems into a single wide kernel. The dispatch itself
+  /// also counts once through record_gemm, so gemms stays the number of
+  /// kernels actually launched.
+  void record_grouped_gemm(uint64_t samples);
 
   /// Records one executed micro-batch that coalesced `batch_size` requests,
   /// with each completed request's submit->completion latency in

@@ -23,6 +23,18 @@ inline uint64_t mix_seed(uint64_t s, uint64_t i, uint64_t j) {
   return z ^ (z >> 31);
 }
 
+/// mix_seed through the optional seed periods (grouped same-shape
+/// execution, see the gemm_mac_bits_packed contract in gemm.hpp): a
+/// non-zero period folds the coordinate before hashing, so element
+/// (i, s*L + t) of a wide column-concatenated GEMM draws the same LFSR
+/// sequence as element (i, t) of the standalone problem it came from.
+inline uint64_t mix_seed_periodic(uint64_t s, uint64_t i, uint64_t j,
+                                  int row_period, int col_period) {
+  if (row_period > 0) i %= static_cast<uint64_t>(row_period);
+  if (col_period > 0) j %= static_cast<uint64_t>(col_period);
+  return mix_seed(s, i, j);
+}
+
 /// Blocking parameters (see docs/PERF.md). NC bounds the packed-B working
 /// set of one row sweep (NC * K operand words); KC bounds the bulk-draw
 /// random buffer and gives the k-loop a cache-sized stride.
@@ -91,7 +103,8 @@ PackedBPanels gemm_pack_b(const MacConfig& cfg, int K, int N,
 void gemm_mac_bits_packed(const MacConfig& cfg, int M, int N, int K,
                           const uint32_t* Aq, int lda, const PackedBPanels& B,
                           float* C, int ldc, bool accumulate, uint64_t seed,
-                          int threads) {
+                          int threads, int seed_row_period,
+                          int seed_col_period) {
   const MacConfig c = cfg.normalized();
   const FusedMacKernel kernel(c);
   const FpFormat acc_fmt = c.acc_fmt;
@@ -142,8 +155,10 @@ void gemm_mac_bits_packed(const MacConfig& cfg, int M, int N, int K,
                   bt.data() + static_cast<size_t>(j / G) * G * K;
               for (int l = 0; l < G; ++l) {
                 acc[l] = init_acc(C + static_cast<size_t>(i) * ldc + j + l);
-                lf[l].reseed(mix_seed(seed, static_cast<uint64_t>(i),
-                                      static_cast<uint64_t>(j + l)));
+                lf[l].reseed(mix_seed_periodic(
+                    seed, static_cast<uint64_t>(i),
+                    static_cast<uint64_t>(j + l), seed_row_period,
+                    seed_col_period));
               }
               for (int kc = 0; kc < K; kc += kKc) {
                 const int kn = std::min(K - kc, kKc);
@@ -171,8 +186,9 @@ void gemm_mac_bits_packed(const MacConfig& cfg, int M, int N, int K,
               const uint32_t* bcol = bt.data() +
                                      static_cast<size_t>(full_groups) * G * K +
                                      static_cast<size_t>(j - full_groups * G) * K;
-              lfsr.reseed(mix_seed(seed, static_cast<uint64_t>(i),
-                                   static_cast<uint64_t>(j)));
+              lfsr.reseed(mix_seed_periodic(
+                  seed, static_cast<uint64_t>(i), static_cast<uint64_t>(j),
+                  seed_row_period, seed_col_period));
               float* out = C + static_cast<size_t>(i) * ldc + j;
               Unpacked a0 = init_acc(out);
               for (int kc = 0; kc < K; kc += kKc) {
@@ -202,29 +218,31 @@ void gemm_dequantize(const FpFormat& fmt, int rows, int cols,
 void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
                    const uint32_t* Aq, int lda, const uint32_t* Bq, int ldb,
                    float* C, int ldc, bool accumulate, uint64_t seed,
-                   int threads) {
+                   int threads, int seed_row_period, int seed_col_period) {
   const MacConfig c = cfg.normalized();
   const PackedBPanels packed = gemm_pack_b(c, K, N, Bq, ldb, threads);
   gemm_mac_bits_packed(c, M, N, K, Aq, lda, packed, C, ldc, accumulate, seed,
-                       threads);
+                       threads, seed_row_period, seed_col_period);
 }
 
 void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
               int lda, const float* B, int ldb, float* C, int ldc,
-              bool accumulate, uint64_t seed, int threads) {
+              bool accumulate, uint64_t seed, int threads,
+              int seed_row_period, int seed_col_period) {
   const MacConfig c = cfg.normalized();
   std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
   std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
   gemm_quantize(c.mul_fmt, M, K, A, lda, qa.data(), threads);
   gemm_quantize(c.mul_fmt, K, N, B, ldb, qb.data(), threads);
   gemm_mac_bits(c, M, N, K, qa.data(), K, qb.data(), N, C, ldc, accumulate,
-                seed, threads);
+                seed, threads, seed_row_period, seed_col_period);
 }
 
 void gemm_mac_reference(const MacConfig& cfg, int M, int N, int K,
                         const float* A, int lda, const float* B, int ldb,
                         float* C, int ldc, bool accumulate, uint64_t seed,
-                        int threads) {
+                        int threads, int seed_row_period,
+                        int seed_col_period) {
   const MacConfig c = cfg.normalized();
 
   // Quantize operands once (RN into the multiplier input format).
@@ -238,8 +256,10 @@ void gemm_mac_reference(const MacConfig& cfg, int M, int N, int K,
       [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
           for (int j = 0; j < N; ++j) {
-            MacUnit unit(c, mix_seed(seed, static_cast<uint64_t>(i),
-                                     static_cast<uint64_t>(j)));
+            MacUnit unit(c, mix_seed_periodic(
+                                seed, static_cast<uint64_t>(i),
+                                static_cast<uint64_t>(j), seed_row_period,
+                                seed_col_period));
             if (accumulate) {
               unit.set_acc(SoftFloat::from_double(
                   c.acc_fmt, C[static_cast<size_t>(i) * ldc + j]));

@@ -36,10 +36,21 @@ void gemm_pack_b_into(const MacConfig& cfg, int K, int N, const uint32_t* Bq,
 /// gemm_mac_bits with B already packed by gemm_pack_b under the same
 /// (normalized) cfg. This is the inner entry point of both gemm_mac_bits
 /// and the batched backend's per-problem loop.
+///
+/// `seed_row_period` / `seed_col_period`: when non-zero, the per-element
+/// LFSR seed derives from (i % row_period, j % col_period) instead of
+/// (i, j). This is the grouped same-shape execution contract
+/// (docs/SERVING.md): several independent problems concatenated along one
+/// axis of a single wide GEMM reproduce, element for element, the seeds
+/// their standalone dispatches would have used — col_period = L makes
+/// column s*L+t of a B-concatenated panel seed as column t, row_period = 1
+/// makes every row of an A-stacked panel seed as row 0. 0 (the default)
+/// means the identity mapping; results are unchanged.
 void gemm_mac_bits_packed(const MacConfig& cfg, int M, int N, int K,
                           const uint32_t* Aq, int lda, const PackedBPanels& B,
                           float* C, int ldc, bool accumulate = false,
-                          uint64_t seed = kDefaultSeed, int threads = 0);
+                          uint64_t seed = kDefaultSeed, int threads = 0,
+                          int seed_row_period = 0, int seed_col_period = 0);
 
 /// Bit-accurate GEMM: C[MxN] = A[MxK] * B[KxN] (+ C when `accumulate`),
 /// row-major with leading dimensions. Every output element is produced by
@@ -61,7 +72,8 @@ void gemm_mac_bits_packed(const MacConfig& cfg, int M, int N, int K,
 void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
               int lda, const float* B, int ldb, float* C, int ldc,
               bool accumulate = false, uint64_t seed = kDefaultSeed,
-              int threads = 0);
+              int threads = 0, int seed_row_period = 0,
+              int seed_col_period = 0);
 
 /// gemm_mac on operands already quantized to cfg.mul_fmt bit patterns
 /// (row-major uint32 with leading dimensions). This is the layer the nn
@@ -70,7 +82,8 @@ void gemm_mac(const MacConfig& cfg, int M, int N, int K, const float* A,
 void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
                    const uint32_t* Aq, int lda, const uint32_t* Bq, int ldb,
                    float* C, int ldc, bool accumulate = false,
-                   uint64_t seed = kDefaultSeed, int threads = 0);
+                   uint64_t seed = kDefaultSeed, int threads = 0,
+                   int seed_row_period = 0, int seed_col_period = 0);
 
 /// The seed implementation: one MacUnit per output element stepping through
 /// packed bits, kept as the golden reference the fused engine is verified
@@ -78,7 +91,8 @@ void gemm_mac_bits(const MacConfig& cfg, int M, int N, int K,
 void gemm_mac_reference(const MacConfig& cfg, int M, int N, int K,
                         const float* A, int lda, const float* B, int ldb,
                         float* C, int ldc, bool accumulate = false,
-                        uint64_t seed = kDefaultSeed, int threads = 0);
+                        uint64_t seed = kDefaultSeed, int threads = 0,
+                        int seed_row_period = 0, int seed_col_period = 0);
 
 /// Float reference GEMM with the same interface (the FP32 baseline).
 void gemm_ref(int M, int N, int K, const float* A, int lda, const float* B,

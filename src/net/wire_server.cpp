@@ -24,9 +24,12 @@ void WireServer::stop() {
     if (stopped_) return;
     stopped_ = true;
   }
+  // shutdown() unblocks the accept thread (accept() returns EINVAL) but
+  // leaves the fd valid; close() — which writes fd_ — must wait for the
+  // join so it never races accept_one()'s read of the same fd.
   listener_.shutdown_both();
-  listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
   std::lock_guard<std::mutex> lock(conns_m_);
   for (auto& c : conns_) {
     // Unblock the reader; the writer drains its queue (in-flight futures

@@ -56,12 +56,13 @@ uint64_t ClusterController::recent_p95_us_locked(size_t r) const {
   return sorted[rank];
 }
 
-double ClusterController::load_score_locked(size_t r) const {
+double ClusterController::load_score_locked(size_t r, uint64_t slo_us) const {
   const ReplicaState& st = states_[r];
   const double cap =
       static_cast<double>(std::max<size_t>(1, cfg_.serve.queue_capacity));
   const double max_batch = static_cast<double>(std::max(1, cfg_.serve.max_batch));
-  const double slo = static_cast<double>(std::max<uint64_t>(1, cfg_.slo_us));
+  const double slo = static_cast<double>(
+      std::max<uint64_t>(1, slo_us ? slo_us : cfg_.slo_us));
   return static_cast<double>(replicas_[r]->pending()) / cap +
          static_cast<double>(st.in_flight) / max_batch +
          static_cast<double>(recent_p95_us_locked(r)) / slo;
@@ -71,7 +72,7 @@ double ClusterController::load_score(size_t replica) const {
   std::lock_guard<std::mutex> lk(m_);
   if (!states_[replica].breaker->would_allow(clock_->now_us()))
     return std::numeric_limits<double>::infinity();
-  return load_score_locked(replica);
+  return load_score_locked(replica, 0);
 }
 
 CircuitBreaker::State ClusterController::breaker_state(size_t replica) const {
@@ -92,7 +93,8 @@ void ClusterController::log_transition_locked(int replica,
 }
 
 int ClusterController::pick_replica_locked(uint64_t now_us,
-                                           uint64_t trace_id) {
+                                           uint64_t trace_id,
+                                           uint64_t slo_us) {
   // Score with the side-effect-free preview so losing half-open candidates
   // keep their single probe; only the winner's allow() runs (and may log
   // its open -> half-open transition).
@@ -100,7 +102,7 @@ int ClusterController::pick_replica_locked(uint64_t now_us,
   double best_score = std::numeric_limits<double>::infinity();
   for (size_t r = 0; r < replicas_.size(); ++r) {
     if (!states_[r].breaker->would_allow(now_us)) continue;
-    const double score = load_score_locked(r);
+    const double score = load_score_locked(r, slo_us);
     if (score < best_score) {  // strict <: ties go to the lowest index
       best_score = score;
       best = static_cast<int>(r);
@@ -118,13 +120,26 @@ int ClusterController::pick_replica_locked(uint64_t now_us,
   return best;
 }
 
-std::future<InferResult> ClusterController::submit(Tensor x) {
+std::future<InferResult> ClusterController::submit(Tensor x, int priority) {
   const uint64_t trace_id =
       next_trace_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Resolve the submitting class (empty classes = one implicit default
+  // whose knobs all fall back to the fleet-wide values).
+  const std::vector<PriorityClass>& classes = cfg_.serve.classes;
+  size_t cls = 0;
+  if (!classes.empty() && priority > 0)
+    cls = std::min(static_cast<size_t>(priority), classes.size() - 1);
+  const PriorityClass cls_cfg =
+      classes.empty() ? PriorityClass{} : classes[cls];
+
   SubmitMeta meta;
   meta.trace_id = trace_id;
+  meta.priority = static_cast<int>(cls);
   const uint64_t now = clock_->now_us();
-  if (cfg_.deadline_us) meta.deadline_us = now + cfg_.deadline_us;
+  if (cls_cfg.deadline_us)
+    meta.deadline_us = now + cls_cfg.deadline_us;
+  else if (cfg_.deadline_us)
+    meta.deadline_us = now + cfg_.deadline_us;
 
   const size_t shed_limit =
       cfg_.shed_inflight
@@ -132,6 +147,12 @@ std::future<InferResult> ClusterController::submit(Tensor x) {
           : static_cast<size_t>(cfg_.replicas) *
                 (cfg_.serve.queue_capacity +
                  static_cast<size_t>(std::max(1, cfg_.serve.max_batch)));
+  // Class-scaled shed threshold: a bronze class with shed_at=0.5 sheds at
+  // half the fleet limit, so overload degrades lowest-priority-first.
+  const double shed_at =
+      std::min(1.0, std::max(cls_cfg.shed_at, 1.0 / 1024.0));
+  const size_t class_shed_limit = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(shed_limit) * shed_at));
 
   const int attempts = 1 + std::max(0, cfg_.max_retries);
   int last_rejecting = -1;
@@ -140,9 +161,10 @@ std::future<InferResult> ClusterController::submit(Tensor x) {
       std::lock_guard<std::mutex> lk(m_);
       size_t in_flight = 0;
       for (const ReplicaState& st : states_) in_flight += st.in_flight;
-      if (in_flight >= shed_limit) break;  // global shed threshold
+      if (in_flight >= class_shed_limit) break;  // class shed threshold
 
-      const int r = pick_replica_locked(clock_->now_us(), trace_id);
+      const int r =
+          pick_replica_locked(clock_->now_us(), trace_id, cls_cfg.slo_us);
       if (r < 0) break;  // every breaker refuses traffic: shed
       last_rejecting = r;
 

@@ -164,7 +164,9 @@ struct ClusterConfig {
   /// across the fleet (admitted, not yet resolved), new submissions are
   /// shed with ServeError::kOverloaded instead of blocking. 0 = auto:
   /// replicas * (queue_capacity + max_batch) — i.e. shed only when the
-  /// whole fleet is saturated.
+  /// whole fleet is saturated. With serve.classes configured, each class
+  /// sheds at shed_at * this limit (PriorityClass::shed_at), so overload
+  /// drops the lowest classes first while gold traffic keeps flowing.
   size_t shed_inflight = 0;
 };
 
@@ -227,7 +229,13 @@ class ClusterController {
   /// Routes one sample to the best replica (see class comment). The
   /// returned future always resolves: with an InferResult, or with a
   /// ServeException (kOverloaded shed, kDeadline, kFault, kStopped).
-  std::future<InferResult> submit(Tensor x);
+  /// `priority` indexes cfg.serve.classes (clamped; 0 = highest class and
+  /// the only meaningful value when no classes are configured). The class
+  /// shapes admission three ways: its deadline_us (falling back to
+  /// ClusterConfig::deadline_us), its slo_us in the routing score's
+  /// latency term, and its shed_at fraction of the shed limit — lower
+  /// classes shed earlier under fleet-wide overload.
+  std::future<InferResult> submit(Tensor x, int priority = 0);
 
   /// Manual-mode harness (cfg.serve.start_thread=false): drives every
   /// replica one micro-batch; returns requests processed across the fleet.
@@ -273,8 +281,11 @@ class ClusterController {
   static constexpr size_t kRingSize = 32;
 
   void on_replica_batch(const ReplicaBatchEvent& ev);
-  double load_score_locked(size_t r) const;
-  int pick_replica_locked(uint64_t now_us, uint64_t trace_id);
+  /// slo_us = 0 means the fleet default (cfg_.slo_us); a submitting class
+  /// passes its own target so the latency term reflects *its* tolerance.
+  double load_score_locked(size_t r, uint64_t slo_us) const;
+  int pick_replica_locked(uint64_t now_us, uint64_t trace_id,
+                          uint64_t slo_us);
   uint64_t recent_p95_us_locked(size_t r) const;
   void log_transition_locked(int replica, CircuitBreaker::State to,
                              uint64_t trace_id);

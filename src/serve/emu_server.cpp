@@ -19,9 +19,14 @@ EmuServer::EmuServer(std::unique_ptr<Sequential> model, EmuEngine engine,
       clock_(clock ? clock : &ServeClock::steady()),
       injector_(injector),
       on_batch_(std::move(on_batch)),
-      queue_(cfg.queue_capacity),
+      queue_(cfg.queue_capacity, class_weights(cfg)),
       batcher_(queue_, cfg_, *clock_) {
   if (!model_) throw std::invalid_argument("EmuServer: null model");
+  if (cfg_.continuous && cfg_.compile)
+    throw std::invalid_argument(
+        "EmuServer: continuous batching is incompatible with compile (the "
+        "compiled program executes the whole graph per call; continuous "
+        "batching steps requests one layer per wave)");
   if (cfg_.compile) {
     // Ahead-of-time lowering happens before any traffic (and before the
     // batcher thread exists), so a model/backend the compiler rejects
@@ -35,6 +40,7 @@ EmuServer::EmuServer(std::unique_ptr<Sequential> model, EmuEngine engine,
     ModelCompiler::Options copts;
     copts.input_shape = cfg_.input_shape;
     copts.max_batch = std::max(1, cfg_.max_batch);
+    copts.grouped = cfg_.grouped;
     compiled_ = ModelCompiler(engine_).compile(*model_, copts);
   }
   if (cfg_.start_thread) thread_ = std::thread([this] { serve_loop(); });
@@ -73,9 +79,27 @@ Tensor EmuServer::normalize_input(Tensor x) const {
   return sample;
 }
 
+std::vector<int> EmuServer::class_weights(const ServeConfig& cfg) {
+  std::vector<int> w;
+  w.reserve(cfg.classes.size());
+  for (const PriorityClass& c : cfg.classes) w.push_back(c.weight);
+  return w;  // empty = ClassQueue's single implicit FIFO class
+}
+
+size_t EmuServer::clamp_class(int priority) const {
+  if (cfg_.classes.empty() || priority <= 0) return 0;
+  return std::min(static_cast<size_t>(priority), cfg_.classes.size() - 1);
+}
+
 uint64_t EmuServer::resolve_deadline(const SubmitMeta& meta,
                                      uint64_t now) const {
   if (meta.deadline_us) return meta.deadline_us;
+  if (!cfg_.classes.empty()) {
+    // Per-class relative default: a gold class can run tight deadlines
+    // while bronze requests wait out congestion.
+    const PriorityClass& pc = cfg_.classes[clamp_class(meta.priority)];
+    if (pc.deadline_us) return now + pc.deadline_us;
+  }
   return cfg_.deadline_us ? now + cfg_.deadline_us : 0;
 }
 
@@ -92,6 +116,7 @@ std::future<InferResult> EmuServer::submit(Tensor x, const SubmitMeta& meta) {
   req.submit_us = clock_->now_us();
   req.deadline_us = resolve_deadline(meta, req.submit_us);
   req.trace_id = meta.trace_id;
+  req.priority = static_cast<int>(clamp_class(meta.priority));
   std::future<InferResult> fut = req.promise.get_future();
   if (req.deadline_us) {
     // Deadline-aware admission: wait for queue space only as long as the
@@ -131,6 +156,7 @@ bool EmuServer::try_submit(Tensor& x, std::future<InferResult>* out,
   req.submit_us = clock_->now_us();
   req.deadline_us = resolve_deadline(meta, req.submit_us);
   req.trace_id = meta.trace_id;
+  req.priority = static_cast<int>(clamp_class(meta.priority));
   if (req.deadline_us && req.submit_us >= req.deadline_us) {
     engine_.telemetry().record_serve_deadline_miss(cfg_.replica_id, 1);
     x = std::move(req.input);  // hand the (normalized) sample back
@@ -151,6 +177,22 @@ bool EmuServer::try_submit(Tensor& x, std::future<InferResult>* out,
 }
 
 void EmuServer::serve_loop() {
+  if (cfg_.continuous) {
+    // Continuous batching: the loop never waits for a full drain. With
+    // work in flight it back-fills free slots non-blockingly and runs the
+    // next wave immediately; only an idle engine blocks on the queue.
+    const size_t cap = static_cast<size_t>(std::max(1, cfg_.max_batch));
+    while (true) {
+      std::vector<ServeRequest> batch;
+      if (inflight_.empty()) {
+        batch = batcher_.collect();     // blocks; lingers per max_wait_us
+        if (batch.empty()) return;      // closed and drained, nothing live
+      } else if (inflight_.size() < cap) {
+        batch = batcher_.collect_pending(cap - inflight_.size());
+      }
+      run_wave(batch);
+    }
+  }
   while (true) {
     std::vector<ServeRequest> batch = batcher_.collect();
     if (batch.empty()) return;  // closed and drained
@@ -166,9 +208,172 @@ int EmuServer::run_once() {
   // exec_m_ upholds the single-executor invariant against stop()'s inline
   // drain racing a run_once() caller (forwards are not reentrant).
   std::lock_guard<std::mutex> lk(exec_m_);
+  if (cfg_.continuous) {
+    const size_t cap = static_cast<size_t>(std::max(1, cfg_.max_batch));
+    std::vector<ServeRequest> batch;
+    if (inflight_.size() < cap)
+      batch = batcher_.collect_pending(cap - inflight_.size());
+    if (batch.empty() && inflight_.empty()) return 0;
+    return run_wave(batch);
+  }
   std::vector<ServeRequest> batch = batcher_.collect_pending();
   if (!batch.empty()) process(batch);
   return static_cast<int>(batch.size());
+}
+
+void EmuServer::fail_inflight(ServeError code, const char* what) {
+  const std::exception_ptr err =
+      std::make_exception_ptr(ServeException(code, what));
+  for (InFlight& s : inflight_) s.req.promise.set_exception(err);
+  inflight_.clear();
+  inflight_n_.store(0, std::memory_order_relaxed);
+}
+
+/// One continuous-batching wave: admit `admitted` into free slots (with the
+/// same collect-time deadline enforcement as the discrete path), advance
+/// every in-flight request one layer, then resolve and release finished
+/// slots. Slots sharing a layer cursor run as one forward_batch group under
+/// exactly the fork/rule chain Sequential::forward_batch walks — child i
+/// executes under ctx.fork(i+1).for_layer(name) regardless of which wave
+/// reaches it — so outputs stay bitwise identical to offline forward no
+/// matter how requests interleave. Returns the requests resolved this wave.
+int EmuServer::run_wave(std::vector<ServeRequest>& admitted) {
+  ReplicaBatchEvent ev;
+  ev.replica = cfg_.replica_id;
+
+  const uint64_t admit_us = clock_->now_us();
+  for (ServeRequest& r : admitted) {
+    if (r.deadline_us && admit_us > r.deadline_us) {
+      r.promise.set_exception(std::make_exception_ptr(ServeException(
+          ServeError::kDeadline,
+          "EmuServer: deadline expired before micro-batch execution")));
+      ++ev.expired;
+    } else {
+      InFlight s;
+      s.req = std::move(r);
+      s.admit_us = admit_us;
+      inflight_.push_back(std::move(s));
+    }
+  }
+  admitted.clear();
+  if (ev.expired)
+    engine_.telemetry().record_serve_deadline_miss(
+        cfg_.replica_id, static_cast<uint64_t>(ev.expired));
+  inflight_n_.store(inflight_.size(), std::memory_order_relaxed);
+  // A request leaves the engine exactly once (expired, failed, or
+  // resolved); ev.requests accumulates those exits so the cluster's
+  // in-flight accounting decrements once per request even though the
+  // request's life spans several wave events.
+  ev.requests = ev.expired;
+  if (inflight_.empty()) {
+    if (ev.requests && on_batch_) on_batch_(ev);
+    return 0;
+  }
+
+  const size_t n = inflight_.size();
+  if (killed_.load(std::memory_order_acquire)) {
+    fail_inflight(ServeError::kStopped,
+                  "EmuServer: replica killed before execution");
+    ev.ran = true;
+    ev.requests += n;
+    engine_.telemetry().record_serve_batch(n, nullptr, 0, cfg_.replica_id,
+                                           /*ok=*/false);
+    if (on_batch_) on_batch_(ev);
+    return 0;
+  }
+  FaultInjector::Plan fault;
+  if (injector_) fault = injector_->on_batch(cfg_.replica_id, batch_seq_);
+  ++batch_seq_;
+  ev.ran = true;
+  if (fault.action == FaultInjector::Action::kFail ||
+      fault.action == FaultInjector::Action::kKill) {
+    if (fault.action == FaultInjector::Action::kKill) {
+      killed_.store(true, std::memory_order_release);
+      queue_.close();
+    }
+    fail_inflight(ServeError::kFault,
+                  "EmuServer: injected fault failed the micro-batch");
+    ev.requests += n;
+    engine_.telemetry().record_serve_batch(n, nullptr, 0, cfg_.replica_id,
+                                           /*ok=*/false);
+    if (on_batch_) on_batch_(ev);
+    return 0;
+  }
+  if (fault.action == FaultInjector::Action::kDelay && fault.delay_us)
+    std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
+
+  const uint64_t wave_us = clock_->now_us();
+  try {
+    ComputeContext base = engine_.context();
+    base.grouped = cfg_.grouped;
+    // Distinct cursors, ascending — older requests run their (deeper)
+    // layer first, then newly admitted ones start at layer 0. Slots at the
+    // same depth carry same-shape activations, so the grouped merge
+    // composes with continuous batching for free.
+    std::vector<size_t> cursors;
+    for (const InFlight& s : inflight_) cursors.push_back(s.cursor);
+    std::sort(cursors.begin(), cursors.end());
+    cursors.erase(std::unique(cursors.begin(), cursors.end()), cursors.end());
+    for (size_t cur : cursors) {
+      std::vector<size_t> idx;
+      for (size_t i = 0; i < inflight_.size(); ++i)
+        if (inflight_[i].cursor == cur) idx.push_back(i);
+      std::vector<Tensor> xs(idx.size());
+      for (size_t j = 0; j < idx.size(); ++j)
+        xs[j] = std::move(inflight_[idx[j]].req.input);
+      Layer& child = model_->child(cur);
+      child.forward_batch(
+          base.fork(static_cast<int>(cur) + 1).for_layer(child.name()), xs);
+      for (size_t j = 0; j < idx.size(); ++j) {
+        inflight_[idx[j]].req.input = std::move(xs[j]);
+        ++inflight_[idx[j]].cursor;
+      }
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (InFlight& s : inflight_) s.req.promise.set_exception(err);
+    inflight_.clear();
+    inflight_n_.store(0, std::memory_order_relaxed);
+    ev.requests += n;
+    engine_.telemetry().record_serve_batch(n, nullptr, 0, cfg_.replica_id,
+                                           /*ok=*/false);
+    if (on_batch_) on_batch_(ev);
+    return 0;
+  }
+
+  // Resolve finished requests and compact the slot vector — the releases
+  // that the next wave's back-fill reclaims.
+  const uint64_t done_us = clock_->now_us();
+  const size_t depth = model_->size();
+  std::vector<uint64_t> lat;
+  size_t w = 0;
+  for (size_t i = 0; i < inflight_.size(); ++i) {
+    InFlight& s = inflight_[i];
+    if (s.cursor >= depth) {
+      lat.push_back(done_us - s.req.submit_us);
+      InferResult r;
+      r.output = std::move(s.req.input);
+      r.batch_size = static_cast<int>(n);  // in flight when it completed
+      r.queue_us = s.admit_us - s.req.submit_us;
+      r.total_us = lat.back();
+      r.trace_id = s.req.trace_id;
+      r.replica = cfg_.replica_id;
+      s.req.promise.set_value(std::move(r));
+    } else {
+      if (w != i) inflight_[w] = std::move(inflight_[i]);
+      ++w;
+    }
+  }
+  inflight_.resize(w);
+  inflight_n_.store(w, std::memory_order_relaxed);
+  ev.ok = true;
+  ev.completed = lat.size();
+  ev.requests += lat.size();
+  ev.exec_us = done_us - wave_us;
+  engine_.telemetry().record_serve_batch(n, lat.data(), lat.size(),
+                                         cfg_.replica_id);
+  if (on_batch_) on_batch_(ev);
+  return static_cast<int>(lat.size());
 }
 
 void EmuServer::fail_batch(std::vector<ServeRequest>& batch, ServeError code,
@@ -253,7 +458,9 @@ void EmuServer::process(std::vector<ServeRequest>& batch) {
       compiled_->refresh();
       compiled_->forward_batch(xs);
     } else {
-      model_->forward_batch(engine_.context(), xs);
+      ComputeContext cc = engine_.context();
+      cc.grouped = cfg_.grouped;  // merge same-shape GEMMs per layer
+      model_->forward_batch(cc, xs);
     }
   } catch (...) {
     const std::exception_ptr err = std::current_exception();
@@ -297,8 +504,19 @@ void EmuServer::stop() {
     // Manual mode: drain inline so every admitted request resolves —
     // under exec_m_, in case a run_once() caller is mid-batch.
     std::lock_guard<std::mutex> exec_lk(exec_m_);
-    std::vector<ServeRequest> batch;
-    while (!(batch = batcher_.collect_pending()).empty()) process(batch);
+    if (cfg_.continuous) {
+      const size_t cap = static_cast<size_t>(std::max(1, cfg_.max_batch));
+      while (true) {
+        std::vector<ServeRequest> batch;
+        if (inflight_.size() < cap)
+          batch = batcher_.collect_pending(cap - inflight_.size());
+        if (batch.empty() && inflight_.empty()) break;
+        run_wave(batch);
+      }
+    } else {
+      std::vector<ServeRequest> batch;
+      while (!(batch = batcher_.collect_pending()).empty()) process(batch);
+    }
   }
 }
 

@@ -6,10 +6,12 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "compile/compiled_model.hpp"
 #include "engine/emu_engine.hpp"
 #include "nn/module.hpp"
+#include "serve/class_queue.hpp"
 #include "serve/fault_injector.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/serve_types.hpp"
@@ -101,7 +103,9 @@ class EmuServer {
   /// requests on the calling thread; returns its size (0 when idle). Only
   /// valid with start_thread=false — the deterministic test/embedding
   /// harness; calling it while the batcher thread runs throws
-  /// std::logic_error.
+  /// std::logic_error. Under cfg.continuous one call back-fills free
+  /// in-flight slots and runs ONE wave (every slot advances one layer);
+  /// the return value is the number of requests that resolved this wave.
   int run_once();
 
   /// Closes admission, drains every already-accepted request, and joins
@@ -112,6 +116,13 @@ class EmuServer {
   /// Requests admitted but not yet collected into a micro-batch — the
   /// queue-depth term of the ClusterController's load score.
   size_t pending() const { return queue_.size(); }
+
+  /// Continuous batching: requests currently occupying in-flight slots
+  /// (admitted into the wave engine, not yet resolved). Always 0 in
+  /// discrete mode. Callable from any thread.
+  size_t in_flight() const {
+    return inflight_n_.load(std::memory_order_relaxed);
+  }
 
   /// false once stop() ran or a kKill fault fired: new submissions fail
   /// with ServeError::kStopped (already-admitted requests still drain).
@@ -136,12 +147,24 @@ class EmuServer {
   Telemetry& telemetry_sink() { return engine_.telemetry(); }
 
  private:
+  /// One continuous-batching slot: a request whose activation (req.input)
+  /// has advanced through the model's first `cursor` child layers.
+  struct InFlight {
+    ServeRequest req;
+    size_t cursor = 0;      ///< next child layer to run
+    uint64_t admit_us = 0;  ///< when the slot was filled (queue_us term)
+  };
+
   void serve_loop();
   void process(std::vector<ServeRequest>& batch);
+  int run_wave(std::vector<ServeRequest>& admitted);
+  void fail_inflight(ServeError code, const char* what);
   void fail_batch(std::vector<ServeRequest>& batch, ServeError code,
                   const char* what);
   Tensor normalize_input(Tensor x) const;
+  size_t clamp_class(int priority) const;
   uint64_t resolve_deadline(const SubmitMeta& meta, uint64_t now) const;
+  static std::vector<int> class_weights(const ServeConfig& cfg);
   static std::future<InferResult> failed_future(ServeError code,
                                                 const char* what);
 
@@ -152,8 +175,12 @@ class EmuServer {
   const ServeClock* clock_;
   FaultInjector* injector_;
   const BatchCallback on_batch_;
-  BoundedQueue<ServeRequest> queue_;
+  ClassQueue queue_;
   MicroBatcher batcher_;
+  /// Continuous batching state — touched only by the executor thread (the
+  /// single-executor invariant); the atomic mirrors its size for readers.
+  std::vector<InFlight> inflight_;
+  std::atomic<size_t> inflight_n_{0};
   std::thread thread_;
   uint64_t batch_seq_ = 0;  ///< executed batches; the FaultInjector's key
                             ///< (touched only by the executor thread)

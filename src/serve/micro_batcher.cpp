@@ -32,8 +32,11 @@ std::vector<ServeRequest> MicroBatcher::collect() {
 }
 
 std::vector<ServeRequest> MicroBatcher::collect_pending() {
+  return collect_pending(static_cast<size_t>(std::max(1, cfg_.max_batch)));
+}
+
+std::vector<ServeRequest> MicroBatcher::collect_pending(size_t cap) {
   std::vector<ServeRequest> batch;
-  const size_t cap = static_cast<size_t>(std::max(1, cfg_.max_batch));
   while (batch.size() < cap) {
     std::optional<ServeRequest> r = queue_.try_pop();
     if (!r) break;

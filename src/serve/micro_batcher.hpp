@@ -1,10 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "serve/class_queue.hpp"
 #include "serve/clock.hpp"
 #include "serve/serve_types.hpp"
-#include "util/bounded_queue.hpp"
 
 namespace srmac {
 
@@ -15,7 +16,7 @@ namespace srmac {
 /// is testable in isolation and EmuServer's loop stays a three-liner.
 class MicroBatcher {
  public:
-  MicroBatcher(BoundedQueue<ServeRequest>& queue, const ServeConfig& cfg,
+  MicroBatcher(ClassQueue& queue, const ServeConfig& cfg,
                const ServeClock& clock)
       : queue_(queue), cfg_(cfg), clock_(clock) {}
 
@@ -32,8 +33,13 @@ class MicroBatcher {
   /// exactly (submit k, collect k).
   std::vector<ServeRequest> collect_pending();
 
+  /// collect_pending() with an explicit cap below max_batch — continuous
+  /// batching's back-fill edge: the executor asks for exactly as many
+  /// requests as it has free in-flight slots at a wave boundary.
+  std::vector<ServeRequest> collect_pending(size_t cap);
+
  private:
-  BoundedQueue<ServeRequest>& queue_;
+  ClassQueue& queue_;
   const ServeConfig cfg_;
   const ServeClock& clock_;
 };

@@ -58,6 +58,35 @@ struct InferResult {
   int replica = 0;        ///< replica that executed the request
 };
 
+/// One priority/SLO class of the admission queue (docs/SERVING.md "Grouped
+/// execution & priority classes"). Class 0 is the highest priority;
+/// ServeConfig::classes orders them. An empty classes vector means one
+/// implicit default class — plain FIFO, the pre-class behavior.
+struct PriorityClass {
+  std::string name = "default";
+
+  /// Credit share in the deterministic weighted drain: per refill round the
+  /// batcher pops up to `weight` requests of this class before yielding to
+  /// lower classes (clamped to >= 1). Higher classes with credits always
+  /// drain first, so ordering under contention is deterministic.
+  int weight = 1;
+
+  /// Per-class latency target for the ClusterController's load score
+  /// (0 = use ClusterConfig::slo_us). A replica whose p95 exceeds the
+  /// submitting class's SLO scores worse for that request.
+  uint64_t slo_us = 0;
+
+  /// Per-class default deadline relative to submission (0 = fall back to
+  /// the controller/session default). Lets a gold class run tight
+  /// deadlines while bronze requests wait out congestion.
+  uint64_t deadline_us = 0;
+
+  /// Shedding aggressiveness: this class sheds once cluster in-flight
+  /// crosses shed_at * shed_limit (clamped to (0,1]). Lower classes set
+  /// lower fractions so overload sheds bronze before it touches gold.
+  double shed_at = 1.0;
+};
+
 /// Knobs of one serving session (the CLI's --serve-* flags map onto these;
 /// defaults here and in EngineCliArgs are kept identical, so "default"
 /// serving behaves the same from every entry point).
@@ -115,6 +144,29 @@ struct ServeConfig {
   /// (the compiler plans buffers for one shape); construction throws
   /// CompileException for models/backends the compiler cannot lower.
   bool compile = false;
+
+  /// Grouped same-shape execution (docs/SERVING.md): merge the micro-
+  /// batch's per-sample GEMMs into ONE wider kernel per layer — the
+  /// samples' operands concatenate along the free axis and the backend's
+  /// seed-period contract (MatmulBackend::supports_grouped) preserves each
+  /// sample's standalone fork-chain seeds, so outputs stay bitwise
+  /// identical to offline model.forward. Backends without the contract
+  /// (systolic) silently fall back to coalesced per-sample dispatch.
+  bool grouped = true;
+
+  /// Continuous batching (docs/SERVING.md): instead of draining a whole
+  /// micro-batch before forming the next, the executor advances all
+  /// in-flight requests one layer per wave; a finishing request releases
+  /// its slot at the wave boundary and the batcher back-fills it
+  /// mid-flight. Incompatible with `compile` (the compiled program
+  /// executes the full graph per call); the constructor rejects the
+  /// combination.
+  bool continuous = false;
+
+  /// Priority/SLO classes of the admission queue, highest priority first.
+  /// Empty = one implicit default class (plain FIFO). SubmitMeta::priority
+  /// selects the class (clamped into range).
+  std::vector<PriorityClass> classes;
 };
 
 /// Per-request submission metadata (the ClusterController threads routing
@@ -125,6 +177,9 @@ struct SubmitMeta {
   uint64_t deadline_us = 0;
   /// Cluster-assigned monotonically increasing trace id (0 = untraced).
   uint64_t trace_id = 0;
+  /// Priority class index into ServeConfig::classes (0 = highest; clamped
+  /// into range; ignored when no classes are configured).
+  int priority = 0;
 };
 
 /// Outcome of one collected micro-batch, reported to the session's batch
@@ -149,6 +204,7 @@ struct ServeRequest {
   uint64_t submit_us = 0;
   uint64_t deadline_us = 0;  ///< absolute on the session clock; 0 = none
   uint64_t trace_id = 0;
+  int priority = 0;  ///< admission-queue class (clamped; 0 = highest)
 };
 
 }  // namespace srmac

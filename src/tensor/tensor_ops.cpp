@@ -73,7 +73,8 @@ void transpose_into(float* dst, const float* src, int rows, int cols) {
 }  // namespace
 
 void matmul(const ComputeContext& ctx, int M, int N, int K, const float* A,
-            const float* B, float* C, bool accumulate) {
+            const float* B, float* C, bool accumulate, int seed_row_period,
+            int seed_col_period) {
   GemmArgs args;
   args.M = M;
   args.N = N;
@@ -87,16 +88,20 @@ void matmul(const ComputeContext& ctx, int M, int N, int K, const float* A,
   args.accumulate = accumulate;
   args.seed = ctx.seed;
   args.threads = ctx.threads;
+  args.seed_row_period = seed_row_period;
+  args.seed_col_period = seed_col_period;
   dispatch(ctx, args);
 }
 
 void matmul_qa(const ComputeContext& ctx, int M, int N, int K,
-               const uint32_t* Aq, const float* B, float* C, bool accumulate) {
+               const uint32_t* Aq, const float* B, float* C, bool accumulate,
+               int seed_row_period, int seed_col_period) {
   assert(ctx.bit_accurate() && "quantized-operand matmul needs a MAC context");
   const MacConfig cfg = ctx.mac_config().normalized();
   if (!ctx.backend->supports_prequantized()) {
     const std::vector<float> a = decode_plane(cfg.mul_fmt, M, K, Aq);
-    matmul(ctx, M, N, K, a.data(), B, C, accumulate);
+    matmul(ctx, M, N, K, a.data(), B, C, accumulate, seed_row_period,
+           seed_col_period);
     return;
   }
   std::vector<uint32_t> qb(static_cast<size_t>(K) * N);
@@ -114,17 +119,21 @@ void matmul_qa(const ComputeContext& ctx, int M, int N, int K,
   args.accumulate = accumulate;
   args.seed = ctx.seed;
   args.threads = ctx.threads;
+  args.seed_row_period = seed_row_period;
+  args.seed_col_period = seed_col_period;
   // Only B was freshly quantized; the cached A plane was not.
   dispatch_bits(ctx, cfg, args, static_cast<uint64_t>(K) * N);
 }
 
 void matmul_qb(const ComputeContext& ctx, int M, int N, int K, const float* A,
-               const uint32_t* Bq, float* C, bool accumulate) {
+               const uint32_t* Bq, float* C, bool accumulate,
+               int seed_row_period, int seed_col_period) {
   assert(ctx.bit_accurate() && "quantized-operand matmul needs a MAC context");
   const MacConfig cfg = ctx.mac_config().normalized();
   if (!ctx.backend->supports_prequantized()) {
     const std::vector<float> b = decode_plane(cfg.mul_fmt, K, N, Bq);
-    matmul(ctx, M, N, K, A, b.data(), C, accumulate);
+    matmul(ctx, M, N, K, A, b.data(), C, accumulate, seed_row_period,
+           seed_col_period);
     return;
   }
   std::vector<uint32_t> qa(static_cast<size_t>(M) * K);
@@ -142,6 +151,8 @@ void matmul_qb(const ComputeContext& ctx, int M, int N, int K, const float* A,
   args.accumulate = accumulate;
   args.seed = ctx.seed;
   args.threads = ctx.threads;
+  args.seed_row_period = seed_row_period;
+  args.seed_col_period = seed_col_period;
   dispatch_bits(ctx, cfg, args, static_cast<uint64_t>(M) * K);
 }
 

@@ -47,13 +47,15 @@ std::vector<Tensor> serve_all(const ModelSpec& spec,
                               const std::string& scenario,
                               const std::string& backend, int batch,
                               bool compile,
-                              TelemetrySnapshot* steady = nullptr) {
+                              TelemetrySnapshot* steady = nullptr,
+                              bool grouped = true) {
   ServeConfig cfg;
   cfg.max_batch = batch;
   cfg.queue_capacity = 64;
   cfg.start_thread = false;  // deterministic run_once harness
   cfg.input_shape = spec.input_shape();
   cfg.compile = compile;
+  cfg.grouped = grouped;
   EmuServer server(
       spec.build(),
       EmuEngine::Builder().scenario(scenario).backend(backend).build(), cfg);
@@ -214,11 +216,15 @@ TEST(CompiledVsEager, EagerSteadyStateStillPacksPerBatch) {
   // Control for the invariant above: the same steady-state window on an
   // eager session keeps paying per-batch packs and quantization — the cost
   // compilation exists to remove. Guards against the counters going dark.
+  // Pinned to grouped=false: grouped execution merges the micro-batch into
+  // one wide dispatch per layer, which bypasses the sharded backend's
+  // multi-problem scheduling (and its per-shard pack counters) entirely —
+  // this control observes the coalesced per-sample path's cost.
   const auto parsed = ModelSpec::parse("resnet20:8");
   ASSERT_TRUE(parsed);
   TelemetrySnapshot steady;
   serve_all(*parsed, "eager_sr:e5m2/e6m5:r=9:subON", "sharded",
-            /*batch=*/16, /*compile=*/false, &steady);
+            /*batch=*/16, /*compile=*/false, &steady, /*grouped=*/false);
   EXPECT_GT(steady.bytes_quantized, 0u);
   EXPECT_GT(shard_packs(steady), 0u);
   EXPECT_EQ(steady.compile_activation_bytes, 0u);

@@ -1,0 +1,149 @@
+// The seed-period contract of grouped same-shape execution (gemm.hpp,
+// docs/SERVING.md): a wide GEMM over operands concatenated along one axis,
+// dispatched with the matching seed period, reproduces bit-for-bit the
+// outputs of the standalone per-problem dispatches — because every output
+// element derives its LFSR seed from the folded coordinate (i % row_period,
+// j % col_period), i.e. the coordinate it would have had standalone.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "mac/gemm.hpp"
+#include "mac/mac_config.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace srmac {
+namespace {
+
+MacConfig make_cfg(AdderKind k) {
+  MacConfig c;
+  c.mul_fmt = kFp8E5M2;
+  c.acc_fmt = kFp12;
+  c.adder = k;
+  c.random_bits = 9;
+  c.subnormals = true;
+  return c;
+}
+
+void fill(Xoshiro256& rng, std::vector<float>& v) {
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+}
+
+void expect_bits_equal(const std::vector<float>& got,
+                       const std::vector<float>& want,
+                       const std::string& what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(std::bit_cast<uint32_t>(got[i]),
+              std::bit_cast<uint32_t>(want[i]))
+        << what << " diverges at flat index " << i;
+}
+
+const AdderKind kKinds[] = {AdderKind::kRoundNearest, AdderKind::kLazySR,
+                            AdderKind::kEagerSR};
+
+}  // namespace
+
+TEST(SeedPeriod, ColumnPeriodReproducesPerProblemBitsOnConcatenatedB) {
+  // The grouped-conv shape: one A plane (the weights) against S per-sample
+  // B panels concatenated column-wise. col_period = L must make column
+  // s*L + t of the wide problem seed as column t.
+  const int M = 7, K = 33, L = 11, S = 3;
+  Xoshiro256 rng(0x5EED0);
+  std::vector<float> A(static_cast<size_t>(M) * K);
+  std::vector<float> wide_b(static_cast<size_t>(K) * L * S);
+  fill(rng, A);
+  fill(rng, wide_b);
+
+  for (AdderKind kind : kKinds) {
+    const MacConfig cfg = make_cfg(kind);
+    const std::string tag = "adder=" + std::to_string(static_cast<int>(kind));
+
+    // Standalone dispatches: each sample's KxL slice as its own problem
+    // (ldb of the slice view is the wide row stride, S*L).
+    std::vector<float> want(static_cast<size_t>(M) * L * S);
+    for (int s = 0; s < S; ++s) {
+      std::vector<float> c(static_cast<size_t>(M) * L);
+      gemm_mac(cfg, M, L, K, A.data(), K, wide_b.data() + s * L, S * L,
+               c.data(), L);
+      for (int i = 0; i < M; ++i)
+        for (int t = 0; t < L; ++t)
+          want[static_cast<size_t>(i) * L * S + s * L + t] =
+              c[static_cast<size_t>(i) * L + t];
+    }
+
+    // One wide dispatch with the column period, via the fused kernel...
+    std::vector<float> got(static_cast<size_t>(M) * L * S);
+    gemm_mac(cfg, M, L * S, K, A.data(), K, wide_b.data(), L * S, got.data(),
+             L * S, false, kDefaultSeed, 0, /*seed_row_period=*/0,
+             /*seed_col_period=*/L);
+    expect_bits_equal(got, want, "fused col_period " + tag);
+
+    // ... and via the per-element reference, so the period fold itself is
+    // pinned in both implementations.
+    std::vector<float> ref(static_cast<size_t>(M) * L * S);
+    gemm_mac_reference(cfg, M, L * S, K, A.data(), K, wide_b.data(), L * S,
+                       ref.data(), L * S, false, kDefaultSeed, 0, 0, L);
+    expect_bits_equal(ref, want, "reference col_period " + tag);
+  }
+}
+
+TEST(SeedPeriod, RowPeriodReproducesPerProblemBitsOnStackedA) {
+  // The grouped-linear shape: S single-row activations stacked into one
+  // SxK A operand against a shared B plane. row_period = 1 must make every
+  // row seed as row 0 — each sample's standalone (1,N) problem.
+  const int K = 40, N = 13, S = 4;
+  Xoshiro256 rng(0x5EED1);
+  std::vector<float> A(static_cast<size_t>(S) * K);
+  std::vector<float> B(static_cast<size_t>(K) * N);
+  fill(rng, A);
+  fill(rng, B);
+
+  for (AdderKind kind : kKinds) {
+    const MacConfig cfg = make_cfg(kind);
+    const std::string tag = "adder=" + std::to_string(static_cast<int>(kind));
+
+    std::vector<float> want(static_cast<size_t>(S) * N);
+    for (int s = 0; s < S; ++s)
+      gemm_mac(cfg, 1, N, K, A.data() + static_cast<size_t>(s) * K, K,
+               B.data(), N, want.data() + static_cast<size_t>(s) * N, N);
+
+    std::vector<float> got(static_cast<size_t>(S) * N);
+    gemm_mac(cfg, S, N, K, A.data(), K, B.data(), N, got.data(), N, false,
+             kDefaultSeed, 0, /*seed_row_period=*/1, /*seed_col_period=*/0);
+    expect_bits_equal(got, want, "fused row_period " + tag);
+
+    // The packed-panel entry point (what the compiled grouped-linear path
+    // dispatches) under the same period.
+    std::vector<uint32_t> aq(A.size()), bq(B.size());
+    gemm_quantize(cfg.mul_fmt, S, K, A.data(), K, aq.data());
+    gemm_quantize(cfg.mul_fmt, K, N, B.data(), N, bq.data());
+    const PackedBPanels panels = gemm_pack_b(cfg, K, N, bq.data(), N);
+    std::vector<float> packed(static_cast<size_t>(S) * N);
+    gemm_mac_bits_packed(cfg, S, N, K, aq.data(), K, panels, packed.data(),
+                         N, false, kDefaultSeed, 0, 1, 0);
+    expect_bits_equal(packed, want, "packed row_period " + tag);
+  }
+}
+
+TEST(SeedPeriod, ZeroPeriodsAreTheIdentity) {
+  // Explicit zeros must not change a single bit vs the defaulted call —
+  // the backstop that lets every existing call site pass (0, 0) through.
+  const int M = 5, N = 17, K = 21;
+  Xoshiro256 rng(0x5EED2);
+  std::vector<float> A(static_cast<size_t>(M) * K);
+  std::vector<float> B(static_cast<size_t>(K) * N);
+  fill(rng, A);
+  fill(rng, B);
+  const MacConfig cfg = make_cfg(AdderKind::kEagerSR);
+  std::vector<float> plain(static_cast<size_t>(M) * N);
+  std::vector<float> zeroed(static_cast<size_t>(M) * N);
+  gemm_mac(cfg, M, N, K, A.data(), K, B.data(), N, plain.data(), N);
+  gemm_mac(cfg, M, N, K, A.data(), K, B.data(), N, zeroed.data(), N, false,
+           kDefaultSeed, 0, 0, 0);
+  expect_bits_equal(zeroed, plain, "zero periods");
+}
+
+}  // namespace srmac
