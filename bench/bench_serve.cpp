@@ -718,15 +718,8 @@ int main(int argc, char** argv) {
          << ", \"faults_injected\": " << r->faults_injected
          << ", \"replica_stats\": [";
       for (size_t i = 0; i < r->replica_stats.size(); ++i) {
-        const ServeReplicaStats& s = r->replica_stats[i];
         if (i) js << ", ";
-        js << "{\"replica\": " << i << ", \"requests\": " << s.requests
-           << ", \"batches\": " << s.batches << ", \"failures\": "
-           << s.failures << ", \"deadline_misses\": " << s.deadline_misses
-           << ", \"sheds\": " << s.sheds << ", \"retries\": " << s.retries
-           << ", \"breaker_opens\": " << s.breaker_opens
-           << ", \"breaker_half_opens\": " << s.breaker_half_opens
-           << ", \"breaker_closes\": " << s.breaker_closes << "}";
+        js << to_json(r->replica_stats[i], static_cast<int>(i));
       }
       js << "]";
     }

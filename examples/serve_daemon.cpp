@@ -113,6 +113,10 @@ int main(int argc, char** argv) {
   scfg.max_wait_us = eng.serve_wait_us;
   scfg.input_shape = model.input_shape();
   scfg.compile = eng.serve_compile;
+  if (!eng.shadow_scenario.empty()) {
+    scfg.shadow.session = eng.shadow_session();
+    scfg.shadow.fraction = eng.shadow_fraction;
+  }
   const int replicas = std::max(1, eng.serve_replicas);
 
   std::signal(SIGINT, on_signal);
@@ -136,10 +140,19 @@ int main(int argc, char** argv) {
       ccfg.slo_us = eng.serve_slo_us;
       cluster = std::make_unique<ClusterController>(
           build_model, [&] { return engine_or_die(eng); }, ccfg);
+      // TELEMETRY frames answer with the cluster-level snapshot (routing
+      // counters + per-replica rows); snapshot() is thread-safe so the
+      // reader threads may call this directly.
+      wcfg.telemetry_json = [c = cluster.get()] {
+        return c->telemetry_snapshot().to_json();
+      };
       wire = std::make_unique<WireServer>(wire_submit(*cluster), wcfg);
     } else {
       server = std::make_unique<EmuServer>(build_model(), engine_or_die(eng),
                                            scfg);
+      wcfg.telemetry_json = [s = server.get()] {
+        return s->telemetry().to_json();
+      };
       wire = std::make_unique<WireServer>(wire_submit(*server), wcfg);
     }
   } catch (const std::exception& e) {
@@ -167,6 +180,11 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  // Snapshot before teardown, emit through the shared Telemetry JSON
+  // serializer (the same object a TELEMETRY wire frame returns) instead of
+  // a hand-rolled printf — scripts scrape one format everywhere.
+  const std::string tjson = cluster ? cluster->telemetry_snapshot().to_json()
+                                    : server->telemetry().to_json();
   wire->stop();  // closes the listener and drains the connections...
   if (cluster) cluster->stop();  // ...before the back end goes away
   if (server) server->stop();
@@ -175,5 +193,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(wire->connections_accepted()),
               static_cast<unsigned long long>(wire->requests_received()),
               static_cast<unsigned long long>(wire->protocol_errors()));
+  std::printf("serve_daemon telemetry: %s\n", tjson.c_str());
   return 0;
 }

@@ -110,6 +110,42 @@ int srmac_session_save_checkpoint(srmac_session* s, const char* path);
 /* Snapshot of the session engine's counters. */
 int srmac_session_telemetry(const srmac_session* s, srmac_telemetry* out);
 
+/* Full telemetry snapshot as one JSON object (counters, per-backend rows,
+ * serve/shadow counters, accuracy-drift pairs — the same emitter the C++
+ * benches and serve_daemon use). Returns the byte count INCLUDING the
+ * trailing NUL (capacity protocol: the string is written only when
+ * `capacity` suffices); -1 on failure. */
+long srmac_session_telemetry_json(const srmac_session* s, char* buf,
+                                  size_t capacity);
+
+/* Enables shadow A/B execution: subsequent srmac_session_forward calls
+ * re-run a deterministic sample of inputs (`fraction` in [0,1], selected
+ * by the same trace-id hash the serving stack uses, keyed on the call
+ * sequence number) through a second engine built from `scenario`, after
+ * the primary output is computed. Primary outputs are untouched — the
+ * shadow pass reads a copy of the input and records output divergence
+ * into the session's drift telemetry, keyed (primary scenario, shadow
+ * scenario). Pass fraction 0 (or a NULL scenario) to disable again.
+ * 0 on success, -1 on failure (e.g. an unparsable shadow scenario). */
+int srmac_session_enable_shadow(srmac_session* s, const char* scenario,
+                                double fraction);
+
+/* Final-output drift of the session's (primary, shadow) scenario pair:
+ * max/mean absolute divergence plus nearest-rank percentiles of the
+ * per-sample max-abs series. Zeros with samples == 0 when shadowing is
+ * enabled but nothing was recorded yet. */
+typedef struct srmac_drift {
+  uint64_t samples;      /* forwards compared */
+  double final_max_abs;  /* max |primary - shadow| over every element */
+  double final_mean_abs; /* mean |primary - shadow| */
+  double p50_maxabs;     /* percentiles of the per-sample max-abs series */
+  double p95_maxabs;
+  double p99_maxabs;
+} srmac_drift;
+
+/* -1 (with last_error) when shadowing was never enabled on `s`. */
+int srmac_session_drift(const srmac_session* s, srmac_drift* out);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

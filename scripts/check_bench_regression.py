@@ -32,7 +32,13 @@ Floors file format:
          "min_grouped_speedup": 1.0, "min_hardware_parallelism": 2},
         {"bench": "serve", "path": "classes16", "class": "gold",
          "smoke": true, "max_p95_us": 500000.0,
-         "min_completed_fraction": 1.0}
+         "min_completed_fraction": 1.0},
+        {"bench": "drift", "smoke": true, "min_pair_rows": 8,
+         "require_energy": true},
+        {"bench": "drift", "smoke": true, "self": true,
+         "max_final_maxabs": 0.0},
+        {"bench": "drift", "smoke": true, "self": false,
+         "shadow_prefix": "rn:", "max_final_maxabs": 4.0}
       ]
     }
 
@@ -65,7 +71,14 @@ additionally select on
 key in the loadgen JSON), and on "leg" (matched against the file-level
 "leg" key bench_serve stamps with --leg; rules without "leg" match only
 files without one, so a multicore floor can never gate a single-core
-smoke file by accident). Rows without a
+smoke file by accident). A "drift" floor gates bench_drift's scenario-pair
+rows: pair selectors are "primary"/"shadow" (exact scenario strings),
+"primary_prefix"/"shadow_prefix", and "self" (shadow == primary — the
+zero-drift anchor pair); "max_final_maxabs" is a no-tolerance CEILING on
+the pair's final-output max-abs divergence (the arithmetic is
+deterministic, so any change is real), and file-level drift floors carry
+"min_pair_rows" (sweep completeness) and "require_energy" (every pair
+joined against both projected-MAC-energy columns). Rows without a
 matching floor pass silently (new paths get floors when their numbers are
 recorded); floors that match nothing in the given files are reported as
 skipped, not failed — each CI job only produces a subset. Stdlib only.
@@ -88,11 +101,51 @@ def scenario_matches(rule, data):
     return prefix is None or str(data.get("scenario", "")).startswith(prefix)
 
 
+def drift_pair_matches(rule, row):
+    """Pair-row selectors of a drift floor: exact primary/shadow scenario
+    strings, prefixes, and "self" (whether shadow == primary — the
+    zero-drift anchor pair). Selectors compose; absent ones match all."""
+    if rule.get("self") is not None:
+        if (row.get("shadow") == row.get("primary")) != bool(rule["self"]):
+            return False
+    if rule.get("primary") is not None and \
+            rule["primary"] != row.get("primary"):
+        return False
+    if rule.get("primary_prefix") is not None and \
+            not str(row.get("primary", "")).startswith(rule["primary_prefix"]):
+        return False
+    if rule.get("shadow") is not None and rule["shadow"] != row.get("shadow"):
+        return False
+    if rule.get("shadow_prefix") is not None and \
+            not str(row.get("shadow", "")).startswith(rule["shadow_prefix"]):
+        return False
+    return True
+
+
 def check_file(path, data, floors, tolerance, report, report_speedup,
-               report_resolved, report_parallelism, report_class):
+               report_resolved, report_parallelism, report_class,
+               report_drift, report_drift_file):
     bench = data.get("bench")
     smoke = bool(data.get("smoke", False))
     matched = set()
+
+    if bench == "drift":
+        pairs = data.get("pairs", [])
+        for i, rule in enumerate(floors):
+            if rule.get("bench") != bench:
+                continue
+            if bool(rule.get("smoke", False)) != smoke:
+                continue
+            if "min_pair_rows" in rule or rule.get("require_energy"):
+                matched.add(i)
+                report_drift_file(path, pairs, rule)
+                continue
+            for row in pairs:
+                if not drift_pair_matches(rule, row):
+                    continue
+                matched.add(i)
+                report_drift(path, row, rule)
+        return matched
 
     if bench == "serve":
         # In-process bench_serve files carry no "transport" key; loadgen's
@@ -308,6 +361,62 @@ def main():
                  100.0 * frac,
                  (", floor %.0f%%" % (100.0 * need)) if need else ""))
 
+    def report_drift(path, row, rule):
+        # Drift-pair floors (bench_drift rows): "max_final_maxabs" is a
+        # CEILING on the pair's final-output max-abs divergence, with no
+        # tolerance — the arithmetic is deterministic, so any change is a
+        # real accuracy-drift change. The self pair (shadow == primary)
+        # carries ceiling 0.0: the standing proof that the shadow path
+        # replays the primary bitwise. Pairs must also have recorded
+        # samples — an empty series passing a ceiling would be vacuous.
+        label = "%s -> %s" % (row.get("primary", "?"), row.get("shadow", "?"))
+        checked[0] += 1
+        ok = True
+        if int(row.get("samples", 0)) <= 0:
+            ok = False
+            failures.append("%s: %s recorded no drift samples"
+                            % (path, label))
+        if "max_final_maxabs" in rule:
+            value = float(row.get("final_max_abs", 0.0))
+            ceiling = float(rule["max_final_maxabs"])
+            if value > ceiling:
+                ok = False
+                failures.append(
+                    "%s: %s final max-abs drift %.6g above ceiling %.6g"
+                    % (path, label, value, ceiling))
+        print("%s %s: %s max_abs = %.6g%s, %d samples"
+              % ("ok  " if ok else "FAIL", path, label,
+                 float(row.get("final_max_abs", 0.0)),
+                 (" (ceiling %.6g)" % float(rule["max_final_maxabs"]))
+                 if "max_final_maxabs" in rule else "",
+                 int(row.get("samples", 0))))
+
+    def report_drift_file(path, pairs, rule):
+        # File-level completeness floors of a drift sweep: at least
+        # min_pair_rows scenario pairs, and (require_energy) every pair
+        # joined against both projected-energy columns — the decision
+        # bench's contract that no row silently lost its energy side.
+        checked[0] += 1
+        ok = True
+        need = int(rule.get("min_pair_rows", 0))
+        if len(pairs) < need:
+            ok = False
+            failures.append("%s: only %d drift pair rows (floor %d)"
+                            % (path, len(pairs), need))
+        if rule.get("require_energy"):
+            for row in pairs:
+                if float(row.get("primary_energy_uj", 0.0)) <= 0.0 or \
+                        float(row.get("shadow_energy_uj", 0.0)) <= 0.0:
+                    ok = False
+                    failures.append(
+                        "%s: pair %s -> %s is missing an energy column"
+                        % (path, row.get("primary", "?"),
+                           row.get("shadow", "?")))
+        print("%s %s: %d drift pair rows%s%s"
+              % ("ok  " if ok else "FAIL", path, len(pairs),
+                 (" (floor %d)" % need) if need else "",
+                 ", energy joined" if rule.get("require_energy") else ""))
+
     matched = set()
     for path in args.files:
         try:
@@ -317,7 +426,8 @@ def main():
             continue
         matched |= check_file(path, data, floors, tolerance, report,
                               report_speedup, report_resolved,
-                              report_parallelism, report_class)
+                              report_parallelism, report_class,
+                              report_drift, report_drift_file)
 
     for i, rule in enumerate(floors):
         if i not in matched:

@@ -4,6 +4,7 @@
 
 #include "srmac_c.h"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <optional>
@@ -11,9 +12,11 @@
 
 #include "compile/model_compiler.hpp"
 #include "engine/emu_engine.hpp"
+#include "engine/session_spec.hpp"
 #include "io/checkpoint.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/module.hpp"
+#include "serve/serve_types.hpp"
 #include "tensor/tensor.hpp"
 
 using namespace srmac;
@@ -24,6 +27,12 @@ struct srmac_session {
   std::optional<EmuEngine> engine;
   std::unique_ptr<Sequential> model;
   std::unique_ptr<CompiledModel> compiled;  // set by srmac_session_compile
+  // Shadow A/B state (srmac_session_enable_shadow): a second engine over
+  // the same model, a sample fraction, and the forward-call sequence
+  // number standing in for a trace id in shadow_selects().
+  std::optional<EmuEngine> shadow_engine;
+  double shadow_fraction = 0.0;
+  uint64_t forward_seq = 0;
 };
 
 namespace {
@@ -53,7 +62,9 @@ srmac_session* build_session(const std::string& scenario,
   auto s = std::make_unique<srmac_session>();
   s->spec = spec;
   s->scenario = scenario;
-  s->engine = EmuEngine::Builder().scenario(scenario).build();
+  SessionSpec session;
+  session.scenario = scenario;
+  s->engine = session.build_engine();
   s->model = spec.build();
   return s.release();
 }
@@ -152,6 +163,16 @@ long srmac_session_forward(srmac_session* s, const float* input,
     shape.insert(shape.begin(), 1);
     Tensor x(shape);
     std::memcpy(x.data(), input, need * sizeof(float));
+    // Shadow selection is decided (and the input copied) before the
+    // primary forward, which may consume `x`.
+    const uint64_t trace = ++s->forward_seq;
+    const bool do_shadow =
+        s->shadow_engine && shadow_selects(trace, s->shadow_fraction);
+    Tensor shadow_x;
+    if (do_shadow) {
+      shadow_x = x;  // deep copy
+      s->engine->telemetry().record_serve_shadow_selected(1);
+    }
     Tensor y;
     if (s->compiled) {
       s->compiled->refresh();  // pick up checkpoint loads / weight writes
@@ -161,6 +182,18 @@ long srmac_session_forward(srmac_session* s, const float* input,
       y = std::move(xs[0]);
     } else {
       y = s->model->forward(s->engine->context(), x, /*training=*/false);
+    }
+    if (do_shadow) {
+      // After the primary output exists: the shadow pass reads copies only
+      // and records final-output drift into the primary engine's tracker.
+      const Tensor ys = s->model->forward(s->shadow_engine->context(),
+                                          shadow_x, /*training=*/false);
+      const size_t n =
+          static_cast<size_t>(std::min(y.numel(), ys.numel()));
+      s->engine->telemetry().drift().record_final(
+          s->engine->scenario(), s->shadow_engine->scenario(), {}, y.data(),
+          ys.data(), n);
+      s->engine->telemetry().record_serve_shadow_run(1);
     }
     const long out_numel = static_cast<long>(y.numel());
     if (output && output_capacity >= static_cast<size_t>(out_numel))
@@ -213,6 +246,63 @@ int srmac_session_telemetry(const srmac_session* s, srmac_telemetry* out) {
     out->macs = static_cast<double>(snap.macs);
     out->bytes_quantized = static_cast<double>(snap.bytes_quantized);
     out->seconds = snap.seconds;
+    return 0;
+  });
+}
+
+long srmac_session_telemetry_json(const srmac_session* s, char* buf,
+                                  size_t capacity) {
+  return guarded<>(-1L, [&]() -> long {
+    if (!s) throw std::invalid_argument("srmac: NULL session");
+    const std::string json = s->engine->telemetry().snapshot().to_json();
+    const size_t need = json.size() + 1;  // with trailing NUL
+    if (buf && capacity >= need)
+      std::memcpy(buf, json.c_str(), need);
+    return static_cast<long>(need);
+  });
+}
+
+int srmac_session_enable_shadow(srmac_session* s, const char* scenario,
+                                double fraction) {
+  return guarded<>(-1, [&] {
+    if (!s) throw std::invalid_argument("srmac: NULL session");
+    if (!scenario || fraction <= 0.0) {
+      s->shadow_engine.reset();
+      s->shadow_fraction = 0.0;
+      return 0;
+    }
+    // Build first: a bad scenario leaves the previous shadow state intact.
+    SessionSpec spec;
+    spec.scenario = scenario;
+    spec.seed = s->engine->seed();  // divergence measures the scenario,
+                                    // not the seed
+    EmuEngine built = spec.build_engine();
+    s->shadow_engine.emplace(std::move(built));
+    s->shadow_fraction = fraction;
+    return 0;
+  });
+}
+
+int srmac_session_drift(const srmac_session* s, srmac_drift* out) {
+  return guarded<>(-1, [&] {
+    if (!s || !out) throw std::invalid_argument("srmac: NULL argument");
+    if (!s->shadow_engine)
+      throw std::runtime_error("srmac: shadowing is not enabled");
+    *out = srmac_drift{};
+    const std::vector<DriftPairSnapshot> pairs =
+        s->engine->telemetry().drift().snapshot();
+    for (const DriftPairSnapshot& p : pairs) {
+      if (p.primary != s->engine->scenario() ||
+          p.shadow != s->shadow_engine->scenario())
+        continue;
+      out->samples = p.final_output.samples;
+      out->final_max_abs = p.final_output.max_abs;
+      out->final_mean_abs = p.final_output.mean_abs();
+      out->p50_maxabs = p.final_output.maxabs_percentile(50);
+      out->p95_maxabs = p.final_output.maxabs_percentile(95);
+      out->p99_maxabs = p.final_output.maxabs_percentile(99);
+      break;
+    }
     return 0;
   });
 }

@@ -26,6 +26,12 @@
 //   --serve-compile   serving: serve through an ahead-of-time CompiledModel
 //                     (ServeConfig::compile; docs/COMPILER.md) — weight
 //                     planes pack once, epilogues fuse, bits unchanged
+//   --shadow-scenario=SPEC serving: shadow A/B — re-run a sample of
+//                     requests through a second engine built from SPEC
+//                     after the primary forward (docs/SERVING.md)
+//   --shadow-fraction=F serving: fraction of requests the shadow trace-id
+//                     hash selects (default 1.0 once a shadow scenario is
+//                     set)
 //
 // Unknown flags are left alone so callers can parse their own arguments
 // from the same argv.
@@ -37,6 +43,7 @@
 #include <string>
 
 #include "engine/emu_engine.hpp"
+#include "engine/session_spec.hpp"
 #include "util/thread_pool.hpp"
 
 namespace srmac {
@@ -51,11 +58,38 @@ struct EngineCliArgs {
   // Serving knobs (EmuServer / bench_serve / examples):
   int serve_batch = 16;          // micro-batch coalescing cap
   uint64_t serve_wait_us = 200;  // straggler linger per micro-batch
-  int serve_clients = 16;        // closed-loop load-generator threads
+  int serve_clients = 16;        // closed-loop client load-generator threads
   int serve_replicas = 1;        // fleet size (1 = no ClusterController)
   uint64_t serve_deadline_us = 0;  // per-request deadline (0 = none)
   uint64_t serve_slo_us = 20000;   // p95 SLO target of the fleet load score
   bool serve_compile = false;      // serve through a CompiledModel
+  // Shadow A/B (ServeConfig::shadow; docs/SERVING.md):
+  std::string shadow_scenario;     // empty = shadowing off
+  double shadow_fraction = 1.0;    // trace-id-hash sample fraction
+
+  /// The engine flags as a SessionSpec — the shared session description
+  /// EmuEngine::Builder, ServeConfig, serve_daemon, and the C API all
+  /// accept. Note --hfp8 layers a policy on top and is applied separately
+  /// (engine_or_die).
+  SessionSpec session() const {
+    SessionSpec s;
+    s.scenario = scenario;
+    s.backend = backend;
+    s.seed = seed;
+    s.threads = threads;
+    s.compile = serve_compile;
+    return s;
+  }
+
+  /// The shadow session the flags describe (scenario empty = disabled).
+  /// Seed/threads/backend follow the primary: drift should measure the
+  /// scenario, not an incidental seed difference.
+  SessionSpec shadow_session() const {
+    SessionSpec s = session();
+    s.scenario = shadow_scenario;
+    s.compile = false;  // callers opt in via ShadowConfig::session.compile
+    return s;
+  }
 };
 
 inline const char* engine_cli_usage() {
@@ -74,7 +108,10 @@ inline const char* engine_cli_usage() {
          "  --serve-replicas=N serving fleet size (1 = single session)\n"
          "  --serve-deadline-us=N  per-request deadline (0 = none)\n"
          "  --serve-slo-us=N   p95 SLO target of the fleet load score\n"
-         "  --serve-compile    serve through an ahead-of-time CompiledModel\n";
+         "  --serve-compile    serve through an ahead-of-time CompiledModel\n"
+         "  --shadow-scenario=SPEC  shadow A/B: second scenario to re-run a\n"
+         "                   sample of requests under (empty = off)\n"
+         "  --shadow-fraction=F  shadow sample fraction in [0,1] (default 1)\n";
 }
 
 /// Scans argv for the engine flags above; everything else is ignored (the
@@ -107,6 +144,9 @@ inline EngineCliArgs parse_engine_cli(int argc, char** argv) {
       args.serve_deadline_us = std::strtoull(v, nullptr, 0);
     if (const char* v = val("--serve-slo-us"))
       args.serve_slo_us = std::strtoull(v, nullptr, 0);
+    if (const char* v = val("--shadow-scenario")) args.shadow_scenario = v;
+    if (const char* v = val("--shadow-fraction"))
+      args.shadow_fraction = std::strtod(v, nullptr);
     if (std::strcmp(argv[i], "--hfp8") == 0) args.hfp8 = true;
     if (std::strcmp(argv[i], "--serve-compile") == 0)
       args.serve_compile = true;
@@ -121,8 +161,7 @@ inline EngineCliArgs parse_engine_cli(int argc, char** argv) {
 inline EmuEngine engine_or_die(const EngineCliArgs& args) {
   try {
     EmuEngine::Builder b;
-    b.scenario(args.scenario).seed(args.seed).threads(args.threads);
-    if (!args.backend.empty()) b.backend(args.backend);
+    b.spec(args.session());
     if (args.hfp8) b.hfp8();
     return b.build();
   } catch (const std::exception& e) {

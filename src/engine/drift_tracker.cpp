@@ -1,0 +1,111 @@
+#include "engine/drift_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srmac {
+
+const std::vector<double>& DriftTracker::default_epsilons() {
+  static const std::vector<double> eps = {1e-6, 1e-3, 1e-2};
+  return eps;
+}
+
+double DriftSeries::maxabs_percentile(double q) const {
+  if (maxabs_samples.empty()) return 0.0;
+  std::vector<double> sorted = maxabs_samples;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank, matching TelemetrySnapshot::serve_latency_percentile_us.
+  const double clamped = std::min(100.0, std::max(0.0, q));
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  return sorted[rank];
+}
+
+void DriftTracker::SeriesState::record(const std::vector<double>& eps,
+                                       const float* a, const float* b,
+                                       size_t n) {
+  if (s.mismatches.size() < eps.size()) s.mismatches.resize(eps.size());
+  double sample_max = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = std::fabs(static_cast<double>(a[i]) -
+                               static_cast<double>(b[i]));
+    sample_max = std::max(sample_max, d);
+    s.sum_abs += d;
+    for (size_t e = 0; e < eps.size(); ++e)
+      if (d > eps[e]) ++s.mismatches[e];
+  }
+  s.samples += 1;
+  s.elems += n;
+  s.max_abs = std::max(s.max_abs, sample_max);
+  // Bounded reservoir with deterministic stride-doubling decimation (the
+  // serve-latency scheme): exact below the cap, representative past it.
+  if ((seen++ % stride) != 0) return;
+  std::vector<double>& v = s.maxabs_samples;
+  if (v.size() >= kMaxAbsSampleCap) {
+    size_t w = 0;
+    for (size_t r = 0; r < v.size(); r += 2) v[w++] = v[r];
+    v.resize(w);
+    stride *= 2;
+  }
+  v.push_back(sample_max);
+}
+
+DriftTracker::PairState& DriftTracker::pair_locked(
+    const std::string& primary, const std::string& shadow,
+    const std::vector<double>& epsilons) {
+  PairState& p = pairs_[{primary, shadow}];
+  if (p.epsilons.empty())
+    p.epsilons = epsilons.empty() ? default_epsilons() : epsilons;
+  return p;
+}
+
+void DriftTracker::record_final(const std::string& primary,
+                                const std::string& shadow,
+                                const std::vector<double>& epsilons,
+                                const float* a, const float* b, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PairState& p = pair_locked(primary, shadow, epsilons);
+  p.final_output.record(p.epsilons, a, b, n);
+}
+
+void DriftTracker::record_layer(const std::string& primary,
+                                const std::string& shadow,
+                                const std::vector<double>& epsilons,
+                                size_t index, const std::string& layer,
+                                const float* a, const float* b, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PairState& p = pair_locked(primary, shadow, epsilons);
+  LayerState& l = p.layers[index];
+  if (l.name.empty()) l.name = layer;
+  l.series.record(p.epsilons, a, b, n);
+}
+
+std::vector<DriftPairSnapshot> DriftTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DriftPairSnapshot> out;
+  out.reserve(pairs_.size());
+  for (const auto& kv : pairs_) {
+    DriftPairSnapshot snap;
+    snap.primary = kv.first.first;
+    snap.shadow = kv.first.second;
+    snap.epsilons = kv.second.epsilons;
+    snap.final_output = kv.second.final_output.s;
+    for (const auto& lk : kv.second.layers) {
+      DriftLayerSnapshot row;
+      row.index = lk.first;
+      row.layer = lk.second.name;
+      row.series = lk.second.series.s;
+      snap.layers.push_back(std::move(row));
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void DriftTracker::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pairs_.clear();
+}
+
+}  // namespace srmac

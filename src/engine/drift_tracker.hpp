@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace srmac {
+
+/// Aggregated divergence between two runs of the same computation under two
+/// MAC scenarios: element-wise |a-b| totals plus a bounded reservoir of
+/// per-sample max-abs values for nearest-rank percentiles. One series per
+/// comparison point (final output, or one layer).
+struct DriftSeries {
+  uint64_t samples = 0;  ///< comparisons recorded (one per sample)
+  uint64_t elems = 0;    ///< elements compared across those samples
+  double max_abs = 0.0;  ///< max |primary - shadow| over every element
+  double sum_abs = 0.0;  ///< sum of |primary - shadow| (mean_abs numerator)
+
+  /// mismatches[i] = elements with |primary - shadow| > epsilons[i] (the
+  /// epsilon list lives on the owning pair snapshot).
+  std::vector<uint64_t> mismatches;
+
+  /// Per-sample max-abs values, in record order — the series behind
+  /// maxabs_percentile(). Bounded at DriftTracker::kMaxAbsSampleCap by the
+  /// same deterministic stride-doubling decimation the serve-latency
+  /// reservoir uses, so a long-lived session keeps fixed memory.
+  std::vector<double> maxabs_samples;
+
+  double mean_abs() const {
+    return elems ? sum_abs / static_cast<double>(elems) : 0.0;
+  }
+
+  /// Mismatch fraction at epsilons[i] over every element compared.
+  double mismatch_rate(size_t i) const {
+    return elems && i < mismatches.size()
+               ? static_cast<double>(mismatches[i]) /
+                     static_cast<double>(elems)
+               : 0.0;
+  }
+
+  /// The q-th percentile (q in [0,100]) of the per-sample max-abs series by
+  /// nearest-rank (same convention as serve_latency_percentile_us); 0 when
+  /// nothing was recorded.
+  double maxabs_percentile(double q) const;
+};
+
+/// One layer's divergence row of a scenario pair.
+struct DriftLayerSnapshot {
+  size_t index = 0;   ///< child index in Sequential walk order
+  std::string layer;  ///< Layer::name() (not unique on its own; index is)
+  DriftSeries series;
+};
+
+/// Point-in-time copy of everything recorded for one (primary, shadow)
+/// scenario pair.
+struct DriftPairSnapshot {
+  std::string primary;           ///< scenario string of the serving session
+  std::string shadow;            ///< scenario string of the shadow session
+  std::vector<double> epsilons;  ///< mismatch thresholds, fixed at first record
+  DriftSeries final_output;      ///< served output vs shadow output
+  std::vector<DriftLayerSnapshot> layers;  ///< per-layer rows, ascending index
+};
+
+/// Thread-safe sink for accuracy-drift telemetry: every record_*() call
+/// compares one sample's primary and shadow activations element-wise and
+/// folds the result into the (primary, shadow) pair's series. Owned by
+/// Telemetry (one tracker per engine sink); EmuServer's shadow path and the
+/// C API's shadow sessions record into the *primary* engine's tracker, so a
+/// snapshot of the serving sink carries both the serving counters and the
+/// drift the shadow scenario would have introduced.
+class DriftTracker {
+ public:
+  /// Bound on each series' retained per-sample max-abs values.
+  static constexpr size_t kMaxAbsSampleCap = 4096;
+
+  /// Default mismatch epsilons when the caller passes an empty list:
+  /// {1e-6, 1e-3, 1e-2} — "bitwise-ish", "noise-level", "visible".
+  static const std::vector<double>& default_epsilons();
+
+  /// Records one sample's final-output comparison: n elements of the
+  /// primary (served) output against the shadow output. `epsilons` is
+  /// consulted on the pair's first record (empty = default_epsilons());
+  /// later calls reuse the pair's stored thresholds.
+  void record_final(const std::string& primary, const std::string& shadow,
+                    const std::vector<double>& epsilons, const float* a,
+                    const float* b, size_t n);
+
+  /// Records one sample's post-layer comparison for child `index` (named
+  /// `layer`) of the model walk.
+  void record_layer(const std::string& primary, const std::string& shadow,
+                    const std::vector<double>& epsilons, size_t index,
+                    const std::string& layer, const float* a, const float* b,
+                    size_t n);
+
+  /// Copies of every pair's accumulated series, ordered by (primary,
+  /// shadow) key.
+  std::vector<DriftPairSnapshot> snapshot() const;
+
+  void reset();
+
+ private:
+  struct SeriesState {
+    DriftSeries s;
+    uint64_t stride = 1;  ///< decimation stride of maxabs_samples
+    uint64_t seen = 0;
+    void record(const std::vector<double>& eps, const float* a,
+                const float* b, size_t n);
+  };
+  struct LayerState {
+    std::string name;
+    SeriesState series;
+  };
+  struct PairState {
+    std::vector<double> epsilons;
+    SeriesState final_output;
+    std::map<size_t, LayerState> layers;
+  };
+
+  PairState& pair_locked(const std::string& primary, const std::string& shadow,
+                         const std::vector<double>& epsilons);
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, PairState> pairs_;
+};
+
+}  // namespace srmac

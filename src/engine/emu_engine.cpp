@@ -15,6 +15,14 @@ EmuEngine::Builder& EmuEngine::Builder::backend(const std::string& name) {
   return *this;
 }
 
+EmuEngine::Builder& EmuEngine::Builder::spec(const SessionSpec& s) {
+  scenario_ = s.scenario;
+  backend_ = s.backend;
+  seed_ = s.seed;
+  threads_ = s.threads;
+  return *this;
+}
+
 EmuEngine::Builder& EmuEngine::Builder::policy(const QuantPolicy& p) {
   policy_ = p;
   return *this;

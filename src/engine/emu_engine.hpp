@@ -7,6 +7,7 @@
 #include "engine/compute_context.hpp"
 #include "engine/quant_policy.hpp"
 #include "engine/registry.hpp"
+#include "engine/session_spec.hpp"
 #include "engine/telemetry.hpp"
 
 namespace srmac {
@@ -34,6 +35,12 @@ class EmuEngine {
 
     /// Registry key ("fp32", "fused", "reference", "systolic", ...).
     Builder& backend(const std::string& name);
+
+    /// Applies a whole SessionSpec at once: scenario, backend, seed, and
+    /// threads (spec.compile is a serving-layer concern the engine does not
+    /// consume). The shared entry point of the CLI helper, serve_daemon,
+    /// the C API, and EmuServer's shadow sessions.
+    Builder& spec(const SessionSpec& s);
 
     Builder& policy(const QuantPolicy& p);
 
@@ -70,6 +77,10 @@ class EmuEngine {
   const QuantPolicy& policy() const { return policy_; }
   uint64_t seed() const { return seed_; }
   int threads() const { return threads_; }
+
+  /// The scenario string the engine was built from ("fp32" or a MacConfig
+  /// spec) — the key drift telemetry identifies scenario pairs by.
+  const std::string& scenario() const { return scenario_; }
 
   Telemetry& telemetry() { return *telemetry_; }
   const Telemetry& telemetry() const { return *telemetry_; }

@@ -1,0 +1,11 @@
+#include "engine/session_spec.hpp"
+
+#include "engine/emu_engine.hpp"
+
+namespace srmac {
+
+EmuEngine SessionSpec::build_engine() const {
+  return EmuEngine::Builder().spec(*this).build();
+}
+
+}  // namespace srmac

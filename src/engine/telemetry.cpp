@@ -160,16 +160,40 @@ void Telemetry::record_breaker_transition(int replica, int to_state) {
   else row.breaker_closes += 1;
 }
 
-TelemetrySnapshot Telemetry::snapshot() const {
+void Telemetry::record_serve_shadow_selected(uint64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
-  return totals_;
+  totals_.serve_shadow_selected += n;
+}
+
+void Telemetry::record_serve_shadow_run(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.serve_shadow_runs += n;
+}
+
+void Telemetry::record_serve_shadow_shed(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.serve_shadow_sheds += n;
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = totals_;
+  }
+  // The drift tracker has its own lock; merge outside mu_ (no nesting).
+  out.drift = drift_.snapshot();
+  return out;
 }
 
 void Telemetry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  totals_ = TelemetrySnapshot{};
-  serve_lat_stride_ = 1;
-  serve_lat_seen_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    totals_ = TelemetrySnapshot{};
+    serve_lat_stride_ = 1;
+    serve_lat_seen_ = 0;
+  }
+  drift_.reset();
 }
 
 double TelemetrySnapshot::serve_latency_percentile_us(double q) const {

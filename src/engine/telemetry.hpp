@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/drift_tracker.hpp"
 #include "mac/mac_config.hpp"
 
 namespace srmac {
@@ -103,6 +104,16 @@ struct TelemetrySnapshot {
   /// Per-replica rows (grows to the largest replica id seen + 1).
   std::vector<ServeReplicaStats> serve_replicas;
 
+  // ---- shadow A/B counters (EmuServer shadow path, docs/SERVING.md) ----
+  uint64_t serve_shadow_selected = 0;  ///< requests the trace-id hash picked
+  uint64_t serve_shadow_runs = 0;      ///< shadow forwards actually executed
+  uint64_t serve_shadow_sheds = 0;     ///< selected samples dropped under
+                                       ///< overload (typed shed, never blocks
+                                       ///< the reply path)
+  /// Accuracy-drift series per (primary, shadow) scenario pair, copied from
+  /// the sink's DriftTracker.
+  std::vector<DriftPairSnapshot> drift;
+
   /// The q-th latency percentile (q in [0,100], e.g. 50/95/99) over the
   /// recorded samples by nearest-rank; 0 when no requests were recorded.
   double serve_latency_percentile_us(double q) const;
@@ -115,7 +126,23 @@ struct TelemetrySnapshot {
   /// the same number of MAC steps, in microjoules. energy_nw_mhz is
   /// femtojoules per cycle at one MAC per cycle.
   double projected_mac_energy_uj(const MacConfig& cfg) const;
+
+  /// The whole snapshot as one compact JSON object (telemetry_json.cpp):
+  /// counters, per-backend rows, compile/serve/fleet sections, shadow
+  /// counters, and the drift pairs. The canonical emitter — bench_serve,
+  /// bench_drift, serve_daemon, and the wire TELEMETRY frame all use it
+  /// instead of hand-rolling the counter fields.
+  std::string to_json() const;
 };
+
+/// One fleet replica row as a JSON object, keyed the way bench_serve's
+/// replica_stats rows always were ("replica", "requests", "batches", ...).
+std::string to_json(const ServeReplicaStats& row, int replica);
+
+/// One drift pair snapshot as a JSON object: scenario pair, epsilons,
+/// final-output series (max/mean-abs, mismatch rates, p50/p95/p99 of the
+/// per-sample max-abs), and the per-layer rows.
+std::string to_json(const DriftPairSnapshot& pair);
 
 /// Thread-safe sink for the engine's execution counters: GEMM count, MAC
 /// count, bytes quantized, and per-backend wall time. One mutex-guarded
@@ -186,6 +213,23 @@ class Telemetry {
   /// kept as int so the telemetry layer stays decoupled from serve/).
   void record_breaker_transition(int replica, int to_state);
 
+  /// Records `n` requests the shadow trace-id hash selected for A/B
+  /// re-execution (EmuServer shadow path).
+  void record_serve_shadow_selected(uint64_t n);
+
+  /// Records `n` shadow forwards that actually executed.
+  void record_serve_shadow_run(uint64_t n);
+
+  /// Records `n` selected samples dropped because the session was loaded
+  /// past ShadowConfig::shed_pending — shadow work sheds, it never delays
+  /// the reply path.
+  void record_serve_shadow_shed(uint64_t n);
+
+  /// The accuracy-drift sink (shadow A/B comparisons land here; snapshots
+  /// carry its pairs in TelemetrySnapshot::drift).
+  DriftTracker& drift() { return drift_; }
+  const DriftTracker& drift() const { return drift_; }
+
   /// Records one ModelCompiler lowering: how many weight planes it
   /// quantized+packed, how many ops it folded away, and how many epilogue
   /// steps it fused into GEMM tails.
@@ -216,6 +260,7 @@ class Telemetry {
  private:
   mutable std::mutex mu_;
   TelemetrySnapshot totals_;
+  DriftTracker drift_;  ///< own mutex; snapshot() merges it in
   // Decimation state of the bounded serve-latency reservoir: only every
   // serve_lat_stride_-th completed request is sampled once the cap has
   // been hit (stride doubles on each compaction).

@@ -53,9 +53,13 @@ std::optional<AdderKind> parse_adder_token(std::string_view token) {
 
 std::string MacConfig::to_string() const {
   char buf[96];
+  // Emit the canonical r: the grammar has no sign and parse() saturates at
+  // kRandomBitsCap, so emitting the raw value would break the round trip
+  // for out-of-range configs.
   std::snprintf(buf, sizeof(buf), "%s:e%dm%d/e%dm%d:r=%d:sub%s",
                 adder_token(adder).c_str(), mul_fmt.exp_bits, mul_fmt.man_bits,
-                acc_fmt.exp_bits, acc_fmt.man_bits, random_bits,
+                acc_fmt.exp_bits, acc_fmt.man_bits,
+                std::clamp(random_bits, 0, kRandomBitsCap),
                 subnormals ? "ON" : "OFF");
   return buf;
 }
@@ -95,7 +99,7 @@ std::optional<MacConfig> MacConfig::parse(std::string_view spec,
           return err("bad random-bit option \"" + std::string(parts[i]) + "\"");
         // Saturate: long digit runs must not overflow (normalized() clamps
         // the stored value into the adder's real range later).
-        r = std::min(r * 10 + (opt[j] - '0'), 1000000);
+        r = std::min(r * 10 + (opt[j] - '0'), MacConfig::kRandomBitsCap);
         any = true;
       }
       if (!any) return err("bad random-bit option \"" + std::string(parts[i]) + "\"");

@@ -44,6 +44,27 @@ struct MacConfig {
     return acc.precision() + 3;
   }
 
+  /// Saturation cap of the scenario grammar's r= token: parse() stops
+  /// accumulating digits here, and to_string() emits at most this value, so
+  /// absurd r values survive a print->parse round trip instead of silently
+  /// diverging (normalized() clamps into the adder's real range anyway).
+  static constexpr int kRandomBitsCap = 1000000;
+
+  /// The representative this config's to_string() actually denotes: the
+  /// config-level subnormal flag applied to both formats (the grammar has
+  /// one sub token, not one per format) and random_bits clamped into
+  /// [0, kRandomBitsCap] (the grammar has no sign and saturates digits).
+  /// parse(to_string(c)) == c.canonical() for every config, and a canonical
+  /// config round-trips to itself exactly
+  /// (tests/mac/mac_config_roundtrip_test.cpp).
+  MacConfig canonical() const {
+    MacConfig c = *this;
+    c.mul_fmt.subnormals = subnormals;
+    c.acc_fmt.subnormals = subnormals;
+    c.random_bits = std::clamp(random_bits, 0, kRandomBitsCap);
+    return c;
+  }
+
   /// Applies the subnormal flag consistently to both formats and clamps
   /// `random_bits` into the range the configured adder can actually consume:
   /// the rounding datapaths hold at most 32 random bits, the lazy SR scheme
@@ -79,8 +100,9 @@ struct MacConfig {
   ///
   /// to_string() always emits every field; parse() accepts omitted options
   /// (r defaults to default_random_bits(acc), sub defaults to ON) and is
-  /// case-insensitive in the tokens. parse(to_string()) round-trips exactly
-  /// (asserted by tests/mac/mac_config_roundtrip_test.cpp).
+  /// case-insensitive in the tokens. parse(to_string(c)) == c.canonical()
+  /// for every config — canonical configs (anything parse itself produced)
+  /// round-trip exactly (tests/mac/mac_config_roundtrip_test.cpp).
   std::string to_string() const;
   static std::optional<MacConfig> parse(std::string_view spec,
                                         std::string* error = nullptr);

@@ -157,7 +157,7 @@ std::optional<std::pair<FrameType, std::string>> read_frame(Socket& s) {
   if (body_len > kMaxWireBody)
     throw WireError(WireCode::kBadFrame, "wire: implausible frame length");
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kError))
+      type > static_cast<uint8_t>(FrameType::kTelemetryOk))
     throw WireError(WireCode::kBadFrame, "wire: unknown frame type");
   std::string body(body_len, '\0');
   if (body_len &&

@@ -74,4 +74,19 @@ InferResult WireClient::infer(const Tensor& x, uint64_t deadline_us) {
   return recv_result();
 }
 
+std::string WireClient::telemetry_json() {
+  if (!write_frame(sock_, FrameType::kTelemetry, ""))
+    throw WireError(WireCode::kInternal, "wire: send failed");
+  std::optional<std::pair<FrameType, std::string>> reply = read_frame(sock_);
+  if (!reply)
+    throw WireError(WireCode::kInternal,
+                    "wire: server closed before the response");
+  if (reply->first == FrameType::kError)
+    rethrow_error_frame(decode_error(reply->second));
+  if (reply->first != FrameType::kTelemetryOk)
+    throw WireError(WireCode::kBadFrame,
+                    "wire: expected TELEMETRY_OK, got another frame type");
+  return std::move(reply->second);
+}
+
 }  // namespace srmac

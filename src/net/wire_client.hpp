@@ -43,6 +43,12 @@ class WireClient {
   uint64_t send_infer(const Tensor& x, uint64_t deadline_us = 0);
   InferResult recv_result();
 
+  /// One blocking TELEMETRY round trip: the server's telemetry snapshot as
+  /// a JSON string ("{}" when the server exports none). Do not interleave
+  /// with pipelined send_infer/recv_result — replies are FIFO per
+  /// connection.
+  std::string telemetry_json();
+
   void close();
 
  private:

@@ -28,11 +28,14 @@ namespace srmac {
 /// Conversation: the client opens with HELLO (protocol version + the
 /// scenario/model tags it expects; empty tags skip the check), the server
 /// answers HELLO_OK (its version, tags, and per-sample input shape) or
-/// ERROR and closes. After the handshake the client sends INFER frames; the
-/// server answers each with RESULT or ERROR, in request order per
-/// connection. A malformed frame (oversized, bad CRC, unknown type,
-/// short body) draws an ERROR(bad_frame) and the connection closes —
-/// framing errors are not recoverable mid-stream.
+/// ERROR and closes. After the handshake the client sends INFER frames —
+/// answered with RESULT or ERROR — and may interleave TELEMETRY frames
+/// (empty body), answered with TELEMETRY_OK carrying the server's
+/// telemetry snapshot as one JSON object (TelemetrySnapshot::to_json:
+/// counters, serve/shadow stats, accuracy-drift pairs). Replies keep
+/// request order per connection. A malformed frame (oversized, bad CRC,
+/// unknown type, short body) draws an ERROR(bad_frame) and the connection
+/// closes — framing errors are not recoverable mid-stream.
 
 inline constexpr uint32_t kWireVersion = 1;
 
@@ -48,6 +51,8 @@ enum class FrameType : uint8_t {
   kInfer = 3,    ///< client -> server: tag, deadline budget, sample tensor
   kResult = 4,   ///< server -> client: tag + InferResult fields + output
   kError = 5,    ///< server -> client: tag + typed code + message
+  kTelemetry = 6,    ///< client -> server: empty body (snapshot request)
+  kTelemetryOk = 7,  ///< server -> client: UTF-8 JSON telemetry snapshot
 };
 
 /// The on-wire error code space: ServeError crosses unchanged in 0..99;

@@ -136,10 +136,18 @@ void WireServer::reader_loop(Conn* c) {
         std::optional<std::pair<FrameType, std::string>> frame =
             read_frame(c->sock);
         if (!frame) break;  // clean close
+        if (frame->first == FrameType::kTelemetry) {
+          // The reply body is the raw JSON string — already length-framed
+          // and CRC'd by the frame header, so it needs no codec of its own.
+          enqueue_frame(c, FrameType::kTelemetryOk,
+                        cfg_.telemetry_json ? cfg_.telemetry_json() : "{}");
+          continue;
+        }
         if (frame->first != FrameType::kInfer) {
           protocol_errors_.fetch_add(1, std::memory_order_relaxed);
           enqueue_error(c, 0, WireCode::kBadFrame,
-                        "only INFER frames follow the handshake");
+                        "only INFER and TELEMETRY frames follow the "
+                        "handshake");
           break;
         }
         WireInfer req = decode_infer(frame->second);

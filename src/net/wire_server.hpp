@@ -36,6 +36,13 @@ struct WireServerConfig {
   /// purely informative — the session's own admission validation remains
   /// the enforcement point.
   std::vector<int> input_shape;
+
+  /// Answers TELEMETRY frames: returns the back end's telemetry snapshot
+  /// as one JSON object (typically `[&] { return
+  /// server.telemetry().to_json(); }` — snapshot() is thread-safe, and the
+  /// hook is called from reader threads). Unset: TELEMETRY_OK carries
+  /// "{}" so clients need not know whether the server exports telemetry.
+  std::function<std::string()> telemetry_json;
 };
 
 /// The wire front end: accepts connections speaking the length-prefixed

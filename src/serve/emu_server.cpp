@@ -43,6 +43,25 @@ EmuServer::EmuServer(std::unique_ptr<Sequential> model, EmuEngine engine,
     copts.grouped = cfg_.grouped;
     compiled_ = ModelCompiler(engine_).compile(*model_, copts);
   }
+  if (cfg_.shadow.enabled()) {
+    // Shadow session construction fails typed and early, exactly like the
+    // primary compile path: a bad shadow scenario throws invalid_argument
+    // from the builder before any traffic exists.
+    shadow_engine_.emplace(cfg_.shadow.session.build_engine());
+    if (cfg_.shadow.session.compile) {
+      if (cfg_.input_shape.empty())
+        throw CompileException(
+            CompileError::kBadConfig,
+            "ServeConfig::shadow: a compiled shadow session requires "
+            "input_shape (the compiler plans buffers for one fixed sample "
+            "shape)");
+      ModelCompiler::Options copts;
+      copts.input_shape = cfg_.input_shape;
+      copts.max_batch = 1;  // shadow re-runs samples one at a time
+      copts.grouped = false;
+      shadow_compiled_ = ModelCompiler(*shadow_engine_).compile(*model_, copts);
+    }
+  }
   if (cfg_.start_thread) thread_ = std::thread([this] { serve_loop(); });
 }
 
@@ -250,6 +269,14 @@ int EmuServer::run_wave(std::vector<ServeRequest>& admitted) {
       ++ev.expired;
     } else {
       InFlight s;
+      if (shadow_active() && shadow_selects(r.trace_id, cfg_.shadow.fraction)) {
+        // Capture the input copy at admission — under continuous batching
+        // the activation is overwritten in place as the request advances
+        // layer by layer, so this is the last moment the input exists.
+        s.shadowed = true;
+        s.shadow_input = r.input;  // deep copy
+        engine_.telemetry().record_serve_shadow_selected(1);
+      }
       s.req = std::move(r);
       s.admit_us = admit_us;
       inflight_.push_back(std::move(s));
@@ -346,11 +373,19 @@ int EmuServer::run_wave(std::vector<ServeRequest>& admitted) {
   const uint64_t done_us = clock_->now_us();
   const size_t depth = model_->size();
   std::vector<uint64_t> lat;
+  std::vector<ShadowSample> picked;
   size_t w = 0;
   for (size_t i = 0; i < inflight_.size(); ++i) {
     InFlight& s = inflight_[i];
     if (s.cursor >= depth) {
       lat.push_back(done_us - s.req.submit_us);
+      if (s.shadowed) {
+        ShadowSample sh;
+        sh.trace_id = s.req.trace_id;
+        sh.input = std::move(s.shadow_input);
+        sh.primary_out = s.req.input;  // copy before the move below
+        picked.push_back(std::move(sh));
+      }
       InferResult r;
       r.output = std::move(s.req.input);
       r.batch_size = static_cast<int>(n);  // in flight when it completed
@@ -373,6 +408,9 @@ int EmuServer::run_wave(std::vector<ServeRequest>& admitted) {
   engine_.telemetry().record_serve_batch(n, lat.data(), lat.size(),
                                          cfg_.replica_id);
   if (on_batch_) on_batch_(ev);
+  // After the wave's resolutions, like the discrete path: shadow work rides
+  // behind the wave machinery and never delays a resolving request.
+  maybe_run_shadow(picked);
   return static_cast<int>(lat.size());
 }
 
@@ -445,6 +483,23 @@ void EmuServer::process(std::vector<ServeRequest>& batch) {
     std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
 
   const uint64_t formed_us = clock_->now_us();
+  // Shadow selection happens here — after the batch is committed to
+  // execute, before the move below consumes the inputs. Selected samples'
+  // inputs are deep-copied; unselected requests pay nothing.
+  std::vector<ShadowSample> picked;
+  std::vector<size_t> picked_idx;
+  if (shadow_active()) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (!shadow_selects(live[i].trace_id, cfg_.shadow.fraction)) continue;
+      ShadowSample s;
+      s.trace_id = live[i].trace_id;
+      s.input = live[i].input;  // deep copy
+      picked.push_back(std::move(s));
+      picked_idx.push_back(i);
+    }
+    if (!picked.empty())
+      engine_.telemetry().record_serve_shadow_selected(picked.size());
+  }
   std::vector<Tensor> xs(live.size());
   for (size_t i = 0; i < live.size(); ++i) xs[i] = std::move(live[i].input);
   try {
@@ -472,6 +527,10 @@ void EmuServer::process(std::vector<ServeRequest>& batch) {
     return;
   }
   const uint64_t done_us = clock_->now_us();
+  // Capture the served outputs of the selected samples while xs still
+  // holds them (reads only — the promises get the originals untouched).
+  for (size_t j = 0; j < picked.size(); ++j)
+    picked[j].primary_out = xs[picked_idx[j]];
   ev.ok = true;
   ev.completed = live.size();
   ev.exec_us = done_us - formed_us;
@@ -490,6 +549,89 @@ void EmuServer::process(std::vector<ServeRequest>& batch) {
     live[i].promise.set_value(std::move(r));
   }
   if (on_batch_) on_batch_(ev);
+  // Strictly after every promise of the batch resolved: clients are never
+  // waiting on shadow work. The executor pays for it before collecting the
+  // next micro-batch, and sheds it when the queue is already deep.
+  maybe_run_shadow(picked);
+}
+
+void EmuServer::maybe_run_shadow(std::vector<ShadowSample>& picked) {
+  if (picked.empty()) return;
+  // Overload valve: if the queue already holds a backlog, primary traffic
+  // needs the executor more than the A/B experiment does. Shedding is
+  // typed (serve_shadow_sheds) so an operator can see exactly how much of
+  // the configured sample actually ran.
+  if (cfg_.shadow.shed_pending && queue_.size() >= cfg_.shadow.shed_pending) {
+    engine_.telemetry().record_serve_shadow_shed(picked.size());
+    return;
+  }
+  for (ShadowSample& s : picked) {
+    try {
+      run_shadow_sample(s);
+      engine_.telemetry().record_serve_shadow_run(1);
+    } catch (...) {
+      // A failing shadow forward must never take the serving session down;
+      // count it as shed and keep serving.
+      engine_.telemetry().record_serve_shadow_shed(1);
+    }
+  }
+}
+
+void EmuServer::run_shadow_sample(ShadowSample& s) {
+  DriftTracker& drift = engine_.telemetry().drift();
+  const std::vector<double>& eps = cfg_.shadow.epsilons;
+  const std::string& pri = engine_.scenario();
+  const std::string& sh = shadow_engine_->scenario();
+  if (shadow_compiled_) {
+    // Compiled shadow: one program call, final-output drift only (the
+    // compiled executor exposes no per-layer seam).
+    shadow_compiled_->refresh();
+    std::vector<Tensor> xs;
+    xs.push_back(std::move(s.input));
+    shadow_compiled_->forward_batch(xs);
+    const size_t n = static_cast<size_t>(
+        std::min(s.primary_out.numel(), xs[0].numel()));
+    drift.record_final(pri, sh, eps, s.primary_out.data(), xs[0].data(), n);
+    return;
+  }
+  ComputeContext sc = shadow_engine_->context();
+  if (!cfg_.shadow.per_layer) {
+    std::vector<Tensor> xs;
+    xs.push_back(std::move(s.input));
+    model_->forward_batch(sc, xs);
+    const size_t n = static_cast<size_t>(
+        std::min(s.primary_out.numel(), xs[0].numel()));
+    drift.record_final(pri, sh, eps, s.primary_out.data(), xs[0].data(), n);
+    return;
+  }
+  // Per-layer lockstep: re-run the primary scenario alongside the shadow,
+  // comparing after every child. The walk replays exactly the fork/rule
+  // chain Sequential::forward_batch applies (child i under
+  // fork(i+1).for_layer(name)), so the re-run primary activations are
+  // bitwise the ones the serving forward produced. Both walks — including
+  // the primary re-run — account their GEMMs to the *shadow* sink, keeping
+  // the primary sink's counters a pure measure of serving traffic.
+  ComputeContext pc = engine_.context();
+  pc.telemetry = &shadow_engine_->telemetry();
+  std::vector<Tensor> pa;
+  pa.push_back(s.input);  // copy: the walk consumes both
+  std::vector<Tensor> sa;
+  sa.push_back(std::move(s.input));
+  for (size_t i = 0; i < model_->size(); ++i) {
+    Layer& child = model_->child(i);
+    const uint64_t salt = static_cast<uint64_t>(i) + 1;
+    child.forward_batch(pc.fork(salt).for_layer(child.name()), pa);
+    child.forward_batch(sc.fork(salt).for_layer(child.name()), sa);
+    const size_t n =
+        static_cast<size_t>(std::min(pa[0].numel(), sa[0].numel()));
+    drift.record_layer(pri, sh, eps, i, child.name(), pa[0].data(),
+                       sa[0].data(), n);
+  }
+  // The final row compares the shadow output against the *served* output
+  // (not the re-run), so it holds even if the lockstep replay were wrong.
+  const size_t n = static_cast<size_t>(
+      std::min(s.primary_out.numel(), sa[0].numel()));
+  drift.record_final(pri, sh, eps, s.primary_out.data(), sa[0].data(), n);
 }
 
 void EmuServer::stop() {

@@ -5,6 +5,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -132,6 +133,16 @@ class EmuServer {
   const EmuEngine& engine() const { return engine_; }
   const ServeConfig& config() const { return cfg_; }
 
+  /// The shadow A/B engine (cfg.shadow), or nullptr when shadowing is
+  /// disabled. Shadow GEMM/MAC work is accounted to *its* telemetry sink
+  /// (including the lockstep primary re-runs of the per-layer walk), so
+  /// the primary sink's counters — and energy projections — keep measuring
+  /// exactly the serving traffic. Drift lands in the primary sink's
+  /// DriftTracker, keyed (primary scenario, shadow scenario).
+  const EmuEngine* shadow_engine() const {
+    return shadow_engine_ ? &*shadow_engine_ : nullptr;
+  }
+
   /// The compiled program this session serves through, or nullptr in eager
   /// mode (cfg.compile=false). Built once at construction; checkpoint loads
   /// into the live model are picked up through CompiledModel::refresh()
@@ -153,11 +164,29 @@ class EmuServer {
     ServeRequest req;
     size_t cursor = 0;      ///< next child layer to run
     uint64_t admit_us = 0;  ///< when the slot was filled (queue_us term)
+    bool shadowed = false;  ///< selected by the shadow trace-id hash
+    Tensor shadow_input;    ///< input copy captured at admission (iff shadowed)
+  };
+
+  /// One sample queued for shadow re-execution: the input copy captured
+  /// before the primary forward consumed it, and the primary output copy
+  /// captured before the promise consumed it. Both copies happen only for
+  /// selected samples, and only reads touch primary state — the
+  /// non-interference half of the shadow contract; the other half is that
+  /// run_shadow() executes strictly after every promise of the batch
+  /// resolved.
+  struct ShadowSample {
+    uint64_t trace_id = 0;
+    Tensor input;
+    Tensor primary_out;
   };
 
   void serve_loop();
   void process(std::vector<ServeRequest>& batch);
   int run_wave(std::vector<ServeRequest>& admitted);
+  bool shadow_active() const { return shadow_engine_.has_value(); }
+  void maybe_run_shadow(std::vector<ShadowSample>& picked);
+  void run_shadow_sample(ShadowSample& s);
   void fail_inflight(ServeError code, const char* what);
   void fail_batch(std::vector<ServeRequest>& batch, ServeError code,
                   const char* what);
@@ -172,6 +201,14 @@ class EmuServer {
   EmuEngine engine_;
   const ServeConfig cfg_;
   std::unique_ptr<CompiledModel> compiled_;  ///< set iff cfg_.compile
+  /// Shadow A/B session (set iff cfg_.shadow.enabled()): a second engine —
+  /// and, when the shadow spec compiles, a second compiled program — over
+  /// the *same* model. Sharing the model is safe: WeightQuantCache keys
+  /// planes by format, so the two scenarios keep separate packed planes,
+  /// and all shadow forwards run on the executor thread after the batch
+  /// resolved (the single-executor invariant covers them).
+  std::optional<EmuEngine> shadow_engine_;
+  std::unique_ptr<CompiledModel> shadow_compiled_;
   const ServeClock* clock_;
   FaultInjector* injector_;
   const BatchCallback on_batch_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/session_spec.hpp"
 #include "tensor/tensor.hpp"
 
 namespace srmac {
@@ -85,6 +86,74 @@ struct PriorityClass {
   /// crosses shed_at * shed_limit (clamped to (0,1]). Lower classes set
   /// lower fractions so overload sheds bronze before it touches gold.
   double shed_at = 1.0;
+};
+
+/// Deterministic shadow-sampling hash (splitmix64 finalizer): maps a trace
+/// id to a uniform 64-bit value. A pure function of the trace id, so the
+/// shadow set of a request stream is reproducible across runs, replicas,
+/// and processes — the property the drift telemetry's comparability rests
+/// on.
+inline uint64_t shadow_hash(uint64_t trace_id) {
+  uint64_t z = trace_id + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Whether `trace_id` falls in the shadow sample at `fraction` (in [0,1]):
+/// hash(trace_id) < fraction * 2^64. fraction >= 1 selects everything,
+/// <= 0 nothing; the selected sets are nested (a request shadowed at 10%
+/// is also shadowed at 20%), which keeps drift series comparable across
+/// fraction changes.
+inline bool shadow_selects(uint64_t trace_id, double fraction) {
+  if (fraction >= 1.0) return true;
+  if (fraction <= 0.0) return false;
+  const double scaled = fraction * 18446744073709551616.0;  // 2^64
+  return static_cast<double>(shadow_hash(trace_id)) < scaled;
+}
+
+/// Shadow A/B configuration of a serving session (docs/SERVING.md "Shadow
+/// A/B & drift telemetry"): a second scenario the session re-runs a
+/// deterministic sample of requests through *after* the primary forward
+/// resolved their futures. Shadow work never touches primary outputs
+/// (bitwise-identity tests in tests/serve/shadow_serving_test.cpp) and
+/// never blocks the reply path — under load it sheds with a typed counter.
+struct ShadowConfig {
+  /// The shadow session: scenario/backend/seed/threads plus compile (a
+  /// compiled shadow compares final outputs only; an eager one can record
+  /// per-layer divergence). The scenario starts empty — enabling shadow
+  /// requires naming one explicitly as well as setting fraction > 0.
+  /// Callers comparing scenarios should keep seed equal to the primary
+  /// engine's so divergence measures the scenario, not the seed.
+  SessionSpec session = [] {
+    SessionSpec s;
+    s.scenario.clear();  // SessionSpec's default names the engine default
+    return s;
+  }();
+
+  /// Fraction of requests to shadow, selected by shadow_selects(trace_id,
+  /// fraction). 0 disables shadowing (the default); 1 shadows everything
+  /// (the test/bench mode). Untraced direct submissions (trace_id 0) hash
+  /// like any other id.
+  double fraction = 0.0;
+
+  /// Mismatch-rate thresholds of the drift series. Empty = the
+  /// DriftTracker defaults {1e-6, 1e-3, 1e-2}.
+  std::vector<double> epsilons;
+
+  /// Overload valve: when the admission queue holds at least this many
+  /// pending requests after a batch resolves, the batch's selected shadow
+  /// samples are dropped and counted into serve_shadow_sheds instead of
+  /// executed. 0 = never shed (benches and tests that need every sample).
+  size_t shed_pending = 0;
+
+  /// Record per-layer divergence rows (eager shadow only: the lockstep
+  /// walk re-runs the primary layer by layer alongside the shadow, roughly
+  /// doubling per-sample shadow cost — both forwards are accounted to the
+  /// shadow engine's sink). false: final-output drift only.
+  bool per_layer = true;
+
+  bool enabled() const { return fraction > 0.0 && !session.scenario.empty(); }
 };
 
 /// Knobs of one serving session (the CLI's --serve-* flags map onto these;
@@ -167,6 +236,14 @@ struct ServeConfig {
   /// Empty = one implicit default class (plain FIFO). SubmitMeta::priority
   /// selects the class (clamped into range).
   std::vector<PriorityClass> classes;
+
+  /// Shadow A/B block: a second scenario a deterministic sample of
+  /// requests is re-run through after their primary futures resolve, with
+  /// divergence recorded into the engine sink's DriftTracker. Disabled by
+  /// default. ClusterConfig::serve carries this too, so a fleet shadows
+  /// uniformly (selection is a pure function of the trace id, so the
+  /// shadow set is replica-independent).
+  ShadowConfig shadow;
 };
 
 /// Per-request submission metadata (the ClusterController threads routing

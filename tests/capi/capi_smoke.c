@@ -109,6 +109,72 @@ int main(void) {
         out_numel);
   CHECK(memcmp(out_a, out_b, (size_t)out_numel * sizeof(float)) == 0);
 
+  /* Telemetry JSON follows the same capacity protocol as the shape query:
+   * probe with capacity 0, then fill. The count includes the NUL. */
+  {
+    char small[4];
+    long need = srmac_session_telemetry_json(s, NULL, 0);
+    CHECK(need > 2); /* more than "{}" */
+    CHECK(srmac_session_telemetry_json(s, small, sizeof(small)) == need);
+    char* json = (char*)malloc((size_t)need);
+    CHECK(json != NULL);
+    CHECK(srmac_session_telemetry_json(s, json, (size_t)need) == need);
+    CHECK((long)strlen(json) == need - 1);
+    CHECK(json[0] == '{' && json[need - 2] == '}');
+    CHECK(strstr(json, "\"gemms\"") != NULL);
+    free(json);
+  }
+
+  /* Drift before shadowing is enabled is a typed failure. */
+  {
+    srmac_drift d;
+    CHECK(srmac_session_drift(s, &d) == -1);
+    CHECK(strlen(srmac_last_error()) > 0);
+  }
+
+  /* Shadow A/B: an unparsable shadow scenario is refused; a self-shadow
+   * (same scenario) at fraction 1 replays every forward bitwise, so the
+   * recorded final-output drift is exactly zero. */
+  CHECK(srmac_session_enable_shadow(s, "not_a_scenario", 1.0) == -1);
+  CHECK(srmac_session_enable_shadow(s, kScenario, 1.0) == 0);
+  CHECK(srmac_session_forward(s, input, (size_t)in_numel, out_b, 32) ==
+        out_numel);
+  CHECK(srmac_session_forward(s, input, (size_t)in_numel, out_b, 32) ==
+        out_numel);
+  {
+    srmac_drift d;
+    CHECK(srmac_session_drift(s, &d) == 0);
+    CHECK(d.samples == 2);
+    CHECK(d.final_max_abs == 0.0);
+    CHECK(d.final_mean_abs == 0.0);
+    CHECK(d.p99_maxabs == 0.0);
+  }
+
+  /* A genuinely different shadow scenario records nonzero drift, and the
+   * primary output stays bitwise what it always was. */
+  CHECK(srmac_session_enable_shadow(s, "rn:e5m2/e6m5:r=0:subON", 1.0) == 0);
+  memset(out_b, 0, sizeof(out_b));
+  CHECK(srmac_session_forward(s, input, (size_t)in_numel, out_b, 32) ==
+        out_numel);
+  CHECK(memcmp(out_a, out_b, (size_t)out_numel * sizeof(float)) == 0);
+  {
+    srmac_drift d;
+    CHECK(srmac_session_drift(s, &d) == 0);
+    CHECK(d.samples == 1);
+    CHECK(d.final_max_abs > 0.0);
+    /* The JSON snapshot carries the drift pair too. */
+    long need = srmac_session_telemetry_json(s, NULL, 0);
+    char* json = (char*)malloc((size_t)need);
+    CHECK(json != NULL);
+    CHECK(srmac_session_telemetry_json(s, json, (size_t)need) == need);
+    CHECK(strstr(json, "\"drift\"") != NULL);
+    CHECK(strstr(json, "rn:e5m2/e6m5:r=0:subON") != NULL);
+    free(json);
+  }
+
+  /* Disable: fraction 0 turns shadowing off again. */
+  CHECK(srmac_session_enable_shadow(s, NULL, 0.0) == 0);
+
   srmac_session_destroy(s);
   srmac_session_destroy(NULL); /* no-op */
   remove(ckpt_path);

@@ -1,0 +1,148 @@
+// DriftTracker unit contract (engine/drift_tracker.hpp): exact aggregate
+// stats on known vectors, nearest-rank percentiles over the per-sample
+// max-abs series, epsilon handling (defaults, fixation at first record),
+// pair keying, per-layer rows, decimation bounds, and reset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "engine/drift_tracker.hpp"
+
+using namespace srmac;
+
+namespace {
+
+const std::string kA = "eager_sr:e5m2/e6m5:r=9:subON";
+const std::string kB = "rn:e5m2/e6m5:r=0:subON";
+
+}  // namespace
+
+TEST(DriftTracker, KnownVectorsProduceExactStats) {
+  DriftTracker t;
+  const std::vector<double> eps = {0.05, 0.5};
+  const float a1[] = {1.0f, 2.0f, 3.0f};
+  const float b1[] = {1.0f, 2.1f, 2.0f};  // |d| = {0, 0.1, 1.0}
+  const float a2[] = {0.0f, -1.0f, 4.0f};
+  const float b2[] = {0.0f, -1.0f, 4.5f};  // |d| = {0, 0, 0.5}
+  t.record_final(kA, kB, eps, a1, b1, 3);
+  t.record_final(kA, kB, eps, a2, b2, 3);
+
+  const std::vector<DriftPairSnapshot> pairs = t.snapshot();
+  ASSERT_EQ(pairs.size(), 1u);
+  const DriftPairSnapshot& p = pairs[0];
+  EXPECT_EQ(p.primary, kA);
+  EXPECT_EQ(p.shadow, kB);
+  ASSERT_EQ(p.epsilons, eps);
+  const DriftSeries& s = p.final_output;
+  EXPECT_EQ(s.samples, 2u);
+  EXPECT_EQ(s.elems, 6u);
+  EXPECT_DOUBLE_EQ(s.max_abs, 1.0);
+  // |2.1f - 2.0f| is the float-representable ~0.09999990, not 0.1 exactly.
+  EXPECT_NEAR(s.sum_abs, 1.6, 1e-6);
+  EXPECT_NEAR(s.mean_abs(), 1.6 / 6.0, 1e-6);
+  ASSERT_EQ(s.mismatches.size(), 2u);
+  EXPECT_EQ(s.mismatches[0], 3u);  // > 0.05: {0.1, 1.0, 0.5}
+  EXPECT_EQ(s.mismatches[1], 1u);  // > 0.5: {1.0}
+  EXPECT_NEAR(s.mismatch_rate(0), 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(s.mismatch_rate(1), 1.0 / 6.0, 1e-12);
+  // Per-sample max-abs series: {1.0, 0.5}.
+  ASSERT_EQ(s.maxabs_samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.maxabs_percentile(50), 0.5);  // nearest rank 1 of 2
+  EXPECT_DOUBLE_EQ(s.maxabs_percentile(100), 1.0);
+}
+
+TEST(DriftTracker, NearestRankPercentiles) {
+  DriftTracker t;
+  // 100 samples with max-abs i/100 for i = 1..100.
+  for (int i = 1; i <= 100; ++i) {
+    const float a = static_cast<float>(i) / 100.0f;
+    const float z = 0.0f;
+    t.record_final(kA, kB, {}, &a, &z, 1);
+  }
+  const std::vector<DriftPairSnapshot> pairs = t.snapshot();
+  const DriftSeries& s = pairs[0].final_output;
+  EXPECT_NEAR(s.maxabs_percentile(50), 0.50, 1e-6);
+  EXPECT_NEAR(s.maxabs_percentile(95), 0.95, 1e-6);
+  EXPECT_NEAR(s.maxabs_percentile(99), 0.99, 1e-6);
+  EXPECT_NEAR(s.maxabs_percentile(1), 0.01, 1e-6);
+  // Empty series: 0, not NaN.
+  EXPECT_EQ(DriftSeries{}.maxabs_percentile(95), 0.0);
+}
+
+TEST(DriftTracker, DefaultAndFixedEpsilons) {
+  DriftTracker t;
+  const float a = 1.0f, b = 1.5f;
+  t.record_final(kA, kB, {}, &a, &b, 1);  // empty: adopt defaults
+  const std::vector<double> other = {0.25};
+  t.record_final(kA, kB, other, &a, &b, 1);  // ignored: fixed at first
+  const DriftPairSnapshot p = t.snapshot()[0];
+  EXPECT_EQ(p.epsilons, DriftTracker::default_epsilons());
+  ASSERT_EQ(p.final_output.mismatches.size(), p.epsilons.size());
+  EXPECT_EQ(p.final_output.samples, 2u);
+  // |d| = 0.5 > every default epsilon {1e-6, 1e-3, 1e-2}, both samples.
+  for (uint64_t m : p.final_output.mismatches) EXPECT_EQ(m, 2u);
+}
+
+TEST(DriftTracker, PairsKeyIndependentlyAndOrdered) {
+  DriftTracker t;
+  const float a = 1.0f, b = 2.0f;
+  t.record_final(kB, kA, {}, &a, &b, 1);
+  t.record_final(kA, kB, {}, &a, &a, 1);
+  const std::vector<DriftPairSnapshot> pairs = t.snapshot();
+  ASSERT_EQ(pairs.size(), 2u);
+  // Ordered by (primary, shadow): kA sorts before kB ("eager..." < "rn...").
+  EXPECT_EQ(pairs[0].primary, kA);
+  EXPECT_EQ(pairs[0].final_output.max_abs, 0.0);
+  EXPECT_EQ(pairs[1].primary, kB);
+  EXPECT_EQ(pairs[1].final_output.max_abs, 1.0);
+}
+
+TEST(DriftTracker, LayerRowsKeyByIndexAscending) {
+  DriftTracker t;
+  const float a = 1.0f, b = 1.25f;
+  t.record_layer(kA, kB, {}, 2, "Linear", &a, &b, 1);
+  t.record_layer(kA, kB, {}, 0, "Conv2d", &a, &a, 1);
+  t.record_layer(kA, kB, {}, 2, "Linear", &a, &b, 1);
+  const DriftPairSnapshot p = t.snapshot()[0];
+  EXPECT_EQ(p.final_output.samples, 0u);  // layer records only
+  ASSERT_EQ(p.layers.size(), 2u);
+  EXPECT_EQ(p.layers[0].index, 0u);
+  EXPECT_EQ(p.layers[0].layer, "Conv2d");
+  EXPECT_EQ(p.layers[0].series.samples, 1u);
+  EXPECT_EQ(p.layers[1].index, 2u);
+  EXPECT_EQ(p.layers[1].series.samples, 2u);
+  EXPECT_DOUBLE_EQ(p.layers[1].series.max_abs, 0.25);
+}
+
+TEST(DriftTracker, ReservoirStaysBounded) {
+  DriftTracker t;
+  const float z = 0.0f;
+  for (int i = 0; i < 3 * static_cast<int>(DriftTracker::kMaxAbsSampleCap);
+       ++i) {
+    const float a = static_cast<float>(i);
+    t.record_final(kA, kB, {}, &a, &z, 1);
+  }
+  const std::vector<DriftPairSnapshot> pairs = t.snapshot();
+  const DriftSeries& s = pairs[0].final_output;
+  EXPECT_EQ(s.samples, 3u * DriftTracker::kMaxAbsSampleCap);
+  EXPECT_LE(s.maxabs_samples.size(), DriftTracker::kMaxAbsSampleCap);
+  EXPECT_GE(s.maxabs_samples.size(), DriftTracker::kMaxAbsSampleCap / 2);
+  // The aggregate stats never decimate.
+  EXPECT_DOUBLE_EQ(s.max_abs, 3.0 * DriftTracker::kMaxAbsSampleCap - 1.0);
+}
+
+TEST(DriftTracker, ResetDropsEverything) {
+  DriftTracker t;
+  const float a = 1.0f, b = 2.0f;
+  t.record_final(kA, kB, {}, &a, &b, 1);
+  EXPECT_EQ(t.snapshot().size(), 1u);
+  t.reset();
+  EXPECT_TRUE(t.snapshot().empty());
+  // Recording after reset starts a fresh pair (fresh epsilons too).
+  t.record_final(kA, kB, {0.1}, &a, &b, 1);
+  const DriftPairSnapshot p = t.snapshot()[0];
+  ASSERT_EQ(p.epsilons.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.epsilons[0], 0.1);
+}

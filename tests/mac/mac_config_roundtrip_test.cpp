@@ -108,6 +108,70 @@ TEST(MacConfigRoundTrip, RandomBitsSaturateInsteadOfOverflowing) {
   EXPECT_EQ(c->random_bits, 1000000);
 }
 
+TEST(MacConfigRoundTrip, CanonicalAppliesSubFlagAndClampsRandomBits) {
+  // canonical() is the representative to_string() actually denotes: one sub
+  // token for both formats, r clamped into [0, kRandomBitsCap]. The contract
+  // parse(to_string(c)) == c.canonical() must hold even for configs that
+  // were assembled field-by-field and are NOT canonical themselves.
+  MacConfig c = make(kFp8E5M2, kFp12, AdderKind::kEagerSR, 9, true);
+  c.mul_fmt.subnormals = false;  // disagree with the config-level flag
+  c.random_bits = -17;
+  const MacConfig canon = c.canonical();
+  EXPECT_TRUE(canon.mul_fmt.subnormals);
+  EXPECT_TRUE(canon.acc_fmt.subnormals);
+  EXPECT_EQ(canon.random_bits, 0);
+  EXPECT_NE(c, canon);
+  EXPECT_EQ(canon, canon.canonical());  // idempotent
+
+  std::string error;
+  auto back = MacConfig::parse(c.to_string(), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, canon) << c.to_string();
+
+  c.random_bits = MacConfig::kRandomBitsCap + 5;
+  EXPECT_EQ(c.canonical().random_bits, MacConfig::kRandomBitsCap);
+  back = MacConfig::parse(c.to_string(), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, c.canonical()) << c.to_string();
+
+  c.subnormals = false;  // the other direction of the mismatch
+  c.random_bits = 9;
+  c.acc_fmt.subnormals = true;
+  EXPECT_FALSE(c.canonical().acc_fmt.subnormals);
+  EXPECT_EQ(*MacConfig::parse(c.to_string()), c.canonical());
+}
+
+TEST(MacConfigRoundTrip, EveryRepoScenarioStringRoundTripsVerbatim) {
+  // Every scenario string the repo ships — engine/serve defaults, docs,
+  // CI legs, and the bench_drift shadow grid — must be canonical at the
+  // STRING level: parse then to_string reproduces it byte for byte. This
+  // is what lets checkpoints, wire HELLO frames, telemetry keys, and
+  // BENCH_drift.json rows compare scenarios as plain strings.
+  const char* specs[] = {
+      // engine default + fp32-adjacent serving scenarios
+      "eager_sr:e5m2/e6m5:r=9:subON",
+      "rn:e5m2/e6m5:r=0:subON",
+      "rn:e5m2/e6m5:r=0:subOFF",
+      "lazy_sr:e5m2/e6m5:r=9:subON",
+      "lazy_sr:e5m2/e6m5:r=9:subOFF",
+      "eager_sr:e5m2/e6m5:r=9:subOFF",
+      "eager_sr:e5m2/e6m5:r=13:subOFF",
+      // bench_drift shadow grid (bench/bench_drift.cpp)
+      "lazy_sr:e5m2/e6m5:r=6:subON",
+      "eager_sr:e5m2/e6m5:r=6:subON",
+      "eager_sr:e5m2/e6m5:r=13:subON",
+      "eager_sr:e4m3/e6m5:r=9:subON",
+      "eager_sr:e5m2/e5m4:r=8:subON",
+  };
+  for (const char* spec : specs) {
+    std::string error;
+    const auto c = MacConfig::parse(spec, &error);
+    ASSERT_TRUE(c.has_value()) << spec << ": " << error;
+    EXPECT_EQ(c->to_string(), spec);
+    EXPECT_EQ(*c, c->canonical()) << spec << " parse output not canonical";
+  }
+}
+
 TEST(MacConfigRoundTrip, AdderTokens) {
   for (const AdderKind k :
        {AdderKind::kRoundNearest, AdderKind::kLazySR, AdderKind::kEagerSR}) {

@@ -188,6 +188,43 @@ TEST(WireServing, PipelinedResponsesComeBackInOrder) {
   wire.stop();
 }
 
+TEST(WireServing, TelemetryFrameReturnsTheBackendSnapshot) {
+  // TELEMETRY -> TELEMETRY_OK carries whatever JSON the backend's hook
+  // produces, and interleaves with INFER traffic on the same connection
+  // (replies are FIFO per connection, so recv order is deterministic).
+  const ModelSpec spec = ModelSpec::parse_or_die(kModel);
+  auto server = make_server(spec);
+  WireServerConfig cfg = wire_cfg(spec);
+  cfg.telemetry_json = [s = server.get()] { return s->telemetry().to_json(); };
+  WireServer wire(wire_submit(*server), cfg);
+  WireClient client("127.0.0.1", wire.port());
+
+  const std::string before = client.telemetry_json();
+  EXPECT_NE(before.find("\"gemms\""), std::string::npos) << before;
+
+  // INFER then TELEMETRY back-to-back: the result frame arrives first and
+  // the snapshot taken after it reflects the served request.
+  client.send_infer(spec.sample(0));
+  const InferResult r = client.recv_result();
+  EXPECT_GT(r.output.numel(), 0);
+  const std::string after = client.telemetry_json();
+  EXPECT_NE(after.find("\"serve\""), std::string::npos) << after;
+  EXPECT_NE(after, before) << "snapshot did not advance after an infer";
+  wire.stop();
+}
+
+TEST(WireServing, TelemetryFrameWithoutHookYieldsEmptyObject) {
+  const ModelSpec spec = ModelSpec::parse_or_die(kModel);
+  auto server = make_server(spec);
+  WireServer wire(wire_submit(*server), wire_cfg(spec));  // no telemetry_json
+  WireClient client("127.0.0.1", wire.port());
+  EXPECT_EQ(client.telemetry_json(), "{}");
+  // The connection is still good for real work afterwards.
+  client.send_infer(spec.sample(1));
+  EXPECT_GT(client.recv_result().output.numel(), 0);
+  wire.stop();
+}
+
 TEST(WireServing, ClusterBackendServesBitwiseThroughTheWire) {
   const ModelSpec spec = ModelSpec::parse_or_die(kModel);
   ClusterConfig ccfg;

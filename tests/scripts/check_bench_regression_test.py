@@ -161,6 +161,85 @@ class SpeedupAndParallelismTest(GateHarness):
         self.assert_gate(bad, 1, "too small a runner")
 
 
+def drift_file(primary="eager_sr:e5m2/e6m5:r=9:subON", pairs=None,
+               smoke=True):
+    """A minimal bench_drift-shaped JSON document: the self pair plus one
+    RN pair unless the caller supplies its own pair rows."""
+    if pairs is None:
+        pairs = [
+            {"primary": primary, "shadow": primary, "samples": 4,
+             "final_max_abs": 0.0, "primary_energy_uj": 1.0,
+             "shadow_energy_uj": 1.0},
+            {"primary": primary, "shadow": "rn:e5m2/e6m5:r=0:subON",
+             "samples": 4, "final_max_abs": 1.5,
+             "primary_energy_uj": 1.0, "shadow_energy_uj": 0.8},
+        ]
+    return {"bench": "drift", "smoke": smoke, "model": "resnet20",
+            "primary": primary, "samples": 4, "pairs": pairs}
+
+
+class DriftFloorTest(GateHarness):
+    def test_self_pair_zero_ceiling_passes_and_trips(self):
+        floors = [{"bench": "drift", "smoke": True, "self": True,
+                   "max_final_maxabs": 0.0}]
+        ok = self.run_gate(floors, [self.write("a.json", drift_file())])
+        self.assert_gate(ok, 0, "max_abs = 0 (ceiling 0)")
+        doc = drift_file()
+        doc["pairs"][0]["final_max_abs"] = 1e-7  # any nonzero must trip
+        bad = self.run_gate(floors, [self.write("b.json", doc)])
+        self.assert_gate(bad, 1, "above ceiling")
+
+    def test_shadow_prefix_ceiling(self):
+        floors = [{"bench": "drift", "smoke": True, "self": False,
+                   "shadow_prefix": "rn:", "max_final_maxabs": 2.0}]
+        ok = self.run_gate(floors, [self.write("a.json", drift_file())])
+        self.assert_gate(ok, 0, "rn:e5m2/e6m5:r=0:subON")
+        doc = drift_file()
+        doc["pairs"][1]["final_max_abs"] = 9.0
+        bad = self.run_gate(floors, [self.write("b.json", doc)])
+        self.assert_gate(bad, 1, "above ceiling")
+
+    def test_self_selector_does_not_match_cross_pairs(self):
+        # A 0.0 self ceiling must never gate the genuinely-drifting RN
+        # pair; only the self pair is expected to be bitwise.
+        floors = [{"bench": "drift", "smoke": True, "self": True,
+                   "max_final_maxabs": 0.0}]
+        proc = self.run_gate(floors, [self.write("a.json", drift_file())])
+        self.assert_gate(proc, 0)
+
+    def test_min_pair_rows_trips_on_shrunken_sweep(self):
+        floors = [{"bench": "drift", "smoke": True, "min_pair_rows": 8,
+                   "require_energy": True}]
+        proc = self.run_gate(floors, [self.write("a.json", drift_file())])
+        self.assert_gate(proc, 1, "only 2 drift pair rows")
+
+    def test_require_energy_trips_on_missing_column(self):
+        doc = drift_file()
+        doc["pairs"][1]["shadow_energy_uj"] = 0.0
+        floors = [{"bench": "drift", "smoke": True, "min_pair_rows": 2,
+                   "require_energy": True}]
+        proc = self.run_gate(floors, [self.write("a.json", doc)])
+        self.assert_gate(proc, 1, "missing an energy column")
+
+    def test_empty_series_is_vacuous_failure(self):
+        # A pair with zero samples passing its ceiling proves nothing —
+        # the gate treats it as a failure, not a pass.
+        doc = drift_file()
+        doc["pairs"][0]["samples"] = 0
+        floors = [{"bench": "drift", "smoke": True, "self": True,
+                   "max_final_maxabs": 0.0}]
+        proc = self.run_gate(floors, [self.write("a.json", doc)])
+        self.assert_gate(proc, 1, "no drift samples")
+
+    def test_smoke_selector_respected(self):
+        floors = [{"bench": "drift", "smoke": False, "self": True,
+                   "max_final_maxabs": 0.0}]
+        proc = self.run_gate(
+            floors, [self.write("a.json", drift_file(smoke=True))],
+            extra_args=["--min-rows", "0"])
+        self.assert_gate(proc, 0, "skip")
+
+
 class SelectorCrossMatchTest(GateHarness):
     def test_leg_selector_does_not_match_default_files(self):
         # A multicore-leg floor must skip (not gate) a file bench_serve

@@ -184,7 +184,9 @@ TEST(GroupedServing, CompiledGroupedMatchesOfflineAndCountsMerges) {
       expect_bitwise_equal(got[i], refs[i],
                            "compiled grouped batch=" + std::to_string(batch) +
                                " sample=" + std::to_string(i));
-    if (batch > 1) EXPECT_GT(snap.gemms_grouped, 0u);
+    if (batch > 1) {
+      EXPECT_GT(snap.gemms_grouped, 0u);
+    }
   }
 }
 
